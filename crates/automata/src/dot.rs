@@ -1,0 +1,95 @@
+//! Graphviz (DOT) export of the LR(0) automaton.
+
+use std::fmt::Write as _;
+
+use lalr_grammar::Grammar;
+
+use crate::lr0::Lr0Automaton;
+
+impl Lr0Automaton {
+    /// Renders the automaton in Graphviz DOT syntax, one record node per
+    /// state listing its kernel items.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lalr_automata::Lr0Automaton;
+    /// use lalr_grammar::parse_grammar;
+    ///
+    /// let g = parse_grammar("s : \"a\" ;")?;
+    /// let dot = Lr0Automaton::build(&g).to_dot(&g);
+    /// assert!(dot.starts_with("digraph lr0 {"));
+    /// assert!(dot.contains("s -> a ."));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn to_dot(&self, grammar: &Grammar) -> String {
+        let mut out = String::from("digraph lr0 {\n  rankdir=LR;\n  node [shape=box];\n");
+        for state in self.states() {
+            let items: Vec<String> = self
+                .kernel(state)
+                .items()
+                .iter()
+                .map(|i| i.display(grammar).replace('"', "\\\""))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  s{} [label=\"I{}\\n{}\"];",
+                state.index(),
+                state.index(),
+                items.join("\\n")
+            );
+        }
+        for state in self.states() {
+            for &(sym, to) in self.transitions(state) {
+                let _ = writeln!(
+                    out,
+                    "  s{} -> s{} [label=\"{}\"];",
+                    state.index(),
+                    to.index(),
+                    grammar.name_of(sym).replace('"', "\\\"")
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lalr_grammar::parse_grammar;
+
+    #[test]
+    fn dot_contains_all_states_and_edges() {
+        let g = parse_grammar("s : \"a\" s | \"b\" ;").unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let dot = lr0.to_dot(&g);
+        for s in lr0.states() {
+            assert!(dot.contains(&format!("s{} [label", s.index())));
+        }
+        // Edge lines look like `s3 -> s7 [label=...`; node labels may also
+        // contain " -> " (item text), so match the edge shape precisely.
+        let is_edge = |l: &str| {
+            let l = l.trim_start();
+            match l.split_once(" -> ") {
+                Some((a, b)) => {
+                    a.len() > 1
+                        && a.starts_with('s')
+                        && a[1..].bytes().all(|c| c.is_ascii_digit())
+                        && b.starts_with('s')
+                }
+                None => false,
+            }
+        };
+        let edge_lines = dot.lines().filter(|l| is_edge(l)).count();
+        assert_eq!(edge_lines, lr0.transition_count());
+    }
+
+    #[test]
+    fn quotes_in_names_escaped() {
+        let g = parse_grammar("s : '\"' ;").unwrap();
+        let dot = Lr0Automaton::build(&g).to_dot(&g);
+        assert!(dot.contains("\\\""));
+    }
+}

@@ -1,0 +1,403 @@
+//! The canonical LR(0) collection.
+
+use std::collections::HashMap;
+
+use lalr_grammar::{Grammar, NonTerminal, ProdId, Symbol, Terminal};
+
+use crate::item::{Item, ItemSet};
+
+/// Identifier of an LR(0) state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub(crate) u32);
+
+impl StateId {
+    /// The start state.
+    pub const START: StateId = StateId(0);
+
+    /// Creates a state id from a raw index.
+    #[inline]
+    pub fn new(index: usize) -> StateId {
+        StateId(index as u32)
+    }
+
+    /// The index into the automaton's state table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a *nonterminal transition* `(p, A)` — the node set of the
+/// DeRemer–Pennello relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NtTransId(pub(crate) u32);
+
+impl NtTransId {
+    /// Creates an id from a raw index.
+    #[inline]
+    pub fn new(index: usize) -> NtTransId {
+        NtTransId(index as u32)
+    }
+
+    /// The index into [`Lr0Automaton::nt_transitions`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A nonterminal transition `p --A--> q`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NtTransition {
+    /// Source state `p`.
+    pub from: StateId,
+    /// The nonterminal `A`.
+    pub nt: NonTerminal,
+    /// Target state `q = GOTO(p, A)`.
+    pub to: StateId,
+}
+
+#[derive(Debug, Clone)]
+struct State {
+    kernel: ItemSet,
+    /// Transitions sorted by symbol for binary search.
+    transitions: Vec<(Symbol, StateId)>,
+    /// Final items of the closure (reductions available here).
+    reductions: Vec<ProdId>,
+    /// The symbol every in-edge of this state is labelled with (`None` only
+    /// for the start state).
+    accessing_symbol: Option<Symbol>,
+}
+
+/// The canonical LR(0) collection of a grammar.
+///
+/// # Examples
+///
+/// ```
+/// use lalr_automata::{Lr0Automaton, StateId};
+/// use lalr_grammar::{parse_grammar, Symbol};
+///
+/// let g = parse_grammar("e : e \"+\" t | t ; t : \"x\" ;")?;
+/// let lr0 = Lr0Automaton::build(&g);
+/// let plus = Symbol::Terminal(g.terminal_by_name("+").unwrap());
+/// let after_e = lr0
+///     .transition(StateId::START, Symbol::NonTerminal(g.start()))
+///     .unwrap();
+/// assert!(lr0.transition(after_e, plus).is_some());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lr0Automaton {
+    states: Vec<State>,
+    nt_transitions: Vec<NtTransition>,
+    /// `(state, nonterminal) → NtTransId` lookup.
+    nt_index: HashMap<(StateId, NonTerminal), NtTransId>,
+}
+
+impl Lr0Automaton {
+    /// Builds the canonical collection by the standard worklist algorithm.
+    pub fn build(grammar: &Grammar) -> Lr0Automaton {
+        let start_kernel = ItemSet::new(vec![Item::start_of(ProdId::START)]);
+        let mut states: Vec<State> = Vec::new();
+        let mut interned: HashMap<ItemSet, StateId> = HashMap::new();
+        let mut work: Vec<StateId> = Vec::new();
+
+        let mut intern = |kernel: ItemSet,
+                          accessing: Option<Symbol>,
+                          states: &mut Vec<State>,
+                          work: &mut Vec<StateId>|
+         -> StateId {
+            if let Some(&id) = interned.get(&kernel) {
+                return id;
+            }
+            let id = StateId::new(states.len());
+            interned.insert(kernel.clone(), id);
+            states.push(State {
+                kernel,
+                transitions: Vec::new(),
+                reductions: Vec::new(),
+                accessing_symbol: accessing,
+            });
+            work.push(id);
+            id
+        };
+
+        intern(start_kernel, None, &mut states, &mut work);
+
+        while let Some(sid) = work.pop() {
+            let closure = states[sid.index()].kernel.closure(grammar);
+            // Group items by next symbol, preserving first-seen symbol order.
+            let mut order: Vec<Symbol> = Vec::new();
+            let mut buckets: HashMap<Symbol, Vec<Item>> = HashMap::new();
+            let mut reductions: Vec<ProdId> = Vec::new();
+            for item in &closure {
+                match item.next_symbol(grammar) {
+                    None => reductions.push(item.production()),
+                    Some(sym) => {
+                        let b = buckets.entry(sym).or_insert_with(|| {
+                            order.push(sym);
+                            Vec::new()
+                        });
+                        b.push(item.advanced());
+                    }
+                }
+            }
+            reductions.sort_unstable();
+            reductions.dedup();
+            states[sid.index()].reductions = reductions;
+
+            let mut transitions: Vec<(Symbol, StateId)> = Vec::with_capacity(order.len());
+            for sym in order {
+                let kernel = ItemSet::new(buckets.remove(&sym).expect("bucket exists"));
+                let target = intern(kernel, Some(sym), &mut states, &mut work);
+                transitions.push((sym, target));
+            }
+            transitions.sort_unstable_by_key(|&(sym, _)| sym);
+            states[sid.index()].transitions = transitions;
+        }
+
+        // Enumerate nonterminal transitions in (state, nt) order — the
+        // canonical numbering used by the relation matrices.
+        let mut nt_transitions = Vec::new();
+        let mut nt_index = HashMap::new();
+        for (i, st) in states.iter().enumerate() {
+            for &(sym, to) in &st.transitions {
+                if let Symbol::NonTerminal(nt) = sym {
+                    let id = NtTransId::new(nt_transitions.len());
+                    let from = StateId::new(i);
+                    nt_transitions.push(NtTransition { from, nt, to });
+                    nt_index.insert((from, nt), id);
+                }
+            }
+        }
+
+        Lr0Automaton {
+            states,
+            nt_transitions,
+            nt_index,
+        }
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Iterates over all state ids.
+    pub fn states(&self) -> impl Iterator<Item = StateId> {
+        (0..self.states.len() as u32).map(StateId)
+    }
+
+    /// The kernel items of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn kernel(&self, state: StateId) -> &ItemSet {
+        &self.states[state.index()].kernel
+    }
+
+    /// The full closure of `state` (recomputed on demand; kernels are what
+    /// the automaton stores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn closure(&self, grammar: &Grammar, state: StateId) -> ItemSet {
+        self.states[state.index()].kernel.closure(grammar)
+    }
+
+    /// `GOTO(state, symbol)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn transition(&self, state: StateId, sym: Symbol) -> Option<StateId> {
+        let ts = &self.states[state.index()].transitions;
+        ts.binary_search_by_key(&sym, |&(s, _)| s)
+            .ok()
+            .map(|i| ts[i].1)
+    }
+
+    /// All outgoing transitions of `state`, sorted by symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn transitions(&self, state: StateId) -> &[(Symbol, StateId)] {
+        &self.states[state.index()].transitions
+    }
+
+    /// The outgoing *terminal* shift symbols of `state`.
+    pub fn shift_symbols(&self, state: StateId) -> impl Iterator<Item = Terminal> + '_ {
+        self.transitions(state)
+            .iter()
+            .filter_map(|&(s, _)| s.terminal())
+    }
+
+    /// The productions reducible in `state` (final items of its closure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn reductions(&self, state: StateId) -> &[ProdId] {
+        &self.states[state.index()].reductions
+    }
+
+    /// The unique symbol labelling every in-edge of `state` (`None` for the
+    /// start state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn accessing_symbol(&self, state: StateId) -> Option<Symbol> {
+        self.states[state.index()].accessing_symbol
+    }
+
+    /// All nonterminal transitions, in id order.
+    #[inline]
+    pub fn nt_transitions(&self) -> &[NtTransition] {
+        &self.nt_transitions
+    }
+
+    /// A nonterminal transition by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn nt_transition(&self, id: NtTransId) -> NtTransition {
+        self.nt_transitions[id.index()]
+    }
+
+    /// Looks up the id of the transition `(state, nt)`.
+    pub fn nt_transition_id(&self, state: StateId, nt: NonTerminal) -> Option<NtTransId> {
+        self.nt_index.get(&(state, nt)).copied()
+    }
+
+    /// Walks `symbols` from `state`, returning the end state if every
+    /// transition exists.
+    pub fn walk(&self, state: StateId, symbols: &[Symbol]) -> Option<StateId> {
+        symbols
+            .iter()
+            .try_fold(state, |s, &sym| self.transition(s, sym))
+    }
+
+    /// The state reached by shifting the user start symbol from the start
+    /// state — the *accept state* (its kernel is `<start> → S ·`).
+    pub fn accept_state(&self, grammar: &Grammar) -> StateId {
+        self.transition(StateId::START, Symbol::NonTerminal(grammar.start()))
+            .expect("the start production's transition always exists")
+    }
+
+    /// Total number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.states.iter().map(|s| s.transitions.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lalr_grammar::parse_grammar;
+
+    /// The dragon-book expression grammar has the famous 12-state LR(0)
+    /// machine.
+    #[test]
+    fn dragon_expression_grammar_has_12_states() {
+        let g = parse_grammar(
+            r#"
+            e : e "+" t | t ;
+            t : t "*" f | f ;
+            f : "(" e ")" | "id" ;
+            "#,
+        )
+        .unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        assert_eq!(lr0.state_count(), 12);
+        // Nonterminal transitions: I0-e, I0-t, I0-f, I4-e, I4-t, I4-f,
+        // I6-t, I6-f, I7-f.
+        assert_eq!(lr0.nt_transitions().len(), 9);
+    }
+
+    #[test]
+    fn start_state_and_accept_state() {
+        let g = parse_grammar("s : \"a\" ;").unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        assert_eq!(lr0.accessing_symbol(StateId::START), None);
+        let acc = lr0.accept_state(&g);
+        assert_eq!(
+            lr0.accessing_symbol(acc),
+            Some(Symbol::NonTerminal(g.start()))
+        );
+        let kernel = lr0.kernel(acc);
+        assert_eq!(kernel.len(), 1);
+        assert!(kernel.items()[0].is_final(&g));
+    }
+
+    #[test]
+    fn reductions_include_epsilon_items() {
+        let g = parse_grammar("s : a \"x\" ; a : ;").unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        // In the start state, a → · is a (final) closure item.
+        let a_prod = g.productions_of(g.nonterminal_by_name("a").unwrap())[0];
+        assert_eq!(lr0.reductions(StateId::START), &[a_prod]);
+    }
+
+    #[test]
+    fn walk_follows_production_bodies() {
+        let g = parse_grammar("s : \"a\" \"b\" \"c\" ;").unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let p = g.production(ProdId::new(1));
+        let end = lr0.walk(StateId::START, p.rhs()).unwrap();
+        assert!(lr0.reductions(end).contains(&ProdId::new(1)));
+        assert_eq!(lr0.walk(end, p.rhs()), None);
+    }
+
+    #[test]
+    fn nt_transition_index_is_consistent() {
+        let g = parse_grammar("e : e \"+\" t | t ; t : \"x\" ;").unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        for (i, t) in lr0.nt_transitions().iter().enumerate() {
+            let id = NtTransId::new(i);
+            assert_eq!(lr0.nt_transition(id), *t);
+            assert_eq!(lr0.nt_transition_id(t.from, t.nt), Some(id));
+            assert_eq!(lr0.transition(t.from, Symbol::NonTerminal(t.nt)), Some(t.to));
+        }
+    }
+
+    #[test]
+    fn deterministic_state_numbering() {
+        let g = parse_grammar("s : \"a\" s | \"b\" ;").unwrap();
+        let a = Lr0Automaton::build(&g);
+        let b = Lr0Automaton::build(&g);
+        assert_eq!(a.state_count(), b.state_count());
+        for s in a.states() {
+            assert_eq!(a.kernel(s), b.kernel(s));
+            assert_eq!(a.transitions(s), b.transitions(s));
+        }
+    }
+
+    #[test]
+    fn accessing_symbol_unique_over_in_edges() {
+        let g = parse_grammar(
+            "e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;",
+        )
+        .unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        for s in lr0.states() {
+            for &(sym, to) in lr0.transitions(s) {
+                assert_eq!(lr0.accessing_symbol(to), Some(sym));
+            }
+        }
+    }
+
+    #[test]
+    fn transition_count_matches_enumeration() {
+        let g = parse_grammar("s : \"a\" s | \"b\" ;").unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let manual: usize = lr0.states().map(|s| lr0.transitions(s).len()).sum();
+        assert_eq!(lr0.transition_count(), manual);
+    }
+}

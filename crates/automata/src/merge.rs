@@ -1,0 +1,151 @@
+//! LALR(1) by merging canonical LR(1) states.
+//!
+//! This is the textbook (pre-DeRemer–Pennello) way to obtain LALR(1)
+//! look-ahead sets: build the full canonical LR(1) machine, then merge every
+//! group of states sharing an LR(0) core, unioning reduction look-aheads.
+//! It is exact — the definition of LALR(1) — and therefore serves as the
+//! oracle the efficient algorithm is validated against, and as the slow
+//! baseline of timing experiment **E2**.
+
+use std::collections::HashMap;
+
+use lalr_bitset::BitSet;
+use lalr_grammar::{Grammar, ProdId};
+
+use crate::item::ItemSet;
+use crate::lr0::{Lr0Automaton, StateId};
+use crate::lr1::Lr1Automaton;
+
+/// LALR(1) look-ahead sets obtained by merging, keyed by LR(0) state.
+#[derive(Debug, Clone)]
+pub struct MergedLalr {
+    la: HashMap<(StateId, ProdId), BitSet>,
+    lr1_states: usize,
+}
+
+impl MergedLalr {
+    /// The look-ahead set for reducing `prod` in LR(0) state `state`, if
+    /// that reduction exists there.
+    pub fn la(&self, state: StateId, prod: ProdId) -> Option<&BitSet> {
+        self.la.get(&(state, prod))
+    }
+
+    /// Number of `(state, production)` reduction points.
+    pub fn reduction_count(&self) -> usize {
+        self.la.len()
+    }
+
+    /// Size of the canonical LR(1) machine that was merged (for the state
+    /// explosion column of Table 2).
+    pub fn lr1_state_count(&self) -> usize {
+        self.lr1_states
+    }
+
+    /// Iterates over `((state, production), la)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&(StateId, ProdId), &BitSet)> {
+        self.la.iter()
+    }
+}
+
+/// Merges `lr1` onto the states of `lr0`, producing LALR(1) look-aheads.
+///
+/// # Panics
+///
+/// Panics if `lr1` and `lr0` were built from different grammars (an LR(1)
+/// core then fails to resolve to an LR(0) state).
+///
+/// # Examples
+///
+/// ```
+/// use lalr_automata::{merge_lr1, Lr0Automaton, Lr1Automaton};
+/// use lalr_grammar::parse_grammar;
+///
+/// let g = parse_grammar("s : \"a\" ;")?;
+/// let merged = merge_lr1(&g, &Lr1Automaton::build(&g), &Lr0Automaton::build(&g));
+/// assert_eq!(merged.reduction_count(), 2); // s → a, and the accept item
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn merge_lr1(grammar: &Grammar, lr1: &Lr1Automaton, lr0: &Lr0Automaton) -> MergedLalr {
+    let _ = grammar;
+    // Index LR(0) states by kernel.
+    let mut by_core: HashMap<&ItemSet, StateId> = HashMap::new();
+    for s in lr0.states() {
+        by_core.insert(lr0.kernel(s), s);
+    }
+
+    let mut la: HashMap<(StateId, ProdId), BitSet> = HashMap::new();
+    for s1 in lr1.states() {
+        let core = lr1.state(s1).core();
+        let s0 = *by_core
+            .get(&core)
+            .expect("every LR(1) core is an LR(0) state of the same grammar");
+        for (prod, set) in lr1.reductions(s1) {
+            la.entry((s0, *prod))
+                .and_modify(|acc| {
+                    acc.union_with(set);
+                })
+                .or_insert_with(|| set.clone());
+        }
+    }
+    MergedLalr {
+        la,
+        lr1_states: lr1.state_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lalr_grammar::{parse_grammar, Terminal};
+
+    fn la_names(g: &Grammar, set: &BitSet) -> Vec<String> {
+        set.iter()
+            .map(|i| g.terminal_name(Terminal::new(i)).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn merging_unions_lookaheads_of_split_states() {
+        // The classic LALR example: canonical LR(1) keeps `a → c` apart
+        // with LA {d} and {e}; merging unions them to {d, e}.
+        // (u/v are the distinguishing guard terminals.)
+        let g = parse_grammar("s : \"u\" a \"d\" | \"v\" a \"e\" ; a : \"c\" ;").unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let lr1 = Lr1Automaton::build(&g);
+        let merged = merge_lr1(&g, &lr1, &lr0);
+
+        let c = g.terminal_by_name("c").unwrap();
+        // LR(0) merges "a·c" and "b·c" successors into one state reached by c.
+        let u = g.terminal_by_name("u").unwrap();
+        let s_a = lr0.transition(StateId::START, u.into()).unwrap();
+        let s_c = lr0.transition(s_a, c.into()).unwrap();
+        let a_nt = g.nonterminal_by_name("a").unwrap();
+        let a_prod = g.productions_of(a_nt)[0];
+        let set = merged.la(s_c, a_prod).expect("reduction exists");
+        assert_eq!(la_names(&g, set), vec!["d", "e"]);
+    }
+
+    #[test]
+    fn every_lr0_reduction_has_merged_la() {
+        let g = parse_grammar(
+            "e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;",
+        )
+        .unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let merged = merge_lr1(&g, &Lr1Automaton::build(&g), &lr0);
+        for s in lr0.states() {
+            for &p in lr0.reductions(s) {
+                let set = merged.la(s, p).expect("LA exists for every reduction");
+                assert!(!set.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn lr1_state_count_recorded() {
+        let g = parse_grammar("s : \"a\" ;").unwrap();
+        let lr1 = Lr1Automaton::build(&g);
+        let merged = merge_lr1(&g, &lr1, &Lr0Automaton::build(&g));
+        assert_eq!(merged.lr1_state_count(), lr1.state_count());
+    }
+}

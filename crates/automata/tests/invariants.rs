@@ -1,0 +1,167 @@
+//! Structural invariants of the LR automata, checked on the corpus and on
+//! random grammars.
+
+use lalr_automata::{Lr0Automaton, Lr1Automaton, StateId};
+use lalr_corpus::synthetic::{random, RandomConfig};
+use lalr_grammar::{Grammar, ProdId, Symbol};
+use proptest::prelude::*;
+
+fn grammars_under_test() -> Vec<(String, Grammar)> {
+    lalr_corpus::all_entries()
+        .into_iter()
+        .map(|e| (e.name.to_string(), e.grammar()))
+        .collect()
+}
+
+/// Every viable prefix (path from the start state) ends in a state whose
+/// kernel items all have their marked prefix consistent with the path —
+/// spot-checked via production-body walks.
+#[test]
+fn production_bodies_are_walkable_from_their_lhs_transitions() {
+    for (name, g) in grammars_under_test() {
+        let lr0 = Lr0Automaton::build(&g);
+        for t in lr0.nt_transitions() {
+            for &pid in g.productions_of(t.nt) {
+                let q = lr0
+                    .walk(t.from, g.production(pid).rhs())
+                    .unwrap_or_else(|| panic!("{name}: body of {} not walkable", pid.index()));
+                assert!(
+                    lr0.reductions(q).contains(&pid),
+                    "{name}: walked body must end in a reducing state"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn kernels_are_nonempty_and_kernel_items_have_dot_gt_zero() {
+    for (name, g) in grammars_under_test() {
+        let lr0 = Lr0Automaton::build(&g);
+        for s in lr0.states() {
+            let kernel = lr0.kernel(s);
+            assert!(!kernel.is_empty(), "{name}: state {} empty", s.index());
+            if s != StateId::START {
+                for item in kernel.items() {
+                    assert!(
+                        item.dot() > 0 || g.production(item.production()).is_empty(),
+                        "{name}: non-start kernels hold advanced items"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn closures_contain_kernels_and_are_closed() {
+    for (name, g) in grammars_under_test() {
+        let lr0 = Lr0Automaton::build(&g);
+        for s in lr0.states() {
+            let kernel = lr0.kernel(s);
+            let closure = lr0.closure(&g, s);
+            for item in kernel {
+                assert!(closure.contains(item), "{name}: kernel ⊆ closure");
+            }
+            // Closed: every ·B item pulls in all B-productions.
+            for item in &closure {
+                if let Some(Symbol::NonTerminal(b)) = item.next_symbol(&g) {
+                    for &pid in g.productions_of(b) {
+                        assert!(
+                            closure.contains(lalr_automata::Item::start_of(pid)),
+                            "{name}: closure is transitively closed"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lr1_cores_project_onto_lr0_states() {
+    for (name, g) in grammars_under_test() {
+        // The canonical LR(1) machine, merged by core, must have exactly
+        // the LR(0) states (the classic theorem behind LALR).
+        let lr0 = Lr0Automaton::build(&g);
+        let lr1 = Lr1Automaton::build(&g);
+        let mut cores: Vec<_> = lr1.states().map(|s| lr1.state(s).core()).collect();
+        cores.sort_by(|a, b| a.items().cmp(b.items()));
+        cores.dedup();
+        assert_eq!(cores.len(), lr0.state_count(), "{name}");
+    }
+}
+
+#[test]
+fn lr1_transitions_commute_with_core_projection() {
+    for (name, g) in grammars_under_test() {
+        if g.production_count() > 140 {
+            continue; // keep the quadratic check cheap
+        }
+        let lr0 = Lr0Automaton::build(&g);
+        let lr1 = Lr1Automaton::build(&g);
+        let core_to_lr0 = |s1| {
+            let core = lr1.state(s1).core();
+            lr0.states()
+                .find(|&s0| *lr0.kernel(s0) == core)
+                .expect("core exists in LR(0)")
+        };
+        for s1 in lr1.states() {
+            let s0 = core_to_lr0(s1);
+            for &(sym, t1) in lr1.transitions(s1) {
+                let t0 = lr0.transition(s0, sym).expect("projection preserves edges");
+                assert_eq!(core_to_lr0(t1), t0, "{name}: GOTO commutes");
+            }
+        }
+    }
+}
+
+#[test]
+fn start_production_reachable_to_accept() {
+    for (name, g) in grammars_under_test() {
+        let lr0 = Lr0Automaton::build(&g);
+        let acc = lr0.accept_state(&g);
+        assert!(
+            lr0.reductions(acc).contains(&ProdId::START),
+            "{name}: accept state holds the start reduction"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_grammar_automaton_invariants(seed in 0u64..2000) {
+        let g = random(seed, RandomConfig::default());
+        let lr0 = Lr0Automaton::build(&g);
+        // Transition targets in range; accessing symbols consistent.
+        for s in lr0.states() {
+            for &(sym, to) in lr0.transitions(s) {
+                prop_assert!(to.index() < lr0.state_count());
+                prop_assert_eq!(lr0.accessing_symbol(to), Some(sym));
+            }
+        }
+        // Nonterminal transition index is a bijection with the enumeration.
+        for (i, t) in lr0.nt_transitions().iter().enumerate() {
+            prop_assert_eq!(
+                lr0.nt_transition_id(t.from, t.nt).map(|x| x.index()),
+                Some(i)
+            );
+        }
+    }
+
+    #[test]
+    fn random_grammar_walks_match_transitions(seed in 0u64..500) {
+        let g = random(seed, RandomConfig::default());
+        let lr0 = Lr0Automaton::build(&g);
+        // walk() == folding transition() by definition; check on bodies.
+        for (pid, p) in g.iter_productions() {
+            let mut state = Some(StateId::START);
+            for &sym in p.rhs() {
+                state = state.and_then(|s| lr0.transition(s, sym));
+            }
+            prop_assert_eq!(state, lr0.walk(StateId::START, p.rhs()), "prod {}", pid.index());
+        }
+    }
+}

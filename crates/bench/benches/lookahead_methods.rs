@@ -1,0 +1,34 @@
+//! Table 2 — look-ahead computation time per method on the corpus.
+//!
+//! Reproduces the paper's central timing claim: computing LALR(1)
+//! look-aheads with the relations + Digraph technique beats yacc-style
+//! propagation by a small factor and canonical-LR(1)-then-merge by an
+//! order of magnitude, on every realistic grammar.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lalr_automata::Lr0Automaton;
+use lalr_bench::methods::Method;
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookahead_methods");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for entry in ["expr", "json", "pascal", "ada_subset", "c_subset"] {
+        let grammar = lalr_corpus::by_name(entry)
+            .expect("corpus entry exists")
+            .grammar();
+        let lr0 = Lr0Automaton::build(&grammar);
+        for method in Method::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), entry),
+                &(&grammar, &lr0),
+                |b, (g, lr0)| b.iter(|| method.run(g, lr0)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

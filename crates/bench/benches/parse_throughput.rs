@@ -1,0 +1,48 @@
+//! Runtime sanity benchmark: tokens/second through the LR driver, dense
+//! vs compressed tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lalr_automata::Lr0Automaton;
+use lalr_core::LalrAnalysis;
+use lalr_runtime::{CompressedSource, Lexer, Parser, Token};
+use lalr_tables::{build_table, CompressedTable, TableOptions};
+
+fn expr_tokens(n_terms: usize) -> (lalr_tables::ParseTable, Vec<Token>) {
+    let g = lalr_corpus::by_name("expr").expect("exists").grammar();
+    let lr0 = Lr0Automaton::build(&g);
+    let la = LalrAnalysis::compute(&g, &lr0).into_lookaheads();
+    let table = build_table(&g, &lr0, &la, TableOptions::default());
+    let lexer = Lexer::for_table(&table).number("NUM").build();
+    let mut src = String::from("1");
+    for i in 0..n_terms {
+        let op = if i % 3 == 0 { "*" } else { "+" };
+        src.push_str(&format!(" {op} ({i} + 2)"));
+    }
+    let tokens = lexer.tokenize(&src).expect("valid expression");
+    (table, tokens)
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse_throughput");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [100usize, 1000] {
+        let (table, tokens) = expr_tokens(n);
+        let compressed = CompressedTable::from_dense(&table);
+        group.throughput(Throughput::Elements(tokens.len() as u64));
+        group.bench_with_input(BenchmarkId::new("dense", n), &tokens, |b, toks| {
+            let parser = Parser::new(&table);
+            b.iter(|| parser.parse(toks.clone()).expect("parses"))
+        });
+        let source = CompressedSource::new(&compressed, &table);
+        group.bench_with_input(BenchmarkId::new("compressed", n), &tokens, |b, toks| {
+            let parser = Parser::new(&source);
+            b.iter(|| parser.parse(toks.clone()).expect("parses"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

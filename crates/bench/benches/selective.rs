@@ -1,0 +1,31 @@
+//! E8 — full vs selective (inadequate-states-only) look-ahead computation,
+//! the paper's recommended practical shortcut.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lalr_automata::Lr0Automaton;
+use lalr_core::{selective_lookaheads, LalrAnalysis};
+
+fn bench_selective(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_vs_selective");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for name in ["pascal", "ada_subset", "tiny_java", "c_subset"] {
+        let grammar = lalr_corpus::by_name(name).expect("exists").grammar();
+        let lr0 = Lr0Automaton::build(&grammar);
+        group.bench_with_input(
+            BenchmarkId::new("full", name),
+            &(&grammar, &lr0),
+            |b, (g, lr0)| b.iter(|| LalrAnalysis::compute(g, lr0).into_lookaheads()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("selective", name),
+            &(&grammar, &lr0),
+            |b, (g, lr0)| b.iter(|| selective_lookaheads(g, lr0).into_lookaheads()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selective);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Prints the paper-style evaluation tables.
+//!
+//! ```text
+//! cargo run --release -p lalr-bench --bin report            # all
+//! cargo run --release -p lalr-bench --bin report -- table2  # one
+//! ```
+
+use lalr_bench::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let runs = args
+        .get(1)
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(9);
+
+    let mut printed = false;
+    if matches!(which, "all" | "table1") {
+        println!("{}", report::table1());
+        printed = true;
+    }
+    if matches!(which, "all" | "table2") {
+        println!("{}", report::table2(runs));
+        printed = true;
+    }
+    if matches!(which, "all" | "table3") {
+        println!("{}", report::table3());
+        printed = true;
+    }
+    if matches!(which, "all" | "table4") {
+        println!("{}", report::table4(runs));
+        printed = true;
+    }
+    if matches!(which, "all" | "table5") {
+        println!("{}", report::table5());
+        printed = true;
+    }
+    if matches!(which, "all" | "figure1") {
+        println!("{}", report::figure1(runs));
+        printed = true;
+    }
+    if matches!(which, "all" | "figure2") {
+        println!("{}", report::figure2());
+        printed = true;
+    }
+    if !printed {
+        eprintln!("usage: report [all|table1|table2|table3|table4|table5|figure1|figure2] [runs]");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,24 @@
+//! The evaluation harness: regenerates every table and figure of the
+//! paper's empirical section (see `DESIGN.md` for the experiment index).
+//!
+//! The `report` binary prints the static tables:
+//!
+//! ```text
+//! cargo run -p lalr-bench --bin report            # everything
+//! cargo run -p lalr-bench --bin report -- table1  # one table
+//! ```
+//!
+//! Timing experiments live in `benches/` (Criterion):
+//!
+//! * `lookahead_methods` — Table 2 (DP vs propagation vs LR(1)-merge vs SLR)
+//! * `scaling` — Figure 1 (method time vs grammar size)
+//! * `digraph_ablation` — E6 (Digraph vs naive closure vs Warshall)
+//! * `set_repr` — E7 (bit-set vs hash-set Digraph)
+//! * `selective` — E8 (full vs inadequate-states-only computation)
+//! * `parse_throughput` — runtime driver sanity benchmark
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod methods;
+pub mod report;

@@ -1,0 +1,119 @@
+//! Uniform runners for the five look-ahead methods.
+
+use std::time::{Duration, Instant};
+
+use lalr_automata::{merge_lr1, Lr0Automaton, Lr1Automaton};
+use lalr_core::{
+    propagation_lookaheads, slr_lookaheads, LalrAnalysis, LookaheadSets, NqlalrAnalysis,
+};
+use lalr_grammar::Grammar;
+
+/// The look-ahead methods under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// The paper's algorithm.
+    DeRemerPennello,
+    /// Yacc-style spontaneous generation + propagation.
+    Propagation,
+    /// Canonical LR(1) then merge by core.
+    Lr1Merge,
+    /// Grammar-global FOLLOW sets.
+    Slr,
+    /// The unsound state-merged shortcut.
+    Nqlalr,
+}
+
+impl Method {
+    /// All methods, strongest-claim first.
+    pub const ALL: [Method; 5] = [
+        Method::DeRemerPennello,
+        Method::Propagation,
+        Method::Lr1Merge,
+        Method::Slr,
+        Method::Nqlalr,
+    ];
+
+    /// Short label for table columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::DeRemerPennello => "DP",
+            Method::Propagation => "yacc-prop",
+            Method::Lr1Merge => "LR1-merge",
+            Method::Slr => "SLR",
+            Method::Nqlalr => "NQLALR",
+        }
+    }
+
+    /// Runs the method over a prebuilt LR(0) automaton.
+    ///
+    /// Note `Lr1Merge` builds its LR(1) machine inside the call — that cost
+    /// is the point of the comparison.
+    pub fn run(self, grammar: &Grammar, lr0: &Lr0Automaton) -> LookaheadSets {
+        match self {
+            Method::DeRemerPennello => LalrAnalysis::compute(grammar, lr0).into_lookaheads(),
+            Method::Propagation => propagation_lookaheads(grammar, lr0),
+            Method::Lr1Merge => {
+                let lr1 = Lr1Automaton::build(grammar);
+                LookaheadSets::from(&merge_lr1(grammar, &lr1, lr0))
+            }
+            Method::Slr => slr_lookaheads(grammar, lr0),
+            Method::Nqlalr => NqlalrAnalysis::compute(grammar, lr0).into_lookaheads(),
+        }
+    }
+}
+
+/// Wall-clock of one run (look-ahead computation only; the LR(0) machine is
+/// shared, as in the paper's measurements).
+pub fn time_method(method: Method, grammar: &Grammar, lr0: &Lr0Automaton) -> Duration {
+    let t0 = Instant::now();
+    let las = method.run(grammar, lr0);
+    let elapsed = t0.elapsed();
+    std::hint::black_box(las);
+    elapsed
+}
+
+/// Median of `runs` timings.
+pub fn median_time(
+    method: Method,
+    grammar: &Grammar,
+    lr0: &Lr0Automaton,
+    runs: usize,
+) -> Duration {
+    let mut times: Vec<Duration> = (0..runs.max(1))
+        .map(|_| time_method(method, grammar, lr0))
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lalr_grammar::parse_grammar;
+
+    #[test]
+    fn all_methods_run_on_a_simple_grammar() {
+        let g = parse_grammar("e : e \"+\" t | t ; t : \"x\" ;").unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        for m in Method::ALL {
+            let las = m.run(&g, &lr0);
+            assert!(las.reduction_count() > 0, "{}", m.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = Method::ALL.iter().map(|m| m.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Method::ALL.len());
+    }
+
+    #[test]
+    fn median_time_is_positive() {
+        let g = parse_grammar("s : \"a\" ;").unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let d = median_time(Method::DeRemerPennello, &g, &lr0, 3);
+        assert!(d.as_nanos() > 0);
+    }
+}

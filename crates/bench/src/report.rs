@@ -1,0 +1,391 @@
+//! Paper-style table/figure rendering (the `report` binary's engine).
+
+use std::fmt::Write as _;
+
+use lalr_automata::{Lr0Automaton, Lr1Automaton};
+use lalr_core::{classify, LalrAnalysis, Relations};
+use lalr_corpus::synthetic;
+use lalr_grammar::GrammarStats;
+
+use crate::methods::{median_time, Method};
+
+/// Table 1 — grammar and relation characteristics per corpus grammar.
+pub fn table1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1: grammar characteristics and DeRemer-Pennello relation sizes"
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>4} {:>4} {:>5} {:>5} {:>7} {:>8} {:>7} {:>9} {:>9}",
+        "grammar", "|T|", "|N|", "|P|", "|G|", "states", "nttrans", "reads", "includes", "lookback"
+    );
+    for entry in lalr_corpus::all_entries() {
+        let g = entry.grammar();
+        let stats = GrammarStats::compute(&g);
+        let lr0 = Lr0Automaton::build(&g);
+        let rel = Relations::build(&g, &lr0);
+        let rs = rel.stats();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>4} {:>4} {:>5} {:>5} {:>7} {:>8} {:>7} {:>9} {:>9}",
+            entry.name,
+            stats.terminals,
+            stats.nonterminals,
+            stats.productions,
+            stats.size,
+            lr0.state_count(),
+            rs.nt_transitions,
+            rs.reads_edges,
+            rs.includes_edges,
+            rs.lookback_edges,
+        );
+    }
+    out
+}
+
+/// Table 2 — look-ahead computation time per method (medians over `runs`),
+/// plus the LR(1) state explosion column.
+pub fn table2(runs: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 2: look-ahead computation time (median of {runs} runs; LR(0) machine prebuilt)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>11} {:>11} {:>11} {:>11} {:>9} {:>9}",
+        "grammar", "DP", "yacc-prop", "LR1-merge", "SLR", "NQLALR", "lr0-st", "lr1-st"
+    );
+    for entry in lalr_corpus::all_entries() {
+        let g = entry.grammar();
+        let lr0 = Lr0Automaton::build(&g);
+        let lr1_states = Lr1Automaton::build(&g).state_count();
+        let mut cells: Vec<String> = Vec::new();
+        for m in Method::ALL {
+            let d = median_time(m, &g, &lr0, runs);
+            cells.push(format!("{:.1}us", d.as_secs_f64() * 1e6));
+        }
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>11} {:>11} {:>11} {:>11} {:>9} {:>9}",
+            entry.name,
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+            cells[4],
+            lr0.state_count(),
+            lr1_states,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(expected shape: DP < yacc-prop << LR1-merge; SLR cheapest but inadequate below)"
+    );
+    out
+}
+
+/// Table 3 — the adequacy hierarchy: conflicts per method and the
+/// resulting classification.
+pub fn table3() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3: conflicts per method and grammar class");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>6} {:>6} {:>8} {:>6} {:>6} {:>8} {:<10}",
+        "grammar", "LR(0)", "SLR", "NQLALR", "LALR", "LR(1)", "reads-cy", "class"
+    );
+    for entry in lalr_corpus::all_entries() {
+        let g = entry.grammar();
+        let m = classify(&g);
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>6} {:>8} {:>6} {:>6} {:>8} {:<10}",
+            entry.name,
+            m.lr0_conflicts,
+            m.slr_conflicts,
+            m.nqlalr_conflicts,
+            m.lalr_conflicts,
+            m.lr1_conflicts,
+            if m.not_lr_k { "yes" } else { "-" },
+            m.class.to_string(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(NQLALR > LALR on nqlalr_witness is the paper's unsoundness warning)"
+    );
+    out
+}
+
+/// Figure 1 — scaling sweep: method time and state counts vs grammar size
+/// over the `expr_ladder` family.
+pub fn figure1(runs: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 1: scaling over expr_ladder(n) (median of {runs} runs)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>4} {:>6} {:>8} {:>10} {:>12} {:>12} {:>9}",
+        "n", "prods", "lr0-st", "DP", "yacc-prop", "LR1-merge", "lr1-st"
+    );
+    for n in [2usize, 5, 10, 20, 40, 80] {
+        let g = synthetic::expr_ladder(n);
+        let lr0 = Lr0Automaton::build(&g);
+        let lr1_states = Lr1Automaton::build(&g).state_count();
+        let dp = median_time(Method::DeRemerPennello, &g, &lr0, runs);
+        let prop = median_time(Method::Propagation, &g, &lr0, runs);
+        let merge = median_time(Method::Lr1Merge, &g, &lr0, runs);
+        let _ = writeln!(
+            out,
+            "{:>4} {:>6} {:>8} {:>9.1}us {:>11.1}us {:>11.1}us {:>9}",
+            n,
+            g.production_count() - 1,
+            lr0.state_count(),
+            dp.as_secs_f64() * 1e6,
+            prop.as_secs_f64() * 1e6,
+            merge.as_secs_f64() * 1e6,
+            lr1_states,
+        );
+    }
+    out
+}
+
+/// Figure 2 — structure of the `reads`/`includes` relations across the
+/// corpus (SCC counts, the non-LR(k) cycle detector).
+pub fn figure2() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 2: relation structure (Digraph SCC statistics)");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>10} {:>12} {:>12} {:>10}",
+        "grammar", "nttrans", "reads-scc", "incl-scc>1", "incl-maxscc", "not-LR(k)"
+    );
+    for entry in lalr_corpus::all_entries() {
+        let g = entry.grammar();
+        let lr0 = Lr0Automaton::build(&g);
+        let a = LalrAnalysis::compute(&g, &lr0);
+        let rs = a.relation_stats();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>10} {:>12} {:>12} {:>10}",
+            entry.name,
+            rs.nt_transitions,
+            rs.reads_nontrivial_sccs,
+            rs.includes_nontrivial_sccs,
+            rs.includes_max_scc,
+            if a.grammar_not_lr_k() { "yes" } else { "-" },
+        );
+    }
+    out
+}
+
+/// Table 4 — ablation summary (E6/E7/E8): Digraph vs naive closure,
+/// bit-set vs hash-set store, full vs selective traversal.
+pub fn table4(runs: usize) -> String {
+    use lalr_digraph::{digraph, digraph_from_on, naive_closure, UnionSets};
+    use std::collections::HashSet;
+    use std::time::Instant;
+
+    struct HashStore {
+        sets: Vec<HashSet<usize>>,
+    }
+    impl UnionSets for HashStore {
+        fn union(&mut self, dst: usize, src: usize) {
+            if dst == src {
+                return;
+            }
+            let (a, b) = if dst < src {
+                let (lo, hi) = self.sets.split_at_mut(src);
+                (&mut lo[dst], &hi[0])
+            } else {
+                let (lo, hi) = self.sets.split_at_mut(dst);
+                (&mut hi[0], &lo[src])
+            };
+            a.extend(b.iter().copied());
+        }
+        fn assign(&mut self, dst: usize, src: usize) {
+            if dst == src {
+                return;
+            }
+            let copied = self.sets[src].clone();
+            self.sets[dst] = copied;
+        }
+    }
+
+    fn median<F: FnMut() -> std::time::Duration>(runs: usize, mut f: F) -> f64 {
+        let mut v: Vec<_> = (0..runs.max(1)).map(|_| f()).collect();
+        v.sort_unstable();
+        v[v.len() / 2].as_secs_f64() * 1e6
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 4: ablations on the Follow computation (median of {runs} runs, us)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>9} {:>9} {:>10} {:>10} {:>8}",
+        "grammar", "digraph", "naive", "hashset", "full-LA", "select-LA", "skip%"
+    );
+    for name in ["expr", "json", "lua_subset", "pascal", "ada_subset", "sql_subset", "c_subset"] {
+        let g = lalr_corpus::by_name(name).expect("exists").grammar();
+        let lr0 = Lr0Automaton::build(&g);
+        let rel = Relations::build(&g, &lr0);
+        let mut read = rel.dr().clone();
+        digraph(rel.reads(), &mut read);
+
+        let t_digraph = median(runs, || {
+            let mut sets = read.clone();
+            let t0 = Instant::now();
+            digraph(rel.includes(), &mut sets);
+            let d = t0.elapsed();
+            std::hint::black_box(sets);
+            d
+        });
+        let t_naive = median(runs, || {
+            let mut sets = read.clone();
+            let t0 = Instant::now();
+            naive_closure(rel.includes(), &mut sets);
+            let d = t0.elapsed();
+            std::hint::black_box(sets);
+            d
+        });
+        let t_hash = median(runs, || {
+            let mut store = HashStore {
+                sets: (0..read.rows()).map(|r| read.iter_row(r).collect()).collect(),
+            };
+            let t0 = Instant::now();
+            digraph_from_on(rel.includes(), &mut store, 0..read.rows());
+            let d = t0.elapsed();
+            std::hint::black_box(store.sets.len());
+            d
+        });
+        let t_full = median(runs, || {
+            let t0 = Instant::now();
+            let la = lalr_core::LalrAnalysis::compute(&g, &lr0).into_lookaheads();
+            let d = t0.elapsed();
+            std::hint::black_box(la);
+            d
+        });
+        let sel = lalr_core::selective_lookaheads(&g, &lr0);
+        let skip = sel.skipped_fraction() * 100.0;
+        let t_sel = median(runs, || {
+            let t0 = Instant::now();
+            let la = lalr_core::selective_lookaheads(&g, &lr0).into_lookaheads();
+            let d = t0.elapsed();
+            std::hint::black_box(la);
+            d
+        });
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9.1} {:>9.1} {:>9.1} {:>10.1} {:>10.1} {:>7.0}%",
+            name, t_digraph, t_naive, t_hash, t_full, t_sel, skip
+        );
+    }
+    out
+}
+
+/// Table 5 — parse table sizes: dense occupancy vs default-reduction
+/// compression (the classic yacc space argument).
+pub fn table5() -> String {
+    use lalr_tables::{build_table, CompressedTable, TableOptions};
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 5: ACTION table size, dense vs compressed");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>7} {:>7} {:>10} {:>11} {:>7}",
+        "grammar", "states", "terms", "dense-ent", "compressed", "ratio"
+    );
+    for entry in lalr_corpus::all_entries() {
+        let g = entry.grammar();
+        let lr0 = Lr0Automaton::build(&g);
+        let la = lalr_core::LalrAnalysis::compute(&g, &lr0).into_lookaheads();
+        let table = build_table(&g, &lr0, &la, TableOptions::default());
+        let stats = table.stats();
+        let compressed = CompressedTable::from_dense(&table);
+        let ratio = if stats.action_entries > 0 {
+            compressed.explicit_entries() as f64 / stats.action_entries as f64
+        } else {
+            1.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:>7} {:>7} {:>10} {:>11} {:>6.2}x",
+            entry.name,
+            stats.states,
+            stats.terminals,
+            stats.action_entries,
+            compressed.explicit_entries(),
+            ratio
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table1_has_a_row_per_corpus_entry() {
+        let t = super::table1();
+        for e in lalr_corpus::all_entries() {
+            assert!(t.contains(e.name), "{} missing", e.name);
+        }
+    }
+
+    #[test]
+    fn table3_flags_the_witness_and_the_cycle() {
+        let t = super::table3();
+        let witness_row = t
+            .lines()
+            .find(|l| l.starts_with("nqlalr_witness"))
+            .expect("witness row");
+        assert!(witness_row.contains("LALR(1)"));
+        let cycle_row = t
+            .lines()
+            .find(|l| l.starts_with("reads_cycle"))
+            .expect("cycle row");
+        assert!(cycle_row.contains("yes"));
+    }
+
+    #[test]
+    fn figure1_is_well_formed() {
+        // One warm-up-free run to keep tests fast.
+        let f = super::figure1(1);
+        assert_eq!(f.lines().count(), 2 + 6);
+    }
+
+    #[test]
+    fn figure2_marks_only_the_cyclic_grammar() {
+        let f = super::figure2();
+        let yes_rows: Vec<&str> = f.lines().filter(|l| l.trim_end().ends_with("yes")).collect();
+        assert_eq!(yes_rows.len(), 1);
+        assert!(yes_rows[0].starts_with("reads_cycle"));
+    }
+
+    #[test]
+    fn table4_reports_skip_percentages() {
+        let t = super::table4(1);
+        assert!(t.contains("skip%"));
+        assert!(t.lines().count() >= 8);
+    }
+
+    #[test]
+    fn table5_compression_never_grows() {
+        let t = super::table5();
+        for line in t.lines().skip(2) {
+            let ratio: f64 = line
+                .split_whitespace()
+                .last()
+                .and_then(|s| s.trim_end_matches('x').parse().ok())
+                .expect("ratio column");
+            assert!(ratio <= 1.0, "{line}");
+        }
+    }
+}

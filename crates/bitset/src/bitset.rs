@@ -1,0 +1,428 @@
+//! The [`BitSet`] type.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Sub};
+
+use crate::{words_for, BITS};
+
+/// A dense set of `usize` indices backed by machine words.
+///
+/// The set has a fixed *universe size* chosen at construction; indices in
+/// `0..len()` may be inserted. This mirrors the paper's use of bit vectors
+/// sized to the terminal alphabet.
+///
+/// # Examples
+///
+/// ```
+/// use lalr_bitset::BitSet;
+///
+/// let mut s = BitSet::new(10);
+/// s.insert(2);
+/// s.insert(9);
+/// assert!(s.contains(2));
+/// assert_eq!(s.count(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BitSet {
+    words: Vec<usize>,
+    /// Universe size in bits.
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set with universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; words_for(len)],
+            len,
+        }
+    }
+
+    /// Creates a set containing every index in `0..len`.
+    pub fn full(len: usize) -> Self {
+        let mut s = BitSet::new(len);
+        for w in &mut s.words {
+            *w = usize::MAX;
+        }
+        s.trim();
+        s
+    }
+
+    /// Builds a set from an iterator of indices over the universe `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= len`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(len: usize, iter: I) -> Self {
+        let mut s = BitSet::new(len);
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// The universe size (not the number of set bits; see [`BitSet::count`]).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Inserts `idx`, returning `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    #[inline]
+    pub fn insert(&mut self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range 0..{}", self.len);
+        let (w, b) = (idx / BITS, idx % BITS);
+        let mask = 1usize << b;
+        let fresh = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        fresh
+    }
+
+    /// Removes `idx`, returning `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    #[inline]
+    pub fn remove(&mut self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range 0..{}", self.len);
+        let (w, b) = (idx / BITS, idx % BITS);
+        let mask = 1usize << b;
+        let present = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        present
+    }
+
+    /// Tests membership. Out-of-range indices are simply absent.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        if idx >= self.len {
+            return false;
+        }
+        let (w, b) = (idx / BITS, idx % BITS);
+        self.words[w] & (1usize << b) != 0
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// In-place union; returns `true` if `self` changed.
+    ///
+    /// This is the hot operation of the Digraph traversal, so it reports
+    /// whether anything was added (used by worklist algorithms to detect
+    /// fixpoints without a separate comparison pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    #[inline]
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// In-place intersection; returns `true` if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a & b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// In-place difference (`self \ other`); returns `true` if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn difference_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a & !b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Returns `true` if the sets share no element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        self.words.iter().zip(&other.words).all(|(&a, &b)| a & b == 0)
+    }
+
+    /// Returns `true` if every element of `self` is in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        self.words.iter().zip(&other.words).all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// Iterates over the set bits in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Smallest element, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+
+    /// A view of the underlying words, least-significant bit first.
+    ///
+    /// Useful for bulk unions into [`crate::BitMatrix`] rows via
+    /// [`crate::BitMatrix::union_row_with_words`].
+    pub fn as_words(&self) -> &[usize] {
+        &self.words
+    }
+
+    /// Clears any bits beyond `len` that block-wise ops may have set.
+    fn trim(&mut self) {
+        let used = self.len % BITS;
+        if used != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1usize << used) - 1;
+            }
+        }
+    }
+}
+
+/// Iterator over set bits; see [`BitSet::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * BITS + bit);
+            }
+            self.word_idx += 1;
+            self.current = *self.set.words.get(self.word_idx)?;
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for i in iter {
+            self.insert(i);
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl BitOr for &BitSet {
+    type Output = BitSet;
+
+    fn bitor(self, rhs: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.union_with(rhs);
+        out
+    }
+}
+
+impl BitAnd for &BitSet {
+    type Output = BitSet;
+
+    fn bitand(self, rhs: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.intersect_with(rhs);
+        out
+    }
+}
+
+impl Sub for &BitSet {
+    type Output = BitSet;
+
+    fn sub(self, rhs: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.difference_with(rhs);
+        out
+    }
+}
+
+impl BitXor for &BitSet {
+    type Output = BitSet;
+
+    fn bitxor(self, rhs: &BitSet) -> BitSet {
+        assert_eq!(self.len, rhs.len, "universe mismatch");
+        let mut out = self.clone();
+        for (a, &b) in out.words.iter_mut().zip(&rhs.words) {
+            *a ^= b;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(200);
+        assert!(s.insert(0));
+        assert!(s.insert(199));
+        assert!(!s.insert(199), "second insert reports not-fresh");
+        assert!(s.contains(0));
+        assert!(s.contains(199));
+        assert!(!s.contains(100));
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn empty_and_count() {
+        let mut s = BitSet::new(65);
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        s.insert(64);
+        assert!(!s.is_empty());
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn zero_universe() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.iter().next(), None);
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn full_respects_len() {
+        let s = BitSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = BitSet::from_indices(10, [1, 2]);
+        let b = BitSet::from_indices(10, [2, 3]);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "second union is a no-op");
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_indices(100, [1, 50, 99]);
+        let b = BitSet::from_indices(100, [50, 60]);
+        assert_eq!((&a | &b).iter().collect::<Vec<_>>(), vec![1, 50, 60, 99]);
+        assert_eq!((&a & &b).iter().collect::<Vec<_>>(), vec![50]);
+        assert_eq!((&a - &b).iter().collect::<Vec<_>>(), vec![1, 99]);
+        assert_eq!((&a ^ &b).iter().collect::<Vec<_>>(), vec![1, 60, 99]);
+    }
+
+    #[test]
+    fn subset_disjoint() {
+        let a = BitSet::from_indices(64, [3, 7]);
+        let b = BitSet::from_indices(64, [3, 7, 9]);
+        let c = BitSet::from_indices(64, [10]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn iter_crosses_word_boundaries() {
+        let idx = [0, 63, 64, 65, 127, 128];
+        let s = BitSet::from_indices(129, idx);
+        assert_eq!(s.iter().collect::<Vec<_>>(), idx.to_vec());
+        assert_eq!(s.first(), Some(0));
+    }
+
+    #[test]
+    fn extend_and_from_indices_agree() {
+        let mut a = BitSet::new(20);
+        a.extend([4, 5, 6]);
+        let b = BitSet::from_indices(20, [4, 5, 6]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn debug_is_set_like() {
+        let s = BitSet::from_indices(8, [1, 3]);
+        assert_eq!(format!("{s:?}"), "{1, 3}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests: `BitSet` algebra must agree with `BTreeSet` algebra.
+
+use std::collections::BTreeSet;
+
+use lalr_bitset::{BitMatrix, BitSet};
+use proptest::prelude::*;
+
+const UNIVERSE: usize = 300;
+
+fn idx_vec() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..UNIVERSE, 0..64)
+}
+
+fn model(v: &[usize]) -> BTreeSet<usize> {
+    v.iter().copied().collect()
+}
+
+proptest! {
+    #[test]
+    fn union_matches_model(a in idx_vec(), b in idx_vec()) {
+        let sa = BitSet::from_indices(UNIVERSE, a.iter().copied());
+        let sb = BitSet::from_indices(UNIVERSE, b.iter().copied());
+        let got: Vec<usize> = (&sa | &sb).iter().collect();
+        let want: Vec<usize> = model(&a).union(&model(&b)).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn intersection_matches_model(a in idx_vec(), b in idx_vec()) {
+        let sa = BitSet::from_indices(UNIVERSE, a.iter().copied());
+        let sb = BitSet::from_indices(UNIVERSE, b.iter().copied());
+        let got: Vec<usize> = (&sa & &sb).iter().collect();
+        let want: Vec<usize> = model(&a).intersection(&model(&b)).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn difference_matches_model(a in idx_vec(), b in idx_vec()) {
+        let sa = BitSet::from_indices(UNIVERSE, a.iter().copied());
+        let sb = BitSet::from_indices(UNIVERSE, b.iter().copied());
+        let got: Vec<usize> = (&sa - &sb).iter().collect();
+        let want: Vec<usize> = model(&a).difference(&model(&b)).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn xor_matches_model(a in idx_vec(), b in idx_vec()) {
+        let sa = BitSet::from_indices(UNIVERSE, a.iter().copied());
+        let sb = BitSet::from_indices(UNIVERSE, b.iter().copied());
+        let got: Vec<usize> = (&sa ^ &sb).iter().collect();
+        let want: Vec<usize> =
+            model(&a).symmetric_difference(&model(&b)).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn count_matches_model(a in idx_vec()) {
+        let sa = BitSet::from_indices(UNIVERSE, a.iter().copied());
+        prop_assert_eq!(sa.count(), model(&a).len());
+    }
+
+    #[test]
+    fn iter_is_sorted_and_deduped(a in idx_vec()) {
+        let sa = BitSet::from_indices(UNIVERSE, a.iter().copied());
+        let got: Vec<usize> = sa.iter().collect();
+        let mut want: Vec<usize> = model(&a).into_iter().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn subset_iff_union_is_superset(a in idx_vec(), b in idx_vec()) {
+        let sa = BitSet::from_indices(UNIVERSE, a.iter().copied());
+        let sb = BitSet::from_indices(UNIVERSE, b.iter().copied());
+        let u = &sa | &sb;
+        prop_assert!(sa.is_subset(&u));
+        prop_assert!(sb.is_subset(&u));
+        prop_assert_eq!(sa.is_subset(&sb), u == sb);
+    }
+
+    #[test]
+    fn union_with_is_idempotent(a in idx_vec(), b in idx_vec()) {
+        let mut sa = BitSet::from_indices(UNIVERSE, a.iter().copied());
+        let sb = BitSet::from_indices(UNIVERSE, b.iter().copied());
+        sa.union_with(&sb);
+        let snapshot = sa.clone();
+        let changed = sa.union_with(&sb);
+        prop_assert!(!changed);
+        prop_assert_eq!(sa, snapshot);
+    }
+
+    #[test]
+    fn matrix_rows_behave_like_independent_sets(
+        rows in prop::collection::vec(idx_vec(), 1..6),
+    ) {
+        let mut m = BitMatrix::new(rows.len(), UNIVERSE);
+        for (r, idxs) in rows.iter().enumerate() {
+            for &i in idxs {
+                m.set(r, i);
+            }
+        }
+        for (r, idxs) in rows.iter().enumerate() {
+            let got: Vec<usize> = m.iter_row(r).collect();
+            let want: Vec<usize> = model(idxs).into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn matrix_union_rows_matches_bitset_union(a in idx_vec(), b in idx_vec()) {
+        let mut m = BitMatrix::new(2, UNIVERSE);
+        for &i in &a { m.set(0, i); }
+        for &i in &b { m.set(1, i); }
+        m.union_rows(0, 1);
+        let sa = BitSet::from_indices(UNIVERSE, a.iter().copied());
+        let sb = BitSet::from_indices(UNIVERSE, b.iter().copied());
+        prop_assert_eq!(m.row_to_bitset(0), &sa | &sb);
+    }
+}

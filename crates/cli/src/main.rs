@@ -1,0 +1,12 @@
+//! `lalrgen` — command-line front end; see `lalr_cli` for the commands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match lalr_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("lalrgen: {e}");
+            std::process::exit(e.code);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! End-to-end tests of the `lalrgen` binary itself (argument handling,
+//! exit codes, stdout/stderr split).
+
+use std::process::Command;
+
+fn lalrgen(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_lalrgen"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = lalrgen(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
+}
+
+#[test]
+fn unknown_command_exits_two() {
+    let out = lalrgen(&["bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn classify_corpus_grammar_on_stdout() {
+    let out = lalrgen(&["classify", "ada_subset"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("LALR(1)"), "{stdout}");
+    assert!(out.stderr.is_empty());
+}
+
+#[test]
+fn parse_rejection_exits_nonzero() {
+    let out = lalrgen(&["parse", "expr", "1 +", "--number", "NUM"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("rejected"));
+}
+
+#[test]
+fn codegen_emits_compilable_looking_source() {
+    let out = lalrgen(&["codegen", "json", "json_parser"]);
+    assert!(out.status.success());
+    let src = String::from_utf8_lossy(&out.stdout);
+    assert!(src.contains("@generated"));
+    assert!(src.contains("json_parser"));
+    assert!(src.contains("pub fn parse"));
+}
+
+#[test]
+fn grammar_file_workflow() {
+    let dir = std::env::temp_dir().join("lalrgen_bin_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ab.g");
+    std::fs::write(&path, "s : \"a\" s \"b\" | ;").unwrap();
+    let p = path.to_str().unwrap();
+
+    let out = lalrgen(&["analyze", p]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = lalrgen(&["parse", p, "a a b b"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("accepted"));
+
+    let out = lalrgen(&["parse", p, "a b b"]);
+    assert_eq!(out.status.code(), Some(1));
+}

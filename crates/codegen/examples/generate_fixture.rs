@@ -1,0 +1,21 @@
+//! Regenerates the golden fixture used by the `generated_parser` test.
+//!
+//! ```text
+//! cargo run -p lalr-codegen --example generate_fixture
+//! ```
+
+use lalr_automata::Lr0Automaton;
+use lalr_codegen::generate_module;
+use lalr_core::LalrAnalysis;
+use lalr_tables::{build_table, TableOptions};
+
+fn main() {
+    let grammar = lalr_corpus::by_name("expr").expect("corpus has expr").grammar();
+    let lr0 = Lr0Automaton::build(&grammar);
+    let la = LalrAnalysis::compute(&grammar, &lr0).into_lookaheads();
+    let table = build_table(&grammar, &lr0, &la, TableOptions::default());
+    let source = generate_module(&table, "expr_parser");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/expr_parser.rs");
+    std::fs::write(path, &source).expect("write fixture");
+    println!("wrote {path} ({} bytes)", source.len());
+}

@@ -1,0 +1,52 @@
+//! The generated modules must compile standalone. This test shells out to
+//! `rustc` (metadata-only build); it is skipped when no `rustc` is on PATH.
+
+use std::process::Command;
+
+use lalr_automata::Lr0Automaton;
+use lalr_codegen::generate_module;
+use lalr_core::LalrAnalysis;
+use lalr_tables::{build_table, TableOptions};
+
+fn rustc_available() -> bool {
+    Command::new("rustc")
+        .arg("--version")
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false)
+}
+
+#[test]
+fn generated_modules_compile_standalone() {
+    if !rustc_available() {
+        eprintln!("skipping: rustc not found on PATH");
+        return;
+    }
+    let dir = std::env::temp_dir().join("lalr_codegen_compile_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    for name in ["expr", "json", "lalr_not_slr", "nqlalr_witness"] {
+        let grammar = lalr_corpus::by_name(name).expect("corpus entry").grammar();
+        let lr0 = Lr0Automaton::build(&grammar);
+        let la = LalrAnalysis::compute(&grammar, &lr0).into_lookaheads();
+        let table = build_table(&grammar, &lr0, &la, TableOptions::default());
+        let source = format!(
+            "#![forbid(unsafe_code)]\n#![deny(warnings)]\n{}",
+            generate_module(&table, name)
+        );
+
+        let src_path = dir.join(format!("{name}.rs"));
+        std::fs::write(&src_path, &source).expect("write source");
+        let out = Command::new("rustc")
+            .args(["--edition=2021", "--crate-type=lib", "--emit=metadata", "-o"])
+            .arg(dir.join(format!("lib{name}.rmeta")))
+            .arg(&src_path)
+            .output()
+            .expect("run rustc");
+        assert!(
+            out.status.success(),
+            "{name} failed to compile:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Golden-file test: the generated expression parser is checked in as a
+//! fixture, compiled into this test binary via `include!`, and driven
+//! against the interpretive runtime as an oracle.
+//!
+//! Regenerate the fixture after codegen changes with:
+//!
+//! ```text
+//! LALR_REGEN=1 cargo test -p lalr-codegen --test generated_parser
+//! ```
+
+use lalr_automata::Lr0Automaton;
+use lalr_codegen::generate_module;
+use lalr_core::LalrAnalysis;
+use lalr_grammar::Grammar;
+use lalr_tables::{build_table, ParseTable, TableOptions};
+
+/// The compiled-in generated parser.
+#[allow(dead_code)]
+mod expr_parser {
+    include!("fixtures/expr_parser.rs");
+}
+
+fn expr_grammar() -> Grammar {
+    lalr_corpus::by_name("expr").expect("corpus has expr").grammar()
+}
+
+fn expr_table(grammar: &Grammar) -> ParseTable {
+    let lr0 = Lr0Automaton::build(grammar);
+    let la = LalrAnalysis::compute(grammar, &lr0).into_lookaheads();
+    build_table(grammar, &lr0, &la, TableOptions::default())
+}
+
+#[test]
+fn fixture_is_up_to_date() {
+    let grammar = expr_grammar();
+    let generated = generate_module(&expr_table(&grammar), "expr_parser");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/expr_parser.rs");
+    if std::env::var_os("LALR_REGEN").is_some() {
+        std::fs::write(path, &generated).expect("write fixture");
+    }
+    let on_disk = std::fs::read_to_string(path).expect(
+        "fixture missing — run with LALR_REGEN=1 to create tests/fixtures/expr_parser.rs",
+    );
+    assert_eq!(
+        on_disk, generated,
+        "fixture out of date — rerun with LALR_REGEN=1"
+    );
+}
+
+/// Encodes a space-separated sentence of the expr grammar into terminal
+/// indices using the generated module's own name table.
+fn encode(sentence: &str) -> Vec<u32> {
+    sentence
+        .split_whitespace()
+        .map(|w| {
+            let name = if w.chars().all(|c| c.is_ascii_digit()) {
+                "NUM"
+            } else {
+                w
+            };
+            expr_parser::terminal_index(name).unwrap_or_else(|| panic!("unknown terminal {w}"))
+        })
+        .collect()
+}
+
+#[test]
+fn generated_parser_accepts_valid_expressions() {
+    for ok in ["1", "1 + 2", "1 + 2 * 3", "( 1 + 2 ) * 3", "( ( 1 ) )"] {
+        assert!(expr_parser::accepts(&encode(ok)), "{ok}");
+    }
+}
+
+#[test]
+fn generated_parser_rejects_invalid_expressions() {
+    for bad in ["", "+", "1 +", "1 2", "( 1", "1 )", "* 1"] {
+        assert!(!expr_parser::accepts(&encode(bad)), "{bad}");
+    }
+}
+
+#[test]
+fn generated_parser_reports_error_positions() {
+    let err = expr_parser::parse(&encode("1 + + 2")).unwrap_err();
+    assert_eq!(err.position, 2, "the second '+' is the offender");
+    let err = expr_parser::parse(&encode("1 +")).unwrap_err();
+    assert_eq!(err.position, 2, "end of input");
+}
+
+#[test]
+fn generated_parser_agrees_with_runtime_on_generated_sentences() {
+    let grammar = expr_grammar();
+    let table = expr_table(&grammar);
+    let runtime = lalr_runtime::Parser::new(&table);
+    for (i, sentence) in lalr_corpus::sentences::generate_many(&grammar, 99, 60, 30)
+        .into_iter()
+        .enumerate()
+    {
+        let indices: Vec<u32> = sentence.iter().map(|t| t.index() as u32).collect();
+        let tokens: Vec<lalr_runtime::Token> = sentence
+            .iter()
+            .enumerate()
+            .map(|(k, &t)| lalr_runtime::Token::new(t.index() as u32, grammar.terminal_name(t), k))
+            .collect();
+        let gen_ok = expr_parser::accepts(&indices);
+        let rt_ok = runtime.parse(tokens).is_ok();
+        assert_eq!(gen_ok, rt_ok, "sentence #{i} disagreement");
+        assert!(gen_ok, "sampled sentences are in the language");
+    }
+}
+
+/// A postfix evaluator driven purely by the generated visitor hooks —
+/// semantic actions without any runtime dependency.
+struct Eval<'a> {
+    tokens: &'a [&'a str],
+    stack: Vec<f64>,
+}
+
+impl expr_parser::Visitor for Eval<'_> {
+    fn shift(&mut self, terminal: u32, position: usize) {
+        if expr_parser::TERMINAL_NAMES[terminal as usize] == "NUM" {
+            self.stack
+                .push(self.tokens[position].parse().expect("numeric token"));
+        }
+    }
+
+    fn reduce(&mut self, production: u32) {
+        match expr_parser::PRODUCTION_DISPLAY[production as usize] {
+            "expr -> expr + term" => {
+                let b = self.stack.pop().unwrap();
+                let a = self.stack.pop().unwrap();
+                self.stack.push(a + b);
+            }
+            "term -> term * factor" => {
+                let b = self.stack.pop().unwrap();
+                let a = self.stack.pop().unwrap();
+                self.stack.push(a * b);
+            }
+            _ => {} // unit and paren productions pass the value through
+        }
+    }
+}
+
+#[test]
+fn visitor_hooks_evaluate_expressions() {
+    for (input, expected) in [
+        ("7", 7.0),
+        ("1 + 2", 3.0),
+        ("2 * 3 + 4", 10.0),
+        ("2 * ( 3 + 4 )", 14.0),
+        ("1 + 2 * 3 + 4 * 5", 27.0),
+    ] {
+        let tokens: Vec<&str> = input.split_whitespace().collect();
+        let indices = encode(input);
+        let mut eval = Eval {
+            tokens: &tokens,
+            stack: Vec::new(),
+        };
+        expr_parser::parse_with(&indices, &mut eval).expect("valid expression");
+        assert_eq!(eval.stack, vec![expected], "{input}");
+    }
+}
+
+#[test]
+fn generated_stats_count_shifts_and_reductions() {
+    let stats = expr_parser::parse(&encode("1 + 2")).unwrap();
+    assert_eq!(stats.shifts, 3);
+    // 1→factor→term→expr(3), 2→factor→term(2)... plus e→e+t: exactly 6.
+    assert_eq!(stats.reductions, 6);
+}

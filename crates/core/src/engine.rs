@@ -1,0 +1,241 @@
+//! The full DeRemer–Pennello pipeline.
+
+use lalr_automata::{Lr0Automaton, NtTransId};
+use lalr_bitset::{BitMatrix, BitSet};
+use lalr_digraph::{digraph, DigraphStats};
+use lalr_grammar::Grammar;
+
+use crate::conflicts::{find_conflicts, Conflict};
+use crate::lookahead::LookaheadSets;
+use crate::relations::{RelationStats, Relations};
+
+/// The result of running the paper's algorithm: `Read`, `Follow` and `LA`
+/// sets, plus the structural statistics the evaluation reports.
+///
+/// # Examples
+///
+/// ```
+/// use lalr_automata::Lr0Automaton;
+/// use lalr_core::LalrAnalysis;
+/// use lalr_grammar::parse_grammar;
+///
+/// let g = parse_grammar(
+///     "e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;",
+/// )?;
+/// let lr0 = Lr0Automaton::build(&g);
+/// let lalr = LalrAnalysis::compute(&g, &lr0);
+/// assert!(!lalr.grammar_not_lr_k()); // `reads` is acyclic here
+/// assert!(lalr.conflicts(&g, &lr0).is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LalrAnalysis {
+    read: BitMatrix,
+    follow: BitMatrix,
+    la: LookaheadSets,
+    relation_stats: RelationStats,
+    reads_traversal: DigraphStats,
+    includes_traversal: DigraphStats,
+}
+
+impl LalrAnalysis {
+    /// Runs the complete computation: relations → `Read` → `Follow` → `LA`.
+    pub fn compute(grammar: &Grammar, lr0: &Lr0Automaton) -> LalrAnalysis {
+        let relations = Relations::build(grammar, lr0);
+        LalrAnalysis::from_relations(grammar, lr0, &relations)
+    }
+
+    /// Runs the Digraph phases over prebuilt relations (lets benchmarks
+    /// time the phases separately).
+    pub fn from_relations(
+        grammar: &Grammar,
+        lr0: &Lr0Automaton,
+        relations: &Relations,
+    ) -> LalrAnalysis {
+        // Phase 1: Read = Digraph(reads, DR).
+        let mut read = relations.dr().clone();
+        let reads_traversal = digraph(relations.reads(), &mut read);
+
+        // Phase 2: Follow = Digraph(includes, Read).
+        let mut follow = read.clone();
+        let includes_traversal = digraph(relations.includes(), &mut follow);
+
+        // Phase 3: LA(q, A→ω) = ⋃ Follow(p, A) over lookback.
+        let mut la = LookaheadSets::new(grammar.terminal_count());
+        for (&(state, prod), transitions) in relations.lookback_entries() {
+            la.touch(state, prod);
+            for &t in transitions {
+                la.union_into(state, prod, &follow_row(&follow, t, grammar));
+            }
+        }
+        // The augmented production has no lookback (no transition ever reads
+        // `<start>`); its "reduction" is the accept action on $.
+        la.insert(
+            lr0.accept_state(grammar),
+            lalr_grammar::ProdId::START,
+            lalr_grammar::Terminal::EOF,
+        );
+
+        LalrAnalysis {
+            read,
+            follow,
+            la,
+            relation_stats: relations.stats(),
+            reads_traversal,
+            includes_traversal,
+        }
+    }
+
+    /// The LALR(1) look-ahead sets.
+    pub fn lookaheads(&self) -> &LookaheadSets {
+        &self.la
+    }
+
+    /// Consumes the analysis, returning the look-ahead sets.
+    pub fn into_lookaheads(self) -> LookaheadSets {
+        self.la
+    }
+
+    /// `Read(p, A)` for a nonterminal transition.
+    pub fn read_set(&self, t: NtTransId) -> BitSet {
+        self.read.row_to_bitset(t.index())
+    }
+
+    /// `Follow(p, A)` for a nonterminal transition.
+    pub fn follow_set(&self, t: NtTransId) -> BitSet {
+        self.follow.row_to_bitset(t.index())
+    }
+
+    /// Statistics of the relations (Table 1 columns).
+    pub fn relation_stats(&self) -> &RelationStats {
+        &self.relation_stats
+    }
+
+    /// Digraph statistics of the `reads` pass.
+    pub fn reads_traversal(&self) -> &DigraphStats {
+        &self.reads_traversal
+    }
+
+    /// Digraph statistics of the `includes` pass.
+    pub fn includes_traversal(&self) -> &DigraphStats {
+        &self.includes_traversal
+    }
+
+    /// The paper's Theorem: a nontrivial cycle in `reads` proves the
+    /// grammar is not LR(k) for any k.
+    pub fn grammar_not_lr_k(&self) -> bool {
+        self.reads_traversal.has_cycle()
+    }
+
+    /// Raw (unresolved) parse-table conflicts under these look-aheads.
+    pub fn conflicts(&self, grammar: &Grammar, lr0: &Lr0Automaton) -> Vec<Conflict> {
+        find_conflicts(grammar, lr0, &self.la)
+    }
+}
+
+fn follow_row(follow: &BitMatrix, t: NtTransId, grammar: &Grammar) -> BitSet {
+    let row = follow.row_to_bitset(t.index());
+    debug_assert_eq!(row.len(), grammar.terminal_count());
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lalr_automata::StateId;
+    use lalr_grammar::{parse_grammar, ProdId, Symbol, Terminal};
+
+    fn names(g: &Grammar, set: &BitSet) -> Vec<String> {
+        set.iter()
+            .map(|i| g.terminal_name(Terminal::new(i)).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn dragon_expression_lookaheads() {
+        let g = parse_grammar(
+            "e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;",
+        )
+        .unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let a = LalrAnalysis::compute(&g, &lr0);
+
+        // State reached by "id" reduces f → id with LA = FOLLOW(f) here
+        // = {$, +, *, )}.
+        let id = g.terminal_by_name("id").unwrap();
+        let q = lr0.transition(StateId::START, id.into()).unwrap();
+        let f = g.nonterminal_by_name("f").unwrap();
+        let f_id = g.productions_of(f)[1];
+        let la = a.lookaheads().la(q, f_id).unwrap();
+        assert_eq!(names(&g, la), vec!["$", "+", "*", ")"]);
+    }
+
+    #[test]
+    fn lalr_but_not_slr_grammar_is_conflict_free() {
+        // The classic LALR-not-SLR grammar (dragon book 4.48-style):
+        // S → L = R | R ;  L → * R | id ;  R → L
+        let g = parse_grammar(
+            "s : l \"=\" r | r ; l : \"*\" r | \"id\" ; r : l ;",
+        )
+        .unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let a = LalrAnalysis::compute(&g, &lr0);
+        assert!(a.conflicts(&g, &lr0).is_empty(), "LALR(1) must resolve this");
+
+        // The telltale state: after `l`, reduce r → l must NOT carry "=".
+        let l = g.nonterminal_by_name("l").unwrap();
+        let r = g.nonterminal_by_name("r").unwrap();
+        let q = lr0
+            .transition(StateId::START, Symbol::NonTerminal(l))
+            .unwrap();
+        let r_l = g.productions_of(r)[0];
+        let la = a.lookaheads().la(q, r_l).unwrap();
+        assert_eq!(names(&g, la), vec!["$"], "SLR would wrongly include '='");
+    }
+
+    #[test]
+    fn accept_reduction_has_eof() {
+        let g = parse_grammar("s : \"a\" ;").unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let a = LalrAnalysis::compute(&g, &lr0);
+        let acc = lr0.accept_state(&g);
+        let la = a.lookaheads().la(acc, ProdId::START).unwrap();
+        assert_eq!(names(&g, la), vec!["$"]);
+    }
+
+    #[test]
+    fn reads_cycle_flags_non_lr_k() {
+        // From the paper: a grammar whose `reads` relation is cyclic is not
+        // LR(k) for any k. Classic witness: S → A x, A → B C nullable chain
+        // cycling: here B and C both nullable with transitions following
+        // each other cyclically requires an ambiguous-ish grammar:
+        //   s : a "x" ; a : b c | ; b : c a | ; c : a b | ;
+        let g = parse_grammar(
+            "s : a \"x\" ; a : b c | ; b : c a | ; c : a b | ;",
+        )
+        .unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let a = LalrAnalysis::compute(&g, &lr0);
+        assert!(a.grammar_not_lr_k());
+    }
+
+    #[test]
+    fn acyclic_reads_on_plain_grammar() {
+        let g = parse_grammar("s : \"a\" s | \"b\" ;").unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let a = LalrAnalysis::compute(&g, &lr0);
+        assert!(!a.grammar_not_lr_k());
+        assert_eq!(a.reads_traversal().cyclic_nodes, 0);
+    }
+
+    #[test]
+    fn follow_sets_contain_read_sets() {
+        let g = parse_grammar("s : a b ; a : \"x\" | ; b : \"y\" | ;").unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let a = LalrAnalysis::compute(&g, &lr0);
+        for i in 0..lr0.nt_transitions().len() {
+            let id = lalr_automata::NtTransId::new(i);
+            assert!(a.read_set(id).is_subset(&a.follow_set(id)));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The common output type of every look-ahead method.
+
+use std::collections::HashMap;
+
+use lalr_automata::{MergedLalr, StateId};
+use lalr_bitset::BitSet;
+use lalr_grammar::{ProdId, Terminal};
+
+/// Look-ahead sets for every reduction point `(state, production)`.
+///
+/// All five methods in this suite (DeRemer–Pennello, SLR(1), NQLALR(1),
+/// yacc-style propagation, canonical-LR(1)-merge) produce this type, so
+/// conflict detection, classification and cross-validation are method
+/// agnostic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LookaheadSets {
+    map: HashMap<(StateId, ProdId), BitSet>,
+    terminals: usize,
+}
+
+impl LookaheadSets {
+    /// Creates an empty collection over an alphabet of `terminals`.
+    pub fn new(terminals: usize) -> LookaheadSets {
+        LookaheadSets {
+            map: HashMap::new(),
+            terminals,
+        }
+    }
+
+    /// Size of the terminal alphabet (universe of each set).
+    pub fn terminal_count(&self) -> usize {
+        self.terminals
+    }
+
+    /// The look-ahead set for reducing `prod` in `state`, if recorded.
+    pub fn la(&self, state: StateId, prod: ProdId) -> Option<&BitSet> {
+        self.map.get(&(state, prod))
+    }
+
+    /// Unions `set` into the entry for `(state, prod)`, creating it if
+    /// needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set`'s universe differs from the alphabet size.
+    pub fn union_into(&mut self, state: StateId, prod: ProdId, set: &BitSet) {
+        assert_eq!(set.len(), self.terminals, "alphabet mismatch");
+        self.map
+            .entry((state, prod))
+            .and_modify(|acc| {
+                acc.union_with(set);
+            })
+            .or_insert_with(|| set.clone());
+    }
+
+    /// Inserts a single terminal into the entry for `(state, prod)`.
+    pub fn insert(&mut self, state: StateId, prod: ProdId, t: Terminal) {
+        self.map
+            .entry((state, prod))
+            .or_insert_with(|| BitSet::new(self.terminals))
+            .insert(t.index());
+    }
+
+    /// Ensures an (empty) entry exists for `(state, prod)`.
+    pub fn touch(&mut self, state: StateId, prod: ProdId) {
+        self.map
+            .entry((state, prod))
+            .or_insert_with(|| BitSet::new(self.terminals));
+    }
+
+    /// Number of reduction points recorded.
+    pub fn reduction_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates over `((state, production), la)` entries in unspecified
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(StateId, ProdId), &BitSet)> {
+        self.map.iter()
+    }
+
+    /// Sum of all set cardinalities (a size measure used by the evaluation).
+    pub fn total_bits(&self) -> usize {
+        self.map.values().map(BitSet::count).sum()
+    }
+
+    /// `true` when every entry of `self` equals the corresponding entry of
+    /// `other` and vice versa (order-independent equality is already given
+    /// by `==`; this exists for readable assertion messages).
+    pub fn agrees_with(&self, other: &LookaheadSets) -> bool {
+        self == other
+    }
+}
+
+impl From<&MergedLalr> for LookaheadSets {
+    fn from(merged: &MergedLalr) -> LookaheadSets {
+        let mut terminals = 0;
+        let mut map = HashMap::new();
+        for (&key, set) in merged.iter() {
+            terminals = terminals.max(set.len());
+            map.insert(key, set.clone());
+        }
+        LookaheadSets { map, terminals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_lookup() {
+        let mut las = LookaheadSets::new(8);
+        let key = (StateId::new(3), ProdId::new(2));
+        las.insert(key.0, key.1, Terminal::new(1));
+        las.union_into(key.0, key.1, &BitSet::from_indices(8, [4, 5]));
+        let set = las.la(key.0, key.1).unwrap();
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![1, 4, 5]);
+        assert_eq!(las.reduction_count(), 1);
+        assert_eq!(las.total_bits(), 3);
+        assert!(las.la(StateId::new(0), ProdId::new(0)).is_none());
+    }
+
+    #[test]
+    fn touch_creates_empty_entry() {
+        let mut las = LookaheadSets::new(4);
+        las.touch(StateId::new(0), ProdId::new(1));
+        assert!(las.la(StateId::new(0), ProdId::new(1)).unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet mismatch")]
+    fn union_checks_universe() {
+        let mut las = LookaheadSets::new(4);
+        las.union_into(StateId::new(0), ProdId::new(0), &BitSet::new(5));
+    }
+
+    #[test]
+    fn equality_is_order_independent() {
+        let mut a = LookaheadSets::new(4);
+        let mut b = LookaheadSets::new(4);
+        a.insert(StateId::new(0), ProdId::new(0), Terminal::new(1));
+        a.insert(StateId::new(1), ProdId::new(1), Terminal::new(2));
+        b.insert(StateId::new(1), ProdId::new(1), Terminal::new(2));
+        b.insert(StateId::new(0), ProdId::new(0), Terminal::new(1));
+        assert!(a.agrees_with(&b));
+    }
+}

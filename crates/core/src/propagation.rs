@@ -1,0 +1,192 @@
+//! Yacc-style LALR(1) look-aheads by spontaneous generation and
+//! propagation.
+//!
+//! This is the pre-DeRemer–Pennello technique (Aho–Sethi–Ullman
+//! Algorithm 4.63, what YACC's generation did): for each LR(0) kernel item,
+//! compute the LR(1) closure with a *dummy* look-ahead `#`; concrete
+//! look-aheads found on GOTO successors are **spontaneous**, while `#`
+//! marks kernel-to-kernel **propagation** links. The links are then
+//! iterated to a fixpoint. It yields the same sets as the paper's
+//! algorithm (the integration tests assert this) but repeats closure work
+//! per kernel item and iterates, which is exactly the inefficiency the
+//! paper removes — this module is the timing baseline of experiment **E2**.
+
+use std::collections::HashMap;
+
+use lalr_automata::{closure1, Item, Lr0Automaton, StateId};
+use lalr_bitset::BitSet;
+use lalr_grammar::analysis::{nullable, FirstSets};
+use lalr_grammar::{Grammar, ProdId, Terminal};
+
+use crate::lookahead::LookaheadSets;
+
+/// Computes LALR(1) look-ahead sets via spontaneous generation and
+/// propagation over LR(0) kernel items.
+///
+/// # Examples
+///
+/// ```
+/// use lalr_automata::Lr0Automaton;
+/// use lalr_core::{propagation_lookaheads, LalrAnalysis};
+/// use lalr_grammar::parse_grammar;
+///
+/// let g = parse_grammar("e : e \"+\" t | t ; t : \"x\" ;")?;
+/// let lr0 = Lr0Automaton::build(&g);
+/// let yacc_style = propagation_lookaheads(&g, &lr0);
+/// let dp = LalrAnalysis::compute(&g, &lr0).into_lookaheads();
+/// assert!(yacc_style.agrees_with(&dp));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn propagation_lookaheads(grammar: &Grammar, lr0: &Lr0Automaton) -> LookaheadSets {
+    let nullable_set = nullable(grammar);
+    let first = FirstSets::compute(grammar, &nullable_set);
+    // The dummy "#" terminal gets one extra column past the real alphabet.
+    let n_real = grammar.terminal_count();
+    let n_cols = n_real + 1;
+    let dummy = n_real;
+
+    // Enumerate kernel items: (state, item) → dense index.
+    let mut kernel_idx: HashMap<(StateId, Item), usize> = HashMap::new();
+    let mut kernels: Vec<(StateId, Item)> = Vec::new();
+    for state in lr0.states() {
+        for &item in lr0.kernel(state).items() {
+            kernel_idx.insert((state, item), kernels.len());
+            kernels.push((state, item));
+        }
+    }
+
+    // Look-ahead set per kernel item (over the real alphabet).
+    let mut la: Vec<BitSet> = vec![BitSet::new(n_real); kernels.len()];
+    // Propagation links between kernel items.
+    let mut links: Vec<Vec<usize>> = vec![Vec::new(); kernels.len()];
+
+    // The start kernel item spontaneously receives $.
+    let start_item = Item::start_of(ProdId::START);
+    la[kernel_idx[&(StateId::START, start_item)]].insert(Terminal::EOF.index());
+
+    // Discover spontaneous look-aheads and propagation links by closing
+    // each kernel item with the dummy look-ahead.
+    for (k, &(state, item)) in kernels.iter().enumerate() {
+        let mut seed = BitSet::new(n_cols);
+        seed.insert(dummy);
+        let closed = closure1(grammar, &first, &[(item, seed)], n_cols);
+        for (cit, cla) in &closed {
+            let Some(sym) = cit.next_symbol(grammar) else {
+                continue;
+            };
+            let target = lr0
+                .transition(state, sym)
+                .expect("closure item's transition exists");
+            let tk = kernel_idx[&(target, cit.advanced())];
+            for col in cla.iter() {
+                if col == dummy {
+                    links[k].push(tk);
+                } else {
+                    la[tk].insert(col);
+                }
+            }
+        }
+    }
+
+    // Iterate propagation to a fixpoint.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for k in 0..kernels.len() {
+            if la[k].is_empty() {
+                continue;
+            }
+            let src = la[k].clone();
+            for &t in &links[k] {
+                changed |= la[t].union_with(&src);
+            }
+        }
+    }
+
+    // Reductions of kernel items directly; reductions of non-kernel ε-items
+    // via one more closure pass per state with the converged kernel LAs.
+    let mut out = LookaheadSets::new(n_real);
+    for state in lr0.states() {
+        let kernel_with_la: Vec<(Item, BitSet)> = lr0
+            .kernel(state)
+            .items()
+            .iter()
+            .map(|&item| {
+                let mut set = BitSet::new(n_cols);
+                for b in la[kernel_idx[&(state, item)]].iter() {
+                    set.insert(b);
+                }
+                (item, set)
+            })
+            .collect();
+        let closed = closure1(grammar, &first, &kernel_with_la, n_cols);
+        for (cit, cla) in &closed {
+            if cit.is_final(grammar) {
+                let mut real = BitSet::new(n_real);
+                for col in cla.iter() {
+                    if col != dummy {
+                        real.insert(col);
+                    }
+                }
+                out.union_into(state, cit.production(), &real);
+            }
+        }
+    }
+    // Reductions never reached with any look-ahead still need an entry.
+    for state in lr0.states() {
+        for &prod in lr0.reductions(state) {
+            out.touch(state, prod);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::LalrAnalysis;
+    use lalr_grammar::parse_grammar;
+
+    fn agree(src: &str) {
+        let g = parse_grammar(src).unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let prop = propagation_lookaheads(&g, &lr0);
+        let dp = LalrAnalysis::compute(&g, &lr0).into_lookaheads();
+        assert_eq!(prop, dp, "methods disagree on {src}");
+    }
+
+    #[test]
+    fn agrees_with_dp_on_simple_grammars() {
+        agree("s : \"a\" ;");
+        agree("s : \"a\" s | \"b\" ;");
+        agree("e : e \"+\" t | t ; t : \"x\" ;");
+    }
+
+    #[test]
+    fn agrees_with_dp_on_nullable_heavy_grammar() {
+        agree("s : a b c ; a : \"x\" | ; b : \"y\" | ; c : \"z\" | ;");
+    }
+
+    #[test]
+    fn agrees_with_dp_on_lalr_not_slr() {
+        agree("s : l \"=\" r | r ; l : \"*\" r | \"id\" ; r : l ;");
+    }
+
+    #[test]
+    fn agrees_with_dp_on_dragon_expression() {
+        agree("e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;");
+    }
+
+    #[test]
+    fn epsilon_reductions_get_lookaheads() {
+        let g = parse_grammar("s : a \"x\" ; a : ;").unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let prop = propagation_lookaheads(&g, &lr0);
+        let a = g.nonterminal_by_name("a").unwrap();
+        let eps = g.productions_of(a)[0];
+        let la = prop.la(StateId::START, eps).unwrap();
+        let x = g.terminal_by_name("x").unwrap();
+        assert!(la.contains(x.index()));
+        assert_eq!(la.count(), 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Selective (on-demand) look-ahead computation.
+//!
+//! The paper observes that look-ahead sets are needed only in *inadequate*
+//! LR(0) states — states where LR(0) alone cannot pick an action (a
+//! reduction coexists with a shift or with another reduction). In a typical
+//! programming-language grammar most states are adequate, so restricting
+//! the two Digraph traversals to the relation nodes actually looked back to
+//! from inadequate states skips most of the work. [`selective_lookaheads`]
+//! implements that restriction; ablation benchmark **E8** measures the
+//! saving.
+
+use lalr_automata::{Lr0Automaton, StateId};
+use lalr_digraph::digraph_from;
+use lalr_grammar::{Grammar, ProdId, Terminal};
+
+use crate::lookahead::LookaheadSets;
+use crate::relations::Relations;
+
+/// The outcome of a selective run: the look-ahead sets (covering exactly
+/// the inadequate states' reductions plus accept) and work statistics.
+#[derive(Debug, Clone)]
+pub struct SelectiveAnalysis {
+    la: LookaheadSets,
+    inadequate_states: Vec<StateId>,
+    /// Relation nodes the restricted traversals actually visited.
+    pub visited_transitions: usize,
+    /// Total relation nodes (what the full algorithm visits).
+    pub total_transitions: usize,
+}
+
+impl SelectiveAnalysis {
+    /// The look-ahead sets (only for reductions in inadequate states, plus
+    /// the accept entry).
+    pub fn lookaheads(&self) -> &LookaheadSets {
+        &self.la
+    }
+
+    /// Consumes the analysis, returning the look-ahead sets.
+    pub fn into_lookaheads(self) -> LookaheadSets {
+        self.la
+    }
+
+    /// The states that needed look-ahead.
+    pub fn inadequate_states(&self) -> &[StateId] {
+        &self.inadequate_states
+    }
+
+    /// Fraction of relation nodes skipped (0.0 when everything was needed).
+    pub fn skipped_fraction(&self) -> f64 {
+        if self.total_transitions == 0 {
+            return 0.0;
+        }
+        1.0 - self.visited_transitions as f64 / self.total_transitions as f64
+    }
+}
+
+/// The inadequate states of an automaton: a reduction coexists with a
+/// terminal shift or with a second reduction.
+pub fn inadequate_states(lr0: &Lr0Automaton) -> Vec<StateId> {
+    lr0.states()
+        .filter(|&s| {
+            let nreds = lr0.reductions(s).len();
+            nreds >= 2 || (nreds == 1 && lr0.shift_symbols(s).next().is_some())
+        })
+        .collect()
+}
+
+/// Computes LALR(1) look-aheads only where LR(0) is inadequate.
+///
+/// # Examples
+///
+/// ```
+/// use lalr_automata::Lr0Automaton;
+/// use lalr_core::{selective_lookaheads, LalrAnalysis};
+/// use lalr_grammar::parse_grammar;
+///
+/// let g = parse_grammar(
+///     "e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;",
+/// )?;
+/// let lr0 = Lr0Automaton::build(&g);
+/// let full = LalrAnalysis::compute(&g, &lr0).into_lookaheads();
+/// let sel = selective_lookaheads(&g, &lr0);
+/// for (&(state, prod), la) in sel.lookaheads().iter() {
+///     assert_eq!(full.la(state, prod), Some(la));
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn selective_lookaheads(grammar: &Grammar, lr0: &Lr0Automaton) -> SelectiveAnalysis {
+    let relations = Relations::build(grammar, lr0);
+    let inadequate = inadequate_states(lr0);
+    let n = lr0.nt_transitions().len();
+
+    // Roots: the transitions looked back to from inadequate reductions.
+    let mut is_root = vec![false; n];
+    for &state in &inadequate {
+        for &prod in lr0.reductions(state) {
+            for &t in relations.lookback(state, prod) {
+                is_root[t.index()] = true;
+            }
+        }
+    }
+
+    // Nodes reachable from the roots through `includes` — the domain whose
+    // `Read` sets the Follow traversal will consult.
+    let mut needed = is_root.clone();
+    let mut work: Vec<usize> = (0..n).filter(|&i| is_root[i]).collect();
+    let mut visited = work.len();
+    while let Some(u) = work.pop() {
+        for &v in relations.includes().successors(u) {
+            if !needed[v as usize] {
+                needed[v as usize] = true;
+                visited += 1;
+                work.push(v as usize);
+            }
+        }
+    }
+
+    // Phase 1 (restricted): Read over `reads`, from every needed node.
+    let mut read = relations.dr().clone();
+    digraph_from(
+        relations.reads(),
+        &mut read,
+        (0..n).filter(|&i| needed[i]),
+    );
+
+    // Phase 2 (restricted): Follow over `includes`, from the roots.
+    let mut follow = read;
+    digraph_from(
+        relations.includes(),
+        &mut follow,
+        (0..n).filter(|&i| is_root[i]),
+    );
+
+    // LA for exactly the inadequate reductions.
+    let mut la = LookaheadSets::new(grammar.terminal_count());
+    for &state in &inadequate {
+        for &prod in lr0.reductions(state) {
+            la.touch(state, prod);
+            for &t in relations.lookback(state, prod) {
+                la.union_into(state, prod, &follow.row_to_bitset(t.index()));
+            }
+        }
+    }
+    la.insert(lr0.accept_state(grammar), ProdId::START, Terminal::EOF);
+
+    SelectiveAnalysis {
+        la,
+        inadequate_states: inadequate,
+        visited_transitions: visited,
+        total_transitions: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::LalrAnalysis;
+    use lalr_grammar::parse_grammar;
+
+    fn agree_on_inadequate(src: &str) {
+        let g = parse_grammar(src).unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let full = LalrAnalysis::compute(&g, &lr0).into_lookaheads();
+        let sel = selective_lookaheads(&g, &lr0);
+        for (&(state, prod), la) in sel.lookaheads().iter() {
+            assert_eq!(
+                full.la(state, prod),
+                Some(la),
+                "state {} prod {} in {src}",
+                state.index(),
+                prod.index()
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_full_computation() {
+        agree_on_inadequate("e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;");
+        agree_on_inadequate("s : l \"=\" r | r ; l : \"*\" r | \"id\" ; r : l ;");
+        agree_on_inadequate("s : a b c ; a : \"x\" | ; b : \"y\" | ; c : \"z\" | ;");
+    }
+
+    #[test]
+    fn lr0_grammar_has_no_inadequate_states() {
+        let g = parse_grammar("s : \"a\" s \"b\" | \"c\" ;").unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let sel = selective_lookaheads(&g, &lr0);
+        assert!(sel.inadequate_states().is_empty());
+        // Only the synthetic accept entry exists.
+        assert_eq!(sel.lookaheads().reduction_count(), 1);
+        assert!(sel.skipped_fraction() > 0.0 || sel.total_transitions == 0);
+    }
+
+    #[test]
+    fn conflict_detection_matches_full_on_inadequate_states() {
+        // Conflicts can only occur in inadequate states, so running the
+        // detector on the selective sets finds the same conflicts.
+        let src = "e : e \"+\" e | \"x\" ;";
+        let g = parse_grammar(src).unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let full = LalrAnalysis::compute(&g, &lr0);
+        let sel = selective_lookaheads(&g, &lr0);
+        let full_conflicts = crate::conflicts::find_conflicts(&g, &lr0, full.lookaheads());
+        let sel_conflicts = crate::conflicts::find_conflicts(&g, &lr0, sel.lookaheads());
+        assert_eq!(full_conflicts, sel_conflicts);
+    }
+
+    #[test]
+    fn skips_work_on_realistic_shapes() {
+        // A grammar with many adequate states: the sweep is restricted.
+        let g = parse_grammar(
+            "s : \"k1\" a \"k2\" | \"k3\" b \"k4\" ; a : \"x\" \"y\" \"z\" ; b : \"p\" \"q\" | \"p\" \"r\" ;",
+        )
+        .unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let sel = selective_lookaheads(&g, &lr0);
+        assert!(
+            sel.visited_transitions <= sel.total_transitions,
+            "visited {} of {}",
+            sel.visited_transitions,
+            sel.total_transitions
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! SLR(1) look-aheads (the cheap grammar-global baseline).
+
+use lalr_automata::Lr0Automaton;
+use lalr_grammar::analysis::{nullable, FirstSets, FollowSets};
+use lalr_grammar::Grammar;
+
+use crate::lookahead::LookaheadSets;
+
+/// Computes SLR(1) "look-aheads": every reduction `(q, A → ω)` simply gets
+/// the grammar-global `FOLLOW(A)`.
+///
+/// This over-approximates LALR(1) — `FOLLOW(A)` merges the contexts of
+/// *every* occurrence of `A`, where LALR keeps them apart per automaton
+/// path — so SLR reports conflicts on some LALR(1) grammars (the paper's
+/// adequacy hierarchy, experiment **E3**).
+///
+/// # Examples
+///
+/// ```
+/// use lalr_automata::Lr0Automaton;
+/// use lalr_core::{find_conflicts, slr_lookaheads, LalrAnalysis};
+/// use lalr_grammar::parse_grammar;
+///
+/// // LALR(1) but not SLR(1).
+/// let g = parse_grammar("s : l \"=\" r | r ; l : \"*\" r | \"id\" ; r : l ;")?;
+/// let lr0 = Lr0Automaton::build(&g);
+/// let slr = slr_lookaheads(&g, &lr0);
+/// let lalr = LalrAnalysis::compute(&g, &lr0).into_lookaheads();
+/// assert!(!find_conflicts(&g, &lr0, &slr).is_empty());
+/// assert!(find_conflicts(&g, &lr0, &lalr).is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn slr_lookaheads(grammar: &Grammar, lr0: &Lr0Automaton) -> LookaheadSets {
+    let n = nullable(grammar);
+    let first = FirstSets::compute(grammar, &n);
+    let follow = FollowSets::compute(grammar, &first);
+
+    let mut las = LookaheadSets::new(grammar.terminal_count());
+    for state in lr0.states() {
+        for &prod in lr0.reductions(state) {
+            let lhs = grammar.production(prod).lhs();
+            las.union_into(state, prod, &follow.of(lhs));
+        }
+    }
+    las
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflicts::find_conflicts;
+    use crate::engine::LalrAnalysis;
+    use lalr_grammar::parse_grammar;
+
+    #[test]
+    fn slr_lookaheads_superset_of_lalr() {
+        let srcs = [
+            "s : \"a\" s | \"b\" ;",
+            "e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;",
+            "s : l \"=\" r | r ; l : \"*\" r | \"id\" ; r : l ;",
+            "s : a b ; a : \"x\" | ; b : \"y\" | ;",
+        ];
+        for src in srcs {
+            let g = parse_grammar(src).unwrap();
+            let lr0 = Lr0Automaton::build(&g);
+            let slr = slr_lookaheads(&g, &lr0);
+            let lalr = LalrAnalysis::compute(&g, &lr0).into_lookaheads();
+            for (&(state, prod), la) in lalr.iter() {
+                let slr_la = slr.la(state, prod).expect("SLR covers all reductions");
+                assert!(
+                    la.is_subset(slr_la),
+                    "LALR LA ⊆ SLR LA must hold at state {} in {src}",
+                    state.index()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slr_adequate_on_plain_expression_grammar() {
+        let g = parse_grammar(
+            "e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;",
+        )
+        .unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let slr = slr_lookaheads(&g, &lr0);
+        assert!(find_conflicts(&g, &lr0, &slr).is_empty());
+    }
+
+    #[test]
+    fn slr_covers_every_reduction_point() {
+        let g = parse_grammar("s : a \"x\" | ; a : ;").unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let slr = slr_lookaheads(&g, &lr0);
+        let total: usize = lr0.states().map(|s| lr0.reductions(s).len()).sum();
+        assert_eq!(slr.reduction_count(), total);
+    }
+}

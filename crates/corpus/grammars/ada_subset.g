@@ -1,0 +1,136 @@
+// An Ada-83 subset: compilation units, subprograms, packages,
+// declarations, statements and expressions. Follows the LRM shape with
+// simplifications; Ada's reference grammar is famously LALR(1).
+%start compilation
+
+compilation : compilation_unit | compilation compilation_unit ;
+
+compilation_unit : context_clause library_item ;
+context_clause : %empty | context_clause with_clause ;
+with_clause : WITH name_list ";" | USE name_list ";" ;
+name_list : name_ | name_list "," name_ ;
+
+library_item : subprogram_body | package_decl | package_body ;
+
+package_decl
+    : PACKAGE IDENT IS basic_decls END_KW ";"
+    | PACKAGE IDENT IS basic_decls PRIVATE basic_decls END_KW ";"
+    ;
+package_body : PACKAGE BODY IDENT IS decl_part BEGIN_KW stmt_seq END_KW ";" ;
+
+subprogram_spec
+    : PROCEDURE IDENT formal_part
+    | FUNCTION IDENT formal_part RETURN name_
+    ;
+formal_part : %empty | "(" param_specs ")" ;
+param_specs : param_spec | param_specs ";" param_spec ;
+param_spec  : id_list ":" mode_ name_ ;
+mode_ : %empty | IN | OUT | IN OUT ;
+id_list : IDENT | id_list "," IDENT ;
+
+subprogram_body : subprogram_spec IS decl_part BEGIN_KW stmt_seq END_KW ";" ;
+
+decl_part : %empty | decl_part basic_decl ;
+basic_decls : %empty | basic_decls basic_decl ;
+
+basic_decl
+    : object_decl
+    | type_decl
+    | subtype_decl
+    | subprogram_body
+    | subprogram_spec ";"
+    ;
+
+object_decl : id_list ":" name_ ";" | id_list ":" CONSTANT name_ ASSIGN expression ";" | id_list ":" name_ ASSIGN expression ";" ;
+
+type_decl
+    : TYPE IDENT IS type_def ";"
+    ;
+type_def
+    : RANGE simple_expr DOTDOT simple_expr
+    | ARRAY "(" discrete_range ")" OF name_
+    | RECORD component_list END_KW RECORD
+    | ACCESS name_
+    | "(" id_list ")"
+    ;
+discrete_range : name_ | simple_expr DOTDOT simple_expr ;
+component_list : component_decl | component_list component_decl ;
+component_decl : id_list ":" name_ ";" ;
+
+subtype_decl : SUBTYPE IDENT IS name_ constraint_ ";" ;
+constraint_ : %empty | RANGE simple_expr DOTDOT simple_expr ;
+
+stmt_seq : statement | stmt_seq statement ;
+
+statement
+    : null_stmt
+    | assignment
+    | if_stmt
+    | case_stmt
+    | loop_stmt
+    | exit_stmt
+    | return_stmt
+    | proc_call_stmt
+    | block_stmt
+    ;
+
+null_stmt  : NULL_KW ";" ;
+assignment : name_ ASSIGN expression ";" ;
+
+if_stmt
+    : IF condition THEN stmt_seq elsif_list else_part END_KW IF ";"
+    ;
+elsif_list : %empty | elsif_list ELSIF condition THEN stmt_seq ;
+else_part  : %empty | ELSE stmt_seq ;
+condition  : expression ;
+
+case_stmt : CASE expression IS alternatives END_KW CASE ";" ;
+alternatives : alternative | alternatives alternative ;
+alternative : WHEN choice_list ARROW stmt_seq ;
+choice_list : choice_ | choice_list "|" choice_ ;
+choice_ : simple_expr | OTHERS ;
+
+loop_stmt
+    : LOOP stmt_seq END_KW LOOP ";"
+    | WHILE condition LOOP stmt_seq END_KW LOOP ";"
+    | FOR IDENT IN discrete_range LOOP stmt_seq END_KW LOOP ";"
+    ;
+exit_stmt : EXIT ";" | EXIT WHEN condition ";" ;
+return_stmt : RETURN ";" | RETURN expression ";" ;
+
+proc_call_stmt : name_ ";" ;
+block_stmt : DECLARE decl_part BEGIN_KW stmt_seq END_KW ";" | BEGIN_KW stmt_seq END_KW ";" ;
+
+name_
+    : IDENT
+    | name_ "." IDENT
+    | name_ "(" expr_list ")"
+    | name_ "'" IDENT
+    ;
+expr_list : expression | expr_list "," expression ;
+
+expression
+    : relation_
+    | expression AND relation_
+    | expression OR relation_
+    | expression XOR relation_
+    ;
+relation_ : simple_expr | simple_expr relop simple_expr ;
+relop : "=" | NE | "<" | LE | ">" | GE ;
+
+simple_expr : term_ | simple_expr addop term_ | unary_sign term_ ;
+addop : "+" | "-" | "&" ;
+unary_sign : "+" | "-" ;
+
+term_ : factor_ | term_ mulop factor_ ;
+mulop : "*" | "/" | MOD | REM ;
+
+factor_ : primary_ | primary_ POW primary_ | ABS primary_ | NOT primary_ ;
+
+primary_
+    : NUMERIC_LITERAL
+    | STRING_LITERAL
+    | CHARACTER_LITERAL
+    | name_
+    | "(" expression ")"
+    ;

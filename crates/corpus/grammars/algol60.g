@@ -1,0 +1,119 @@
+// An ALGOL-60-flavoured grammar: blocks, declarations, conditional and
+// iterative statements, designational expressions. Follows the Revised
+// Report's shape (simplified to stay unambiguous where the Report relies
+// on prose).
+%start program
+
+program : block_ | compound_statement ;
+
+block_ : block_head ";" compound_tail ;
+block_head : BEGIN declaration_ | block_head ";" declaration_ ;
+
+compound_statement : BEGIN compound_tail ;
+compound_tail : statement END | statement ";" compound_tail ;
+
+declaration_
+    : type_declaration
+    | array_declaration
+    | switch_declaration
+    | procedure_declaration
+    ;
+
+type_declaration : type_ type_list ;
+type_ : REAL | INTEGER | BOOLEAN ;
+type_list : IDENT | type_list "," IDENT ;
+
+array_declaration
+    : type_ ARRAY array_segments
+    | ARRAY array_segments
+    ;
+array_segments : array_segment | array_segments "," array_segment ;
+array_segment  : IDENT "[" bound_pairs "]" ;
+bound_pairs    : bound_pair | bound_pairs "," bound_pair ;
+bound_pair     : arith_expr ":" arith_expr ;
+
+switch_declaration : SWITCH IDENT ASSIGN switch_list ;
+switch_list : designational_expr | switch_list "," designational_expr ;
+
+procedure_declaration
+    : PROCEDURE IDENT formal_part ";" statement
+    | type_ PROCEDURE IDENT formal_part ";" statement
+    ;
+formal_part : %empty | "(" formal_list ")" ;
+formal_list : IDENT | formal_list "," IDENT ;
+
+statement
+    : unconditional_statement
+    | conditional_statement
+    | for_statement
+    ;
+
+unconditional_statement
+    : basic_statement
+    | compound_statement
+    | block_
+    ;
+
+basic_statement
+    : %empty
+    | assignment_statement
+    | goto_statement
+    | procedure_statement
+    ;
+
+assignment_statement : left_part_list arith_expr | left_part_list bool_expr_toplevel ;
+left_part_list : left_part | left_part_list left_part ;
+left_part : variable_ ASSIGN ;
+
+goto_statement : GOTO designational_expr ;
+
+procedure_statement : IDENT actual_part ;
+actual_part : %empty | "(" actual_list ")" ;
+actual_list : actual_param | actual_list "," actual_param ;
+actual_param : arith_expr | STRING ;
+
+conditional_statement
+    : if_clause statement
+    | if_clause statement ELSE statement
+    ;
+if_clause : IF bool_expr THEN ;
+
+for_statement : FOR variable_ ASSIGN for_list DO statement ;
+for_list : for_list_element | for_list "," for_list_element ;
+for_list_element
+    : arith_expr
+    | arith_expr STEP arith_expr UNTIL arith_expr
+    | arith_expr WHILE bool_expr
+    ;
+
+designational_expr : IDENT | IDENT "[" arith_expr "]" ;
+
+// Boolean expressions (Report's implication/equivalence ladder).
+bool_expr_toplevel : bool_expr ;
+bool_expr    : implication | bool_expr EQUIV implication ;
+implication  : bool_term | implication IMPL bool_term ;
+bool_term    : bool_factor | bool_term OR bool_factor ;
+bool_factor  : bool_secondary | bool_factor AND bool_secondary ;
+bool_secondary : bool_primary | NOT bool_primary ;
+bool_primary
+    : TRUE
+    | FALSE
+    | relation
+    | "(" bool_expr ")"
+    ;
+relation : arith_expr relop arith_expr ;
+relop : "<" | LE | "=" | GE | ">" | NE ;
+
+// Arithmetic expressions.
+arith_expr : term_a | arith_expr addop term_a | addop term_a ;
+addop : "+" | "-" ;
+term_a : factor_a | term_a mulop factor_a ;
+mulop : "*" | "/" | DIV ;
+factor_a : primary_a | factor_a POW primary_a ;
+primary_a
+    : NUMBER
+    | variable_
+    | "(" arith_expr ")"
+    ;
+variable_ : IDENT | IDENT "[" subscript_list "]" | IDENT "(" actual_list ")" ;
+subscript_list : arith_expr | subscript_list "," arith_expr ;

@@ -1,0 +1,161 @@
+// An ANSI C subset: declarations, full statement set, and the complete
+// 15-level expression precedence ladder. The dangling-else shift/reduce
+// conflict is present, as in the real K&R/ANSI grammar.
+%start translation_unit
+
+translation_unit : external_decl | translation_unit external_decl ;
+
+external_decl : function_def | declaration ;
+
+function_def : decl_specs declarator compound_stmt ;
+
+declaration : decl_specs init_declarators ";" | decl_specs ";" ;
+
+decl_specs
+    : type_spec
+    | type_spec decl_specs
+    | storage_spec
+    | storage_spec decl_specs
+    | qualifier
+    | qualifier decl_specs
+    ;
+
+storage_spec : TYPEDEF | EXTERN | STATIC | AUTO | REGISTER ;
+qualifier    : CONST | VOLATILE ;
+
+type_spec
+    : VOID | CHAR | SHORT | INT | LONG | FLOAT | DOUBLE | SIGNED | UNSIGNED
+    | struct_spec
+    | enum_spec
+    | TYPE_NAME
+    ;
+
+struct_spec
+    : struct_key IDENT "{" struct_decls "}"
+    | struct_key "{" struct_decls "}"
+    | struct_key IDENT
+    ;
+struct_key   : STRUCT | UNION ;
+struct_decls : struct_decl | struct_decls struct_decl ;
+struct_decl  : decl_specs struct_declarators ";" ;
+struct_declarators : declarator | struct_declarators "," declarator ;
+
+enum_spec
+    : ENUM "{" enumerators "}"
+    | ENUM IDENT "{" enumerators "}"
+    | ENUM IDENT
+    ;
+enumerators : enumerator | enumerators "," enumerator ;
+enumerator  : IDENT | IDENT "=" cond_expr ;
+
+init_declarators : init_declarator | init_declarators "," init_declarator ;
+init_declarator  : declarator | declarator "=" initializer ;
+initializer      : assign_expr | "{" initializer_list "}" | "{" initializer_list "," "}" ;
+initializer_list : initializer | initializer_list "," initializer ;
+
+declarator : pointer direct_declarator | direct_declarator ;
+pointer    : "*" | "*" pointer | "*" qualifier pointer ;
+
+direct_declarator
+    : IDENT
+    | "(" declarator ")"
+    | direct_declarator "[" cond_expr "]"
+    | direct_declarator "[" "]"
+    | direct_declarator "(" param_list ")"
+    | direct_declarator "(" ")"
+    ;
+
+param_list : param_decl | param_list "," param_decl ;
+param_decl : decl_specs declarator | decl_specs ;
+
+compound_stmt : "{" block_items "}" | "{" "}" ;
+block_items   : block_item | block_items block_item ;
+block_item    : declaration | statement ;
+
+statement
+    : labeled_stmt
+    | compound_stmt
+    | expr_stmt
+    | selection_stmt
+    | iteration_stmt
+    | jump_stmt
+    ;
+
+labeled_stmt
+    : IDENT ":" statement
+    | CASE cond_expr ":" statement
+    | DEFAULT ":" statement
+    ;
+
+expr_stmt : ";" | expression ";" ;
+
+selection_stmt
+    : IF "(" expression ")" statement
+    | IF "(" expression ")" statement ELSE statement
+    | SWITCH "(" expression ")" statement
+    ;
+
+iteration_stmt
+    : WHILE "(" expression ")" statement
+    | DO statement WHILE "(" expression ")" ";"
+    | FOR "(" expr_stmt expr_stmt ")" statement
+    | FOR "(" expr_stmt expr_stmt expression ")" statement
+    ;
+
+jump_stmt
+    : GOTO IDENT ";"
+    | CONTINUE ";"
+    | BREAK ";"
+    | RETURN ";"
+    | RETURN expression ";"
+    ;
+
+expression  : assign_expr | expression "," assign_expr ;
+
+assign_expr : cond_expr | unary_expr assign_op assign_expr ;
+assign_op   : "=" | MUL_ASSIGN | DIV_ASSIGN | MOD_ASSIGN | ADD_ASSIGN
+            | SUB_ASSIGN | LEFT_ASSIGN | RIGHT_ASSIGN | AND_ASSIGN
+            | XOR_ASSIGN | OR_ASSIGN ;
+
+cond_expr : lor_expr | lor_expr "?" expression ":" cond_expr ;
+
+lor_expr  : land_expr | lor_expr OR_OP land_expr ;
+land_expr : ior_expr | land_expr AND_OP ior_expr ;
+ior_expr  : xor_expr | ior_expr "|" xor_expr ;
+xor_expr  : and_expr | xor_expr "^" and_expr ;
+and_expr  : eq_expr | and_expr "&" eq_expr ;
+eq_expr   : rel_expr | eq_expr EQ_OP rel_expr | eq_expr NE_OP rel_expr ;
+rel_expr  : shift_expr
+          | rel_expr "<" shift_expr | rel_expr ">" shift_expr
+          | rel_expr LE_OP shift_expr | rel_expr GE_OP shift_expr ;
+shift_expr : add_expr | shift_expr LEFT_OP add_expr | shift_expr RIGHT_OP add_expr ;
+add_expr   : mul_expr | add_expr "+" mul_expr | add_expr "-" mul_expr ;
+mul_expr   : cast_expr | mul_expr "*" cast_expr | mul_expr "/" cast_expr
+           | mul_expr "%" cast_expr ;
+
+cast_expr  : unary_expr | "(" type_name_ ")" cast_expr ;
+type_name_ : decl_specs | decl_specs pointer ;
+
+unary_expr
+    : postfix_expr
+    | INC_OP unary_expr
+    | DEC_OP unary_expr
+    | unary_op cast_expr
+    | SIZEOF unary_expr
+    | SIZEOF "(" type_name_ ")"
+    ;
+unary_op : "&" | "*" | "+" | "-" | "~" | "!" ;
+
+postfix_expr
+    : primary_expr
+    | postfix_expr "[" expression "]"
+    | postfix_expr "(" ")"
+    | postfix_expr "(" arg_exprs ")"
+    | postfix_expr "." IDENT
+    | postfix_expr PTR_OP IDENT
+    | postfix_expr INC_OP
+    | postfix_expr DEC_OP
+    ;
+arg_exprs : assign_expr | arg_exprs "," assign_expr ;
+
+primary_expr : IDENT | CONSTANT | STRING_LITERAL | "(" expression ")" ;

@@ -1,0 +1,5 @@
+// The dragon-book expression grammar (SLR(1)).
+%start expr
+expr   : expr "+" term | term ;
+term   : term "*" factor | factor ;
+factor : "(" expr ")" | NUM ;

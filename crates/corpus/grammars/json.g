@@ -1,0 +1,11 @@
+// JSON (RFC 8259 shape), LALR(1).
+%start value
+
+value : object | array | STRING | NUMBER | TRUE | FALSE | NULL ;
+
+object  : "{" members "}" | "{" "}" ;
+members : member | members "," member ;
+member  : STRING ":" value ;
+
+array    : "[" elements "]" | "[" "]" ;
+elements : value | elements "," value ;

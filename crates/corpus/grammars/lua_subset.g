@@ -1,0 +1,97 @@
+// A Lua 5-flavoured subset: chunks, statements, function definitions,
+// table constructors, full operator ladder. Follows the reference manual
+// grammar with its (LALR-friendly) prefixexp/var factoring.
+%start chunk
+
+chunk : block ;
+
+block : stats retstat_opt ;
+stats : %empty | stats stat ;
+retstat_opt : %empty | RETURN exprlist_opt semi_opt ;
+exprlist_opt : %empty | exprlist ;
+semi_opt : %empty | ";" ;
+
+stat
+    : ";"
+    | varlist "=" exprlist
+    | functioncall
+    | DO block END_KW
+    | WHILE expr DO block END_KW
+    | REPEAT block UNTIL expr
+    | IF expr THEN block elseif_list else_opt END_KW
+    | FOR NAME "=" expr "," expr DO block END_KW
+    | FOR NAME "=" expr "," expr "," expr DO block END_KW
+    | FOR namelist IN exprlist DO block END_KW
+    | FUNCTION funcname funcbody
+    | LOCAL FUNCTION NAME funcbody
+    | LOCAL namelist
+    | LOCAL namelist "=" exprlist
+    | BREAK
+    ;
+
+elseif_list : %empty | elseif_list ELSEIF expr THEN block ;
+else_opt : %empty | ELSE block ;
+
+funcname : dotted_name | dotted_name ":" NAME ;
+dotted_name : NAME | dotted_name "." NAME ;
+
+varlist : var | varlist "," var ;
+namelist : NAME | namelist "," NAME ;
+exprlist : expr | exprlist "," expr ;
+
+// The manual's var / prefixexp / functioncall factoring.
+var
+    : NAME
+    | prefixexp "[" expr "]"
+    | prefixexp "." NAME
+    ;
+
+prefixexp : var | functioncall | "(" expr ")" ;
+
+functioncall
+    : prefixexp args
+    | prefixexp ":" NAME args
+    ;
+
+args
+    : "(" ")"
+    | "(" exprlist ")"
+    | tableconstructor
+    | STRING
+    ;
+
+funcbody : "(" parlist_opt ")" block END_KW ;
+parlist_opt : %empty | namelist | namelist "," ELLIPSIS | ELLIPSIS ;
+
+tableconstructor : "{" fieldlist_opt "}" ;
+fieldlist_opt : %empty | fieldlist sep_opt ;
+fieldlist : field | fieldlist fieldsep field ;
+fieldsep : "," | ";" ;
+sep_opt : %empty | fieldsep ;
+field
+    : "[" expr "]" "=" expr
+    | NAME "=" expr
+    | expr
+    ;
+
+// Operator ladder (or < and < cmp < concat < add < mul < unary < pow).
+expr : orexp ;
+orexp : andexp | orexp OR andexp ;
+andexp : cmpexp | andexp AND cmpexp ;
+cmpexp
+    : catexp
+    | cmpexp "<" catexp | cmpexp ">" catexp | cmpexp LE catexp
+    | cmpexp GE catexp | cmpexp NE catexp | cmpexp EQ catexp
+    ;
+catexp : addexp | addexp CONCAT catexp ;
+addexp : mulexp | addexp "+" mulexp | addexp "-" mulexp ;
+mulexp : unexp | mulexp "*" unexp | mulexp "/" unexp | mulexp "%" unexp ;
+unexp : powexp | NOT unexp | "-" unexp | "#" unexp ;
+powexp : atom | atom "^" unexp ;
+
+atom
+    : NIL | TRUE | FALSE | NUMBER | STRING | ELLIPSIS
+    | FUNCTION funcbody
+    | prefixexp
+    | tableconstructor
+    ;

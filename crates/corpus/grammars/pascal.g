@@ -1,0 +1,102 @@
+// A Pascal subset: program structure, declarations, statements,
+// expressions. Modeled on the Jensen & Wirth report grammar; LALR(1).
+%start program
+
+program : PROGRAM IDENT ";" block "." ;
+
+block : decl_part compound_stmt ;
+
+decl_part
+    : %empty
+    | decl_part const_section
+    | decl_part type_section
+    | decl_part var_section
+    | decl_part proc_decl
+    | decl_part func_decl
+    ;
+
+const_section : CONST const_defs ;
+const_defs    : const_def | const_defs const_def ;
+const_def     : IDENT "=" constant ";" ;
+constant      : NUMBER | STRING | IDENT | "-" NUMBER ;
+
+type_section : TYPE type_defs ;
+type_defs    : type_def | type_defs type_def ;
+type_def     : IDENT "=" type_denoter ";" ;
+
+type_denoter
+    : IDENT
+    | ARRAY "[" index_range "]" OF type_denoter
+    | RECORD field_list END
+    | "^" IDENT
+    ;
+index_range : constant DOTDOT constant ;
+field_list  : field_decl | field_list ";" field_decl ;
+field_decl  : ident_list ":" type_denoter ;
+
+var_section : VAR var_decls ;
+var_decls   : var_decl | var_decls var_decl ;
+var_decl    : ident_list ":" type_denoter ";" ;
+ident_list  : IDENT | ident_list "," IDENT ;
+
+proc_decl : PROCEDURE IDENT formal_params ";" block ";" ;
+func_decl : FUNCTION IDENT formal_params ":" IDENT ";" block ";" ;
+
+formal_params : %empty | "(" param_groups ")" ;
+param_groups  : param_group | param_groups ";" param_group ;
+param_group   : ident_list ":" IDENT | VAR ident_list ":" IDENT ;
+
+compound_stmt : BEGIN stmt_list END ;
+stmt_list     : statement | stmt_list ";" statement ;
+
+statement
+    : %empty
+    | assignment
+    | proc_call
+    | compound_stmt
+    | if_stmt
+    | while_stmt
+    | repeat_stmt
+    | for_stmt
+    | case_stmt
+    ;
+
+assignment : variable ASSIGN expression ;
+variable   : IDENT | variable "[" expression "]" | variable "." IDENT | variable "^" ;
+
+proc_call : IDENT | IDENT "(" arg_list ")" ;
+arg_list  : expression | arg_list "," expression ;
+
+if_stmt     : IF expression THEN statement | IF expression THEN statement ELSE statement ;
+while_stmt  : WHILE expression DO statement ;
+repeat_stmt : REPEAT stmt_list UNTIL expression ;
+for_stmt    : FOR IDENT ASSIGN expression direction expression DO statement ;
+direction   : TO | DOWNTO ;
+
+case_stmt    : CASE expression OF case_elems END ;
+case_elems   : case_elem | case_elems ";" case_elem ;
+case_elem    : case_labels ":" statement ;
+case_labels  : constant | case_labels "," constant ;
+
+expression
+    : simple_expr
+    | simple_expr relop simple_expr
+    ;
+relop : "=" | NE | "<" | LE | ">" | GE | IN ;
+
+simple_expr : term_ | simple_expr addop term_ | sign term_ ;
+addop       : "+" | "-" | OR ;
+sign        : "+" | "-" ;
+
+term_  : factor_ | term_ mulop factor_ ;
+mulop  : "*" | "/" | DIV | MOD | AND ;
+
+factor_
+    : variable
+    | NUMBER
+    | STRING
+    | NIL
+    | IDENT "(" arg_list ")"
+    | "(" expression ")"
+    | NOT factor_
+    ;

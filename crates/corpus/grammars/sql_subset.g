@@ -1,0 +1,131 @@
+// A SQL subset: SELECT (joins, grouping, subqueries), INSERT, UPDATE,
+// DELETE, CREATE TABLE. Shaped after the SQL-92 entry-level grammar.
+%start sql_script
+
+sql_script : statement_semi | sql_script statement_semi ;
+statement_semi : statement ";" ;
+
+statement
+    : select_stmt
+    | insert_stmt
+    | update_stmt
+    | delete_stmt
+    | create_table_stmt
+    | drop_table_stmt
+    ;
+
+// ---- SELECT ----
+select_stmt : select_core order_clause_opt ;
+
+select_core
+    : SELECT distinct_opt select_list from_clause where_opt group_opt having_opt
+    ;
+
+distinct_opt : %empty | DISTINCT | ALL ;
+
+select_list : "*" | select_items ;
+select_items : select_item | select_items "," select_item ;
+select_item : expr | expr AS IDENT | expr IDENT ;
+
+from_clause : FROM table_refs ;
+table_refs : table_ref | table_refs "," table_ref ;
+
+table_ref
+    : table_primary
+    | table_ref join_type JOIN table_primary ON expr
+    ;
+join_type : %empty | INNER | LEFT | LEFT OUTER | RIGHT | RIGHT OUTER ;
+
+table_primary
+    : qualified_name
+    | qualified_name IDENT
+    | "(" select_stmt ")" IDENT
+    ;
+
+where_opt : %empty | WHERE expr ;
+group_opt : %empty | GROUP BY expr_list ;
+having_opt : %empty | HAVING expr ;
+order_clause_opt : %empty | ORDER BY order_items ;
+order_items : order_item | order_items "," order_item ;
+order_item : expr | expr ASC | expr DESC ;
+
+// ---- DML ----
+insert_stmt
+    : INSERT INTO qualified_name VALUES "(" expr_list ")"
+    | INSERT INTO qualified_name "(" column_list ")" VALUES "(" expr_list ")"
+    | INSERT INTO qualified_name select_stmt
+    ;
+column_list : IDENT | column_list "," IDENT ;
+
+update_stmt : UPDATE qualified_name SET assignments where_opt ;
+assignments : assignment | assignments "," assignment ;
+assignment : IDENT "=" expr ;
+
+delete_stmt : DELETE FROM qualified_name where_opt ;
+
+// ---- DDL ----
+create_table_stmt : CREATE TABLE qualified_name "(" column_defs ")" ;
+column_defs : column_def | column_defs "," column_def ;
+column_def : IDENT type_name column_constraints ;
+type_name
+    : INT_T
+    | VARCHAR "(" NUMBER ")"
+    | CHAR_T "(" NUMBER ")"
+    | FLOAT_T
+    | DATE_T
+    ;
+column_constraints : %empty | column_constraints column_constraint ;
+column_constraint : NOT NULL_KW | PRIMARY KEY | UNIQUE | DEFAULT literal ;
+
+drop_table_stmt : DROP TABLE qualified_name ;
+
+// ---- expressions ----
+expr_list : expr | expr_list "," expr ;
+
+expr : or_expr ;
+or_expr : and_expr | or_expr OR and_expr ;
+and_expr : not_expr | and_expr AND not_expr ;
+not_expr : cmp_expr | NOT not_expr ;
+
+cmp_expr
+    : add_expr
+    | add_expr cmp_op add_expr
+    | add_expr IS NULL_KW
+    | add_expr IS NOT NULL_KW
+    | add_expr IN "(" select_stmt ")"
+    | add_expr IN "(" expr_list ")"
+    | add_expr BETWEEN add_expr AND add_expr
+    | add_expr LIKE STRING
+    | EXISTS "(" select_stmt ")"
+    ;
+cmp_op : "=" | NE | "<" | LE | ">" | GE ;
+
+add_expr : mul_expr | add_expr "+" mul_expr | add_expr "-" mul_expr ;
+mul_expr : unary_expr | mul_expr "*" unary_expr | mul_expr "/" unary_expr ;
+unary_expr : primary | "-" unary_expr ;
+
+primary
+    : literal
+    | qualified_name
+    | func_call
+    | "(" expr ")"
+    | case_expr
+    ;
+
+func_call
+    : IDENT "(" ")"
+    | IDENT "(" expr_list ")"
+    | IDENT "(" "*" ")"
+    | IDENT "(" DISTINCT expr ")"
+    ;
+
+case_expr
+    : CASE when_clauses else_opt END_KW
+    | CASE expr when_clauses else_opt END_KW
+    ;
+when_clauses : when_clause | when_clauses when_clause ;
+when_clause : WHEN expr THEN expr ;
+else_opt : %empty | ELSE expr ;
+
+qualified_name : IDENT | IDENT "." IDENT ;
+literal : NUMBER | STRING | NULL_KW | TRUE | FALSE ;

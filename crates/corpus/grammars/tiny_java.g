@@ -1,0 +1,91 @@
+// A small Java-like language: classes, fields, methods, statements,
+// expressions with the usual precedence ladder. LALR(1) except the
+// dangling else (as in real Java grammars).
+%start goal
+
+goal : class_decls ;
+class_decls : class_decl | class_decls class_decl ;
+
+class_decl : modifiers CLASS IDENT super_opt "{" member_decls "}" ;
+super_opt : %empty | EXTENDS IDENT ;
+modifiers : %empty | modifiers modifier ;
+modifier : PUBLIC | PRIVATE | STATIC | FINAL ;
+
+member_decls : %empty | member_decls member_decl ;
+member_decl : field_decl | method_decl | ctor_decl ;
+
+field_decl : modifiers type_ declarators ";" ;
+declarators : declarator | declarators "," declarator ;
+declarator : IDENT | IDENT "=" expression ;
+
+method_decl : modifiers type_ IDENT "(" params ")" method_body
+            | modifiers VOID IDENT "(" params ")" method_body ;
+ctor_decl   : modifiers IDENT "(" params ")" block ;
+method_body : block | ";" ;
+
+params : %empty | param_list ;
+param_list : param | param_list "," param ;
+param : type_ IDENT ;
+
+type_ : primitive_type | IDENT | type_ "[" "]" ;
+primitive_type : INT | BOOLEAN | CHAR | DOUBLE ;
+
+block : "{" block_stmts "}" ;
+block_stmts : %empty | block_stmts block_stmt ;
+block_stmt : local_var_decl ";" | statement ;
+
+local_var_decl : type_ declarators ;
+
+statement
+    : block
+    | ";"
+    | expr_stmt ";"
+    | IF "(" expression ")" statement
+    | IF "(" expression ")" statement ELSE statement
+    | WHILE "(" expression ")" statement
+    | FOR "(" for_init ";" expr_opt ";" expr_opt ")" statement
+    | RETURN expr_opt ";"
+    | BREAK ";"
+    | CONTINUE ";"
+    ;
+
+for_init : %empty | expr_stmt | local_var_decl ;
+expr_opt : %empty | expression ;
+
+expr_stmt : assignment_ | method_invocation | new_expr | postfix_inc ;
+postfix_inc : lhs INC | lhs DEC ;
+
+assignment_ : lhs "=" expression | lhs ADD_ASSIGN expression | lhs SUB_ASSIGN expression ;
+lhs : IDENT | field_access | array_access ;
+
+expression : cond_or ;
+cond_or  : cond_and | cond_or OROR cond_and ;
+cond_and : eq | cond_and ANDAND eq ;
+eq  : rel | eq EQEQ rel | eq NOTEQ rel ;
+rel : add | rel "<" add | rel ">" add | rel LE add | rel GE add | rel INSTANCEOF type_ ;
+add : mul | add "+" mul | add "-" mul ;
+mul : unary | mul "*" unary | mul "/" unary | mul "%" unary ;
+
+unary : postfix | "-" unary | "!" unary ;
+
+postfix
+    : literal
+    | THIS
+    | "(" expression ")"
+    | IDENT
+    | field_access
+    | method_invocation
+    | array_access
+    | new_expr
+    ;
+
+new_expr : NEW IDENT "(" args ")" | NEW type_ "[" expression "]" ;
+
+field_access : postfix "." IDENT ;
+method_invocation : IDENT "(" args ")" | postfix "." IDENT "(" args ")" ;
+array_access : IDENT "[" expression "]" | postfix "[" expression "]" ;
+
+args : %empty | arg_list ;
+arg_list : expression | arg_list "," expression ;
+
+literal : INT_LIT | CHAR_LIT | STRING_LIT | TRUE | FALSE | NULL_LIT ;

@@ -1,0 +1,88 @@
+//! The textbook grammars separating the LR hierarchy (Table 3 rows).
+
+use crate::CorpusEntry;
+
+/// Conflict-free with zero look-ahead.
+pub const LR0: CorpusEntry = CorpusEntry {
+    name: "lr0_matched",
+    source: "s : \"a\" s \"b\" | \"c\" ;",
+    description: "matched a..c..b — LR(0)",
+};
+
+/// SLR(1) but not LR(0) (the expression grammar needs FOLLOW).
+pub const SLR: CorpusEntry = CorpusEntry {
+    name: "slr_expr",
+    source: "e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;",
+    description: "dragon expressions — SLR(1), not LR(0)",
+};
+
+/// LALR(1) but not SLR(1): the pointer-assignment grammar.
+pub const LALR_NOT_SLR: CorpusEntry = CorpusEntry {
+    name: "lalr_not_slr",
+    source: "s : l \"=\" r | r ; l : \"*\" r | \"id\" ; r : l ;",
+    description: "L-values and R-values — LALR(1), not SLR(1)",
+};
+
+/// LR(1) but not LALR(1): merging contexts creates a reduce/reduce clash.
+pub const LR1_NOT_LALR: CorpusEntry = CorpusEntry {
+    name: "lr1_not_lalr",
+    source: r#"
+        s : "u" a "d" | "v" b "d" | "u" b "e" | "v" a "e" ;
+        a : "c" ;
+        b : "c" ;
+    "#,
+    description: "context-swapped reductions — LR(1), not LALR(1)",
+};
+
+/// Ambiguous (dangling else), not LR(k) for any k.
+pub const DANGLING_ELSE: CorpusEntry = CorpusEntry {
+    name: "dangling_else",
+    source: "s : \"if\" s \"else\" s | \"if\" s | \"x\" ;",
+    description: "dangling else — ambiguous",
+};
+
+/// A grammar whose `reads` relation has a cycle: not LR(k) for any k
+/// (the paper's cycle theorem witness).
+pub const READS_CYCLE: CorpusEntry = CorpusEntry {
+    name: "reads_cycle",
+    source: "s : a \"x\" ; a : b c | ; b : c a | ; c : a b | ;",
+    description: "cyclic nullable reads — not LR(k) for any k",
+};
+
+/// LALR(1)-adequate, but NQLALR(1) reports a spurious reduce/reduce
+/// conflict (the paper's warning against merging by GOTO target).
+pub const NQLALR_WITNESS: CorpusEntry = CorpusEntry {
+    name: "nqlalr_witness",
+    source: r#"
+        %start s
+        s : "x" c "y" | "x" "g" "h" | "z" c "w" | "z" d "y" ;
+        c : a r ;
+        r : "t" | ;
+        a : "g" ;
+        d : "g" ;
+    "#,
+    description: "LALR(1) grammar on which NQLALR is spuriously inadequate",
+};
+
+/// All classic grammars, in hierarchy order.
+pub fn all() -> Vec<CorpusEntry> {
+    vec![
+        LR0,
+        SLR,
+        LALR_NOT_SLR,
+        LR1_NOT_LALR,
+        DANGLING_ELSE,
+        READS_CYCLE,
+        NQLALR_WITNESS,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_classics_parse() {
+        for e in super::all() {
+            let _ = e.grammar();
+        }
+    }
+}

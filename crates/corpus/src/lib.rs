@@ -1,0 +1,97 @@
+//! The evaluation grammar corpus.
+//!
+//! The paper's empirical section ran on a collection of real programming
+//! language grammars (ALGOL, FORTRAN, Ada, …) that is not distributable;
+//! this crate substitutes a corpus with the same structural spread:
+//!
+//! * [`realistic`] — seven embedded language grammars, from a toy
+//!   expression grammar to an ANSI-C subset with the full precedence
+//!   ladder (20–120 productions).
+//! * [`classics`] — the small textbook grammars that separate the classes
+//!   `LR(0) ⊂ SLR(1) ⊂ LALR(1) ⊂ LR(1)` plus the NQLALR unsoundness
+//!   witness and a non-LR(k) grammar (Table 3 rows).
+//! * [`synthetic`] — parameterized grammar families and a seeded random
+//!   generator for the scaling sweep (Figure 1) and property tests.
+//!
+//! # Examples
+//!
+//! ```
+//! let corpus = lalr_corpus::realistic::all();
+//! assert!(corpus.len() >= 7);
+//! for entry in corpus {
+//!     let g = entry.grammar();
+//!     assert!(g.production_count() > 1, "{} parses", entry.name);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classics;
+pub mod realistic;
+pub mod sentences;
+pub mod synthetic;
+
+use lalr_grammar::Grammar;
+
+/// One corpus grammar: a name, its source text, and a note on provenance.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusEntry {
+    /// Short identifier used in tables.
+    pub name: &'static str,
+    /// The grammar in the `lalr-grammar` text format.
+    pub source: &'static str,
+    /// What the grammar models.
+    pub description: &'static str,
+}
+
+impl CorpusEntry {
+    /// Parses the entry's source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded source fails to parse — corpus sources are
+    /// validated by this crate's tests, so that indicates a build problem.
+    pub fn grammar(&self) -> Grammar {
+        lalr_grammar::parse_grammar(self.source)
+            .unwrap_or_else(|e| panic!("corpus grammar {} must parse: {e}", self.name))
+    }
+}
+
+/// Every embedded grammar: realistic corpus then classics.
+pub fn all_entries() -> Vec<CorpusEntry> {
+    let mut v = realistic::all();
+    v.extend(classics::all());
+    v
+}
+
+/// Looks an entry up by name.
+pub fn by_name(name: &str) -> Option<CorpusEntry> {
+    all_entries().into_iter().find(|e| e.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn every_entry_parses() {
+        for e in super::all_entries() {
+            let g = e.grammar();
+            assert!(g.production_count() > 1, "{}", e.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let entries = super::all_entries();
+        let mut names: Vec<_> = entries.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), entries.len());
+    }
+
+    #[test]
+    fn by_name_finds_and_misses() {
+        assert!(super::by_name("expr").is_some());
+        assert!(super::by_name("no_such_grammar").is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! The embedded realistic grammars (Table 1 rows).
+
+use crate::CorpusEntry;
+
+/// The dragon-book arithmetic expression grammar.
+pub const EXPR: CorpusEntry = CorpusEntry {
+    name: "expr",
+    source: include_str!("../grammars/expr.g"),
+    description: "dragon-book arithmetic expressions (SLR(1))",
+};
+
+/// RFC 8259-shaped JSON.
+pub const JSON: CorpusEntry = CorpusEntry {
+    name: "json",
+    source: include_str!("../grammars/json.g"),
+    description: "JSON values, objects, arrays",
+};
+
+/// A Pascal subset.
+pub const PASCAL: CorpusEntry = CorpusEntry {
+    name: "pascal",
+    source: include_str!("../grammars/pascal.g"),
+    description: "Pascal subset: declarations, statements, expressions",
+};
+
+/// An ANSI-C subset with the full expression precedence ladder.
+pub const C_SUBSET: CorpusEntry = CorpusEntry {
+    name: "c_subset",
+    source: include_str!("../grammars/c_subset.g"),
+    description: "ANSI C subset with 15-level expression ladder",
+};
+
+/// An ALGOL-60-flavoured grammar.
+pub const ALGOL60: CorpusEntry = CorpusEntry {
+    name: "algol60",
+    source: include_str!("../grammars/algol60.g"),
+    description: "ALGOL-60 Revised-Report-shaped blocks and statements",
+};
+
+/// An Ada-83 subset.
+pub const ADA_SUBSET: CorpusEntry = CorpusEntry {
+    name: "ada_subset",
+    source: include_str!("../grammars/ada_subset.g"),
+    description: "Ada-83 subset: packages, subprograms, statements",
+};
+
+/// A small Java-like language.
+pub const TINY_JAVA: CorpusEntry = CorpusEntry {
+    name: "tiny_java",
+    source: include_str!("../grammars/tiny_java.g"),
+    description: "Java-like classes, members, statements, expressions",
+};
+
+/// A SQL-92-entry-level-shaped subset.
+pub const SQL_SUBSET: CorpusEntry = CorpusEntry {
+    name: "sql_subset",
+    source: include_str!("../grammars/sql_subset.g"),
+    description: "SQL subset: SELECT with joins/subqueries, DML, DDL",
+};
+
+/// A Lua 5-flavoured subset.
+pub const LUA_SUBSET: CorpusEntry = CorpusEntry {
+    name: "lua_subset",
+    source: include_str!("../grammars/lua_subset.g"),
+    description: "Lua subset: chunks, functions, tables, operator ladder",
+};
+
+/// All realistic grammars, smallest first.
+pub fn all() -> Vec<CorpusEntry> {
+    vec![
+        EXPR, JSON, LUA_SUBSET, PASCAL, ALGOL60, ADA_SUBSET, TINY_JAVA, SQL_SUBSET, C_SUBSET,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use lalr_grammar::GrammarStats;
+
+    #[test]
+    fn corpus_spans_small_to_large() {
+        let sizes: Vec<usize> = super::all()
+            .iter()
+            .map(|e| GrammarStats::compute(&e.grammar()).productions)
+            .collect();
+        assert!(sizes[0] < 10, "expr is tiny: {}", sizes[0]);
+        assert!(
+            *sizes.last().unwrap() >= 90,
+            "the C subset is substantial: {}",
+            sizes.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn realistic_grammars_have_no_useless_symbols() {
+        for e in super::all() {
+            let stats = GrammarStats::compute(&e.grammar());
+            assert_eq!(stats.useless_nonterminals, 0, "{}", e.name);
+        }
+    }
+
+    #[test]
+    fn nullable_and_recursion_structure_present() {
+        // The corpus must exercise the interesting regimes: ε-productions
+        // (reads/includes edges) and left recursion.
+        let entries = super::all();
+        let with_nullable = entries
+            .iter()
+            .filter(|e| GrammarStats::compute(&e.grammar()).nullable_nonterminals > 0)
+            .count();
+        let with_left_rec = entries
+            .iter()
+            .filter(|e| GrammarStats::compute(&e.grammar()).left_recursive > 0)
+            .count();
+        assert!(with_nullable >= 4);
+        assert!(with_left_rec >= 6);
+    }
+}

@@ -1,0 +1,184 @@
+//! Random sentence generation (bounded leftmost derivations).
+//!
+//! Sampling strings *from* a grammar closes the loop for testing: every
+//! generated sentence must be accepted by a parser built from the same
+//! grammar. The generator bounds derivation size by switching to
+//! cheapest-production expansion once a budget is exhausted, so it
+//! terminates on every productive grammar.
+
+use lalr_grammar::{Grammar, NonTerminal, ProdId, Symbol, Terminal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cost of the cheapest terminal string derivable from each nonterminal
+/// (`None` when unproductive).
+fn min_costs(grammar: &Grammar) -> Vec<Option<u32>> {
+    let mut cost: Vec<Option<u32>> = vec![None; grammar.nonterminal_count()];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in grammar.productions() {
+            let mut total: u32 = 1;
+            let mut ok = true;
+            for &sym in p.rhs() {
+                match sym {
+                    Symbol::Terminal(_) => total += 1,
+                    Symbol::NonTerminal(n) => match cost[n.index()] {
+                        Some(c) => total += c,
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    },
+                }
+            }
+            if ok {
+                let slot = &mut cost[p.lhs().index()];
+                if slot.is_none_or(|c| total < c) {
+                    *slot = Some(total);
+                    changed = true;
+                }
+            }
+        }
+    }
+    cost
+}
+
+/// Cheapest production of `nt` under `costs`.
+fn cheapest_production(grammar: &Grammar, costs: &[Option<u32>], nt: NonTerminal) -> ProdId {
+    *grammar
+        .productions_of(nt)
+        .iter()
+        .min_by_key(|&&pid| {
+            grammar
+                .production(pid)
+                .rhs()
+                .iter()
+                .map(|&s| match s {
+                    Symbol::Terminal(_) => 1,
+                    Symbol::NonTerminal(n) => costs[n.index()].unwrap_or(u32::MAX / 4),
+                })
+                .sum::<u32>()
+        })
+        .expect("every nonterminal has a production")
+}
+
+/// Generates a random sentence (terminal sequence) of the grammar's
+/// language, as terminal ids. Returns `None` when the start symbol is
+/// unproductive.
+///
+/// `budget` caps the number of *random* expansions; after that every
+/// nonterminal expands by its cheapest production, guaranteeing
+/// termination.
+///
+/// # Examples
+///
+/// ```
+/// use lalr_corpus::sentences::generate;
+/// use lalr_grammar::parse_grammar;
+///
+/// let g = parse_grammar("s : \"a\" s | \"b\" ;")?;
+/// let sentence = generate(&g, 42, 30).expect("productive");
+/// // Always a^n b.
+/// let names: Vec<&str> = sentence.iter().map(|&t| g.terminal_name(t)).collect();
+/// assert_eq!(names.last(), Some(&"b"));
+/// assert!(names[..names.len() - 1].iter().all(|&n| n == "a"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn generate(grammar: &Grammar, seed: u64, budget: usize) -> Option<Vec<Terminal>> {
+    let costs = min_costs(grammar);
+    costs[grammar.start().index()]?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<Terminal> = Vec::new();
+    // Work stack of pending symbols (rightmost at top).
+    let mut stack: Vec<Symbol> = vec![Symbol::NonTerminal(grammar.start())];
+    let mut random_budget = budget;
+
+    while let Some(sym) = stack.pop() {
+        match sym {
+            Symbol::Terminal(t) => out.push(t),
+            Symbol::NonTerminal(nt) => {
+                let pid = if random_budget > 0 {
+                    random_budget -= 1;
+                    // Pick a random *productive* production.
+                    let candidates: Vec<ProdId> = grammar
+                        .productions_of(nt)
+                        .iter()
+                        .copied()
+                        .filter(|&pid| {
+                            grammar.production(pid).rhs().iter().all(|&s| match s {
+                                Symbol::Terminal(_) => true,
+                                Symbol::NonTerminal(n) => costs[n.index()].is_some(),
+                            })
+                        })
+                        .collect();
+                    candidates[rng.gen_range(0..candidates.len())]
+                } else {
+                    cheapest_production(grammar, &costs, nt)
+                };
+                for &s in grammar.production(pid).rhs().iter().rev() {
+                    stack.push(s);
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Generates `count` distinct-seed sentences.
+pub fn generate_many(
+    grammar: &Grammar,
+    base_seed: u64,
+    count: usize,
+    budget: usize,
+) -> Vec<Vec<Terminal>> {
+    (0..count)
+        .filter_map(|i| generate(grammar, base_seed.wrapping_add(i as u64), budget))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lalr_grammar::parse_grammar;
+
+    #[test]
+    fn generation_terminates_on_recursive_grammars() {
+        let g = parse_grammar("e : e \"+\" e | e \"*\" e | \"x\" ;").unwrap();
+        for seed in 0..20 {
+            let s = generate(&g, seed, 50).unwrap();
+            assert!(!s.is_empty());
+            assert!(s.len() < 500, "budget bounds the output");
+        }
+    }
+
+    #[test]
+    fn unproductive_start_yields_none() {
+        let g = parse_grammar("s : s \"x\" ;").unwrap();
+        assert_eq!(generate(&g, 0, 10), None);
+    }
+
+    #[test]
+    fn epsilon_only_language() {
+        let g = parse_grammar("s : ;").unwrap();
+        assert_eq!(generate(&g, 0, 10), Some(vec![]));
+    }
+
+    #[test]
+    fn partial_productivity_is_respected() {
+        // `dead` is unproductive; the generator must never choose s → dead.
+        let g = parse_grammar("s : \"a\" | dead ; dead : dead \"x\" ;").unwrap();
+        for seed in 0..20 {
+            let s = generate(&g, seed, 10).unwrap();
+            let names: Vec<&str> = s.iter().map(|&t| g.terminal_name(t)).collect();
+            assert_eq!(names, vec!["a"]);
+        }
+    }
+
+    #[test]
+    fn many_generates_requested_count() {
+        let g = parse_grammar("s : \"a\" s | \"b\" ;").unwrap();
+        let all = generate_many(&g, 7, 25, 20);
+        assert_eq!(all.len(), 25);
+    }
+}

@@ -1,0 +1,202 @@
+//! Compact adjacency-list digraph.
+
+use std::fmt;
+
+/// A directed graph over nodes `0..n`, stored as adjacency lists.
+///
+/// Nodes are plain indices so callers (the relation builders in `lalr-core`)
+/// can index them into parallel arrays of sets.
+///
+/// # Examples
+///
+/// ```
+/// use lalr_digraph::Graph;
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1);
+/// g.add_edge(0, 2);
+/// assert_eq!(g.successors(0), &[1, 2]);
+/// assert_eq!(g.edge_count(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges<I: IntoIterator<Item = (usize, usize)>>(n: usize, edges: I) -> Self {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges (parallel edges counted individually).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Adds the edge `u -> v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.adj.len(), "source {u} out of range");
+        assert!(v < self.adj.len(), "target {v} out of range");
+        self.adj[u].push(v as u32);
+        self.edges += 1;
+    }
+
+    /// Adds `u -> v` unless it is already present (linear scan; adjacency
+    /// lists in LALR relations are short).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge_dedup(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.adj.len(), "source {u} out of range");
+        assert!(v < self.adj.len(), "target {v} out of range");
+        if self.adj[u].contains(&(v as u32)) {
+            return false;
+        }
+        self.adj[u].push(v as u32);
+        self.edges += 1;
+        true
+    }
+
+    /// The successors of `u` in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn successors(&self, u: usize) -> &[u32] {
+        &self.adj[u]
+    }
+
+    /// Iterates over all edges as `(source, target)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v as usize)))
+    }
+
+    /// The graph with every edge reversed.
+    pub fn reversed(&self) -> Graph {
+        let mut g = Graph::new(self.node_count());
+        for (u, v) in self.edges() {
+            g.add_edge(v, u);
+        }
+        g
+    }
+
+    /// Returns `true` if node `u` has an edge to itself.
+    pub fn has_self_loop(&self, u: usize) -> bool {
+        self.adj[u].contains(&(u as u32))
+    }
+
+    /// Out-degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn out_degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.node_count(), self.edge_count())?;
+        for (u, vs) in self.adj.iter().enumerate() {
+            if !vs.is_empty() {
+                write!(f, " {u}->{vs:?}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (1, 3)]);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.successors(1), &[2, 3]);
+        assert_eq!(g.successors(3), &[] as &[u32]);
+        assert_eq!(g.out_degree(1), 2);
+    }
+
+    #[test]
+    fn dedup_edges() {
+        let mut g = Graph::new(2);
+        assert!(g.add_edge_dedup(0, 1));
+        assert!(!g.add_edge_dedup(0, 1));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn reversal_swaps_endpoints() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let r = g.reversed();
+        assert_eq!(r.successors(1), &[0]);
+        assert_eq!(r.successors(2), &[1]);
+        assert_eq!(r.edge_count(), 2);
+    }
+
+    #[test]
+    fn self_loops_detected() {
+        let g = Graph::from_edges(2, [(0, 0), (0, 1)]);
+        assert!(g.has_self_loop(0));
+        assert!(!g.has_self_loop(1));
+    }
+
+    #[test]
+    fn edges_iterator_lists_all() {
+        let g = Graph::from_edges(3, [(2, 0), (0, 1)]);
+        let mut es: Vec<_> = g.edges().collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert!(g.is_empty());
+        assert_eq!(g.edges().count(), 0);
+    }
+}

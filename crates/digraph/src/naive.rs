@@ -1,0 +1,73 @@
+//! Naive fixpoint reference for the Digraph problem.
+
+use lalr_bitset::BitMatrix;
+
+use crate::Graph;
+
+/// Solves the same equation as [`crate::digraph`] by repeated relaxation:
+/// sweep all edges, `F(u) ∪= F(v)`, until a full sweep changes nothing.
+///
+/// Worst case `O(n · m)` set unions versus the Digraph algorithm's
+/// `O(n + m)`; this is the baseline for ablation experiment **E6** and the
+/// oracle the property tests compare [`crate::digraph`] against.
+///
+/// # Panics
+///
+/// Panics if `sets.rows() != graph.node_count()`.
+///
+/// # Examples
+///
+/// ```
+/// use lalr_bitset::BitMatrix;
+/// use lalr_digraph::{naive_closure, Graph};
+///
+/// let g = Graph::from_edges(2, [(0, 1)]);
+/// let mut f = BitMatrix::new(2, 4);
+/// f.set(1, 3);
+/// naive_closure(&g, &mut f);
+/// assert!(f.get(0, 3));
+/// ```
+pub fn naive_closure(graph: &Graph, sets: &mut BitMatrix) {
+    assert_eq!(
+        sets.rows(),
+        graph.node_count(),
+        "one set row is required per graph node"
+    );
+    loop {
+        let mut changed = false;
+        for (u, v) in graph.edges() {
+            changed |= sets.union_rows(u, v);
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixpoint_on_cycle() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let mut m = BitMatrix::new(3, 4);
+        m.set(0, 0);
+        m.set(1, 1);
+        m.set(2, 2);
+        naive_closure(&g, &mut m);
+        for r in 0..3 {
+            assert_eq!(m.iter_row(r).collect::<Vec<_>>(), vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn no_edges_is_identity() {
+        let g = Graph::new(2);
+        let mut m = BitMatrix::new(2, 4);
+        m.set(0, 1);
+        let before = m.clone();
+        naive_closure(&g, &mut m);
+        assert_eq!(m, before);
+    }
+}

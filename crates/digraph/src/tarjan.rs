@@ -1,0 +1,221 @@
+//! Tarjan's strongly-connected-components algorithm (iterative).
+
+use crate::Graph;
+
+/// The result of [`tarjan_scc`]: a mapping from nodes to component ids.
+///
+/// Component ids are assigned in *reverse topological order* of the
+/// condensation: if there is an edge from a node in component `a` to a node
+/// in a different component `b`, then `a > b`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccInfo {
+    comp: Vec<u32>,
+    count: usize,
+}
+
+impl SccInfo {
+    /// Component id of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn component(&self, node: usize) -> usize {
+        self.comp[node] as usize
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Number of nodes in the underlying graph.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.comp.len()
+    }
+
+    /// Size of every component, indexed by component id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &c in &self.comp {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// `true` when `a` and `b` are in the same component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn same_component(&self, a: usize, b: usize) -> bool {
+        self.comp[a] == self.comp[b]
+    }
+
+    /// The members of every component, indexed by component id.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (node, &c) in self.comp.iter().enumerate() {
+            out[c as usize].push(node);
+        }
+        out
+    }
+}
+
+/// Computes strongly connected components.
+///
+/// # Examples
+///
+/// ```
+/// use lalr_digraph::{tarjan_scc, Graph};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 0), (1, 2), (2, 3)]);
+/// let scc = tarjan_scc(&g);
+/// assert_eq!(scc.count(), 3);
+/// assert!(scc.same_component(0, 1));
+/// assert!(!scc.same_component(1, 2));
+/// // Reverse-topological numbering: the sink {3} gets the smallest id.
+/// assert!(scc.component(3) < scc.component(0));
+/// ```
+pub fn tarjan_scc(graph: &Graph) -> SccInfo {
+    let n = graph.node_count();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![0u32; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut comp_count = 0u32;
+
+    struct Frame {
+        node: u32,
+        next_succ: u32,
+    }
+    let mut frames: Vec<Frame> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root as u32);
+        on_stack[root] = true;
+        frames.push(Frame {
+            node: root as u32,
+            next_succ: 0,
+        });
+
+        while let Some(frame) = frames.last_mut() {
+            let x = frame.node as usize;
+            let succs = graph.successors(x);
+            if (frame.next_succ as usize) < succs.len() {
+                let y = succs[frame.next_succ as usize] as usize;
+                frame.next_succ += 1;
+                if index[y] == UNVISITED {
+                    index[y] = next_index;
+                    lowlink[y] = next_index;
+                    next_index += 1;
+                    stack.push(y as u32);
+                    on_stack[y] = true;
+                    frames.push(Frame {
+                        node: y as u32,
+                        next_succ: 0,
+                    });
+                } else if on_stack[y] {
+                    lowlink[x] = lowlink[x].min(index[y]);
+                }
+            } else {
+                frames.pop();
+                if lowlink[x] == index[x] {
+                    loop {
+                        let top = stack.pop().expect("open component on stack") as usize;
+                        on_stack[top] = false;
+                        comp[top] = comp_count;
+                        if top == x {
+                            break;
+                        }
+                    }
+                    comp_count += 1;
+                }
+                if let Some(parent) = frames.last() {
+                    let p = parent.node as usize;
+                    lowlink[p] = lowlink[p].min(lowlink[x]);
+                }
+            }
+        }
+    }
+
+    SccInfo {
+        comp,
+        count: comp_count as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_without_edges() {
+        let scc = tarjan_scc(&Graph::new(3));
+        assert_eq!(scc.count(), 3);
+        assert_eq!(scc.sizes(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn one_big_cycle() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 1);
+        assert_eq!(scc.sizes(), vec![4]);
+    }
+
+    #[test]
+    fn two_cycles_bridged() {
+        // {0,1} -> {2,3}
+        let g = Graph::from_edges(4, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 2);
+        assert!(scc.same_component(0, 1));
+        assert!(scc.same_component(2, 3));
+        // Edge from comp(0) to comp(2) ⇒ comp(0) numbered later.
+        assert!(scc.component(0) > scc.component(2));
+    }
+
+    #[test]
+    fn members_partition_nodes() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 0), (2, 3)]);
+        let scc = tarjan_scc(&g);
+        let members = scc.members();
+        let total: usize = members.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+        for (cid, ms) in members.iter().enumerate() {
+            for &m in ms {
+                assert_eq!(scc.component(m), cid);
+            }
+        }
+    }
+
+    #[test]
+    fn self_loop_is_singleton_component() {
+        let g = Graph::from_edges(2, [(0, 0)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), 2);
+    }
+
+    #[test]
+    fn deep_chain_iterative() {
+        let n = 20_000;
+        let g = Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)));
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.count(), n);
+        // Chain tail is the sink ⇒ component 0.
+        assert_eq!(scc.component(n - 1), 0);
+        assert_eq!(scc.component(0), n - 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Nullable-nonterminal computation.
+
+use lalr_bitset::BitSet;
+
+use crate::grammar::Grammar;
+use crate::symbol::{NonTerminal, Symbol};
+
+/// The set of nullable nonterminals (`A ⇒* ε`), as a bit set indexed by
+/// nonterminal index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NullableSet {
+    set: BitSet,
+}
+
+impl NullableSet {
+    /// `true` when `nt ⇒* ε`.
+    #[inline]
+    pub fn contains(&self, nt: NonTerminal) -> bool {
+        self.set.contains(nt.index())
+    }
+
+    /// `true` when the symbol derives ε (terminals never do).
+    #[inline]
+    pub fn symbol_nullable(&self, sym: Symbol) -> bool {
+        match sym {
+            Symbol::Terminal(_) => false,
+            Symbol::NonTerminal(n) => self.contains(n),
+        }
+    }
+
+    /// `true` when every symbol of the string derives ε (vacuously true for
+    /// the empty string).
+    pub fn string_nullable(&self, symbols: &[Symbol]) -> bool {
+        symbols.iter().all(|&s| self.symbol_nullable(s))
+    }
+
+    /// Iterates over the nullable nonterminals.
+    pub fn iter(&self) -> impl Iterator<Item = NonTerminal> + '_ {
+        self.set.iter().map(NonTerminal::new)
+    }
+
+    /// Number of nullable nonterminals.
+    pub fn count(&self) -> usize {
+        self.set.count()
+    }
+}
+
+/// Computes the nullable set by fixpoint iteration over the productions.
+///
+/// # Examples
+///
+/// ```
+/// use lalr_grammar::{analysis::nullable, parse_grammar};
+///
+/// let g = parse_grammar("s : a b ; a : \"x\" | ; b : ;")?;
+/// let n = nullable(&g);
+/// assert!(n.contains(g.nonterminal_by_name("a").unwrap()));
+/// assert!(n.contains(g.nonterminal_by_name("s").unwrap()));
+/// # Ok::<(), lalr_grammar::GrammarError>(())
+/// ```
+pub fn nullable(grammar: &Grammar) -> NullableSet {
+    let mut set = BitSet::new(grammar.nonterminal_count());
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in grammar.productions() {
+            if set.contains(p.lhs().index()) {
+                continue;
+            }
+            let all_nullable = p.rhs().iter().all(|&s| match s {
+                Symbol::Terminal(_) => false,
+                Symbol::NonTerminal(n) => set.contains(n.index()),
+            });
+            if all_nullable {
+                set.insert(p.lhs().index());
+                changed = true;
+            }
+        }
+    }
+    NullableSet { set }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_grammar;
+
+    #[test]
+    fn no_epsilon_rules_means_nothing_nullable() {
+        let g = parse_grammar("s : \"a\" s | \"a\" ;").unwrap();
+        assert_eq!(nullable(&g).count(), 0);
+    }
+
+    #[test]
+    fn direct_epsilon() {
+        let g = parse_grammar("s : \"a\" | ;").unwrap();
+        let n = nullable(&g);
+        assert!(n.contains(g.start()));
+        // The augmented start derives ε through s.
+        assert!(n.contains(g.augmented_start()));
+    }
+
+    #[test]
+    fn transitive_nullability() {
+        let g = parse_grammar("s : a a ; a : b ; b : ;").unwrap();
+        let n = nullable(&g);
+        assert_eq!(n.count(), 4, "all of <start>, s, a, b");
+    }
+
+    #[test]
+    fn blocked_by_terminal() {
+        let g = parse_grammar("s : a \"x\" ; a : ;").unwrap();
+        let n = nullable(&g);
+        assert!(n.contains(g.nonterminal_by_name("a").unwrap()));
+        assert!(!n.contains(g.start()));
+    }
+
+    #[test]
+    fn string_nullable_queries() {
+        let g = parse_grammar("s : a \"x\" ; a : ;").unwrap();
+        let n = nullable(&g);
+        let a: Symbol = g.nonterminal_by_name("a").unwrap().into();
+        let x: Symbol = g.terminal_by_name("x").unwrap().into();
+        assert!(n.string_nullable(&[]));
+        assert!(n.string_nullable(&[a, a]));
+        assert!(!n.string_nullable(&[a, x]));
+        assert!(!n.symbol_nullable(x));
+    }
+
+    #[test]
+    fn iter_lists_members() {
+        let g = parse_grammar("s : \"q\" a ; a : ;").unwrap();
+        let n = nullable(&g);
+        let names: Vec<&str> = n.iter().map(|nt| g.nonterminal_name(nt)).collect();
+        assert_eq!(names, vec!["a"]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Productivity and reachability (useless-symbol detection).
+
+use lalr_bitset::BitSet;
+
+use crate::grammar::Grammar;
+use crate::symbol::{NonTerminal, Symbol, Terminal};
+
+/// Nonterminals that derive at least one terminal string.
+///
+/// # Examples
+///
+/// ```
+/// use lalr_grammar::{analysis::productive_nonterminals, parse_grammar};
+///
+/// let g = parse_grammar("s : \"a\" | b ; b : b \"x\" ;")?;
+/// let prod = productive_nonterminals(&g);
+/// assert!(prod.contains(g.start().index()));
+/// assert!(!prod.contains(g.nonterminal_by_name("b").unwrap().index()));
+/// # Ok::<(), lalr_grammar::GrammarError>(())
+/// ```
+pub fn productive_nonterminals(grammar: &Grammar) -> BitSet {
+    let mut productive = BitSet::new(grammar.nonterminal_count());
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in grammar.productions() {
+            if productive.contains(p.lhs().index()) {
+                continue;
+            }
+            let ok = p.rhs().iter().all(|&s| match s {
+                Symbol::Terminal(_) => true,
+                Symbol::NonTerminal(n) => productive.contains(n.index()),
+            });
+            if ok {
+                productive.insert(p.lhs().index());
+                changed = true;
+            }
+        }
+    }
+    productive
+}
+
+/// Symbols reachable from the augmented start symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reachability {
+    terminals: BitSet,
+    nonterminals: BitSet,
+}
+
+impl Reachability {
+    /// `true` when `t` occurs in some sentential form.
+    pub fn terminal(&self, t: Terminal) -> bool {
+        self.terminals.contains(t.index())
+    }
+
+    /// `true` when `nt` occurs in some sentential form.
+    pub fn nonterminal(&self, nt: NonTerminal) -> bool {
+        self.nonterminals.contains(nt.index())
+    }
+
+    /// The reachable terminal indices.
+    pub fn terminal_set(&self) -> &BitSet {
+        &self.terminals
+    }
+
+    /// The reachable nonterminal indices.
+    pub fn nonterminal_set(&self) -> &BitSet {
+        &self.nonterminals
+    }
+}
+
+/// Computes the symbols reachable from `<start>` by production expansion.
+///
+/// The reserved `$` is always counted reachable (it follows every input).
+pub fn reachable_symbols(grammar: &Grammar) -> Reachability {
+    let mut terminals = BitSet::new(grammar.terminal_count());
+    let mut nonterminals = BitSet::new(grammar.nonterminal_count());
+    terminals.insert(Terminal::EOF.index());
+    let mut work = vec![NonTerminal::AUGMENTED_START];
+    nonterminals.insert(NonTerminal::AUGMENTED_START.index());
+    while let Some(nt) = work.pop() {
+        for &pid in grammar.productions_of(nt) {
+            for &sym in grammar.production(pid).rhs() {
+                match sym {
+                    Symbol::Terminal(t) => {
+                        terminals.insert(t.index());
+                    }
+                    Symbol::NonTerminal(n) => {
+                        if nonterminals.insert(n.index()) {
+                            work.push(n);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Reachability {
+        terminals,
+        nonterminals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_grammar;
+
+    #[test]
+    fn everything_useful_in_clean_grammar() {
+        let g = parse_grammar("s : \"a\" s | \"b\" ;").unwrap();
+        let p = productive_nonterminals(&g);
+        assert_eq!(p.count(), g.nonterminal_count());
+        let r = reachable_symbols(&g);
+        assert_eq!(r.terminal_set().count(), g.terminal_count());
+        assert_eq!(r.nonterminal_set().count(), g.nonterminal_count());
+    }
+
+    #[test]
+    fn unproductive_detected() {
+        let g = parse_grammar("s : \"a\" | u ; u : u \"x\" ;").unwrap();
+        let p = productive_nonterminals(&g);
+        let u = g.nonterminal_by_name("u").unwrap();
+        assert!(!p.contains(u.index()));
+        assert!(p.contains(g.start().index()));
+    }
+
+    #[test]
+    fn unreachable_detected() {
+        let g = parse_grammar("s : \"a\" ; dead : \"b\" ;").unwrap();
+        let r = reachable_symbols(&g);
+        let dead = g.nonterminal_by_name("dead").unwrap();
+        let b = g.terminal_by_name("b").unwrap();
+        assert!(!r.nonterminal(dead));
+        assert!(!r.terminal(b));
+        assert!(r.terminal(g.terminal_by_name("a").unwrap()));
+    }
+
+    #[test]
+    fn eof_always_reachable() {
+        let g = parse_grammar("s : \"a\" ;").unwrap();
+        assert!(reachable_symbols(&g).terminal(Terminal::EOF));
+    }
+
+    #[test]
+    fn nullable_only_nonterminal_is_productive() {
+        let g = parse_grammar("s : a ; a : ;").unwrap();
+        let p = productive_nonterminals(&g);
+        assert_eq!(p.count(), g.nonterminal_count());
+    }
+}

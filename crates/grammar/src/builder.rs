@@ -1,0 +1,326 @@
+//! Programmatic grammar construction.
+
+use std::collections::HashMap;
+
+use crate::error::GrammarError;
+use crate::grammar::Grammar;
+use crate::parse::{Assoc, Precedence};
+use crate::production::{ProdId, Production};
+use crate::symbol::{NonTerminal, Symbol, Terminal};
+
+/// Reserved name of the end-of-input terminal.
+pub(crate) const EOF_NAME: &str = "$";
+/// Reserved name of the augmented start nonterminal.
+pub(crate) const START_NAME: &str = "<start>";
+
+/// Incremental construction of a [`Grammar`].
+///
+/// Symbols may be declared explicitly ([`GrammarBuilder::terminal`]) or
+/// inferred: any name appearing on the left of a rule becomes a
+/// nonterminal, every other name a terminal.
+///
+/// # Examples
+///
+/// ```
+/// use lalr_grammar::GrammarBuilder;
+///
+/// let mut b = GrammarBuilder::new();
+/// b.rule("e", ["e", "+", "t"]);
+/// b.rule("e", ["t"]);
+/// b.rule("t", ["x"]);
+/// b.start("e");
+/// let g = b.build()?;
+/// assert_eq!(g.production_count(), 4);
+/// assert!(g.terminal_by_name("+").is_some());
+/// # Ok::<(), lalr_grammar::GrammarError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GrammarBuilder {
+    rules: Vec<RawRule>,
+    declared_terminals: Vec<String>,
+    precedence: HashMap<String, Precedence>,
+    start: Option<String>,
+    next_prec_level: u16,
+}
+
+#[derive(Debug, Clone)]
+struct RawRule {
+    lhs: String,
+    rhs: Vec<String>,
+    prec: Option<String>,
+}
+
+impl GrammarBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        GrammarBuilder {
+            next_prec_level: 1,
+            ..GrammarBuilder::default()
+        }
+    }
+
+    /// Declares a terminal explicitly (needed only for terminals that never
+    /// appear in a rule, or to fix declaration order).
+    pub fn terminal(&mut self, name: impl Into<String>) -> &mut Self {
+        self.declared_terminals.push(name.into());
+        self
+    }
+
+    /// Declares a group of terminals at one new precedence level.
+    pub fn precedence(
+        &mut self,
+        assoc: Assoc,
+        names: impl IntoIterator<Item = impl Into<String>>,
+    ) -> &mut Self {
+        let level = self.next_prec_level;
+        self.next_prec_level += 1;
+        for name in names {
+            let name = name.into();
+            self.precedence.insert(name.clone(), Precedence { level, assoc });
+            self.declared_terminals.push(name);
+        }
+        self
+    }
+
+    /// Adds the production `lhs → rhs`.
+    pub fn rule(
+        &mut self,
+        lhs: impl Into<String>,
+        rhs: impl IntoIterator<Item = impl Into<String>>,
+    ) -> &mut Self {
+        self.rules.push(RawRule {
+            lhs: lhs.into(),
+            rhs: rhs.into_iter().map(Into::into).collect(),
+            prec: None,
+        });
+        self
+    }
+
+    /// Adds the production `lhs → rhs` with a `%prec` terminal override.
+    pub fn rule_with_prec(
+        &mut self,
+        lhs: impl Into<String>,
+        rhs: impl IntoIterator<Item = impl Into<String>>,
+        prec: impl Into<String>,
+    ) -> &mut Self {
+        self.rules.push(RawRule {
+            lhs: lhs.into(),
+            rhs: rhs.into_iter().map(Into::into).collect(),
+            prec: Some(prec.into()),
+        });
+        self
+    }
+
+    /// Sets the start symbol. Defaults to the LHS of the first rule.
+    pub fn start(&mut self, name: impl Into<String>) -> &mut Self {
+        self.start = Some(name.into());
+        self
+    }
+
+    /// Finishes construction, augmenting the grammar with `$` and
+    /// `<start> → S`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GrammarError`] when the grammar is empty, the start symbol
+    /// is missing or not a nonterminal, a reserved name is declared, a name
+    /// is declared as both terminal and nonterminal, or a `%prec` symbol is
+    /// not a terminal.
+    pub fn build(&self) -> Result<Grammar, GrammarError> {
+        if self.rules.is_empty() {
+            return Err(GrammarError::Empty);
+        }
+
+        // Interning: nonterminal 0 = <start>, terminal 0 = $.
+        let mut nonterm_names = vec![START_NAME.to_string()];
+        let mut nonterm_ids: HashMap<&str, NonTerminal> = HashMap::new();
+        for rule in &self.rules {
+            if rule.lhs == EOF_NAME || rule.lhs == START_NAME {
+                return Err(GrammarError::ReservedSymbol(rule.lhs.clone()));
+            }
+            if !nonterm_ids.contains_key(rule.lhs.as_str()) {
+                nonterm_ids.insert(&rule.lhs, NonTerminal::new(nonterm_names.len()));
+                nonterm_names.push(rule.lhs.clone());
+            }
+        }
+
+        let mut term_names = vec![EOF_NAME.to_string()];
+        let mut term_ids: HashMap<&str, Terminal> = HashMap::new();
+        for name in &self.declared_terminals {
+            if name == EOF_NAME || name == START_NAME {
+                return Err(GrammarError::ReservedSymbol(name.clone()));
+            }
+            if nonterm_ids.contains_key(name.as_str()) {
+                return Err(GrammarError::DuplicateSymbol(name.clone()));
+            }
+            if !term_ids.contains_key(name.as_str()) {
+                term_ids.insert(name, Terminal::new(term_names.len()));
+                term_names.push(name.clone());
+            }
+        }
+        for rule in &self.rules {
+            for sym in &rule.rhs {
+                if sym == EOF_NAME || sym == START_NAME {
+                    return Err(GrammarError::ReservedSymbol(sym.clone()));
+                }
+                if !nonterm_ids.contains_key(sym.as_str()) && !term_ids.contains_key(sym.as_str())
+                {
+                    term_ids.insert(sym, Terminal::new(term_names.len()));
+                    term_names.push(sym.clone());
+                }
+            }
+        }
+
+        // Start symbol.
+        let start_name = match &self.start {
+            Some(s) => s.as_str(),
+            None => self.rules[0].lhs.as_str(),
+        };
+        let start = *nonterm_ids
+            .get(start_name)
+            .ok_or_else(|| GrammarError::StartNotNonterminal(start_name.to_string()))?;
+
+        // Productions: id 0 is the augmentation.
+        let mut productions = vec![Production {
+            lhs: NonTerminal::AUGMENTED_START,
+            rhs: vec![Symbol::NonTerminal(start)].into_boxed_slice(),
+            prec: None,
+        }];
+        for rule in &self.rules {
+            let lhs = nonterm_ids[rule.lhs.as_str()];
+            let rhs: Vec<Symbol> = rule
+                .rhs
+                .iter()
+                .map(|name| match nonterm_ids.get(name.as_str()) {
+                    Some(&n) => Symbol::NonTerminal(n),
+                    None => Symbol::Terminal(term_ids[name.as_str()]),
+                })
+                .collect();
+            let prec = match &rule.prec {
+                None => None,
+                Some(p) => Some(
+                    *term_ids
+                        .get(p.as_str())
+                        .ok_or_else(|| GrammarError::PrecNotTerminal(p.clone()))?,
+                ),
+            };
+            productions.push(Production {
+                lhs,
+                rhs: rhs.into_boxed_slice(),
+                prec,
+            });
+        }
+
+        let mut by_lhs = vec![Vec::new(); nonterm_names.len()];
+        for (i, p) in productions.iter().enumerate() {
+            by_lhs[p.lhs.index()].push(ProdId::new(i));
+        }
+
+        let mut precedence = vec![None; term_names.len()];
+        for (name, &prec) in &self.precedence {
+            if let Some(&t) = term_ids.get(name.as_str()) {
+                precedence[t.index()] = Some(prec);
+            }
+        }
+
+        Ok(Grammar {
+            term_names,
+            nonterm_names,
+            productions,
+            by_lhs,
+            start,
+            precedence,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infers_terminal_vs_nonterminal() {
+        let mut b = GrammarBuilder::new();
+        b.rule("s", ["a", "s"]);
+        b.rule("s", Vec::<String>::new());
+        let g = b.build().unwrap();
+        assert!(g.terminal_by_name("a").is_some());
+        assert!(g.nonterminal_by_name("s").is_some());
+        assert_eq!(g.start(), g.nonterminal_by_name("s").unwrap());
+    }
+
+    #[test]
+    fn empty_grammar_rejected() {
+        assert_eq!(GrammarBuilder::new().build(), Err(GrammarError::Empty));
+    }
+
+    #[test]
+    fn reserved_names_rejected() {
+        let mut b = GrammarBuilder::new();
+        b.rule("$", ["x"]);
+        assert!(matches!(b.build(), Err(GrammarError::ReservedSymbol(_))));
+
+        let mut b = GrammarBuilder::new();
+        b.rule("s", ["<start>"]);
+        assert!(matches!(b.build(), Err(GrammarError::ReservedSymbol(_))));
+    }
+
+    #[test]
+    fn declared_terminal_clashing_with_rule_lhs_rejected() {
+        let mut b = GrammarBuilder::new();
+        b.terminal("s");
+        b.rule("s", ["x"]);
+        assert!(matches!(b.build(), Err(GrammarError::DuplicateSymbol(_))));
+    }
+
+    #[test]
+    fn start_must_have_productions() {
+        let mut b = GrammarBuilder::new();
+        b.rule("s", ["x"]);
+        b.start("x");
+        assert!(matches!(b.build(), Err(GrammarError::StartNotNonterminal(_))));
+    }
+
+    #[test]
+    fn explicit_start_respected() {
+        let mut b = GrammarBuilder::new();
+        b.rule("a", ["b"]);
+        b.rule("b", ["x"]);
+        b.start("b");
+        let g = b.build().unwrap();
+        assert_eq!(g.start(), g.nonterminal_by_name("b").unwrap());
+    }
+
+    #[test]
+    fn precedence_levels_increase() {
+        let mut b = GrammarBuilder::new();
+        b.precedence(Assoc::Left, ["+"]);
+        b.precedence(Assoc::Left, ["*"]);
+        b.rule("e", ["e", "+", "e"]);
+        b.rule("e", ["e", "*", "e"]);
+        b.rule("e", ["x"]);
+        let g = b.build().unwrap();
+        let plus = g.terminal_by_name("+").unwrap();
+        let times = g.terminal_by_name("*").unwrap();
+        let (pp, pt) = (g.precedence_of(plus).unwrap(), g.precedence_of(times).unwrap());
+        assert!(pt.level > pp.level);
+        assert_eq!(pp.assoc, Assoc::Left);
+    }
+
+    #[test]
+    fn prec_override_must_be_terminal() {
+        let mut b = GrammarBuilder::new();
+        b.rule("e", ["x"]);
+        b.rule_with_prec("e", ["e", "e"], "e");
+        assert!(matches!(b.build(), Err(GrammarError::PrecNotTerminal(_))));
+    }
+
+    #[test]
+    fn duplicate_rules_allowed_and_kept() {
+        let mut b = GrammarBuilder::new();
+        b.rule("s", ["x"]);
+        b.rule("s", ["x"]);
+        let g = b.build().unwrap();
+        assert_eq!(g.production_count(), 3);
+    }
+}

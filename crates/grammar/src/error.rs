@@ -1,0 +1,119 @@
+//! Error types for grammar construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// What went wrong while parsing the grammar text format; carried by
+/// [`GrammarError::Parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// A character that cannot start any token.
+    UnexpectedChar(char),
+    /// A string literal without a closing quote.
+    UnterminatedLiteral,
+    /// A block comment without `*/`.
+    UnterminatedComment,
+    /// An unknown `%directive`.
+    UnknownDirective(String),
+    /// Expected one token, found another (both rendered for the message).
+    Expected {
+        /// What the parser wanted.
+        wanted: String,
+        /// What it found.
+        found: String,
+    },
+}
+
+/// Errors produced by [`crate::GrammarBuilder::build`] and
+/// [`crate::parse_grammar`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrammarError {
+    /// Text-format syntax error at `line:col`.
+    Parse {
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+        /// The specific failure.
+        kind: ParseErrorKind,
+    },
+    /// A symbol name declared twice, or used both as terminal and
+    /// nonterminal.
+    DuplicateSymbol(String),
+    /// The reserved names `$` and `<start>` may not be declared.
+    ReservedSymbol(String),
+    /// No `%start` given and no rule found to infer it from.
+    MissingStart,
+    /// `%start` names a symbol with no productions.
+    StartNotNonterminal(String),
+    /// A rule references an undeclared symbol name (only possible through
+    /// the builder's strict mode).
+    UnknownSymbol(String),
+    /// A `%prec` annotation names a symbol that is not a terminal.
+    PrecNotTerminal(String),
+    /// The grammar has no productions at all.
+    Empty,
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            ParseErrorKind::UnterminatedLiteral => write!(f, "unterminated string literal"),
+            ParseErrorKind::UnterminatedComment => write!(f, "unterminated block comment"),
+            ParseErrorKind::UnknownDirective(d) => write!(f, "unknown directive %{d}"),
+            ParseErrorKind::Expected { wanted, found } => {
+                write!(f, "expected {wanted}, found {found}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for GrammarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrammarError::Parse { line, col, kind } => {
+                write!(f, "syntax error at {line}:{col}: {kind}")
+            }
+            GrammarError::DuplicateSymbol(s) => write!(f, "duplicate symbol {s:?}"),
+            GrammarError::ReservedSymbol(s) => write!(f, "reserved symbol name {s:?}"),
+            GrammarError::MissingStart => write!(f, "no start symbol"),
+            GrammarError::StartNotNonterminal(s) => {
+                write!(f, "start symbol {s:?} has no productions")
+            }
+            GrammarError::UnknownSymbol(s) => write!(f, "unknown symbol {s:?}"),
+            GrammarError::PrecNotTerminal(s) => {
+                write!(f, "%prec symbol {s:?} is not a terminal")
+            }
+            GrammarError::Empty => write!(f, "grammar has no productions"),
+        }
+    }
+}
+
+impl Error for GrammarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = GrammarError::Parse {
+            line: 3,
+            col: 7,
+            kind: ParseErrorKind::UnexpectedChar('@'),
+        };
+        assert_eq!(e.to_string(), "syntax error at 3:7: unexpected character '@'");
+        assert_eq!(
+            GrammarError::DuplicateSymbol("x".into()).to_string(),
+            "duplicate symbol \"x\""
+        );
+        assert_eq!(GrammarError::MissingStart.to_string(), "no start symbol");
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn Error> = Box::new(GrammarError::Empty);
+        assert_eq!(e.to_string(), "grammar has no productions");
+    }
+}

@@ -1,0 +1,279 @@
+//! The immutable [`Grammar`] type.
+
+use crate::parse::Precedence;
+use crate::production::{ProdId, Production};
+use crate::symbol::{NonTerminal, Symbol, Terminal};
+
+/// An immutable, augmented context-free grammar.
+///
+/// Invariants (established by [`crate::GrammarBuilder`]):
+///
+/// * Terminal `0` is the reserved end-of-input marker `$`.
+/// * Nonterminal `0` is the reserved augmented start symbol `<start>`.
+/// * Production `0` is `<start> → S` where `S` is the user start symbol.
+/// * Every symbol referenced by a production exists in the tables.
+/// * `$` and `<start>` appear in no user production.
+///
+/// # Examples
+///
+/// ```
+/// use lalr_grammar::{parse_grammar, Symbol};
+///
+/// let g = parse_grammar("%start s  s : \"a\" s | ;")?;
+/// let start_prod = g.production(lalr_grammar::ProdId::START);
+/// assert_eq!(start_prod.rhs(), &[Symbol::NonTerminal(g.start())]);
+/// assert_eq!(g.name_of(Symbol::NonTerminal(g.start())), "s");
+/// # Ok::<(), lalr_grammar::GrammarError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grammar {
+    pub(crate) term_names: Vec<String>,
+    pub(crate) nonterm_names: Vec<String>,
+    pub(crate) productions: Vec<Production>,
+    /// Production ids grouped by LHS nonterminal.
+    pub(crate) by_lhs: Vec<Vec<ProdId>>,
+    /// The user start symbol (RHS of production 0).
+    pub(crate) start: NonTerminal,
+    /// Optional precedence/associativity per terminal.
+    pub(crate) precedence: Vec<Option<Precedence>>,
+}
+
+impl Grammar {
+    /// Number of terminals, including the reserved `$`.
+    #[inline]
+    pub fn terminal_count(&self) -> usize {
+        self.term_names.len()
+    }
+
+    /// Number of nonterminals, including the reserved `<start>`.
+    #[inline]
+    pub fn nonterminal_count(&self) -> usize {
+        self.nonterm_names.len()
+    }
+
+    /// Number of productions, including the augmented start production.
+    #[inline]
+    pub fn production_count(&self) -> usize {
+        self.productions.len()
+    }
+
+    /// Total number of grammar symbols (terminals + nonterminals).
+    #[inline]
+    pub fn symbol_count(&self) -> usize {
+        self.terminal_count() + self.nonterminal_count()
+    }
+
+    /// The end-of-input terminal `$`.
+    #[inline]
+    pub fn eof(&self) -> Terminal {
+        Terminal::EOF
+    }
+
+    /// The augmented start nonterminal `<start>`.
+    #[inline]
+    pub fn augmented_start(&self) -> NonTerminal {
+        NonTerminal::AUGMENTED_START
+    }
+
+    /// The user start symbol.
+    #[inline]
+    pub fn start(&self) -> NonTerminal {
+        self.start
+    }
+
+    /// The augmented start production `<start> → S`.
+    #[inline]
+    pub fn start_production(&self) -> &Production {
+        &self.productions[0]
+    }
+
+    /// All productions, in id order.
+    #[inline]
+    pub fn productions(&self) -> &[Production] {
+        &self.productions
+    }
+
+    /// A production by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn production(&self, id: ProdId) -> &Production {
+        &self.productions[id.index()]
+    }
+
+    /// Iterates over `(id, production)` pairs.
+    pub fn iter_productions(&self) -> impl Iterator<Item = (ProdId, &Production)> {
+        self.productions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ProdId::new(i), p))
+    }
+
+    /// The productions whose LHS is `nt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nt` is out of range.
+    #[inline]
+    pub fn productions_of(&self, nt: NonTerminal) -> &[ProdId] {
+        &self.by_lhs[nt.index()]
+    }
+
+    /// Iterates over all terminals, including `$`.
+    pub fn terminals(&self) -> impl Iterator<Item = Terminal> {
+        (0..self.terminal_count() as u32).map(Terminal)
+    }
+
+    /// Iterates over all nonterminals, including `<start>`.
+    pub fn nonterminals(&self) -> impl Iterator<Item = NonTerminal> {
+        (0..self.nonterminal_count() as u32).map(NonTerminal)
+    }
+
+    /// The display name of a terminal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[inline]
+    pub fn terminal_name(&self, t: Terminal) -> &str {
+        &self.term_names[t.index()]
+    }
+
+    /// The display name of a nonterminal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nt` is out of range.
+    #[inline]
+    pub fn nonterminal_name(&self, nt: NonTerminal) -> &str {
+        &self.nonterm_names[nt.index()]
+    }
+
+    /// The display name of any symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol is out of range.
+    pub fn name_of(&self, sym: Symbol) -> &str {
+        match sym {
+            Symbol::Terminal(t) => self.terminal_name(t),
+            Symbol::NonTerminal(n) => self.nonterminal_name(n),
+        }
+    }
+
+    /// Looks up a terminal by name.
+    pub fn terminal_by_name(&self, name: &str) -> Option<Terminal> {
+        self.term_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Terminal(i as u32))
+    }
+
+    /// Looks up a nonterminal by name.
+    pub fn nonterminal_by_name(&self, name: &str) -> Option<NonTerminal> {
+        self.nonterm_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| NonTerminal(i as u32))
+    }
+
+    /// Looks up any symbol by name (terminals win on a tie, which the
+    /// builder prevents anyway).
+    pub fn symbol_by_name(&self, name: &str) -> Option<Symbol> {
+        self.terminal_by_name(name)
+            .map(Symbol::Terminal)
+            .or_else(|| self.nonterminal_by_name(name).map(Symbol::NonTerminal))
+    }
+
+    /// Declared precedence of a terminal, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[inline]
+    pub fn precedence_of(&self, t: Terminal) -> Option<Precedence> {
+        self.precedence[t.index()]
+    }
+
+    /// Resolved precedence of a production (via `%prec` or its rightmost
+    /// terminal).
+    pub fn production_precedence(&self, id: ProdId) -> Option<Precedence> {
+        self.production(id)
+            .precedence_terminal()
+            .and_then(|t| self.precedence_of(t))
+    }
+
+    /// Sum of right-hand-side lengths over all productions (a standard
+    /// grammar size measure, `|G|`).
+    pub fn size(&self) -> usize {
+        self.productions.iter().map(Production::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_grammar;
+    use crate::{NonTerminal, ProdId, Symbol, Terminal};
+
+    fn sample() -> crate::Grammar {
+        parse_grammar(
+            r#"
+            %start e
+            e : e "+" t | t ;
+            t : "x" ;
+            "#,
+        )
+        .expect("valid grammar")
+    }
+
+    #[test]
+    fn augmentation_invariants() {
+        let g = sample();
+        assert_eq!(g.terminal_name(Terminal::EOF), "$");
+        assert_eq!(g.nonterminal_name(NonTerminal::AUGMENTED_START), "<start>");
+        let p0 = g.start_production();
+        assert_eq!(p0.lhs(), NonTerminal::AUGMENTED_START);
+        assert_eq!(p0.rhs(), &[Symbol::NonTerminal(g.start())]);
+    }
+
+    #[test]
+    fn counts_and_lookups() {
+        let g = sample();
+        assert_eq!(g.terminal_count(), 3);
+        assert_eq!(g.nonterminal_count(), 3);
+        assert_eq!(g.production_count(), 4);
+        assert_eq!(g.symbol_count(), 6);
+        assert_eq!(g.terminal_by_name("+"), Some(Terminal::new(1)));
+        assert_eq!(g.nonterminal_by_name("e"), Some(g.start()));
+        assert_eq!(g.symbol_by_name("t"), Some(Symbol::NonTerminal(NonTerminal::new(2))));
+        assert_eq!(g.symbol_by_name("missing"), None);
+    }
+
+    #[test]
+    fn productions_grouped_by_lhs() {
+        let g = sample();
+        let e = g.nonterminal_by_name("e").unwrap();
+        assert_eq!(g.productions_of(e).len(), 2);
+        for &pid in g.productions_of(e) {
+            assert_eq!(g.production(pid).lhs(), e);
+        }
+        assert_eq!(g.productions_of(NonTerminal::AUGMENTED_START), &[ProdId::START]);
+    }
+
+    #[test]
+    fn grammar_size_is_rhs_total() {
+        let g = sample();
+        // <start>→e (1) + e→e+t (3) + e→t (1) + t→x (1) = 6
+        assert_eq!(g.size(), 6);
+    }
+
+    #[test]
+    fn iterators_cover_all_symbols() {
+        let g = sample();
+        assert_eq!(g.terminals().count(), g.terminal_count());
+        assert_eq!(g.nonterminals().count(), g.nonterminal_count());
+        assert_eq!(g.iter_productions().count(), g.production_count());
+    }
+}

@@ -1,0 +1,59 @@
+//! Context-free grammar representation and classical analyses.
+//!
+//! This crate is the grammar substrate for the DeRemer–Pennello LALR(1)
+//! look-ahead computation in `lalr-core`:
+//!
+//! * [`Grammar`] — an immutable, interned, *augmented* grammar. Every
+//!   grammar carries the reserved end-of-input terminal `$` ([`Grammar::eof`])
+//!   and the reserved start production `0: <start> → S`
+//!   ([`Grammar::start_production`]), the convention the paper (and
+//!   yacc/bison) use.
+//! * [`GrammarBuilder`] — programmatic construction.
+//! * [`parse_grammar`] — a yacc/menhir-style text format with `%token`,
+//!   `%start`, `%left`/`%right`/`%nonassoc` and `%prec` support.
+//! * [`parse_yacc`] — a reader for real yacc/bison `.y` files (semantic
+//!   actions stripped, declarations handled or skipped).
+//! * [`analysis`] — nullable symbols, `FIRST`/`FOLLOW` sets, reachability,
+//!   productivity, and recursion structure.
+//! * [`transform`] — useless-symbol elimination and ε-production removal.
+//!
+//! # Examples
+//!
+//! ```
+//! use lalr_grammar::parse_grammar;
+//!
+//! let g = parse_grammar(
+//!     r#"
+//!     %start e
+//!     e : e "+" t | t ;
+//!     t : "x" ;
+//!     "#,
+//! )?;
+//! assert_eq!(g.terminal_count(), 3); // "$", "+", "x"
+//! assert_eq!(g.production_count(), 4); // augmented + 3 user rules
+//! let nullable = lalr_grammar::analysis::nullable(&g);
+//! assert!(nullable.iter().next().is_none());
+//! # Ok::<(), lalr_grammar::GrammarError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod builder;
+mod display;
+mod error;
+mod grammar;
+mod parse;
+mod production;
+mod stats;
+mod symbol;
+pub mod transform;
+
+pub use builder::GrammarBuilder;
+pub use error::{GrammarError, ParseErrorKind};
+pub use grammar::Grammar;
+pub use parse::{parse_grammar, parse_yacc, Assoc, Precedence};
+pub use production::{ProdId, Production};
+pub use stats::GrammarStats;
+pub use symbol::{NonTerminal, Symbol, Terminal};

@@ -1,0 +1,51 @@
+//! The grammar text format.
+//!
+//! A yacc/menhir-flavoured notation:
+//!
+//! ```text
+//! // line comment            /* block comment */
+//! %token NUM ID              // explicit terminal declarations (optional)
+//! %start expr                // start symbol (defaults to first rule's LHS)
+//! %left "+" "-"              // precedence levels, weakest first
+//! %left "*" "/"
+//! %right UMINUS
+//!
+//! expr : expr "+" expr
+//!      | expr "*" expr
+//!      | "-" expr %prec UMINUS
+//!      | NUM
+//!      ;
+//! ```
+//!
+//! * Identifiers and quoted literals are both symbol names; a name is a
+//!   nonterminal iff it appears to the left of `:`.
+//! * An empty alternative (or the keyword `%empty`) denotes ε.
+//! * Alternatives are separated by `|`, rules terminated by `;`.
+
+mod lexer;
+mod parser;
+mod yacc;
+
+pub use parser::parse_grammar;
+pub use yacc::parse_yacc;
+
+/// Associativity of a precedence level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Assoc {
+    /// `%left` — resolve shift/reduce in favour of reduce.
+    Left,
+    /// `%right` — resolve shift/reduce in favour of shift.
+    Right,
+    /// `%nonassoc` — same-level shift/reduce becomes an error entry.
+    NonAssoc,
+}
+
+/// A terminal's precedence: a level (higher binds tighter) and an
+/// associativity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Precedence {
+    /// Binding strength; larger wins.
+    pub level: u16,
+    /// Tie-breaking associativity.
+    pub assoc: Assoc,
+}

@@ -1,0 +1,294 @@
+//! Recursive-descent parser for the grammar text format.
+
+use crate::builder::GrammarBuilder;
+use crate::error::{GrammarError, ParseErrorKind};
+use crate::grammar::Grammar;
+use crate::parse::lexer::{Lexer, Token, TokenKind};
+use crate::parse::Assoc;
+
+/// Parses the text format into a [`Grammar`].
+///
+/// See `docs/GRAMMAR_FORMAT.md` in the repository for the full syntax
+/// reference.
+///
+/// # Errors
+///
+/// Returns [`GrammarError::Parse`] (with position) on syntax errors and the
+/// other [`GrammarError`] variants for semantic problems (duplicate or
+/// reserved symbols, missing start, …).
+///
+/// # Examples
+///
+/// ```
+/// use lalr_grammar::parse_grammar;
+///
+/// let g = parse_grammar(
+///     r#"
+///     %left "+"
+///     %left "*"
+///     e : e "+" e | e "*" e | NUM ;
+///     "#,
+/// )?;
+/// assert_eq!(g.production_count(), 4);
+/// # Ok::<(), lalr_grammar::GrammarError>(())
+/// ```
+pub fn parse_grammar(src: &str) -> Result<Grammar, GrammarError> {
+    Parser::new(src)?.run()
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    tok: Token,
+    peek: Token,
+    builder: GrammarBuilder,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Result<Self, GrammarError> {
+        let mut lexer = Lexer::new(src);
+        let tok = lexer.next_token()?;
+        let peek = lexer.next_token()?;
+        Ok(Parser {
+            lexer,
+            tok,
+            peek,
+            builder: GrammarBuilder::new(),
+        })
+    }
+
+    fn bump(&mut self) -> Result<Token, GrammarError> {
+        let next = self.lexer.next_token()?;
+        let new_tok = std::mem::replace(&mut self.peek, next);
+        Ok(std::mem::replace(&mut self.tok, new_tok))
+    }
+
+    /// In a directive's name list, a `Name` directly followed by `:` is the
+    /// next rule's left-hand side, not a list member.
+    fn at_list_name(&self) -> bool {
+        matches!(self.tok.kind, TokenKind::Name(_)) && self.peek.kind != TokenKind::Colon
+    }
+
+    fn error_expected(&self, wanted: &str) -> GrammarError {
+        GrammarError::Parse {
+            line: self.tok.line,
+            col: self.tok.col,
+            kind: ParseErrorKind::Expected {
+                wanted: wanted.to_string(),
+                found: self.tok.kind.describe(),
+            },
+        }
+    }
+
+    fn expect_name(&mut self, wanted: &str) -> Result<String, GrammarError> {
+        match &self.tok.kind {
+            TokenKind::Name(_) => {
+                let tok = self.bump()?;
+                match tok.kind {
+                    TokenKind::Name(n) => Ok(n),
+                    _ => unreachable!("checked above"),
+                }
+            }
+            _ => Err(self.error_expected(wanted)),
+        }
+    }
+
+    fn run(mut self) -> Result<Grammar, GrammarError> {
+        loop {
+            match &self.tok.kind {
+                TokenKind::Eof => break,
+                TokenKind::Directive(_) => self.directive()?,
+                TokenKind::Name(_) => self.rule()?,
+                _ => return Err(self.error_expected("a rule or %directive")),
+            }
+        }
+        self.builder.build()
+    }
+
+    fn directive(&mut self) -> Result<(), GrammarError> {
+        let tok = self.bump()?;
+        let TokenKind::Directive(name) = tok.kind else {
+            unreachable!("caller checked");
+        };
+        match name.as_str() {
+            "start" => {
+                let s = self.expect_name("a start symbol name")?;
+                self.builder.start(s);
+            }
+            "token" | "term" => {
+                while self.at_list_name() {
+                    let n = self.expect_name("a terminal name")?;
+                    self.builder.terminal(n);
+                }
+            }
+            "left" | "right" | "nonassoc" => {
+                let assoc = match name.as_str() {
+                    "left" => Assoc::Left,
+                    "right" => Assoc::Right,
+                    _ => Assoc::NonAssoc,
+                };
+                let mut names = Vec::new();
+                while self.at_list_name() {
+                    names.push(self.expect_name("a terminal name")?);
+                }
+                self.builder.precedence(assoc, names);
+            }
+            other => {
+                return Err(GrammarError::Parse {
+                    line: tok.line,
+                    col: tok.col,
+                    kind: ParseErrorKind::UnknownDirective(other.to_string()),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    fn rule(&mut self) -> Result<(), GrammarError> {
+        let lhs = self.expect_name("a rule left-hand side")?;
+        if self.tok.kind != TokenKind::Colon {
+            return Err(self.error_expected("':'"));
+        }
+        self.bump()?;
+        loop {
+            let (rhs, prec) = self.alternative()?;
+            match prec {
+                None => self.builder.rule(lhs.clone(), rhs),
+                Some(p) => self.builder.rule_with_prec(lhs.clone(), rhs, p),
+            };
+            match &self.tok.kind {
+                TokenKind::Pipe => {
+                    self.bump()?;
+                }
+                TokenKind::Semi => {
+                    self.bump()?;
+                    return Ok(());
+                }
+                _ => return Err(self.error_expected("'|' or ';'")),
+            }
+        }
+    }
+
+    /// One alternative: a (possibly empty) symbol string with an optional
+    /// trailing `%prec TERMINAL` or an explicit `%empty`.
+    fn alternative(&mut self) -> Result<(Vec<String>, Option<String>), GrammarError> {
+        let mut rhs = Vec::new();
+        let mut prec = None;
+        loop {
+            match &self.tok.kind {
+                TokenKind::Name(_) => rhs.push(self.expect_name("a symbol")?),
+                TokenKind::Directive(d) if d == "empty" => {
+                    self.bump()?;
+                }
+                TokenKind::Directive(d) if d == "prec" => {
+                    self.bump()?;
+                    prec = Some(self.expect_name("a %prec terminal")?);
+                }
+                _ => return Ok((rhs, prec)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol;
+
+    #[test]
+    fn minimal_grammar() {
+        let g = parse_grammar("s : \"a\" ;").unwrap();
+        assert_eq!(g.production_count(), 2);
+        assert_eq!(g.nonterminal_name(g.start()), "s");
+    }
+
+    #[test]
+    fn alternatives_and_epsilon() {
+        let g = parse_grammar("s : \"a\" s | ;").unwrap();
+        let s = g.nonterminal_by_name("s").unwrap();
+        let prods = g.productions_of(s);
+        assert_eq!(prods.len(), 2);
+        assert!(g.production(prods[1]).is_empty());
+    }
+
+    #[test]
+    fn explicit_empty_keyword() {
+        let g = parse_grammar("s : %empty | \"a\" ;").unwrap();
+        let s = g.nonterminal_by_name("s").unwrap();
+        assert!(g.production(g.productions_of(s)[0]).is_empty());
+    }
+
+    #[test]
+    fn token_declarations_fix_order() {
+        let g = parse_grammar("%token A B C  s : C ;").unwrap();
+        assert_eq!(g.terminal_name(crate::Terminal::new(1)), "A");
+        assert_eq!(g.terminal_name(crate::Terminal::new(2)), "B");
+        assert_eq!(g.terminal_name(crate::Terminal::new(3)), "C");
+    }
+
+    #[test]
+    fn precedence_and_prec_override() {
+        let g = parse_grammar(
+            r#"
+            %left "+"
+            %right UMINUS
+            e : e "+" e | "-" e %prec UMINUS | NUM ;
+            "#,
+        )
+        .unwrap();
+        let e = g.nonterminal_by_name("e").unwrap();
+        let neg = g.productions_of(e)[1];
+        let uminus = g.terminal_by_name("UMINUS").unwrap();
+        assert_eq!(g.production(neg).prec_override(), Some(uminus));
+        let p = g.production_precedence(neg).unwrap();
+        assert_eq!(p.assoc, Assoc::Right);
+    }
+
+    #[test]
+    fn start_directive() {
+        let g = parse_grammar("%start b  a : \"x\" ;  b : a ;").unwrap();
+        assert_eq!(g.nonterminal_name(g.start()), "b");
+    }
+
+    #[test]
+    fn missing_semi_is_syntax_error() {
+        let err = parse_grammar("s : \"a\"").unwrap_err();
+        assert!(matches!(
+            err,
+            GrammarError::Parse {
+                kind: ParseErrorKind::Expected { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unknown_directive_is_error() {
+        let err = parse_grammar("%bogus  s : \"a\" ;").unwrap_err();
+        assert!(matches!(
+            err,
+            GrammarError::Parse {
+                kind: ParseErrorKind::UnknownDirective(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rule_without_colon_is_error() {
+        let err = parse_grammar("s \"a\" ;").unwrap_err();
+        let GrammarError::Parse { kind: ParseErrorKind::Expected { wanted, .. }, .. } = err else {
+            panic!("wrong error: {err:?}");
+        };
+        assert_eq!(wanted, "':'");
+    }
+
+    #[test]
+    fn quoted_and_bare_names_are_one_namespace() {
+        let g = parse_grammar("s : \"a\" a ;").unwrap();
+        // "a" quoted and a bare refer to the same terminal.
+        let s = g.nonterminal_by_name("s").unwrap();
+        let p = g.production(g.productions_of(s)[0]);
+        assert_eq!(p.rhs()[0], p.rhs()[1]);
+        assert!(matches!(p.rhs()[0], Symbol::Terminal(_)));
+    }
+}

@@ -1,0 +1,127 @@
+//! Productions and production ids.
+
+use crate::symbol::{NonTerminal, Symbol, Terminal};
+
+/// Identifier of a production; an index into [`crate::Grammar::productions`].
+///
+/// Production `0` is always the augmented start production `<start> → S`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProdId(pub(crate) u32);
+
+impl ProdId {
+    /// The augmented start production.
+    pub const START: ProdId = ProdId(0);
+
+    /// Creates a production id from a raw index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        ProdId(index as u32)
+    }
+
+    /// The index into the grammar's production table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single production `A → X₁ … Xₙ`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Production {
+    pub(crate) lhs: NonTerminal,
+    pub(crate) rhs: Box<[Symbol]>,
+    pub(crate) prec: Option<Terminal>,
+}
+
+impl Production {
+    /// The left-hand-side nonterminal.
+    #[inline]
+    pub fn lhs(&self) -> NonTerminal {
+        self.lhs
+    }
+
+    /// The right-hand-side symbol string (empty for ε-productions).
+    #[inline]
+    pub fn rhs(&self) -> &[Symbol] {
+        &self.rhs
+    }
+
+    /// Length of the right-hand side.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rhs.len()
+    }
+
+    /// `true` for an ε-production.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rhs.is_empty()
+    }
+
+    /// An explicit `%prec` terminal overriding the default precedence (the
+    /// rightmost terminal of the right-hand side).
+    #[inline]
+    pub fn prec_override(&self) -> Option<Terminal> {
+        self.prec
+    }
+
+    /// The terminal that decides this production's precedence: the `%prec`
+    /// override if present, otherwise the rightmost terminal of the
+    /// right-hand side.
+    pub fn precedence_terminal(&self) -> Option<Terminal> {
+        self.prec.or_else(|| {
+            self.rhs
+                .iter()
+                .rev()
+                .find_map(|s| s.terminal())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prod(rhs: Vec<Symbol>, prec: Option<Terminal>) -> Production {
+        Production {
+            lhs: NonTerminal::new(1),
+            rhs: rhs.into_boxed_slice(),
+            prec,
+        }
+    }
+
+    #[test]
+    fn epsilon_production() {
+        let p = prod(vec![], None);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.precedence_terminal(), None);
+    }
+
+    #[test]
+    fn default_precedence_is_rightmost_terminal() {
+        let p = prod(
+            vec![
+                Terminal::new(1).into(),
+                NonTerminal::new(2).into(),
+                Terminal::new(3).into(),
+                NonTerminal::new(4).into(),
+            ],
+            None,
+        );
+        assert_eq!(p.precedence_terminal(), Some(Terminal::new(3)));
+    }
+
+    #[test]
+    fn prec_override_wins() {
+        let p = prod(vec![Terminal::new(3).into()], Some(Terminal::new(9)));
+        assert_eq!(p.precedence_terminal(), Some(Terminal::new(9)));
+        assert_eq!(p.prec_override(), Some(Terminal::new(9)));
+    }
+
+    #[test]
+    fn prod_id_round_trip() {
+        assert_eq!(ProdId::new(7).index(), 7);
+        assert_eq!(ProdId::START.index(), 0);
+    }
+}

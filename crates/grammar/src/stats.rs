@@ -1,0 +1,125 @@
+//! Grammar statistics (the grammar columns of evaluation Table 1).
+
+use crate::analysis::{
+    left_recursive_nonterminals, nullable, productive_nonterminals, reachable_symbols,
+};
+use crate::grammar::Grammar;
+
+/// Structural statistics of a grammar, excluding the reserved augmentation
+/// symbols so the numbers describe the *user's* grammar the way the paper's
+/// Table 1 does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrammarStats {
+    /// User terminals (`$` excluded).
+    pub terminals: usize,
+    /// User nonterminals (`<start>` excluded).
+    pub nonterminals: usize,
+    /// User productions (the augmentation excluded).
+    pub productions: usize,
+    /// Sum of RHS lengths over user productions.
+    pub size: usize,
+    /// Longest RHS.
+    pub max_rhs_len: usize,
+    /// ε-productions.
+    pub epsilon_productions: usize,
+    /// Nullable user nonterminals.
+    pub nullable_nonterminals: usize,
+    /// Left-recursive user nonterminals.
+    pub left_recursive: usize,
+    /// Unreachable or unproductive user nonterminals.
+    pub useless_nonterminals: usize,
+}
+
+impl GrammarStats {
+    /// Computes all statistics for `grammar`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lalr_grammar::{parse_grammar, GrammarStats};
+    ///
+    /// let g = parse_grammar("e : e \"+\" t | t ; t : \"x\" ;")?;
+    /// let s = GrammarStats::compute(&g);
+    /// assert_eq!((s.terminals, s.nonterminals, s.productions), (2, 2, 3));
+    /// assert_eq!(s.left_recursive, 1);
+    /// # Ok::<(), lalr_grammar::GrammarError>(())
+    /// ```
+    pub fn compute(grammar: &Grammar) -> GrammarStats {
+        let nullable = nullable(grammar);
+        let productive = productive_nonterminals(grammar);
+        let reachable = reachable_symbols(grammar);
+        let left_rec = left_recursive_nonterminals(grammar, &nullable);
+
+        let user_prods = || grammar.iter_productions().skip(1).map(|(_, p)| p);
+
+        GrammarStats {
+            terminals: grammar.terminal_count() - 1,
+            nonterminals: grammar.nonterminal_count() - 1,
+            productions: grammar.production_count() - 1,
+            size: user_prods().map(|p| p.len()).sum(),
+            max_rhs_len: user_prods().map(|p| p.len()).max().unwrap_or(0),
+            epsilon_productions: user_prods().filter(|p| p.is_empty()).count(),
+            nullable_nonterminals: grammar
+                .nonterminals()
+                .filter(|nt| !nt.is_augmented_start() && nullable.contains(*nt))
+                .count(),
+            left_recursive: left_rec
+                .iter()
+                .filter(|nt| !nt.is_augmented_start())
+                .count(),
+            useless_nonterminals: grammar
+                .nonterminals()
+                .filter(|&nt| {
+                    !nt.is_augmented_start()
+                        && (!productive.contains(nt.index()) || !reachable.nonterminal(nt))
+                })
+                .count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_grammar;
+
+    #[test]
+    fn stats_of_clean_grammar() {
+        let g = parse_grammar(
+            r#"
+            e : e "+" t | t ;
+            t : t "*" f | f ;
+            f : "(" e ")" | "id" ;
+            "#,
+        )
+        .unwrap();
+        let s = GrammarStats::compute(&g);
+        assert_eq!(s.terminals, 5);
+        assert_eq!(s.nonterminals, 3);
+        assert_eq!(s.productions, 6);
+        assert_eq!(s.size, 3 + 1 + 3 + 1 + 3 + 1);
+        assert_eq!(s.max_rhs_len, 3);
+        assert_eq!(s.epsilon_productions, 0);
+        assert_eq!(s.nullable_nonterminals, 0);
+        assert_eq!(s.left_recursive, 2);
+        assert_eq!(s.useless_nonterminals, 0);
+    }
+
+    #[test]
+    fn stats_count_epsilon_and_useless() {
+        let g = parse_grammar("s : a | ; a : \"x\" ; dead : dead \"y\" ;").unwrap();
+        let s = GrammarStats::compute(&g);
+        assert_eq!(s.epsilon_productions, 1);
+        assert_eq!(s.nullable_nonterminals, 1);
+        assert_eq!(s.useless_nonterminals, 1);
+    }
+
+    #[test]
+    fn empty_rhs_only_grammar() {
+        let g = parse_grammar("s : ;").unwrap();
+        let s = GrammarStats::compute(&g);
+        assert_eq!(s.max_rhs_len, 0);
+        assert_eq!(s.size, 0);
+        assert_eq!(s.terminals, 0);
+    }
+}

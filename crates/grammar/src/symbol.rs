@@ -1,0 +1,185 @@
+//! Interned grammar symbols.
+
+use std::fmt;
+
+/// A terminal symbol, identified by its index in the grammar's terminal
+/// table. Index `0` is always the reserved end-of-input marker `$`.
+///
+/// # Examples
+///
+/// ```
+/// use lalr_grammar::Terminal;
+///
+/// assert_eq!(Terminal::EOF.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Terminal(pub(crate) u32);
+
+impl Terminal {
+    /// The reserved end-of-input terminal `$`.
+    pub const EOF: Terminal = Terminal(0);
+
+    /// Creates a terminal id from a raw index.
+    ///
+    /// Only meaningful for indices that exist in the target grammar.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        Terminal(index as u32)
+    }
+
+    /// The index into the grammar's terminal table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// `true` for the end-of-input marker.
+    #[inline]
+    pub fn is_eof(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A nonterminal symbol, identified by its index in the grammar's
+/// nonterminal table. Index `0` is always the reserved augmented start
+/// symbol `<start>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NonTerminal(pub(crate) u32);
+
+impl NonTerminal {
+    /// The reserved augmented start symbol `<start>`.
+    pub const AUGMENTED_START: NonTerminal = NonTerminal(0);
+
+    /// Creates a nonterminal id from a raw index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NonTerminal(index as u32)
+    }
+
+    /// The index into the grammar's nonterminal table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// `true` for the augmented start symbol.
+    #[inline]
+    pub fn is_augmented_start(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Either kind of grammar symbol.
+///
+/// # Examples
+///
+/// ```
+/// use lalr_grammar::{NonTerminal, Symbol, Terminal};
+///
+/// let s = Symbol::from(Terminal::EOF);
+/// assert!(s.is_terminal());
+/// assert_eq!(s.terminal(), Some(Terminal::EOF));
+/// assert_eq!(Symbol::from(NonTerminal::new(3)).nonterminal(), Some(NonTerminal::new(3)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Symbol {
+    /// A terminal.
+    Terminal(Terminal),
+    /// A nonterminal.
+    NonTerminal(NonTerminal),
+}
+
+impl Symbol {
+    /// `true` when this is a terminal.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Symbol::Terminal(_))
+    }
+
+    /// `true` when this is a nonterminal.
+    #[inline]
+    pub fn is_nonterminal(self) -> bool {
+        matches!(self, Symbol::NonTerminal(_))
+    }
+
+    /// The terminal, if this is one.
+    #[inline]
+    pub fn terminal(self) -> Option<Terminal> {
+        match self {
+            Symbol::Terminal(t) => Some(t),
+            Symbol::NonTerminal(_) => None,
+        }
+    }
+
+    /// The nonterminal, if this is one.
+    #[inline]
+    pub fn nonterminal(self) -> Option<NonTerminal> {
+        match self {
+            Symbol::NonTerminal(n) => Some(n),
+            Symbol::Terminal(_) => None,
+        }
+    }
+}
+
+impl From<Terminal> for Symbol {
+    fn from(t: Terminal) -> Symbol {
+        Symbol::Terminal(t)
+    }
+}
+
+impl From<NonTerminal> for Symbol {
+    fn from(n: NonTerminal) -> Symbol {
+        Symbol::NonTerminal(n)
+    }
+}
+
+impl fmt::Display for Terminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for NonTerminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Symbol::Terminal(t) => t.fmt(f),
+            Symbol::NonTerminal(n) => n.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eof_is_index_zero() {
+        assert!(Terminal::EOF.is_eof());
+        assert!(!Terminal::new(1).is_eof());
+        assert!(NonTerminal::AUGMENTED_START.is_augmented_start());
+    }
+
+    #[test]
+    fn symbol_projections() {
+        let t: Symbol = Terminal::new(2).into();
+        let n: Symbol = NonTerminal::new(5).into();
+        assert!(t.is_terminal() && !t.is_nonterminal());
+        assert!(n.is_nonterminal() && !n.is_terminal());
+        assert_eq!(t.terminal(), Some(Terminal::new(2)));
+        assert_eq!(t.nonterminal(), None);
+        assert_eq!(n.nonterminal(), Some(NonTerminal::new(5)));
+        assert_eq!(n.terminal(), None);
+    }
+
+    #[test]
+    fn ordering_is_total_within_kind() {
+        assert!(Terminal::new(1) < Terminal::new(2));
+        assert!(NonTerminal::new(0) < NonTerminal::new(9));
+    }
+}

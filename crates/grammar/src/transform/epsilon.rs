@@ -1,0 +1,201 @@
+//! ε-production removal.
+
+use crate::analysis::nullable;
+use crate::builder::GrammarBuilder;
+use crate::error::GrammarError;
+use crate::grammar::Grammar;
+use crate::symbol::Symbol;
+
+/// Rewrites `grammar` into an equivalent grammar without ε-productions.
+///
+/// The language is preserved except that the empty string (if previously
+/// derivable) is no longer derivable — the standard construction: for every
+/// production, all variants obtained by deleting nullable nonterminal
+/// occurrences are added, and all ε-productions dropped.
+///
+/// # Errors
+///
+/// Returns [`GrammarError::Empty`] when the grammar generates only ε (every
+/// production erased).
+///
+/// # Examples
+///
+/// ```
+/// use lalr_grammar::{analysis::nullable, parse_grammar, transform::remove_epsilon};
+///
+/// let g = parse_grammar("s : a \"b\" ; a : \"x\" | ;")?;
+/// let g2 = remove_epsilon(&g)?;
+/// assert_eq!(nullable(&g2).count(), 0);
+/// // s : a "b" | "b" ;  a : "x" ;
+/// assert_eq!(g2.production_count(), 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn remove_epsilon(grammar: &Grammar) -> Result<Grammar, GrammarError> {
+    let nullable = nullable(grammar);
+
+    // Nonterminals that can derive a NON-empty string. Occurrences of
+    // nonterminals deriving only ε must be deleted unconditionally (keeping
+    // them would leave a nonterminal without productions).
+    let mut nonempty = vec![false; grammar.nonterminal_count()];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in grammar.productions() {
+            if nonempty[p.lhs().index()] {
+                continue;
+            }
+            let derives_nonempty = p.rhs().iter().any(|&s| match s {
+                Symbol::Terminal(_) => true,
+                Symbol::NonTerminal(n) => nonempty[n.index()],
+            });
+            if derives_nonempty {
+                nonempty[p.lhs().index()] = true;
+                changed = true;
+            }
+        }
+    }
+
+    let mut builder = GrammarBuilder::new();
+    builder.start(grammar.nonterminal_name(grammar.start()));
+
+    let mut seen: std::collections::HashSet<(String, Vec<String>)> = Default::default();
+    for (pid, p) in grammar.iter_productions() {
+        if pid.index() == 0 {
+            continue;
+        }
+        if !nonempty[p.lhs().index()] {
+            continue; // this nonterminal's occurrences are erased everywhere
+        }
+        // Occurrences of only-ε nonterminals are dropped outright; nullable
+        // nonterminals that can also derive something become optional.
+        let rhs_kept: Vec<Symbol> = p
+            .rhs()
+            .iter()
+            .copied()
+            .filter(|&s| match s {
+                Symbol::Terminal(_) => true,
+                Symbol::NonTerminal(n) => nonempty[n.index()],
+            })
+            .collect();
+        let p_rhs = rhs_kept;
+        // Positions of nullable nonterminals in the kept RHS.
+        let nullable_pos: Vec<usize> = p_rhs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| match s {
+                Symbol::NonTerminal(n) if nullable.contains(n) => Some(i),
+                _ => None,
+            })
+            .collect();
+        // Enumerate all subsets of deletions. Grammar RHSs are short; still,
+        // cap the enumeration to keep pathological inputs safe.
+        assert!(
+            nullable_pos.len() <= 16,
+            "more than 16 nullable occurrences in one production"
+        );
+        for mask in 0..(1u32 << nullable_pos.len()) {
+            let rhs: Vec<&str> = p_rhs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| {
+                    match nullable_pos.iter().position(|&np| np == *i) {
+                        Some(k) => mask & (1 << k) == 0, // bit set ⇒ delete
+                        None => true,
+                    }
+                })
+                .map(|(_, &s)| grammar.name_of(s))
+                .collect();
+            if rhs.is_empty() {
+                continue; // never add new ε-productions
+            }
+            if rhs.len() == 1 && rhs[0] == grammar.nonterminal_name(p.lhs()) {
+                // Deleting the other occurrences left the trivial cycle
+                // A → A, which derives nothing new.
+                continue;
+            }
+            let key = (
+                grammar.nonterminal_name(p.lhs()).to_string(),
+                rhs.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            );
+            if seen.insert(key) {
+                builder.rule(grammar.nonterminal_name(p.lhs()), rhs);
+            }
+        }
+    }
+    builder.build().map_err(|e| match e {
+        // An all-ε grammar produces no rules at all.
+        GrammarError::Empty | GrammarError::StartNotNonterminal(_) => GrammarError::Empty,
+        other => other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::nullable as nullable_of;
+    use crate::parse_grammar;
+
+    fn production_strings(g: &Grammar) -> Vec<String> {
+        g.iter_productions()
+            .skip(1)
+            .map(|(_, p)| {
+                let rhs: Vec<&str> = p.rhs().iter().map(|&s| g.name_of(s)).collect();
+                format!("{} -> {}", g.nonterminal_name(p.lhs()), rhs.join(" "))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn no_epsilon_in_result() {
+        let g = parse_grammar("s : a s a | \"x\" ; a : \"y\" | ;").unwrap();
+        let g2 = remove_epsilon(&g).unwrap();
+        assert_eq!(nullable_of(&g2).count(), 0);
+        for (_, p) in g2.iter_productions().skip(1) {
+            assert!(!p.is_empty());
+        }
+    }
+
+    #[test]
+    fn variants_enumerated() {
+        let g = parse_grammar("s : a \"b\" a ; a : \"q\" | ;").unwrap();
+        let g2 = remove_epsilon(&g).unwrap();
+        let prods = production_strings(&g2);
+        assert!(prods.contains(&"s -> a b a".to_string()));
+        assert!(prods.contains(&"s -> b a".to_string()));
+        assert!(prods.contains(&"s -> a b".to_string()));
+        assert!(prods.contains(&"s -> b".to_string()));
+        assert!(prods.contains(&"a -> q".to_string()));
+        assert_eq!(prods.len(), 5);
+    }
+
+    #[test]
+    fn duplicates_not_added() {
+        // Both deletions of s → a a yield s → a once.
+        let g = parse_grammar("s : a a ; a : \"x\" | ;").unwrap();
+        let g2 = remove_epsilon(&g).unwrap();
+        let prods = production_strings(&g2);
+        assert_eq!(
+            prods,
+            vec!["s -> a a".to_string(), "s -> a".to_string(), "a -> x".to_string()]
+        );
+    }
+
+    #[test]
+    fn pure_epsilon_grammar_is_error() {
+        let g = parse_grammar("s : | a ; a : ;").unwrap();
+        assert_eq!(remove_epsilon(&g), Err(GrammarError::Empty));
+    }
+
+    #[test]
+    fn language_sample_preserved() {
+        // L = {x^n b : n ≥ 0}; ε ∉ L so removal is language-preserving.
+        let g = parse_grammar("s : rep \"b\" ; rep : \"x\" rep | ;").unwrap();
+        let g2 = remove_epsilon(&g).unwrap();
+        let prods = production_strings(&g2);
+        assert!(prods.contains(&"s -> b".to_string()), "derives b");
+        assert!(prods.contains(&"s -> rep b".to_string()), "derives x..x b");
+        assert!(prods.contains(&"rep -> x rep".to_string()));
+        assert!(prods.contains(&"rep -> x".to_string()));
+        assert_eq!(prods.len(), 4);
+    }
+}

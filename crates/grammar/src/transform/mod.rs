@@ -1,0 +1,13 @@
+//! Grammar transformations.
+//!
+//! These rewrite a [`crate::Grammar`] into an equivalent one (over the same
+//! language, modulo the documented caveats): useless-symbol elimination
+//! ([`reduce`]) and ε-production removal ([`remove_epsilon`]). Both return a
+//! fresh grammar rebuilt through [`crate::GrammarBuilder`], so all grammar
+//! invariants keep holding.
+
+mod epsilon;
+mod reduce;
+
+pub use epsilon::remove_epsilon;
+pub use reduce::{reduce, ReduceOutcome};

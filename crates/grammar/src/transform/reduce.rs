@@ -1,0 +1,189 @@
+//! Useless-symbol elimination.
+
+use crate::analysis::productive_nonterminals;
+use crate::builder::GrammarBuilder;
+use crate::error::GrammarError;
+use crate::grammar::Grammar;
+use crate::symbol::Symbol;
+
+/// The result of [`reduce`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReduceOutcome {
+    /// The reduced grammar.
+    pub grammar: Grammar,
+    /// Names of removed nonterminals.
+    pub removed_nonterminals: Vec<String>,
+    /// Number of removed productions.
+    pub removed_productions: usize,
+}
+
+impl ReduceOutcome {
+    /// `true` when the input was already reduced.
+    pub fn was_already_reduced(&self) -> bool {
+        self.removed_nonterminals.is_empty() && self.removed_productions == 0
+    }
+}
+
+/// Removes unproductive and unreachable symbols (in that order, which is the
+/// order that guarantees a fully reduced result).
+///
+/// # Errors
+///
+/// Returns [`GrammarError::Empty`] when the start symbol itself is
+/// unproductive, i.e. the grammar generates no terminal string at all.
+///
+/// # Examples
+///
+/// ```
+/// use lalr_grammar::{parse_grammar, transform::reduce};
+///
+/// let g = parse_grammar("s : \"a\" | u ; u : u \"x\" ; dead : \"d\" ;")?;
+/// let out = reduce(&g)?;
+/// assert_eq!(out.removed_nonterminals, vec!["u", "dead"]);
+/// assert_eq!(out.grammar.production_count(), 2); // augmented + s→a
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn reduce(grammar: &Grammar) -> Result<ReduceOutcome, GrammarError> {
+    let productive = productive_nonterminals(grammar);
+    if !productive.contains(grammar.start().index()) {
+        return Err(GrammarError::Empty);
+    }
+
+    // Phase 1: drop productions mentioning an unproductive nonterminal.
+    let keep1: Vec<bool> = grammar
+        .productions()
+        .iter()
+        .map(|p| {
+            productive.contains(p.lhs().index())
+                && p.rhs().iter().all(|&s| match s {
+                    Symbol::Terminal(_) => true,
+                    Symbol::NonTerminal(n) => productive.contains(n.index()),
+                })
+        })
+        .collect();
+
+    // Phase 2: reachability over the phase-1 grammar.
+    // (Recomputing reachability on the original grammar would wrongly keep
+    // symbols only reachable through deleted productions.)
+    let mut reachable = vec![false; grammar.nonterminal_count()];
+    reachable[grammar.augmented_start().index()] = true;
+    let mut work = vec![grammar.augmented_start()];
+    while let Some(nt) = work.pop() {
+        for &pid in grammar.productions_of(nt) {
+            if !keep1[pid.index()] {
+                continue;
+            }
+            for &sym in grammar.production(pid).rhs() {
+                if let Symbol::NonTerminal(n) = sym {
+                    if !reachable[n.index()] {
+                        reachable[n.index()] = true;
+                        work.push(n);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut builder = GrammarBuilder::new();
+    builder.start(grammar.nonterminal_name(grammar.start()));
+
+    // Re-declare precedence levels (ascending) so kept %prec annotations and
+    // conflict resolution keep working on the reduced grammar.
+    let mut prec_groups: Vec<(crate::parse::Precedence, Vec<&str>)> = Vec::new();
+    for t in grammar.terminals() {
+        if let Some(p) = grammar.precedence_of(t) {
+            match prec_groups.iter_mut().find(|(q, _)| q.level == p.level) {
+                Some((_, names)) => names.push(grammar.terminal_name(t)),
+                None => prec_groups.push((p, vec![grammar.terminal_name(t)])),
+            }
+        }
+    }
+    prec_groups.sort_by_key(|(p, _)| p.level);
+    for (p, names) in prec_groups {
+        builder.precedence(p.assoc, names);
+    }
+
+    let mut kept = 0usize;
+    for (pid, p) in grammar.iter_productions() {
+        if pid.index() == 0 {
+            continue; // the builder re-adds the augmentation
+        }
+        if keep1[pid.index()] && reachable[p.lhs().index()] {
+            kept += 1;
+            let rhs: Vec<&str> = p.rhs().iter().map(|&s| grammar.name_of(s)).collect();
+            match p.prec_override() {
+                None => builder.rule(grammar.nonterminal_name(p.lhs()), rhs),
+                Some(t) => builder.rule_with_prec(
+                    grammar.nonterminal_name(p.lhs()),
+                    rhs,
+                    grammar.terminal_name(t),
+                ),
+            };
+        }
+    }
+
+    let removed_nonterminals: Vec<String> = grammar
+        .nonterminals()
+        .filter(|nt| {
+            !nt.is_augmented_start()
+                && (!productive.contains(nt.index()) || !reachable[nt.index()])
+        })
+        .map(|nt| grammar.nonterminal_name(nt).to_string())
+        .collect();
+
+    Ok(ReduceOutcome {
+        grammar: builder.build()?,
+        removed_nonterminals,
+        removed_productions: grammar.production_count() - 1 - kept,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_grammar;
+
+    #[test]
+    fn already_reduced_is_identity_shaped() {
+        let g = parse_grammar("s : \"a\" s | \"b\" ;").unwrap();
+        let out = reduce(&g).unwrap();
+        assert!(out.was_already_reduced());
+        assert_eq!(out.grammar.production_count(), g.production_count());
+    }
+
+    #[test]
+    fn unproductive_cascade() {
+        // u unproductive ⇒ s → u b dies ⇒ b unreachable.
+        let g = parse_grammar("s : \"a\" | u b ; u : u \"x\" ; b : \"bb\" ;").unwrap();
+        let out = reduce(&g).unwrap();
+        assert_eq!(out.removed_nonterminals, vec!["u", "b"]);
+        assert_eq!(out.grammar.production_count(), 2);
+        assert!(out.grammar.terminal_by_name("bb").is_none());
+    }
+
+    #[test]
+    fn empty_language_is_error() {
+        let g = parse_grammar("s : s \"x\" ;").unwrap();
+        assert_eq!(reduce(&g), Err(GrammarError::Empty));
+    }
+
+    #[test]
+    fn start_kept_even_when_only_epsilon() {
+        let g = parse_grammar("s : | dead ; dead : dead \"x\" ;").unwrap();
+        let out = reduce(&g).unwrap();
+        assert_eq!(out.removed_nonterminals, vec!["dead"]);
+        assert_eq!(out.grammar.production_count(), 2);
+    }
+
+    #[test]
+    fn prec_overrides_survive() {
+        let g = parse_grammar(
+            "%right U  e : \"-\" e %prec U | \"x\" ; dead : \"d\" ;",
+        )
+        .unwrap();
+        let out = reduce(&g).unwrap();
+        let e = out.grammar.nonterminal_by_name("e").unwrap();
+        let p = out.grammar.production(out.grammar.productions_of(e)[0]);
+        assert!(p.prec_override().is_some());
+    }
+}

@@ -1,0 +1,220 @@
+//! Property tests: the Digraph-based analyses (FIRST, FOLLOW) and the
+//! nullable computation must agree with straightforward fixpoint oracles
+//! on arbitrary grammars.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lalr_grammar::analysis::{nullable, FirstSets, FollowSets};
+use lalr_grammar::{Grammar, GrammarBuilder, NonTerminal, Symbol, Terminal};
+use proptest::prelude::*;
+
+// ---------- random grammar strategy (builder-level, no corpus dep) ------
+
+#[derive(Debug, Clone)]
+struct RawGrammar {
+    n_nts: usize,
+    rules: Vec<(usize, Vec<RawSym>)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RawSym {
+    T(usize),
+    N(usize),
+}
+
+fn raw_grammar() -> impl Strategy<Value = RawGrammar> {
+    (1usize..6).prop_flat_map(|n_nts| {
+        let sym = prop_oneof![
+            (0usize..5).prop_map(RawSym::T),
+            (0usize..n_nts).prop_map(RawSym::N),
+        ];
+        let rule = (0usize..n_nts, prop::collection::vec(sym, 0..4));
+        prop::collection::vec(rule, 1..12)
+            .prop_map(move |mut rules| {
+                // Ensure every nonterminal has at least one production so
+                // the builder treats them all as nonterminals.
+                let covered: BTreeSet<usize> = rules.iter().map(|&(l, _)| l).collect();
+                for nt in 0..n_nts {
+                    if !covered.contains(&nt) {
+                        rules.push((nt, vec![RawSym::T(0)]));
+                    }
+                }
+                RawGrammar { n_nts, rules }
+            })
+    })
+}
+
+fn build(raw: &RawGrammar) -> Grammar {
+    let mut b = GrammarBuilder::new();
+    for (lhs, rhs) in &raw.rules {
+        let rhs: Vec<String> = rhs
+            .iter()
+            .map(|s| match s {
+                RawSym::T(i) => format!("t{i}"),
+                RawSym::N(i) => format!("n{i}"),
+            })
+            .collect();
+        b.rule(format!("n{lhs}"), rhs);
+    }
+    b.start("n0");
+    let _ = raw.n_nts;
+    b.build().expect("structurally valid")
+}
+
+// ---------- oracles -----------------------------------------------------
+
+fn oracle_nullable(g: &Grammar) -> BTreeSet<NonTerminal> {
+    let mut set = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for p in g.productions() {
+            if !set.contains(&p.lhs())
+                && p.rhs().iter().all(|s| match s {
+                    Symbol::Terminal(_) => false,
+                    Symbol::NonTerminal(n) => set.contains(n),
+                })
+            {
+                set.insert(p.lhs());
+                changed = true;
+            }
+        }
+        if !changed {
+            return set;
+        }
+    }
+}
+
+fn oracle_first(g: &Grammar, nullable: &BTreeSet<NonTerminal>) -> BTreeMap<NonTerminal, BTreeSet<Terminal>> {
+    let mut first: BTreeMap<NonTerminal, BTreeSet<Terminal>> =
+        g.nonterminals().map(|n| (n, BTreeSet::new())).collect();
+    loop {
+        let mut changed = false;
+        for p in g.productions() {
+            let mut addition: BTreeSet<Terminal> = BTreeSet::new();
+            for &sym in p.rhs() {
+                match sym {
+                    Symbol::Terminal(t) => {
+                        addition.insert(t);
+                        break;
+                    }
+                    Symbol::NonTerminal(n) => {
+                        addition.extend(first[&n].iter().copied());
+                        if !nullable.contains(&n) {
+                            break;
+                        }
+                    }
+                }
+            }
+            let entry = first.get_mut(&p.lhs()).expect("all nts present");
+            let before = entry.len();
+            entry.extend(addition);
+            changed |= entry.len() != before;
+        }
+        if !changed {
+            return first;
+        }
+    }
+}
+
+fn oracle_follow(
+    g: &Grammar,
+    nullable: &BTreeSet<NonTerminal>,
+    first: &BTreeMap<NonTerminal, BTreeSet<Terminal>>,
+) -> BTreeMap<NonTerminal, BTreeSet<Terminal>> {
+    let mut follow: BTreeMap<NonTerminal, BTreeSet<Terminal>> =
+        g.nonterminals().map(|n| (n, BTreeSet::new())).collect();
+    follow
+        .get_mut(&g.augmented_start())
+        .expect("present")
+        .insert(Terminal::EOF);
+    loop {
+        let mut changed = false;
+        for p in g.productions() {
+            let rhs = p.rhs();
+            for (i, &sym) in rhs.iter().enumerate() {
+                let Symbol::NonTerminal(a) = sym else { continue };
+                let mut addition: BTreeSet<Terminal> = BTreeSet::new();
+                let mut tail_nullable = true;
+                for &b in &rhs[i + 1..] {
+                    match b {
+                        Symbol::Terminal(t) => {
+                            addition.insert(t);
+                            tail_nullable = false;
+                            break;
+                        }
+                        Symbol::NonTerminal(n) => {
+                            addition.extend(first[&n].iter().copied());
+                            if !nullable.contains(&n) {
+                                tail_nullable = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if tail_nullable {
+                    addition.extend(follow[&p.lhs()].iter().copied());
+                }
+                let entry = follow.get_mut(&a).expect("present");
+                let before = entry.len();
+                entry.extend(addition);
+                changed |= entry.len() != before;
+            }
+        }
+        if !changed {
+            return follow;
+        }
+    }
+}
+
+// ---------- properties ---------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn nullable_matches_oracle(raw in raw_grammar()) {
+        let g = build(&raw);
+        let fast = nullable(&g);
+        let slow = oracle_nullable(&g);
+        for nt in g.nonterminals() {
+            prop_assert_eq!(fast.contains(nt), slow.contains(&nt), "{:?}", nt);
+        }
+    }
+
+    #[test]
+    fn first_matches_oracle(raw in raw_grammar()) {
+        let g = build(&raw);
+        let n = nullable(&g);
+        let fast = FirstSets::compute(&g, &n);
+        let slow = oracle_first(&g, &oracle_nullable(&g));
+        for nt in g.nonterminals() {
+            let got: BTreeSet<Terminal> = fast.iter(nt).collect();
+            prop_assert_eq!(&got, &slow[&nt], "FIRST({:?})", nt);
+        }
+    }
+
+    #[test]
+    fn follow_matches_oracle(raw in raw_grammar()) {
+        let g = build(&raw);
+        let n = nullable(&g);
+        let first = FirstSets::compute(&g, &n);
+        let fast = FollowSets::compute(&g, &first);
+        let nn = oracle_nullable(&g);
+        let slow = oracle_follow(&g, &nn, &oracle_first(&g, &nn));
+        for nt in g.nonterminals() {
+            let got: BTreeSet<Terminal> = fast.iter(nt).collect();
+            prop_assert_eq!(&got, &slow[&nt], "FOLLOW({:?})", nt);
+        }
+    }
+
+    #[test]
+    fn first_of_nullable_string_flags_epsilon(raw in raw_grammar()) {
+        let g = build(&raw);
+        let n = nullable(&g);
+        let first = FirstSets::compute(&g, &n);
+        for p in g.productions() {
+            let (_, eps) = first.first_of(p.rhs());
+            prop_assert_eq!(eps, n.string_nullable(p.rhs()));
+        }
+    }
+}

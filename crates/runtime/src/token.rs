@@ -1,0 +1,61 @@
+//! Tokens.
+
+use std::fmt;
+
+/// One lexical token: a terminal index into the parse table's alphabet,
+/// the matched text, and its byte offset in the input.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    terminal: u32,
+    text: String,
+    offset: usize,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(terminal: u32, text: impl Into<String>, offset: usize) -> Token {
+        Token {
+            terminal,
+            text: text.into(),
+            offset,
+        }
+    }
+
+    /// The terminal index.
+    #[inline]
+    pub fn terminal(&self) -> u32 {
+        self.terminal
+    }
+
+    /// The matched text.
+    #[inline]
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Byte offset of the first character in the input.
+    #[inline]
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}@{}", self.text, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_display() {
+        let t = Token::new(3, "while", 10);
+        assert_eq!(t.terminal(), 3);
+        assert_eq!(t.text(), "while");
+        assert_eq!(t.offset(), 10);
+        assert_eq!(t.to_string(), "\"while\"@10");
+    }
+}

@@ -1,0 +1,177 @@
+//! Parse trees.
+
+use lalr_tables::ParseTable;
+
+use crate::token::Token;
+
+/// A concrete parse tree: interior nodes are reductions, leaves are tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTree {
+    /// A reduction by `production`, yielding `nonterminal`.
+    Node {
+        /// The produced nonterminal's index.
+        nonterminal: u32,
+        /// The production reduced.
+        production: u32,
+        /// One child per RHS symbol (empty for ε).
+        children: Vec<ParseTree>,
+    },
+    /// A shifted token.
+    Leaf(Token),
+}
+
+impl ParseTree {
+    /// Number of token leaves.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            ParseTree::Leaf(_) => 1,
+            ParseTree::Node { children, .. } => children.iter().map(ParseTree::leaf_count).sum(),
+        }
+    }
+
+    /// Number of interior nodes (= reductions performed).
+    pub fn node_count(&self) -> usize {
+        match self {
+            ParseTree::Leaf(_) => 0,
+            ParseTree::Node { children, .. } => {
+                1 + children.iter().map(ParseTree::node_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Height of the tree (a leaf has height 0).
+    pub fn height(&self) -> usize {
+        match self {
+            ParseTree::Leaf(_) => 0,
+            ParseTree::Node { children, .. } => {
+                1 + children.iter().map(ParseTree::height).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// The leaves in order — the parsed token sequence (round-trip check).
+    pub fn leaves(&self) -> Vec<&Token> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves<'a>(&'a self, out: &mut Vec<&'a Token>) {
+        match self {
+            ParseTree::Leaf(t) => out.push(t),
+            ParseTree::Node { children, .. } => {
+                for c in children {
+                    c.collect_leaves(out);
+                }
+            }
+        }
+    }
+
+    /// The *reverse rightmost derivation* this tree encodes — the sequence
+    /// of production indices an LR parser emits (post-order, right-to-left
+    /// children visited last). Replaying it backwards from the start
+    /// symbol reproduces the input: the classic LR output convention.
+    pub fn reverse_rightmost_derivation(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.collect_reductions(&mut out);
+        out
+    }
+
+    fn collect_reductions(&self, out: &mut Vec<u32>) {
+        if let ParseTree::Node {
+            production,
+            children,
+            ..
+        } = self
+        {
+            for c in children {
+                c.collect_reductions(out);
+            }
+            out.push(*production);
+        }
+    }
+
+    /// Renders the tree as an s-expression using the table's symbol names.
+    pub fn to_sexpr(&self, table: &ParseTable) -> String {
+        match self {
+            ParseTree::Leaf(t) => t.text().to_string(),
+            ParseTree::Node {
+                nonterminal,
+                children,
+                ..
+            } => {
+                let name = table.nonterminal_name(*nonterminal);
+                if children.is_empty() {
+                    format!("({name})")
+                } else {
+                    let inner: Vec<String> =
+                        children.iter().map(|c| c.to_sexpr(table)).collect();
+                    format!("({} {})", name, inner.join(" "))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(text: &str) -> ParseTree {
+        ParseTree::Leaf(Token::new(1, text, 0))
+    }
+
+    #[test]
+    fn counting() {
+        let tree = ParseTree::Node {
+            nonterminal: 1,
+            production: 1,
+            children: vec![
+                leaf("a"),
+                ParseTree::Node {
+                    nonterminal: 2,
+                    production: 2,
+                    children: vec![leaf("b"), leaf("c")],
+                },
+            ],
+        };
+        assert_eq!(tree.leaf_count(), 3);
+        assert_eq!(tree.node_count(), 2);
+        assert_eq!(tree.height(), 2);
+        let texts: Vec<&str> = tree.leaves().iter().map(|t| t.text()).collect();
+        assert_eq!(texts, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn derivation_is_postorder() {
+        let tree = ParseTree::Node {
+            nonterminal: 1,
+            production: 1,
+            children: vec![
+                ParseTree::Node {
+                    nonterminal: 2,
+                    production: 2,
+                    children: vec![leaf("a")],
+                },
+                ParseTree::Node {
+                    nonterminal: 3,
+                    production: 3,
+                    children: vec![],
+                },
+            ],
+        };
+        assert_eq!(tree.reverse_rightmost_derivation(), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn epsilon_node() {
+        let tree = ParseTree::Node {
+            nonterminal: 1,
+            production: 2,
+            children: vec![],
+        };
+        assert_eq!(tree.leaf_count(), 0);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.height(), 1);
+    }
+}

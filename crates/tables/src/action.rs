@@ -1,0 +1,76 @@
+//! Parser actions.
+
+use std::fmt;
+
+/// One ACTION-table entry. States and productions are raw indices so the
+/// table is self-contained (and serializable) without grammar objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Action {
+    /// Push the terminal and go to the state.
+    Shift(u32),
+    /// Reduce by the production.
+    Reduce(u32),
+    /// Input accepted.
+    Accept,
+    /// Syntax error (also what `%nonassoc` same-level conflicts resolve to).
+    #[default]
+    Error,
+}
+
+impl Action {
+    /// `true` for [`Action::Error`].
+    #[inline]
+    pub fn is_error(self) -> bool {
+        self == Action::Error
+    }
+
+    /// `true` for [`Action::Shift`].
+    #[inline]
+    pub fn is_shift(self) -> bool {
+        matches!(self, Action::Shift(_))
+    }
+
+    /// `true` for [`Action::Reduce`].
+    #[inline]
+    pub fn is_reduce(self) -> bool {
+        matches!(self, Action::Reduce(_))
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Shift(s) => write!(f, "s{s}"),
+            Action::Reduce(p) => write!(f, "r{p}"),
+            Action::Accept => write!(f, "acc"),
+            Action::Error => write!(f, "."),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(Action::Shift(1).is_shift());
+        assert!(Action::Reduce(0).is_reduce());
+        assert!(Action::Error.is_error());
+        assert!(!Action::Accept.is_error());
+    }
+
+    #[test]
+    fn compact_rendering() {
+        assert_eq!(Action::Shift(12).to_string(), "s12");
+        assert_eq!(Action::Reduce(3).to_string(), "r3");
+        assert_eq!(Action::Accept.to_string(), "acc");
+        assert_eq!(Action::Error.to_string(), ".");
+    }
+
+    #[test]
+    fn default_is_error() {
+        assert_eq!(Action::default(), Action::Error);
+    }
+}

@@ -1,0 +1,69 @@
+//! Pretty-printing of parse tables (the paper-style table rendering).
+
+use std::fmt;
+
+use crate::table::ParseTable;
+
+impl fmt::Display for ParseTable {
+    /// Renders the classic ACTION | GOTO matrix with one row per state.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tw = 5usize;
+        write!(f, "{:>6} |", "state")?;
+        for t in 0..self.terminal_count() {
+            write!(f, "{:>tw$}", truncate(self.terminal_name(t), tw - 1))?;
+        }
+        write!(f, " |")?;
+        for n in 1..self.nonterminal_count() {
+            write!(f, "{:>tw$}", truncate(self.nonterminal_name(n), tw - 1))?;
+        }
+        writeln!(f)?;
+        for s in 0..self.state_count() {
+            write!(f, "{:>6} |", s)?;
+            for t in 0..self.terminal_count() {
+                write!(f, "{:>tw$}", self.action(s, t).to_string())?;
+            }
+            write!(f, " |")?;
+            for n in 1..self.nonterminal_count() {
+                match self.goto(s, n) {
+                    Some(g) => write!(f, "{:>tw$}", g)?,
+                    None => write!(f, "{:>tw$}", ".")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    match s.char_indices().nth(n) {
+        Some((i, _)) => &s[..i],
+        None => s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::{build_table, TableOptions};
+    use lalr_automata::Lr0Automaton;
+    use lalr_core::LalrAnalysis;
+    use lalr_grammar::parse_grammar;
+
+    #[test]
+    fn renders_all_states_and_accept() {
+        let g = parse_grammar("s : \"a\" s | \"b\" ;").unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let la = LalrAnalysis::compute(&g, &lr0).into_lookaheads();
+        let t = build_table(&g, &lr0, &la, TableOptions::default());
+        let text = t.to_string();
+        assert_eq!(text.lines().count() as u32, t.state_count() + 1);
+        assert!(text.contains("acc"));
+        assert!(text.contains("state"));
+    }
+
+    #[test]
+    fn truncate_handles_multibyte() {
+        assert_eq!(super::truncate("⊣⊣⊣", 2), "⊣⊣");
+        assert_eq!(super::truncate("ab", 5), "ab");
+    }
+}

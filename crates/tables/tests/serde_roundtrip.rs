@@ -1,0 +1,62 @@
+//! Serialization round-trips for parse tables (the "ship the tables as an
+//! artifact" workflow). Only compiled with the `serde` feature:
+//!
+//! ```text
+//! cargo test -p lalr-tables --features serde
+//! ```
+#![cfg(feature = "serde")]
+
+use lalr_automata::Lr0Automaton;
+use lalr_core::LalrAnalysis;
+use lalr_tables::{build_table, CompressedTable, ParseTable, TableOptions};
+
+fn table(name: &str) -> ParseTable {
+    let g = lalr_corpus::by_name(name).expect("corpus entry").grammar();
+    let lr0 = Lr0Automaton::build(&g);
+    let la = LalrAnalysis::compute(&g, &lr0).into_lookaheads();
+    build_table(&g, &lr0, &la, TableOptions::default())
+}
+
+#[test]
+fn dense_table_json_round_trip() {
+    for name in ["expr", "json", "lalr_not_slr"] {
+        let t = table(name);
+        let json = serde_json::to_string(&t).expect("serialize");
+        let back: ParseTable = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(t, back, "{name}");
+        // Spot-check a lookup survives the trip.
+        for s in 0..back.state_count() {
+            for x in 0..back.terminal_count() {
+                assert_eq!(t.action(s, x), back.action(s, x));
+            }
+        }
+    }
+}
+
+#[test]
+fn compressed_table_json_round_trip() {
+    let t = table("expr");
+    let c = CompressedTable::from_dense(&t);
+    let json = serde_json::to_string(&c).expect("serialize");
+    let back: CompressedTable = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(c, back);
+    for s in 0..t.state_count() {
+        for x in 0..t.terminal_count() {
+            assert_eq!(c.action(s, x), back.action(s, x));
+        }
+    }
+}
+
+#[test]
+fn serialized_table_is_reasonably_compact() {
+    let t = table("json");
+    let dense_json = serde_json::to_string(&t).expect("serialize");
+    let compressed_json =
+        serde_json::to_string(&CompressedTable::from_dense(&t)).expect("serialize");
+    assert!(
+        compressed_json.len() < dense_json.len(),
+        "compression helps the artifact too: {} vs {}",
+        compressed_json.len(),
+        dense_json.len()
+    );
+}

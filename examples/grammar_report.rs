@@ -1,0 +1,88 @@
+//! Grammar analysis report: feed any grammar file (or a corpus name) and
+//! get the full DeRemer–Pennello diagnosis — statistics, relation sizes,
+//! look-ahead sets, conflicts, and the grammar's class.
+//!
+//! ```text
+//! cargo run --example grammar_report -- pascal          # corpus name
+//! cargo run --example grammar_report -- path/to/my.g    # or a file
+//! ```
+
+use lalr::core::Relations;
+use lalr::prelude::*;
+
+fn load(arg: &str) -> Result<Grammar, Box<dyn std::error::Error>> {
+    if let Some(entry) = lalr::corpus::by_name(arg) {
+        return Ok(entry.grammar());
+    }
+    let text = std::fs::read_to_string(arg)?;
+    Ok(parse_grammar(&text)?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "expr".to_string());
+    let grammar = load(&arg)?;
+
+    let stats = GrammarStats::compute(&grammar);
+    println!("== grammar {arg} ==");
+    println!(
+        "terminals {}  nonterminals {}  productions {}  |G| {}",
+        stats.terminals, stats.nonterminals, stats.productions, stats.size
+    );
+    println!(
+        "epsilon prods {}  nullable {}  left-recursive {}  useless {}",
+        stats.epsilon_productions,
+        stats.nullable_nonterminals,
+        stats.left_recursive,
+        stats.useless_nonterminals
+    );
+
+    let lr0 = Lr0Automaton::build(&grammar);
+    let rel = Relations::build(&grammar, &lr0);
+    let rs = rel.stats();
+    println!("\n== LR(0) machine ==");
+    println!("states {}  transitions {}", lr0.state_count(), lr0.transition_count());
+    println!(
+        "nonterminal transitions {}  reads {}  includes {}  lookback {}",
+        rs.nt_transitions, rs.reads_edges, rs.includes_edges, rs.lookback_edges
+    );
+
+    let analysis = LalrAnalysis::compute(&grammar, &lr0);
+    if analysis.grammar_not_lr_k() {
+        println!("\n!! the reads relation is cyclic: not LR(k) for ANY k");
+    }
+
+    println!("\n== LALR(1) look-ahead sets (first 12 reduction points) ==");
+    let mut entries: Vec<_> = analysis.lookaheads().iter().collect();
+    entries.sort_by_key(|(&(s, p), _)| (s, p));
+    for (&(state, prod), la) in entries.iter().take(12) {
+        let names: Vec<&str> = la
+            .iter()
+            .map(|t| grammar.terminal_name(lalr::grammar::Terminal::new(t)))
+            .collect();
+        println!(
+            "LA({:>3}, {}) = {{{}}}",
+            state.index(),
+            grammar.production_to_string(prod),
+            names.join(", ")
+        );
+    }
+
+    let conflicts = analysis.conflicts(&grammar, &lr0);
+    println!("\n== conflicts ({}) ==", conflicts.len());
+    for c in conflicts.iter().take(10) {
+        println!("  {}", c.display(&grammar));
+    }
+
+    println!("\n== classification ==");
+    let adequacy = classify(&grammar);
+    println!(
+        "LR(0):{}  SLR(1):{}  NQLALR(1):{}  LALR(1):{}  LR(1):{}  ->  {}",
+        adequacy.lr0_conflicts,
+        adequacy.slr_conflicts,
+        adequacy.nqlalr_conflicts,
+        adequacy.lalr_conflicts,
+        adequacy.lr1_conflicts,
+        adequacy.class
+    );
+    Ok(())
+}

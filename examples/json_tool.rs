@@ -1,0 +1,57 @@
+//! A JSON syntax checker built from the corpus JSON grammar: validates
+//! documents, prints positioned errors with expected-token hints, and
+//! demonstrates multi-error recovery over arrays.
+//!
+//! ```text
+//! cargo run --example json_tool -- '{ "a" : [ 1 , 2 ] }'
+//! ```
+
+use lalr::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let input = std::env::args().nth(1).unwrap_or_else(|| {
+        r#"{ "name" : "lalr" , "ok" : TRUE , "xs" : [ 1 , 2.5 , NULL ] }"#.to_string()
+    });
+
+    let grammar = lalr::corpus::by_name("json")
+        .expect("corpus ships a JSON grammar")
+        .grammar();
+    let lr0 = Lr0Automaton::build(&grammar);
+    let analysis = LalrAnalysis::compute(&grammar, &lr0);
+    assert!(analysis.conflicts(&grammar, &lr0).is_empty());
+    let table = build_table(&grammar, &lr0, analysis.lookaheads(), TableOptions::default());
+
+    let lexer = Lexer::for_table(&table)
+        .number("NUMBER")
+        .string("STRING")
+        .build();
+
+    let tokens = match lexer.tokenize(&input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("lex error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{} tokens", tokens.len());
+
+    match Parser::new(&table).parse(tokens.clone()) {
+        Ok(tree) => {
+            println!("valid JSON ({} nodes, depth {})", tree.node_count(), tree.height());
+        }
+        Err(first) => {
+            println!("invalid JSON: {first}");
+            // Recover across commas to surface further issues.
+            let comma = table.terminal_by_name(",").expect("grammar has ','");
+            let (_, errors) = Parser::new(&table).parse_with_recovery(tokens, &[comma], 5);
+            if errors.len() > 1 {
+                println!("further diagnostics:");
+                for e in &errors[1..] {
+                    println!("  {e}");
+                }
+            }
+            std::process::exit(1);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Compare the five look-ahead methods on one grammar: sizes of the sets,
+//! conflicts reported, and agreement with the LR(1)-merge definition.
+//!
+//! ```text
+//! cargo run --example method_comparison -- lalr_not_slr
+//! ```
+
+use lalr::automata::merge_lr1;
+use lalr::core::{propagation_lookaheads, NqlalrAnalysis};
+use lalr::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "lalr_not_slr".to_string());
+    let entry = lalr::corpus::by_name(&name)
+        .ok_or_else(|| format!("unknown corpus grammar {name:?}"))?;
+    let grammar = entry.grammar();
+    println!("grammar {name}: {}", entry.description);
+
+    let lr0 = Lr0Automaton::build(&grammar);
+    let lr1 = Lr1Automaton::build(&grammar);
+    println!(
+        "LR(0) states {}  canonical LR(1) states {}",
+        lr0.state_count(),
+        lr1.state_count()
+    );
+
+    let dp = LalrAnalysis::compute(&grammar, &lr0).into_lookaheads();
+    let prop = propagation_lookaheads(&grammar, &lr0);
+    let slr = slr_lookaheads(&grammar, &lr0);
+    let nq = NqlalrAnalysis::compute(&grammar, &lr0).into_lookaheads();
+    let merged = LookaheadSets::from(&merge_lr1(&grammar, &lr1, &lr0));
+
+    println!(
+        "\n{:<24} {:>10} {:>10} {:>10}",
+        "method", "points", "total-LA", "conflicts"
+    );
+    for (label, las) in [
+        ("DeRemer-Pennello", &dp),
+        ("yacc propagation", &prop),
+        ("canonical LR(1)+merge", &merged),
+        ("SLR(1)", &slr),
+        ("NQLALR(1)", &nq),
+    ] {
+        let conflicts = find_conflicts(&grammar, &lr0, las).len();
+        println!(
+            "{:<24} {:>10} {:>10} {:>10}",
+            label,
+            las.reduction_count(),
+            las.total_bits(),
+            conflicts
+        );
+    }
+
+    println!(
+        "\nDP == propagation: {}",
+        if dp == prop { "yes" } else { "NO (bug!)" }
+    );
+    let agree_with_merge = merged
+        .iter()
+        .all(|(&(s, p), set)| dp.la(s, p).is_some_and(|d| d == set));
+    println!(
+        "DP == LR(1)-merge on reachable reductions: {}",
+        if agree_with_merge { "yes" } else { "NO (bug!)" }
+    );
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! A step-by-step walkthrough of the DeRemer–Pennello computation on the
+//! classic LALR-but-not-SLR grammar, printing every intermediate object
+//! the paper defines: nonterminal transitions, DR, reads, includes,
+//! lookback, Read, Follow, and finally LA.
+//!
+//! ```text
+//! cargo run --example paper_walkthrough
+//! ```
+
+use lalr::automata::NtTransId;
+use lalr::core::Relations;
+use lalr::grammar::Terminal;
+use lalr::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // S → L = R | R ;  L → * R | id ;  R → L
+    let grammar = parse_grammar("s : l \"=\" r | r ; l : \"*\" r | \"id\" ; r : l ;")?;
+    println!("grammar (augmented):\n{grammar}");
+
+    let lr0 = Lr0Automaton::build(&grammar);
+    println!("LR(0) machine: {} states\n", lr0.state_count());
+
+    let rel = Relations::build(&grammar, &lr0);
+    let names = |set: &lalr::bitset::BitSet| -> String {
+        let v: Vec<&str> = set
+            .iter()
+            .map(|t| grammar.terminal_name(Terminal::new(t)))
+            .collect();
+        format!("{{{}}}", v.join(", "))
+    };
+    let trans_name = |id: NtTransId| {
+        let t = lr0.nt_transition(id);
+        format!(
+            "({}, {})",
+            t.from.index(),
+            grammar.nonterminal_name(t.nt)
+        )
+    };
+
+    println!("nonterminal transitions and their DR sets:");
+    for (i, _) in lr0.nt_transitions().iter().enumerate() {
+        let id = NtTransId::new(i);
+        println!(
+            "  {:<10} DR = {}",
+            trans_name(id),
+            names(&rel.dr().row_to_bitset(i))
+        );
+    }
+
+    println!("\nreads edges:");
+    for (u, v) in rel.reads().edges() {
+        println!("  {} reads {}", trans_name(NtTransId::new(u)), trans_name(NtTransId::new(v)));
+    }
+    if rel.reads().edge_count() == 0 {
+        println!("  (none — no nullable nonterminals here)");
+    }
+
+    println!("\nincludes edges:");
+    for (u, v) in rel.includes().edges() {
+        println!(
+            "  {} includes {}",
+            trans_name(NtTransId::new(u)),
+            trans_name(NtTransId::new(v))
+        );
+    }
+
+    println!("\nlookback:");
+    let mut entries: Vec<_> = rel.lookback_entries().collect();
+    entries.sort_by_key(|(&(s, p), _)| (s, p));
+    for (&(state, prod), ts) in entries {
+        let targets: Vec<String> = ts.iter().map(|&t| trans_name(t)).collect();
+        println!(
+            "  ({}, {}) lookback {}",
+            state.index(),
+            grammar.production_to_string(prod),
+            targets.join(", ")
+        );
+    }
+
+    let analysis = LalrAnalysis::compute(&grammar, &lr0);
+    println!("\nRead and Follow sets (after the two Digraph passes):");
+    for (i, _) in lr0.nt_transitions().iter().enumerate() {
+        let id = NtTransId::new(i);
+        println!(
+            "  {:<10} Read = {:<14} Follow = {}",
+            trans_name(id),
+            names(&analysis.read_set(id)),
+            names(&analysis.follow_set(id))
+        );
+    }
+
+    println!("\nLA sets:");
+    let mut la: Vec<_> = analysis.lookaheads().iter().collect();
+    la.sort_by_key(|(&(s, p), _)| (s, p));
+    for (&(state, prod), set) in la {
+        println!(
+            "  LA({}, {}) = {}",
+            state.index(),
+            grammar.production_to_string(prod),
+            names(set)
+        );
+    }
+
+    println!(
+        "\nThe payoff: in the state reached on `l`, LA(r -> l) = {{$}} — not\n\
+         FOLLOW(r) = {{$, =}} as SLR would use — so the = shift does not\n\
+         conflict and the grammar is LALR(1) though not SLR(1)."
+    );
+    Ok(())
+}

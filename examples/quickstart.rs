@@ -1,0 +1,43 @@
+//! Quickstart: grammar text → look-aheads → table → parse tree.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use lalr::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small expression grammar in the yacc-like text format.
+    let grammar = parse_grammar(
+        r#"
+        expr : expr "+" term | term ;
+        term : term "*" atom | atom ;
+        atom : "(" expr ")" | NUM ;
+        "#,
+    )?;
+    println!("grammar:\n{grammar}");
+
+    // The LR(0) machine the paper computes look-aheads on.
+    let lr0 = Lr0Automaton::build(&grammar);
+    println!("LR(0) states: {}", lr0.state_count());
+
+    // DeRemer-Pennello LALR(1) look-ahead sets.
+    let analysis = LalrAnalysis::compute(&grammar, &lr0);
+    let stats = analysis.relation_stats();
+    println!(
+        "relations: {} nonterminal transitions, {} reads, {} includes, {} lookback",
+        stats.nt_transitions, stats.reads_edges, stats.includes_edges, stats.lookback_edges
+    );
+    let conflicts = analysis.conflicts(&grammar, &lr0);
+    println!("conflicts: {}", conflicts.len());
+
+    // Parse table and a parse.
+    let table = build_table(&grammar, &lr0, analysis.lookaheads(), TableOptions::default());
+    println!("\nparse table:\n{table}");
+
+    let lexer = Lexer::for_table(&table).number("NUM").build();
+    let tokens = lexer.tokenize("1 + 2 * (3 + 4)")?;
+    let tree = Parser::new(&table).parse(tokens)?;
+    println!("parse of \"1 + 2 * (3 + 4)\":\n{}", tree.to_sexpr(&table));
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! **lalr** — an LALR(1) parser-generator toolkit built around the
+//! DeRemer–Pennello look-ahead algorithm.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`grammar`] | `lalr-grammar` | grammars, text format, FIRST/FOLLOW |
+//! | [`automata`] | `lalr-automata` | LR(0)/LR(1) machines, LALR-by-merge |
+//! | [`core`] | `lalr-core` | the DeRemer–Pennello algorithm + baselines |
+//! | [`tables`] | `lalr-tables` | ACTION/GOTO tables, precedence, compression |
+//! | [`runtime`] | `lalr-runtime` | lexer, LR driver, parse trees, recovery |
+//! | [`corpus`] | `lalr-corpus` | evaluation grammars and generators |
+//! | [`bitset`] | `lalr-bitset` | bit-set/bit-matrix substrate |
+//! | [`digraph`] | `lalr-digraph` | the Digraph algorithm, SCCs |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lalr::prelude::*;
+//!
+//! // 1. A grammar, in yacc-like notation.
+//! let grammar = parse_grammar(
+//!     r#"
+//!     expr : expr "+" term | term ;
+//!     term : term "*" atom | atom ;
+//!     atom : "(" expr ")" | NUM ;
+//!     "#,
+//! )?;
+//!
+//! // 2. LR(0) machine + DeRemer-Pennello look-aheads.
+//! let lr0 = Lr0Automaton::build(&grammar);
+//! let analysis = LalrAnalysis::compute(&grammar, &lr0);
+//! assert!(analysis.conflicts(&grammar, &lr0).is_empty());
+//!
+//! // 3. Tables, lexer, parse.
+//! let table = build_table(&grammar, &lr0, analysis.lookaheads(), TableOptions::default());
+//! let lexer = Lexer::for_table(&table).number("NUM").build();
+//! let tree = Parser::new(&table).parse(lexer.tokenize("1 + 2 * 3")?)?;
+//! assert_eq!(tree.leaf_count(), 5);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lalr_automata as automata;
+pub use lalr_bitset as bitset;
+pub use lalr_codegen as codegen;
+pub use lalr_core as core;
+pub use lalr_corpus as corpus;
+pub use lalr_digraph as digraph;
+pub use lalr_grammar as grammar;
+pub use lalr_runtime as runtime;
+pub use lalr_tables as tables;
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use lalr_automata::{Lr0Automaton, Lr1Automaton};
+    pub use lalr_core::{
+        classify, find_conflicts, slr_lookaheads, GrammarClass, LalrAnalysis, LookaheadSets,
+    };
+    pub use lalr_grammar::{parse_grammar, Grammar, GrammarBuilder, GrammarStats};
+    pub use lalr_runtime::{Lexer, ParseTree, Parser, Token};
+    pub use lalr_tables::{build_table, CompressedTable, ParseTable, TableOptions};
+}

@@ -1,0 +1,166 @@
+//! End-to-end pipeline tests spanning every crate: grammar text → LR(0) →
+//! DeRemer–Pennello look-aheads → tables → lexer → parse trees.
+
+use lalr::prelude::*;
+
+fn pipeline(src: &str) -> (Grammar, ParseTable) {
+    let grammar = parse_grammar(src).expect("grammar parses");
+    let lr0 = Lr0Automaton::build(&grammar);
+    let analysis = LalrAnalysis::compute(&grammar, &lr0);
+    let table = build_table(&grammar, &lr0, analysis.lookaheads(), TableOptions::default());
+    (grammar, table)
+}
+
+#[test]
+fn expression_language_accepts_and_rejects() {
+    let (_, table) = pipeline(
+        "expr : expr \"+\" term | term ; term : term \"*\" atom | atom ; atom : \"(\" expr \")\" | NUM ;",
+    );
+    let lexer = Lexer::for_table(&table).number("NUM").build();
+    let parser = Parser::new(&table);
+
+    for ok in ["1", "1 + 2", "1 + 2 * 3", "((1)) * (2 + 3) + 4"] {
+        let tree = parser.parse(lexer.tokenize(ok).unwrap());
+        assert!(tree.is_ok(), "{ok} should parse: {tree:?}");
+    }
+    for bad in ["", "+", "1 +", "1 2", "(1", "1)"] {
+        assert!(
+            parser.parse(lexer.tokenize(bad).unwrap()).is_err(),
+            "{bad} should be rejected"
+        );
+    }
+}
+
+#[test]
+fn parse_tree_leaves_round_trip_tokens() {
+    let (_, table) = pipeline("s : s \"a\" | \"b\" ;");
+    let lexer = Lexer::for_table(&table).build();
+    let parser = Parser::new(&table);
+    let toks = lexer.tokenize("b a a a").unwrap();
+    let tree = parser.parse(toks.clone()).unwrap();
+    let leaves: Vec<String> = tree.leaves().iter().map(|t| t.text().to_string()).collect();
+    let texts: Vec<String> = toks.iter().map(|t| t.text().to_string()).collect();
+    assert_eq!(leaves, texts);
+}
+
+#[test]
+fn json_documents_parse() {
+    let entry = lalr::corpus::by_name("json").expect("corpus has json");
+    let grammar = entry.grammar();
+    let lr0 = Lr0Automaton::build(&grammar);
+    let analysis = LalrAnalysis::compute(&grammar, &lr0);
+    assert!(analysis.conflicts(&grammar, &lr0).is_empty(), "JSON is LALR(1)");
+    let table = build_table(&grammar, &lr0, analysis.lookaheads(), TableOptions::default());
+    let lexer = Lexer::for_table(&table)
+        .number("NUMBER")
+        .string("STRING")
+        .build();
+    let parser = Parser::new(&table);
+
+    let doc = r#"{ "name" : "lalr" , "tags" : [ 1 , 2.5 , TRUE , NULL ] , "nested" : { "empty" : { } } }"#;
+    let tree = parser.parse(lexer.tokenize(doc).unwrap()).expect("valid JSON");
+    assert!(tree.leaf_count() > 10);
+
+    for bad in [
+        r#"{ "a" : }"#,
+        r#"[ 1 , ]"#,
+        r#"{ "a" "b" }"#,
+        r#"[ 1 2 ]"#,
+    ] {
+        assert!(
+            parser.parse(lexer.tokenize(bad).unwrap()).is_err(),
+            "{bad} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn compressed_and_dense_tables_agree_on_json() {
+    let entry = lalr::corpus::by_name("json").expect("exists");
+    let grammar = entry.grammar();
+    let lr0 = Lr0Automaton::build(&grammar);
+    let analysis = LalrAnalysis::compute(&grammar, &lr0);
+    let table = build_table(&grammar, &lr0, analysis.lookaheads(), TableOptions::default());
+    let compressed = CompressedTable::from_dense(&table);
+    let lexer = Lexer::for_table(&table).number("NUMBER").string("STRING").build();
+
+    let dense_parser = Parser::new(&table);
+    let source = lalr::runtime::CompressedSource::new(&compressed, &table);
+    let compressed_parser = Parser::new(&source);
+    for input in [
+        "[ ]",
+        "{ }",
+        r#"[ { "k" : [ FALSE ] } , 2 ]"#,
+        r#"[ 1, "#, // invalid
+        r#"{ "k" "#, // invalid
+    ] {
+        let toks = lexer.tokenize(input).unwrap();
+        let a = dense_parser.parse(toks.clone());
+        let b = compressed_parser.parse(toks);
+        assert_eq!(a.is_ok(), b.is_ok(), "{input}");
+        if let (Ok(x), Ok(y)) = (a, b) {
+            assert_eq!(x, y, "{input}");
+        }
+    }
+}
+
+#[test]
+fn pascal_fragment_parses_with_keywords() {
+    let entry = lalr::corpus::by_name("pascal").expect("exists");
+    let grammar = entry.grammar();
+    let lr0 = Lr0Automaton::build(&grammar);
+    let analysis = LalrAnalysis::compute(&grammar, &lr0);
+    // Pascal has the dangling-else conflict; yacc defaults shift it away.
+    let table = build_table(&grammar, &lr0, analysis.lookaheads(), TableOptions::default());
+    let lexer = Lexer::for_table(&table)
+        .number("NUMBER")
+        .identifier("IDENT")
+        .string("STRING")
+        .build();
+    let parser = Parser::new(&table);
+
+    let program = r#"
+        PROGRAM demo ;
+        VAR x , y : integer ;
+        BEGIN
+            x ASSIGN 1 ;
+            WHILE x < 10 DO
+                BEGIN
+                    x ASSIGN x + 1 ;
+                    IF x = 5 THEN y ASSIGN x ELSE y ASSIGN 0
+                END
+        END .
+    "#;
+    let tree = parser
+        .parse(lexer.tokenize(program).unwrap())
+        .expect("valid Pascal fragment");
+    assert!(tree.node_count() > 20);
+}
+
+#[test]
+fn classification_matches_corpus_expectations() {
+    use lalr::core::GrammarClass;
+    let expect = [
+        ("lr0_matched", GrammarClass::Lr0),
+        ("slr_expr", GrammarClass::Slr1),
+        ("lalr_not_slr", GrammarClass::Lalr1),
+        ("lr1_not_lalr", GrammarClass::Lr1),
+        ("dangling_else", GrammarClass::NotLr1),
+        ("nqlalr_witness", GrammarClass::Lalr1),
+        ("json", GrammarClass::Lr0),
+        ("ada_subset", GrammarClass::Lalr1),
+    ];
+    for (name, class) in expect {
+        let g = lalr::corpus::by_name(name).expect("exists").grammar();
+        assert_eq!(classify(&g).class, class, "{name}");
+    }
+}
+
+#[test]
+fn reads_cycle_grammar_diagnosed_not_lr_k() {
+    let g = lalr::corpus::by_name("reads_cycle").expect("exists").grammar();
+    let lr0 = Lr0Automaton::build(&g);
+    let analysis = LalrAnalysis::compute(&g, &lr0);
+    assert!(analysis.grammar_not_lr_k());
+    assert!(analysis.reads_traversal().nontrivial_sccs > 0);
+}
