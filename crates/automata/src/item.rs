@@ -99,7 +99,11 @@ impl Item {
         if self.is_final(grammar) {
             parts.push(".");
         }
-        format!("{} -> {}", grammar.nonterminal_name(p.lhs()), parts.join(" "))
+        format!(
+            "{} -> {}",
+            grammar.nonterminal_name(p.lhs()),
+            parts.join(" ")
+        )
     }
 }
 

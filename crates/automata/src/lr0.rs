@@ -363,7 +363,10 @@ mod tests {
             let id = NtTransId::new(i);
             assert_eq!(lr0.nt_transition(id), *t);
             assert_eq!(lr0.nt_transition_id(t.from, t.nt), Some(id));
-            assert_eq!(lr0.transition(t.from, Symbol::NonTerminal(t.nt)), Some(t.to));
+            assert_eq!(
+                lr0.transition(t.from, Symbol::NonTerminal(t.nt)),
+                Some(t.to)
+            );
         }
     }
 
@@ -381,10 +384,9 @@ mod tests {
 
     #[test]
     fn accessing_symbol_unique_over_in_edges() {
-        let g = parse_grammar(
-            "e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;",
-        )
-        .unwrap();
+        let g =
+            parse_grammar("e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;")
+                .unwrap();
         let lr0 = Lr0Automaton::build(&g);
         for s in lr0.states() {
             for &(sym, to) in lr0.transitions(s) {

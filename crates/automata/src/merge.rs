@@ -127,10 +127,9 @@ mod tests {
 
     #[test]
     fn every_lr0_reduction_has_merged_la() {
-        let g = parse_grammar(
-            "e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;",
-        )
-        .unwrap();
+        let g =
+            parse_grammar("e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;")
+                .unwrap();
         let lr0 = Lr0Automaton::build(&g);
         let merged = merge_lr1(&g, &Lr1Automaton::build(&g), &lr0);
         for s in lr0.states() {

@@ -73,12 +73,7 @@ pub fn time_method(method: Method, grammar: &Grammar, lr0: &Lr0Automaton) -> Dur
 }
 
 /// Median of `runs` timings.
-pub fn median_time(
-    method: Method,
-    grammar: &Grammar,
-    lr0: &Lr0Automaton,
-    runs: usize,
-) -> Duration {
+pub fn median_time(method: Method, grammar: &Grammar, lr0: &Lr0Automaton, runs: usize) -> Duration {
     let mut times: Vec<Duration> = (0..runs.max(1))
         .map(|_| time_method(method, grammar, lr0))
         .collect();

@@ -233,7 +233,15 @@ pub fn table4(runs: usize) -> String {
         "{:<16} {:>9} {:>9} {:>9} {:>10} {:>10} {:>8}",
         "grammar", "digraph", "naive", "hashset", "full-LA", "select-LA", "skip%"
     );
-    for name in ["expr", "json", "lua_subset", "pascal", "ada_subset", "sql_subset", "c_subset"] {
+    for name in [
+        "expr",
+        "json",
+        "lua_subset",
+        "pascal",
+        "ada_subset",
+        "sql_subset",
+        "c_subset",
+    ] {
         let g = lalr_corpus::by_name(name).expect("exists").grammar();
         let lr0 = Lr0Automaton::build(&g);
         let rel = Relations::build(&g, &lr0);
@@ -258,7 +266,9 @@ pub fn table4(runs: usize) -> String {
         });
         let t_hash = median(runs, || {
             let mut store = HashStore {
-                sets: (0..read.rows()).map(|r| read.iter_row(r).collect()).collect(),
+                sets: (0..read.rows())
+                    .map(|r| read.iter_row(r).collect())
+                    .collect(),
             };
             let t0 = Instant::now();
             digraph_from_on(rel.includes(), &mut store, 0..read.rows());
@@ -364,7 +374,10 @@ mod tests {
     #[test]
     fn figure2_marks_only_the_cyclic_grammar() {
         let f = super::figure2();
-        let yes_rows: Vec<&str> = f.lines().filter(|l| l.trim_end().ends_with("yes")).collect();
+        let yes_rows: Vec<&str> = f
+            .lines()
+            .filter(|l| l.trim_end().ends_with("yes"))
+            .collect();
         assert_eq!(yes_rows.len(), 1);
         assert!(yes_rows[0].starts_with("reads_cycle"));
     }

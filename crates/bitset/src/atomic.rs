@@ -1,0 +1,274 @@
+//! A bit matrix whose words are [`AtomicUsize`], for shared-`&self`
+//! mutation from scoped threads.
+//!
+//! The level-scheduled Digraph traversal needs every worker to *read*
+//! arbitrary rows (the successor sets computed in earlier levels) while
+//! *writing* the rows it owns in the current level. `&mut`-based sharding
+//! cannot express that access pattern, so this type shares the whole
+//! matrix immutably and makes every word an atomic.
+//!
+//! # Memory-ordering discipline
+//!
+//! All operations use [`Ordering::Relaxed`]. That is sufficient — and this
+//! type is only correct — under the external-barrier discipline used by
+//! the parallel pipeline:
+//!
+//! * Cross-thread visibility is established by a synchronization point
+//!   *outside* this type (a [`std::sync::Barrier`] wait between levels, or
+//!   the join of [`std::thread::scope`]), both of which create the
+//!   necessary happens-before edges.
+//! * Within one epoch (between two barriers), a row may be written by any
+//!   number of threads — `fetch_or` is commutative and monotone, so
+//!   concurrent writers converge — but must not be *read* by a thread that
+//!   needs its final value. Readers may only read rows finalized in an
+//!   earlier epoch.
+//!
+//! Violating the discipline cannot cause undefined behavior (there are no
+//! data races on atomics), only stale reads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::{words_for, BitMatrix, BITS};
+
+/// A `rows × cols` bit matrix of relaxed [`AtomicUsize`] words.
+pub struct AtomicBitMatrix {
+    words: Vec<AtomicUsize>,
+    rows: usize,
+    cols: usize,
+    row_words: usize,
+}
+
+impl AtomicBitMatrix {
+    /// Creates an all-zero matrix of `rows × cols` bits.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let row_words = words_for(cols);
+        let mut words = Vec::with_capacity(rows * row_words);
+        words.resize_with(rows * row_words, AtomicUsize::default);
+        AtomicBitMatrix {
+            words,
+            rows,
+            cols,
+            row_words,
+        }
+    }
+
+    /// Copies a plain [`BitMatrix`] into atomic storage.
+    pub fn from_matrix(m: &BitMatrix) -> Self {
+        let out = AtomicBitMatrix::new(m.rows(), m.cols());
+        for row in 0..m.rows() {
+            let base = row * out.row_words;
+            for (i, &w) in m.row_words(row).iter().enumerate() {
+                out.words[base + i].store(w, Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    /// Unwraps into a plain [`BitMatrix`].
+    ///
+    /// Consuming `self` proves no other thread still holds a reference, so
+    /// the relaxed loads see every prior write.
+    pub fn into_matrix(self) -> BitMatrix {
+        let words: Vec<usize> = self
+            .words
+            .into_iter()
+            .map(AtomicUsize::into_inner)
+            .collect();
+        BitMatrix::from_raw(words, self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (universe of each row).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn row_base(&self, row: usize) -> usize {
+        assert!(row < self.rows, "row {row} out of range 0..{}", self.rows);
+        row * self.row_words
+    }
+
+    /// Sets bit `(row, col)`, returning `true` if it was newly set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    #[inline]
+    pub fn set(&self, row: usize, col: usize) -> bool {
+        assert!(col < self.cols, "col {col} out of range 0..{}", self.cols);
+        let base = self.row_base(row);
+        let mask = 1usize << (col % BITS);
+        let prev = self.words[base + col / BITS].fetch_or(mask, Ordering::Relaxed);
+        prev & mask == 0
+    }
+
+    /// Tests bit `(row, col)` (relaxed load; see module docs for when the
+    /// value is meaningful).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range. Out-of-range `col` reads as `false`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        if col >= self.cols {
+            return false;
+        }
+        let base = self.row_base(row);
+        self.words[base + col / BITS].load(Ordering::Relaxed) & (1usize << (col % BITS)) != 0
+    }
+
+    /// ORs an external word slice into `row`; returns `true` if the row
+    /// changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `src` is shorter than a row.
+    pub fn fetch_or_row(&self, row: usize, src: &[usize]) -> bool {
+        let base = self.row_base(row);
+        assert!(
+            src.len() >= self.row_words,
+            "source slice shorter than a row"
+        );
+        let mut changed = false;
+        for (i, &s) in src.iter().take(self.row_words).enumerate() {
+            if s != 0 {
+                let prev = self.words[base + i].fetch_or(s, Ordering::Relaxed);
+                changed |= prev | s != prev;
+            }
+        }
+        changed
+    }
+
+    /// `row[dst] |= row[src]`; returns `true` if `dst` changed.
+    ///
+    /// Reads `src` with relaxed loads, so `src` must be finalized (written
+    /// in an earlier epoch) for the result to be its final value. Rows may
+    /// coincide (then nothing changes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row is out of range.
+    pub fn union_row_from(&self, dst: usize, src: usize) -> bool {
+        if dst == src {
+            return false;
+        }
+        let sb = self.row_base(src);
+        let db = self.row_base(dst);
+        let mut changed = false;
+        for i in 0..self.row_words {
+            let s = self.words[sb + i].load(Ordering::Relaxed);
+            if s != 0 {
+                let prev = self.words[db + i].fetch_or(s, Ordering::Relaxed);
+                changed |= prev | s != prev;
+            }
+        }
+        changed
+    }
+
+    /// `row[dst] := row[src]` (relaxed load + store per word).
+    ///
+    /// Like [`union_row_from`](Self::union_row_from), `src` must be
+    /// finalized and `dst` must be owned by the calling thread's epoch.
+    /// Rows may coincide (then nothing changes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row is out of range.
+    pub fn copy_row_from(&self, dst: usize, src: usize) {
+        if dst == src {
+            return;
+        }
+        let sb = self.row_base(src);
+        let db = self.row_base(dst);
+        for i in 0..self.row_words {
+            let s = self.words[sb + i].load(Ordering::Relaxed);
+            self.words[db + i].store(s, Ordering::Relaxed);
+        }
+    }
+
+    /// Copies the words of `row` into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `buf` is shorter than a row.
+    pub fn read_row_into(&self, row: usize, buf: &mut [usize]) {
+        let base = self.row_base(row);
+        assert!(buf.len() >= self.row_words, "buffer shorter than a row");
+        for (i, b) in buf.iter_mut().take(self.row_words).enumerate() {
+            *b = self.words[base + i].load(Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_atomic() {
+        let mut m = BitMatrix::new(3, 130);
+        m.set(0, 0);
+        m.set(1, 64);
+        m.set(2, 129);
+        let a = AtomicBitMatrix::from_matrix(&m);
+        assert!(a.get(1, 64));
+        assert!(!a.get(1, 65));
+        assert_eq!(a.into_matrix(), m);
+    }
+
+    #[test]
+    fn set_reports_freshness() {
+        let a = AtomicBitMatrix::new(1, 10);
+        assert!(a.set(0, 3));
+        assert!(!a.set(0, 3));
+    }
+
+    #[test]
+    fn union_row_from_matches_bitmatrix() {
+        let mut m = BitMatrix::new(2, 200);
+        m.set(0, 5);
+        m.set(1, 150);
+        let a = AtomicBitMatrix::from_matrix(&m);
+        assert!(a.union_row_from(0, 1));
+        assert!(!a.union_row_from(0, 1), "second union is a no-op");
+        assert!(!a.union_row_from(1, 1), "self union is a no-op");
+        m.union_rows(0, 1);
+        assert_eq!(a.into_matrix(), m);
+    }
+
+    #[test]
+    fn concurrent_fetch_or_converges() {
+        let cols = 256;
+        let a = AtomicBitMatrix::new(1, cols);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let a = &a;
+                scope.spawn(move || {
+                    let mut src = BitMatrix::new(1, cols);
+                    for c in (t..cols).step_by(4) {
+                        src.set(0, c);
+                    }
+                    a.fetch_or_row(0, src.row_words(0));
+                });
+            }
+        });
+        let m = a.into_matrix();
+        assert_eq!(m.row_count(0), cols, "all four stripes landed");
+    }
+
+    #[test]
+    fn read_row_into_copies_words() {
+        let a = AtomicBitMatrix::new(2, 70);
+        a.set(1, 69);
+        let mut buf = vec![0usize; 2];
+        a.read_row_into(1, &mut buf);
+        assert_eq!(buf[1], 1usize << (69 - usize::BITS as usize));
+    }
+}

@@ -87,7 +87,11 @@ impl BitSet {
     /// Panics if `idx >= self.len()`.
     #[inline]
     pub fn insert(&mut self, idx: usize) -> bool {
-        assert!(idx < self.len, "bit index {idx} out of range 0..{}", self.len);
+        assert!(
+            idx < self.len,
+            "bit index {idx} out of range 0..{}",
+            self.len
+        );
         let (w, b) = (idx / BITS, idx % BITS);
         let mask = 1usize << b;
         let fresh = self.words[w] & mask == 0;
@@ -102,7 +106,11 @@ impl BitSet {
     /// Panics if `idx >= self.len()`.
     #[inline]
     pub fn remove(&mut self, idx: usize) -> bool {
-        assert!(idx < self.len, "bit index {idx} out of range 0..{}", self.len);
+        assert!(
+            idx < self.len,
+            "bit index {idx} out of range 0..{}",
+            self.len
+        );
         let (w, b) = (idx / BITS, idx % BITS);
         let mask = 1usize << b;
         let present = self.words[w] & mask != 0;
@@ -187,7 +195,10 @@ impl BitSet {
     /// Panics if the universes differ.
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "universe mismatch");
-        self.words.iter().zip(&other.words).all(|(&a, &b)| a & b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & b == 0)
     }
 
     /// Returns `true` if every element of `self` is in `other`.
@@ -197,7 +208,10 @@ impl BitSet {
     /// Panics if the universes differ.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "universe mismatch");
-        self.words.iter().zip(&other.words).all(|(&a, &b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & !b == 0)
     }
 
     /// Iterates over the set bits in increasing order.

@@ -28,11 +28,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod atomic;
 mod bitset;
 mod matrix;
+mod shard;
 
+pub use atomic::AtomicBitMatrix;
 pub use bitset::{BitSet, Iter};
 pub use matrix::BitMatrix;
+pub use shard::RowsMut;
 
 pub(crate) const BITS: usize = usize::BITS as usize;
 

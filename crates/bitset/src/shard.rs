@@ -1,0 +1,245 @@
+//! Disjoint mutable row bands of a [`BitMatrix`](crate::BitMatrix).
+//!
+//! Parallel phases of the look-ahead pipeline scatter per-worker results
+//! into one shared matrix. Rust's aliasing rules forbid two `&mut BitMatrix`
+//! borrows, so the matrix instead splits itself into [`RowsMut`] bands —
+//! each a `&mut` borrow of a *disjoint* word range — via
+//! [`BitMatrix::split_rows_mut`](crate::BitMatrix::split_rows_mut) and
+//! [`BitMatrix::partition_rows_mut`](crate::BitMatrix::partition_rows_mut).
+//!
+//! # Safety invariants (upheld without `unsafe`)
+//!
+//! * A band covers a contiguous global row range `[first_row, first_row +
+//!   len)` and owns exactly those rows' words; bands from one partition
+//!   call never overlap, because they are carved with `split_at_mut`.
+//! * All row arguments are **global** row indices; a band panics on rows
+//!   outside its range instead of silently remapping, so a worker that is
+//!   handed the wrong band fails loudly.
+//! * Sending each band to a different scoped thread is sound: `RowsMut`
+//!   is `Send` because it is just a `&mut [usize]` plus bookkeeping.
+
+use crate::BITS;
+
+/// A mutable view of a contiguous band of [`BitMatrix`](crate::BitMatrix)
+/// rows, addressed by global row index.
+#[derive(Debug)]
+pub struct RowsMut<'a> {
+    words: &'a mut [usize],
+    first_row: usize,
+    rows: usize,
+    row_words: usize,
+    cols: usize,
+}
+
+impl<'a> RowsMut<'a> {
+    pub(crate) fn new(
+        words: &'a mut [usize],
+        first_row: usize,
+        rows: usize,
+        row_words: usize,
+        cols: usize,
+    ) -> Self {
+        debug_assert_eq!(words.len(), rows * row_words);
+        RowsMut {
+            words,
+            first_row,
+            rows,
+            row_words,
+            cols,
+        }
+    }
+
+    /// Global index of the first row in this band.
+    #[inline]
+    pub fn first_row(&self) -> usize {
+        self.first_row
+    }
+
+    /// Number of rows in this band (may be zero).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Returns `true` if the band holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Returns `true` if global `row` belongs to this band.
+    #[inline]
+    pub fn contains_row(&self, row: usize) -> bool {
+        (self.first_row..self.first_row + self.rows).contains(&row)
+    }
+
+    #[inline]
+    fn row_range(&self, row: usize) -> std::ops::Range<usize> {
+        assert!(
+            self.contains_row(row),
+            "row {row} outside band {}..{}",
+            self.first_row,
+            self.first_row + self.rows
+        );
+        let start = (row - self.first_row) * self.row_words;
+        start..start + self.row_words
+    }
+
+    /// Sets bit `(row, col)`, returning `true` if it was newly set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is outside the band or `col` is out of range.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize) -> bool {
+        assert!(col < self.cols, "col {col} out of range 0..{}", self.cols);
+        let r = self.row_range(row);
+        let w = &mut self.words[r][col / BITS];
+        let mask = 1usize << (col % BITS);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        fresh
+    }
+
+    /// Tests bit `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is outside the band. Out-of-range `col` reads as
+    /// `false`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        if col >= self.cols {
+            return false;
+        }
+        let r = self.row_range(row);
+        self.words[r][col / BITS] & (1usize << (col % BITS)) != 0
+    }
+
+    /// Borrows the raw words of global `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is outside the band.
+    pub fn row_words(&self, row: usize) -> &[usize] {
+        let r = self.row_range(row);
+        &self.words[r]
+    }
+
+    /// ORs an external word slice into global `row`; returns `true` if the
+    /// row changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is outside the band or `src` is shorter than a row.
+    pub fn union_row_with_words(&mut self, row: usize, src: &[usize]) -> bool {
+        let r = self.row_range(row);
+        let mut changed = false;
+        for (d, &s) in self.words[r].iter_mut().zip(src) {
+            let next = *d | s;
+            changed |= next != *d;
+            *d = next;
+        }
+        changed
+    }
+
+    /// Overwrites global `row` with an external word slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is outside the band or `src` has the wrong length.
+    pub fn copy_row_from_words(&mut self, row: usize, src: &[usize]) {
+        let r = self.row_range(row);
+        self.words[r].copy_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BitMatrix;
+
+    #[test]
+    fn split_preserves_global_indexing() {
+        let mut m = BitMatrix::new(5, 70);
+        let (mut lo, mut hi) = m.split_rows_mut(2);
+        assert_eq!(lo.first_row(), 0);
+        assert_eq!(lo.len(), 2);
+        assert_eq!(hi.first_row(), 2);
+        assert_eq!(hi.len(), 3);
+        assert!(lo.set(1, 69));
+        assert!(hi.set(2, 0));
+        assert!(hi.set(4, 68));
+        assert!(m.get(1, 69));
+        assert!(m.get(2, 0));
+        assert!(m.get(4, 68));
+    }
+
+    #[test]
+    fn partition_covers_all_rows_exactly_once() {
+        let mut m = BitMatrix::new(7, 64);
+        let bands = m.partition_rows_mut(3);
+        assert_eq!(bands.len(), 3);
+        let sizes: Vec<usize> = bands.iter().map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![3, 2, 2]);
+        let mut next = 0;
+        for b in &bands {
+            assert_eq!(b.first_row(), next);
+            next += b.len();
+        }
+        assert_eq!(next, 7);
+    }
+
+    #[test]
+    fn partition_more_parts_than_rows_yields_empty_tail() {
+        let mut m = BitMatrix::new(2, 10);
+        let bands = m.partition_rows_mut(4);
+        let sizes: Vec<usize> = bands.iter().map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![1, 1, 0, 0]);
+        assert!(bands[3].is_empty());
+    }
+
+    #[test]
+    fn scatter_from_scoped_threads_matches_sequential() {
+        let rows = 16;
+        let cols = 130;
+        let fill = |row: usize| -> Vec<usize> {
+            let mut one = BitMatrix::new(1, cols);
+            one.set(0, row % cols);
+            one.set(0, (row * 7) % cols);
+            one.row_words(0).to_vec()
+        };
+
+        let mut seq = BitMatrix::new(rows, cols);
+        for r in 0..rows {
+            seq.union_row_with_words(r, &fill(r));
+        }
+
+        let mut par = BitMatrix::new(rows, cols);
+        let bands = par.partition_rows_mut(4);
+        std::thread::scope(|scope| {
+            for mut band in bands {
+                scope.spawn(move || {
+                    for r in band.first_row()..band.first_row() + band.len() {
+                        band.union_row_with_words(r, &fill(r));
+                    }
+                });
+            }
+        });
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside band")]
+    fn out_of_band_row_panics() {
+        let mut m = BitMatrix::new(4, 10);
+        let (mut lo, _hi) = m.split_rows_mut(2);
+        lo.set(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bands")]
+    fn zero_parts_panics() {
+        let mut m = BitMatrix::new(4, 10);
+        let _ = m.partition_rows_mut(0);
+    }
+}

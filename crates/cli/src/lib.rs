@@ -25,7 +25,7 @@
 use std::fmt::Write as _;
 
 use lalr_automata::Lr0Automaton;
-use lalr_core::{classify, LalrAnalysis};
+use lalr_core::{classify_with, LalrAnalysis, Parallelism};
 use lalr_grammar::{Grammar, GrammarStats};
 use lalr_runtime::{Lexer, Parser};
 use lalr_tables::{build_table, TableOptions};
@@ -55,8 +55,9 @@ fn fail(message: impl Into<String>) -> CliError {
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: lalrgen <analyze|explain|classify|states|table|dot|codegen|sentences|check|parse> <grammar> [args]
-  <grammar> is a file path or a corpus name (try: expr, json, pascal, c_subset)";
+pub const USAGE: &str = "usage: lalrgen <analyze|explain|classify|states|table|dot|codegen|sentences|check|parse> <grammar> [args] [--threads N]
+  <grammar> is a file path or a corpus name (try: expr, json, pascal, c_subset)
+  --threads N runs the look-ahead pipeline on N worker threads (same output, faster on large grammars)";
 
 /// Loads a grammar from a corpus name or a file path. Files ending in
 /// `.y` are read with the yacc/bison reader (actions stripped).
@@ -64,8 +65,8 @@ pub fn load_grammar(arg: &str) -> Result<Grammar, CliError> {
     if let Some(entry) = lalr_corpus::by_name(arg) {
         return Ok(entry.grammar());
     }
-    let text = std::fs::read_to_string(arg)
-        .map_err(|e| fail(format!("cannot read {arg:?}: {e}")))?;
+    let text =
+        std::fs::read_to_string(arg).map_err(|e| fail(format!("cannot read {arg:?}: {e}")))?;
     let parsed = if arg.ends_with(".y") {
         lalr_grammar::parse_yacc(&text)
     } else {
@@ -74,21 +75,46 @@ pub fn load_grammar(arg: &str) -> Result<Grammar, CliError> {
     parsed.map_err(|e| fail(format!("{arg}: {e}")))
 }
 
+/// Extracts a global `--threads N` flag (anywhere after the command) and
+/// returns the remaining arguments plus the resulting configuration.
+fn extract_parallelism(args: &[String]) -> Result<(Vec<String>, Parallelism), CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut parallelism = Parallelism::sequential();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threads" {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| fail("--threads needs a count"))?;
+            let n: usize = value
+                .parse()
+                .map_err(|_| fail(format!("bad thread count {value:?}")))?;
+            parallelism = Parallelism::new(n);
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    Ok((rest, parallelism))
+}
+
 /// Dispatches a full argument vector (without `argv[0]`).
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (args, par) = extract_parallelism(args)?;
     let cmd = args.first().map(String::as_str).unwrap_or("");
     let rest = args.get(1..).unwrap_or(&[]);
     match cmd {
-        "analyze" => cmd_analyze(rest),
-        "explain" => cmd_explain(rest),
-        "classify" => cmd_classify(rest),
-        "states" => cmd_states(rest),
-        "table" => cmd_table(rest),
+        "analyze" => cmd_analyze(rest, &par),
+        "explain" => cmd_explain(rest, &par),
+        "classify" => cmd_classify(rest, &par),
+        "states" => cmd_states(rest, &par),
+        "table" => cmd_table(rest, &par),
         "dot" => cmd_dot(rest),
-        "codegen" => cmd_codegen(rest),
+        "codegen" => cmd_codegen(rest, &par),
         "sentences" => cmd_sentences(rest),
-        "check" => cmd_check(rest),
-        "parse" => cmd_parse(rest),
+        "check" => cmd_check(rest, &par),
+        "parse" => cmd_parse(rest, &par),
         "" | "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError {
             message: format!("unknown command {other:?}\n{USAGE}"),
@@ -104,12 +130,12 @@ fn grammar_arg<'a>(args: &'a [String], what: &str) -> Result<&'a str, CliError> 
     })
 }
 
-fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
+fn cmd_analyze(args: &[String], par: &Parallelism) -> Result<String, CliError> {
     let name = grammar_arg(args, "analyze")?;
     let grammar = load_grammar(name)?;
     let stats = GrammarStats::compute(&grammar);
     let lr0 = Lr0Automaton::build(&grammar);
-    let analysis = LalrAnalysis::compute(&grammar, &lr0);
+    let analysis = LalrAnalysis::compute_with(&grammar, &lr0, par);
     let rs = analysis.relation_stats();
     let conflicts = analysis.conflicts(&grammar, &lr0);
 
@@ -147,10 +173,10 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_classify(args: &[String]) -> Result<String, CliError> {
+fn cmd_classify(args: &[String], par: &Parallelism) -> Result<String, CliError> {
     let name = grammar_arg(args, "classify")?;
     let grammar = load_grammar(name)?;
-    let m = classify(&grammar);
+    let m = classify_with(&grammar, par);
     Ok(format!(
         "{name}: {} (conflicts lr0={} slr={} nqlalr={} lalr={} lr1={}{})\n",
         m.class,
@@ -165,12 +191,12 @@ fn cmd_classify(args: &[String]) -> Result<String, CliError> {
 
 /// Explains every conflict with a viable prefix and the relation chains
 /// that carry the offending terminal (see `lalr_core::explain_conflict`).
-fn cmd_explain(args: &[String]) -> Result<String, CliError> {
+fn cmd_explain(args: &[String], par: &Parallelism) -> Result<String, CliError> {
     let name = grammar_arg(args, "explain")?;
     let grammar = load_grammar(name)?;
     let lr0 = Lr0Automaton::build(&grammar);
     let relations = lalr_core::Relations::build(&grammar, &lr0);
-    let analysis = LalrAnalysis::compute(&grammar, &lr0);
+    let analysis = LalrAnalysis::compute_with(&grammar, &lr0, par);
     let conflicts = analysis.conflicts(&grammar, &lr0);
     if conflicts.is_empty() {
         return Ok(format!("{name}: no LALR(1) conflicts\n"));
@@ -191,11 +217,11 @@ fn cmd_explain(args: &[String]) -> Result<String, CliError> {
 
 /// The yacc `y.output` analogue: every state with its kernel items,
 /// look-ahead-annotated reductions, and transitions.
-fn cmd_states(args: &[String]) -> Result<String, CliError> {
+fn cmd_states(args: &[String], par: &Parallelism) -> Result<String, CliError> {
     let name = grammar_arg(args, "states")?;
     let grammar = load_grammar(name)?;
     let lr0 = Lr0Automaton::build(&grammar);
-    let analysis = LalrAnalysis::compute(&grammar, &lr0);
+    let analysis = LalrAnalysis::compute_with(&grammar, &lr0, par);
     let la = analysis.lookaheads();
 
     let mut out = String::new();
@@ -235,12 +261,17 @@ fn cmd_states(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_table(args: &[String]) -> Result<String, CliError> {
+fn cmd_table(args: &[String], par: &Parallelism) -> Result<String, CliError> {
     let name = grammar_arg(args, "table")?;
     let grammar = load_grammar(name)?;
     let lr0 = Lr0Automaton::build(&grammar);
-    let analysis = LalrAnalysis::compute(&grammar, &lr0);
-    let table = build_table(&grammar, &lr0, analysis.lookaheads(), TableOptions::default());
+    let analysis = LalrAnalysis::compute_with(&grammar, &lr0, par);
+    let table = build_table(
+        &grammar,
+        &lr0,
+        analysis.lookaheads(),
+        TableOptions::default(),
+    );
     let mut out = table.to_string();
     if !table.resolutions().is_empty() {
         let _ = writeln!(out, "\n{} conflict(s) resolved:", table.resolutions().len());
@@ -265,13 +296,18 @@ fn cmd_dot(args: &[String]) -> Result<String, CliError> {
     Ok(Lr0Automaton::build(&grammar).to_dot(&grammar))
 }
 
-fn cmd_codegen(args: &[String]) -> Result<String, CliError> {
+fn cmd_codegen(args: &[String], par: &Parallelism) -> Result<String, CliError> {
     let name = grammar_arg(args, "codegen")?;
     let grammar = load_grammar(name)?;
     let module = args.get(1).map(String::as_str).unwrap_or("parser");
     let lr0 = Lr0Automaton::build(&grammar);
-    let analysis = LalrAnalysis::compute(&grammar, &lr0);
-    let table = build_table(&grammar, &lr0, analysis.lookaheads(), TableOptions::default());
+    let analysis = LalrAnalysis::compute_with(&grammar, &lr0, par);
+    let table = build_table(
+        &grammar,
+        &lr0,
+        analysis.lookaheads(),
+        TableOptions::default(),
+    );
     Ok(lalr_codegen::generate_module(&table, module))
 }
 
@@ -297,7 +333,7 @@ fn cmd_sentences(args: &[String]) -> Result<String, CliError> {
 /// Runs a case file: each non-comment line is `+ tokens…` (must accept)
 /// or `- tokens…` (must reject); tokens are whitespace-separated terminal
 /// names. Exit is nonzero when any case fails.
-fn cmd_check(args: &[String]) -> Result<String, CliError> {
+fn cmd_check(args: &[String], par: &Parallelism) -> Result<String, CliError> {
     let name = grammar_arg(args, "check")?;
     let grammar = load_grammar(name)?;
     let cases_path = args
@@ -307,8 +343,13 @@ fn cmd_check(args: &[String]) -> Result<String, CliError> {
         .map_err(|e| fail(format!("cannot read {cases_path:?}: {e}")))?;
 
     let lr0 = Lr0Automaton::build(&grammar);
-    let analysis = LalrAnalysis::compute(&grammar, &lr0);
-    let table = build_table(&grammar, &lr0, analysis.lookaheads(), TableOptions::default());
+    let analysis = LalrAnalysis::compute_with(&grammar, &lr0, par);
+    let table = build_table(
+        &grammar,
+        &lr0,
+        analysis.lookaheads(),
+        TableOptions::default(),
+    );
     let parser = Parser::new(&table);
 
     let mut out = String::new();
@@ -322,7 +363,12 @@ fn cmd_check(args: &[String]) -> Result<String, CliError> {
         let (expect_accept, rest) = match line.split_at(1) {
             ("+", rest) => (true, rest),
             ("-", rest) => (false, rest),
-            _ => return Err(fail(format!("{cases_path}:{}: lines start with + or -", lineno + 1))),
+            _ => {
+                return Err(fail(format!(
+                    "{cases_path}:{}: lines start with + or -",
+                    lineno + 1
+                )))
+            }
         };
         total += 1;
         let mut tokens = Vec::new();
@@ -351,12 +397,15 @@ fn cmd_check(args: &[String]) -> Result<String, CliError> {
     }
     let _ = writeln!(out, "{} cases, {} failures", total, failures);
     if failures > 0 {
-        return Err(CliError { message: out, code: 1 });
+        return Err(CliError {
+            message: out,
+            code: 1,
+        });
     }
     Ok(out)
 }
 
-fn cmd_parse(args: &[String]) -> Result<String, CliError> {
+fn cmd_parse(args: &[String], par: &Parallelism) -> Result<String, CliError> {
     let name = grammar_arg(args, "parse")?;
     let grammar = load_grammar(name)?;
     let input = args
@@ -364,8 +413,13 @@ fn cmd_parse(args: &[String]) -> Result<String, CliError> {
         .ok_or_else(|| fail("parse needs an input string"))?;
 
     let lr0 = Lr0Automaton::build(&grammar);
-    let analysis = LalrAnalysis::compute(&grammar, &lr0);
-    let table = build_table(&grammar, &lr0, analysis.lookaheads(), TableOptions::default());
+    let analysis = LalrAnalysis::compute_with(&grammar, &lr0, par);
+    let table = build_table(
+        &grammar,
+        &lr0,
+        analysis.lookaheads(),
+        TableOptions::default(),
+    );
 
     // Optional lexer class flags.
     let mut builder = Lexer::for_table(&table);
@@ -411,6 +465,22 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_does_not_change_output() {
+        for cmd in ["analyze", "classify", "states", "table"] {
+            let seq = run_strs(&[cmd, "expr"]).unwrap();
+            let par = run_strs(&[cmd, "expr", "--threads", "4"]).unwrap();
+            assert_eq!(seq, par, "{cmd} output must not depend on --threads");
+        }
+        // The flag is position-independent and validated.
+        let out = run_strs(&["--threads", "2", "classify", "expr"]).unwrap();
+        assert!(out.contains("SLR(1)"), "{out}");
+        let err = run_strs(&["classify", "expr", "--threads", "lots"]).unwrap_err();
+        assert!(err.message.contains("bad thread count"), "{}", err.message);
+        let err = run_strs(&["classify", "expr", "--threads"]).unwrap_err();
+        assert!(err.message.contains("needs a count"), "{}", err.message);
+    }
+
+    #[test]
     fn analyze_reports_conflicts() {
         let out = run_strs(&["analyze", "dangling_else"]).unwrap();
         assert!(out.contains("conflicts: 1"), "{out}");
@@ -434,7 +504,10 @@ mod tests {
         assert!(out.contains("shift"));
         assert!(out.contains("goto"));
         // The f -> NUM reduction carries its LALR look-ahead set.
-        assert!(out.contains("[$ + * )]") || out.contains("[$ + * ( )]"), "{out}");
+        assert!(
+            out.contains("[$ + * )]") || out.contains("[$ + * ( )]"),
+            "{out}"
+        );
     }
 
     #[test]

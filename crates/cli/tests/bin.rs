@@ -59,7 +59,11 @@ fn grammar_file_workflow() {
     let p = path.to_str().unwrap();
 
     let out = lalrgen(&["analyze", p]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = lalrgen(&["parse", p, "a a b b"]);
     assert!(out.status.success());

@@ -10,7 +10,9 @@ use lalr_core::LalrAnalysis;
 use lalr_tables::{build_table, TableOptions};
 
 fn main() {
-    let grammar = lalr_corpus::by_name("expr").expect("corpus has expr").grammar();
+    let grammar = lalr_corpus::by_name("expr")
+        .expect("corpus has expr")
+        .grammar();
     let lr0 = Lr0Automaton::build(&grammar);
     let la = LalrAnalysis::compute(&grammar, &lr0).into_lookaheads();
     let table = build_table(&grammar, &lr0, &la, TableOptions::default());

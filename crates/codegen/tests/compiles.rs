@@ -38,7 +38,12 @@ fn generated_modules_compile_standalone() {
         let src_path = dir.join(format!("{name}.rs"));
         std::fs::write(&src_path, &source).expect("write source");
         let out = Command::new("rustc")
-            .args(["--edition=2021", "--crate-type=lib", "--emit=metadata", "-o"])
+            .args([
+                "--edition=2021",
+                "--crate-type=lib",
+                "--emit=metadata",
+                "-o",
+            ])
             .arg(dir.join(format!("lib{name}.rmeta")))
             .arg(&src_path)
             .output()

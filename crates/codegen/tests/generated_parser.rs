@@ -21,7 +21,9 @@ mod expr_parser {
 }
 
 fn expr_grammar() -> Grammar {
-    lalr_corpus::by_name("expr").expect("corpus has expr").grammar()
+    lalr_corpus::by_name("expr")
+        .expect("corpus has expr")
+        .grammar()
 }
 
 fn expr_table(grammar: &Grammar) -> ParseTable {
@@ -38,9 +40,8 @@ fn fixture_is_up_to_date() {
     if std::env::var_os("LALR_REGEN").is_some() {
         std::fs::write(path, &generated).expect("write fixture");
     }
-    let on_disk = std::fs::read_to_string(path).expect(
-        "fixture missing — run with LALR_REGEN=1 to create tests/fixtures/expr_parser.rs",
-    );
+    let on_disk = std::fs::read_to_string(path)
+        .expect("fixture missing — run with LALR_REGEN=1 to create tests/fixtures/expr_parser.rs");
     assert_eq!(
         on_disk, generated,
         "fixture out of date — rerun with LALR_REGEN=1"

@@ -113,20 +113,62 @@ fn lr1_conflicts(grammar: &Grammar, lr1: &Lr1Automaton) -> usize {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn classify(grammar: &Grammar) -> MethodAdequacy {
-    let lr0 = Lr0Automaton::build(grammar);
-    let lr1 = Lr1Automaton::build(grammar);
+    classify_with(grammar, &crate::Parallelism::sequential())
+}
 
-    let lr0_c = find_conflicts(grammar, &lr0, &lr0_lookaheads(grammar, &lr0)).len();
-    let slr_c = find_conflicts(grammar, &lr0, &slr_lookaheads(grammar, &lr0)).len();
-    let nq_c = find_conflicts(
-        grammar,
-        &lr0,
-        NqlalrAnalysis::compute(grammar, &lr0).lookaheads(),
-    )
-    .len();
-    let analysis = LalrAnalysis::compute(grammar, &lr0);
+/// Like [`classify`], but when more than one thread is configured the five
+/// methods run concurrently: the canonical-LR(1) build, the LR(0)/SLR/
+/// NQLALR baselines and the DeRemer–Pennello analysis are independent, so
+/// each gets its own scoped thread. Counts and classification are
+/// identical to the sequential run.
+pub fn classify_with(grammar: &Grammar, parallelism: &crate::Parallelism) -> MethodAdequacy {
+    let lr0 = Lr0Automaton::build(grammar);
+
+    let (lr0_c, slr_c, nq_c, analysis, lr1_c);
+    if parallelism.is_parallel() {
+        let lr0_ref = &lr0;
+        (lr0_c, slr_c, nq_c, analysis, lr1_c) = std::thread::scope(|scope| {
+            let lr1_h = scope.spawn(move || {
+                let lr1 = Lr1Automaton::build(grammar);
+                lr1_conflicts(grammar, &lr1)
+            });
+            let lr0_h = scope.spawn(move || {
+                find_conflicts(grammar, lr0_ref, &lr0_lookaheads(grammar, lr0_ref)).len()
+            });
+            let slr_h = scope.spawn(move || {
+                find_conflicts(grammar, lr0_ref, &slr_lookaheads(grammar, lr0_ref)).len()
+            });
+            let nq_h = scope.spawn(move || {
+                find_conflicts(
+                    grammar,
+                    lr0_ref,
+                    NqlalrAnalysis::compute(grammar, lr0_ref).lookaheads(),
+                )
+                .len()
+            });
+            let analysis = LalrAnalysis::compute_with(grammar, lr0_ref, parallelism);
+            (
+                lr0_h.join().expect("lr0 baseline panicked"),
+                slr_h.join().expect("slr baseline panicked"),
+                nq_h.join().expect("nqlalr baseline panicked"),
+                analysis,
+                lr1_h.join().expect("lr1 build panicked"),
+            )
+        });
+    } else {
+        let lr1 = Lr1Automaton::build(grammar);
+        lr0_c = find_conflicts(grammar, &lr0, &lr0_lookaheads(grammar, &lr0)).len();
+        slr_c = find_conflicts(grammar, &lr0, &slr_lookaheads(grammar, &lr0)).len();
+        nq_c = find_conflicts(
+            grammar,
+            &lr0,
+            NqlalrAnalysis::compute(grammar, &lr0).lookaheads(),
+        )
+        .len();
+        analysis = LalrAnalysis::compute(grammar, &lr0);
+        lr1_c = lr1_conflicts(grammar, &lr1);
+    }
     let lalr_c = analysis.conflicts(grammar, &lr0).len();
-    let lr1_c = lr1_conflicts(grammar, &lr1);
 
     let class = if lr0_c == 0 {
         GrammarClass::Lr0

@@ -109,8 +109,7 @@ pub fn find_conflicts(
         // Reduce/reduce.
         for (i, &p1) in reductions.iter().enumerate() {
             for &p2 in &reductions[i + 1..] {
-                let (Some(la1), Some(la2)) =
-                    (lookaheads.la(state, p1), lookaheads.la(state, p2))
+                let (Some(la1), Some(la2)) = (lookaheads.la(state, p1), lookaheads.la(state, p2))
                 else {
                     continue;
                 };
@@ -176,9 +175,7 @@ mod tests {
 
     #[test]
     fn conflicts_sorted_by_state_then_terminal() {
-        let (_, cs) = conflicts_of(
-            "e : e \"+\" e | e \"*\" e | \"x\" ;",
-        );
+        let (_, cs) = conflicts_of("e : e \"+\" e | e \"*\" e | \"x\" ;");
         let keys: Vec<_> = cs.iter().map(|c| (c.state, c.terminal)).collect();
         let mut sorted = keys.clone();
         sorted.sort_unstable();

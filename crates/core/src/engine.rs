@@ -2,11 +2,12 @@
 
 use lalr_automata::{Lr0Automaton, NtTransId};
 use lalr_bitset::{BitMatrix, BitSet};
-use lalr_digraph::{digraph, DigraphStats};
+use lalr_digraph::{digraph, digraph_levels, DigraphStats};
 use lalr_grammar::Grammar;
 
 use crate::conflicts::{find_conflicts, Conflict};
 use crate::lookahead::LookaheadSets;
+use crate::parallel::Parallelism;
 use crate::relations::{RelationStats, Relations};
 
 /// The result of running the paper's algorithm: `Read`, `Follow` and `LA`
@@ -41,8 +42,22 @@ pub struct LalrAnalysis {
 impl LalrAnalysis {
     /// Runs the complete computation: relations → `Read` → `Follow` → `LA`.
     pub fn compute(grammar: &Grammar, lr0: &Lr0Automaton) -> LalrAnalysis {
-        let relations = Relations::build(grammar, lr0);
-        LalrAnalysis::from_relations(grammar, lr0, &relations)
+        LalrAnalysis::compute_with(grammar, lr0, &Parallelism::sequential())
+    }
+
+    /// Runs the complete computation with the configured thread count.
+    ///
+    /// The relation build shards its per-transition loops and the two
+    /// Digraph passes run level-scheduled over the condensation
+    /// ([`lalr_digraph::digraph_levels`]); the resulting `Read`, `Follow`
+    /// and `LA` sets are bit-identical to the sequential pipeline's.
+    pub fn compute_with(
+        grammar: &Grammar,
+        lr0: &Lr0Automaton,
+        parallelism: &Parallelism,
+    ) -> LalrAnalysis {
+        let relations = Relations::build_parallel(grammar, lr0, parallelism);
+        LalrAnalysis::from_relations_with(grammar, lr0, &relations, parallelism)
     }
 
     /// Runs the Digraph phases over prebuilt relations (lets benchmarks
@@ -52,13 +67,32 @@ impl LalrAnalysis {
         lr0: &Lr0Automaton,
         relations: &Relations,
     ) -> LalrAnalysis {
+        LalrAnalysis::from_relations_with(grammar, lr0, relations, &Parallelism::sequential())
+    }
+
+    /// Parallel analogue of [`LalrAnalysis::from_relations`].
+    pub fn from_relations_with(
+        grammar: &Grammar,
+        lr0: &Lr0Automaton,
+        relations: &Relations,
+        parallelism: &Parallelism,
+    ) -> LalrAnalysis {
+        let threads = parallelism.threads();
         // Phase 1: Read = Digraph(reads, DR).
         let mut read = relations.dr().clone();
-        let reads_traversal = digraph(relations.reads(), &mut read);
+        let reads_traversal = if threads > 1 {
+            digraph_levels(relations.reads(), &mut read, threads)
+        } else {
+            digraph(relations.reads(), &mut read)
+        };
 
         // Phase 2: Follow = Digraph(includes, Read).
         let mut follow = read.clone();
-        let includes_traversal = digraph(relations.includes(), &mut follow);
+        let includes_traversal = if threads > 1 {
+            digraph_levels(relations.includes(), &mut follow, threads)
+        } else {
+            digraph(relations.includes(), &mut follow)
+        };
 
         // Phase 3: LA(q, A→ω) = ⋃ Follow(p, A) over lookback.
         let mut la = LookaheadSets::new(grammar.terminal_count());
@@ -153,10 +187,9 @@ mod tests {
 
     #[test]
     fn dragon_expression_lookaheads() {
-        let g = parse_grammar(
-            "e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;",
-        )
-        .unwrap();
+        let g =
+            parse_grammar("e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;")
+                .unwrap();
         let lr0 = Lr0Automaton::build(&g);
         let a = LalrAnalysis::compute(&g, &lr0);
 
@@ -174,13 +207,13 @@ mod tests {
     fn lalr_but_not_slr_grammar_is_conflict_free() {
         // The classic LALR-not-SLR grammar (dragon book 4.48-style):
         // S → L = R | R ;  L → * R | id ;  R → L
-        let g = parse_grammar(
-            "s : l \"=\" r | r ; l : \"*\" r | \"id\" ; r : l ;",
-        )
-        .unwrap();
+        let g = parse_grammar("s : l \"=\" r | r ; l : \"*\" r | \"id\" ; r : l ;").unwrap();
         let lr0 = Lr0Automaton::build(&g);
         let a = LalrAnalysis::compute(&g, &lr0);
-        assert!(a.conflicts(&g, &lr0).is_empty(), "LALR(1) must resolve this");
+        assert!(
+            a.conflicts(&g, &lr0).is_empty(),
+            "LALR(1) must resolve this"
+        );
 
         // The telltale state: after `l`, reduce r → l must NOT carry "=".
         let l = g.nonterminal_by_name("l").unwrap();
@@ -210,10 +243,7 @@ mod tests {
         // cycling: here B and C both nullable with transitions following
         // each other cyclically requires an ambiguous-ish grammar:
         //   s : a "x" ; a : b c | ; b : c a | ; c : a b | ;
-        let g = parse_grammar(
-            "s : a \"x\" ; a : b c | ; b : c a | ; c : a b | ;",
-        )
-        .unwrap();
+        let g = parse_grammar("s : a \"x\" ; a : b c | ; b : c a | ; c : a b | ;").unwrap();
         let lr0 = Lr0Automaton::build(&g);
         let a = LalrAnalysis::compute(&g, &lr0);
         assert!(a.grammar_not_lr_k());

@@ -47,11 +47,7 @@ pub fn viable_prefix(lr0: &Lr0Automaton, target: StateId) -> Vec<Symbol> {
 
 /// BFS path in a relation graph from `from` to the first node satisfying
 /// `goal`, inclusive of both endpoints.
-fn relation_path(
-    graph: &Graph,
-    from: usize,
-    goal: impl Fn(usize) -> bool,
-) -> Option<Vec<usize>> {
+fn relation_path(graph: &Graph, from: usize, goal: impl Fn(usize) -> bool) -> Option<Vec<usize>> {
     let mut prev: Vec<Option<usize>> = vec![None; graph.node_count()];
     let mut seen = vec![false; graph.node_count()];
     let mut queue = std::collections::VecDeque::new();
@@ -97,11 +93,7 @@ fn follow_provenance(
 ) -> String {
     let t_idx = terminal.index();
     let in_dr = |node: usize| relations.dr().get(node, t_idx);
-    let in_read = |node: usize| {
-        analysis
-            .read_set(NtTransId::new(node))
-            .contains(t_idx)
-    };
+    let in_read = |node: usize| analysis.read_set(NtTransId::new(node)).contains(t_idx);
 
     // Walk includes from `start` to a node whose Read carries the terminal,
     // then walk reads within that node to a DR source.
@@ -178,7 +170,11 @@ pub fn explain_conflict(
     let words: Vec<&str> = prefix.iter().map(|&s| grammar.name_of(s)).collect();
     out.push_str(&format!(
         "  viable prefix: {} .\n",
-        if words.is_empty() { "(empty)".to_string() } else { words.join(" ") }
+        if words.is_empty() {
+            "(empty)".to_string()
+        } else {
+            words.join(" ")
+        }
     ));
 
     // The items involved.

@@ -47,17 +47,19 @@ mod engine;
 mod explain;
 mod lookahead;
 mod nqlalr;
+mod parallel;
 mod propagation;
 mod relations;
 mod selective;
 mod slr;
 
-pub use classify::{classify, GrammarClass, MethodAdequacy};
+pub use classify::{classify, classify_with, GrammarClass, MethodAdequacy};
 pub use conflicts::{find_conflicts, Conflict, ConflictKind};
 pub use engine::LalrAnalysis;
 pub use explain::{explain_conflict, viable_prefix};
 pub use lookahead::LookaheadSets;
 pub use nqlalr::NqlalrAnalysis;
+pub use parallel::Parallelism;
 pub use propagation::propagation_lookaheads;
 pub use relations::{RelationStats, Relations};
 pub use selective::{inadequate_states, selective_lookaheads, SelectiveAnalysis};

@@ -90,9 +90,9 @@ impl NqlalrAnalysis {
                 let mut state = t.from;
                 for (k, &sym) in rhs.iter().enumerate() {
                     if let Symbol::NonTerminal(a) = sym {
-                        let gamma_nullable = rhs[k + 1..].iter().all(
-                            |&s| matches!(s, Symbol::NonTerminal(n) if nullable.contains(n)),
-                        );
+                        let gamma_nullable = rhs[k + 1..]
+                            .iter()
+                            .all(|&s| matches!(s, Symbol::NonTerminal(n) if nullable.contains(n)));
                         if gamma_nullable {
                             let r_a = lr0
                                 .transition(state, Symbol::NonTerminal(a))

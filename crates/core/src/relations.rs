@@ -63,12 +63,156 @@ impl Relations {
         Relations::build_with(grammar, lr0, nullable)
     }
 
-    /// Builds all four relations reusing a precomputed nullable set.
-    pub fn build_with(
+    /// Builds all four relations, sharding the per-transition work across
+    /// the configured worker threads.
+    ///
+    /// The result is **identical** to [`Relations::build`] — not merely
+    /// equivalent: workers own contiguous shards of the nonterminal
+    /// transitions and fill private edge/lookback buffers, which are then
+    /// merged in shard order. Since the shards partition the sequential
+    /// iteration order, the merged adjacency lists and lookback vectors
+    /// have the exact layout the sequential loop would produce (dedup
+    /// included, because `add_edge_dedup` is applied at merge time in the
+    /// same order it would have been applied incrementally).
+    pub fn build_parallel(
+        grammar: &Grammar,
+        lr0: &Lr0Automaton,
+        parallelism: &crate::Parallelism,
+    ) -> Relations {
+        let nullable = lalr_grammar::analysis::nullable(grammar);
+        if !parallelism.is_parallel() {
+            return Relations::build_with(grammar, lr0, nullable);
+        }
+        Relations::build_with_parallel(grammar, lr0, nullable, parallelism)
+    }
+
+    /// Parallel analogue of [`Relations::build_with`]; see
+    /// [`Relations::build_parallel`] for the determinism argument.
+    pub fn build_with_parallel(
         grammar: &Grammar,
         lr0: &Lr0Automaton,
         nullable: NullableSet,
+        parallelism: &crate::Parallelism,
     ) -> Relations {
+        let nts = lr0.nt_transitions();
+        let n = nts.len();
+        let accept = lr0.accept_state(grammar);
+        let shards = parallelism.shard_ranges(n);
+
+        // DR: each worker owns a contiguous band of matrix rows (a
+        // disjoint `&mut` borrow), so the scatter needs no merge at all.
+        let mut dr = BitMatrix::new(n, grammar.terminal_count());
+        let bands = dr.partition_rows_mut(parallelism.threads());
+        std::thread::scope(|scope| {
+            for mut band in bands {
+                scope.spawn(move || {
+                    let rows = band.first_row()..band.first_row() + band.len();
+                    for (i, t) in nts.iter().enumerate().take(rows.end).skip(rows.start) {
+                        for term in lr0.shift_symbols(t.to) {
+                            band.set(i, term.index());
+                        }
+                        if t.to == accept {
+                            band.set(i, Terminal::EOF.index());
+                        }
+                    }
+                });
+            }
+        });
+
+        // reads / includes / lookback: workers fill private buffers for
+        // their shard of transitions; the merge below replays them in
+        // shard order, i.e. in sequential iteration order.
+        struct ShardOut {
+            reads: Vec<(u32, u32)>,
+            includes: Vec<(u32, u32)>,
+            lookback: Vec<((StateId, ProdId), u32)>,
+        }
+        let nullable_ref = &nullable;
+        let outputs: Vec<ShardOut> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .cloned()
+                .map(|range| {
+                    scope.spawn(move || {
+                        let mut out = ShardOut {
+                            reads: Vec::new(),
+                            includes: Vec::new(),
+                            lookback: Vec::new(),
+                        };
+                        for i in range {
+                            let t = &nts[i];
+                            for &(sym, _) in lr0.transitions(t.to) {
+                                if let Symbol::NonTerminal(c) = sym {
+                                    if nullable_ref.contains(c) {
+                                        let j = lr0
+                                            .nt_transition_id(t.to, c)
+                                            .expect("transition enumerated");
+                                        out.reads.push((i as u32, j.index() as u32));
+                                    }
+                                }
+                            }
+                            let j = i;
+                            for &pid in grammar.productions_of(t.nt) {
+                                let rhs = grammar.production(pid).rhs();
+                                let mut state = t.from;
+                                for (k, &sym) in rhs.iter().enumerate() {
+                                    if let Symbol::NonTerminal(a) = sym {
+                                        let gamma_nullable = rhs[k + 1..].iter().all(|&s| {
+                                            matches!(s, Symbol::NonTerminal(n) if nullable_ref.contains(n))
+                                        });
+                                        if gamma_nullable {
+                                            let src = lr0
+                                                .nt_transition_id(state, a)
+                                                .expect("closure guarantees the transition");
+                                            out.includes.push((src.index() as u32, j as u32));
+                                        }
+                                    }
+                                    state = lr0
+                                        .transition(state, sym)
+                                        .expect("the automaton contains every viable prefix");
+                                }
+                                out.lookback.push(((state, pid), j as u32));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("relation shard worker panicked"))
+                .collect()
+        });
+
+        let mut reads = Graph::new(n);
+        let mut includes = Graph::new(n);
+        let mut lookback: HashMap<(StateId, ProdId), Vec<NtTransId>> = HashMap::new();
+        for out in &outputs {
+            for &(u, v) in &out.reads {
+                reads.add_edge(u as usize, v as usize);
+            }
+            for &(u, v) in &out.includes {
+                includes.add_edge_dedup(u as usize, v as usize);
+            }
+            for &(key, j) in &out.lookback {
+                lookback
+                    .entry(key)
+                    .or_default()
+                    .push(NtTransId::new(j as usize));
+            }
+        }
+
+        Relations {
+            dr,
+            reads,
+            includes,
+            lookback,
+            nullable,
+        }
+    }
+
+    /// Builds all four relations reusing a precomputed nullable set.
+    pub fn build_with(grammar: &Grammar, lr0: &Lr0Automaton, nullable: NullableSet) -> Relations {
         let nts = lr0.nt_transitions();
         let n = nts.len();
         let accept = lr0.accept_state(grammar);
@@ -169,9 +313,7 @@ impl Relations {
     }
 
     /// Iterates over all lookback entries.
-    pub fn lookback_entries(
-        &self,
-    ) -> impl Iterator<Item = (&(StateId, ProdId), &Vec<NtTransId>)> {
+    pub fn lookback_entries(&self) -> impl Iterator<Item = (&(StateId, ProdId), &Vec<NtTransId>)> {
         self.lookback.iter()
     }
 
@@ -194,7 +336,9 @@ impl Relations {
             lookback_edges: self.lookback.values().map(Vec::len).sum(),
             reads_nontrivial_sccs: nontrivial(&reads_sizes)
                 + (0..self.reads.node_count())
-                    .filter(|&i| reads_sizes[reads_scc.component(i)] == 1 && self.reads.has_self_loop(i))
+                    .filter(|&i| {
+                        reads_sizes[reads_scc.component(i)] == 1 && self.reads.has_self_loop(i)
+                    })
                     .count(),
             includes_nontrivial_sccs: nontrivial(&includes_sizes),
             includes_max_scc: includes_sizes.iter().copied().max().unwrap_or(0),
@@ -256,7 +400,9 @@ mod tests {
             .successors(t_a.index())
             .contains(&(t_s.index() as u32)));
         // (p, b) includes (0, s) because s → a b with empty tail.
-        let p = lr0.transition(StateId::START, Symbol::NonTerminal(a)).unwrap();
+        let p = lr0
+            .transition(StateId::START, Symbol::NonTerminal(a))
+            .unwrap();
         let t_b = lr0.nt_transition_id(p, b).unwrap();
         assert!(rel
             .includes()
@@ -274,7 +420,7 @@ mod tests {
         let rel = Relations::build(&g, &lr0);
         let e = g.start();
         let plus_prod = g.productions_of(e)[0]; // e → e + t
-        // Walk e + t from state 0 to find the reduction state.
+                                                // Walk e + t from state 0 to find the reduction state.
         let p = g.production(plus_prod);
         let q = lr0.walk(StateId::START, p.rhs()).unwrap();
         let lb = rel.lookback(q, plus_prod);

@@ -117,11 +117,7 @@ pub fn selective_lookaheads(grammar: &Grammar, lr0: &Lr0Automaton) -> SelectiveA
 
     // Phase 1 (restricted): Read over `reads`, from every needed node.
     let mut read = relations.dr().clone();
-    digraph_from(
-        relations.reads(),
-        &mut read,
-        (0..n).filter(|&i| needed[i]),
-    );
+    digraph_from(relations.reads(), &mut read, (0..n).filter(|&i| needed[i]));
 
     // Phase 2 (restricted): Follow over `includes`, from the roots.
     let mut follow = read;

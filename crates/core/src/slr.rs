@@ -78,10 +78,9 @@ mod tests {
 
     #[test]
     fn slr_adequate_on_plain_expression_grammar() {
-        let g = parse_grammar(
-            "e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;",
-        )
-        .unwrap();
+        let g =
+            parse_grammar("e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;")
+                .unwrap();
         let lr0 = Lr0Automaton::build(&g);
         let slr = slr_lookaheads(&g, &lr0);
         assert!(find_conflicts(&g, &lr0, &slr).is_empty());

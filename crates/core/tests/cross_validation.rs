@@ -74,7 +74,10 @@ fn synthetic_families_agree() {
         );
     }
     for depth in [1, 5, 20] {
-        assert_all_methods_agree(&format!("chain{depth}"), &lalr_corpus::synthetic::chain(depth));
+        assert_all_methods_agree(
+            &format!("chain{depth}"),
+            &lalr_corpus::synthetic::chain(depth),
+        );
     }
     for n in [1, 4, 7] {
         assert_all_methods_agree(
@@ -134,7 +137,10 @@ fn selective_agrees_with_full_on_corpus_and_random() {
         check(entry.name, &entry.grammar());
     }
     for seed in 0..60u64 {
-        check(&format!("random{seed}"), &random(seed, RandomConfig::default()));
+        check(
+            &format!("random{seed}"),
+            &random(seed, RandomConfig::default()),
+        );
     }
 }
 

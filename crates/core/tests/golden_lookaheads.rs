@@ -7,8 +7,7 @@ use lalr_core::LalrAnalysis;
 use lalr_grammar::{parse_grammar, Grammar, Symbol, Terminal};
 use std::collections::BTreeMap;
 
-const SRC: &str =
-    "e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;";
+const SRC: &str = "e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;";
 
 /// Walks a symbol string (by names) from the start state.
 fn state_of(g: &Grammar, lr0: &Lr0Automaton, names: &[&str]) -> StateId {
@@ -79,10 +78,9 @@ fn dragon_grammar_lookahead_totals() {
     // prod 1 (e -> e + t): {$,+,)} once = 3;  prod 2 (e -> t): 3
     // prod 3 (t -> t * f): 4;  prod 4 (t -> f): 4
     // prod 5 (f -> ( e )): 4;  prod 6 (f -> id): 4
-    let expected: BTreeMap<usize, usize> =
-        [(0, 1), (1, 3), (2, 3), (3, 4), (4, 4), (5, 4), (6, 4)]
-            .into_iter()
-            .collect();
+    let expected: BTreeMap<usize, usize> = [(0, 1), (1, 3), (2, 3), (3, 4), (4, 4), (5, 4), (6, 4)]
+        .into_iter()
+        .collect();
     assert_eq!(by_prod, expected);
     assert_eq!(la.reduction_count(), 7);
     assert_eq!(la.total_bits(), 23);

@@ -116,7 +116,14 @@ pub fn nested_lists(n: usize) -> Grammar {
         b.rule(list.clone(), [item.clone()]);
         b.rule(list.clone(), [list.clone(), sep, item.clone()]);
         if i + 1 < n {
-            b.rule(item.clone(), [format!("open{i}"), format!("list{}", i + 1), format!("close{i}")]);
+            b.rule(
+                item.clone(),
+                [
+                    format!("open{i}"),
+                    format!("list{}", i + 1),
+                    format!("close{i}"),
+                ],
+            );
         }
         b.rule(item, [format!("leaf{i}")]);
     }
@@ -146,6 +153,44 @@ pub fn includes_scc(n: usize) -> Grammar {
     b.rule("opt", Vec::<String>::new());
     b.start("top");
     b.build().expect("scc family is well-formed")
+}
+
+/// `n` independent expression sub-grammars under one root — the `includes`
+/// condensation is a wide forest (every sub-grammar is its own weakly
+/// connected component hanging off the root transition), so the
+/// level-scheduled Digraph traversal sees levels that are `n` components
+/// wide. This is the stress case for *parallel* traversal, complementing
+/// [`chain`] (deep and narrow) and [`includes_scc`] (one big component).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let g = lalr_corpus::synthetic::wide_forest(16);
+/// // Per sub-grammar: 2 rules for u, 2 for v; plus n root alternatives
+/// // and the augmentation rule.
+/// assert_eq!(g.production_count(), 5 * 16 + 1);
+/// ```
+pub fn wide_forest(n: usize) -> Grammar {
+    assert!(n > 0, "at least one sub-grammar");
+    let mut b = GrammarBuilder::new();
+    for i in 0..n {
+        let u = format!("u{i}");
+        let v = format!("v{i}");
+        b.rule("s", [u.clone()]);
+        b.rule(u.clone(), [u.clone(), format!("plus{i}"), v.clone()]);
+        b.rule(u, [v.clone()]);
+        b.rule(
+            v.clone(),
+            [format!("open{i}"), format!("u{i}"), format!("close{i}")],
+        );
+        b.rule(v, [format!("x{i}")]);
+    }
+    b.start("s");
+    b.build().expect("forest family is well-formed")
 }
 
 /// Configuration for [`random`].
@@ -275,7 +320,10 @@ mod tests {
         let rel = lalr_core_free_includes(&g, &lr0);
         let scc = tarjan_scc(&rel);
         let sizes = scc.sizes();
-        assert!(sizes.iter().any(|&s| s >= 6), "a big includes SCC exists: {sizes:?}");
+        assert!(
+            sizes.iter().any(|&s| s >= 6),
+            "a big includes SCC exists: {sizes:?}"
+        );
     }
 
     /// Builds just the includes graph without depending on lalr-core
@@ -307,6 +355,21 @@ mod tests {
             }
         }
         graph
+    }
+
+    #[test]
+    fn wide_forest_condensation_has_wide_levels() {
+        use lalr_digraph::LevelSchedule;
+        let n = 12;
+        let g = wide_forest(n);
+        let lr0 = lalr_automata::Lr0Automaton::build(&g);
+        let includes = lalr_core_free_includes(&g, &lr0);
+        let schedule = LevelSchedule::of(&includes);
+        assert!(
+            schedule.max_width() >= n,
+            "a level should be at least {n} components wide, widest is {}",
+            schedule.max_width()
+        );
     }
 
     #[test]

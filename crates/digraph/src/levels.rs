@@ -1,0 +1,404 @@
+//! Level-scheduled parallel variant of the Digraph traversal.
+//!
+//! The sequential [`digraph`](crate::digraph) walks the relation in one
+//! DFS. That walk is inherently serial, but the *closure it computes* is
+//! not: `F(x)` is exactly the union of the initial sets of every node
+//! reachable from `x`, which factors through the condensation. This module
+//! exploits that:
+//!
+//! 1. Run [`tarjan_scc`] and condense the relation to a DAG of components.
+//! 2. Assign each component a **level**: `0` for sinks, otherwise `1 +`
+//!    the maximum level of its successor components. Tarjan numbers
+//!    components in reverse topological order, so one ascending-id pass
+//!    computes all levels.
+//! 3. Process levels bottom-up. All components in a level are mutually
+//!    unreachable (an inter-component edge strictly decreases the level),
+//!    so a level is a parallel frontier: worker threads split its
+//!    components round-robin, each unioning its components' rows in an
+//!    [`AtomicBitMatrix`] and scattering the result to every member.
+//!    A [`Barrier`] separates levels.
+//!
+//! Threads are spawned **once** per run (not once per level); the barrier
+//! is the only per-level synchronization, so level count — not thread
+//! spawn latency — bounds the critical path. [`digraph_levels`] is also
+//! adaptive: a schedule too narrow to feed every worker (a long chain, a
+//! tiny grammar) is handed to the sequential traversal instead of paying
+//! spawn and barrier costs for no parallelism.
+//!
+//! Because the computed closure is the same mathematical object, the
+//! resulting matrix is bit-identical to the sequential traversal's, and
+//! the returned [`DigraphStats`] (derived from the SCC structure) agree
+//! with a full sequential run.
+
+use std::sync::Barrier;
+
+use lalr_bitset::{AtomicBitMatrix, BitMatrix};
+
+use crate::{digraph, tarjan_scc, DigraphStats, Graph, SccInfo};
+
+/// The condensation of a relation leveled into parallel frontiers.
+///
+/// Level `0` holds the sink components; every inter-component edge goes
+/// from a higher level to a strictly lower one. Components within one
+/// level are mutually unreachable and may be processed concurrently.
+#[derive(Debug, Clone)]
+pub struct LevelSchedule {
+    scc: SccInfo,
+    /// Component ids grouped by level, ascending.
+    levels: Vec<Vec<u32>>,
+    /// Members of every component, indexed by component id.
+    members: Vec<Vec<usize>>,
+}
+
+impl LevelSchedule {
+    /// Builds the schedule for `graph`.
+    pub fn of(graph: &Graph) -> Self {
+        let scc = tarjan_scc(graph);
+        let count = scc.count();
+        let mut comp_succs: Vec<Vec<u32>> = vec![Vec::new(); count];
+        for (u, v) in graph.edges() {
+            let (cu, cv) = (scc.component(u), scc.component(v));
+            if cu != cv {
+                comp_succs[cu].push(cv as u32);
+            }
+        }
+        // Ascending component id = reverse topological order: every
+        // successor component has a smaller id, so its level is already
+        // final when the component is reached.
+        let mut level = vec![0u32; count];
+        for c in 0..count {
+            for &d in &comp_succs[c] {
+                level[c] = level[c].max(level[d as usize] + 1);
+            }
+        }
+        let depth = level.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+        let mut levels = vec![Vec::new(); depth];
+        for (c, &l) in level.iter().enumerate() {
+            levels[l as usize].push(c as u32);
+        }
+        let members = scc.members();
+        LevelSchedule {
+            scc,
+            levels,
+            members,
+        }
+    }
+
+    /// The component structure the schedule was built from.
+    pub fn scc(&self) -> &SccInfo {
+        &self.scc
+    }
+
+    /// Number of levels (the critical-path length of the condensation).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Components per level, ascending from the sinks.
+    pub fn levels(&self) -> &[Vec<u32>] {
+        &self.levels
+    }
+
+    /// Size of the widest level — the available parallelism.
+    pub fn max_width(&self) -> usize {
+        self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Statistics equivalent to a full sequential [`digraph`] run.
+    pub fn stats(&self, graph: &Graph) -> DigraphStats {
+        let mut stats = DigraphStats {
+            scc_count: self.scc.count(),
+            ..DigraphStats::default()
+        };
+        let sizes = self.scc.sizes();
+        for &s in &sizes {
+            stats.max_scc_size = stats.max_scc_size.max(s);
+            if s > 1 {
+                stats.nontrivial_sccs += 1;
+                stats.cyclic_nodes += s;
+            }
+        }
+        for node in 0..graph.node_count() {
+            if sizes[self.scc.component(node)] == 1 && graph.has_self_loop(node) {
+                stats.cyclic_nodes += 1;
+            }
+        }
+        stats
+    }
+}
+
+/// Minimum components per worker on the widest level before threading
+/// pays for itself. Below this, spawn latency and per-level barriers cost
+/// more than the unions they parallelize, so [`digraph_levels`] runs the
+/// sequential traversal instead (the result is bit-identical either way).
+const PARALLEL_GRAIN: usize = 4;
+
+/// Runs the Digraph closure with level-scheduled parallelism.
+///
+/// Semantically identical to [`digraph`] — `sets` rows enter holding
+/// `F'(x)` and leave holding `F(x)`, bit for bit — but the per-level
+/// frontiers are split across `threads` worker threads.
+///
+/// The entry point is **adaptive**: with `threads <= 1`, or when the
+/// schedule's widest level holds fewer than `threads ×` [`PARALLEL_GRAIN`]
+/// components (deep narrow chains, tiny grammars), it falls back to the
+/// sequential traversal rather than paying thread-spawn and per-level
+/// barrier costs for no parallelism. Use [`digraph_with_schedule`] to
+/// force the level-scheduled path regardless of shape.
+///
+/// # Panics
+///
+/// Panics if `sets.rows() != graph.node_count()`.
+///
+/// # Examples
+///
+/// ```
+/// use lalr_bitset::BitMatrix;
+/// use lalr_digraph::{digraph, digraph_levels, Graph};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+/// let mut seq = BitMatrix::new(4, 8);
+/// seq.set(3, 7);
+/// let mut par = seq.clone();
+/// let s1 = digraph(&g, &mut seq);
+/// let s2 = digraph_levels(&g, &mut par, 4);
+/// assert_eq!(seq, par);
+/// assert_eq!(s1, s2);
+/// ```
+pub fn digraph_levels(graph: &Graph, sets: &mut BitMatrix, threads: usize) -> DigraphStats {
+    assert_eq!(
+        sets.rows(),
+        graph.node_count(),
+        "one set row is required per graph node"
+    );
+    if threads <= 1 {
+        return digraph(graph, sets);
+    }
+    let schedule = LevelSchedule::of(graph);
+    if schedule.max_width() < threads * PARALLEL_GRAIN {
+        return digraph(graph, sets);
+    }
+    digraph_with_schedule(graph, sets, &schedule, threads)
+}
+
+/// Like [`digraph_levels`] but reuses a precomputed [`LevelSchedule`]
+/// (useful when the same relation is traversed repeatedly, or when the
+/// caller also wants the schedule's structure for reporting).
+pub fn digraph_with_schedule(
+    graph: &Graph,
+    sets: &mut BitMatrix,
+    schedule: &LevelSchedule,
+    threads: usize,
+) -> DigraphStats {
+    assert_eq!(
+        sets.rows(),
+        graph.node_count(),
+        "one set row is required per graph node"
+    );
+    let stats = schedule.stats(graph);
+    if graph.node_count() == 0 {
+        return stats;
+    }
+    let comp = schedule.scc();
+    let atomic = AtomicBitMatrix::from_matrix(sets);
+    let workers = threads.max(1);
+
+    // One closure per component: union the members' rows and every
+    // external successor's (already-final) row into the representative,
+    // then scatter the representative to all members.
+    let process = |c: usize| {
+        let members = &schedule.members[c];
+        let rep = members[0];
+        for &m in &members[1..] {
+            atomic.union_row_from(rep, m);
+        }
+        for &x in members {
+            for &y in graph.successors(x) {
+                if comp.component(y as usize) != c {
+                    atomic.union_row_from(rep, y as usize);
+                }
+            }
+        }
+        for &m in &members[1..] {
+            atomic.copy_row_from(m, rep);
+        }
+    };
+
+    if workers == 1 {
+        for level in schedule.levels() {
+            for &c in level {
+                process(c as usize);
+            }
+        }
+    } else {
+        let barrier = Barrier::new(workers);
+        std::thread::scope(|scope| {
+            for tid in 0..workers {
+                let barrier = &barrier;
+                let process = &process;
+                scope.spawn(move || {
+                    for level in schedule.levels() {
+                        for idx in (tid..level.len()).step_by(workers) {
+                            process(level[idx] as usize);
+                        }
+                        // The wait publishes this level's rows to every
+                        // worker before any of them starts the next level.
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+    }
+
+    *sets = atomic.into_matrix();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(
+        n: usize,
+        cols: usize,
+        edges: &[(usize, usize)],
+        init: &[(usize, usize)],
+    ) -> (Graph, BitMatrix) {
+        let g = Graph::from_edges(n, edges.iter().copied());
+        let mut m = BitMatrix::new(n, cols);
+        for &(r, c) in init {
+            m.set(r, c);
+        }
+        (g, m)
+    }
+
+    fn assert_matches_sequential(
+        n: usize,
+        cols: usize,
+        edges: &[(usize, usize)],
+        init: &[(usize, usize)],
+    ) {
+        let (g, seq_input) = setup(n, cols, edges, init);
+        let mut seq = seq_input.clone();
+        let seq_stats = digraph(&g, &mut seq);
+        let schedule = LevelSchedule::of(&g);
+        for threads in [1, 2, 4, 8] {
+            // The adaptive entry point (may fall back to sequential)…
+            let mut par = seq_input.clone();
+            let par_stats = digraph_levels(&g, &mut par, threads);
+            assert_eq!(seq, par, "matrix mismatch at {threads} threads");
+            assert_eq!(seq_stats, par_stats, "stats mismatch at {threads} threads");
+            // …and the forced level-scheduled path, so narrow graphs still
+            // exercise the threaded machinery.
+            let mut forced = seq_input.clone();
+            let forced_stats = digraph_with_schedule(&g, &mut forced, &schedule, threads);
+            assert_eq!(seq, forced, "forced matrix mismatch at {threads} threads");
+            assert_eq!(
+                seq_stats, forced_stats,
+                "forced stats mismatch at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn chain() {
+        assert_matches_sequential(3, 8, &[(0, 1), (1, 2)], &[(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn cycle() {
+        assert_matches_sequential(3, 8, &[(0, 1), (1, 2), (2, 0)], &[(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn diamond() {
+        assert_matches_sequential(
+            4,
+            8,
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+            &[(1, 1), (2, 2), (3, 3)],
+        );
+    }
+
+    #[test]
+    fn self_loops_and_bridged_cycles() {
+        assert_matches_sequential(
+            6,
+            16,
+            &[(0, 0), (1, 2), (2, 1), (2, 3), (3, 4), (4, 3), (4, 5)],
+            &[(0, 1), (1, 3), (3, 5), (5, 9)],
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_matches_sequential(0, 4, &[], &[]);
+    }
+
+    #[test]
+    fn more_threads_than_components() {
+        assert_matches_sequential(2, 4, &[(0, 1)], &[(1, 2)]);
+    }
+
+    #[test]
+    fn schedule_levels_respect_edges() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 2), (2, 4)]);
+        let s = LevelSchedule::of(&g);
+        let mut level_of = vec![usize::MAX; s.scc().count()];
+        for (l, comps) in s.levels().iter().enumerate() {
+            for &c in comps {
+                level_of[c as usize] = l;
+            }
+        }
+        for (u, v) in g.edges() {
+            let (cu, cv) = (s.scc().component(u), s.scc().component(v));
+            if cu != cv {
+                assert!(
+                    level_of[cu] > level_of[cv],
+                    "edge {u}->{v} must descend a level"
+                );
+            }
+        }
+        // 0..=4 as a DAG: 4 is a sink, so lives at level 0.
+        assert_eq!(level_of[s.scc().component(4)], 0);
+        assert!(
+            s.max_width() >= 2,
+            "0 and 3 share a level with the sink chain"
+        );
+    }
+
+    #[test]
+    fn schedule_stats_match_sequential_digraph() {
+        let g = Graph::from_edges(7, [(0, 1), (1, 0), (1, 2), (3, 3), (4, 5), (5, 6), (6, 4)]);
+        let s = LevelSchedule::of(&g);
+        let mut m = BitMatrix::new(7, 4);
+        let seq_stats = digraph(&g, &mut m);
+        assert_eq!(s.stats(&g), seq_stats);
+    }
+
+    #[test]
+    fn wide_random_relation_is_bit_identical() {
+        // Deterministic pseudo-random graph: wide enough to exercise real
+        // multi-component levels and cross-level unions.
+        let n = 300;
+        let cols = 180;
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut edges = Vec::new();
+        for _ in 0..900 {
+            let u = (step() % n as u64) as usize;
+            let v = (step() % n as u64) as usize;
+            edges.push((u, v));
+        }
+        let mut init = Vec::new();
+        for r in 0..n {
+            init.push((r, (step() % cols as u64) as usize));
+        }
+        assert_matches_sequential(n, cols, &edges, &init);
+    }
+}

@@ -45,12 +45,14 @@
 
 mod condensation;
 mod graph;
+mod levels;
 mod naive;
 mod tarjan;
 mod traversal;
 
 pub use condensation::Condensation;
 pub use graph::Graph;
+pub use levels::{digraph_levels, digraph_with_schedule, LevelSchedule};
 pub use naive::naive_closure;
 pub use tarjan::{tarjan_scc, SccInfo};
 pub use traversal::{digraph, digraph_from, digraph_from_on, digraph_on, DigraphStats, UnionSets};

@@ -238,7 +238,12 @@ mod tests {
     use super::*;
     use lalr_bitset::BitMatrix;
 
-    fn run(n: usize, cols: usize, edges: &[(usize, usize)], init: &[(usize, usize)]) -> (BitMatrix, DigraphStats) {
+    fn run(
+        n: usize,
+        cols: usize,
+        edges: &[(usize, usize)],
+        init: &[(usize, usize)],
+    ) -> (BitMatrix, DigraphStats) {
         let g = Graph::from_edges(n, edges.iter().copied());
         let mut m = BitMatrix::new(n, cols);
         for &(r, c) in init {

@@ -171,8 +171,10 @@ mod tests {
         let c: Symbol = g.terminal_by_name("c").unwrap().into();
 
         let sorted_names = |set: &lalr_bitset::BitSet| {
-            let mut v: Vec<&str> =
-                set.iter().map(|i| g.terminal_name(Terminal::new(i))).collect();
+            let mut v: Vec<&str> = set
+                .iter()
+                .map(|i| g.terminal_name(Terminal::new(i)))
+                .collect();
             v.sort_unstable();
             v
         };

@@ -27,10 +27,7 @@ pub enum RecursionKind {
 /// assert_eq!(lr, vec![g.nonterminal_by_name("e").unwrap()]);
 /// # Ok::<(), lalr_grammar::GrammarError>(())
 /// ```
-pub fn left_recursive_nonterminals(
-    grammar: &Grammar,
-    nullable: &NullableSet,
-) -> Vec<NonTerminal> {
+pub fn left_recursive_nonterminals(grammar: &Grammar, nullable: &NullableSet) -> Vec<NonTerminal> {
     // Build the "can begin with" relation: A -> B when A → αBβ with α ⇒* ε.
     let n = grammar.nonterminal_count();
     let mut graph = Graph::new(n);
@@ -82,7 +79,10 @@ mod tests {
 
     #[test]
     fn indirect_left_recursion() {
-        assert_eq!(left_rec("a : b \"x\" | \"q\" ; b : a \"y\" ;"), vec!["a", "b"]);
+        assert_eq!(
+            left_rec("a : b \"x\" | \"q\" ; b : a \"y\" ;"),
+            vec!["a", "b"]
+        );
     }
 
     #[test]

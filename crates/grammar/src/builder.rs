@@ -76,7 +76,8 @@ impl GrammarBuilder {
         self.next_prec_level += 1;
         for name in names {
             let name = name.into();
-            self.precedence.insert(name.clone(), Precedence { level, assoc });
+            self.precedence
+                .insert(name.clone(), Precedence { level, assoc });
             self.declared_terminals.push(name);
         }
         self
@@ -163,8 +164,7 @@ impl GrammarBuilder {
                 if sym == EOF_NAME || sym == START_NAME {
                     return Err(GrammarError::ReservedSymbol(sym.clone()));
                 }
-                if !nonterm_ids.contains_key(sym.as_str()) && !term_ids.contains_key(sym.as_str())
-                {
+                if !nonterm_ids.contains_key(sym.as_str()) && !term_ids.contains_key(sym.as_str()) {
                     term_ids.insert(sym, Terminal::new(term_names.len()));
                     term_names.push(sym.clone());
                 }
@@ -278,7 +278,10 @@ mod tests {
         let mut b = GrammarBuilder::new();
         b.rule("s", ["x"]);
         b.start("x");
-        assert!(matches!(b.build(), Err(GrammarError::StartNotNonterminal(_))));
+        assert!(matches!(
+            b.build(),
+            Err(GrammarError::StartNotNonterminal(_))
+        ));
     }
 
     #[test]
@@ -302,7 +305,10 @@ mod tests {
         let g = b.build().unwrap();
         let plus = g.terminal_by_name("+").unwrap();
         let times = g.terminal_by_name("*").unwrap();
-        let (pp, pt) = (g.precedence_of(plus).unwrap(), g.precedence_of(times).unwrap());
+        let (pp, pt) = (
+            g.precedence_of(plus).unwrap(),
+            g.precedence_of(times).unwrap(),
+        );
         assert!(pt.level > pp.level);
         assert_eq!(pp.assoc, Assoc::Left);
     }

@@ -103,7 +103,10 @@ mod tests {
             col: 7,
             kind: ParseErrorKind::UnexpectedChar('@'),
         };
-        assert_eq!(e.to_string(), "syntax error at 3:7: unexpected character '@'");
+        assert_eq!(
+            e.to_string(),
+            "syntax error at 3:7: unexpected character '@'"
+        );
         assert_eq!(
             GrammarError::DuplicateSymbol("x".into()).to_string(),
             "duplicate symbol \"x\""

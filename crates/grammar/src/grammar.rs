@@ -247,7 +247,10 @@ mod tests {
         assert_eq!(g.symbol_count(), 6);
         assert_eq!(g.terminal_by_name("+"), Some(Terminal::new(1)));
         assert_eq!(g.nonterminal_by_name("e"), Some(g.start()));
-        assert_eq!(g.symbol_by_name("t"), Some(Symbol::NonTerminal(NonTerminal::new(2))));
+        assert_eq!(
+            g.symbol_by_name("t"),
+            Some(Symbol::NonTerminal(NonTerminal::new(2)))
+        );
         assert_eq!(g.symbol_by_name("missing"), None);
     }
 
@@ -259,7 +262,10 @@ mod tests {
         for &pid in g.productions_of(e) {
             assert_eq!(g.production(pid).lhs(), e);
         }
-        assert_eq!(g.productions_of(NonTerminal::AUGMENTED_START), &[ProdId::START]);
+        assert_eq!(
+            g.productions_of(NonTerminal::AUGMENTED_START),
+            &[ProdId::START]
+        );
     }
 
     #[test]

@@ -276,7 +276,11 @@ mod tests {
     #[test]
     fn rule_without_colon_is_error() {
         let err = parse_grammar("s \"a\" ;").unwrap_err();
-        let GrammarError::Parse { kind: ParseErrorKind::Expected { wanted, .. }, .. } = err else {
+        let GrammarError::Parse {
+            kind: ParseErrorKind::Expected { wanted, .. },
+            ..
+        } = err
+        else {
             panic!("wrong error: {err:?}");
         };
         assert_eq!(wanted, "':'");

@@ -255,10 +255,12 @@ impl<'a> YaccReader<'a> {
                 return Ok(());
             }
             match self.peek() {
-                None => return Err(self.error(ParseErrorKind::Expected {
-                    wanted: "'%%' before the rules section".to_string(),
-                    found: "end of input".to_string(),
-                })),
+                None => {
+                    return Err(self.error(ParseErrorKind::Expected {
+                        wanted: "'%%' before the rules section".to_string(),
+                        found: "end of input".to_string(),
+                    }))
+                }
                 Some(b'%') if self.peek2() == Some(b'{') => self.skip_prologue()?,
                 Some(b'%') => {
                     self.bump();
@@ -396,9 +398,9 @@ impl<'a> YaccReader<'a> {
                             }
                             "empty" => {}
                             other => {
-                                return Err(self.error(ParseErrorKind::UnknownDirective(
-                                    other.to_string(),
-                                )))
+                                return Err(
+                                    self.error(ParseErrorKind::UnknownDirective(other.to_string()))
+                                )
                             }
                         }
                     }
@@ -481,10 +483,7 @@ int main(void) { return yyparse(); }
 
     #[test]
     fn actions_with_nested_braces_and_strings_are_skipped() {
-        let g = parse_yacc(
-            "%%\ns : 'a' { if (x) { printf(\"}{\"); } } | 'b' ;\n",
-        )
-        .unwrap();
+        let g = parse_yacc("%%\ns : 'a' { if (x) { printf(\"}{\"); } } | 'b' ;\n").unwrap();
         assert_eq!(g.production_count(), 3);
     }
 
@@ -516,10 +515,7 @@ int main(void) { return yyparse(); }
 
     #[test]
     fn unknown_declarations_are_skipped_line_wise() {
-        let g = parse_yacc(
-            "%define api.pure full\n%expect 1\n%token A\n%%\ns : A ;\n",
-        )
-        .unwrap();
+        let g = parse_yacc("%define api.pure full\n%expect 1\n%token A\n%%\ns : A ;\n").unwrap();
         assert_eq!(g.production_count(), 2);
     }
 

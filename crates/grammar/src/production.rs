@@ -69,12 +69,8 @@ impl Production {
     /// override if present, otherwise the rightmost terminal of the
     /// right-hand side.
     pub fn precedence_terminal(&self) -> Option<Terminal> {
-        self.prec.or_else(|| {
-            self.rhs
-                .iter()
-                .rev()
-                .find_map(|s| s.terminal())
-        })
+        self.prec
+            .or_else(|| self.rhs.iter().rev().find_map(|s| s.terminal()))
     }
 }
 

@@ -176,7 +176,11 @@ mod tests {
         let prods = production_strings(&g2);
         assert_eq!(
             prods,
-            vec!["s -> a a".to_string(), "s -> a".to_string(), "a -> x".to_string()]
+            vec![
+                "s -> a a".to_string(),
+                "s -> a".to_string(),
+                "a -> x".to_string()
+            ]
         );
     }
 

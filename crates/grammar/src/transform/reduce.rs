@@ -125,8 +125,7 @@ pub fn reduce(grammar: &Grammar) -> Result<ReduceOutcome, GrammarError> {
     let removed_nonterminals: Vec<String> = grammar
         .nonterminals()
         .filter(|nt| {
-            !nt.is_augmented_start()
-                && (!productive.contains(nt.index()) || !reachable[nt.index()])
+            !nt.is_augmented_start() && (!productive.contains(nt.index()) || !reachable[nt.index()])
         })
         .map(|nt| grammar.nonterminal_name(nt).to_string())
         .collect();
@@ -177,10 +176,7 @@ mod tests {
 
     #[test]
     fn prec_overrides_survive() {
-        let g = parse_grammar(
-            "%right U  e : \"-\" e %prec U | \"x\" ; dead : \"d\" ;",
-        )
-        .unwrap();
+        let g = parse_grammar("%right U  e : \"-\" e %prec U | \"x\" ; dead : \"d\" ;").unwrap();
         let out = reduce(&g).unwrap();
         let e = out.grammar.nonterminal_by_name("e").unwrap();
         let p = out.grammar.production(out.grammar.productions_of(e)[0]);

@@ -29,18 +29,17 @@ fn raw_grammar() -> impl Strategy<Value = RawGrammar> {
             (0usize..n_nts).prop_map(RawSym::N),
         ];
         let rule = (0usize..n_nts, prop::collection::vec(sym, 0..4));
-        prop::collection::vec(rule, 1..12)
-            .prop_map(move |mut rules| {
-                // Ensure every nonterminal has at least one production so
-                // the builder treats them all as nonterminals.
-                let covered: BTreeSet<usize> = rules.iter().map(|&(l, _)| l).collect();
-                for nt in 0..n_nts {
-                    if !covered.contains(&nt) {
-                        rules.push((nt, vec![RawSym::T(0)]));
-                    }
+        prop::collection::vec(rule, 1..12).prop_map(move |mut rules| {
+            // Ensure every nonterminal has at least one production so
+            // the builder treats them all as nonterminals.
+            let covered: BTreeSet<usize> = rules.iter().map(|&(l, _)| l).collect();
+            for nt in 0..n_nts {
+                if !covered.contains(&nt) {
+                    rules.push((nt, vec![RawSym::T(0)]));
                 }
-                RawGrammar { n_nts, rules }
-            })
+            }
+            RawGrammar { n_nts, rules }
+        })
     })
 }
 
@@ -84,7 +83,10 @@ fn oracle_nullable(g: &Grammar) -> BTreeSet<NonTerminal> {
     }
 }
 
-fn oracle_first(g: &Grammar, nullable: &BTreeSet<NonTerminal>) -> BTreeMap<NonTerminal, BTreeSet<Terminal>> {
+fn oracle_first(
+    g: &Grammar,
+    nullable: &BTreeSet<NonTerminal>,
+) -> BTreeMap<NonTerminal, BTreeSet<Terminal>> {
     let mut first: BTreeMap<NonTerminal, BTreeSet<Terminal>> =
         g.nonterminals().map(|n| (n, BTreeSet::new())).collect();
     loop {
@@ -132,7 +134,9 @@ fn oracle_follow(
         for p in g.productions() {
             let rhs = p.rhs();
             for (i, &sym) in rhs.iter().enumerate() {
-                let Symbol::NonTerminal(a) = sym else { continue };
+                let Symbol::NonTerminal(a) = sym else {
+                    continue;
+                };
                 let mut addition: BTreeSet<Terminal> = BTreeSet::new();
                 let mut tail_nullable = true;
                 for &b in &rhs[i + 1..] {

@@ -16,7 +16,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unexpected character {:?} at offset {}", self.ch, self.offset)
+        write!(
+            f,
+            "unexpected character {:?} at offset {}",
+            self.ch, self.offset
+        )
     }
 }
 
@@ -70,7 +74,10 @@ mod tests {
             found: Some(Token::new(1, ")", 7)),
             expected: vec!["NUM".into(), "(".into()],
         };
-        assert_eq!(e.to_string(), "unexpected \")\" at offset 7, expected NUM or (");
+        assert_eq!(
+            e.to_string(),
+            "unexpected \")\" at offset 7, expected NUM or ("
+        );
     }
 
     #[test]

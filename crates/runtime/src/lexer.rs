@@ -39,22 +39,20 @@ impl LexerBuilder {
 
     /// Removes `name` from the keyword/literal tables and returns its index.
     fn take(&mut self, name: &str) -> Option<u32> {
-        let id = self
-            .keywords
-            .remove(name)
-            .or_else(|| {
-                self.literals
-                    .iter()
-                    .position(|(l, _)| l == name)
-                    .map(|i| self.literals.remove(i).1)
-            });
+        let id = self.keywords.remove(name).or_else(|| {
+            self.literals
+                .iter()
+                .position(|(l, _)| l == name)
+                .map(|i| self.literals.remove(i).1)
+        });
         id
     }
 
     /// Finishes the lexer.
     pub fn build(mut self) -> Lexer {
         // Longest-first so that ":=" beats ":".
-        self.literals.sort_by_key(|(lit, _)| std::cmp::Reverse(lit.len()));
+        self.literals
+            .sort_by_key(|(lit, _)| std::cmp::Reverse(lit.len()));
         Lexer {
             literals: self.literals,
             keywords: self.keywords,
@@ -110,10 +108,11 @@ impl Lexer {
         let mut keywords = HashMap::new();
         for t in 1..table.terminal_count() {
             let name = table.terminal_name(t).to_string();
-            let is_ident = name
-                .chars()
-                .all(|c| c.is_alphanumeric() || c == '_')
-                && name.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_');
+            let is_ident = name.chars().all(|c| c.is_alphanumeric() || c == '_')
+                && name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_');
             if is_ident {
                 keywords.insert(name, t);
             } else {
@@ -170,9 +169,7 @@ impl Lexer {
             // Number.
             if b.is_ascii_digit() {
                 let start = pos;
-                while pos < bytes.len()
-                    && (bytes[pos].is_ascii_digit() || bytes[pos] == b'.')
-                {
+                while pos < bytes.len() && (bytes[pos].is_ascii_digit() || bytes[pos] == b'.') {
                     pos += 1;
                 }
                 match self.number {

@@ -231,8 +231,7 @@ impl<'t, S: ActionSource> Parser<'t, S> {
                         };
                         if let Action::Shift(next) = self.table.action(s, error_terminal) {
                             // 2. Shift the synthetic error token.
-                            let offset =
-                                input.peek().map(Token::offset).unwrap_or(usize::MAX);
+                            let offset = input.peek().map(Token::offset).unwrap_or(usize::MAX);
                             forest.push(ParseTree::Leaf(Token::new(
                                 error_terminal,
                                 "<error>",
@@ -387,7 +386,9 @@ mod tests {
         // 1+2*3 must parse as 1+(2*3) in the stratified grammar.
         let t = table(EXPR);
         let lx = Lexer::for_table(&t).number("NUM").build();
-        let tree = Parser::new(&t).parse(lx.tokenize("1 + 2 * 3").unwrap()).unwrap();
+        let tree = Parser::new(&t)
+            .parse(lx.tokenize("1 + 2 * 3").unwrap())
+            .unwrap();
         let sexpr = tree.to_sexpr(&t);
         assert_eq!(sexpr, "(e (e (t (f 1))) + (t (t (f 2)) * (f 3)))");
     }
@@ -408,7 +409,9 @@ mod tests {
     fn error_at_eof() {
         let t = table(EXPR);
         let lx = Lexer::for_table(&t).number("NUM").build();
-        let err = Parser::new(&t).parse(lx.tokenize("1 +").unwrap()).unwrap_err();
+        let err = Parser::new(&t)
+            .parse(lx.tokenize("1 +").unwrap())
+            .unwrap_err();
         assert!(err.found.is_none());
     }
 
@@ -453,9 +456,7 @@ mod tests {
     #[test]
     fn error_token_recovery_repairs_statements() {
         // stmt : ID "=" NUM | error — the yacc pattern.
-        let t = table(
-            "stmts : stmt | stmts \";\" stmt ; stmt : ID \"=\" NUM | error ;",
-        );
+        let t = table("stmts : stmt | stmts \";\" stmt ; stmt : ID \"=\" NUM | error ;");
         let lx = Lexer::for_table(&t).number("NUM").identifier("ID").build();
         let err_t = t.terminal_by_name("error").unwrap();
         // Note: the lexer treats `error` as a keyword; inputs avoid it.
@@ -466,14 +467,15 @@ mod tests {
         // The middle statement became an error node; the other two parse.
         let sexpr = tree.to_sexpr(&t);
         assert!(sexpr.contains("<error>"), "{sexpr}");
-        assert!(sexpr.contains("a = 1") && sexpr.contains("c = 3"), "{sexpr}");
+        assert!(
+            sexpr.contains("a = 1") && sexpr.contains("c = 3"),
+            "{sexpr}"
+        );
     }
 
     #[test]
     fn error_token_recovery_reports_each_bad_statement_once() {
-        let t = table(
-            "stmts : stmt | stmts \";\" stmt ; stmt : ID \"=\" NUM | error ;",
-        );
+        let t = table("stmts : stmt | stmts \";\" stmt ; stmt : ID \"=\" NUM | error ;");
         let lx = Lexer::for_table(&t).number("NUM").identifier("ID").build();
         let err_t = t.terminal_by_name("error").unwrap();
         let toks = lx.tokenize("= ; b = = 2 ; = = ; d = 4").unwrap();
@@ -487,9 +489,7 @@ mod tests {
 
     #[test]
     fn error_token_clean_input_is_untouched() {
-        let t = table(
-            "stmts : stmt | stmts \";\" stmt ; stmt : ID \"=\" NUM | error ;",
-        );
+        let t = table("stmts : stmt | stmts \";\" stmt ; stmt : ID \"=\" NUM | error ;");
         let lx = Lexer::for_table(&t).number("NUM").identifier("ID").build();
         let err_t = t.terminal_by_name("error").unwrap();
         let toks = lx.tokenize("a = 1 ; b = 2").unwrap();

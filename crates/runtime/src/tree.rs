@@ -104,8 +104,7 @@ impl ParseTree {
                 if children.is_empty() {
                     format!("({name})")
                 } else {
-                    let inner: Vec<String> =
-                        children.iter().map(|c| c.to_sexpr(table)).collect();
+                    let inner: Vec<String> = children.iter().map(|c| c.to_sexpr(table)).collect();
                     format!("({} {})", name, inner.join(" "))
                 }
             }

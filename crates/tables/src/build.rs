@@ -322,9 +322,7 @@ mod tests {
 
     #[test]
     fn different_levels_resolve_by_level() {
-        let (g, t) = build(
-            "%left \"+\"  %left \"*\"  e : e \"+\" e | e \"*\" e | \"x\" ;",
-        );
+        let (g, t) = build("%left \"+\"  %left \"*\"  e : e \"+\" e | e \"*\" e | \"x\" ;");
         // e → e * e · with look-ahead "+": reduce (PrecedenceReduce).
         // e → e + e · with look-ahead "*": shift (PrecedenceShift).
         assert!(t
@@ -380,7 +378,14 @@ mod tests {
         let g = parse_grammar(src).unwrap();
         let lr0 = Lr0Automaton::build(&g);
         let la = LalrAnalysis::compute(&g, &lr0).into_lookaheads();
-        let t = build_table(&g, &lr0, &la, TableOptions { yacc_defaults: false });
+        let t = build_table(
+            &g,
+            &lr0,
+            &la,
+            TableOptions {
+                yacc_defaults: false,
+            },
+        );
         (g, t)
     }
 

@@ -158,9 +158,7 @@ mod tests {
 
     #[test]
     fn compression_shrinks_expression_table() {
-        let d = dense(
-            "e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;",
-        );
+        let d = dense("e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"id\" ;");
         let c = CompressedTable::from_dense(&d);
         assert!(c.explicit_entries() < d.stats().action_entries);
         assert_eq!(c.state_count(), d.state_count() as usize);

@@ -60,7 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         analysis.conflicts(&grammar, &lr0).len()
     );
 
-    let table = build_table(&grammar, &lr0, analysis.lookaheads(), TableOptions::default());
+    let table = build_table(
+        &grammar,
+        &lr0,
+        analysis.lookaheads(),
+        TableOptions::default(),
+    );
     println!(
         "resolutions applied by precedence/assoc: {}",
         table.resolutions().len()

@@ -30,7 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {}", c.display(&grammar));
     }
 
-    let table = build_table(&grammar, &lr0, analysis.lookaheads(), TableOptions::default());
+    let table = build_table(
+        &grammar,
+        &lr0,
+        analysis.lookaheads(),
+        TableOptions::default(),
+    );
     println!("\n== resolutions applied (yacc defaults) ==");
     for r in table.resolutions() {
         println!(
@@ -44,10 +49,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Parse a valid input: else binds to the nearest if (the shift).
-    let lexer = Lexer::for_table(&table).number("NUM").identifier("ID").build();
+    let lexer = Lexer::for_table(&table)
+        .number("NUM")
+        .identifier("ID")
+        .build();
     let tokens = lexer.tokenize("IF x THEN IF y THEN a = 1 ELSE b = 2")?;
     let tree = Parser::new(&table).parse(tokens)?;
-    println!("\ndangling else attaches inner-most:\n{}", tree.to_sexpr(&table));
+    println!(
+        "\ndangling else attaches inner-most:\n{}",
+        tree.to_sexpr(&table)
+    );
 
     // Error recovery across statements.
     let semi = table.terminal_by_name(";").expect("services ;");

@@ -19,7 +19,9 @@ fn load(arg: &str) -> Result<Grammar, Box<dyn std::error::Error>> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "expr".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "expr".to_string());
     let grammar = load(&arg)?;
 
     let stats = GrammarStats::compute(&grammar);
@@ -40,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rel = Relations::build(&grammar, &lr0);
     let rs = rel.stats();
     println!("\n== LR(0) machine ==");
-    println!("states {}  transitions {}", lr0.state_count(), lr0.transition_count());
+    println!(
+        "states {}  transitions {}",
+        lr0.state_count(),
+        lr0.transition_count()
+    );
     println!(
         "nonterminal transitions {}  reads {}  includes {}  lookback {}",
         rs.nt_transitions, rs.reads_edges, rs.includes_edges, rs.lookback_edges

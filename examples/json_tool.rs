@@ -19,7 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lr0 = Lr0Automaton::build(&grammar);
     let analysis = LalrAnalysis::compute(&grammar, &lr0);
     assert!(analysis.conflicts(&grammar, &lr0).is_empty());
-    let table = build_table(&grammar, &lr0, analysis.lookaheads(), TableOptions::default());
+    let table = build_table(
+        &grammar,
+        &lr0,
+        analysis.lookaheads(),
+        TableOptions::default(),
+    );
 
     let lexer = Lexer::for_table(&table)
         .number("NUMBER")
@@ -37,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     match Parser::new(&table).parse(tokens.clone()) {
         Ok(tree) => {
-            println!("valid JSON ({} nodes, depth {})", tree.node_count(), tree.height());
+            println!(
+                "valid JSON ({} nodes, depth {})",
+                tree.node_count(),
+                tree.height()
+            );
         }
         Err(first) => {
             println!("invalid JSON: {first}");

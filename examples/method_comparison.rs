@@ -13,8 +13,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "lalr_not_slr".to_string());
-    let entry = lalr::corpus::by_name(&name)
-        .ok_or_else(|| format!("unknown corpus grammar {name:?}"))?;
+    let entry =
+        lalr::corpus::by_name(&name).ok_or_else(|| format!("unknown corpus grammar {name:?}"))?;
     let grammar = entry.grammar();
     println!("grammar {name}: {}", entry.description);
 

@@ -30,11 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let trans_name = |id: NtTransId| {
         let t = lr0.nt_transition(id);
-        format!(
-            "({}, {})",
-            t.from.index(),
-            grammar.nonterminal_name(t.nt)
-        )
+        format!("({}, {})", t.from.index(), grammar.nonterminal_name(t.nt))
     };
 
     println!("nonterminal transitions and their DR sets:");
@@ -49,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nreads edges:");
     for (u, v) in rel.reads().edges() {
-        println!("  {} reads {}", trans_name(NtTransId::new(u)), trans_name(NtTransId::new(v)));
+        println!(
+            "  {} reads {}",
+            trans_name(NtTransId::new(u)),
+            trans_name(NtTransId::new(v))
+        );
     }
     if rel.reads().edge_count() == 0 {
         println!("  (none — no nullable nonterminals here)");

@@ -32,7 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("conflicts: {}", conflicts.len());
 
     // Parse table and a parse.
-    let table = build_table(&grammar, &lr0, analysis.lookaheads(), TableOptions::default());
+    let table = build_table(
+        &grammar,
+        &lr0,
+        analysis.lookaheads(),
+        TableOptions::default(),
+    );
     println!("\nparse table:\n{table}");
 
     let lexer = Lexer::for_table(&table).number("NUM").build();

@@ -7,7 +7,12 @@ fn pipeline(src: &str) -> (Grammar, ParseTable) {
     let grammar = parse_grammar(src).expect("grammar parses");
     let lr0 = Lr0Automaton::build(&grammar);
     let analysis = LalrAnalysis::compute(&grammar, &lr0);
-    let table = build_table(&grammar, &lr0, analysis.lookaheads(), TableOptions::default());
+    let table = build_table(
+        &grammar,
+        &lr0,
+        analysis.lookaheads(),
+        TableOptions::default(),
+    );
     (grammar, table)
 }
 
@@ -49,8 +54,16 @@ fn json_documents_parse() {
     let grammar = entry.grammar();
     let lr0 = Lr0Automaton::build(&grammar);
     let analysis = LalrAnalysis::compute(&grammar, &lr0);
-    assert!(analysis.conflicts(&grammar, &lr0).is_empty(), "JSON is LALR(1)");
-    let table = build_table(&grammar, &lr0, analysis.lookaheads(), TableOptions::default());
+    assert!(
+        analysis.conflicts(&grammar, &lr0).is_empty(),
+        "JSON is LALR(1)"
+    );
+    let table = build_table(
+        &grammar,
+        &lr0,
+        analysis.lookaheads(),
+        TableOptions::default(),
+    );
     let lexer = Lexer::for_table(&table)
         .number("NUMBER")
         .string("STRING")
@@ -58,15 +71,12 @@ fn json_documents_parse() {
     let parser = Parser::new(&table);
 
     let doc = r#"{ "name" : "lalr" , "tags" : [ 1 , 2.5 , TRUE , NULL ] , "nested" : { "empty" : { } } }"#;
-    let tree = parser.parse(lexer.tokenize(doc).unwrap()).expect("valid JSON");
+    let tree = parser
+        .parse(lexer.tokenize(doc).unwrap())
+        .expect("valid JSON");
     assert!(tree.leaf_count() > 10);
 
-    for bad in [
-        r#"{ "a" : }"#,
-        r#"[ 1 , ]"#,
-        r#"{ "a" "b" }"#,
-        r#"[ 1 2 ]"#,
-    ] {
+    for bad in [r#"{ "a" : }"#, r#"[ 1 , ]"#, r#"{ "a" "b" }"#, r#"[ 1 2 ]"#] {
         assert!(
             parser.parse(lexer.tokenize(bad).unwrap()).is_err(),
             "{bad} must be rejected"
@@ -80,9 +90,17 @@ fn compressed_and_dense_tables_agree_on_json() {
     let grammar = entry.grammar();
     let lr0 = Lr0Automaton::build(&grammar);
     let analysis = LalrAnalysis::compute(&grammar, &lr0);
-    let table = build_table(&grammar, &lr0, analysis.lookaheads(), TableOptions::default());
+    let table = build_table(
+        &grammar,
+        &lr0,
+        analysis.lookaheads(),
+        TableOptions::default(),
+    );
     let compressed = CompressedTable::from_dense(&table);
-    let lexer = Lexer::for_table(&table).number("NUMBER").string("STRING").build();
+    let lexer = Lexer::for_table(&table)
+        .number("NUMBER")
+        .string("STRING")
+        .build();
 
     let dense_parser = Parser::new(&table);
     let source = lalr::runtime::CompressedSource::new(&compressed, &table);
@@ -91,7 +109,7 @@ fn compressed_and_dense_tables_agree_on_json() {
         "[ ]",
         "{ }",
         r#"[ { "k" : [ FALSE ] } , 2 ]"#,
-        r#"[ 1, "#, // invalid
+        r#"[ 1, "#,  // invalid
         r#"{ "k" "#, // invalid
     ] {
         let toks = lexer.tokenize(input).unwrap();
@@ -111,7 +129,12 @@ fn pascal_fragment_parses_with_keywords() {
     let lr0 = Lr0Automaton::build(&grammar);
     let analysis = LalrAnalysis::compute(&grammar, &lr0);
     // Pascal has the dangling-else conflict; yacc defaults shift it away.
-    let table = build_table(&grammar, &lr0, analysis.lookaheads(), TableOptions::default());
+    let table = build_table(
+        &grammar,
+        &lr0,
+        analysis.lookaheads(),
+        TableOptions::default(),
+    );
     let lexer = Lexer::for_table(&table)
         .number("NUMBER")
         .identifier("IDENT")
@@ -158,7 +181,9 @@ fn classification_matches_corpus_expectations() {
 
 #[test]
 fn reads_cycle_grammar_diagnosed_not_lr_k() {
-    let g = lalr::corpus::by_name("reads_cycle").expect("exists").grammar();
+    let g = lalr::corpus::by_name("reads_cycle")
+        .expect("exists")
+        .grammar();
     let lr0 = Lr0Automaton::build(&g);
     let analysis = LalrAnalysis::compute(&g, &lr0);
     assert!(analysis.grammar_not_lr_k());

@@ -23,7 +23,12 @@ fn check_grammar(name: &str, grammar: &Grammar, samples: usize) {
         // grammars.
         return;
     }
-    let table = build_table(grammar, &lr0, analysis.lookaheads(), TableOptions::default());
+    let table = build_table(
+        grammar,
+        &lr0,
+        analysis.lookaheads(),
+        TableOptions::default(),
+    );
     let parser = Parser::new(&table);
     for (i, sentence) in generate_many(grammar, 0xC0FFEE, samples, 40)
         .into_iter()
@@ -69,5 +74,8 @@ fn random_grammar_sentences_parse_when_conflict_free() {
             tested += 1;
         }
     }
-    assert!(tested >= 10, "enough conflict-free random grammars: {tested}");
+    assert!(
+        tested >= 10,
+        "enough conflict-free random grammars: {tested}"
+    );
 }

@@ -53,7 +53,13 @@ fn mutate(
 
 #[test]
 fn adequate_methods_accept_identical_languages() {
-    for name in ["expr", "json", "lalr_not_slr", "nqlalr_witness", "sql_subset"] {
+    for name in [
+        "expr",
+        "json",
+        "lalr_not_slr",
+        "nqlalr_witness",
+        "sql_subset",
+    ] {
         let g = lalr::corpus::by_name(name).expect("corpus entry").grammar();
         let lr0 = Lr0Automaton::build(&g);
 
@@ -66,7 +72,10 @@ fn adequate_methods_accept_identical_languages() {
                 LookaheadSets::from(&merge_lr1(&g, &Lr1Automaton::build(&g), &lr0)),
             ),
             ("slr", slr_lookaheads(&g, &lr0)),
-            ("nqlalr", NqlalrAnalysis::compute(&g, &lr0).into_lookaheads()),
+            (
+                "nqlalr",
+                NqlalrAnalysis::compute(&g, &lr0).into_lookaheads(),
+            ),
         ];
         let tables: Vec<(&str, ParseTable)> = candidates
             .into_iter()
@@ -92,7 +101,10 @@ fn adequate_methods_accept_identical_languages() {
                 assert!(
                     verdicts.iter().all(|&(_, v)| v == first),
                     "{name}: methods disagree on {:?}: {verdicts:?}",
-                    input.iter().map(|&t| g.terminal_name(t)).collect::<Vec<_>>()
+                    input
+                        .iter()
+                        .map(|&t| g.terminal_name(t))
+                        .collect::<Vec<_>>()
                 );
             }
         }
@@ -103,7 +115,14 @@ fn adequate_methods_accept_identical_languages() {
 fn dp_table_equals_propagation_and_merge_tables_exactly() {
     // Stronger than language equality: same LA sets means byte-identical
     // tables for the exact methods.
-    for name in ["expr", "json", "pascal", "lua_subset", "ada_subset", "sql_subset"] {
+    for name in [
+        "expr",
+        "json",
+        "pascal",
+        "lua_subset",
+        "ada_subset",
+        "sql_subset",
+    ] {
         let g = lalr::corpus::by_name(name).expect("corpus entry").grammar();
         let lr0 = Lr0Automaton::build(&g);
         let dp = build_table(

@@ -1,0 +1,152 @@
+//! Differential harness: the parallel pipeline must be **bit-identical**
+//! to the sequential one — same `DR`/`Read`/`Follow` matrices, same
+//! relation layouts, same `LA` sets, same traversal statistics — for every
+//! corpus grammar at 1, 2, 4 and 8 threads.
+//!
+//! This is the safety net that lets the level-scheduled Digraph and the
+//! sharded relation build claim equivalence rather than mere plausibility:
+//! any scheduling bug that leaks a partial row, misorders a shard merge,
+//! or drops an SCC member shows up here as a concrete matrix diff.
+
+use lalr_automata::{Lr0Automaton, NtTransId};
+use lalr_core::{LalrAnalysis, Parallelism, Relations};
+use lalr_grammar::Grammar;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Lookback map flattened to a canonical, comparable form.
+fn lookback_fingerprint(rel: &Relations) -> Vec<((usize, usize), Vec<usize>)> {
+    let mut out: Vec<_> = rel
+        .lookback_entries()
+        .map(|(&(state, prod), ts)| {
+            (
+                (state.index(), prod.index()),
+                ts.iter().map(|t| t.index()).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn assert_pipeline_identical(name: &str, grammar: &Grammar) {
+    let lr0 = Lr0Automaton::build(grammar);
+    let seq_rel = Relations::build(grammar, &lr0);
+    let seq = LalrAnalysis::compute(grammar, &lr0);
+    let nt_count = lr0.nt_transitions().len();
+
+    for threads in THREAD_COUNTS {
+        let par_cfg = Parallelism::new(threads);
+        let par_rel = Relations::build_parallel(grammar, &lr0, &par_cfg);
+
+        assert_eq!(
+            seq_rel.dr(),
+            par_rel.dr(),
+            "{name}: DR matrix differs at {threads} threads"
+        );
+        assert_eq!(
+            seq_rel.reads(),
+            par_rel.reads(),
+            "{name}: reads graph differs at {threads} threads"
+        );
+        assert_eq!(
+            seq_rel.includes(),
+            par_rel.includes(),
+            "{name}: includes graph differs at {threads} threads"
+        );
+        assert_eq!(
+            lookback_fingerprint(&seq_rel),
+            lookback_fingerprint(&par_rel),
+            "{name}: lookback differs at {threads} threads"
+        );
+
+        let par = LalrAnalysis::compute_with(grammar, &lr0, &par_cfg);
+        for i in 0..nt_count {
+            let t = NtTransId::new(i);
+            assert_eq!(
+                seq.read_set(t),
+                par.read_set(t),
+                "{name}: Read row {i} differs at {threads} threads"
+            );
+            assert_eq!(
+                seq.follow_set(t),
+                par.follow_set(t),
+                "{name}: Follow row {i} differs at {threads} threads"
+            );
+        }
+        assert_eq!(
+            seq.lookaheads(),
+            par.lookaheads(),
+            "{name}: LA sets differ at {threads} threads"
+        );
+        assert_eq!(
+            seq.reads_traversal(),
+            par.reads_traversal(),
+            "{name}: reads traversal stats differ at {threads} threads"
+        );
+        assert_eq!(
+            seq.includes_traversal(),
+            par.includes_traversal(),
+            "{name}: includes traversal stats differ at {threads} threads"
+        );
+        assert_eq!(
+            seq.relation_stats(),
+            par.relation_stats(),
+            "{name}: relation stats differ at {threads} threads"
+        );
+        assert_eq!(
+            seq.grammar_not_lr_k(),
+            par.grammar_not_lr_k(),
+            "{name}: LR(k) verdict differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn whole_corpus_is_bit_identical_across_thread_counts() {
+    for entry in lalr_corpus::all_entries() {
+        assert_pipeline_identical(entry.name, &entry.grammar());
+    }
+}
+
+#[test]
+fn synthetic_families_are_bit_identical() {
+    let cases: Vec<(&str, Grammar)> = vec![
+        ("expr_ladder_8", lalr_corpus::synthetic::expr_ladder(8)),
+        ("chain_40", lalr_corpus::synthetic::chain(40)),
+        (
+            "nullable_blocks_10",
+            lalr_corpus::synthetic::nullable_blocks(10),
+        ),
+        ("nested_lists_10", lalr_corpus::synthetic::nested_lists(10)),
+        ("includes_scc_8", lalr_corpus::synthetic::includes_scc(8)),
+        ("wide_forest_16", lalr_corpus::synthetic::wide_forest(16)),
+    ];
+    for (name, g) in &cases {
+        assert_pipeline_identical(name, g);
+    }
+}
+
+#[test]
+fn random_grammars_are_bit_identical() {
+    for seed in 0..8u64 {
+        let g = lalr_corpus::synthetic::random(seed, Default::default());
+        assert_pipeline_identical(&format!("random_{seed}"), &g);
+    }
+}
+
+#[test]
+fn classify_agrees_across_thread_counts() {
+    for entry in lalr_corpus::classics::all() {
+        let g = entry.grammar();
+        let seq = lalr_core::classify(&g);
+        for threads in THREAD_COUNTS {
+            let par = lalr_core::classify_with(&g, &Parallelism::new(threads));
+            assert_eq!(
+                seq, par,
+                "{}: classify differs at {threads} threads",
+                entry.name
+            );
+        }
+    }
+}

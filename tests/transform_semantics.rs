@@ -16,7 +16,12 @@ fn oracle(grammar: &Grammar) -> Option<(ParseTable, Grammar)> {
         return None;
     }
     Some((
-        build_table(grammar, &lr0, analysis.lookaheads(), TableOptions::default()),
+        build_table(
+            grammar,
+            &lr0,
+            analysis.lookaheads(),
+            TableOptions::default(),
+        ),
         grammar.clone(),
     ))
 }
@@ -60,12 +65,15 @@ fn epsilon_removal_preserves_nonempty_sentences() {
             if sentence.is_empty() {
                 continue; // ε is the one string legitimately lost
             }
-            let toks = reencode(&sentence, &g, &table2)
-                .expect("transformed grammar keeps used terminals");
+            let toks =
+                reencode(&sentence, &g, &table2).expect("transformed grammar keeps used terminals");
             assert!(
                 parser.parse(toks).is_ok(),
                 "{src}: sentence lost by ε-removal: {:?}",
-                sentence.iter().map(|&t| g.terminal_name(t)).collect::<Vec<_>>()
+                sentence
+                    .iter()
+                    .map(|&t| g.terminal_name(t))
+                    .collect::<Vec<_>>()
             );
             checked += 1;
         }
@@ -85,7 +93,10 @@ fn epsilon_removal_introduces_no_new_sentences() {
         assert!(
             parser.parse(toks).is_ok(),
             "ε-removal invented a sentence: {:?}",
-            sentence.iter().map(|&t| g2.terminal_name(t)).collect::<Vec<_>>()
+            sentence
+                .iter()
+                .map(|&t| g2.terminal_name(t))
+                .collect::<Vec<_>>()
         );
     }
 }
@@ -106,6 +117,9 @@ fn reduction_preserves_the_language_both_ways() {
     }
     for sentence in generate_many(&out.grammar, 4, 40, 25) {
         let toks = reencode(&sentence, &out.grammar, &t1).expect("subset of terminals");
-        assert!(Parser::new(&t1).parse(toks).is_ok(), "invented by reduction");
+        assert!(
+            Parser::new(&t1).parse(toks).is_ok(),
+            "invented by reduction"
+        );
     }
 }

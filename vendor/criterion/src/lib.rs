@@ -1,0 +1,335 @@
+//! Vendored offline shim for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! crate cannot be downloaded. This shim implements the same bench-harness
+//! surface (`criterion_group!`/`criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`, `Throughput`) with a
+//! real wall-clock measurement loop: warm-up, iteration-count calibration,
+//! then `sample_size` samples whose per-iteration median/mean/min are
+//! printed in a `group/function/param  time: […]` line. Statistical
+//! analysis (outlier detection, regressions, HTML reports) is out of
+//! scope; the numbers are honest medians and are what `EXPERIMENTS.md`
+//! records.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as a free argument;
+        // flags criterion would understand (e.g. `--bench`) are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (sample_size, measurement_time, warm_up_time) =
+            (self.sample_size, self.measurement_time, self.warm_up_time);
+        self.run_one(name, sample_size, measurement_time, warm_up_time, &mut f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one<F>(
+        &mut self,
+        id: &str,
+        sample_size: usize,
+        measurement_time: Duration,
+        warm_up_time: Duration,
+        f: &mut F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches(id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp {
+                until: warm_up_time,
+            },
+            iters_per_sample: 1,
+            samples: Vec::new(),
+        };
+        // Warm-up pass: runs the closure until `warm_up_time` has elapsed
+        // and calibrates how many iterations fit in one sample.
+        f(&mut bencher);
+        let per_sample = measurement_time.as_nanos() as u64 / sample_size.max(1) as u64;
+        bencher.iters_per_sample = match bencher.samples.first() {
+            Some(&warm) if warm.as_nanos() > 0 => {
+                (per_sample / warm.as_nanos() as u64).clamp(1, 1_000_000)
+            }
+            _ => 1_000,
+        };
+        bencher.samples.clear();
+        bencher.mode = Mode::Measure {
+            samples: sample_size,
+        };
+        f(&mut bencher);
+
+        let mut per_iter: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / bencher.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{id:<48} time: [min {} median {} mean {}]  ({} samples x {} iters)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            per_iter.len(),
+            bencher.iters_per_sample,
+        );
+    }
+
+    /// No-op, kept for API compatibility.
+    pub fn final_summary(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named benchmark group with its own sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Records the throughput denominator (accepted, not reported).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let (s, m, w) = (self.sample_size, self.measurement_time, self.warm_up_time);
+        self.criterion.run_one(&full, s, m, w, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let (s, m, w) = (self.sample_size, self.measurement_time, self.warm_up_time);
+        self.criterion.run_one(&full, s, m, w, &mut f);
+        self
+    }
+
+    /// Ends the group (printing happens eagerly; this is for API parity).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput denominators (accepted for API parity, not reported).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+enum Mode {
+    WarmUp { until: Duration },
+    Measure { samples: usize },
+}
+
+/// The per-benchmark timing driver handed to bench closures.
+pub struct Bencher {
+    mode: Mode,
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive via `black_box`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::WarmUp { until } => {
+                // Run at least once; record the single-iteration time so
+                // the harness can calibrate the sample batch size.
+                let deadline = Instant::now() + until;
+                let t0 = Instant::now();
+                black_box(routine());
+                let first = t0.elapsed();
+                self.samples.push(first);
+                while Instant::now() < deadline {
+                    black_box(routine());
+                }
+            }
+            Mode::Measure { samples } => {
+                for _ in 0..samples {
+                    let t0 = Instant::now();
+                    for _ in 0..self.iters_per_sample {
+                        black_box(routine());
+                    }
+                    self.samples.push(t0.elapsed());
+                }
+            }
+        }
+    }
+}
+
+/// Declares a bench group entry point, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_closure() {
+        let mut c = Criterion {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(50),
+            warm_up_time: Duration::from_millis(5),
+            filter: None,
+        };
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(50),
+            warm_up_time: Duration::from_millis(5),
+            filter: Some("only-this".into()),
+        };
+        let mut ran = false;
+        c.bench_function("something-else", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+
+    #[test]
+    fn format_scales_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Vendored offline shim for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! crate cannot be downloaded. This shim provides the same surface the
+//! workspace's property tests are written against — the [`proptest!`]
+//! macro, the [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`,
+//! `prop::collection::vec`, `prop_oneof!`, `Just`, range strategies, and a
+//! tiny regex-subset string strategy — backed by a deterministic seeded
+//! generator. There is no shrinking: a failing case prints its generated
+//! inputs and the case index so it can be replayed by rerunning the test
+//! (generation is deterministic per test name).
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::…` namespace, mirroring the real crate's prelude alias.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        pub use crate::strategy::collection::vec;
+    }
+}
+
+/// The names tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice between heterogeneous strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Declares property tests. Supports the same shape the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0usize..10, v in prop::collection::vec(0..5u64, 0..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                    let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $body
+                    }));
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest shim: {} failed at case {}/{} with inputs:",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                        );
+                        $(eprintln!("  {} = {:?}", stringify!($arg), &$arg);)+
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, usize)> {
+        (1usize..50).prop_flat_map(|n| (Just(n), 0..n))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17) {
+            prop_assert!((3..17).contains(&x));
+        }
+
+        #[test]
+        fn vec_respects_len_and_element_ranges(v in prop::collection::vec(5u64..9, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (5..9).contains(&x)));
+        }
+
+        #[test]
+        fn flat_map_sees_outer_value(p in pair()) {
+            prop_assert!(p.1 < p.0);
+        }
+
+        #[test]
+        fn oneof_picks_from_all_arms(x in prop_oneof![0usize..3, 10usize..13]) {
+            prop_assert!((0..3).contains(&x) || (10..13).contains(&x));
+        }
+
+        #[test]
+        fn regex_class_subset(s in "[ a-c0-2]{0,9}") {
+            prop_assert!(s.len() <= 9);
+            prop_assert!(s.chars().all(|c| " abc012".contains(c)));
+        }
+
+        #[test]
+        fn tuple_and_map(t in (0usize..4, (0usize..4).prop_map(|x| x * 2))) {
+            prop_assert!(t.0 < 4 && t.1 % 2 == 0 && t.1 < 8);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        let strat = crate::prop::collection::vec(0usize..1000, 0..20);
+        let mut r1 = crate::test_runner::TestRng::for_test("determinism");
+        let mut r2 = crate::test_runner::TestRng::for_test("determinism");
+        let a: Vec<Vec<usize>> = (0..10)
+            .map(|_| Strategy::generate(&strat, &mut r1))
+            .collect();
+        let b: Vec<Vec<usize>> = (0..10)
+            .map(|_| Strategy::generate(&strat, &mut r2))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,350 @@
+//! Value-generation strategies (no shrinking).
+
+use crate::test_runner::TestRng;
+
+/// Generates values of one type from the deterministic test stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Applies `f` to every generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds every generated value into a strategy-producing `f` and draws
+    /// from the result (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+ ;))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1 ;)
+    (A.0, B.1, C.2 ;)
+    (A.0, B.1, C.2, D.3 ;)
+    (A.0, B.1, C.2, D.3, E.4 ;)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Vectors of `element` values with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `&str` regex-subset strategies: sequences of `.`-or-class atoms with
+/// optional `{m,n}`/`{m}` repetition, e.g. `".{0,120}"` or
+/// `"[ a-z0-9+()]{0,80}"`. This covers the patterns used by the
+/// workspace's tests; anything else panics loudly.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let units = parse_pattern(self);
+        let mut out = String::new();
+        for unit in &units {
+            let span = (unit.max - unit.min + 1) as u64;
+            let count = unit.min + rng.below(span) as usize;
+            for _ in 0..count {
+                out.push(unit.atom.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — an arbitrary character (printable ASCII, plus occasional
+    /// multi-byte code points to stress UTF-8 handling).
+    Any,
+    /// `[...]` — one of an explicit character set.
+    Class(Vec<char>),
+    /// A literal character.
+    Literal(char),
+}
+
+impl Atom {
+    fn pick(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Any => {
+                const EXOTIC: [char; 6] = ['\n', '\t', 'α', 'ß', '中', '🦀'];
+                if rng.below(16) == 0 {
+                    EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+                } else {
+                    // Printable ASCII: ' ' (0x20) ..= '~' (0x7E).
+                    char::from(0x20 + rng.below(0x5F) as u8)
+                }
+            }
+            Atom::Class(chars) => chars[rng.below(chars.len() as u64) as usize],
+            Atom::Literal(c) => *c,
+        }
+    }
+}
+
+struct Unit {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Vec<Unit> {
+    let mut chars = pat.chars().peekable();
+    let mut units = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Any,
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().expect("checked");
+                            let hi = chars.next().expect("range end");
+                            assert!(lo <= hi, "bad class range {lo}-{hi} in {pat:?}");
+                            // `lo` was already pushed as a literal; extend
+                            // with the rest of the range.
+                            for u in (lo as u32 + 1)..=(hi as u32) {
+                                set.push(char::from_u32(u).expect("valid range char"));
+                            }
+                        }
+                        Some(c) => {
+                            set.push(c);
+                            prev = Some(c);
+                        }
+                        None => panic!("unterminated character class in {pat:?}"),
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class in {pat:?}");
+                Atom::Class(set)
+            }
+            '\\' => Atom::Literal(chars.next().expect("escape target")),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut digits = String::new();
+            let mut min: Option<usize> = None;
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(',') => {
+                        min = Some(digits.parse().expect("repeat lower bound"));
+                        digits.clear();
+                    }
+                    Some(d) if d.is_ascii_digit() => digits.push(d),
+                    other => panic!("bad repetition in {pat:?}: {other:?}"),
+                }
+            }
+            let hi: usize = digits.parse().expect("repeat upper bound");
+            (min.map_or(hi, |m| m), hi)
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition bounds in {pat:?}");
+        units.push(Unit { atom, min, max });
+    }
+    units
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("strategy-unit")
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let (a, b) = (2usize..9, 1u64..=3).generate(&mut r);
+            assert!((2..9).contains(&a));
+            assert!((1..=3).contains(&b));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut r = rng();
+        let s = (1usize..5)
+            .prop_flat_map(|n| (Just(n), 0..n))
+            .prop_map(|(n, k)| (n, k));
+        for _ in 0..200 {
+            let (n, k) = s.generate(&mut r);
+            assert!(k < n);
+        }
+    }
+
+    #[test]
+    fn regex_dot_and_class() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = ".{0,12}".generate(&mut r);
+            assert!(s.chars().count() <= 12);
+            let t = "[a-c9]{2,4}".generate(&mut r);
+            assert!((2..=4).contains(&t.chars().count()));
+            assert!(t.chars().all(|c| "abc9".contains(c)));
+        }
+    }
+
+    #[test]
+    fn literal_and_fixed_repeat() {
+        let mut r = rng();
+        assert_eq!("ab".generate(&mut r), "ab");
+        assert_eq!("a{3}".generate(&mut r), "aaa");
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline placeholder for `serde`.
+//!
+//! The build environment has no network access, so the real `serde` crate
+//! cannot be downloaded. The workspace's `serde` support is an *optional*
+//! feature on `lalr-bitset` and `lalr-tables`; this stub exists only so
+//! that Cargo can resolve the optional dependency edge offline. Enabling
+//! the `serde` feature of those crates requires replacing this stub with
+//! the real crate (the derive macros are not provided here).
+
+#![forbid(unsafe_code)]

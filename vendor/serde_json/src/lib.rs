@@ -1,0 +1,8 @@
+//! Offline placeholder for `serde_json`.
+//!
+//! Present only so Cargo can resolve the dev-dependency edge offline; the
+//! single consumer (`crates/tables/tests/serde_roundtrip.rs`) is compiled
+//! out unless the `serde` feature is enabled, which the offline build
+//! never does. See `vendor/serde/src/lib.rs`.
+
+#![forbid(unsafe_code)]
