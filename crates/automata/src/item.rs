@@ -1,6 +1,21 @@
 //! LR(0) items and item sets.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use lalr_grammar::{Grammar, ProdId, Symbol};
+
+/// Process-wide count of [`ItemSet`] clones, for the zero-copy interning
+/// invariant test; see [`item_set_clone_count`].
+static ITEM_SET_CLONES: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of [`ItemSet`] clones performed by this process so far.
+///
+/// `Lr0Automaton::build` interns kernels without cloning them; tests
+/// assert that by sampling this counter before and after a build. Only
+/// explicit `.clone()` calls count — moves and borrows do not.
+pub fn item_set_clone_count() -> usize {
+    ITEM_SET_CLONES.load(Ordering::Relaxed)
+}
 
 /// An LR(0) item `A → α · β`: a production plus a dot position.
 ///
@@ -109,9 +124,18 @@ impl Item {
 
 /// A sorted, deduplicated set of items — the identity of an LR(0) state is
 /// its kernel `ItemSet`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, PartialEq, Eq, Hash, Default)]
 pub struct ItemSet {
     items: Vec<Item>,
+}
+
+impl Clone for ItemSet {
+    fn clone(&self) -> ItemSet {
+        ITEM_SET_CLONES.fetch_add(1, Ordering::Relaxed);
+        ItemSet {
+            items: self.items.clone(),
+        }
+    }
 }
 
 impl ItemSet {
@@ -120,6 +144,25 @@ impl ItemSet {
         items.sort_unstable();
         items.dedup();
         ItemSet { items }
+    }
+
+    /// Builds a set from items that are already strictly ascending, moving
+    /// the buffer without a sort pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the items are not strictly ascending.
+    pub fn from_sorted(items: Vec<Item>) -> ItemSet {
+        debug_assert!(
+            items.windows(2).all(|w| w[0] < w[1]),
+            "items must be strictly ascending"
+        );
+        ItemSet { items }
+    }
+
+    /// Consumes the set, returning its item buffer (for buffer recycling).
+    pub fn into_items(self) -> Vec<Item> {
+        self.items
     }
 
     /// The items in sorted order.
@@ -148,25 +191,57 @@ impl ItemSet {
     /// The ε-closure of this set: adds `B → · γ` for every `B` after a dot,
     /// transitively.
     pub fn closure(&self, grammar: &Grammar) -> ItemSet {
-        let mut closed: Vec<Item> = self.items.clone();
-        let mut added_nt = vec![false; grammar.nonterminal_count()];
-        let mut work: Vec<Item> = self.items.clone();
-        while let Some(item) = work.pop() {
+        let mut scratch = ClosureScratch::default();
+        self.closure_with(grammar, &mut scratch);
+        ItemSet {
+            items: std::mem::take(&mut scratch.closed),
+        }
+    }
+
+    /// Computes the ε-closure into reusable scratch buffers, returning the
+    /// closed items sorted and deduplicated.
+    ///
+    /// The allocation-free workhorse behind [`ItemSet::closure`]: callers
+    /// that close many sets in a row (the LR(0) worklist) keep one
+    /// [`ClosureScratch`] and avoid reallocating the closure buffers per
+    /// state.
+    pub fn closure_with<'a>(
+        &self,
+        grammar: &Grammar,
+        scratch: &'a mut ClosureScratch,
+    ) -> &'a [Item] {
+        scratch.closed.clear();
+        scratch.closed.extend_from_slice(&self.items);
+        scratch.work.clear();
+        scratch.work.extend_from_slice(&self.items);
+        scratch.added_nt.clear();
+        scratch.added_nt.resize(grammar.nonterminal_count(), false);
+        while let Some(item) = scratch.work.pop() {
             let Some(Symbol::NonTerminal(b)) = item.next_symbol(grammar) else {
                 continue;
             };
-            if added_nt[b.index()] {
+            if scratch.added_nt[b.index()] {
                 continue;
             }
-            added_nt[b.index()] = true;
+            scratch.added_nt[b.index()] = true;
             for &pid in grammar.productions_of(b) {
                 let fresh = Item::start_of(pid);
-                closed.push(fresh);
-                work.push(fresh);
+                scratch.closed.push(fresh);
+                scratch.work.push(fresh);
             }
         }
-        ItemSet::new(closed)
+        scratch.closed.sort_unstable();
+        scratch.closed.dedup();
+        &scratch.closed
     }
+}
+
+/// Reusable buffers for repeated [`ItemSet::closure_with`] calls.
+#[derive(Debug, Default)]
+pub struct ClosureScratch {
+    closed: Vec<Item>,
+    work: Vec<Item>,
+    added_nt: Vec<bool>,
 }
 
 impl FromIterator<Item> for ItemSet {

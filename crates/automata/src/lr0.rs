@@ -1,10 +1,11 @@
 //! The canonical LR(0) collection.
 
-use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 use lalr_grammar::{Grammar, NonTerminal, ProdId, Symbol, Terminal};
+use rustc_hash::{FxHashMap, FxHasher};
 
-use crate::item::{Item, ItemSet};
+use crate::item::{ClosureScratch, Item, ItemSet};
 
 /// Identifier of an LR(0) state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -90,30 +91,52 @@ struct State {
 pub struct Lr0Automaton {
     states: Vec<State>,
     nt_transitions: Vec<NtTransition>,
-    /// `(state, nonterminal) → NtTransId` lookup.
-    nt_index: HashMap<(StateId, NonTerminal), NtTransId>,
+    /// CSR offsets: the nonterminal transitions out of state `s` are
+    /// `nt_transitions[nt_offsets[s] .. nt_offsets[s + 1]]`, sorted by
+    /// nonterminal (per-state transitions are symbol-sorted and ids are
+    /// assigned in `(state, nt)` order).
+    nt_offsets: Vec<u32>,
 }
 
 impl Lr0Automaton {
     /// Builds the canonical collection by the standard worklist algorithm.
+    ///
+    /// Kernels are interned without cloning: the table maps the FxHash of a
+    /// kernel's items to candidate state indices, and the items themselves
+    /// live only in `states` (verified by the item-set clone counter).
+    /// Goto sets are bucketed by next symbol through a dense symbol-slot
+    /// scratch array instead of a hash map, preserving the first-seen
+    /// symbol order that fixes the state numbering.
     pub fn build(grammar: &Grammar) -> Lr0Automaton {
-        let start_kernel = ItemSet::new(vec![Item::start_of(ProdId::START)]);
         let mut states: Vec<State> = Vec::new();
-        let mut interned: HashMap<ItemSet, StateId> = HashMap::new();
+        // Kernel hash → states whose kernel may match (collisions resolved
+        // by comparing item slices against `states`, never by cloning).
+        let mut interned: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
         let mut work: Vec<StateId> = Vec::new();
+        // Spent kernel buffers from intern hits, recycled as goto buckets.
+        let mut pool: Vec<Vec<Item>> = Vec::new();
 
-        let mut intern = |kernel: ItemSet,
+        let mut intern = |items: Vec<Item>,
                           accessing: Option<Symbol>,
                           states: &mut Vec<State>,
-                          work: &mut Vec<StateId>|
+                          work: &mut Vec<StateId>,
+                          pool: &mut Vec<Vec<Item>>|
          -> StateId {
-            if let Some(&id) = interned.get(&kernel) {
-                return id;
+            let mut hasher = FxHasher::default();
+            items.hash(&mut hasher);
+            let candidates = interned.entry(hasher.finish()).or_default();
+            for &c in candidates.iter() {
+                if states[c as usize].kernel.items() == items.as_slice() {
+                    let mut spent = items;
+                    spent.clear();
+                    pool.push(spent);
+                    return StateId(c);
+                }
             }
             let id = StateId::new(states.len());
-            interned.insert(kernel.clone(), id);
+            candidates.push(id.0);
             states.push(State {
-                kernel,
+                kernel: ItemSet::from_sorted(items),
                 transitions: Vec::new(),
                 reductions: Vec::new(),
                 accessing_symbol: accessing,
@@ -122,23 +145,52 @@ impl Lr0Automaton {
             id
         };
 
-        intern(start_kernel, None, &mut states, &mut work);
+        intern(
+            vec![Item::start_of(ProdId::START)],
+            None,
+            &mut states,
+            &mut work,
+            &mut pool,
+        );
+
+        // Dense per-symbol bucket slots: `sym_slot[dense(sym)]` is the index
+        // into `order`/`buckets` for this state, or `NO_SLOT`. Reset between
+        // states by walking `order` — O(symbols seen), not O(alphabet).
+        const NO_SLOT: u32 = u32::MAX;
+        let n_terms = grammar.terminal_count();
+        let dense = |sym: Symbol| -> usize {
+            match sym {
+                Symbol::Terminal(t) => t.index(),
+                Symbol::NonTerminal(n) => n_terms + n.index(),
+            }
+        };
+        let mut sym_slot: Vec<u32> = vec![NO_SLOT; n_terms + grammar.nonterminal_count()];
+        let mut order: Vec<Symbol> = Vec::new();
+        let mut buckets: Vec<Vec<Item>> = Vec::new();
+        let mut scratch = ClosureScratch::default();
 
         while let Some(sid) = work.pop() {
-            let closure = states[sid.index()].kernel.closure(grammar);
-            // Group items by next symbol, preserving first-seen symbol order.
-            let mut order: Vec<Symbol> = Vec::new();
-            let mut buckets: HashMap<Symbol, Vec<Item>> = HashMap::new();
+            let closure = states[sid.index()]
+                .kernel
+                .closure_with(grammar, &mut scratch);
             let mut reductions: Vec<ProdId> = Vec::new();
-            for item in &closure {
+            for &item in closure {
                 match item.next_symbol(grammar) {
                     None => reductions.push(item.production()),
                     Some(sym) => {
-                        let b = buckets.entry(sym).or_insert_with(|| {
+                        let d = dense(sym);
+                        let slot = if sym_slot[d] == NO_SLOT {
+                            let slot = order.len();
+                            sym_slot[d] = slot as u32;
                             order.push(sym);
-                            Vec::new()
-                        });
-                        b.push(item.advanced());
+                            if buckets.len() == slot {
+                                buckets.push(pool.pop().unwrap_or_default());
+                            }
+                            slot
+                        } else {
+                            sym_slot[d] as usize
+                        };
+                        buckets[slot].push(item.advanced());
                     }
                 }
             }
@@ -147,34 +199,41 @@ impl Lr0Automaton {
             states[sid.index()].reductions = reductions;
 
             let mut transitions: Vec<(Symbol, StateId)> = Vec::with_capacity(order.len());
-            for sym in order {
-                let kernel = ItemSet::new(buckets.remove(&sym).expect("bucket exists"));
-                let target = intern(kernel, Some(sym), &mut states, &mut work);
+            for (slot, &sym) in order.iter().enumerate() {
+                // The closure is item-sorted and advancing preserves that
+                // order within a bucket, so each goto kernel is born sorted.
+                let items = std::mem::replace(&mut buckets[slot], pool.pop().unwrap_or_default());
+                let target = intern(items, Some(sym), &mut states, &mut work, &mut pool);
                 transitions.push((sym, target));
             }
             transitions.sort_unstable_by_key(|&(sym, _)| sym);
             states[sid.index()].transitions = transitions;
+            for &sym in &order {
+                sym_slot[dense(sym)] = NO_SLOT;
+            }
+            order.clear();
         }
 
         // Enumerate nonterminal transitions in (state, nt) order — the
-        // canonical numbering used by the relation matrices.
+        // canonical numbering used by the relation matrices. Per-state
+        // runs are recorded as CSR offsets for `nt_transition_id`.
         let mut nt_transitions = Vec::new();
-        let mut nt_index = HashMap::new();
+        let mut nt_offsets = Vec::with_capacity(states.len() + 1);
+        nt_offsets.push(0u32);
         for (i, st) in states.iter().enumerate() {
             for &(sym, to) in &st.transitions {
                 if let Symbol::NonTerminal(nt) = sym {
-                    let id = NtTransId::new(nt_transitions.len());
                     let from = StateId::new(i);
                     nt_transitions.push(NtTransition { from, nt, to });
-                    nt_index.insert((from, nt), id);
                 }
             }
+            nt_offsets.push(nt_transitions.len() as u32);
         }
 
         Lr0Automaton {
             states,
             nt_transitions,
-            nt_index,
+            nt_offsets,
         }
     }
 
@@ -271,9 +330,15 @@ impl Lr0Automaton {
         self.nt_transitions[id.index()]
     }
 
-    /// Looks up the id of the transition `(state, nt)`.
+    /// Looks up the id of the transition `(state, nt)` — a binary search
+    /// within the state's dense run of nonterminal transitions.
     pub fn nt_transition_id(&self, state: StateId, nt: NonTerminal) -> Option<NtTransId> {
-        self.nt_index.get(&(state, nt)).copied()
+        let lo = self.nt_offsets[state.index()] as usize;
+        let hi = self.nt_offsets[state.index() + 1] as usize;
+        self.nt_transitions[lo..hi]
+            .binary_search_by_key(&nt, |t| t.nt)
+            .ok()
+            .map(|i| NtTransId::new(lo + i))
     }
 
     /// Walks `symbols` from `state`, returning the end state if every

@@ -6,7 +6,7 @@
 //! reference LALR(1) look-ahead sets (see [`crate::merge_lr1`]), and its
 //! conflict-freedom defines the LR(1) grammar class.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 use lalr_bitset::BitSet;
 use lalr_grammar::analysis::{nullable, FirstSets};
@@ -74,7 +74,7 @@ impl Lr1Automaton {
         let mut states: Vec<Lr1State> = Vec::new();
         let mut transitions: Vec<Vec<(Symbol, StateId)>> = Vec::new();
         let mut reductions: Vec<Vec<(ProdId, BitSet)>> = Vec::new();
-        let mut interned: HashMap<Vec<(Item, BitSet)>, StateId> = HashMap::new();
+        let mut interned: FxHashMap<Vec<(Item, BitSet)>, StateId> = FxHashMap::default();
         let mut work: Vec<StateId> = Vec::new();
 
         let mut intern = |state: Lr1State,
@@ -110,7 +110,7 @@ impl Lr1Automaton {
             // next symbol into GOTO kernels.
             let mut red: Vec<(ProdId, BitSet)> = Vec::new();
             let mut order: Vec<Symbol> = Vec::new();
-            let mut buckets: HashMap<Symbol, Vec<(Item, BitSet)>> = HashMap::new();
+            let mut buckets: FxHashMap<Symbol, Vec<(Item, BitSet)>> = FxHashMap::default();
             for (item, la) in closed {
                 match item.next_symbol(grammar) {
                     None => red.push((item.production(), la)),
@@ -215,7 +215,7 @@ pub fn closure1(
     kernel: &[(Item, BitSet)],
     n_terms: usize,
 ) -> Vec<(Item, BitSet)> {
-    let mut las: HashMap<Item, BitSet> = HashMap::new();
+    let mut las: FxHashMap<Item, BitSet> = FxHashMap::default();
     let mut work: Vec<Item> = Vec::new();
     for (item, la) in kernel {
         las.insert(*item, la.clone());

@@ -7,7 +7,7 @@
 //! oracle the efficient algorithm is validated against, and as the slow
 //! baseline of timing experiment **E2**.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 use lalr_bitset::BitSet;
 use lalr_grammar::{Grammar, ProdId};
@@ -19,7 +19,7 @@ use crate::lr1::Lr1Automaton;
 /// LALR(1) look-ahead sets obtained by merging, keyed by LR(0) state.
 #[derive(Debug, Clone)]
 pub struct MergedLalr {
-    la: HashMap<(StateId, ProdId), BitSet>,
+    la: FxHashMap<(StateId, ProdId), BitSet>,
     lr1_states: usize,
 }
 
@@ -68,12 +68,12 @@ impl MergedLalr {
 pub fn merge_lr1(grammar: &Grammar, lr1: &Lr1Automaton, lr0: &Lr0Automaton) -> MergedLalr {
     let _ = grammar;
     // Index LR(0) states by kernel.
-    let mut by_core: HashMap<&ItemSet, StateId> = HashMap::new();
+    let mut by_core: FxHashMap<&ItemSet, StateId> = FxHashMap::default();
     for s in lr0.states() {
         by_core.insert(lr0.kernel(s), s);
     }
 
-    let mut la: HashMap<(StateId, ProdId), BitSet> = HashMap::new();
+    let mut la: FxHashMap<(StateId, ProdId), BitSet> = FxHashMap::default();
     for s1 in lr1.states() {
         let core = lr1.state(s1).core();
         let s0 = *by_core

@@ -1,0 +1,235 @@
+//! Dense enumeration of reduction points.
+//!
+//! A *reduction point* is a pair `(q, A → ω)` of an LR(0) state and a
+//! production reducible in it — the row space of the paper's `LA`
+//! function. Enumerating them once into a [`ReductionId`] range lets the
+//! look-ahead pipeline replace `HashMap<(StateId, ProdId), …>` with flat
+//! arrays indexed by a small integer: look-ahead sets become bit-matrix
+//! rows and the lookback relation a CSR slab.
+
+use lalr_grammar::ProdId;
+
+use crate::lr0::{Lr0Automaton, StateId};
+
+/// Identifier of a reduction point `(state, production)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReductionId(u32);
+
+impl ReductionId {
+    /// Creates an id from a raw index.
+    #[inline]
+    pub fn new(index: usize) -> ReductionId {
+        ReductionId(index as u32)
+    }
+
+    /// The index into the enumeration (a [`ReductionIndex`] row).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The dense enumeration of all reduction points, in `(state, production)`
+/// order.
+///
+/// Stored as CSR: the productions reducible in state `s` occupy
+/// `prods[offsets[s] .. offsets[s + 1]]`, sorted, so `(state, prod) → id`
+/// is a binary search in the state's run and `id → (state, prod)` is a
+/// partition point over the offsets.
+///
+/// # Examples
+///
+/// ```
+/// use lalr_automata::{Lr0Automaton, ReductionIndex};
+/// use lalr_grammar::parse_grammar;
+///
+/// let g = parse_grammar("e : e \"+\" t | t ; t : \"x\" ;")?;
+/// let lr0 = Lr0Automaton::build(&g);
+/// let idx = ReductionIndex::from_lr0(&lr0);
+/// for (id, state, prod) in idx.iter() {
+///     assert_eq!(idx.id(state, prod), Some(id));
+///     assert_eq!(idx.point(id), (state, prod));
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReductionIndex {
+    /// CSR offsets, one per state plus a final total.
+    offsets: Vec<u32>,
+    /// Per-state sorted production ids, concatenated in state order.
+    prods: Vec<ProdId>,
+}
+
+impl ReductionIndex {
+    /// Enumerates the reduction points of an automaton.
+    pub fn from_lr0(lr0: &Lr0Automaton) -> ReductionIndex {
+        let mut offsets = Vec::with_capacity(lr0.state_count() + 1);
+        offsets.push(0u32);
+        let mut prods = Vec::new();
+        for s in lr0.states() {
+            // Per-state reductions are already sorted and deduplicated.
+            prods.extend_from_slice(lr0.reductions(s));
+            offsets.push(prods.len() as u32);
+        }
+        ReductionIndex { offsets, prods }
+    }
+
+    /// Builds an index over an explicit list of points (sorted and
+    /// deduplicated here), for callers without an automaton at hand.
+    pub fn from_points(points: impl IntoIterator<Item = (StateId, ProdId)>) -> ReductionIndex {
+        let mut pts: Vec<(StateId, ProdId)> = points.into_iter().collect();
+        pts.sort_unstable();
+        pts.dedup();
+        let n_states = pts.last().map_or(0, |&(s, _)| s.index() + 1);
+        let mut offsets = Vec::with_capacity(n_states + 1);
+        offsets.push(0u32);
+        let mut prods = Vec::with_capacity(pts.len());
+        let mut next = pts.iter().peekable();
+        for s in 0..n_states {
+            while let Some(&(_, p)) = next.next_if(|&&(q, _)| q.index() == s) {
+                prods.push(p);
+            }
+            offsets.push(prods.len() as u32);
+        }
+        ReductionIndex { offsets, prods }
+    }
+
+    /// Number of reduction points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prods.len()
+    }
+
+    /// `true` when the grammar has no reduction point (never for a built
+    /// automaton — the accept state reduces the start production).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prods.is_empty()
+    }
+
+    /// Number of states covered by the index.
+    #[inline]
+    pub fn state_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Looks up the id of `(state, prod)`, or `None` if that pair is not a
+    /// reduction point.
+    #[inline]
+    pub fn id(&self, state: StateId, prod: ProdId) -> Option<ReductionId> {
+        let s = state.index();
+        if s >= self.state_count() {
+            return None;
+        }
+        let lo = self.offsets[s] as usize;
+        let hi = self.offsets[s + 1] as usize;
+        self.prods[lo..hi]
+            .binary_search(&prod)
+            .ok()
+            .map(|i| ReductionId::new(lo + i))
+    }
+
+    /// The `(state, production)` pair of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn point(&self, id: ReductionId) -> (StateId, ProdId) {
+        let i = id.index();
+        let prod = self.prods[i];
+        let state = self.offsets.partition_point(|&o| o as usize <= i) - 1;
+        (StateId::new(state), prod)
+    }
+
+    /// Iterates all points in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ReductionId, StateId, ProdId)> + '_ {
+        (0..self.state_count()).flat_map(move |s| {
+            let lo = self.offsets[s] as usize;
+            let hi = self.offsets[s + 1] as usize;
+            self.prods[lo..hi]
+                .iter()
+                .enumerate()
+                .map(move |(i, &p)| (ReductionId::new(lo + i), StateId::new(s), p))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lr0Automaton;
+    use lalr_grammar::parse_grammar;
+
+    #[test]
+    fn from_lr0_covers_every_reduction() {
+        let g = parse_grammar(
+            r#"
+            e : e "+" t | t ;
+            t : t "*" f | f ;
+            f : "(" e ")" | "id" ;
+            "#,
+        )
+        .unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let idx = ReductionIndex::from_lr0(&lr0);
+        let manual: usize = lr0.states().map(|s| lr0.reductions(s).len()).sum();
+        assert_eq!(idx.len(), manual);
+        for s in lr0.states() {
+            for &p in lr0.reductions(s) {
+                let id = idx.id(s, p).expect("every reduction point has an id");
+                assert_eq!(idx.point(id), (s, p));
+            }
+        }
+    }
+
+    #[test]
+    fn accept_reduction_is_indexed() {
+        let g = parse_grammar("s : \"a\" ;").unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let idx = ReductionIndex::from_lr0(&lr0);
+        let acc = lr0.accept_state(&g);
+        assert!(idx.id(acc, ProdId::START).is_some());
+    }
+
+    #[test]
+    fn unknown_points_have_no_id() {
+        let g = parse_grammar("s : \"a\" ;").unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let idx = ReductionIndex::from_lr0(&lr0);
+        assert_eq!(idx.id(StateId::START, ProdId::new(1)), None);
+        assert_eq!(idx.id(StateId::new(999), ProdId::START), None);
+    }
+
+    #[test]
+    fn from_points_matches_explicit_listing() {
+        let pts = vec![
+            (StateId::new(3), ProdId::new(2)),
+            (StateId::new(0), ProdId::new(1)),
+            (StateId::new(3), ProdId::new(1)),
+            (StateId::new(0), ProdId::new(1)), // duplicate
+        ];
+        let idx = ReductionIndex::from_points(pts);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.state_count(), 4);
+        let listed: Vec<_> = idx.iter().collect();
+        assert_eq!(
+            listed,
+            vec![
+                (ReductionId::new(0), StateId::new(0), ProdId::new(1)),
+                (ReductionId::new(1), StateId::new(3), ProdId::new(1)),
+                (ReductionId::new(2), StateId::new(3), ProdId::new(2)),
+            ]
+        );
+        // State 1 and 2 have empty runs; lookups there miss cleanly.
+        assert_eq!(idx.id(StateId::new(1), ProdId::new(1)), None);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = ReductionIndex::from_points(std::iter::empty());
+        assert!(idx.is_empty());
+        assert_eq!(idx.state_count(), 0);
+        assert_eq!(idx.id(StateId::START, ProdId::START), None);
+    }
+}

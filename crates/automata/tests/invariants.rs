@@ -116,6 +116,47 @@ fn lr1_transitions_commute_with_core_projection() {
     }
 }
 
+/// The no-clone interning guarantee of the dense-index overhaul: building
+/// the LR(0) machine must never clone an `ItemSet` — kernels are stored
+/// once in the state table and interned by hash + slice comparison.
+#[test]
+fn lr0_build_performs_zero_kernel_clones() {
+    for (name, g) in grammars_under_test() {
+        let before = lalr_automata::item_set_clone_count();
+        let lr0 = Lr0Automaton::build(&g);
+        let after = lalr_automata::item_set_clone_count();
+        assert_eq!(
+            after - before,
+            0,
+            "{name}: Lr0Automaton::build cloned an ItemSet"
+        );
+        assert!(lr0.state_count() > 0);
+    }
+}
+
+#[test]
+fn nt_transition_id_misses_cleanly() {
+    for (name, g) in grammars_under_test() {
+        let lr0 = Lr0Automaton::build(&g);
+        for s in lr0.states() {
+            let here: Vec<_> = lr0
+                .transitions(s)
+                .iter()
+                .filter_map(|&(sym, _)| sym.nonterminal())
+                .collect();
+            for nt in g.nonterminals() {
+                let id = lr0.nt_transition_id(s, nt);
+                assert_eq!(
+                    id.is_some(),
+                    here.contains(&nt),
+                    "{name}: state {}",
+                    s.index()
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn start_production_reachable_to_accept() {
     for (name, g) in grammars_under_test() {

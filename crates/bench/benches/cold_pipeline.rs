@@ -1,0 +1,41 @@
+//! E11 — cold end-to-end pipeline: `source text → grammar → LR(0) machine
+//! → LA sets`, per method and corpus grammar.
+//!
+//! Unlike `lookahead_methods` (which prebuilds and shares the LR(0)
+//! machine), every iteration here starts from the grammar source, so the
+//! numbers include parsing, automaton construction and all intermediate
+//! allocation — the workload the dense-layout overhaul (ReductionId rows,
+//! CSR lookback, no-clone kernel interning) targets. The companion
+//! allocation counts live in `report table7` and the `alloc_probe` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lalr_automata::Lr0Automaton;
+use lalr_bench::methods::Method;
+
+fn bench_cold_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cold_pipeline");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for name in ["expr", "json", "pascal", "ada_subset", "c_subset"] {
+        let entry = lalr_corpus::by_name(name).expect("corpus entry exists");
+        for method in Method::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), name),
+                &entry,
+                |b, entry| {
+                    b.iter(|| {
+                        let grammar = entry.grammar();
+                        let lr0 = Lr0Automaton::build(&grammar);
+                        let la = method.run(&grammar, &lr0);
+                        std::hint::black_box(la.total_bits())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! A counting global allocator (experiment **E11**).
+//!
+//! Wraps the system allocator and counts every allocation request and its
+//! byte size, so the evaluation can report *allocation pressure* of the
+//! cold `grammar → LA sets` pipeline per method — the quantity the
+//! dense-index memory layout is designed to reduce. Linking `lalr-bench`
+//! installs the counter as the global allocator for every binary, bench
+//! and test of this crate; the counters cost two relaxed atomic adds per
+//! allocation and do not perturb the timings measurably.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The system allocator behind relaxed allocation/byte counters.
+pub struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+static BYTES: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counters are side tables.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size(), Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow/shrink is one more allocator round-trip; count the newly
+        // requested size (the classic `heaptrack` convention).
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Allocation counters captured around a region; see [`measure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Number of allocation requests (`alloc` + `realloc`).
+    pub allocations: usize,
+    /// Total bytes requested.
+    pub bytes: usize,
+}
+
+fn snapshot() -> (usize, usize) {
+    (
+        ALLOCATIONS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// Runs `f` and returns its result with the allocation activity observed
+/// while it ran.
+///
+/// The counters are process-global, so concurrent allocations from other
+/// threads are attributed to the measured region; measure on a quiet
+/// process (the report binary and the budget test are single-threaded
+/// while measuring).
+pub fn measure<R>(f: impl FnOnce() -> R) -> (R, AllocStats) {
+    let (a0, b0) = snapshot();
+    let out = f();
+    let (a1, b1) = snapshot();
+    (
+        out,
+        AllocStats {
+            allocations: a1 - a0,
+            bytes: b1 - b0,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_a_vec_allocation() {
+        let (len, stats) = measure(|| {
+            let v: Vec<u64> = Vec::with_capacity(1000);
+            v.capacity()
+        });
+        assert_eq!(len, 1000);
+        assert!(stats.allocations >= 1);
+        assert!(stats.bytes >= 8000);
+    }
+
+    #[test]
+    fn measure_of_allocation_free_region_is_zero() {
+        let (_, stats) = measure(|| std::hint::black_box(1u64 + 1));
+        assert_eq!(stats.allocations, 0);
+        assert_eq!(stats.bytes, 0);
+    }
+}

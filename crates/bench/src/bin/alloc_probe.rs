@@ -1,0 +1,31 @@
+//! Prints allocation count/bytes of the cold `grammar → LA sets`
+//! pipeline per method and corpus grammar (the raw data behind
+//! EXPERIMENTS.md Table 7).
+
+use lalr_automata::Lr0Automaton;
+use lalr_bench::alloc_counter::measure;
+use lalr_bench::methods::Method;
+
+fn main() {
+    println!(
+        "{:<12} {:<16} {:>12} {:>14}",
+        "grammar", "method", "allocations", "bytes"
+    );
+    for entry in lalr_corpus::all_entries() {
+        for method in Method::ALL {
+            let ((), stats) = measure(|| {
+                let grammar = entry.grammar();
+                let lr0 = Lr0Automaton::build(&grammar);
+                let la = method.run(&grammar, &lr0);
+                std::hint::black_box(la.total_bits());
+            });
+            println!(
+                "{:<12} {:<16} {:>12} {:>14}",
+                entry.name,
+                method.label(),
+                stats.allocations,
+                stats.bytes
+            );
+        }
+    }
+}

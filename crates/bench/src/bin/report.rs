@@ -36,6 +36,10 @@ fn main() {
         println!("{}", report::table5());
         printed = true;
     }
+    if matches!(which, "all" | "table7") {
+        println!("{}", report::table7());
+        printed = true;
+    }
     if matches!(which, "all" | "figure1") {
         println!("{}", report::figure1(runs));
         printed = true;
@@ -45,7 +49,9 @@ fn main() {
         printed = true;
     }
     if !printed {
-        eprintln!("usage: report [all|table1|table2|table3|table4|table5|figure1|figure2] [runs]");
+        eprintln!(
+            "usage: report [all|table1|table2|table3|table4|table5|table7|figure1|figure2] [runs]"
+        );
         std::process::exit(2);
     }
 }

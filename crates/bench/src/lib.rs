@@ -17,8 +17,11 @@
 //! * `selective` — E8 (full vs inadequate-states-only computation)
 //! * `parse_throughput` — runtime driver sanity benchmark
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied (not forbidden) because the counting global
+// allocator in `alloc_counter` must delegate to `std::alloc::System`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc_counter;
 pub mod methods;
 pub mod report;

@@ -339,6 +339,93 @@ pub fn table5() -> String {
     out
 }
 
+/// Allocation counts of the cold DP pipeline *before* the dense-layout
+/// overhaul (hash-keyed `LookaheadSets`, map-backed lookback, cloning
+/// LR(0) interner), recorded with `alloc_probe` on this corpus at the
+/// commit preceding the overhaul. Kept as constants so Table 7 can print
+/// an honest before/after column without rebuilding old code.
+const TABLE7_BASELINE: &[(&str, usize, usize)] = &[
+    // (grammar, allocations, bytes) — cold `grammar → LA sets`, DP method.
+    ("expr", 265, 14_291),
+    ("json", 524, 35_415),
+    ("lua_subset", 6_424, 538_608),
+    ("pascal", 4_398, 348_413),
+    ("algol60", 4_976, 411_727),
+    ("ada_subset", 7_702, 726_667),
+    ("tiny_java", 6_818, 551_484),
+    ("sql_subset", 6_318, 552_785),
+    ("c_subset", 12_838, 1_215_140),
+];
+
+/// Table 7 — memory behaviour of the cold pipeline (E11): allocation
+/// count/bytes of `grammar → LR(0) → LA` per corpus grammar, the DP
+/// method measured live against the recorded pre-overhaul baseline, plus
+/// live per-method allocation counts and wall-clock.
+pub fn table7() -> String {
+    use crate::alloc_counter::measure;
+    use lalr_automata::Lr0Automaton;
+    use std::time::Instant;
+
+    let cold = |name: &str, method: Method| {
+        let entry = lalr_corpus::by_name(name).expect("corpus entry exists");
+        let t0 = Instant::now();
+        let ((), stats) = measure(|| {
+            let g = entry.grammar();
+            let lr0 = Lr0Automaton::build(&g);
+            let la = method.run(&g, &lr0);
+            std::hint::black_box(la.total_bits());
+        });
+        (stats, t0.elapsed())
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 7: cold-pipeline allocations (grammar -> LA sets), dense-layout overhaul"
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10} {:>10} {:>7} {:>11} {:>11} {:>7}",
+        "grammar (DP)", "alloc-pre", "alloc-now", "d%", "bytes-pre", "bytes-now", "d%"
+    );
+    for &(name, pre_allocs, pre_bytes) in TABLE7_BASELINE {
+        let (stats, _) = cold(name, Method::DeRemerPennello);
+        let da = 100.0 * (1.0 - stats.allocations as f64 / pre_allocs as f64);
+        let db = 100.0 * (1.0 - stats.bytes as f64 / pre_bytes as f64);
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>10} {:>6.0}% {:>11} {:>11} {:>6.0}%",
+            name, pre_allocs, stats.allocations, da, pre_bytes, stats.bytes, db
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(alloc-pre/bytes-pre: recorded before the overhaul; now: measured live)"
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "per-method cold pipeline, this build:");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>16} {:>12} {:>14} {:>10}",
+        "grammar", "method", "allocations", "bytes", "time"
+    );
+    for name in ["expr", "json", "pascal", "ada_subset", "c_subset"] {
+        for method in Method::ALL {
+            let (stats, elapsed) = cold(name, method);
+            let _ = writeln!(
+                out,
+                "{:<16} {:>16} {:>12} {:>14} {:>8.1}us",
+                name,
+                method.label(),
+                stats.allocations,
+                stats.bytes,
+                elapsed.as_secs_f64() * 1e6
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -387,6 +474,17 @@ mod tests {
         let t = super::table4(1);
         assert!(t.contains("skip%"));
         assert!(t.lines().count() >= 8);
+    }
+
+    #[test]
+    fn table7_reports_every_baseline_grammar_and_method() {
+        let t = super::table7();
+        for &(name, _, _) in super::TABLE7_BASELINE {
+            assert!(t.contains(name), "{name} missing from table 7");
+        }
+        for m in super::Method::ALL {
+            assert!(t.contains(m.label()), "{} missing from table 7", m.label());
+        }
     }
 
     #[test]

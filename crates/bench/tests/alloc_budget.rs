@@ -1,0 +1,35 @@
+//! Allocation-budget regression guard for the dense-layout overhaul.
+//!
+//! The cold DP pipeline on `c_subset` allocated ~12,800 times before the
+//! overhaul and ~3,700 after (release build; debug counts run somewhat
+//! higher, so the ceilings below include headroom over the recorded
+//! debug-mode measurements). If a change reintroduces per-edge hashing,
+//! per-entry set allocation, or kernel cloning, the count jumps well past
+//! the ceiling and this test fails before a benchmark ever runs.
+
+use lalr_automata::Lr0Automaton;
+use lalr_bench::alloc_counter::measure;
+use lalr_bench::methods::Method;
+
+/// Generous ceiling: ~2x the post-overhaul count, still far below (<50%
+/// of) the pre-overhaul 12,838 — catches regressions to the old layout
+/// without flaking on allocator noise or small legitimate changes.
+const C_SUBSET_DP_ALLOC_CEILING: usize = 6_000;
+
+#[test]
+fn cold_dp_pipeline_on_c_subset_stays_under_allocation_budget() {
+    let entry = lalr_corpus::by_name("c_subset").expect("corpus entry exists");
+    let ((), stats) = measure(|| {
+        let grammar = entry.grammar();
+        let lr0 = Lr0Automaton::build(&grammar);
+        let la = Method::DeRemerPennello.run(&grammar, &lr0);
+        std::hint::black_box(la.total_bits());
+    });
+    assert!(
+        stats.allocations <= C_SUBSET_DP_ALLOC_CEILING,
+        "cold DP pipeline on c_subset allocated {} times (budget {}) — \
+         did a hash map or clone sneak back onto the hot path?",
+        stats.allocations,
+        C_SUBSET_DP_ALLOC_CEILING
+    );
+}

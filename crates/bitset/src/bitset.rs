@@ -236,6 +236,26 @@ impl BitSet {
         &self.words
     }
 
+    /// Borrows the set as a [`crate::BitSetRef`] view.
+    pub fn as_ref_set(&self) -> crate::BitSetRef<'_> {
+        crate::BitSetRef::from_words(&self.words, self.len)
+    }
+
+    /// Builds a set directly from its raw word storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `words.len()` is not exactly
+    /// `words_for(len)`.
+    pub(crate) fn from_words(words: Vec<usize>, len: usize) -> Self {
+        debug_assert_eq!(
+            words.len(),
+            words_for(len),
+            "raw storage must hold exactly words_for(len) words"
+        );
+        BitSet { words, len }
+    }
+
     /// Clears any bits beyond `len` that block-wise ops may have set.
     fn trim(&mut self) {
         let used = self.len % BITS;

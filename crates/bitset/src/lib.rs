@@ -31,11 +31,13 @@
 mod atomic;
 mod bitset;
 mod matrix;
+mod refset;
 mod shard;
 
 pub use atomic::AtomicBitMatrix;
 pub use bitset::{BitSet, Iter};
 pub use matrix::BitMatrix;
+pub use refset::{BitSetRef, RefIter};
 pub use shard::RowsMut;
 
 pub(crate) const BITS: usize = usize::BITS as usize;

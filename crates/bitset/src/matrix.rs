@@ -162,6 +162,15 @@ impl BitMatrix {
         &self.words[r]
     }
 
+    /// Borrows `row` as a [`crate::BitSetRef`] set view, without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row(&self, row: usize) -> crate::BitSetRef<'_> {
+        crate::BitSetRef::from_words(self.row_words(row), self.cols)
+    }
+
     /// Copies `src` row over `dst` row.
     ///
     /// # Panics

@@ -1,0 +1,285 @@
+//! The [`BitSetRef`] borrowed bit-set view.
+
+use std::fmt;
+use std::ops::BitAnd;
+
+use crate::{words_for, BitSet, BITS};
+
+/// A borrowed, read-only view of a bit set: a word slice plus a universe
+/// size.
+///
+/// Both a [`BitSet`] and a [`crate::BitMatrix`] row store exactly
+/// `words_for(len)` words, so either can be viewed as a `BitSetRef`
+/// without copying (see [`BitSet::as_ref_set`] and
+/// [`crate::BitMatrix::row`]). This is what lets look-ahead queries hand
+/// out matrix rows with zero allocation.
+///
+/// # Examples
+///
+/// ```
+/// use lalr_bitset::{BitMatrix, BitSet};
+///
+/// let mut m = BitMatrix::new(2, 100);
+/// m.set(1, 42);
+/// let row = m.row(1);
+/// assert!(row.contains(42));
+/// assert_eq!(row.iter().collect::<Vec<_>>(), vec![42]);
+///
+/// let s = BitSet::from_indices(100, [42]);
+/// assert_eq!(row, s.as_ref_set());
+/// ```
+#[derive(Clone, Copy)]
+pub struct BitSetRef<'a> {
+    words: &'a [usize],
+    /// Universe size in bits.
+    len: usize,
+}
+
+impl<'a> BitSetRef<'a> {
+    /// Wraps a word slice as a set over `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` is not exactly `words_for(len)`.
+    pub(crate) fn from_words(words: &'a [usize], len: usize) -> Self {
+        debug_assert_eq!(
+            words.len(),
+            words_for(len),
+            "word slice must hold exactly words_for(len) words"
+        );
+        BitSetRef { words, len }
+    }
+
+    /// The universe size (not the number of set bits; see
+    /// [`BitSetRef::count`]).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Tests membership. Out-of-range indices are simply absent.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        if idx >= self.len {
+            return false;
+        }
+        let (w, b) = (idx / BITS, idx % BITS);
+        self.words[w] & (1usize << b) != 0
+    }
+
+    /// Iterates over the set bits in increasing order.
+    pub fn iter(&self) -> RefIter<'a> {
+        RefIter {
+            words: self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Smallest element, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+
+    /// The underlying words, least-significant bit first.
+    ///
+    /// Feed these to [`crate::BitMatrix::union_row_with_words`] for
+    /// allocation-free bulk unions.
+    pub fn as_words(&self) -> &'a [usize] {
+        self.words
+    }
+
+    /// Returns `true` if every element of `self` is in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn is_subset(&self, other: BitSetRef<'_>) -> bool {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        self.words
+            .iter()
+            .zip(other.words)
+            .all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// Returns `true` if the sets share no element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn is_disjoint(&self, other: BitSetRef<'_>) -> bool {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        self.words
+            .iter()
+            .zip(other.words)
+            .all(|(&a, &b)| a & b == 0)
+    }
+
+    /// Copies the view into an owned [`BitSet`].
+    pub fn to_bitset(&self) -> BitSet {
+        BitSet::from_words(self.words.to_vec(), self.len)
+    }
+}
+
+impl PartialEq for BitSetRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.words == other.words
+    }
+}
+
+impl Eq for BitSetRef<'_> {}
+
+impl PartialEq<BitSet> for BitSetRef<'_> {
+    fn eq(&self, other: &BitSet) -> bool {
+        self.len == other.len() && self.words == other.as_words()
+    }
+}
+
+impl PartialEq<BitSetRef<'_>> for BitSet {
+    fn eq(&self, other: &BitSetRef<'_>) -> bool {
+        other == self
+    }
+}
+
+impl fmt::Debug for BitSetRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// `BitSetRef & BitSetRef` allocates the owned intersection.
+impl BitAnd for BitSetRef<'_> {
+    type Output = BitSet;
+
+    fn bitand(self, rhs: BitSetRef<'_>) -> BitSet {
+        assert_eq!(self.len, rhs.len, "universe mismatch");
+        let words = self
+            .words
+            .iter()
+            .zip(rhs.words)
+            .map(|(&a, &b)| a & b)
+            .collect();
+        BitSet::from_words(words, self.len)
+    }
+}
+
+/// Iterator over set bits; see [`BitSetRef::iter`].
+#[derive(Debug, Clone)]
+pub struct RefIter<'a> {
+    words: &'a [usize],
+    word_idx: usize,
+    current: usize,
+}
+
+impl Iterator for RefIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * BITS + bit);
+            }
+            self.word_idx += 1;
+            self.current = *self.words.get(self.word_idx)?;
+        }
+    }
+}
+
+impl<'a> IntoIterator for BitSetRef<'a> {
+    type Item = usize;
+    type IntoIter = RefIter<'a>;
+
+    fn into_iter(self) -> RefIter<'a> {
+        self.iter()
+    }
+}
+
+impl<'a> IntoIterator for &BitSetRef<'a> {
+    type Item = usize;
+    type IntoIter = RefIter<'a>;
+
+    fn into_iter(self) -> RefIter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BitMatrix, BitSet};
+
+    #[test]
+    fn view_of_bitset_matches_owner() {
+        let s = BitSet::from_indices(130, [0, 64, 129]);
+        let r = s.as_ref_set();
+        assert_eq!(r.len(), 130);
+        assert_eq!(r.count(), 3);
+        assert!(r.contains(64));
+        assert!(!r.contains(1));
+        assert!(!r.contains(500));
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+        assert_eq!(r.first(), Some(0));
+        assert_eq!(r, s);
+        assert_eq!(s, r);
+        assert_eq!(r.to_bitset(), s);
+    }
+
+    #[test]
+    fn matrix_row_view_is_zero_copy_equal_to_row_to_bitset() {
+        let mut m = BitMatrix::new(3, 90);
+        m.set(1, 2);
+        m.set(1, 89);
+        assert_eq!(m.row(1), m.row_to_bitset(1));
+        assert!(m.row(0).is_empty());
+        assert_eq!(m.row(1).iter().collect::<Vec<_>>(), vec![2, 89]);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = BitSet::from_indices(70, [3, 69]);
+        let b = BitSet::from_indices(70, [3, 10, 69]);
+        let c = BitSet::from_indices(70, [5]);
+        assert!(a.as_ref_set().is_subset(b.as_ref_set()));
+        assert!(!b.as_ref_set().is_subset(a.as_ref_set()));
+        assert!(a.as_ref_set().is_disjoint(c.as_ref_set()));
+        assert!(!a.as_ref_set().is_disjoint(b.as_ref_set()));
+    }
+
+    #[test]
+    fn bitand_yields_owned_intersection() {
+        let a = BitSet::from_indices(100, [1, 50, 99]);
+        let b = BitSet::from_indices(100, [50, 99]);
+        let both = a.as_ref_set() & b.as_ref_set();
+        assert_eq!(both.iter().collect::<Vec<_>>(), vec![50, 99]);
+        assert_eq!(both.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn subset_checks_universe() {
+        let a = BitSet::new(10);
+        let b = BitSet::new(11);
+        let _ = a.as_ref_set().is_subset(b.as_ref_set());
+    }
+
+    #[test]
+    fn empty_universe_view() {
+        let s = BitSet::new(0);
+        let r = s.as_ref_set();
+        assert!(r.is_empty());
+        assert_eq!(r.iter().count(), 0);
+    }
+}

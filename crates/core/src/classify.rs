@@ -62,7 +62,7 @@ pub struct MethodAdequacy {
 /// full terminal alphabet (so any state with a reduction plus anything else
 /// conflicts).
 fn lr0_lookaheads(grammar: &Grammar, lr0: &Lr0Automaton) -> LookaheadSets {
-    let mut las = LookaheadSets::new(grammar.terminal_count());
+    let mut las = LookaheadSets::for_automaton(lr0, grammar.terminal_count());
     let full = lalr_bitset::BitSet::full(grammar.terminal_count());
     for state in lr0.states() {
         for &prod in lr0.reductions(state) {

@@ -94,12 +94,18 @@ impl LalrAnalysis {
             digraph(relations.includes(), &mut follow)
         };
 
-        // Phase 3: LA(q, A→ω) = ⋃ Follow(p, A) over lookback.
-        let mut la = LookaheadSets::new(grammar.terminal_count());
-        for (&(state, prod), transitions) in relations.lookback_entries() {
-            la.touch(state, prod);
+        // Phase 3: LA(q, A→ω) = ⋃ Follow(p, A) over lookback. Pure dense
+        // index arithmetic: each union ORs a Follow matrix row straight
+        // into the LA matrix row of the reduction point — no hashing, no
+        // per-edge allocation.
+        let mut la = LookaheadSets::with_index(
+            relations.reduction_index().clone(),
+            grammar.terminal_count(),
+        );
+        for (rid, transitions) in relations.lookback_entries() {
+            la.touch_id(rid);
             for &t in transitions {
-                la.union_into(state, prod, &follow_row(&follow, t, grammar));
+                la.union_words(rid, follow.row_words(t.index()));
             }
         }
         // The augmented production has no lookback (no transition ever reads
@@ -167,19 +173,13 @@ impl LalrAnalysis {
     }
 }
 
-fn follow_row(follow: &BitMatrix, t: NtTransId, grammar: &Grammar) -> BitSet {
-    let row = follow.row_to_bitset(t.index());
-    debug_assert_eq!(row.len(), grammar.terminal_count());
-    row
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use lalr_automata::StateId;
     use lalr_grammar::{parse_grammar, ProdId, Symbol, Terminal};
 
-    fn names(g: &Grammar, set: &BitSet) -> Vec<String> {
+    fn names(g: &Grammar, set: lalr_bitset::BitSetRef<'_>) -> Vec<String> {
         set.iter()
             .map(|i| g.terminal_name(Terminal::new(i)).to_string())
             .collect()

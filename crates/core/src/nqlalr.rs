@@ -10,9 +10,7 @@
 //! spuriously rejected. [`NqlalrAnalysis`] reproduces the shortcut exactly
 //! so that experiment **E3** can exhibit the failure.
 
-use std::collections::HashMap;
-
-use lalr_automata::{Lr0Automaton, StateId};
+use lalr_automata::{Lr0Automaton, ReductionId, ReductionIndex, StateId};
 use lalr_bitset::BitMatrix;
 use lalr_digraph::{digraph, Graph};
 use lalr_grammar::analysis::nullable;
@@ -108,21 +106,23 @@ impl NqlalrAnalysis {
         digraph(&graph, &mut follow);
 
         // State-level lookback: LA(q, A→ω) = ⋃ NQFollow(GOTO(p, A)) over
-        // p --ω--> q.
-        let mut la = LookaheadSets::new(grammar.terminal_count());
-        let mut lookback: HashMap<(StateId, lalr_grammar::ProdId), Vec<usize>> = HashMap::new();
+        // p --ω--> q. Reduction points are dense ids, so the per-point
+        // source lists are one flat pair list instead of a keyed map (and
+        // the iteration below is deterministic, in dense-id order).
+        let reductions = ReductionIndex::from_lr0(lr0);
+        let mut la = LookaheadSets::with_index(reductions.clone(), grammar.terminal_count());
+        let mut lookback: Vec<(ReductionId, StateId)> = Vec::new();
         for t in lr0.nt_transitions() {
             for &pid in grammar.productions_of(t.nt) {
                 let rhs = grammar.production(pid).rhs();
                 let q = lr0.walk(t.from, rhs).expect("viable prefix");
-                lookback.entry((q, pid)).or_default().push(t.to.index());
+                let rid = reductions.id(q, pid).expect("walked bodies reduce");
+                lookback.push((rid, t.to));
             }
         }
-        for ((state, prod), sources) in lookback {
-            la.touch(state, prod);
-            for r in sources {
-                la.union_into(state, prod, &follow.row_to_bitset(r));
-            }
+        for &(rid, r) in &lookback {
+            la.touch_id(rid);
+            la.union_words(rid, follow.row_words(r.index()));
         }
         // Same accept special-case as the exact algorithm.
         la.insert(accept, lalr_grammar::ProdId::START, Terminal::EOF);
@@ -176,7 +176,7 @@ mod tests {
             let lr0 = Lr0Automaton::build(&g);
             let nq = NqlalrAnalysis::compute(&g, &lr0).into_lookaheads();
             let dp = LalrAnalysis::compute(&g, &lr0).into_lookaheads();
-            for (&(state, prod), la) in dp.iter() {
+            for ((state, prod), la) in dp.iter() {
                 let nq_la = nq.la(state, prod).expect("NQLALR covers reductions");
                 assert!(la.is_subset(nq_la), "at state {}", state.index());
             }

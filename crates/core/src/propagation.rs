@@ -11,12 +11,11 @@
 //! per kernel item and iterates, which is exactly the inefficiency the
 //! paper removes — this module is the timing baseline of experiment **E2**.
 
-use std::collections::HashMap;
-
 use lalr_automata::{closure1, Item, Lr0Automaton, StateId};
 use lalr_bitset::BitSet;
 use lalr_grammar::analysis::{nullable, FirstSets};
 use lalr_grammar::{Grammar, ProdId, Terminal};
+use rustc_hash::FxHashMap;
 
 use crate::lookahead::LookaheadSets;
 
@@ -46,7 +45,7 @@ pub fn propagation_lookaheads(grammar: &Grammar, lr0: &Lr0Automaton) -> Lookahea
     let dummy = n_real;
 
     // Enumerate kernel items: (state, item) → dense index.
-    let mut kernel_idx: HashMap<(StateId, Item), usize> = HashMap::new();
+    let mut kernel_idx: FxHashMap<(StateId, Item), usize> = FxHashMap::default();
     let mut kernels: Vec<(StateId, Item)> = Vec::new();
     for state in lr0.states() {
         for &item in lr0.kernel(state).items() {
@@ -105,7 +104,7 @@ pub fn propagation_lookaheads(grammar: &Grammar, lr0: &Lr0Automaton) -> Lookahea
 
     // Reductions of kernel items directly; reductions of non-kernel ε-items
     // via one more closure pass per state with the converged kernel LAs.
-    let mut out = LookaheadSets::new(n_real);
+    let mut out = LookaheadSets::for_automaton(lr0, n_real);
     for state in lr0.states() {
         let kernel_with_la: Vec<(Item, BitSet)> = lr0
             .kernel(state)

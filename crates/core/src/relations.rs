@@ -1,8 +1,6 @@
 //! The paper's four relations over nonterminal transitions.
 
-use std::collections::HashMap;
-
-use lalr_automata::{Lr0Automaton, NtTransId, StateId};
+use lalr_automata::{Lr0Automaton, NtTransId, ReductionId, ReductionIndex, StateId};
 use lalr_bitset::BitMatrix;
 use lalr_digraph::{tarjan_scc, Graph};
 use lalr_grammar::analysis::NullableSet;
@@ -52,8 +50,35 @@ pub struct Relations {
     dr: BitMatrix,
     reads: Graph,
     includes: Graph,
-    lookback: HashMap<(StateId, ProdId), Vec<NtTransId>>,
+    /// Dense enumeration of reduction points — the row space of lookback.
+    reductions: ReductionIndex,
+    /// CSR lookback: the transitions reduction point `r` looks back to are
+    /// `lookback_slab[lookback_offsets[r] .. lookback_offsets[r + 1]]`.
+    lookback_offsets: Vec<u32>,
+    lookback_slab: Vec<NtTransId>,
     nullable: NullableSet,
+}
+
+/// Scatters `(row, transition)` pairs into a CSR offsets+slab pair by a
+/// stable counting sort, preserving each row's pair order — so the slab
+/// layout is exactly what per-row `Vec` pushes in the same sequence would
+/// produce.
+fn lookback_csr(n_rows: usize, pairs: &[(u32, u32)]) -> (Vec<u32>, Vec<NtTransId>) {
+    let mut offsets = vec![0u32; n_rows + 1];
+    for &(r, _) in pairs {
+        offsets[r as usize + 1] += 1;
+    }
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut cursor: Vec<u32> = offsets[..n_rows].to_vec();
+    let mut slab = vec![NtTransId::new(0); pairs.len()];
+    for &(r, j) in pairs {
+        let c = &mut cursor[r as usize];
+        slab[*c as usize] = NtTransId::new(j as usize);
+        *c += 1;
+    }
+    (offsets, slab)
 }
 
 impl Relations {
@@ -125,8 +150,10 @@ impl Relations {
         struct ShardOut {
             reads: Vec<(u32, u32)>,
             includes: Vec<(u32, u32)>,
-            lookback: Vec<((StateId, ProdId), u32)>,
+            lookback: Vec<(u32, u32)>,
         }
+        let reductions = ReductionIndex::from_lr0(lr0);
+        let reductions_ref = &reductions;
         let nullable_ref = &nullable;
         let outputs: Vec<ShardOut> = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
@@ -171,7 +198,10 @@ impl Relations {
                                         .transition(state, sym)
                                         .expect("the automaton contains every viable prefix");
                                 }
-                                out.lookback.push(((state, pid), j as u32));
+                                let rid = reductions_ref
+                                    .id(state, pid)
+                                    .expect("a walked body ends in a reducing state");
+                                out.lookback.push((rid.index() as u32, j as u32));
                             }
                         }
                         out
@@ -186,7 +216,8 @@ impl Relations {
 
         let mut reads = Graph::new(n);
         let mut includes = Graph::new(n);
-        let mut lookback: HashMap<(StateId, ProdId), Vec<NtTransId>> = HashMap::new();
+        let mut lookback_pairs: Vec<(u32, u32)> =
+            Vec::with_capacity(outputs.iter().map(|o| o.lookback.len()).sum());
         for out in &outputs {
             for &(u, v) in &out.reads {
                 reads.add_edge(u as usize, v as usize);
@@ -194,19 +225,20 @@ impl Relations {
             for &(u, v) in &out.includes {
                 includes.add_edge_dedup(u as usize, v as usize);
             }
-            for &(key, j) in &out.lookback {
-                lookback
-                    .entry(key)
-                    .or_default()
-                    .push(NtTransId::new(j as usize));
-            }
+            // Shards partition the sequential iteration order, so the
+            // concatenation feeds the stable CSR scatter the exact pair
+            // sequence the sequential build produces.
+            lookback_pairs.extend_from_slice(&out.lookback);
         }
+        let (lookback_offsets, lookback_slab) = lookback_csr(reductions.len(), &lookback_pairs);
 
         Relations {
             dr,
             reads,
             includes,
-            lookback,
+            reductions,
+            lookback_offsets,
+            lookback_slab,
             nullable,
         }
     }
@@ -249,8 +281,9 @@ impl Relations {
         // source of a transition on its LHS:
         //   (p, A) includes (p', B)  iff  B → β A γ, γ ⇒* ε, p' --β--> p
         //   (q, A→ω) lookback (p, A) iff  p --ω--> q
+        let reductions = ReductionIndex::from_lr0(lr0);
         let mut includes = Graph::new(n);
-        let mut lookback: HashMap<(StateId, ProdId), Vec<NtTransId>> = HashMap::new();
+        let mut lookback_pairs: Vec<(u32, u32)> = Vec::new();
         for (j, t) in nts.iter().enumerate() {
             for &pid in grammar.productions_of(t.nt) {
                 let rhs = grammar.production(pid).rhs();
@@ -273,18 +306,21 @@ impl Relations {
                         .transition(state, sym)
                         .expect("the automaton contains every viable prefix");
                 }
-                lookback
-                    .entry((state, pid))
-                    .or_default()
-                    .push(NtTransId::new(j));
+                let rid = reductions
+                    .id(state, pid)
+                    .expect("a walked body ends in a reducing state");
+                lookback_pairs.push((rid.index() as u32, j as u32));
             }
         }
+        let (lookback_offsets, lookback_slab) = lookback_csr(reductions.len(), &lookback_pairs);
 
         Relations {
             dr,
             reads,
             includes,
-            lookback,
+            reductions,
+            lookback_offsets,
+            lookback_slab,
             nullable,
         }
     }
@@ -304,17 +340,40 @@ impl Relations {
         &self.includes
     }
 
-    /// The transitions `(p, A)` that reduction `(q, A→ω)` looks back to.
+    /// The dense enumeration of reduction points the lookback rows are
+    /// indexed by.
+    pub fn reduction_index(&self) -> &ReductionIndex {
+        &self.reductions
+    }
+
+    /// The lookback row of a reduction point, by dense id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn lookback_row(&self, id: ReductionId) -> &[NtTransId] {
+        let lo = self.lookback_offsets[id.index()] as usize;
+        let hi = self.lookback_offsets[id.index() + 1] as usize;
+        &self.lookback_slab[lo..hi]
+    }
+
+    /// The transitions `(p, A)` that reduction `(q, A→ω)` looks back to
+    /// (empty for pairs that are not reduction points).
     pub fn lookback(&self, state: StateId, prod: ProdId) -> &[NtTransId] {
-        self.lookback
-            .get(&(state, prod))
-            .map(Vec::as_slice)
+        self.reductions
+            .id(state, prod)
+            .map(|id| self.lookback_row(id))
             .unwrap_or(&[])
     }
 
-    /// Iterates over all lookback entries.
-    pub fn lookback_entries(&self) -> impl Iterator<Item = (&(StateId, ProdId), &Vec<NtTransId>)> {
-        self.lookback.iter()
+    /// Iterates the non-empty lookback rows in dense-id order.
+    pub fn lookback_entries(&self) -> impl Iterator<Item = (ReductionId, &[NtTransId])> {
+        (0..self.reductions.len()).filter_map(move |i| {
+            let id = ReductionId::new(i);
+            let row = self.lookback_row(id);
+            (!row.is_empty()).then_some((id, row))
+        })
     }
 
     /// The nullable set the relations were built with.
@@ -333,7 +392,7 @@ impl Relations {
             nt_transitions: self.reads.node_count(),
             reads_edges: self.reads.edge_count(),
             includes_edges: self.includes.edge_count(),
-            lookback_edges: self.lookback.values().map(Vec::len).sum(),
+            lookback_edges: self.lookback_slab.len(),
             reads_nontrivial_sccs: nontrivial(&reads_sizes)
                 + (0..self.reads.node_count())
                     .filter(|&i| {

@@ -80,7 +80,7 @@ pub fn inadequate_states(lr0: &Lr0Automaton) -> Vec<StateId> {
 /// let lr0 = Lr0Automaton::build(&g);
 /// let full = LalrAnalysis::compute(&g, &lr0).into_lookaheads();
 /// let sel = selective_lookaheads(&g, &lr0);
-/// for (&(state, prod), la) in sel.lookaheads().iter() {
+/// for ((state, prod), la) in sel.lookaheads().iter() {
 ///     assert_eq!(full.la(state, prod), Some(la));
 /// }
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -127,13 +127,18 @@ pub fn selective_lookaheads(grammar: &Grammar, lr0: &Lr0Automaton) -> SelectiveA
         (0..n).filter(|&i| is_root[i]),
     );
 
-    // LA for exactly the inadequate reductions.
-    let mut la = LookaheadSets::new(grammar.terminal_count());
+    // LA for exactly the inadequate reductions (the present bits of the
+    // dense collection record just these plus accept).
+    let mut la = LookaheadSets::with_index(
+        relations.reduction_index().clone(),
+        grammar.terminal_count(),
+    );
     for &state in &inadequate {
         for &prod in lr0.reductions(state) {
-            la.touch(state, prod);
+            let rid = la.id_of(state, prod).expect("reductions are indexed");
+            la.touch_id(rid);
             for &t in relations.lookback(state, prod) {
-                la.union_into(state, prod, &follow.row_to_bitset(t.index()));
+                la.union_words(rid, follow.row_words(t.index()));
             }
         }
     }
@@ -158,7 +163,7 @@ mod tests {
         let lr0 = Lr0Automaton::build(&g);
         let full = LalrAnalysis::compute(&g, &lr0).into_lookaheads();
         let sel = selective_lookaheads(&g, &lr0);
-        for (&(state, prod), la) in sel.lookaheads().iter() {
+        for ((state, prod), la) in sel.lookaheads().iter() {
             assert_eq!(
                 full.la(state, prod),
                 Some(la),

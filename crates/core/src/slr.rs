@@ -35,7 +35,7 @@ pub fn slr_lookaheads(grammar: &Grammar, lr0: &Lr0Automaton) -> LookaheadSets {
     let first = FirstSets::compute(grammar, &n);
     let follow = FollowSets::compute(grammar, &first);
 
-    let mut las = LookaheadSets::new(grammar.terminal_count());
+    let mut las = LookaheadSets::for_automaton(lr0, grammar.terminal_count());
     for state in lr0.states() {
         for &prod in lr0.reductions(state) {
             let lhs = grammar.production(prod).lhs();
@@ -65,7 +65,7 @@ mod tests {
             let lr0 = Lr0Automaton::build(&g);
             let slr = slr_lookaheads(&g, &lr0);
             let lalr = LalrAnalysis::compute(&g, &lr0).into_lookaheads();
-            for (&(state, prod), la) in lalr.iter() {
+            for ((state, prod), la) in lalr.iter() {
                 let slr_la = slr.la(state, prod).expect("SLR covers all reductions");
                 assert!(
                     la.is_subset(slr_la),

@@ -32,7 +32,7 @@ fn assert_all_methods_agree(name: &str, grammar: &Grammar) {
     // The oracle covers exactly the reachable reductions; DP covers every
     // syntactic reduction point (plus accept). Compare on the oracle's
     // domain and check DP's extras are unreachable-reduction empties.
-    for (&(state, prod), set) in merge_la.iter() {
+    for ((state, prod), set) in merge_la.iter() {
         let got = dp_la
             .la(state, prod)
             .unwrap_or_else(|| panic!("{name}: DP misses LA({}, {})", state.index(), prod.index()));
@@ -46,7 +46,7 @@ fn assert_all_methods_agree(name: &str, grammar: &Grammar) {
             set
         );
     }
-    for (&(state, prod), set) in dp_la.iter() {
+    for ((state, prod), set) in dp_la.iter() {
         if merge_la.la(state, prod).is_none() && prod != ProdId::START {
             assert!(
                 set.is_empty(),
@@ -117,7 +117,7 @@ fn selective_agrees_with_full_on_corpus_and_random() {
         let lr0 = Lr0Automaton::build(grammar);
         let full = dp(grammar, &lr0);
         let sel = lalr_core::selective_lookaheads(grammar, &lr0);
-        for (&(state, prod), la) in sel.lookaheads().iter() {
+        for ((state, prod), la) in sel.lookaheads().iter() {
             assert_eq!(
                 full.la(state, prod),
                 Some(la),
@@ -144,6 +144,54 @@ fn selective_agrees_with_full_on_corpus_and_random() {
     }
 }
 
+/// The dense-layout differential: on every corpus grammar, all five
+/// methods must tell the same story no matter how many threads the
+/// DeRemer–Pennello pipeline uses — parallel DP is bit-identical to
+/// sequential DP, both match yacc-style propagation and the merged-LR(1)
+/// oracle exactly, and SLR/NQLALR remain supersets. This pins down the
+/// dense `LookaheadSets` rows and the CSR lookback slab (including the
+/// sharded parallel merge) as result-identical representations.
+#[test]
+fn corpus_methods_agree_across_thread_counts() {
+    use lalr_core::Parallelism;
+    for entry in lalr_corpus::all_entries() {
+        let name = entry.name;
+        let g = entry.grammar();
+        let lr0 = Lr0Automaton::build(&g);
+        let seq = dp(&g, &lr0);
+        let prop_la = propagation_lookaheads(&g, &lr0);
+        let slr = lalr_core::slr_lookaheads(&g, &lr0);
+        let nq = lalr_core::NqlalrAnalysis::compute(&g, &lr0).into_lookaheads();
+        let merge_la = oracle(&g, &lr0);
+        for threads in [1usize, 2, 4, 8] {
+            let par =
+                LalrAnalysis::compute_with(&g, &lr0, &Parallelism::new(threads)).into_lookaheads();
+            assert_eq!(par, seq, "{name}: parallel({threads}) DP vs sequential DP");
+            assert_eq!(par, prop_la, "{name}: DP({threads}) vs propagation");
+            for ((state, prod), set) in merge_la.iter() {
+                assert_eq!(
+                    par.la(state, prod),
+                    Some(set),
+                    "{name}: DP({threads}) vs merged LR(1) at ({}, {})",
+                    state.index(),
+                    prod.index()
+                );
+            }
+            for ((state, prod), set) in par.iter() {
+                if prod == ProdId::START {
+                    continue;
+                }
+                if let Some(s) = slr.la(state, prod) {
+                    assert!(set.is_subset(s), "{name}: SLR ⊇ DP({threads})");
+                }
+                if let Some(s) = nq.la(state, prod) {
+                    assert!(set.is_subset(s), "{name}: NQLALR ⊇ DP({threads})");
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn slr_is_superset_and_nqlalr_is_superset_on_corpus() {
     for entry in lalr_corpus::all_entries() {
@@ -152,7 +200,7 @@ fn slr_is_superset_and_nqlalr_is_superset_on_corpus() {
         let dp_la = dp(&g, &lr0);
         let slr = lalr_core::slr_lookaheads(&g, &lr0);
         let nq = lalr_core::NqlalrAnalysis::compute(&g, &lr0).into_lookaheads();
-        for (&(state, prod), set) in dp_la.iter() {
+        for ((state, prod), set) in dp_la.iter() {
             if prod == ProdId::START {
                 continue; // accept special case is not an SLR reduction
             }

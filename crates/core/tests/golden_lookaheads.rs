@@ -18,7 +18,7 @@ fn state_of(g: &Grammar, lr0: &Lr0Automaton, names: &[&str]) -> StateId {
     lr0.walk(StateId::START, &symbols).expect("viable prefix")
 }
 
-fn la_names(g: &Grammar, set: &lalr_bitset::BitSet) -> Vec<String> {
+fn la_names(g: &Grammar, set: lalr_bitset::BitSetRef<'_>) -> Vec<String> {
     set.iter()
         .map(|i| g.terminal_name(Terminal::new(i)).to_string())
         .collect()
@@ -69,7 +69,7 @@ fn dragon_grammar_lookahead_totals() {
     let la = LalrAnalysis::compute(&g, &lr0).into_lookaheads();
     let by_prod: BTreeMap<usize, usize> = la
         .iter()
-        .map(|(&(_, p), set)| (p.index(), set.count()))
+        .map(|((_, p), set)| (p.index(), set.count()))
         .fold(BTreeMap::new(), |mut m, (p, c)| {
             *m.entry(p).or_default() += c;
             m

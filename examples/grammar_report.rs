@@ -59,8 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== LALR(1) look-ahead sets (first 12 reduction points) ==");
     let mut entries: Vec<_> = analysis.lookaheads().iter().collect();
-    entries.sort_by_key(|(&(s, p), _)| (s, p));
-    for (&(state, prod), la) in entries.iter().take(12) {
+    entries.sort_by_key(|&((s, p), _)| (s, p));
+    for &((state, prod), la) in entries.iter().take(12) {
         let names: Vec<&str> = la
             .iter()
             .map(|t| grammar.terminal_name(lalr::grammar::Terminal::new(t)))

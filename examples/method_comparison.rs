@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let agree_with_merge = merged
         .iter()
-        .all(|(&(s, p), set)| dp.la(s, p).is_some_and(|d| d == set));
+        .all(|((s, p), set)| dp.la(s, p).is_some_and(|d| d == set));
     println!(
         "DP == LR(1)-merge on reachable reductions: {}",
         if agree_with_merge { "yes" } else { "NO (bug!)" }

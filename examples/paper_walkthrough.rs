@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("LR(0) machine: {} states\n", lr0.state_count());
 
     let rel = Relations::build(&grammar, &lr0);
-    let names = |set: &lalr::bitset::BitSet| -> String {
+    let names = |set: lalr::bitset::BitSetRef<'_>| -> String {
         let v: Vec<&str> = set
             .iter()
             .map(|t| grammar.terminal_name(Terminal::new(t)))
@@ -36,11 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("nonterminal transitions and their DR sets:");
     for (i, _) in lr0.nt_transitions().iter().enumerate() {
         let id = NtTransId::new(i);
-        println!(
-            "  {:<10} DR = {}",
-            trans_name(id),
-            names(&rel.dr().row_to_bitset(i))
-        );
+        println!("  {:<10} DR = {}", trans_name(id), names(rel.dr().row(i)));
     }
 
     println!("\nreads edges:");
@@ -65,9 +61,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nlookback:");
-    let mut entries: Vec<_> = rel.lookback_entries().collect();
-    entries.sort_by_key(|(&(s, p), _)| (s, p));
-    for (&(state, prod), ts) in entries {
+    let mut entries: Vec<_> = rel
+        .lookback_entries()
+        .map(|(rid, ts)| (rel.reduction_index().point(rid), ts))
+        .collect();
+    entries.sort_by_key(|&((s, p), _)| (s, p));
+    for ((state, prod), ts) in entries {
         let targets: Vec<String> = ts.iter().map(|&t| trans_name(t)).collect();
         println!(
             "  ({}, {}) lookback {}",
@@ -84,15 +83,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {:<10} Read = {:<14} Follow = {}",
             trans_name(id),
-            names(&analysis.read_set(id)),
-            names(&analysis.follow_set(id))
+            names(analysis.read_set(id).as_ref_set()),
+            names(analysis.follow_set(id).as_ref_set())
         );
     }
 
     println!("\nLA sets:");
     let mut la: Vec<_> = analysis.lookaheads().iter().collect();
-    la.sort_by_key(|(&(s, p), _)| (s, p));
-    for (&(state, prod), set) in la {
+    la.sort_by_key(|&((s, p), _)| (s, p));
+    for ((state, prod), set) in la {
         println!(
             "  LA({}, {}) = {}",
             state.index(),

@@ -14,11 +14,12 @@ use lalr_grammar::Grammar;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-/// Lookback map flattened to a canonical, comparable form.
+/// Lookback CSR flattened to a canonical, comparable form.
 fn lookback_fingerprint(rel: &Relations) -> Vec<((usize, usize), Vec<usize>)> {
     let mut out: Vec<_> = rel
         .lookback_entries()
-        .map(|(&(state, prod), ts)| {
+        .map(|(rid, ts)| {
+            let (state, prod) = rel.reduction_index().point(rid);
             (
                 (state.index(), prod.index()),
                 ts.iter().map(|t| t.index()).collect::<Vec<_>>(),

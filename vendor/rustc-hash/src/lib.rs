@@ -1,0 +1,160 @@
+//! Vendored offline shim for the subset of `rustc-hash` this workspace uses.
+//!
+//! The build environment has no network access, so the real `rustc-hash`
+//! crate cannot be downloaded. This shim implements the classic `FxHasher`
+//! (the multiply-and-rotate hash used by the Rust compiler's interners):
+//! a fast, deterministic, non-cryptographic hasher. The hot-path maps that
+//! must remain maps (LR(0)/LR(1) state interning, merge-by-core) use it
+//! instead of `std`'s SipHash, which is DoS-resistant but several times
+//! slower on short keys — the DoS resistance buys nothing when hashing
+//! grammar-derived item sets.
+//!
+//! Determinism is a feature here: unlike `RandomState`, `FxHasher` has no
+//! per-process seed, so iteration-order-sensitive bugs reproduce exactly
+//! across runs (the workspace still never relies on map iteration order
+//! for results).
+
+#![forbid(unsafe_code)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// `BuildHasherDefault<FxHasher>`, the build-hasher for the Fx maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Rust compiler's multiply-and-rotate hasher.
+///
+/// Each word is folded in as `hash = (hash.rotate_left(5) ^ word) * SEED`
+/// where `SEED` is a 64-bit odd constant with good bit dispersion.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (head, rest) = bytes.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(head.try_into().expect("8 bytes")));
+            bytes = rest;
+        }
+        if bytes.len() >= 4 {
+            let (head, rest) = bytes.split_at(4);
+            self.add_to_hash(u64::from(u32::from_le_bytes(
+                head.try_into().expect("4 bytes"),
+            )));
+            bytes = rest;
+        }
+        if bytes.len() >= 2 {
+            let (head, rest) = bytes.split_at(2);
+            self.add_to_hash(u64::from(u16::from_le_bytes(
+                head.try_into().expect("2 bytes"),
+            )));
+            bytes = rest;
+        }
+        if let Some(&b) = bytes.first() {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of(v: impl Hash) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash_of((3u32, 17u32)), hash_of((3u32, 17u32)));
+        assert_eq!(hash_of("kernel"), hash_of("kernel"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash_of(1u64), hash_of(2u64));
+        assert_ne!(hash_of((1u32, 2u32)), hash_of((2u32, 1u32)));
+        assert_ne!(hash_of([1u8, 2, 3]), hash_of([1u8, 2, 4]));
+    }
+
+    #[test]
+    fn byte_slices_of_every_tail_length_hash() {
+        // Exercise the 8/4/2/1-byte folding tails. Starts at 1: a single
+        // zero byte is a fixed point of the fold (as in real `FxHasher`),
+        // so a leading 0 would collide with the empty input by design.
+        let data: Vec<u8> = (1u8..24).collect();
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..data.len() {
+            let mut h = FxHasher::default();
+            h.write(&data[..len]);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), data.len());
+    }
+
+    #[test]
+    fn fx_map_works_as_a_map() {
+        let mut m: FxHashMap<(u32, u32), &str> = FxHashMap::default();
+        m.insert((0, 1), "a");
+        m.insert((1, 0), "b");
+        assert_eq!(m.get(&(0, 1)), Some(&"a"));
+        assert_eq!(m.get(&(1, 0)), Some(&"b"));
+        assert_eq!(m.len(), 2);
+
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+    }
+}
