@@ -1,0 +1,200 @@
+//! Load generator for the `lalr-service` compilation service
+//! (EXPERIMENTS.md Table 8).
+//!
+//! Drives N client threads against an in-process [`Service`] with a
+//! mixed compile/classify/table/parse workload over the grammar corpus,
+//! and reports throughput plus latency percentiles for two arms:
+//!
+//! * **cold** — caching disabled, so every request pays the full
+//!   grammar → LR(0) → Read/Follow → tables pipeline;
+//! * **warm** — the default cache, pre-warmed with one pass over the
+//!   corpus, so steady-state requests are fingerprint lookups.
+//!
+//! ```text
+//! cargo run --release -p lalr-bench --bin loadgen              # 8 threads × 40 requests
+//! cargo run --release -p lalr-bench --bin loadgen -- 4 100     # 4 threads × 100 requests
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lalr_core::Parallelism;
+use lalr_service::{GrammarFormat, Request, Service, ServiceConfig};
+
+/// The request mix: for every corpus grammar one compile, one classify,
+/// one table, and (where a sentence exists) one parse.
+fn workload() -> Vec<Request> {
+    let mut requests = Vec::new();
+    for entry in lalr_corpus::all_entries() {
+        let grammar = entry.source.to_string();
+        requests.push(Request::Compile {
+            grammar: grammar.clone(),
+            format: GrammarFormat::Native,
+        });
+        requests.push(Request::Classify {
+            grammar: grammar.clone(),
+            format: GrammarFormat::Native,
+        });
+        requests.push(Request::Table {
+            grammar: grammar.clone(),
+            format: GrammarFormat::Native,
+            compressed: true,
+        });
+        let parsed = entry.grammar();
+        if let Some(sentence) = lalr_corpus::sentences::generate(&parsed, 7, 20) {
+            let input: Vec<&str> = sentence.iter().map(|&t| parsed.terminal_name(t)).collect();
+            requests.push(Request::Parse {
+                grammar,
+                format: GrammarFormat::Native,
+                input: input.join(" "),
+            });
+        }
+    }
+    requests
+}
+
+struct ArmResult {
+    name: &'static str,
+    requests: usize,
+    errors: u64,
+    elapsed: Duration,
+    p50: Duration,
+    p90: Duration,
+    p99: Duration,
+}
+
+impl ArmResult {
+    fn throughput(&self) -> f64 {
+        self.requests as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Runs one arm: `threads` clients, each issuing `per_thread` requests
+/// drawn round-robin (with a per-thread offset) from the workload.
+fn run_arm(
+    name: &'static str,
+    service: &Arc<Service>,
+    requests: &Arc<Vec<Request>>,
+    threads: usize,
+    per_thread: usize,
+) -> ArmResult {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let service = Arc::clone(service);
+            let requests = Arc::clone(requests);
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(per_thread);
+                let mut errors = 0u64;
+                for k in 0..per_thread {
+                    // Offset by thread so the arms exercise concurrent
+                    // requests for *different* grammars, not a convoy.
+                    let request = &requests[(t * 7 + k) % requests.len()];
+                    let call_start = Instant::now();
+                    let response = service.call(request.clone(), None);
+                    latencies.push(call_start.elapsed());
+                    if !response.is_ok() {
+                        errors += 1;
+                    }
+                }
+                (latencies, errors)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::with_capacity(threads * per_thread);
+    let mut errors = 0;
+    for h in handles {
+        let (l, e) = h.join().expect("client thread");
+        latencies.extend(l);
+        errors += e;
+    }
+    let elapsed = started.elapsed();
+    latencies.sort_unstable();
+    ArmResult {
+        name,
+        requests: latencies.len(),
+        errors,
+        elapsed,
+        p50: percentile(&latencies, 0.50),
+        p90: percentile(&latencies, 0.90),
+        p99: percentile(&latencies, 0.99),
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let per_thread: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+
+    let requests = Arc::new(workload());
+    eprintln!(
+        "loadgen: {threads} threads x {per_thread} requests, {} distinct requests in the mix",
+        requests.len()
+    );
+
+    // Cold arm: no cache, every request compiles.
+    let cold_service = Arc::new(Service::new(ServiceConfig {
+        workers: Parallelism::new(threads),
+        cache: None,
+        ..ServiceConfig::default()
+    }));
+    let cold = run_arm("cold", &cold_service, &requests, threads, per_thread);
+    cold_service.shutdown();
+
+    // Warm arm: default cache, pre-warmed with one sequential pass.
+    let warm_service = Arc::new(Service::new(ServiceConfig {
+        workers: Parallelism::new(threads),
+        ..ServiceConfig::default()
+    }));
+    for request in requests.iter() {
+        let response = warm_service.call(request.clone(), None);
+        assert!(response.is_ok(), "warm-up request failed: {response:?}");
+    }
+    let warm = run_arm("warm", &warm_service, &requests, threads, per_thread);
+    let stats = warm_service.stats();
+    warm_service.shutdown();
+
+    println!("| arm  | requests | errors | req/s | p50 (ms) | p90 (ms) | p99 (ms) |");
+    println!("|------|---------:|-------:|------:|---------:|---------:|---------:|");
+    for arm in [&cold, &warm] {
+        println!(
+            "| {} | {} | {} | {:.0} | {:.3} | {:.3} | {:.3} |",
+            arm.name,
+            arm.requests,
+            arm.errors,
+            arm.throughput(),
+            ms(arm.p50),
+            ms(arm.p90),
+            ms(arm.p99),
+        );
+    }
+    let speedup = warm.throughput() / cold.throughput();
+    println!();
+    println!("warm/cold throughput: {speedup:.1}x");
+    if let Some(cache) = stats.cache {
+        println!(
+            "warm-arm cache: {:.1}% hit rate ({} hits, {} misses, {} coalesced)",
+            cache.hit_rate() * 100.0,
+            cache.hits,
+            cache.misses,
+            cache.coalesced
+        );
+    }
+    if cold.errors + warm.errors > 0 {
+        eprintln!("loadgen: some requests failed");
+        std::process::exit(1);
+    }
+}

@@ -14,6 +14,9 @@
 //! lalrgen sentences <grammar> [n]        sample n random sentences
 //! lalrgen parse    <grammar> <input> [--number T] [--ident T] [--string T]
 //! lalrgen check    <grammar> <cases>  run a +/- accept/reject case file
+//! lalrgen serve    [--addr A] [--cache-mb N] [--max-conn N]   run the compile daemon
+//! lalrgen client   <op> [grammar] [--addr A] [--input S]      one request to a daemon
+//! lalrgen stats    [--addr A]                                 daemon statistics
 //! ```
 //!
 //! `<grammar>` is a path to a grammar file, or the name of a built-in
@@ -55,9 +58,18 @@ fn fail(message: impl Into<String>) -> CliError {
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: lalrgen <analyze|explain|classify|states|table|dot|codegen|sentences|check|parse> <grammar> [args] [--threads N]
+pub const USAGE: &str = "usage: lalrgen <command> <grammar> [args] [--threads N]
+  commands: analyze, explain, classify, states, table, dot, codegen,
+            sentences, check, parse, serve, client, stats
   <grammar> is a file path or a corpus name (try: expr, json, pascal, c_subset)
-  --threads N runs the look-ahead pipeline on N worker threads (same output, faster on large grammars)";
+  --threads N runs the look-ahead pipeline on N worker threads (same output, faster on large grammars)
+  serve  [--addr A] [--cache-mb N] [--max-conn N] [--deadline-ms N]  run the compile daemon
+  client <compile|classify|table|parse|stats|shutdown> [grammar]
+         [--addr A] [--input \"t t t\"] [--compressed] [--deadline-ms N] [--timeout-ms N]
+  stats  [--addr A]                                   daemon statistics snapshot";
+
+/// Every command name, for the unknown-command error.
+const COMMANDS: &str = "analyze, explain, classify, states, table, dot, codegen, sentences, check, parse, serve, client, stats";
 
 /// Loads a grammar from a corpus name or a file path. Files ending in
 /// `.y` are read with the yacc/bison reader (actions stripped).
@@ -115,9 +127,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "sentences" => cmd_sentences(rest),
         "check" => cmd_check(rest, &par),
         "parse" => cmd_parse(rest, &par),
+        "serve" => cmd_serve(rest, &par),
+        "client" => cmd_client(rest),
+        "stats" => cmd_stats(rest),
         "" | "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError {
-            message: format!("unknown command {other:?}\n{USAGE}"),
+            message: format!("unknown command {other:?} (available: {COMMANDS})\n{USAGE}"),
             code: 2,
         }),
     }
@@ -429,7 +444,11 @@ fn cmd_parse(args: &[String], par: &Parallelism) -> Result<String, CliError> {
             "--number" => builder = builder.number(&args[i + 1]),
             "--ident" => builder = builder.identifier(&args[i + 1]),
             "--string" => builder = builder.string(&args[i + 1]),
-            other => return Err(fail(format!("unknown flag {other:?}"))),
+            other => {
+                return Err(fail(format!(
+                    "unknown flag {other:?} for parse (available: --number, --ident, --string)"
+                )))
+            }
         }
         i += 2;
     }
@@ -439,6 +458,208 @@ fn cmd_parse(args: &[String], par: &Parallelism) -> Result<String, CliError> {
         Ok(tree) => Ok(format!("accepted\n{}\n", tree.to_sexpr(&table))),
         Err(e) => Err(fail(format!("rejected: {e}"))),
     }
+}
+
+// ---------------------------------------------------------------------------
+// The service daemon and its clients (`lalr-service`).
+
+/// Where `client` and `stats` connect when `--addr` is not given; the
+/// same default the daemon binds.
+const DEFAULT_ADDR: &str = "127.0.0.1:4077";
+
+fn flag_value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, CliError> {
+    args.get(i + 1)
+        .map(String::as_str)
+        .ok_or_else(|| fail(format!("{flag} needs a value")))
+}
+
+fn num_flag<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, CliError> {
+    value
+        .parse()
+        .map_err(|_| fail(format!("bad value {value:?} for {flag}")))
+}
+
+/// Loads grammar *text* (not a parsed grammar): the daemon compiles
+/// server-side, so the client ships source. Corpus names resolve to their
+/// embedded source; `.y` files are flagged for the yacc reader.
+fn grammar_text(arg: &str) -> Result<(String, lalr_service::GrammarFormat), CliError> {
+    if let Some(entry) = lalr_corpus::by_name(arg) {
+        return Ok((
+            entry.source.to_string(),
+            lalr_service::GrammarFormat::Native,
+        ));
+    }
+    let text =
+        std::fs::read_to_string(arg).map_err(|e| fail(format!("cannot read {arg:?}: {e}")))?;
+    let format = if arg.ends_with(".y") {
+        lalr_service::GrammarFormat::Yacc
+    } else {
+        lalr_service::GrammarFormat::Native
+    };
+    Ok((text, format))
+}
+
+/// `lalrgen serve`: binds the TCP daemon and blocks until an in-band
+/// `shutdown` request (or a bind error). The bound address is announced
+/// on stderr immediately — with `--addr 127.0.0.1:0` that line is how
+/// callers learn the picked port.
+fn cmd_serve(args: &[String], par: &Parallelism) -> Result<String, CliError> {
+    const FLAGS: &str = "--addr, --cache-mb, --max-conn, --deadline-ms, --threads";
+    let mut config = lalr_service::DaemonConfig {
+        addr: DEFAULT_ADDR.to_string(),
+        ..lalr_service::DaemonConfig::default()
+    };
+    let mut cache_mb: usize = 64;
+    let mut deadline_ms: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => config.addr = flag_value(args, i, "--addr")?.to_string(),
+            "--cache-mb" => cache_mb = num_flag(flag_value(args, i, "--cache-mb")?, "--cache-mb")?,
+            "--max-conn" => {
+                config.max_connections = num_flag(flag_value(args, i, "--max-conn")?, "--max-conn")?
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(num_flag(
+                    flag_value(args, i, "--deadline-ms")?,
+                    "--deadline-ms",
+                )?)
+            }
+            other => {
+                return Err(fail(format!(
+                    "unknown flag {other:?} for serve (available: {FLAGS})"
+                )))
+            }
+        }
+        i += 2;
+    }
+    // `--threads` sizes the worker pool; without it a server uses every
+    // core (unlike the one-shot commands, which default to sequential).
+    config.service.workers = if par.is_parallel() {
+        *par
+    } else {
+        Parallelism::available()
+    };
+    config.service.cache =
+        (cache_mb > 0).then(|| lalr_service::CacheConfig::with_budget(cache_mb << 20));
+    config.service.default_deadline = deadline_ms.map(std::time::Duration::from_millis);
+
+    let daemon = lalr_service::Daemon::start(config).map_err(|e| fail(format!("bind: {e}")))?;
+    eprintln!("serving on {}", daemon.addr());
+    let summary = daemon.join();
+    Ok(format!(
+        "served {} connection(s), {} request(s)\n",
+        summary.connections, summary.requests
+    ))
+}
+
+/// `lalrgen client`: one request to a running daemon; prints the raw
+/// response line. Errors from the daemon exit nonzero with the line on
+/// stderr.
+fn cmd_client(args: &[String]) -> Result<String, CliError> {
+    const OPS: &str = "compile, classify, table, parse, stats, shutdown";
+    const FLAGS: &str = "--addr, --input, --compressed, --deadline-ms, --timeout-ms";
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut input: Option<String> = None;
+    let mut compressed = false;
+    let mut deadline_ms: Option<u64> = None;
+    let mut timeout_ms: u64 = 30_000;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = flag_value(args, i, "--addr")?.to_string();
+                i += 2;
+            }
+            "--input" => {
+                input = Some(flag_value(args, i, "--input")?.to_string());
+                i += 2;
+            }
+            "--compressed" => {
+                compressed = true;
+                i += 1;
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(num_flag(
+                    flag_value(args, i, "--deadline-ms")?,
+                    "--deadline-ms",
+                )?);
+                i += 2;
+            }
+            "--timeout-ms" => {
+                timeout_ms = num_flag(flag_value(args, i, "--timeout-ms")?, "--timeout-ms")?;
+                i += 2;
+            }
+            other if other.starts_with("--") => {
+                return Err(fail(format!(
+                    "unknown flag {other:?} for client (available: {FLAGS})"
+                )))
+            }
+            other => {
+                positional.push(other);
+                i += 1;
+            }
+        }
+    }
+    let op = *positional
+        .first()
+        .ok_or_else(|| fail(format!("client needs an op (available: {OPS})")))?;
+    let request = match op {
+        "stats" => lalr_service::Request::Stats,
+        "shutdown" => lalr_service::Request::Shutdown,
+        "compile" | "classify" | "table" | "parse" => {
+            let name = positional.get(1).ok_or_else(|| {
+                fail(format!(
+                    "client {op} needs a grammar (file path or corpus name)"
+                ))
+            })?;
+            let (grammar, format) = grammar_text(name)?;
+            match op {
+                "compile" => lalr_service::Request::Compile { grammar, format },
+                "classify" => lalr_service::Request::Classify { grammar, format },
+                "table" => lalr_service::Request::Table {
+                    grammar,
+                    format,
+                    compressed,
+                },
+                _ => lalr_service::Request::Parse {
+                    grammar,
+                    format,
+                    input: input
+                        .clone()
+                        .ok_or_else(|| fail("client parse needs --input \"tok tok …\""))?,
+                },
+            }
+        }
+        other => {
+            return Err(fail(format!(
+                "unknown client op {other:?} (available: {OPS})"
+            )))
+        }
+    };
+    let reply = lalr_service::client::call(
+        &addr,
+        &request,
+        deadline_ms.map(std::time::Duration::from_millis),
+        std::time::Duration::from_millis(timeout_ms),
+    )
+    .map_err(|e| fail(e.to_string()))?;
+    if reply.is_ok() {
+        Ok(format!("{}\n", reply.raw))
+    } else {
+        Err(CliError {
+            message: reply.raw,
+            code: 1,
+        })
+    }
+}
+
+/// `lalrgen stats`: shorthand for `client stats`.
+fn cmd_stats(args: &[String]) -> Result<String, CliError> {
+    let mut forwarded = vec!["stats".to_string()];
+    forwarded.extend(args.iter().cloned());
+    cmd_client(&forwarded)
 }
 
 #[cfg(test)]
@@ -456,6 +677,64 @@ mod tests {
         assert!(run_strs(&["help"]).unwrap().contains("usage"));
         let err = run_strs(&["frobnicate"]).unwrap_err();
         assert_eq!(err.code, 2);
+        // The error itself enumerates what *is* available.
+        assert!(
+            err.message.contains("available: analyze,"),
+            "{}",
+            err.message
+        );
+        assert!(err.message.contains("serve"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_flags_list_the_available_ones() {
+        let err = run_strs(&["parse", "expr", "1", "--wat", "x"]).unwrap_err();
+        assert!(
+            err.message.contains("available: --number"),
+            "{}",
+            err.message
+        );
+        let err = run_strs(&["serve", "--wat"]).unwrap_err();
+        assert!(err.message.contains("available: --addr"), "{}", err.message);
+        let err = run_strs(&["client", "compile", "expr", "--wat"]).unwrap_err();
+        assert!(err.message.contains("available: --addr"), "{}", err.message);
+    }
+
+    #[test]
+    fn client_validates_op_and_arguments() {
+        let err = run_strs(&["client"]).unwrap_err();
+        assert!(
+            err.message.contains("available: compile"),
+            "{}",
+            err.message
+        );
+        let err = run_strs(&["client", "frobnicate"]).unwrap_err();
+        assert!(
+            err.message.contains("available: compile"),
+            "{}",
+            err.message
+        );
+        let err = run_strs(&["client", "compile"]).unwrap_err();
+        assert!(err.message.contains("needs a grammar"), "{}", err.message);
+        let err = run_strs(&["client", "parse", "expr"]).unwrap_err();
+        assert!(err.message.contains("--input"), "{}", err.message);
+        let err = run_strs(&["serve", "--cache-mb", "many"]).unwrap_err();
+        assert!(err.message.contains("bad value"), "{}", err.message);
+    }
+
+    #[test]
+    fn client_without_a_daemon_reports_io_error() {
+        // Nothing listens on this port; the client must fail cleanly.
+        let err = run_strs(&[
+            "client",
+            "stats",
+            "--addr",
+            "127.0.0.1:1",
+            "--timeout-ms",
+            "300",
+        ])
+        .unwrap_err();
+        assert!(err.message.contains("127.0.0.1:1"), "{}", err.message);
     }
 
     #[test]

@@ -21,7 +21,61 @@ fn help_exits_zero() {
 fn unknown_command_exits_two() {
     let out = lalrgen(&["bogus"]);
     assert_eq!(out.status.code(), Some(2));
-    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+    assert!(stderr.contains("available: analyze,"), "{stderr}");
+}
+
+/// The full daemon lifecycle through the binary alone: serve on an
+/// ephemeral port, compile through the client (cold then warm), read
+/// stats, shut down in-band, and verify the server exits zero.
+#[test]
+fn serve_client_stats_shutdown_round_trip() {
+    use std::io::BufRead;
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_lalrgen"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("server starts");
+
+    // The daemon announces its picked port on stderr before accepting.
+    let mut stderr = std::io::BufReader::new(server.stderr.take().unwrap());
+    let mut line = String::new();
+    stderr.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("serving on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_string();
+
+    let client = |args: &[&str]| -> String {
+        let out = lalrgen(&[&["client"], args, &["--addr", &addr]].concat());
+        assert!(
+            out.status.success(),
+            "client {args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    let cold = client(&["compile", "expr"]);
+    assert!(cold.contains("\"cached\":false"), "{cold}");
+    let warm = client(&["compile", "expr"]);
+    assert!(warm.contains("\"cached\":true"), "{warm}");
+
+    let parse = client(&["parse", "expr", "--input", "NUM + NUM * NUM"]);
+    assert!(parse.contains("\"accepted\":true"), "{parse}");
+
+    let stats = lalrgen(&["stats", "--addr", &addr]);
+    assert!(stats.status.success());
+    let stats = String::from_utf8_lossy(&stats.stdout);
+    assert!(stats.contains("\"hits\":"), "{stats}");
+
+    client(&["shutdown"]);
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "server exit: {status:?}");
 }
 
 #[test]

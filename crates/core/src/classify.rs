@@ -123,52 +123,59 @@ pub fn classify(grammar: &Grammar) -> MethodAdequacy {
 /// identical to the sequential run.
 pub fn classify_with(grammar: &Grammar, parallelism: &crate::Parallelism) -> MethodAdequacy {
     let lr0 = Lr0Automaton::build(grammar);
+    let analysis = LalrAnalysis::compute_with(grammar, &lr0, parallelism);
+    classify_from(grammar, &lr0, &analysis, parallelism)
+}
 
-    let (lr0_c, slr_c, nq_c, analysis, lr1_c);
+/// Classifies from a prebuilt LR(0) automaton and DeRemer–Pennello
+/// analysis, running only the remaining four methods (LR(0)/SLR/NQLALR
+/// baselines and the canonical-LR(1) build). This is what `lalr-service`
+/// uses so a cached compile never recomputes the automaton or the
+/// look-ahead sets; [`classify_with`] is now a thin wrapper over it and
+/// the counts are identical either way.
+pub fn classify_from(
+    grammar: &Grammar,
+    lr0: &Lr0Automaton,
+    analysis: &LalrAnalysis,
+    parallelism: &crate::Parallelism,
+) -> MethodAdequacy {
+    let (lr0_c, slr_c, nq_c, lr1_c);
     if parallelism.is_parallel() {
-        let lr0_ref = &lr0;
-        (lr0_c, slr_c, nq_c, analysis, lr1_c) = std::thread::scope(|scope| {
+        (lr0_c, slr_c, nq_c, lr1_c) = std::thread::scope(|scope| {
             let lr1_h = scope.spawn(move || {
                 let lr1 = Lr1Automaton::build(grammar);
                 lr1_conflicts(grammar, &lr1)
             });
-            let lr0_h = scope.spawn(move || {
-                find_conflicts(grammar, lr0_ref, &lr0_lookaheads(grammar, lr0_ref)).len()
-            });
-            let slr_h = scope.spawn(move || {
-                find_conflicts(grammar, lr0_ref, &slr_lookaheads(grammar, lr0_ref)).len()
-            });
-            let nq_h = scope.spawn(move || {
-                find_conflicts(
-                    grammar,
-                    lr0_ref,
-                    NqlalrAnalysis::compute(grammar, lr0_ref).lookaheads(),
-                )
-                .len()
-            });
-            let analysis = LalrAnalysis::compute_with(grammar, lr0_ref, parallelism);
+            let lr0_h = scope
+                .spawn(move || find_conflicts(grammar, lr0, &lr0_lookaheads(grammar, lr0)).len());
+            let slr_h = scope
+                .spawn(move || find_conflicts(grammar, lr0, &slr_lookaheads(grammar, lr0)).len());
+            let nq_c = find_conflicts(
+                grammar,
+                lr0,
+                NqlalrAnalysis::compute(grammar, lr0).lookaheads(),
+            )
+            .len();
             (
                 lr0_h.join().expect("lr0 baseline panicked"),
                 slr_h.join().expect("slr baseline panicked"),
-                nq_h.join().expect("nqlalr baseline panicked"),
-                analysis,
+                nq_c,
                 lr1_h.join().expect("lr1 build panicked"),
             )
         });
     } else {
         let lr1 = Lr1Automaton::build(grammar);
-        lr0_c = find_conflicts(grammar, &lr0, &lr0_lookaheads(grammar, &lr0)).len();
-        slr_c = find_conflicts(grammar, &lr0, &slr_lookaheads(grammar, &lr0)).len();
+        lr0_c = find_conflicts(grammar, lr0, &lr0_lookaheads(grammar, lr0)).len();
+        slr_c = find_conflicts(grammar, lr0, &slr_lookaheads(grammar, lr0)).len();
         nq_c = find_conflicts(
             grammar,
-            &lr0,
-            NqlalrAnalysis::compute(grammar, &lr0).lookaheads(),
+            lr0,
+            NqlalrAnalysis::compute(grammar, lr0).lookaheads(),
         )
         .len();
-        analysis = LalrAnalysis::compute(grammar, &lr0);
         lr1_c = lr1_conflicts(grammar, &lr1);
     }
-    let lalr_c = analysis.conflicts(grammar, &lr0).len();
+    let lalr_c = analysis.conflicts(grammar, lr0).len();
 
     let class = if lr0_c == 0 {
         GrammarClass::Lr0

@@ -1,0 +1,241 @@
+//! The unit the cache stores: one grammar, fully compiled.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use lalr_automata::Lr0Automaton;
+use lalr_core::{classify_from, LalrAnalysis, LookaheadSets, MethodAdequacy, Parallelism};
+use lalr_grammar::Grammar;
+use lalr_tables::{build_table, CompressedTable, ParseTable, TableOptions};
+
+use crate::error::ServiceError;
+
+/// How a grammar text should be read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GrammarFormat {
+    /// The native `lalr-grammar` text format.
+    #[default]
+    Native,
+    /// yacc/bison syntax (actions stripped), as `lalrgen` does for `.y`
+    /// files.
+    Yacc,
+}
+
+/// Everything the pipeline produces for one grammar, bundled so a cache
+/// hit answers *any* request kind — compile, classify, table, or parse —
+/// without touching the engine again.
+#[derive(Debug)]
+pub struct CompiledArtifact {
+    fingerprint: u64,
+    grammar: Grammar,
+    lr0: Lr0Automaton,
+    lookaheads: LookaheadSets,
+    adequacy: MethodAdequacy,
+    table: ParseTable,
+    compressed: CompressedTable,
+    approx_bytes: usize,
+}
+
+impl CompiledArtifact {
+    /// Runs the full pipeline — parse → LR(0) → DeRemer–Pennello →
+    /// classification → dense + compressed tables — under `catch_unwind`,
+    /// so an engine bug becomes a [`ServiceError::Panicked`] response
+    /// instead of a dead worker.
+    pub fn compile(
+        text: &str,
+        format: GrammarFormat,
+        fingerprint: u64,
+        pipeline: &Parallelism,
+    ) -> Result<CompiledArtifact, ServiceError> {
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            Self::compile_inner(text, format, fingerprint, pipeline)
+        }));
+        match result {
+            Ok(r) => r,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                Err(ServiceError::Panicked(msg))
+            }
+        }
+    }
+
+    fn compile_inner(
+        text: &str,
+        format: GrammarFormat,
+        fingerprint: u64,
+        pipeline: &Parallelism,
+    ) -> Result<CompiledArtifact, ServiceError> {
+        let parsed = match format {
+            GrammarFormat::Native => lalr_grammar::parse_grammar(text),
+            GrammarFormat::Yacc => lalr_grammar::parse_yacc(text),
+        };
+        let grammar = parsed.map_err(|e| ServiceError::BadGrammar(e.to_string()))?;
+        let lr0 = Lr0Automaton::build(&grammar);
+        let analysis = LalrAnalysis::compute_with(&grammar, &lr0, pipeline);
+        let adequacy = classify_from(&grammar, &lr0, &analysis, pipeline);
+        let table = build_table(
+            &grammar,
+            &lr0,
+            analysis.lookaheads(),
+            TableOptions::default(),
+        );
+        let compressed = CompressedTable::from_dense(&table);
+        let mut artifact = CompiledArtifact {
+            fingerprint,
+            grammar,
+            lr0,
+            lookaheads: analysis.into_lookaheads(),
+            adequacy,
+            table,
+            compressed,
+            approx_bytes: 0,
+        };
+        artifact.approx_bytes = artifact.estimate_bytes();
+        Ok(artifact)
+    }
+
+    /// Estimated resident size, used for the cache's byte budget.
+    ///
+    /// An estimate, not an exact heap measurement: it sums the dominant
+    /// dense structures (tables, look-ahead bit rows, automaton items and
+    /// transitions) from their element counts and sizes, ignoring
+    /// per-allocation overhead and small metadata. Relative sizes between
+    /// artifacts — which is what LRU accounting needs — track reality.
+    fn estimate_bytes(&self) -> usize {
+        use std::mem::size_of;
+
+        let ts = self.table.stats();
+        let dense_table = ts.states * ts.terminals * size_of::<lalr_tables::Action>()
+            + ts.states * ts.nonterminals * size_of::<u32>();
+        let compressed_table = self.compressed.explicit_entries()
+            * (size_of::<u32>() + size_of::<lalr_tables::Action>())
+            + self.compressed.state_count() * 2 * size_of::<lalr_tables::Action>();
+        let la_words = self.lookaheads.reduction_count()
+            * self
+                .lookaheads
+                .terminal_count()
+                .div_ceil(usize::BITS as usize)
+            * size_of::<usize>();
+        let mut automaton = 0usize;
+        for state in self.lr0.states() {
+            automaton += self.lr0.kernel(state).items().len() * 8
+                + self.lr0.transitions(state).len() * 12
+                + self.lr0.reductions(state).len() * 4
+                + 32;
+        }
+        let grammar = self.grammar.size() * 8
+            + self.grammar.production_count() * 48
+            + self.grammar.symbol_count() * 24;
+        let strings: usize = (0..self.table.production_count())
+            .map(|p| self.table.production(p as u32).display.len())
+            .sum();
+        dense_table + compressed_table + la_words + automaton + grammar + strings
+    }
+
+    /// Fingerprint of the normalized cache-key text.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The parsed grammar.
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// The LR(0) automaton.
+    pub fn lr0(&self) -> &Lr0Automaton {
+        &self.lr0
+    }
+
+    /// The LALR(1) look-ahead sets.
+    pub fn lookaheads(&self) -> &LookaheadSets {
+        &self.lookaheads
+    }
+
+    /// Per-method conflict counts and the grammar class.
+    pub fn adequacy(&self) -> &MethodAdequacy {
+        &self.adequacy
+    }
+
+    /// The dense ACTION/GOTO table (conflicts resolved yacc-style).
+    pub fn table(&self) -> &ParseTable {
+        &self.table
+    }
+
+    /// The default-reduction-compressed table.
+    pub fn compressed(&self) -> &CompressedTable {
+        &self.compressed
+    }
+
+    /// Estimated resident bytes (cache accounting unit).
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_a_grammar_end_to_end() {
+        let a = CompiledArtifact::compile(
+            "e : e \"+\" t | t ; t : \"x\" ;",
+            GrammarFormat::Native,
+            7,
+            &Parallelism::sequential(),
+        )
+        .unwrap();
+        assert_eq!(a.fingerprint(), 7);
+        assert_eq!(a.adequacy().lalr_conflicts, 0);
+        assert!(a.table().state_count() > 4);
+        assert!(a.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn bad_grammar_is_a_structured_error() {
+        let err = CompiledArtifact::compile(
+            "e : : ;",
+            GrammarFormat::Native,
+            0,
+            &Parallelism::sequential(),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "bad_grammar");
+    }
+
+    #[test]
+    fn yacc_format_is_supported() {
+        let a = CompiledArtifact::compile(
+            "%token NUM\n%%\ne : e '+' NUM | NUM ;\n",
+            GrammarFormat::Yacc,
+            0,
+            &Parallelism::sequential(),
+        )
+        .unwrap();
+        assert!(a.grammar().terminal_count() >= 2);
+    }
+
+    #[test]
+    fn bigger_grammars_estimate_bigger() {
+        let small = CompiledArtifact::compile(
+            "s : \"a\" ;",
+            GrammarFormat::Native,
+            0,
+            &Parallelism::sequential(),
+        )
+        .unwrap();
+        let big = CompiledArtifact::compile(
+            "e : e \"+\" t | e \"-\" t | t ; t : t \"*\" f | t \"/\" f | f ; \
+             f : \"(\" e \")\" | \"id\" | \"num\" ;",
+            GrammarFormat::Native,
+            0,
+            &Parallelism::sequential(),
+        )
+        .unwrap();
+        assert!(big.approx_bytes() > small.approx_bytes());
+    }
+}

@@ -1,0 +1,362 @@
+//! The content-addressed artifact cache.
+//!
+//! Keying: requests are normalized ([`crate::fingerprint::normalize`]),
+//! FxHash-fingerprinted, and *confirmed* by full-text comparison — the
+//! hash-then-confirm idiom of the LR(0) kernel interner, so a fingerprint
+//! collision costs one string compare, never a wrong artifact.
+//!
+//! Concurrency: the cache is sharded by fingerprint and each shard has
+//! its own mutex, so compiles of *different* grammars never serialize on
+//! a cache lock. Duplicate in-flight compiles of the *same* grammar
+//! coalesce: the first requester becomes the leader and runs the
+//! pipeline (outside any lock); the rest block on a condvar and receive
+//! the leader's `Arc` (or its error).
+//!
+//! Eviction: least-recently-used under a byte budget, split evenly
+//! across shards. Each artifact is accounted at its
+//! [`CompiledArtifact::approx_bytes`]; an artifact bigger than a whole
+//! shard budget is returned to the caller but never inserted, so a
+//! shard's resident bytes never exceed its budget.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use rustc_hash::FxHashMap;
+
+use crate::artifact::CompiledArtifact;
+use crate::error::ServiceError;
+use crate::fingerprint::{fx_fingerprint, normalize};
+
+/// Hash function used to fingerprint normalized grammar texts.
+///
+/// Swappable (see [`CacheConfig::fingerprinter`]) so tests can force
+/// collisions and exercise the full-text confirmation path.
+pub type Fingerprinter = fn(&str) -> u64;
+
+/// Cache tuning knobs.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Total byte budget across all shards.
+    pub byte_budget: usize,
+    /// Number of lock stripes (clamped to at least 1).
+    pub shards: usize,
+    /// The fingerprint hash; defaults to FxHash64.
+    pub fingerprinter: Fingerprinter,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            byte_budget: 64 << 20,
+            shards: 8,
+            fingerprinter: fx_fingerprint,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A budget in bytes with default sharding.
+    pub fn with_budget(byte_budget: usize) -> Self {
+        CacheConfig {
+            byte_budget,
+            ..CacheConfig::default()
+        }
+    }
+}
+
+/// Counter snapshot (all counters are cumulative since construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from a committed entry.
+    pub hits: u64,
+    /// Lookups that found nothing and became compile leaders.
+    pub misses: u64,
+    /// Lookups that joined an in-flight compile instead of starting one.
+    pub coalesced: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Pipeline runs actually executed (`misses` minus compiles that
+    /// failed before insertion equals committed entries over time).
+    pub compiles: u64,
+    /// Committed entries right now.
+    pub entries: usize,
+    /// Resident accounted bytes right now.
+    pub bytes: usize,
+}
+
+impl CacheStats {
+    /// Hit rate over all cache lookups (hits + misses + coalesced).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.coalesced;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// How a lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from a committed entry.
+    Hit,
+    /// This call ran the compile pipeline.
+    Compiled,
+    /// Joined another thread's in-flight compile.
+    Coalesced,
+}
+
+struct Entry {
+    text: Arc<str>,
+    artifact: Arc<CompiledArtifact>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct InFlight {
+    text: Arc<str>,
+    state: Mutex<Option<Result<Arc<CompiledArtifact>, ServiceError>>>,
+    done: Condvar,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: FxHashMap<u64, Vec<Entry>>,
+    in_flight: FxHashMap<u64, Vec<Arc<InFlight>>>,
+    bytes: usize,
+}
+
+/// The content-addressed, lock-striped, coalescing LRU artifact cache.
+pub struct ArtifactCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: usize,
+    fingerprinter: Fingerprinter,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
+    compiles: AtomicU64,
+}
+
+impl std::fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("ArtifactCache")
+            .field("shards", &self.shards.len())
+            .field("shard_budget", &self.shard_budget)
+            .field("stats", &s)
+            .finish()
+    }
+}
+
+impl ArtifactCache {
+    /// Creates a cache from the configuration.
+    pub fn new(config: CacheConfig) -> ArtifactCache {
+        let shards = config.shards.max(1);
+        ArtifactCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: config.byte_budget / shards,
+            fingerprinter: config.fingerprinter,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, fp: u64) -> &Mutex<Shard> {
+        // The bucket key is the full fingerprint; routing on the high bits
+        // keeps shard choice independent of any low-bit bucket structure.
+        &self.shards[(fp >> 32) as usize % self.shards.len()]
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Looks up `text` (normalizing first), compiling via `compile` on a
+    /// miss. Concurrent calls with the same normalized text coalesce onto
+    /// one `compile` run; its result (success or failure) is delivered to
+    /// every caller.
+    pub fn get_or_compile<F>(
+        &self,
+        text: &str,
+        compile: F,
+    ) -> (Result<Arc<CompiledArtifact>, ServiceError>, CacheOutcome)
+    where
+        F: FnOnce(&str, u64) -> Result<CompiledArtifact, ServiceError>,
+    {
+        let normalized = normalize(text);
+        let fp = (self.fingerprinter)(&normalized);
+
+        // Phase 1: under the shard lock, find a committed entry, join an
+        // in-flight compile, or become the leader.
+        let flight: Arc<InFlight>;
+        {
+            let mut shard = self.shard_of(fp).lock().expect("cache shard poisoned");
+            if let Some(bucket) = shard.entries.get_mut(&fp) {
+                // Confirm by full text: a colliding fingerprint must not
+                // serve another grammar's artifact.
+                let tick = self.next_tick();
+                if let Some(e) = bucket.iter_mut().find(|e| *e.text == normalized) {
+                    e.last_used = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (Ok(Arc::clone(&e.artifact)), CacheOutcome::Hit);
+                }
+            }
+            if let Some(waiting) = shard.in_flight.get(&fp) {
+                if let Some(f) = waiting.iter().find(|f| *f.text == normalized) {
+                    let f = Arc::clone(f);
+                    drop(shard);
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    return (Self::wait(&f), CacheOutcome::Coalesced);
+                }
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            flight = Arc::new(InFlight {
+                text: Arc::from(normalized.as_str()),
+                state: Mutex::new(None),
+                done: Condvar::new(),
+            });
+            shard
+                .in_flight
+                .entry(fp)
+                .or_default()
+                .push(Arc::clone(&flight));
+        }
+
+        // Phase 2: leader compiles outside every lock.
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        let result = compile(&normalized, fp).map(Arc::new);
+
+        // Phase 3: commit, wake waiters, evict.
+        {
+            let mut shard = self.shard_of(fp).lock().expect("cache shard poisoned");
+            if let Some(waiting) = shard.in_flight.get_mut(&fp) {
+                waiting.retain(|f| !Arc::ptr_eq(f, &flight));
+                if waiting.is_empty() {
+                    shard.in_flight.remove(&fp);
+                }
+            }
+            if let Ok(artifact) = &result {
+                let bytes = artifact.approx_bytes();
+                if bytes <= self.shard_budget {
+                    let tick = self.next_tick();
+                    shard.entries.entry(fp).or_default().push(Entry {
+                        text: Arc::clone(&flight.text),
+                        artifact: Arc::clone(artifact),
+                        bytes,
+                        last_used: tick,
+                    });
+                    shard.bytes += bytes;
+                    self.evict(&mut shard, tick);
+                }
+            }
+        }
+        *flight.state.lock().expect("in-flight slot poisoned") = Some(result.clone());
+        flight.done.notify_all();
+
+        (result, CacheOutcome::Compiled)
+    }
+
+    fn wait(flight: &InFlight) -> Result<Arc<CompiledArtifact>, ServiceError> {
+        let mut slot = flight.state.lock().expect("in-flight slot poisoned");
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = flight.done.wait(slot).expect("in-flight slot poisoned");
+        }
+    }
+
+    /// Evicts least-recently-used entries until the shard fits its
+    /// budget; the entry stamped `keep_tick` (the one just inserted) is
+    /// never evicted by its own insertion.
+    fn evict(&self, shard: &mut Shard, keep_tick: u64) {
+        while shard.bytes > self.shard_budget {
+            let victim = shard
+                .entries
+                .iter()
+                .flat_map(|(fp, bucket)| bucket.iter().map(move |e| (*fp, e.last_used)))
+                .filter(|&(_, used)| used != keep_tick)
+                .min_by_key(|&(_, used)| used);
+            let Some((fp, used)) = victim else { break };
+            let bucket = shard.entries.get_mut(&fp).expect("victim bucket exists");
+            let idx = bucket
+                .iter()
+                .position(|e| e.last_used == used)
+                .expect("victim entry exists");
+            let entry = bucket.swap_remove(idx);
+            if bucket.is_empty() {
+                shard.entries.remove(&fp);
+            }
+            shard.bytes -= entry.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether a committed entry exists for `text` (no use-stamp update).
+    pub fn contains(&self, text: &str) -> bool {
+        let normalized = normalize(text);
+        let fp = (self.fingerprinter)(&normalized);
+        let shard = self.shard_of(fp).lock().expect("cache shard poisoned");
+        shard
+            .entries
+            .get(&fp)
+            .is_some_and(|b| b.iter().any(|e| *e.text == normalized))
+    }
+
+    /// Committed entry count.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("cache shard poisoned")
+                    .entries
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// `true` when no entries are committed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resident accounted bytes.
+    pub fn bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").bytes)
+            .sum()
+    }
+
+    /// Drops every committed entry (in-flight compiles are unaffected).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            let mut shard = s.lock().expect("cache shard poisoned");
+            shard.entries.clear();
+            shard.bytes = 0;
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            entries: self.len(),
+            bytes: self.bytes(),
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! A minimal blocking client for the daemon protocol.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use serde_json::Value;
+
+use crate::protocol::request_to_line;
+use crate::service::Request;
+use crate::ServiceError;
+
+/// One decoded response line.
+#[derive(Debug, Clone)]
+pub struct ClientReply {
+    /// The raw response line (without the trailing newline).
+    pub raw: String,
+    /// The parsed JSON document.
+    pub value: Value,
+}
+
+impl ClientReply {
+    /// The response's `"ok"` field.
+    pub fn is_ok(&self) -> bool {
+        self.value
+            .get("ok")
+            .and_then(Value::as_bool)
+            .unwrap_or(false)
+    }
+
+    /// The error message, for `ok:false` replies.
+    pub fn error_message(&self) -> Option<&str> {
+        self.value.get("error")?.get("message")?.as_str()
+    }
+}
+
+/// Sends one request to a running daemon and reads one response line.
+///
+/// `timeout` bounds connect, write, and read individually. A
+/// `deadline` is forwarded to the server as `deadline_ms`.
+pub fn call(
+    addr: &str,
+    request: &Request,
+    deadline: Option<Duration>,
+    timeout: Duration,
+) -> Result<ClientReply, ServiceError> {
+    let io_err = |e: std::io::Error| ServiceError::Io(format!("{addr}: {e}"));
+    let sock_addr = addr
+        .to_socket_addrs()
+        .map_err(io_err)?
+        .next()
+        .ok_or_else(|| ServiceError::Io(format!("{addr}: no usable address")))?;
+    let stream = TcpStream::connect_timeout(&sock_addr, timeout).map_err(io_err)?;
+    stream.set_read_timeout(Some(timeout)).map_err(io_err)?;
+    stream.set_write_timeout(Some(timeout)).map_err(io_err)?;
+
+    let mut writer = stream.try_clone().map_err(io_err)?;
+    writeln!(writer, "{}", request_to_line(request, deadline)).map_err(io_err)?;
+
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(io_err)?;
+    if line.is_empty() {
+        return Err(ServiceError::Io(format!(
+            "{addr}: connection closed before a response arrived"
+        )));
+    }
+    let raw = line.trim_end().to_string();
+    let value = serde_json::from_str(&raw).map_err(|e| ServiceError::Io(format!("{addr}: {e}")))?;
+    Ok(ClientReply { raw, value })
+}

@@ -1,0 +1,239 @@
+//! The TCP daemon: a `std::net` accept loop over the service.
+//!
+//! Framing is newline-delimited JSON (one request line in, one response
+//! line out; see [`crate::protocol`]). Each connection gets its own
+//! thread but compute happens on the service's worker pool, so the
+//! concurrency of actual compiles is bounded by the pool regardless of
+//! connection count. Connections beyond the cap receive an
+//! `unavailable` error line and are closed immediately.
+//!
+//! Shutdown is graceful and in-band: a `{"op":"shutdown"}` request is
+//! acknowledged, the accept loop is woken by a loopback connection, open
+//! connections are joined, and [`Daemon::join`] returns a summary.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::protocol::{request_from_value, response_to_line};
+use crate::service::{Request, Response, Service, ServiceConfig};
+use crate::ServiceError;
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Address to bind (e.g. `127.0.0.1:4077`; port 0 picks one).
+    pub addr: String,
+    /// Maximum concurrently open connections.
+    pub max_connections: usize,
+    /// Per-connection read timeout; an idle connection is closed.
+    pub read_timeout: Duration,
+    /// Maximum request line length in bytes.
+    pub max_line_bytes: usize,
+    /// The underlying service configuration.
+    pub service: ServiceConfig,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: "127.0.0.1:4077".to_string(),
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+            max_line_bytes: 4 << 20,
+            service: ServiceConfig::default(),
+        }
+    }
+}
+
+/// What a daemon did, reported by [`Daemon::join`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonSummary {
+    /// Connections accepted (including over-cap rejections).
+    pub connections: u64,
+    /// Requests the service handled.
+    pub requests: u64,
+}
+
+/// A running daemon.
+pub struct Daemon {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: JoinHandle<DaemonSummary>,
+}
+
+impl Daemon {
+    /// Binds the address and starts the accept loop on a background
+    /// thread.
+    pub fn start(config: DaemonConfig) -> std::io::Result<Daemon> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("lalr-daemon-accept".to_string())
+            .spawn(move || accept_loop(listener, addr, &config, &flag))
+            .expect("spawn daemon accept thread");
+        Ok(Daemon {
+            addr,
+            shutdown,
+            handle,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown from outside the protocol (tests, signal
+    /// handlers). Idempotent; the in-band `shutdown` op does the same.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        wake_acceptor(self.addr);
+    }
+
+    /// Waits for the accept loop to finish and returns the summary.
+    pub fn join(self) -> DaemonSummary {
+        self.handle.join().expect("daemon accept thread panicked")
+    }
+}
+
+/// Nudges the blocking `accept` so it re-checks the shutdown flag.
+fn wake_acceptor(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    addr: SocketAddr,
+    config: &DaemonConfig,
+    shutdown: &Arc<AtomicBool>,
+) -> DaemonSummary {
+    let service = Arc::new(Service::new(config.service.clone()));
+    let active = Arc::new(AtomicUsize::new(0));
+    let connections = AtomicU64::new(0);
+    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        connections.fetch_add(1, Ordering::Relaxed);
+        if active.load(Ordering::SeqCst) >= config.max_connections {
+            reject_over_cap(stream);
+            continue;
+        }
+        conn_threads.retain(|h| !h.is_finished());
+        active.fetch_add(1, Ordering::SeqCst);
+        let service = Arc::clone(&service);
+        let conn_active = Arc::clone(&active);
+        let shutdown = Arc::clone(shutdown);
+        let read_timeout = config.read_timeout;
+        let max_line = config.max_line_bytes;
+        let spawned = std::thread::Builder::new()
+            .name("lalr-daemon-conn".to_string())
+            .spawn(move || {
+                serve_connection(stream, addr, &service, &shutdown, read_timeout, max_line);
+                conn_active.fetch_sub(1, Ordering::SeqCst);
+            });
+        match spawned {
+            Ok(h) => conn_threads.push(h),
+            Err(_) => {
+                active.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    for h in conn_threads {
+        let _ = h.join();
+    }
+    let requests = service.stats().requests;
+    service.shutdown();
+    DaemonSummary {
+        connections: connections.load(Ordering::Relaxed),
+        requests,
+    }
+}
+
+fn reject_over_cap(mut stream: TcpStream) {
+    let line = response_to_line(&Response::Error(ServiceError::Unavailable(
+        "connection limit reached".to_string(),
+    )));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = writeln!(stream, "{line}");
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    daemon_addr: SocketAddr,
+    service: &Service,
+    shutdown: &AtomicBool,
+    read_timeout: Duration,
+    max_line: usize,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_write_timeout(Some(read_timeout));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    // The `take` limit bounds memory for a single request line; it is
+    // reset before each line so the cap is per-line, not per-connection.
+    let mut reader = BufReader::new(stream.take(max_line as u64 + 1));
+    let mut line = String::new();
+
+    loop {
+        line.clear();
+        reader.get_mut().set_limit(max_line as u64 + 1);
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) if line.len() > max_line => {
+                respond(
+                    &mut writer,
+                    &Response::Error(ServiceError::TooLarge {
+                        size: line.len(),
+                        limit: max_line,
+                    }),
+                );
+                return;
+            }
+            Ok(_) => {}
+            Err(_) => return, // read timeout or transport failure
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = serde_json::from_str(line.trim_end())
+            .map_err(|e| ServiceError::BadRequest(e.to_string()))
+            .and_then(|v| request_from_value(&v));
+        let (request, deadline) = match parsed {
+            Ok(p) => p,
+            Err(e) => {
+                if !respond(&mut writer, &Response::Error(e)) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let is_shutdown = matches!(request, Request::Shutdown);
+        let response = service.call(request, deadline);
+        let written = respond(&mut writer, &response);
+        if is_shutdown {
+            shutdown.store(true, Ordering::SeqCst);
+            wake_acceptor(daemon_addr);
+            return;
+        }
+        if !written {
+            return;
+        }
+    }
+}
+
+fn respond(writer: &mut TcpStream, response: &Response) -> bool {
+    writeln!(writer, "{}", response_to_line(response)).is_ok()
+}

@@ -1,0 +1,92 @@
+//! Structured service failures.
+//!
+//! Every request path returns a [`ServiceError`] instead of panicking —
+//! the compile pipeline runs under `catch_unwind`, so even a bug in the
+//! engine surfaces as a `panicked` error response rather than taking a
+//! worker (or the daemon) down. Errors are `Clone` because a coalesced
+//! compile failure is delivered to every waiter.
+
+use std::fmt;
+
+/// Why a request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The grammar text did not parse.
+    BadGrammar(String),
+    /// The request was structurally invalid (bad JSON shape, unknown op,
+    /// unknown terminal name, …).
+    BadRequest(String),
+    /// The request body exceeded the configured size guard.
+    TooLarge {
+        /// Size of the offending payload in bytes.
+        size: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The request missed its deadline (in queue or during execution).
+    DeadlineExceeded {
+        /// How long the request had been in the service when it expired.
+        elapsed_ms: u64,
+    },
+    /// The compile pipeline panicked; the payload is the panic message.
+    Panicked(String),
+    /// The service is shutting down or over its concurrency cap.
+    Unavailable(String),
+    /// A client-side transport failure (connect, read, write, framing).
+    Io(String),
+}
+
+impl ServiceError {
+    /// Stable machine-readable discriminator used on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceError::BadGrammar(_) => "bad_grammar",
+            ServiceError::BadRequest(_) => "bad_request",
+            ServiceError::TooLarge { .. } => "too_large",
+            ServiceError::DeadlineExceeded { .. } => "deadline",
+            ServiceError::Panicked(_) => "panicked",
+            ServiceError::Unavailable(_) => "unavailable",
+            ServiceError::Io(_) => "io",
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::BadGrammar(m) => write!(f, "grammar error: {m}"),
+            ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServiceError::TooLarge { size, limit } => {
+                write!(f, "request of {size} bytes exceeds the {limit}-byte limit")
+            }
+            ServiceError::DeadlineExceeded { elapsed_ms } => {
+                write!(f, "deadline exceeded after {elapsed_ms} ms")
+            }
+            ServiceError::Panicked(m) => write!(f, "compile pipeline panicked: {m}"),
+            ServiceError::Unavailable(m) => write!(f, "service unavailable: {m}"),
+            ServiceError::Io(m) => write!(f, "transport error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_display_are_stable() {
+        let e = ServiceError::TooLarge { size: 10, limit: 5 };
+        assert_eq!(e.kind(), "too_large");
+        assert!(e.to_string().contains("10 bytes"));
+        assert_eq!(
+            ServiceError::BadGrammar(String::new()).kind(),
+            "bad_grammar"
+        );
+        assert_eq!(
+            ServiceError::DeadlineExceeded { elapsed_ms: 7 }.kind(),
+            "deadline"
+        );
+    }
+}

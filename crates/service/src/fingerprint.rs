@@ -1,0 +1,89 @@
+//! Content addressing for grammar texts.
+//!
+//! The cache key is a 64-bit FxHash fingerprint of the *normalized*
+//! grammar text, confirmed by full-text comparison on every lookup — the
+//! same hash-then-confirm idiom the LR(0) kernel interner uses
+//! (`crates/automata/src/lr0.rs`), lifted from item sets to whole
+//! grammars. The fingerprint routes to a bucket; the normalized text is
+//! the identity. A colliding fingerprint therefore costs one extra string
+//! compare, never a wrong artifact.
+
+use std::hash::Hasher;
+
+use rustc_hash::FxHasher;
+
+/// Normalizes a grammar text for fingerprinting.
+///
+/// Deliberately conservative: it must never map two grammars with
+/// different semantics to the same text, so it only strips what the
+/// grammar lexer provably ignores *between* lines — leading/trailing
+/// whitespace per line, blank lines, and `\r`. Quoted literals cannot
+/// span lines (the lexer rejects a newline inside a literal), so a line
+/// boundary is always outside a literal and per-line trimming is safe.
+/// Comments and interior spacing are left alone: two differently
+/// commented copies of one grammar get separate cache entries
+/// (under-sharing, never mis-sharing).
+pub fn normalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(line);
+    }
+    out
+}
+
+/// The default fingerprinter: FxHash64 over the normalized text.
+pub fn fx_fingerprint(normalized: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(normalized.as_bytes());
+    h.write_u8(0xff); // length-extension terminator
+    h.finish()
+}
+
+/// Renders a fingerprint the way the wire protocol carries it (JSON
+/// numbers are only exact to 2^53, so fingerprints travel as hex).
+pub fn format_fingerprint(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_is_line_conservative() {
+        let a = "e : e \"+\" t | t ;\n  t : \"x\" ;  \n\n";
+        let b = "\r\n   e : e \"+\" t | t ;\r\nt : \"x\" ;";
+        assert_eq!(normalize(a), normalize(b));
+        assert_eq!(normalize(a), "e : e \"+\" t | t ;\nt : \"x\" ;");
+    }
+
+    #[test]
+    fn interior_spacing_and_comments_are_preserved() {
+        // Conservative: these parse identically but fingerprint apart.
+        assert_ne!(normalize("e : \"x\" ;"), normalize("e :  \"x\" ;"));
+        assert_ne!(normalize("e : \"x\" ;"), normalize("e : \"x\" ; // c"));
+        // Literals keep their exact content.
+        assert!(normalize("e : \" spaced \" ;").contains("\" spaced \""));
+    }
+
+    #[test]
+    fn fingerprints_differ_for_different_texts() {
+        let a = fx_fingerprint("e : \"x\" ;");
+        let b = fx_fingerprint("e : \"y\" ;");
+        assert_ne!(a, b);
+        assert_eq!(a, fx_fingerprint("e : \"x\" ;"), "deterministic");
+    }
+
+    #[test]
+    fn fingerprint_formatting_is_fixed_width_hex() {
+        assert_eq!(format_fingerprint(0x2a), "000000000000002a");
+        assert_eq!(format_fingerprint(u64::MAX), "ffffffffffffffff");
+    }
+}

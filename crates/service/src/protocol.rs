@@ -1,0 +1,327 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line. Requests are objects
+//! with an `"op"` discriminator; responses carry `"ok"` plus either the
+//! op's payload or an `"error"` object. Serialization is key-sorted
+//! (see the vendored `serde_json` shim), so equal responses are equal
+//! byte strings — the property the soak test's differential comparison
+//! uses.
+//!
+//! ```text
+//! → {"op":"compile","grammar":"e : \"x\" ;"}
+//! ← {"class":"LR(0)","fingerprint":"…","ok":true,"op":"compile",…}
+//! → {"op":"parse","grammar":"…","input":"NUM + NUM","deadline_ms":500}
+//! ← {"accepted":true,"ok":true,"op":"parse","tree":"(e …)"}
+//! ```
+
+use std::time::Duration;
+
+use serde_json::{object, Value};
+
+use crate::artifact::GrammarFormat;
+use crate::error::ServiceError;
+use crate::service::{Request, Response, StatsSnapshot};
+
+/// Encodes a request (plus optional per-request deadline) as one JSON
+/// value.
+pub fn request_to_value(request: &Request, deadline: Option<Duration>) -> Value {
+    let mut pairs: Vec<(&'static str, Value)> = vec![("op", request.op().into())];
+    let format_pair = |format: &GrammarFormat| -> Option<(&'static str, Value)> {
+        matches!(format, GrammarFormat::Yacc).then_some(("yacc", Value::Bool(true)))
+    };
+    match request {
+        Request::Compile { grammar, format } | Request::Classify { grammar, format } => {
+            pairs.push(("grammar", grammar.as_str().into()));
+            pairs.extend(format_pair(format));
+        }
+        Request::Table {
+            grammar,
+            format,
+            compressed,
+        } => {
+            pairs.push(("grammar", grammar.as_str().into()));
+            pairs.extend(format_pair(format));
+            if *compressed {
+                pairs.push(("compressed", Value::Bool(true)));
+            }
+        }
+        Request::Parse {
+            grammar,
+            format,
+            input,
+        } => {
+            pairs.push(("grammar", grammar.as_str().into()));
+            pairs.extend(format_pair(format));
+            pairs.push(("input", input.as_str().into()));
+        }
+        Request::Stats | Request::Shutdown => {}
+    }
+    if let Some(d) = deadline {
+        pairs.push(("deadline_ms", (d.as_millis() as u64).into()));
+    }
+    object(pairs)
+}
+
+/// Decodes a request line.
+pub fn request_from_value(value: &Value) -> Result<(Request, Option<Duration>), ServiceError> {
+    let bad = |m: &str| ServiceError::BadRequest(m.to_string());
+    let obj = value
+        .as_obj()
+        .ok_or_else(|| bad("request must be an object"))?;
+    let op = value
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad("missing string field \"op\""))?;
+    let grammar = || -> Result<String, ServiceError> {
+        Ok(value
+            .get("grammar")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("missing string field \"grammar\""))?
+            .to_string())
+    };
+    let format = if value.get("yacc").and_then(Value::as_bool).unwrap_or(false) {
+        GrammarFormat::Yacc
+    } else {
+        GrammarFormat::Native
+    };
+    let request = match op {
+        "compile" => Request::Compile {
+            grammar: grammar()?,
+            format,
+        },
+        "classify" => Request::Classify {
+            grammar: grammar()?,
+            format,
+        },
+        "table" => Request::Table {
+            grammar: grammar()?,
+            format,
+            compressed: value
+                .get("compressed")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+        },
+        "parse" => Request::Parse {
+            grammar: grammar()?,
+            format,
+            input: value
+                .get("input")
+                .and_then(Value::as_str)
+                .ok_or_else(|| bad("missing string field \"input\""))?
+                .to_string(),
+        },
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        other => {
+            return Err(ServiceError::BadRequest(format!(
+                "unknown op {other:?} (available: compile, classify, table, parse, stats, shutdown)"
+            )))
+        }
+    };
+    let deadline = match obj.get("deadline_ms") {
+        None => None,
+        Some(v) => {
+            Some(Duration::from_millis(v.as_u64().ok_or_else(|| {
+                bad("\"deadline_ms\" must be a non-negative integer")
+            })?))
+        }
+    };
+    Ok((request, deadline))
+}
+
+/// Encodes a response as one JSON value.
+pub fn response_to_value(response: &Response) -> Value {
+    match response {
+        Response::Compile(c) => object([
+            ("ok", Value::Bool(true)),
+            ("op", "compile".into()),
+            ("fingerprint", c.fingerprint.as_str().into()),
+            ("cached", Value::Bool(c.cached)),
+            ("states", c.states.into()),
+            ("productions", c.productions.into()),
+            ("terminals", c.terminals.into()),
+            ("conflicts", c.conflicts.into()),
+            ("class", c.class.as_str().into()),
+            ("bytes", c.bytes.into()),
+        ]),
+        Response::Classify(c) => object([
+            ("ok", Value::Bool(true)),
+            ("op", "classify".into()),
+            ("class", c.class.as_str().into()),
+            ("lr0_conflicts", c.lr0_conflicts.into()),
+            ("slr_conflicts", c.slr_conflicts.into()),
+            ("nqlalr_conflicts", c.nqlalr_conflicts.into()),
+            ("lalr_conflicts", c.lalr_conflicts.into()),
+            ("lr1_conflicts", c.lr1_conflicts.into()),
+            ("not_lr_k", Value::Bool(c.not_lr_k)),
+        ]),
+        Response::Table(t) => {
+            let mut pairs = vec![
+                ("ok", Value::Bool(true)),
+                ("op", "table".into()),
+                ("text", t.text.as_str().into()),
+                ("resolutions", t.resolutions.into()),
+                ("action_entries", t.action_entries.into()),
+            ];
+            if let Some(n) = t.compressed_entries {
+                pairs.push(("compressed_entries", n.into()));
+            }
+            object(pairs)
+        }
+        Response::Parse(p) => {
+            let mut pairs = vec![
+                ("ok", Value::Bool(true)),
+                ("op", "parse".into()),
+                ("accepted", Value::Bool(p.accepted)),
+            ];
+            if let Some(tree) = &p.tree {
+                pairs.push(("tree", tree.as_str().into()));
+            }
+            if let Some(error) = &p.error {
+                pairs.push(("error", error.as_str().into()));
+            }
+            object(pairs)
+        }
+        Response::Stats(s) => stats_to_value(s),
+        Response::Shutdown => object([("ok", Value::Bool(true)), ("op", "shutdown".into())]),
+        Response::Error(e) => object([
+            ("ok", Value::Bool(false)),
+            ("op", "error".into()),
+            (
+                "error",
+                object([("kind", e.kind().into()), ("message", e.to_string().into())]),
+            ),
+        ]),
+    }
+}
+
+fn stats_to_value(s: &StatsSnapshot) -> Value {
+    let ops = ["compile", "classify", "table", "parse", "stats", "shutdown"];
+    let by_op = Value::Obj(
+        ops.iter()
+            .zip(s.by_op)
+            .map(|(name, n)| (name.to_string(), n.into()))
+            .collect(),
+    );
+    let latency = Value::Arr(s.latency_buckets.iter().map(|&n| n.into()).collect());
+    let mut pairs = vec![
+        ("ok", Value::Bool(true)),
+        ("op", "stats".into()),
+        ("requests", s.requests.into()),
+        ("errors", s.errors.into()),
+        ("deadline_exceeded", s.deadline_exceeded.into()),
+        ("by_op", by_op),
+        ("latency_buckets", latency),
+        ("workers", s.workers.into()),
+        ("uptime_ms", s.uptime_ms.into()),
+    ];
+    if let Some(c) = &s.cache {
+        pairs.push((
+            "cache",
+            object([
+                ("hits", c.hits.into()),
+                ("misses", c.misses.into()),
+                ("coalesced", c.coalesced.into()),
+                ("evictions", c.evictions.into()),
+                ("compiles", c.compiles.into()),
+                ("entries", c.entries.into()),
+                ("bytes", c.bytes.into()),
+                ("hit_rate", c.hit_rate().into()),
+            ]),
+        ));
+    }
+    object(pairs)
+}
+
+/// Encodes a response as one protocol line (no trailing newline).
+pub fn response_to_line(response: &Response) -> String {
+    response_to_value(response).to_string()
+}
+
+/// Encodes a request as one protocol line (no trailing newline).
+pub fn request_to_line(request: &Request, deadline: Option<Duration>) -> String {
+    request_to_value(request, deadline).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(request: Request, deadline: Option<Duration>) {
+        let line = request_to_line(&request, deadline);
+        let value = serde_json::from_str(&line).unwrap();
+        let (back, d) = request_from_value(&value).unwrap();
+        assert_eq!(back, request, "{line}");
+        assert_eq!(d, deadline, "{line}");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip(
+            Request::Compile {
+                grammar: "e : \"x\" ;\n// comment with \"quotes\"".to_string(),
+                format: GrammarFormat::Native,
+            },
+            None,
+        );
+        round_trip(
+            Request::Classify {
+                grammar: "%token A\n%%\ns : A ;".to_string(),
+                format: GrammarFormat::Yacc,
+            },
+            Some(Duration::from_millis(250)),
+        );
+        round_trip(
+            Request::Table {
+                grammar: "s : \"a\" ;".to_string(),
+                format: GrammarFormat::Native,
+                compressed: true,
+            },
+            None,
+        );
+        round_trip(
+            Request::Parse {
+                grammar: "s : \"a\" ;".to_string(),
+                format: GrammarFormat::Native,
+                input: "a".to_string(),
+            },
+            None,
+        );
+        round_trip(Request::Stats, None);
+        round_trip(Request::Shutdown, None);
+    }
+
+    #[test]
+    fn unknown_op_lists_available_ops() {
+        let v = serde_json::from_str(r#"{"op":"frobnicate"}"#).unwrap();
+        let err = request_from_value(&v).unwrap_err();
+        assert!(err.to_string().contains("available: compile"), "{err}");
+    }
+
+    #[test]
+    fn missing_fields_are_structured_errors() {
+        for line in [
+            r#"{"grammar":"x"}"#,
+            r#"{"op":"compile"}"#,
+            r#"{"op":"parse","grammar":"s : \"a\" ;"}"#,
+            r#"{"op":"compile","grammar":"x","deadline_ms":-1}"#,
+            r#"[1,2]"#,
+        ] {
+            let v = serde_json::from_str(line).unwrap();
+            assert!(request_from_value(&v).is_err(), "{line}");
+        }
+    }
+
+    #[test]
+    fn error_responses_carry_kind_and_message() {
+        let r = Response::Error(ServiceError::TooLarge {
+            size: 100,
+            limit: 10,
+        });
+        let line = response_to_line(&r);
+        let v = serde_json::from_str(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        let e = v.get("error").unwrap();
+        assert_eq!(e.get("kind").and_then(Value::as_str), Some("too_large"));
+    }
+}

@@ -1,0 +1,560 @@
+//! The request engine: a worker pool over the cache.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lalr_core::Parallelism;
+use lalr_runtime::{Parser, Token};
+
+use crate::artifact::{CompiledArtifact, GrammarFormat};
+use crate::cache::{ArtifactCache, CacheConfig, CacheOutcome, CacheStats};
+use crate::error::ServiceError;
+use crate::fingerprint::format_fingerprint;
+
+/// Upper bounds (µs) of the fixed latency histogram buckets; the sixth
+/// bucket is overflow.
+pub const LATENCY_BOUNDS_US: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Size of the worker pool (the existing [`Parallelism`] config,
+    /// reused: one worker per configured thread).
+    pub workers: Parallelism,
+    /// Thread count for *each* compile pipeline run (usually sequential;
+    /// concurrency comes from the pool).
+    pub pipeline: Parallelism,
+    /// Artifact cache configuration; `None` disables caching entirely
+    /// (every request compiles — the load generator's cold arm).
+    pub cache: Option<CacheConfig>,
+    /// Maximum grammar/input payload size in bytes.
+    pub max_request_bytes: usize,
+    /// Deadline applied when a request does not carry its own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: Parallelism::available(),
+            pipeline: Parallelism::sequential(),
+            cache: Some(CacheConfig::default()),
+            max_request_bytes: 1 << 20,
+            default_deadline: None,
+        }
+    }
+}
+
+/// One protocol request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Compile a grammar (and cache the artifact).
+    Compile {
+        /// Grammar source text.
+        grammar: String,
+        /// How to read the text.
+        format: GrammarFormat,
+    },
+    /// Compile (or fetch) and report the adequacy classification.
+    Classify {
+        /// Grammar source text.
+        grammar: String,
+        /// How to read the text.
+        format: GrammarFormat,
+    },
+    /// Compile (or fetch) and render the ACTION/GOTO table.
+    Table {
+        /// Grammar source text.
+        grammar: String,
+        /// How to read the text.
+        format: GrammarFormat,
+        /// Also report default-reduction compression statistics.
+        compressed: bool,
+    },
+    /// Compile (or fetch) and parse a sentence of terminal names.
+    Parse {
+        /// Grammar source text.
+        grammar: String,
+        /// How to read the text.
+        format: GrammarFormat,
+        /// Whitespace-separated terminal names.
+        input: String,
+    },
+    /// Service statistics snapshot.
+    Stats,
+    /// Ask the daemon to stop accepting connections and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Stable op name (wire format and stats key).
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Compile { .. } => "compile",
+            Request::Classify { .. } => "classify",
+            Request::Table { .. } => "table",
+            Request::Parse { .. } => "parse",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    fn payload_len(&self) -> usize {
+        match self {
+            Request::Compile { grammar, .. } | Request::Classify { grammar, .. } => grammar.len(),
+            Request::Table { grammar, .. } => grammar.len(),
+            Request::Parse { grammar, input, .. } => grammar.len() + input.len(),
+            Request::Stats | Request::Shutdown => 0,
+        }
+    }
+}
+
+/// Compile response payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileSummary {
+    /// Hex fingerprint of the normalized grammar (the cache key).
+    pub fingerprint: String,
+    /// Whether this response was served from the cache.
+    pub cached: bool,
+    /// LR(0) state count.
+    pub states: usize,
+    /// Production count (including the augmented start).
+    pub productions: usize,
+    /// Terminal count (including `$`).
+    pub terminals: usize,
+    /// Unresolved LALR(1) conflicts.
+    pub conflicts: usize,
+    /// Grammar class string (`LR(0)`, `SLR(1)`, …).
+    pub class: String,
+    /// Estimated artifact size in bytes (cache accounting unit).
+    pub bytes: usize,
+}
+
+/// Classify response payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassifySummary {
+    /// Grammar class string.
+    pub class: String,
+    /// Conflicts under no look-ahead.
+    pub lr0_conflicts: usize,
+    /// Conflicts under SLR(1) look-aheads.
+    pub slr_conflicts: usize,
+    /// Conflicts under NQLALR(1) look-aheads.
+    pub nqlalr_conflicts: usize,
+    /// Conflicts under LALR(1) look-aheads.
+    pub lalr_conflicts: usize,
+    /// Conflicts in the canonical LR(1) machine.
+    pub lr1_conflicts: usize,
+    /// `reads`-cycle detected (not LR(k) for any k).
+    pub not_lr_k: bool,
+}
+
+/// Table response payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSummary {
+    /// The rendered dense ACTION/GOTO matrix.
+    pub text: String,
+    /// Number of precedence/default conflict resolutions applied.
+    pub resolutions: usize,
+    /// Dense non-error ACTION entries.
+    pub action_entries: usize,
+    /// Explicit entries in the compressed table (when requested).
+    pub compressed_entries: Option<usize>,
+}
+
+/// Parse response payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSummary {
+    /// Whether the sentence was accepted.
+    pub accepted: bool,
+    /// S-expression rendering of the parse tree (accepted only).
+    pub tree: Option<String>,
+    /// Parser error message (rejected only).
+    pub error: Option<String>,
+}
+
+/// Aggregate service statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Total requests handled (all ops).
+    pub requests: u64,
+    /// Requests answered with an error response.
+    pub errors: u64,
+    /// Requests that missed their deadline.
+    pub deadline_exceeded: u64,
+    /// Per-op request counts: compile, classify, table, parse, stats,
+    /// shutdown.
+    pub by_op: [u64; 6],
+    /// Fixed-bucket latency histogram (bounds [`LATENCY_BOUNDS_US`], last
+    /// bucket is overflow).
+    pub latency_buckets: [u64; 6],
+    /// Cache counters (absent when caching is disabled).
+    pub cache: Option<CacheStats>,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Milliseconds since the service started.
+    pub uptime_ms: u64,
+}
+
+/// One protocol response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Successful compile.
+    Compile(CompileSummary),
+    /// Successful classification.
+    Classify(ClassifySummary),
+    /// Rendered table.
+    Table(TableSummary),
+    /// Parse verdict.
+    Parse(ParseSummary),
+    /// Statistics snapshot.
+    Stats(StatsSnapshot),
+    /// Shutdown acknowledged.
+    Shutdown,
+    /// Structured failure.
+    Error(ServiceError),
+}
+
+impl Response {
+    /// `true` for non-error responses.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, Response::Error(_))
+    }
+}
+
+struct Job {
+    request: Request,
+    deadline: Option<Instant>,
+    accepted_at: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+struct Inner {
+    config: ServiceConfig,
+    cache: Option<ArtifactCache>,
+    started: Instant,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    by_op: [AtomicU64; 6],
+    latency: [AtomicU64; 6],
+}
+
+/// The compilation service: a worker pool executing [`Request`]s against
+/// the shared [`ArtifactCache`].
+///
+/// # Examples
+///
+/// ```
+/// use lalr_service::{Request, Response, Service, ServiceConfig, GrammarFormat};
+///
+/// let service = Service::new(ServiceConfig::default());
+/// let r = service.call(
+///     Request::Compile {
+///         grammar: "e : e \"+\" t | t ; t : \"x\" ;".to_string(),
+///         format: GrammarFormat::Native,
+///     },
+///     None,
+/// );
+/// match r {
+///     Response::Compile(c) => assert_eq!(c.conflicts, 0),
+///     other => panic!("{other:?}"),
+/// }
+/// ```
+pub struct Service {
+    inner: Arc<Inner>,
+    tx: Mutex<Option<mpsc::Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("workers", &self.inner.config.workers.threads())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Service {
+    /// Starts the worker pool.
+    pub fn new(config: ServiceConfig) -> Service {
+        let cache = config.cache.clone().map(ArtifactCache::new);
+        let inner = Arc::new(Inner {
+            cache,
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            by_op: Default::default(),
+            latency: Default::default(),
+            config,
+        });
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..inner.config.workers.threads())
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("lalr-service-{i}"))
+                    .spawn(move || worker_loop(&inner, &rx))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Service {
+            inner,
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Submits a request and blocks for the response. `deadline` bounds
+    /// queueing plus execution; `None` falls back to the configured
+    /// default. A missed deadline yields a `deadline` error response
+    /// (checked when the request is dequeued and again after execution —
+    /// a compile in progress is not interrupted).
+    pub fn call(&self, request: Request, deadline: Option<Duration>) -> Response {
+        let accepted_at = Instant::now();
+        let deadline = deadline
+            .or(self.inner.config.default_deadline)
+            .map(|d| accepted_at + d);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = Job {
+            request,
+            deadline,
+            accepted_at,
+            reply: reply_tx,
+        };
+        let sent = match &*self.tx.lock().expect("service sender poisoned") {
+            Some(tx) => tx.send(job).is_ok(),
+            None => false,
+        };
+        if !sent {
+            return Response::Error(ServiceError::Unavailable(
+                "service is shut down".to_string(),
+            ));
+        }
+        reply_rx.recv().unwrap_or_else(|_| {
+            Response::Error(ServiceError::Unavailable(
+                "worker terminated before replying".to_string(),
+            ))
+        })
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.snapshot()
+    }
+
+    /// Direct cache access (for differential tests and the load
+    /// generator); `None` when caching is disabled.
+    pub fn cache(&self) -> Option<&ArtifactCache> {
+        self.inner.cache.as_ref()
+    }
+
+    /// Stops accepting new requests and joins the workers. Idempotent.
+    pub fn shutdown(&self) {
+        drop(self.tx.lock().expect("service sender poisoned").take());
+        let mut workers = self.workers.lock().expect("worker list poisoned");
+        for h in workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &Inner, rx: &Mutex<mpsc::Receiver<Job>>) {
+    loop {
+        let job = {
+            let rx = rx.lock().expect("job queue poisoned");
+            rx.recv()
+        };
+        let Ok(job) = job else { return };
+        let response = inner.execute(&job);
+        let elapsed = job.accepted_at.elapsed();
+        inner.record(&job.request, &response, elapsed);
+        let _ = job.reply.send(response);
+    }
+}
+
+impl Inner {
+    fn execute(&self, job: &Job) -> Response {
+        if let Some(deadline) = job.deadline {
+            if Instant::now() > deadline {
+                return Response::Error(ServiceError::DeadlineExceeded {
+                    elapsed_ms: job.accepted_at.elapsed().as_millis() as u64,
+                });
+            }
+        }
+        let response = self.handle(&job.request);
+        if let Some(deadline) = job.deadline {
+            if Instant::now() > deadline {
+                return Response::Error(ServiceError::DeadlineExceeded {
+                    elapsed_ms: job.accepted_at.elapsed().as_millis() as u64,
+                });
+            }
+        }
+        response
+    }
+
+    fn handle(&self, request: &Request) -> Response {
+        let limit = self.config.max_request_bytes;
+        let size = request.payload_len();
+        if size > limit {
+            return Response::Error(ServiceError::TooLarge { size, limit });
+        }
+        match request {
+            Request::Compile { grammar, format } => match self.artifact(grammar, *format) {
+                Ok((artifact, outcome)) => Response::Compile(CompileSummary {
+                    fingerprint: format_fingerprint(artifact.fingerprint()),
+                    cached: outcome == CacheOutcome::Hit,
+                    states: artifact.lr0().state_count(),
+                    productions: artifact.grammar().production_count(),
+                    terminals: artifact.grammar().terminal_count(),
+                    conflicts: artifact.adequacy().lalr_conflicts,
+                    class: artifact.adequacy().class.to_string(),
+                    bytes: artifact.approx_bytes(),
+                }),
+                Err(e) => Response::Error(e),
+            },
+            Request::Classify { grammar, format } => match self.artifact(grammar, *format) {
+                Ok((artifact, _)) => {
+                    let a = artifact.adequacy();
+                    Response::Classify(ClassifySummary {
+                        class: a.class.to_string(),
+                        lr0_conflicts: a.lr0_conflicts,
+                        slr_conflicts: a.slr_conflicts,
+                        nqlalr_conflicts: a.nqlalr_conflicts,
+                        lalr_conflicts: a.lalr_conflicts,
+                        lr1_conflicts: a.lr1_conflicts,
+                        not_lr_k: a.not_lr_k,
+                    })
+                }
+                Err(e) => Response::Error(e),
+            },
+            Request::Table {
+                grammar,
+                format,
+                compressed,
+            } => match self.artifact(grammar, *format) {
+                Ok((artifact, _)) => Response::Table(TableSummary {
+                    text: artifact.table().to_string(),
+                    resolutions: artifact.table().resolutions().len(),
+                    action_entries: artifact.table().stats().action_entries,
+                    compressed_entries: compressed
+                        .then(|| artifact.compressed().explicit_entries()),
+                }),
+                Err(e) => Response::Error(e),
+            },
+            Request::Parse {
+                grammar,
+                format,
+                input,
+            } => match self.artifact(grammar, *format) {
+                Ok((artifact, _)) => {
+                    let table = artifact.table();
+                    let mut tokens = Vec::new();
+                    for (i, word) in input.split_whitespace().enumerate() {
+                        match table.terminal_by_name(word) {
+                            Some(t) => tokens.push(Token::new(t, word, i)),
+                            None => {
+                                return Response::Error(ServiceError::BadRequest(format!(
+                                    "unknown terminal {word:?}"
+                                )))
+                            }
+                        }
+                    }
+                    match Parser::new(table).parse(tokens) {
+                        Ok(tree) => Response::Parse(ParseSummary {
+                            accepted: true,
+                            tree: Some(tree.to_sexpr(table)),
+                            error: None,
+                        }),
+                        Err(e) => Response::Parse(ParseSummary {
+                            accepted: false,
+                            tree: None,
+                            error: Some(e.to_string()),
+                        }),
+                    }
+                }
+                Err(e) => Response::Error(e),
+            },
+            Request::Stats => Response::Stats(self.snapshot()),
+            Request::Shutdown => Response::Shutdown,
+        }
+    }
+
+    fn artifact(
+        &self,
+        grammar: &str,
+        format: GrammarFormat,
+    ) -> Result<(Arc<CompiledArtifact>, CacheOutcome), ServiceError> {
+        // The format is part of the identity: the same bytes read as yacc
+        // and as native text are different grammars, so prefix the cache
+        // key (the prefix survives normalization — it is its own line).
+        let key = match format {
+            GrammarFormat::Native => format!("%key native\n{grammar}"),
+            GrammarFormat::Yacc => format!("%key yacc\n{grammar}"),
+        };
+        let pipeline = self.config.pipeline;
+        match &self.cache {
+            Some(cache) => {
+                let (result, outcome) = cache.get_or_compile(&key, |_, fp| {
+                    CompiledArtifact::compile(grammar, format, fp, &pipeline)
+                });
+                result.map(|a| (a, outcome))
+            }
+            None => {
+                let fp = crate::fingerprint::fx_fingerprint(&crate::fingerprint::normalize(&key));
+                CompiledArtifact::compile(grammar, format, fp, &pipeline)
+                    .map(|a| (Arc::new(a), CacheOutcome::Compiled))
+            }
+        }
+    }
+
+    fn record(&self, request: &Request, response: &Response, elapsed: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let op_idx = match request.op() {
+            "compile" => 0,
+            "classify" => 1,
+            "table" => 2,
+            "parse" => 3,
+            "stats" => 4,
+            _ => 5,
+        };
+        self.by_op[op_idx].fetch_add(1, Ordering::Relaxed);
+        if let Response::Error(e) = response {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            if matches!(e, ServiceError::DeadlineExceeded { .. }) {
+                self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let us = elapsed.as_micros() as u64;
+        let bucket = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            by_op: std::array::from_fn(|i| self.by_op[i].load(Ordering::Relaxed)),
+            latency_buckets: std::array::from_fn(|i| self.latency[i].load(Ordering::Relaxed)),
+            cache: self.cache.as_ref().map(ArtifactCache::stats),
+            workers: self.config.workers.threads(),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Loopback tests of the TCP daemon: protocol round trips, error
+//! replies, stats, and graceful in-band shutdown.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use lalr_service::client::{self, ClientReply};
+use lalr_service::{Daemon, DaemonConfig, GrammarFormat, Request};
+
+use serde_json::Value;
+
+const GRAMMAR: &str = "e : e \"+\" t | t ; t : \"x\" ;";
+
+fn start_daemon() -> Daemon {
+    let config = DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..DaemonConfig::default()
+    };
+    Daemon::start(config).expect("bind loopback")
+}
+
+fn call(daemon: &Daemon, request: &Request) -> ClientReply {
+    client::call(
+        &daemon.addr().to_string(),
+        request,
+        None,
+        Duration::from_secs(30),
+    )
+    .expect("daemon reachable")
+}
+
+fn compile_request() -> Request {
+    Request::Compile {
+        grammar: GRAMMAR.to_string(),
+        format: GrammarFormat::Native,
+    }
+}
+
+#[test]
+fn daemon_compiles_caches_reports_stats_and_shuts_down() {
+    let daemon = start_daemon();
+
+    let cold = call(&daemon, &compile_request());
+    assert!(cold.is_ok(), "{}", cold.raw);
+    assert_eq!(
+        cold.value.get("cached").and_then(Value::as_bool),
+        Some(false)
+    );
+    let fp = cold
+        .value
+        .get("fingerprint")
+        .and_then(Value::as_str)
+        .expect("fingerprint present")
+        .to_string();
+
+    let warm = call(&daemon, &compile_request());
+    assert_eq!(
+        warm.value.get("cached").and_then(Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        warm.value.get("fingerprint").and_then(Value::as_str),
+        Some(fp.as_str())
+    );
+
+    let stats = call(&daemon, &Request::Stats);
+    assert!(stats.is_ok(), "{}", stats.raw);
+    assert!(
+        stats.value.get("requests").and_then(Value::as_u64) >= Some(2),
+        "{}",
+        stats.raw
+    );
+    let cache = stats.value.get("cache").expect("cache stats present");
+    assert!(cache.get("hits").and_then(Value::as_u64) >= Some(1));
+
+    let bye = call(&daemon, &Request::Shutdown);
+    assert!(bye.is_ok(), "{}", bye.raw);
+    let summary = daemon.join();
+    assert!(summary.connections >= 4, "{summary:?}");
+    assert!(summary.requests >= 4, "{summary:?}");
+}
+
+#[test]
+fn malformed_lines_get_structured_errors_and_keep_the_connection() {
+    let daemon = start_daemon();
+    let stream = TcpStream::connect(daemon.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    // Broken JSON → bad_request, connection stays usable.
+    writeln!(writer, "{{not json").unwrap();
+    reader.read_line(&mut line).unwrap();
+    let v: Value = serde_json::from_str(line.trim_end()).unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+
+    // Unknown op → the error names the available ops.
+    line.clear();
+    writeln!(writer, "{{\"op\":\"frobnicate\"}}").unwrap();
+    reader.read_line(&mut line).unwrap();
+    let v: Value = serde_json::from_str(line.trim_end()).unwrap();
+    let msg = v
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Value::as_str)
+        .unwrap();
+    assert!(msg.contains("available: compile"), "{msg}");
+
+    // A bad grammar is an application error, not a transport one.
+    line.clear();
+    writeln!(writer, "{{\"op\":\"compile\",\"grammar\":\"e : oops\"}}").unwrap();
+    reader.read_line(&mut line).unwrap();
+    let v: Value = serde_json::from_str(line.trim_end()).unwrap();
+    assert_eq!(
+        v.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Value::as_str),
+        Some("bad_grammar"),
+        "{line}"
+    );
+
+    // And the same connection still serves a good request afterwards.
+    line.clear();
+    writeln!(
+        writer,
+        "{}",
+        lalr_service::protocol::request_to_line(&compile_request(), None)
+    )
+    .unwrap();
+    reader.read_line(&mut line).unwrap();
+    let v: Value = serde_json::from_str(line.trim_end()).unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{line}");
+
+    // Close the socket first so the connection thread sees EOF and the
+    // daemon can join promptly.
+    drop(writer);
+    drop(reader);
+    daemon.stop();
+    daemon.join();
+}
+
+#[test]
+fn oversized_request_lines_are_rejected() {
+    let config = DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_line_bytes: 256,
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::start(config).unwrap();
+    let stream = TcpStream::connect(daemon.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    let huge = format!(
+        "{{\"op\":\"compile\",\"grammar\":\"{}\"}}",
+        "x".repeat(4096)
+    );
+    writeln!(writer, "{huge}").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let v: Value = serde_json::from_str(line.trim_end()).unwrap();
+    assert_eq!(
+        v.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Value::as_str),
+        Some("too_large"),
+        "{line}"
+    );
+
+    drop(writer);
+    drop(reader);
+    daemon.stop();
+    daemon.join();
+}
+
+#[test]
+fn deadline_of_zero_is_reported_as_deadline_exceeded() {
+    let daemon = start_daemon();
+    let reply = client::call(
+        &daemon.addr().to_string(),
+        &compile_request(),
+        Some(Duration::from_millis(0)),
+        Duration::from_secs(30),
+    )
+    .unwrap();
+    assert!(!reply.is_ok(), "{}", reply.raw);
+    assert_eq!(
+        reply
+            .value
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Value::as_str),
+        Some("deadline"),
+        "{}",
+        reply.raw
+    );
+    daemon.stop();
+    daemon.join();
+}

@@ -1,0 +1,119 @@
+//! Differential soak test: eight client threads hammer a pooled,
+//! cached service with a mixed workload over the grammar corpus, and
+//! every response line must be byte-identical to the one produced by a
+//! direct single-threaded engine answering the same request.
+//!
+//! The only legitimate divergence is the compile summary's `cached`
+//! flag (whether a request hit the cache depends on scheduling), so the
+//! comparison normalizes exactly that field — responses are key-sorted
+//! JSON, which makes the textual normalization reliable.
+
+use std::sync::Arc;
+
+use lalr_core::Parallelism;
+use lalr_service::protocol::response_to_line;
+use lalr_service::{GrammarFormat, Request, Service, ServiceConfig};
+
+/// A mixed workload: compile, classify, table, and parse requests over
+/// every corpus grammar, repeated so most requests are warm.
+fn workload() -> Vec<Request> {
+    let mut requests = Vec::new();
+    for round in 0..3 {
+        for entry in lalr_corpus::all_entries() {
+            let grammar = entry.source.to_string();
+            requests.push(Request::Compile {
+                grammar: grammar.clone(),
+                format: GrammarFormat::Native,
+            });
+            requests.push(Request::Classify {
+                grammar: grammar.clone(),
+                format: GrammarFormat::Native,
+            });
+            requests.push(Request::Table {
+                grammar: grammar.clone(),
+                format: GrammarFormat::Native,
+                compressed: true,
+            });
+            let parsed = entry.grammar();
+            if let Some(sentence) = lalr_corpus::sentences::generate(&parsed, round, 20) {
+                let input: Vec<&str> = sentence.iter().map(|&t| parsed.terminal_name(t)).collect();
+                requests.push(Request::Parse {
+                    grammar: grammar.clone(),
+                    format: GrammarFormat::Native,
+                    input: input.join(" "),
+                });
+            }
+        }
+    }
+    requests
+}
+
+/// Drops the scheduling-dependent `cached` flag from compile lines.
+fn normalize(line: &str) -> String {
+    line.replace("\"cached\":true", "\"cached\":false")
+}
+
+#[test]
+fn eight_thread_soak_matches_single_threaded_reference() {
+    const THREADS: usize = 8;
+    let requests = workload();
+    assert!(requests.len() >= 100, "workload is non-trivial");
+
+    // Reference: one worker, requests strictly in order.
+    let reference = Service::new(ServiceConfig {
+        workers: Parallelism::sequential(),
+        ..ServiceConfig::default()
+    });
+    let expected: Vec<String> = requests
+        .iter()
+        .map(|r| normalize(&response_to_line(&reference.call(r.clone(), None))))
+        .collect();
+
+    // Subject: an 8-worker pool fed by 8 client threads, each walking a
+    // strided slice of the same request list.
+    let service = Arc::new(Service::new(ServiceConfig {
+        workers: Parallelism::new(THREADS),
+        ..ServiceConfig::default()
+    }));
+    let requests = Arc::new(requests);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let requests = Arc::clone(&requests);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                for i in (t..requests.len()).step_by(THREADS) {
+                    let response = service.call(requests[i].clone(), None);
+                    got.push((i, normalize(&response_to_line(&response))));
+                }
+                got
+            })
+        })
+        .collect();
+
+    let mut actual = vec![String::new(); requests.len()];
+    for h in handles {
+        for (i, line) in h.join().unwrap() {
+            actual[i] = line;
+        }
+    }
+
+    for (i, (want, got)) in expected.iter().zip(&actual).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "request {i} diverged under concurrency: {:?}",
+            requests[i].op()
+        );
+    }
+
+    // The pool really did coalesce/cache: far fewer pipeline runs than
+    // requests, and zero errors.
+    let stats = service.stats();
+    assert_eq!(stats.errors, 0);
+    let cache = stats.cache.expect("cache enabled");
+    assert!(
+        cache.compiles < requests.len() as u64 / 2,
+        "caching must absorb repeated grammars: {cache:?}"
+    );
+}
