@@ -3,6 +3,7 @@
 use std::hash::{Hash, Hasher};
 
 use lalr_grammar::{Grammar, NonTerminal, ProdId, Symbol, Terminal};
+use lalr_obs::Recorder;
 use rustc_hash::{FxHashMap, FxHasher};
 
 use crate::item::{ClosureScratch, Item, ItemSet};
@@ -108,6 +109,14 @@ impl Lr0Automaton {
     /// scratch array instead of a hash map, preserving the first-seen
     /// symbol order that fixes the state numbering.
     pub fn build(grammar: &Grammar) -> Lr0Automaton {
+        Lr0Automaton::build_recorded(grammar, &lalr_obs::NULL)
+    }
+
+    /// [`Lr0Automaton::build`] under an observer: the construction runs
+    /// inside an `lr0.build` span, and — when the recorder is enabled —
+    /// reports the interned state/item/transition counts.
+    pub fn build_recorded(grammar: &Grammar, rec: &dyn Recorder) -> Lr0Automaton {
+        let _span = lalr_obs::span(rec, "lr0.build");
         let mut states: Vec<State> = Vec::new();
         // Kernel hash → states whose kernel may match (collisions resolved
         // by comparing item slices against `states`, never by cloning).
@@ -228,6 +237,15 @@ impl Lr0Automaton {
                 }
             }
             nt_offsets.push(nt_transitions.len() as u32);
+        }
+
+        if rec.is_enabled() {
+            rec.add("lr0.states", states.len() as u64);
+            let kernel_items: usize = states.iter().map(|s| s.kernel.len()).sum();
+            rec.add("lr0.kernel_items", kernel_items as u64);
+            let transitions: usize = states.iter().map(|s| s.transitions.len()).sum();
+            rec.add("lr0.transitions", transitions as u64);
+            rec.add("lr0.nt_transitions", nt_transitions.len() as u64);
         }
 
         Lr0Automaton {

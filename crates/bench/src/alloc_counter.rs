@@ -58,6 +58,17 @@ fn snapshot() -> (usize, usize) {
     )
 }
 
+/// Cumulative `(allocations, bytes)` since process start.
+///
+/// Matches the `lalr_obs::AllocProbe` signature, so a
+/// `CollectingRecorder::with_alloc_probe(lalr_bench::alloc_counter::totals)`
+/// attributes allocation deltas to pipeline spans (the CLI's `profile`
+/// command does exactly this).
+pub fn totals() -> (u64, u64) {
+    let (a, b) = snapshot();
+    (a as u64, b as u64)
+}
+
 /// Runs `f` and returns its result with the allocation activity observed
 /// while it ran.
 ///

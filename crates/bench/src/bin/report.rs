@@ -40,6 +40,10 @@ fn main() {
         println!("{}", report::table7());
         printed = true;
     }
+    if matches!(which, "all" | "table9") {
+        println!("{}", report::table9());
+        printed = true;
+    }
     if matches!(which, "all" | "figure1") {
         println!("{}", report::figure1(runs));
         printed = true;
@@ -50,7 +54,8 @@ fn main() {
     }
     if !printed {
         eprintln!(
-            "usage: report [all|table1|table2|table3|table4|table5|table7|figure1|figure2] [runs]"
+            "usage: report [all|table1|table2|table3|table4|table5|table7|table9|figure1|figure2] \
+             [runs]"
         );
         std::process::exit(2);
     }

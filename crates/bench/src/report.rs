@@ -426,6 +426,83 @@ pub fn table7() -> String {
     out
 }
 
+/// Table 9 — per-phase time breakdown of the three LALR(1)-exact methods
+/// (E12): each cell is one cold run under a [`lalr_obs::CollectingRecorder`],
+/// with the phase spans the pipeline emits (DP and propagation) or the
+/// harness wraps around the two LR(1)-merge stages.
+pub fn table9() -> String {
+    use lalr_automata::merge_lr1;
+    use lalr_core::{propagation_recorded, LookaheadSets, Parallelism};
+    use lalr_obs::{CollectingRecorder, PhaseReport};
+    use std::time::{Duration, Instant};
+
+    fn row(out: &mut String, grammar: &str, method: &str, total: Duration, report: &PhaseReport) {
+        let phases: Vec<String> = report
+            .phases
+            .iter()
+            .map(|p| format!("{}={:.1}", p.name, p.total_ns as f64 / 1e3))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>8.1}  {}",
+            grammar,
+            method,
+            total.as_secs_f64() * 1e6,
+            phases.join(" ")
+        );
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 9: per-phase time breakdown (one cold run per method; all times us)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10} {:>8}  {}",
+        "grammar", "method", "total", "phase=us ..."
+    );
+    for entry in lalr_corpus::all_entries() {
+        let g = entry.grammar();
+        let lr0 = Lr0Automaton::build(&g);
+
+        let rec = CollectingRecorder::new();
+        let t0 = Instant::now();
+        let la = LalrAnalysis::compute_recorded(&g, &lr0, &Parallelism::sequential(), &rec)
+            .into_lookaheads();
+        let total = t0.elapsed();
+        std::hint::black_box(la);
+        row(&mut out, entry.name, "DP", total, &rec.report());
+
+        let rec = CollectingRecorder::new();
+        let t0 = Instant::now();
+        let la = propagation_recorded(&g, &lr0, &rec);
+        let total = t0.elapsed();
+        std::hint::black_box(la);
+        row(&mut out, entry.name, "yacc-prop", total, &rec.report());
+
+        let rec = CollectingRecorder::new();
+        let t0 = Instant::now();
+        let lr1 = {
+            let _span = lalr_obs::span(&rec, "lr1.build");
+            Lr1Automaton::build(&g)
+        };
+        let la = {
+            let _span = lalr_obs::span(&rec, "lr1.merge");
+            LookaheadSets::from(&merge_lr1(&g, &lr1, &lr0))
+        };
+        let total = t0.elapsed();
+        std::hint::black_box(la);
+        row(&mut out, entry.name, "LR1-merge", total, &rec.report());
+    }
+    let _ = writeln!(
+        out,
+        "(DP phases: relation construction, two Digraph traversals, LA union; \
+         propagation: closures, fixpoint, emission; LR1-merge: machine build, merge)"
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -484,6 +561,27 @@ mod tests {
         }
         for m in super::Method::ALL {
             assert!(t.contains(m.label()), "{} missing from table 7", m.label());
+        }
+    }
+
+    #[test]
+    fn table9_reports_phases_for_every_method_and_grammar() {
+        let t = super::table9();
+        for e in lalr_corpus::all_entries() {
+            assert!(t.contains(e.name), "{} missing from table 9", e.name);
+        }
+        for phase in [
+            "relations.build=",
+            "digraph.reads=",
+            "digraph.includes=",
+            "la.union=",
+            "prop.closure=",
+            "prop.fixpoint=",
+            "prop.emit=",
+            "lr1.build=",
+            "lr1.merge=",
+        ] {
+            assert!(t.contains(phase), "{phase} missing from table 9");
         }
     }
 

@@ -14,9 +14,10 @@
 //! lalrgen sentences <grammar> [n]        sample n random sentences
 //! lalrgen parse    <grammar> <input> [--number T] [--ident T] [--string T]
 //! lalrgen check    <grammar> <cases>  run a +/- accept/reject case file
+//! lalrgen profile  <grammar> [--trace-out F]  per-phase pipeline timing report
 //! lalrgen serve    [--addr A] [--cache-mb N] [--max-conn N]   run the compile daemon
 //! lalrgen client   <op> [grammar] [--addr A] [--input S]      one request to a daemon
-//! lalrgen stats    [--addr A]                                 daemon statistics
+//! lalrgen stats    [--addr A] [--metrics]                     daemon statistics
 //! ```
 //!
 //! `<grammar>` is a path to a grammar file, or the name of a built-in
@@ -60,16 +61,18 @@ fn fail(message: impl Into<String>) -> CliError {
 /// Usage text.
 pub const USAGE: &str = "usage: lalrgen <command> <grammar> [args] [--threads N]
   commands: analyze, explain, classify, states, table, dot, codegen,
-            sentences, check, parse, serve, client, stats
+            sentences, check, parse, profile, serve, client, stats
   <grammar> is a file path or a corpus name (try: expr, json, pascal, c_subset)
   --threads N runs the look-ahead pipeline on N worker threads (same output, faster on large grammars)
+  profile <grammar> [--trace-out FILE]   per-phase wall/alloc breakdown of the
+         grammar -> LA pipeline; --trace-out writes a Chrome trace (chrome://tracing)
   serve  [--addr A] [--cache-mb N] [--max-conn N] [--deadline-ms N]  run the compile daemon
-  client <compile|classify|table|parse|stats|shutdown> [grammar]
+  client <compile|classify|table|parse|stats|metrics|shutdown> [grammar]
          [--addr A] [--input \"t t t\"] [--compressed] [--deadline-ms N] [--timeout-ms N]
-  stats  [--addr A]                                   daemon statistics snapshot";
+  stats  [--addr A] [--metrics]   daemon statistics snapshot (--metrics: Prometheus text)";
 
 /// Every command name, for the unknown-command error.
-const COMMANDS: &str = "analyze, explain, classify, states, table, dot, codegen, sentences, check, parse, serve, client, stats";
+const COMMANDS: &str = "analyze, explain, classify, states, table, dot, codegen, sentences, check, parse, profile, serve, client, stats";
 
 /// Loads a grammar from a corpus name or a file path. Files ending in
 /// `.y` are read with the yacc/bison reader (actions stripped).
@@ -127,6 +130,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "sentences" => cmd_sentences(rest),
         "check" => cmd_check(rest, &par),
         "parse" => cmd_parse(rest, &par),
+        "profile" => cmd_profile(rest, &par),
         "serve" => cmd_serve(rest, &par),
         "client" => cmd_client(rest),
         "stats" => cmd_stats(rest),
@@ -178,6 +182,16 @@ fn cmd_analyze(args: &[String], par: &Parallelism) -> Result<String, CliError> {
         rs.includes_edges,
         rs.lookback_edges
     );
+    for (label, ds) in [
+        ("reads   ", analysis.reads_traversal()),
+        ("includes", analysis.includes_traversal()),
+    ] {
+        let _ = writeln!(
+            out,
+            "digraph {label}  sccs {}  nontrivial {}  max-scc {}  cyclic-nodes {}",
+            ds.scc_count, ds.nontrivial_sccs, ds.max_scc_size, ds.cyclic_nodes
+        );
+    }
     if analysis.grammar_not_lr_k() {
         let _ = writeln!(out, "NOT LR(k) for any k: the reads relation is cyclic");
     }
@@ -460,6 +474,64 @@ fn cmd_parse(args: &[String], par: &Parallelism) -> Result<String, CliError> {
     }
 }
 
+/// `lalrgen profile`: runs the grammar → look-ahead pipeline under a
+/// [`lalr_obs::CollectingRecorder`] and prints the per-phase breakdown —
+/// wall time, share of the run, and allocation deltas (the counting
+/// allocator from `lalr-bench` is linked into this binary, so the alloc
+/// columns are real). `--trace-out FILE` additionally writes the run as
+/// Chrome trace JSON, loadable in `chrome://tracing` or Perfetto.
+fn cmd_profile(args: &[String], par: &Parallelism) -> Result<String, CliError> {
+    let name = grammar_arg(args, "profile")?;
+    let mut trace_out: Option<&str> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace-out" => {
+                trace_out = Some(flag_value(args, i, "--trace-out")?);
+                i += 2;
+            }
+            other => {
+                return Err(fail(format!(
+                    "unknown flag {other:?} for profile (available: --trace-out, --threads)"
+                )))
+            }
+        }
+    }
+
+    let rec = lalr_obs::CollectingRecorder::with_alloc_probe(lalr_bench::alloc_counter::totals);
+    let wall = std::time::Instant::now();
+    let grammar = {
+        let _span = lalr_obs::span(&rec, "parse");
+        load_grammar(name)?
+    };
+    let lr0 = Lr0Automaton::build_recorded(&grammar, &rec);
+    let analysis = LalrAnalysis::compute_recorded(&grammar, &lr0, par, &rec);
+    let wall_ns = (wall.elapsed().as_nanos() as u64).max(1);
+    let report = rec.report();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profile {name}: {} lr0 states, {} reduction look-ahead sets, {} worker thread(s)",
+        lr0.state_count(),
+        analysis.lookaheads().reduction_count(),
+        par.threads().max(1),
+    );
+    out.push_str(&report.to_text());
+    let coverage = 100.0 * report.phase_sum_ns() as f64 / wall_ns as f64;
+    let _ = writeln!(
+        out,
+        "\npipeline wall time {:.1}us, phase coverage {coverage:.1}%",
+        wall_ns as f64 / 1_000.0
+    );
+    if let Some(path) = trace_out {
+        std::fs::write(path, report.to_chrome_trace())
+            .map_err(|e| fail(format!("cannot write {path:?}: {e}")))?;
+        let _ = writeln!(out, "chrome trace: {path} ({} events)", report.events.len());
+    }
+    Ok(out)
+}
+
 // ---------------------------------------------------------------------------
 // The service daemon and its clients (`lalr-service`).
 
@@ -557,7 +629,7 @@ fn cmd_serve(args: &[String], par: &Parallelism) -> Result<String, CliError> {
 /// response line. Errors from the daemon exit nonzero with the line on
 /// stderr.
 fn cmd_client(args: &[String]) -> Result<String, CliError> {
-    const OPS: &str = "compile, classify, table, parse, stats, shutdown";
+    const OPS: &str = "compile, classify, table, parse, stats, metrics, shutdown";
     const FLAGS: &str = "--addr, --input, --compressed, --deadline-ms, --timeout-ms";
     let mut addr = DEFAULT_ADDR.to_string();
     let mut input: Option<String> = None;
@@ -607,6 +679,7 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
         .ok_or_else(|| fail(format!("client needs an op (available: {OPS})")))?;
     let request = match op {
         "stats" => lalr_service::Request::Stats,
+        "metrics" => lalr_service::Request::Metrics,
         "shutdown" => lalr_service::Request::Shutdown,
         "compile" | "classify" | "table" | "parse" => {
             let name = positional.get(1).ok_or_else(|| {
@@ -646,6 +719,16 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
     )
     .map_err(|e| fail(e.to_string()))?;
     if reply.is_ok() {
+        if matches!(request, lalr_service::Request::Metrics) {
+            // The interesting payload is the exposition text itself;
+            // print it verbatim so the output is directly scrapeable.
+            let text = reply
+                .value
+                .get("text")
+                .and_then(serde_json::Value::as_str)
+                .ok_or_else(|| fail("malformed metrics response: no \"text\" field"))?;
+            return Ok(text.to_string());
+        }
         Ok(format!("{}\n", reply.raw))
     } else {
         Err(CliError {
@@ -655,10 +738,20 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
     }
 }
 
-/// `lalrgen stats`: shorthand for `client stats`.
+/// `lalrgen stats`: shorthand for `client stats`. With `--metrics` it
+/// asks for the Prometheus-style text exposition instead of the JSON
+/// snapshot (shorthand for `client metrics`).
 fn cmd_stats(args: &[String]) -> Result<String, CliError> {
-    let mut forwarded = vec!["stats".to_string()];
-    forwarded.extend(args.iter().cloned());
+    let mut metrics = false;
+    let mut forwarded = Vec::with_capacity(args.len() + 1);
+    for arg in args {
+        if arg == "--metrics" {
+            metrics = true;
+        } else {
+            forwarded.push(arg.clone());
+        }
+    }
+    forwarded.insert(0, if metrics { "metrics" } else { "stats" }.to_string());
     cmd_client(&forwarded)
 }
 
@@ -757,6 +850,115 @@ mod tests {
         assert!(err.message.contains("bad thread count"), "{}", err.message);
         let err = run_strs(&["classify", "expr", "--threads"]).unwrap_err();
         assert!(err.message.contains("needs a count"), "{}", err.message);
+    }
+
+    #[test]
+    fn profile_reports_phases_with_high_wall_coverage() {
+        // A large corpus grammar, so per-span overhead and inter-phase
+        // gaps are negligible next to the real pipeline work.
+        let out = run_strs(&["profile", "c_subset"]).unwrap();
+        for phase in [
+            "parse",
+            "lr0.build",
+            "relations.build",
+            "digraph.reads",
+            "digraph.includes",
+            "la.union",
+        ] {
+            assert!(out.contains(phase), "missing phase {phase} in:\n{out}");
+        }
+        let coverage: f64 = out
+            .split("phase coverage ")
+            .nth(1)
+            .and_then(|rest| rest.split('%').next())
+            .expect("coverage line present")
+            .parse()
+            .expect("coverage is a number");
+        assert!(
+            (90.0..=100.5).contains(&coverage),
+            "phase sum must be within 10% of wall time, got {coverage}%:\n{out}"
+        );
+    }
+
+    #[test]
+    fn profile_trace_out_writes_valid_chrome_json() {
+        let dir = std::env::temp_dir().join("lalr_cli_profile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let out = run_strs(&["profile", "expr", "--trace-out", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("chrome trace:"), "{out}");
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = serde_json::from_str(&text).expect("trace round-trips through serde_json");
+        let events = doc
+            .get("traceEvents")
+            .and_then(serde_json::Value::as_arr)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        let mut complete = 0usize;
+        for event in events {
+            let ph = event.get("ph").and_then(serde_json::Value::as_str);
+            assert!(matches!(ph, Some("X" | "I")), "unexpected phase {ph:?}");
+            assert!(event
+                .get("name")
+                .and_then(serde_json::Value::as_str)
+                .is_some());
+            assert!(event.get("ts").is_some());
+            if ph == Some("X") {
+                complete += 1;
+                assert!(event.get("dur").is_some());
+            }
+        }
+        assert!(complete >= 4, "expected pipeline spans, got {complete}");
+    }
+
+    #[test]
+    fn profile_rejects_unknown_flags() {
+        let err = run_strs(&["profile", "expr", "--wat"]).unwrap_err();
+        assert!(
+            err.message.contains("available: --trace-out"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn analyze_reports_digraph_traversal_stats() {
+        let out = run_strs(&["analyze", "expr"]).unwrap();
+        assert!(out.contains("digraph reads"), "{out}");
+        assert!(out.contains("digraph includes"), "{out}");
+        assert!(out.contains("max-scc"), "{out}");
+    }
+
+    #[test]
+    fn stats_metrics_prints_the_daemon_exposition() {
+        let config = lalr_service::DaemonConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..lalr_service::DaemonConfig::default()
+        };
+        let daemon = lalr_service::Daemon::start(config).expect("bind loopback");
+        let addr = daemon.addr().to_string();
+
+        let out = run_strs(&["client", "compile", "expr", "--addr", &addr]).unwrap();
+        assert!(out.contains("\"ok\":true"), "{out}");
+
+        let metrics = run_strs(&["stats", "--metrics", "--addr", &addr]).unwrap();
+        assert!(
+            metrics.contains("# TYPE lalr_requests_total counter"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("lalr_requests_total 1"), "{metrics}");
+        assert!(
+            metrics.contains("lalr_requests_by_op_total{op=\"compile\"} 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("lalr_phase_calls_total{phase=\"lr0.build\"} 1"),
+            "{metrics}"
+        );
+
+        let _ = run_strs(&["client", "shutdown", "--addr", &addr]);
+        daemon.join();
     }
 
     #[test]

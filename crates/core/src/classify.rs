@@ -127,6 +127,21 @@ pub fn classify_with(grammar: &Grammar, parallelism: &crate::Parallelism) -> Met
     classify_from(grammar, &lr0, &analysis, parallelism)
 }
 
+/// Recorded analogue of [`classify_from`]: each of the five methods runs
+/// inside its own span (`classify.lr0`, `classify.slr`,
+/// `classify.nqlalr`, `classify.lr1`, `classify.lalr`). Under the
+/// parallel fan the method spans land on their worker threads, which
+/// per-thread span stacks keep well-nested.
+pub fn classify_recorded(
+    grammar: &Grammar,
+    lr0: &Lr0Automaton,
+    analysis: &LalrAnalysis,
+    parallelism: &crate::Parallelism,
+    rec: &dyn lalr_obs::Recorder,
+) -> MethodAdequacy {
+    classify_inner(grammar, lr0, analysis, parallelism, rec)
+}
+
 /// Classifies from a prebuilt LR(0) automaton and DeRemer–Pennello
 /// analysis, running only the remaining four methods (LR(0)/SLR/NQLALR
 /// baselines and the canonical-LR(1) build). This is what `lalr-service`
@@ -139,23 +154,41 @@ pub fn classify_from(
     analysis: &LalrAnalysis,
     parallelism: &crate::Parallelism,
 ) -> MethodAdequacy {
+    classify_inner(grammar, lr0, analysis, parallelism, &lalr_obs::NULL)
+}
+
+fn classify_inner(
+    grammar: &Grammar,
+    lr0: &Lr0Automaton,
+    analysis: &LalrAnalysis,
+    parallelism: &crate::Parallelism,
+    rec: &dyn lalr_obs::Recorder,
+) -> MethodAdequacy {
     let (lr0_c, slr_c, nq_c, lr1_c);
     if parallelism.is_parallel() {
         (lr0_c, slr_c, nq_c, lr1_c) = std::thread::scope(|scope| {
             let lr1_h = scope.spawn(move || {
+                let _span = lalr_obs::span(rec, "classify.lr1");
                 let lr1 = Lr1Automaton::build(grammar);
                 lr1_conflicts(grammar, &lr1)
             });
-            let lr0_h = scope
-                .spawn(move || find_conflicts(grammar, lr0, &lr0_lookaheads(grammar, lr0)).len());
-            let slr_h = scope
-                .spawn(move || find_conflicts(grammar, lr0, &slr_lookaheads(grammar, lr0)).len());
-            let nq_c = find_conflicts(
-                grammar,
-                lr0,
-                NqlalrAnalysis::compute(grammar, lr0).lookaheads(),
-            )
-            .len();
+            let lr0_h = scope.spawn(move || {
+                let _span = lalr_obs::span(rec, "classify.lr0");
+                find_conflicts(grammar, lr0, &lr0_lookaheads(grammar, lr0)).len()
+            });
+            let slr_h = scope.spawn(move || {
+                let _span = lalr_obs::span(rec, "classify.slr");
+                find_conflicts(grammar, lr0, &slr_lookaheads(grammar, lr0)).len()
+            });
+            let nq_c = {
+                let _span = lalr_obs::span(rec, "classify.nqlalr");
+                find_conflicts(
+                    grammar,
+                    lr0,
+                    NqlalrAnalysis::compute(grammar, lr0).lookaheads(),
+                )
+                .len()
+            };
             (
                 lr0_h.join().expect("lr0 baseline panicked"),
                 slr_h.join().expect("slr baseline panicked"),
@@ -164,18 +197,33 @@ pub fn classify_from(
             )
         });
     } else {
-        let lr1 = Lr1Automaton::build(grammar);
-        lr0_c = find_conflicts(grammar, lr0, &lr0_lookaheads(grammar, lr0)).len();
-        slr_c = find_conflicts(grammar, lr0, &slr_lookaheads(grammar, lr0)).len();
-        nq_c = find_conflicts(
-            grammar,
-            lr0,
-            NqlalrAnalysis::compute(grammar, lr0).lookaheads(),
-        )
-        .len();
-        lr1_c = lr1_conflicts(grammar, &lr1);
+        lr1_c = {
+            let _span = lalr_obs::span(rec, "classify.lr1");
+            let lr1 = Lr1Automaton::build(grammar);
+            lr1_conflicts(grammar, &lr1)
+        };
+        lr0_c = {
+            let _span = lalr_obs::span(rec, "classify.lr0");
+            find_conflicts(grammar, lr0, &lr0_lookaheads(grammar, lr0)).len()
+        };
+        slr_c = {
+            let _span = lalr_obs::span(rec, "classify.slr");
+            find_conflicts(grammar, lr0, &slr_lookaheads(grammar, lr0)).len()
+        };
+        nq_c = {
+            let _span = lalr_obs::span(rec, "classify.nqlalr");
+            find_conflicts(
+                grammar,
+                lr0,
+                NqlalrAnalysis::compute(grammar, lr0).lookaheads(),
+            )
+            .len()
+        };
     }
-    let lalr_c = analysis.conflicts(grammar, lr0).len();
+    let lalr_c = {
+        let _span = lalr_obs::span(rec, "classify.lalr");
+        analysis.conflicts(grammar, lr0).len()
+    };
 
     let class = if lr0_c == 0 {
         GrammarClass::Lr0

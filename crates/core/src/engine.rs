@@ -2,8 +2,9 @@
 
 use lalr_automata::{Lr0Automaton, NtTransId};
 use lalr_bitset::{BitMatrix, BitSet};
-use lalr_digraph::{digraph, digraph_levels, DigraphStats};
+use lalr_digraph::{digraph, digraph_levels, digraph_levels_recorded, DigraphStats, Graph};
 use lalr_grammar::Grammar;
+use lalr_obs::Recorder;
 
 use crate::conflicts::{find_conflicts, Conflict};
 use crate::lookahead::LookaheadSets;
@@ -56,8 +57,26 @@ impl LalrAnalysis {
         lr0: &Lr0Automaton,
         parallelism: &Parallelism,
     ) -> LalrAnalysis {
-        let relations = Relations::build_parallel(grammar, lr0, parallelism);
-        LalrAnalysis::from_relations_with(grammar, lr0, &relations, parallelism)
+        LalrAnalysis::compute_recorded(grammar, lr0, parallelism, &lalr_obs::NULL)
+    }
+
+    /// [`LalrAnalysis::compute_with`] under an observer.
+    ///
+    /// Phases are bracketed by spans (`relations.build`,
+    /// `digraph.reads`, `digraph.includes`, `la.union`,
+    /// `relations.stats`) and, when the recorder is enabled, the
+    /// structural pipeline counters (relation edges, SCC counts, level
+    /// widths, bitset OR operations, LA unions) are reported. With the
+    /// null recorder this is exactly [`LalrAnalysis::compute_with`] —
+    /// the enabled checks compile down to one indirect call per phase.
+    pub fn compute_recorded(
+        grammar: &Grammar,
+        lr0: &Lr0Automaton,
+        parallelism: &Parallelism,
+        rec: &dyn Recorder,
+    ) -> LalrAnalysis {
+        let relations = Relations::build_parallel_recorded(grammar, lr0, parallelism, rec);
+        LalrAnalysis::from_relations_recorded(grammar, lr0, &relations, parallelism, rec)
     }
 
     /// Runs the Digraph phases over prebuilt relations (lets benchmarks
@@ -77,33 +96,88 @@ impl LalrAnalysis {
         relations: &Relations,
         parallelism: &Parallelism,
     ) -> LalrAnalysis {
+        LalrAnalysis::from_relations_recorded(grammar, lr0, relations, parallelism, &lalr_obs::NULL)
+    }
+
+    /// Recorded analogue of [`LalrAnalysis::from_relations_with`]; see
+    /// [`LalrAnalysis::compute_recorded`] for the span and counter
+    /// vocabulary.
+    pub fn from_relations_recorded(
+        grammar: &Grammar,
+        lr0: &Lr0Automaton,
+        relations: &Relations,
+        parallelism: &Parallelism,
+        rec: &dyn Recorder,
+    ) -> LalrAnalysis {
         let threads = parallelism.threads();
+
+        // One Digraph pass under a named span. When the recorder is
+        // enabled the counting traversal runs instead (identical result,
+        // plus union/level tallies reported under `prefix.*` counters).
+        let traverse = |graph: &Graph,
+                        sets: &mut BitMatrix,
+                        name: &'static str,
+                        counters: &[&'static str; 4]|
+         -> DigraphStats {
+            let _span = lalr_obs::span(rec, name);
+            if rec.is_enabled() {
+                let report = digraph_levels_recorded(graph, sets, threads, rec);
+                let [unions, sccs, levels, width] = *counters;
+                rec.add(unions, report.counts.unions);
+                rec.add(sccs, report.stats.scc_count as u64);
+                rec.add(levels, report.levels as u64);
+                rec.add(width, report.max_width as u64);
+                report.stats
+            } else if threads > 1 {
+                digraph_levels(graph, sets, threads)
+            } else {
+                digraph(graph, sets)
+            }
+        };
+
         // Phase 1: Read = Digraph(reads, DR).
         let mut read = relations.dr().clone();
-        let reads_traversal = if threads > 1 {
-            digraph_levels(relations.reads(), &mut read, threads)
-        } else {
-            digraph(relations.reads(), &mut read)
-        };
+        let reads_traversal = traverse(
+            relations.reads(),
+            &mut read,
+            "digraph.reads",
+            &[
+                "digraph.reads.or_ops",
+                "digraph.reads.sccs",
+                "digraph.reads.levels",
+                "digraph.reads.max_level_width",
+            ],
+        );
 
         // Phase 2: Follow = Digraph(includes, Read).
         let mut follow = read.clone();
-        let includes_traversal = if threads > 1 {
-            digraph_levels(relations.includes(), &mut follow, threads)
-        } else {
-            digraph(relations.includes(), &mut follow)
-        };
+        let includes_traversal = traverse(
+            relations.includes(),
+            &mut follow,
+            "digraph.includes",
+            &[
+                "digraph.includes.or_ops",
+                "digraph.includes.sccs",
+                "digraph.includes.levels",
+                "digraph.includes.max_level_width",
+            ],
+        );
 
         // Phase 3: LA(q, A→ω) = ⋃ Follow(p, A) over lookback. Pure dense
         // index arithmetic: each union ORs a Follow matrix row straight
         // into the LA matrix row of the reduction point — no hashing, no
         // per-edge allocation.
+        let la_span = lalr_obs::span(rec, "la.union");
         let mut la = LookaheadSets::with_index(
             relations.reduction_index().clone(),
             grammar.terminal_count(),
         );
+        let mut la_reductions = 0u64;
+        let mut la_unions = 0u64;
         for (rid, transitions) in relations.lookback_entries() {
             la.touch_id(rid);
+            la_reductions += 1;
+            la_unions += transitions.len() as u64;
             for &t in transitions {
                 la.union_words(rid, follow.row_words(t.index()));
             }
@@ -115,12 +189,22 @@ impl LalrAnalysis {
             lalr_grammar::ProdId::START,
             lalr_grammar::Terminal::EOF,
         );
+        if rec.is_enabled() {
+            rec.add("la.reduction_points", la_reductions);
+            rec.add("la.or_ops", la_unions);
+        }
+        drop(la_span);
+
+        let relation_stats = {
+            let _span = lalr_obs::span(rec, "relations.stats");
+            relations.stats()
+        };
 
         LalrAnalysis {
             read,
             follow,
             la,
-            relation_stats: relations.stats(),
+            relation_stats,
             reads_traversal,
             includes_traversal,
         }

@@ -53,14 +53,17 @@ mod relations;
 mod selective;
 mod slr;
 
-pub use classify::{classify, classify_from, classify_with, GrammarClass, MethodAdequacy};
+pub use classify::{
+    classify, classify_from, classify_recorded, classify_with, GrammarClass, MethodAdequacy,
+};
 pub use conflicts::{find_conflicts, Conflict, ConflictKind};
 pub use engine::LalrAnalysis;
 pub use explain::{explain_conflict, viable_prefix};
+pub use lalr_digraph::DigraphStats;
 pub use lookahead::LookaheadSets;
 pub use nqlalr::NqlalrAnalysis;
 pub use parallel::Parallelism;
-pub use propagation::propagation_lookaheads;
+pub use propagation::{propagation_lookaheads, propagation_recorded};
 pub use relations::{RelationStats, Relations};
 pub use selective::{inadequate_states, selective_lookaheads, SelectiveAnalysis};
 pub use slr::slr_lookaheads;

@@ -37,6 +37,20 @@ use crate::lookahead::LookaheadSets;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn propagation_lookaheads(grammar: &Grammar, lr0: &Lr0Automaton) -> LookaheadSets {
+    propagation_recorded(grammar, lr0, &lalr_obs::NULL)
+}
+
+/// [`propagation_lookaheads`] under an observer: the three stages run in
+/// spans (`prop.closure` — per-kernel LR(1) closures discovering
+/// spontaneous look-aheads and links; `prop.fixpoint` — iterating the
+/// links; `prop.emit` — the final per-state closure emission), with
+/// kernel/link/pass counters. Table 9 uses this to attribute where the
+/// propagation baseline spends its time.
+pub fn propagation_recorded(
+    grammar: &Grammar,
+    lr0: &Lr0Automaton,
+    rec: &dyn lalr_obs::Recorder,
+) -> LookaheadSets {
     let nullable_set = nullable(grammar);
     let first = FirstSets::compute(grammar, &nullable_set);
     // The dummy "#" terminal gets one extra column past the real alphabet.
@@ -45,6 +59,7 @@ pub fn propagation_lookaheads(grammar: &Grammar, lr0: &Lr0Automaton) -> Lookahea
     let dummy = n_real;
 
     // Enumerate kernel items: (state, item) → dense index.
+    let closure_span = lalr_obs::span(rec, "prop.closure");
     let mut kernel_idx: FxHashMap<(StateId, Item), usize> = FxHashMap::default();
     let mut kernels: Vec<(StateId, Item)> = Vec::new();
     for state in lr0.states() {
@@ -87,10 +102,20 @@ pub fn propagation_lookaheads(grammar: &Grammar, lr0: &Lr0Automaton) -> Lookahea
         }
     }
 
+    if rec.is_enabled() {
+        rec.add("prop.kernel_items", kernels.len() as u64);
+        let link_count: usize = links.iter().map(Vec::len).sum();
+        rec.add("prop.links", link_count as u64);
+    }
+    drop(closure_span);
+
     // Iterate propagation to a fixpoint.
+    let fixpoint_span = lalr_obs::span(rec, "prop.fixpoint");
+    let mut passes = 0u64;
     let mut changed = true;
     while changed {
         changed = false;
+        passes += 1;
         for k in 0..kernels.len() {
             if la[k].is_empty() {
                 continue;
@@ -101,6 +126,11 @@ pub fn propagation_lookaheads(grammar: &Grammar, lr0: &Lr0Automaton) -> Lookahea
             }
         }
     }
+    if rec.is_enabled() {
+        rec.add("prop.passes", passes);
+    }
+    drop(fixpoint_span);
+    let _emit_span = lalr_obs::span(rec, "prop.emit");
 
     // Reductions of kernel items directly; reductions of non-kernel ε-items
     // via one more closure pass per state with the converged kernel LAs.

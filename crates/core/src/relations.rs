@@ -104,11 +104,41 @@ impl Relations {
         lr0: &Lr0Automaton,
         parallelism: &crate::Parallelism,
     ) -> Relations {
+        Relations::build_parallel_recorded(grammar, lr0, parallelism, &lalr_obs::NULL)
+    }
+
+    /// [`Relations::build_parallel`] under an observer: the build runs
+    /// inside a `relations.build` span and — when the recorder is
+    /// enabled — reports the edge counts of all three relations. The
+    /// counters come from the built adjacency structures directly (no
+    /// SCC pass; see [`Relations::stats`] for the expensive structural
+    /// statistics).
+    pub fn build_parallel_recorded(
+        grammar: &Grammar,
+        lr0: &Lr0Automaton,
+        parallelism: &crate::Parallelism,
+        rec: &dyn lalr_obs::Recorder,
+    ) -> Relations {
+        let _span = lalr_obs::span(rec, "relations.build");
         let nullable = lalr_grammar::analysis::nullable(grammar);
-        if !parallelism.is_parallel() {
-            return Relations::build_with(grammar, lr0, nullable);
+        let relations = if !parallelism.is_parallel() {
+            Relations::build_with(grammar, lr0, nullable)
+        } else {
+            Relations::build_with_parallel(grammar, lr0, nullable, parallelism)
+        };
+        if rec.is_enabled() {
+            rec.add("relations.nodes", relations.reads.node_count() as u64);
+            rec.add("relations.reads_edges", relations.reads.edge_count() as u64);
+            rec.add(
+                "relations.includes_edges",
+                relations.includes.edge_count() as u64,
+            );
+            rec.add(
+                "relations.lookback_edges",
+                relations.lookback_slab.len() as u64,
+            );
         }
-        Relations::build_with_parallel(grammar, lr0, nullable, parallelism)
+        relations
     }
 
     /// Parallel analogue of [`Relations::build_with`]; see

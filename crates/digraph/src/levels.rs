@@ -30,11 +30,13 @@
 //! the returned [`DigraphStats`] (derived from the SCC structure) agree
 //! with a full sequential run.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 
 use lalr_bitset::{AtomicBitMatrix, BitMatrix};
+use lalr_obs::Recorder;
 
-use crate::{digraph, tarjan_scc, DigraphStats, Graph, SccInfo};
+use crate::{digraph, digraph_counting, tarjan_scc, DigraphStats, Graph, SccInfo, TraversalCounts};
 
 /// The condensation of a relation leveled into parallel frontiers.
 ///
@@ -181,6 +183,55 @@ pub fn digraph_levels(graph: &Graph, sets: &mut BitMatrix, threads: usize) -> Di
     digraph_with_schedule(graph, sets, &schedule, threads)
 }
 
+/// Everything a recorded traversal learned: sequential-equivalent
+/// stats, set-operation tallies, and the shape of the level schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraversalReport {
+    /// Statistics identical to a sequential [`digraph`] run.
+    pub stats: DigraphStats,
+    /// Row unions / copies performed (deterministic per graph).
+    pub counts: TraversalCounts,
+    /// Levels in the condensation schedule (critical-path length).
+    pub levels: usize,
+    /// Width of the widest level (available parallelism).
+    pub max_width: usize,
+}
+
+/// [`digraph_levels`] under an observer: tallies row unions/copies,
+/// reports the schedule shape, and — on the threaded path — emits one
+/// `digraph.level` span per frontier so the trace shows where the
+/// critical path goes. The adaptive fallback matches
+/// [`digraph_levels`]; the matrix is bit-identical in every case.
+///
+/// # Panics
+///
+/// Panics if `sets.rows() != graph.node_count()`.
+pub fn digraph_levels_recorded(
+    graph: &Graph,
+    sets: &mut BitMatrix,
+    threads: usize,
+    rec: &dyn Recorder,
+) -> TraversalReport {
+    assert_eq!(
+        sets.rows(),
+        graph.node_count(),
+        "one set row is required per graph node"
+    );
+    let schedule = LevelSchedule::of(graph);
+    let shape = |stats: DigraphStats, counts: TraversalCounts| TraversalReport {
+        stats,
+        counts,
+        levels: schedule.level_count(),
+        max_width: schedule.max_width(),
+    };
+    if threads <= 1 || schedule.max_width() < threads * PARALLEL_GRAIN {
+        let (stats, counts) = digraph_counting(graph, sets);
+        return shape(stats, counts);
+    }
+    let report = schedule_inner(graph, sets, &schedule, threads, rec);
+    shape(report.stats, report.counts)
+}
+
 /// Like [`digraph_levels`] but reuses a precomputed [`LevelSchedule`]
 /// (useful when the same relation is traversed repeatedly, or when the
 /// caller also wants the schedule's structure for reporting).
@@ -195,13 +246,35 @@ pub fn digraph_with_schedule(
         graph.node_count(),
         "one set row is required per graph node"
     );
+    schedule_inner(graph, sets, schedule, threads, &lalr_obs::NULL).stats
+}
+
+/// The level-scheduled engine shared by the plain and recorded entry
+/// points. With the null recorder the tallies are never touched and no
+/// spans are emitted, so the plain path's cost is unchanged.
+fn schedule_inner(
+    graph: &Graph,
+    sets: &mut BitMatrix,
+    schedule: &LevelSchedule,
+    threads: usize,
+    rec: &dyn Recorder,
+) -> TraversalReport {
     let stats = schedule.stats(graph);
+    let mut report = TraversalReport {
+        stats,
+        counts: TraversalCounts::default(),
+        levels: schedule.level_count(),
+        max_width: schedule.max_width(),
+    };
     if graph.node_count() == 0 {
-        return stats;
+        return report;
     }
     let comp = schedule.scc();
     let atomic = AtomicBitMatrix::from_matrix(sets);
     let workers = threads.max(1);
+    let enabled = rec.is_enabled();
+    let unions = AtomicU64::new(0);
+    let assigns = AtomicU64::new(0);
 
     // One closure per component: union the members' rows and every
     // external successor's (already-final) row into the representative,
@@ -209,26 +282,35 @@ pub fn digraph_with_schedule(
     let process = |c: usize| {
         let members = &schedule.members[c];
         let rep = members[0];
+        let mut local_unions = 0u64;
         for &m in &members[1..] {
             atomic.union_row_from(rep, m);
+            local_unions += 1;
         }
         for &x in members {
             for &y in graph.successors(x) {
                 if comp.component(y as usize) != c {
                     atomic.union_row_from(rep, y as usize);
+                    local_unions += 1;
                 }
             }
         }
         for &m in &members[1..] {
             atomic.copy_row_from(m, rep);
         }
+        if enabled {
+            unions.fetch_add(local_unions, Ordering::Relaxed);
+            assigns.fetch_add(members.len() as u64 - 1, Ordering::Relaxed);
+        }
     };
 
     if workers == 1 {
         for level in schedule.levels() {
+            let span = enabled.then(|| lalr_obs::span(rec, "digraph.level"));
             for &c in level {
                 process(c as usize);
             }
+            drop(span);
         }
     } else {
         let barrier = Barrier::new(workers);
@@ -238,12 +320,18 @@ pub fn digraph_with_schedule(
                 let process = &process;
                 scope.spawn(move || {
                     for level in schedule.levels() {
+                        // Worker 0 brackets the whole frontier: its exit
+                        // lands after the barrier, when every worker has
+                        // finished the level.
+                        let span =
+                            (enabled && tid == 0).then(|| lalr_obs::span(rec, "digraph.level"));
                         for idx in (tid..level.len()).step_by(workers) {
                             process(level[idx] as usize);
                         }
                         // The wait publishes this level's rows to every
                         // worker before any of them starts the next level.
                         barrier.wait();
+                        drop(span);
                     }
                 });
             }
@@ -251,7 +339,11 @@ pub fn digraph_with_schedule(
     }
 
     *sets = atomic.into_matrix();
-    stats
+    report.counts = TraversalCounts {
+        unions: unions.into_inner(),
+        assigns: assigns.into_inner(),
+    };
+    report
 }
 
 #[cfg(test)]
@@ -374,6 +466,50 @@ mod tests {
         let mut m = BitMatrix::new(7, 4);
         let seq_stats = digraph(&g, &mut m);
         assert_eq!(s.stats(&g), seq_stats);
+    }
+
+    #[test]
+    fn recorded_traversal_is_bit_identical_and_emits_level_spans() {
+        use lalr_obs::{CollectingRecorder, Recorder};
+        // Wide two-level DAG so the threaded path is actually taken:
+        // 32 sources each pointing at one of 8 sinks.
+        let n = 40;
+        let edges: Vec<_> = (0..32).map(|i| (i, 32 + i % 8)).collect();
+        let g = Graph::from_edges(n, edges);
+        let mut m = BitMatrix::new(n, 16);
+        for s in 32..40 {
+            m.set(s, s - 32);
+        }
+        let mut seq = m.clone();
+        let seq_stats = digraph(&g, &mut seq);
+
+        let rec = CollectingRecorder::new();
+        let mut par = m.clone();
+        let report = digraph_levels_recorded(&g, &mut par, 2, &rec);
+        assert_eq!(seq, par, "recorded traversal must be bit-identical");
+        assert_eq!(seq_stats, report.stats);
+        assert_eq!(report.levels, 2);
+        assert_eq!(report.max_width, 32);
+        assert_eq!(report.counts.unions, 32, "one union per cross edge");
+        assert_eq!(report.counts.assigns, 0, "all components are singletons");
+        let events = rec.report();
+        let level_spans = events
+            .events
+            .iter()
+            .filter(|e| e.name == "digraph.level")
+            .count();
+        assert_eq!(level_spans, 2, "one span per frontier");
+
+        // The sequential fallback (threads = 1) still counts and
+        // reports the schedule shape, without level spans.
+        let quiet = CollectingRecorder::new();
+        let mut seq2 = m.clone();
+        let fallback = digraph_levels_recorded(&g, &mut seq2, 1, &quiet);
+        assert_eq!(seq, seq2);
+        assert_eq!(fallback.levels, 2);
+        assert!(fallback.counts.unions > 0);
+        assert!(quiet.report().events.is_empty());
+        assert!(quiet.is_enabled());
     }
 
     #[test]

@@ -52,7 +52,12 @@ mod traversal;
 
 pub use condensation::Condensation;
 pub use graph::Graph;
-pub use levels::{digraph_levels, digraph_with_schedule, LevelSchedule};
+pub use levels::{
+    digraph_levels, digraph_levels_recorded, digraph_with_schedule, LevelSchedule, TraversalReport,
+};
 pub use naive::naive_closure;
 pub use tarjan::{tarjan_scc, SccInfo};
-pub use traversal::{digraph, digraph_from, digraph_from_on, digraph_on, DigraphStats, UnionSets};
+pub use traversal::{
+    digraph, digraph_counting, digraph_from, digraph_from_on, digraph_on, DigraphStats,
+    TraversalCounts, UnionSets,
+};

@@ -64,6 +64,55 @@ impl DigraphStats {
     }
 }
 
+/// Set-operation tallies from a counting traversal — the "bitset OR
+/// operations" pipeline counter of the observability layer. The counts
+/// are structural (one per relation edge / component member), so they
+/// are deterministic for a fixed graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraversalCounts {
+    /// Number of `F(dst) ∪= F(src)` row unions performed.
+    pub unions: u64,
+    /// Number of `F(dst) := F(src)` row copies (SCC collapses).
+    pub assigns: u64,
+}
+
+/// A [`UnionSets`] adapter that forwards to an inner store while
+/// tallying every operation.
+struct CountingSets<'a, S> {
+    inner: &'a mut S,
+    counts: TraversalCounts,
+}
+
+impl<S: UnionSets> UnionSets for CountingSets<'_, S> {
+    fn union(&mut self, dst: usize, src: usize) {
+        self.counts.unions += 1;
+        self.inner.union(dst, src);
+    }
+
+    fn assign(&mut self, dst: usize, src: usize) {
+        self.counts.assigns += 1;
+        self.inner.assign(dst, src);
+    }
+}
+
+/// [`digraph`] plus a [`TraversalCounts`] tally of the set operations it
+/// performed. The resulting matrix and stats are identical to
+/// [`digraph`]'s; the profiling layer uses this for its OR-operation
+/// counters.
+pub fn digraph_counting(graph: &Graph, sets: &mut BitMatrix) -> (DigraphStats, TraversalCounts) {
+    assert_eq!(
+        sets.rows(),
+        graph.node_count(),
+        "one set row is required per graph node"
+    );
+    let mut counting = CountingSets {
+        inner: sets,
+        counts: TraversalCounts::default(),
+    };
+    let stats = digraph_on(graph, &mut counting);
+    (stats, counting.counts)
+}
+
 /// Runs the Digraph algorithm over bit-matrix rows.
 ///
 /// `sets` must have exactly one row per graph node; rows enter holding
@@ -336,6 +385,23 @@ mod tests {
         let stats = digraph(&g, &mut m);
         assert!(m.get(0, 0));
         assert_eq!(stats.scc_count, n);
+    }
+
+    #[test]
+    fn counting_traversal_matches_and_tallies() {
+        // A 3-cycle: the DFS performs one union per non-tree edge plus
+        // one per parent propagation, and two assigns collapsing the
+        // component onto its root.
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let mut plain = BitMatrix::new(3, 8);
+        plain.set(1, 4);
+        let mut counted = plain.clone();
+        let plain_stats = digraph(&g, &mut plain);
+        let (stats, counts) = digraph_counting(&g, &mut counted);
+        assert_eq!(plain, counted, "counting adapter must not change results");
+        assert_eq!(plain_stats, stats);
+        assert_eq!(counts.assigns, 2, "two members collapse onto the root");
+        assert_eq!(counts.unions, 3, "back edge + two parent propagations");
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Chrome trace-event JSON export.
+//!
+//! The [trace-event format] is the lingua franca of `chrome://tracing`
+//! and Perfetto: an object with a `traceEvents` array of complete
+//! (`"ph":"X"`) events carrying microsecond `ts`/`dur`. The writer is
+//! hand-rolled (this crate is dependency-free) and emits keys in sorted
+//! order inside every object, so output is deterministic up to the
+//! recorded timings.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::fmt::Write as _;
+
+use crate::report::PhaseReport;
+
+impl PhaseReport {
+    /// Serializes the report as Chrome trace-event JSON.
+    ///
+    /// Every completed span becomes one complete event (`ph:"X"`) on
+    /// its thread row; counters are attached as a single global instant
+    /// event named `counters` so they survive into the trace viewer.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        for e in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"args\":{{\"allocs\":{},\"bytes\":{}}},\"cat\":\"lalr\",\"dur\":{},\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{}}}",
+                e.allocs,
+                e.bytes,
+                us(e.dur_ns),
+                escape(e.name),
+                e.tid,
+                us(e.start_ns),
+            );
+        }
+        if !self.counters.is_empty() {
+            if !first {
+                out.push(',');
+            }
+            out.push_str("{\"args\":{");
+            for (i, (name, value)) in self.counters.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", escape(name), value);
+            }
+            let _ = write!(
+                out,
+                "}},\"name\":\"counters\",\"ph\":\"I\",\"pid\":1,\"s\":\"g\",\"tid\":0,\"ts\":{}}}",
+                us(self.total_ns)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Nanoseconds to the microsecond JSON number the format expects.
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1_000.0)
+}
+
+/// Minimal JSON string escaping. Names are static identifiers in
+/// practice, but the writer must never emit invalid JSON.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::recorder::{span, Recorder};
+    use crate::CollectingRecorder;
+
+    #[test]
+    fn trace_round_trips_through_the_json_parser() {
+        let rec = CollectingRecorder::new();
+        {
+            let _outer = span(&rec, "outer");
+            let _inner = span(&rec, "inner");
+        }
+        rec.add("bits.or_ops", 7);
+        let trace = rec.report().to_chrome_trace();
+
+        let value = serde_json::from_str(&trace).expect("valid JSON");
+        assert_eq!(
+            value.get("displayTimeUnit").and_then(|v| v.as_str()),
+            Some("ms")
+        );
+        let events = value
+            .get("traceEvents")
+            .and_then(|v| v.as_arr())
+            .expect("traceEvents array");
+        // Two complete events plus the counter instant.
+        assert_eq!(events.len(), 3);
+        let complete: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), 2);
+        for e in &complete {
+            assert!(e.get("ts").and_then(|v| v.as_f64()).is_some());
+            assert!(e.get("dur").and_then(|v| v.as_f64()).is_some());
+            assert_eq!(e.get("pid").and_then(|v| v.as_u64()), Some(1));
+        }
+        let instant = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|v| v.as_str()) == Some("I"))
+            .expect("counter instant event");
+        assert_eq!(
+            instant
+                .get("args")
+                .and_then(|a| a.get("bits.or_ops"))
+                .and_then(|v| v.as_u64()),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn escaping_keeps_json_valid() {
+        assert_eq!(super::escape("plain.name"), "plain.name");
+        assert_eq!(super::escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(super::escape("\u{1}"), "\\u0001");
+    }
+}

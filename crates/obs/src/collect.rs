@@ -1,0 +1,303 @@
+//! The enabled recorder: aggregates spans and counters under one
+//! mutex, producing a [`PhaseReport`].
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::Instant;
+
+use crate::recorder::Recorder;
+use crate::report::{summarize, PhaseReport, SpanEvent};
+
+/// A probe returning the process-wide cumulative `(allocations, bytes)`
+/// — typically `lalr_bench::alloc_counter::totals`. Sampled at span
+/// enter and exit to attribute allocation deltas to phases.
+pub type AllocProbe = fn() -> (u64, u64);
+
+/// One open (entered, not yet exited) span on some thread.
+struct OpenSpan {
+    name: &'static str,
+    start_ns: u64,
+    allocs: u64,
+    bytes: u64,
+}
+
+#[derive(Default)]
+struct State {
+    /// Per-thread span stacks, keyed by dense first-record order so
+    /// reports use small stable thread indices.
+    threads: Vec<(ThreadId, Vec<OpenSpan>)>,
+    counters: BTreeMap<&'static str, u64>,
+    events: Vec<SpanEvent>,
+}
+
+/// A [`Recorder`] that keeps everything.
+///
+/// All state lives under a single mutex; the recorder is meant for the
+/// profiling path, where a handful of span crossings per pipeline phase
+/// are noise next to the phases themselves. Counters are deterministic
+/// per input; span timings are not.
+///
+/// Note the recorder's own bookkeeping allocates *inside* open spans,
+/// so with an [`AllocProbe`] wired in, per-phase allocation deltas
+/// include a few recorder-internal allocations (vector growth, event
+/// push) on top of the pipeline's own.
+pub struct CollectingRecorder {
+    origin: Instant,
+    alloc_probe: Option<AllocProbe>,
+    state: Mutex<State>,
+}
+
+impl CollectingRecorder {
+    /// A recorder with timing and counters but no allocation
+    /// attribution.
+    pub fn new() -> Self {
+        CollectingRecorder {
+            origin: Instant::now(),
+            alloc_probe: None,
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// A recorder that additionally samples `probe` at span boundaries
+    /// to report per-phase allocation deltas.
+    pub fn with_alloc_probe(probe: AllocProbe) -> Self {
+        CollectingRecorder {
+            alloc_probe: Some(probe),
+            ..CollectingRecorder::new()
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    fn probe(&self) -> (u64, u64) {
+        self.alloc_probe.map(|p| p()).unwrap_or((0, 0))
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        let state = self.state.lock().unwrap();
+        state.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshots everything recorded so far into a [`PhaseReport`].
+    ///
+    /// Open spans are not included; callers should extract the report
+    /// after the instrumented work returns.
+    pub fn report(&self) -> PhaseReport {
+        let total_ns = self.now_ns();
+        let state = self.state.lock().unwrap();
+        let mut events = state.events.clone();
+        events.sort_by_key(|e| (e.start_ns, e.tid));
+        let (phases, nested) = summarize(&events);
+        PhaseReport {
+            phases,
+            nested,
+            counters: state.counters.iter().map(|(&k, &v)| (k, v)).collect(),
+            events,
+            total_ns,
+        }
+    }
+}
+
+impl Default for CollectingRecorder {
+    fn default() -> Self {
+        CollectingRecorder::new()
+    }
+}
+
+impl Recorder for CollectingRecorder {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn span_enter(&self, name: &'static str) {
+        let start_ns = self.now_ns();
+        let (allocs, bytes) = self.probe();
+        let tid = std::thread::current().id();
+        let mut state = self.state.lock().unwrap();
+        let index = match state.threads.iter().position(|(t, _)| *t == tid) {
+            Some(i) => i,
+            None => {
+                state.threads.push((tid, Vec::new()));
+                state.threads.len() - 1
+            }
+        };
+        state.threads[index].1.push(OpenSpan {
+            name,
+            start_ns,
+            allocs,
+            bytes,
+        });
+    }
+
+    fn span_exit(&self, name: &'static str) {
+        let end_ns = self.now_ns();
+        let (allocs, bytes) = self.probe();
+        let tid = std::thread::current().id();
+        let mut state = self.state.lock().unwrap();
+        let Some(index) = state.threads.iter().position(|(t, _)| *t == tid) else {
+            debug_assert!(
+                false,
+                "span_exit({name}) on a thread that never entered a span"
+            );
+            return;
+        };
+        let Some(open) = state.threads[index].1.pop() else {
+            debug_assert!(false, "span_exit({name}) without a matching span_enter");
+            return;
+        };
+        debug_assert_eq!(open.name, name, "span exit out of LIFO order");
+        let depth = state.threads[index].1.len();
+        state.events.push(SpanEvent {
+            name: open.name,
+            tid: index,
+            depth,
+            start_ns: open.start_ns,
+            dur_ns: end_ns.saturating_sub(open.start_ns),
+            allocs: allocs.saturating_sub(open.allocs),
+            bytes: bytes.saturating_sub(open.bytes),
+        });
+    }
+
+    fn add(&self, counter: &'static str, delta: u64) {
+        let mut state = self.state.lock().unwrap();
+        *state.counters.entry(counter).or_insert(0) += delta;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::span;
+
+    #[test]
+    fn spans_nest_and_time_monotonically() {
+        let rec = CollectingRecorder::new();
+        {
+            let _outer = span(&rec, "outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span(&rec, "inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let report = rec.report();
+        assert_eq!(report.events.len(), 2);
+        let outer = report.events.iter().find(|e| e.name == "outer").unwrap();
+        let inner = report.events.iter().find(|e| e.name == "inner").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.tid, 0);
+        // Containment: the inner span starts no earlier and ends no
+        // later than the outer one.
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.end_ns() <= outer.end_ns());
+        assert!(inner.dur_ns <= outer.dur_ns);
+        assert!(outer.dur_ns > 0, "sleeping spans have nonzero duration");
+        // Only the outer span is a top-level phase.
+        assert_eq!(report.phases.len(), 1);
+        assert_eq!(report.phases[0].name, "outer");
+        assert_eq!(report.nested.len(), 1);
+        assert_eq!(report.nested[0].name, "inner");
+        assert!(report.total_ns >= outer.dur_ns);
+    }
+
+    #[test]
+    fn counters_aggregate_and_sort() {
+        let rec = CollectingRecorder::new();
+        rec.add("zeta", 1);
+        rec.add("alpha", 2);
+        rec.add("zeta", 41);
+        let report = rec.report();
+        assert_eq!(report.counters, vec![("alpha", 2), ("zeta", 42)]);
+        assert_eq!(rec.counter("zeta"), 42);
+        assert_eq!(rec.counter("missing"), 0);
+        assert_eq!(report.counter("alpha"), Some(2));
+        assert_eq!(report.counter("missing"), None);
+    }
+
+    #[test]
+    fn worker_threads_get_distinct_dense_ids() {
+        let rec = CollectingRecorder::new();
+        {
+            let _main = span(&rec, "main");
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    scope.spawn(|| {
+                        let _w = span(&rec, "worker");
+                    });
+                }
+            });
+        }
+        let report = rec.report();
+        let mut tids: Vec<usize> = report
+            .events
+            .iter()
+            .filter(|e| e.name == "worker")
+            .map(|e| e.tid)
+            .collect();
+        tids.sort_unstable();
+        assert_eq!(tids, vec![1, 2], "workers follow the primary thread");
+        // Worker spans are depth 0 on their own threads, but not
+        // counted as top-level phases (tid != 0).
+        assert_eq!(report.phases.len(), 1);
+        assert_eq!(report.phases[0].name, "main");
+    }
+
+    #[test]
+    fn calls_accumulate_per_phase() {
+        let rec = CollectingRecorder::new();
+        for _ in 0..3 {
+            let _s = span(&rec, "repeated");
+        }
+        let report = rec.report();
+        let phase = report.phase("repeated").unwrap();
+        assert_eq!(phase.calls, 3);
+        assert_eq!(report.phase_sum_ns(), phase.total_ns);
+    }
+
+    #[test]
+    fn alloc_probe_deltas_are_attributed() {
+        fn fake_probe() -> (u64, u64) {
+            // A monotonically growing fake counter: each call "allocates"
+            // one block of 10 bytes.
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static CALLS: AtomicU64 = AtomicU64::new(0);
+            let n = CALLS.fetch_add(1, Ordering::Relaxed) + 1;
+            (n, n * 10)
+        }
+        let rec = CollectingRecorder::with_alloc_probe(fake_probe);
+        {
+            let _s = span(&rec, "phase");
+        }
+        let report = rec.report();
+        let phase = report.phase("phase").unwrap();
+        // Enter samples call 1, exit samples call 2: delta is 1 alloc,
+        // 10 bytes.
+        assert_eq!(phase.allocs, 1);
+        assert_eq!(phase.bytes, 10);
+    }
+
+    #[test]
+    fn text_report_is_key_sorted() {
+        let rec = CollectingRecorder::new();
+        {
+            let _b = span(&rec, "beta");
+        }
+        {
+            let _a = span(&rec, "alpha");
+        }
+        rec.add("z.count", 9);
+        rec.add("a.count", 1);
+        let text = rec.report().to_text();
+        let alpha = text.find("alpha").unwrap();
+        let beta = text.find("beta").unwrap();
+        assert!(alpha < beta, "phases sorted by name:\n{text}");
+        let a = text.find("a.count = 1").unwrap();
+        let z = text.find("z.count = 9").unwrap();
+        assert!(a < z, "counters key-sorted:\n{text}");
+    }
+}

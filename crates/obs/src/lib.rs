@@ -1,0 +1,37 @@
+//! **lalr-obs** — deterministic, offline-friendly tracing and metrics
+//! for the LALR pipeline.
+//!
+//! The crate is a miniature `tracing` stand-in with zero dependencies:
+//!
+//! * [`Recorder`] — the sink trait the pipeline is instrumented
+//!   against: named spans (enter/exit with monotonic timing and parent
+//!   nesting) plus named monotonic counters.
+//! * [`NullRecorder`] / [`NULL`] — the default sink. Every method is an
+//!   empty `#[inline]` body, so the instrumented pipeline costs a
+//!   predicted-not-taken branch per phase and *zero* allocations (the
+//!   alloc-budget regression test in `lalr-bench` pins this down).
+//! * [`CollectingRecorder`] — an enabled sink that aggregates spans and
+//!   counters into a [`PhaseReport`]: per-phase wall time, call counts,
+//!   pipeline counters, and (when an allocation probe is wired in)
+//!   per-phase allocation deltas.
+//! * Exporters — [`PhaseReport::to_text`], a deterministic key-sorted
+//!   flat format, and [`PhaseReport::to_chrome_trace`], Chrome
+//!   trace-event JSON loadable in `chrome://tracing` or Perfetto.
+//!
+//! Counter values are deterministic for a fixed grammar (they count
+//! structural work: states interned, relation edges, bitset OR
+//! operations, …); timings of course are not. Consumers that need
+//! reproducibility — the determinism test, the service's metrics
+//! exposition — compare counters and call counts only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod collect;
+mod recorder;
+mod report;
+
+pub use collect::{AllocProbe, CollectingRecorder};
+pub use recorder::{span, NullRecorder, Recorder, Span, NULL};
+pub use report::{PhaseReport, PhaseSummary, SpanEvent};

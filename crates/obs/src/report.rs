@@ -1,0 +1,240 @@
+//! Structured output of a [`CollectingRecorder`](crate::CollectingRecorder)
+//! run, plus the deterministic flat-text exporter.
+
+use std::fmt::Write as _;
+
+/// One completed span occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Phase name, as passed to `span_enter`.
+    pub name: &'static str,
+    /// Dense thread index: 0 is the first thread that recorded
+    /// (the primary pipeline thread), workers follow in first-record
+    /// order.
+    pub tid: usize,
+    /// Nesting depth on its thread: 0 for top-level spans.
+    pub depth: usize,
+    /// Start, in nanoseconds since the recorder was created.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Allocations performed while the span was open (0 without an
+    /// allocation probe). Inclusive of child spans.
+    pub allocs: u64,
+    /// Bytes allocated while the span was open (0 without a probe).
+    pub bytes: u64,
+}
+
+impl SpanEvent {
+    /// End of the span, in nanoseconds since the recorder was created.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+/// Aggregate over every occurrence of one phase name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSummary {
+    /// Phase name.
+    pub name: &'static str,
+    /// How many spans with this name completed.
+    pub calls: u64,
+    /// Total wall time across those spans, nanoseconds.
+    pub total_ns: u64,
+    /// Total allocations across those spans (probe-dependent).
+    pub allocs: u64,
+    /// Total bytes allocated across those spans (probe-dependent).
+    pub bytes: u64,
+}
+
+/// Everything a [`CollectingRecorder`](crate::CollectingRecorder)
+/// gathered, aggregated for reporting.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Top-level phases of the primary thread (tid 0, depth 0),
+    /// name-sorted. These partition the pipeline: their times sum to
+    /// (almost all of) [`PhaseReport::total_ns`], with no
+    /// double-counting of nested or worker-thread spans.
+    pub phases: Vec<PhaseSummary>,
+    /// Nested and worker-thread spans (depth > 0 or tid > 0),
+    /// name-sorted. Their time is already included in an enclosing
+    /// top-level phase (nested) or overlaps one (workers).
+    pub nested: Vec<PhaseSummary>,
+    /// All counters, key-sorted. Deterministic for a fixed input.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Every completed span, ordered by (start, tid).
+    pub events: Vec<SpanEvent>,
+    /// Wall time from recorder creation to report extraction,
+    /// nanoseconds.
+    pub total_ns: u64,
+}
+
+impl PhaseReport {
+    /// Looks up a top-level phase by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseSummary> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Sum of top-level phase times — the portion of
+    /// [`PhaseReport::total_ns`] attributed to a named phase.
+    pub fn phase_sum_ns(&self) -> u64 {
+        self.phases.iter().map(|p| p.total_ns).sum()
+    }
+
+    /// The deterministic key-sorted flat text format.
+    ///
+    /// Sections (`phases`, `nested spans`, `counters`) are name-sorted
+    /// within themselves; counters carry no timing, so that section is
+    /// byte-identical across runs on the same input.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>7} {:>12} {:>8} {:>10} {:>10}",
+            "phase", "calls", "time", "share", "allocs", "bytes"
+        );
+        let total = self.total_ns.max(1);
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>7} {:>12} {:>7.1}% {:>10} {:>10}",
+                p.name,
+                p.calls,
+                fmt_ns(p.total_ns),
+                100.0 * p.total_ns as f64 / total as f64,
+                p.allocs,
+                p.bytes,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<28} {:>7} {:>12} {:>7.1}%",
+            "(phase sum / wall)",
+            "",
+            fmt_ns(self.phase_sum_ns()),
+            100.0 * self.phase_sum_ns() as f64 / total as f64,
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>7} {:>12}",
+            "(wall)",
+            "",
+            fmt_ns(self.total_ns)
+        );
+        if !self.nested.is_empty() {
+            let _ = writeln!(out, "\nnested spans");
+            for p in &self.nested {
+                let _ = writeln!(
+                    out,
+                    "  {:<26} {:>7} {:>12}",
+                    p.name,
+                    p.calls,
+                    fmt_ns(p.total_ns)
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\ncounters");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name} = {value}");
+            }
+        }
+        out
+    }
+}
+
+/// Builds the two name-sorted aggregates from a finished event list.
+pub(crate) fn summarize(events: &[SpanEvent]) -> (Vec<PhaseSummary>, Vec<PhaseSummary>) {
+    let mut top: Vec<PhaseSummary> = Vec::new();
+    let mut nested: Vec<PhaseSummary> = Vec::new();
+    for e in events {
+        let bucket = if e.tid == 0 && e.depth == 0 {
+            &mut top
+        } else {
+            &mut nested
+        };
+        match bucket.iter_mut().find(|p| p.name == e.name) {
+            Some(p) => {
+                p.calls += 1;
+                p.total_ns += e.dur_ns;
+                p.allocs += e.allocs;
+                p.bytes += e.bytes;
+            }
+            None => bucket.push(PhaseSummary {
+                name: e.name,
+                calls: 1,
+                total_ns: e.dur_ns,
+                allocs: e.allocs,
+                bytes: e.bytes,
+            }),
+        }
+    }
+    top.sort_by_key(|p| p.name);
+    nested.sort_by_key(|p| p.name);
+    (top, nested)
+}
+
+/// Human-readable duration: `428ns`, `12.3us`, `4.56ms`, `1.23s`.
+pub(crate) fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &'static str, tid: usize, depth: usize, dur: u64) -> SpanEvent {
+        SpanEvent {
+            name,
+            tid,
+            depth,
+            start_ns: 0,
+            dur_ns: dur,
+            allocs: 0,
+            bytes: 0,
+        }
+    }
+
+    #[test]
+    fn summarize_splits_top_level_from_nested() {
+        let events = [
+            event("b", 0, 0, 10),
+            event("a", 0, 0, 5),
+            event("a", 0, 0, 7),
+            event("inner", 0, 1, 3),
+            event("worker", 1, 0, 4),
+        ];
+        let (top, nested) = summarize(&events);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].name, "a"); // name-sorted
+        assert_eq!(top[0].calls, 2);
+        assert_eq!(top[0].total_ns, 12);
+        assert_eq!(top[1].name, "b");
+        let names: Vec<_> = nested.iter().map(|p| p.name).collect();
+        assert_eq!(names, ["inner", "worker"]);
+    }
+
+    #[test]
+    fn durations_format_across_magnitudes() {
+        assert_eq!(fmt_ns(428), "428ns");
+        assert_eq!(fmt_ns(12_300), "12.3us");
+        assert_eq!(fmt_ns(4_560_000), "4.56ms");
+        assert_eq!(fmt_ns(1_230_000_000), "1.23s");
+    }
+}

@@ -3,8 +3,12 @@
 use std::panic::{self, AssertUnwindSafe};
 
 use lalr_automata::Lr0Automaton;
-use lalr_core::{classify_from, LalrAnalysis, LookaheadSets, MethodAdequacy, Parallelism};
+use lalr_core::{
+    classify_recorded, DigraphStats, LalrAnalysis, LookaheadSets, MethodAdequacy, Parallelism,
+    RelationStats,
+};
 use lalr_grammar::Grammar;
+use lalr_obs::Recorder;
 use lalr_tables::{build_table, CompressedTable, ParseTable, TableOptions};
 
 use crate::error::ServiceError;
@@ -30,6 +34,9 @@ pub struct CompiledArtifact {
     lr0: Lr0Automaton,
     lookaheads: LookaheadSets,
     adequacy: MethodAdequacy,
+    relations: RelationStats,
+    reads: DigraphStats,
+    includes: DigraphStats,
     table: ParseTable,
     compressed: CompressedTable,
     approx_bytes: usize,
@@ -46,19 +53,26 @@ impl CompiledArtifact {
         fingerprint: u64,
         pipeline: &Parallelism,
     ) -> Result<CompiledArtifact, ServiceError> {
+        Self::compile_recorded(text, format, fingerprint, pipeline, &lalr_obs::NULL)
+    }
+
+    /// [`CompiledArtifact::compile`] under an observer: the service folds
+    /// each compile's phase timings (`parse`, `lr0.build`,
+    /// `relations.build`, the two traversals, `la.union`, `classify`,
+    /// `tables.build`) into its metrics.
+    pub fn compile_recorded(
+        text: &str,
+        format: GrammarFormat,
+        fingerprint: u64,
+        pipeline: &Parallelism,
+        rec: &dyn Recorder,
+    ) -> Result<CompiledArtifact, ServiceError> {
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
-            Self::compile_inner(text, format, fingerprint, pipeline)
+            Self::compile_inner(text, format, fingerprint, pipeline, rec)
         }));
         match result {
             Ok(r) => r,
-            Err(payload) => {
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "unknown panic".to_string());
-                Err(ServiceError::Panicked(msg))
-            }
+            Err(payload) => Err(ServiceError::from_panic(payload.as_ref())),
         }
     }
 
@@ -67,28 +81,47 @@ impl CompiledArtifact {
         format: GrammarFormat,
         fingerprint: u64,
         pipeline: &Parallelism,
+        rec: &dyn Recorder,
     ) -> Result<CompiledArtifact, ServiceError> {
-        let parsed = match format {
-            GrammarFormat::Native => lalr_grammar::parse_grammar(text),
-            GrammarFormat::Yacc => lalr_grammar::parse_yacc(text),
+        let parsed = {
+            let _span = lalr_obs::span(rec, "parse");
+            match format {
+                GrammarFormat::Native => lalr_grammar::parse_grammar(text),
+                GrammarFormat::Yacc => lalr_grammar::parse_yacc(text),
+            }
         };
         let grammar = parsed.map_err(|e| ServiceError::BadGrammar(e.to_string()))?;
-        let lr0 = Lr0Automaton::build(&grammar);
-        let analysis = LalrAnalysis::compute_with(&grammar, &lr0, pipeline);
-        let adequacy = classify_from(&grammar, &lr0, &analysis, pipeline);
-        let table = build_table(
-            &grammar,
-            &lr0,
-            analysis.lookaheads(),
-            TableOptions::default(),
-        );
-        let compressed = CompressedTable::from_dense(&table);
+        let lr0 = Lr0Automaton::build_recorded(&grammar, rec);
+        let analysis = LalrAnalysis::compute_recorded(&grammar, &lr0, pipeline, rec);
+        let adequacy = {
+            // The per-method spans inside become nested under `classify`,
+            // so the service's top-level phase list stays flat.
+            let _span = lalr_obs::span(rec, "classify");
+            classify_recorded(&grammar, &lr0, &analysis, pipeline, rec)
+        };
+        let relations = analysis.relation_stats().clone();
+        let reads = analysis.reads_traversal().clone();
+        let includes = analysis.includes_traversal().clone();
+        let (table, compressed) = {
+            let _span = lalr_obs::span(rec, "tables.build");
+            let table = build_table(
+                &grammar,
+                &lr0,
+                analysis.lookaheads(),
+                TableOptions::default(),
+            );
+            let compressed = CompressedTable::from_dense(&table);
+            (table, compressed)
+        };
         let mut artifact = CompiledArtifact {
             fingerprint,
             grammar,
             lr0,
             lookaheads: analysis.into_lookaheads(),
             adequacy,
+            relations,
+            reads,
+            includes,
             table,
             compressed,
             approx_bytes: 0,
@@ -158,6 +191,21 @@ impl CompiledArtifact {
     /// Per-method conflict counts and the grammar class.
     pub fn adequacy(&self) -> &MethodAdequacy {
         &self.adequacy
+    }
+
+    /// Sizes of the four look-ahead relations.
+    pub fn relation_stats(&self) -> &RelationStats {
+        &self.relations
+    }
+
+    /// SCC structure of the `reads` traversal.
+    pub fn reads_traversal(&self) -> &DigraphStats {
+        &self.reads
+    }
+
+    /// SCC structure of the `includes` traversal.
+    pub fn includes_traversal(&self) -> &DigraphStats {
+        &self.includes
     }
 
     /// The dense ACTION/GOTO table (conflicts resolved yacc-style).

@@ -200,6 +200,11 @@ fn serve_connection(
                         limit: max_line,
                     }),
                 );
+                // Drain through the end of the oversized line before
+                // hanging up: closing with unread bytes queued sends an
+                // RST, which can tear the error response away from a
+                // client still mid-write.
+                drain_line(&mut reader, max_line);
                 return;
             }
             Ok(_) => {}
@@ -230,6 +235,31 @@ fn serve_connection(
         }
         if !written {
             return;
+        }
+    }
+}
+
+/// Discards input up to and including the next newline (or EOF /
+/// transport error), without retaining the bytes. Used after an
+/// oversized request so the socket closes cleanly instead of resetting.
+fn drain_line(reader: &mut BufReader<std::io::Take<TcpStream>>, max_line: usize) {
+    loop {
+        reader.get_mut().set_limit(max_line as u64 + 1);
+        let buf = match reader.fill_buf() {
+            Ok([]) => return, // EOF
+            Ok(buf) => buf,
+            Err(_) => return, // read timeout or transport failure
+        };
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                let consume = i + 1;
+                reader.consume(consume);
+                return;
+            }
+            None => {
+                let consume = buf.len();
+                reader.consume(consume);
+            }
         }
     }
 }

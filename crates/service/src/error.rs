@@ -37,6 +37,18 @@ pub enum ServiceError {
 }
 
 impl ServiceError {
+    /// Converts a `catch_unwind` payload into a [`ServiceError::Panicked`]
+    /// carrying the panic message (the common `&str`/`String` payloads;
+    /// anything else becomes `"unknown panic"`).
+    pub fn from_panic(payload: &(dyn std::any::Any + Send)) -> ServiceError {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "unknown panic".to_string());
+        ServiceError::Panicked(msg)
+    }
+
     /// Stable machine-readable discriminator used on the wire.
     pub fn kind(&self) -> &'static str {
         match self {

@@ -56,6 +56,7 @@ pub mod client;
 mod daemon;
 mod error;
 pub mod fingerprint;
+mod metrics;
 pub mod protocol;
 mod service;
 
@@ -65,5 +66,5 @@ pub use daemon::{Daemon, DaemonConfig, DaemonSummary};
 pub use error::ServiceError;
 pub use service::{
     ClassifySummary, CompileSummary, ParseSummary, Request, Response, Service, ServiceConfig,
-    StatsSnapshot, TableSummary, LATENCY_BOUNDS_US,
+    StatsSnapshot, TableSummary, LATENCY_BOUNDS_US, OPS, PHASE_NAMES,
 };

@@ -1,0 +1,262 @@
+//! Prometheus-style text exposition of a [`StatsSnapshot`].
+//!
+//! The format is the plain-text scrape format: `# HELP` / `# TYPE`
+//! headers, then one `name{labels} value` sample per line. Histogram
+//! buckets are cumulative (`le` is an upper bound including everything
+//! below it) and end with `le="+Inf"`, followed by `_sum` and `_count`
+//! samples, per the exposition convention. Everything is rendered from
+//! one [`StatsSnapshot`], so a `metrics` response is internally
+//! consistent: `lalr_requests_total` equals the sum over
+//! `lalr_requests_by_op_total`, and each histogram's `+Inf` bucket
+//! equals its `_count`.
+
+use std::fmt::Write;
+
+use crate::service::{StatsSnapshot, LATENCY_BOUNDS_US, OPS, PHASE_NAMES};
+
+/// Renders the snapshot as Prometheus text exposition.
+pub fn render(s: &StatsSnapshot) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+
+    header(w, "lalr_requests_total", "counter", "Requests handled.");
+    sample(w, "lalr_requests_total", "", s.requests);
+    header(
+        w,
+        "lalr_errors_total",
+        "counter",
+        "Requests answered with an error response.",
+    );
+    sample(w, "lalr_errors_total", "", s.errors);
+    header(
+        w,
+        "lalr_deadline_exceeded_total",
+        "counter",
+        "Requests that missed their deadline.",
+    );
+    sample(w, "lalr_deadline_exceeded_total", "", s.deadline_exceeded);
+
+    header(
+        w,
+        "lalr_requests_by_op_total",
+        "counter",
+        "Requests handled, by protocol op.",
+    );
+    for (op, &n) in OPS.iter().zip(&s.by_op) {
+        sample(w, "lalr_requests_by_op_total", &format!("op=\"{op}\""), n);
+    }
+    header(
+        w,
+        "lalr_errors_by_op_total",
+        "counter",
+        "Error responses, by protocol op.",
+    );
+    for (op, &n) in OPS.iter().zip(&s.errors_by_op) {
+        sample(w, "lalr_errors_by_op_total", &format!("op=\"{op}\""), n);
+    }
+
+    header(
+        w,
+        "lalr_request_duration_us",
+        "histogram",
+        "Request latency in microseconds, by protocol op.",
+    );
+    for (i, op) in OPS.iter().enumerate() {
+        let mut cumulative = 0u64;
+        for (bucket, &n) in s.latency_by_op[i].iter().enumerate() {
+            cumulative += n;
+            let le = match LATENCY_BOUNDS_US.get(bucket) {
+                Some(bound) => bound.to_string(),
+                None => "+Inf".to_string(),
+            };
+            sample(
+                w,
+                "lalr_request_duration_us_bucket",
+                &format!("le=\"{le}\",op=\"{op}\""),
+                cumulative,
+            );
+        }
+        sample(
+            w,
+            "lalr_request_duration_us_sum",
+            &format!("op=\"{op}\""),
+            s.latency_sum_us[i],
+        );
+        sample(
+            w,
+            "lalr_request_duration_us_count",
+            &format!("op=\"{op}\""),
+            cumulative,
+        );
+    }
+
+    header(
+        w,
+        "lalr_phase_calls_total",
+        "counter",
+        "Compile-pipeline phase executions.",
+    );
+    for (phase, &n) in PHASE_NAMES.iter().zip(&s.phase_calls) {
+        sample(
+            w,
+            "lalr_phase_calls_total",
+            &format!("phase=\"{phase}\""),
+            n,
+        );
+    }
+    header(
+        w,
+        "lalr_phase_ns_total",
+        "counter",
+        "Compile-pipeline phase wall time in nanoseconds.",
+    );
+    for (phase, &n) in PHASE_NAMES.iter().zip(&s.phase_ns) {
+        sample(w, "lalr_phase_ns_total", &format!("phase=\"{phase}\""), n);
+    }
+
+    if let Some(c) = &s.cache {
+        header(
+            w,
+            "lalr_cache_events_total",
+            "counter",
+            "Artifact cache events, by kind.",
+        );
+        for (kind, n) in [
+            ("hits", c.hits),
+            ("misses", c.misses),
+            ("coalesced", c.coalesced),
+            ("evictions", c.evictions),
+            ("compiles", c.compiles),
+        ] {
+            sample(w, "lalr_cache_events_total", &format!("kind=\"{kind}\""), n);
+        }
+        header(
+            w,
+            "lalr_cache_entries",
+            "gauge",
+            "Committed cache entries right now.",
+        );
+        sample(w, "lalr_cache_entries", "", c.entries as u64);
+        header(
+            w,
+            "lalr_cache_bytes",
+            "gauge",
+            "Resident accounted cache bytes right now.",
+        );
+        sample(w, "lalr_cache_bytes", "", c.bytes as u64);
+    }
+
+    header(w, "lalr_workers", "gauge", "Worker pool size.");
+    sample(w, "lalr_workers", "", s.workers as u64);
+    header(
+        w,
+        "lalr_uptime_ms",
+        "gauge",
+        "Milliseconds since the service started.",
+    );
+    sample(w, "lalr_uptime_ms", "", s.uptime_ms);
+    out
+}
+
+fn header(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn sample(out: &mut String, name: &str, labels: &str, value: u64) {
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name} {value}");
+    } else {
+        let _ = writeln!(out, "{name}{{{labels}}} {value}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> StatsSnapshot {
+        StatsSnapshot {
+            requests: 10,
+            errors: 2,
+            deadline_exceeded: 1,
+            by_op: [4, 2, 1, 1, 1, 1, 0],
+            errors_by_op: [1, 0, 0, 1, 0, 0, 0],
+            latency_buckets: [3, 4, 2, 1, 0, 0],
+            latency_by_op: [
+                [1, 2, 1, 0, 0, 0],
+                [0, 1, 1, 0, 0, 0],
+                [1, 0, 0, 0, 0, 0],
+                [0, 1, 0, 0, 0, 0],
+                [1, 0, 0, 0, 0, 0],
+                [0, 0, 0, 1, 0, 0],
+                [0, 0, 0, 0, 0, 0],
+            ],
+            latency_sum_us: [900, 700, 50, 300, 20, 15_000, 0],
+            phase_calls: [4, 4, 4, 4, 4, 4, 4, 4],
+            phase_ns: [100, 2_000, 300, 400, 500, 600, 7_000, 800],
+            cache: None,
+            workers: 2,
+            uptime_ms: 1234,
+        }
+    }
+
+    #[test]
+    fn every_sample_line_is_well_formed_and_typed() {
+        let text = render(&snapshot());
+        let mut typed = std::collections::HashSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                typed.insert(rest.split(' ').next().unwrap().to_string());
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name_labels, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(value.parse::<u64>().is_ok(), "bad value in {line:?}");
+            let name = name_labels.split('{').next().unwrap();
+            let base = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .unwrap_or(name);
+            assert!(
+                typed.contains(base) || typed.contains(name),
+                "sample {name} has no TYPE header"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let text = render(&snapshot());
+        let compile: Vec<u64> = text
+            .lines()
+            .filter(|l| {
+                l.starts_with("lalr_request_duration_us_bucket") && l.contains("op=\"compile\"")
+            })
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+            .collect();
+        assert_eq!(compile.len(), LATENCY_BOUNDS_US.len() + 1);
+        assert!(compile.windows(2).all(|w| w[0] <= w[1]), "{compile:?}");
+        assert_eq!(*compile.last().unwrap(), 4, "+Inf bucket counts all");
+        let count_line = text
+            .lines()
+            .find(|l| l.starts_with("lalr_request_duration_us_count") && l.contains("compile"))
+            .unwrap();
+        assert_eq!(count_line.rsplit_once(' ').unwrap().1, "4");
+    }
+
+    #[test]
+    fn totals_agree_with_per_op_breakdowns() {
+        let s = snapshot();
+        let text = render(&s);
+        let sum: u64 = text
+            .lines()
+            .filter(|l| l.starts_with("lalr_requests_by_op_total{"))
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(sum, s.requests);
+    }
+}

@@ -54,7 +54,7 @@ pub fn request_to_value(request: &Request, deadline: Option<Duration>) -> Value 
             pairs.extend(format_pair(format));
             pairs.push(("input", input.as_str().into()));
         }
-        Request::Stats | Request::Shutdown => {}
+        Request::Stats | Request::Metrics | Request::Shutdown => {}
     }
     if let Some(d) = deadline {
         pairs.push(("deadline_ms", (d.as_millis() as u64).into()));
@@ -111,10 +111,12 @@ pub fn request_from_value(value: &Value) -> Result<(Request, Option<Duration>), 
                 .to_string(),
         },
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
         "shutdown" => Request::Shutdown,
         other => {
             return Err(ServiceError::BadRequest(format!(
-                "unknown op {other:?} (available: compile, classify, table, parse, stats, shutdown)"
+                "unknown op {other:?} (available: compile, classify, table, parse, stats, \
+                 metrics, shutdown)"
             )))
         }
     };
@@ -143,6 +145,33 @@ pub fn response_to_value(response: &Response) -> Value {
             ("conflicts", c.conflicts.into()),
             ("class", c.class.as_str().into()),
             ("bytes", c.bytes.into()),
+            (
+                "relations",
+                object([
+                    ("nt_transitions", c.relations.nt_transitions.into()),
+                    ("reads_edges", c.relations.reads_edges.into()),
+                    ("includes_edges", c.relations.includes_edges.into()),
+                    ("lookback_edges", c.relations.lookback_edges.into()),
+                ]),
+            ),
+            (
+                "reads",
+                object([
+                    ("sccs", c.reads.scc_count.into()),
+                    ("nontrivial_sccs", c.reads.nontrivial_sccs.into()),
+                    ("max_scc", c.reads.max_scc_size.into()),
+                    ("cyclic_nodes", c.reads.cyclic_nodes.into()),
+                ]),
+            ),
+            (
+                "includes",
+                object([
+                    ("sccs", c.includes.scc_count.into()),
+                    ("nontrivial_sccs", c.includes.nontrivial_sccs.into()),
+                    ("max_scc", c.includes.max_scc_size.into()),
+                    ("cyclic_nodes", c.includes.cyclic_nodes.into()),
+                ]),
+            ),
         ]),
         Response::Classify(c) => object([
             ("ok", Value::Bool(true)),
@@ -183,6 +212,11 @@ pub fn response_to_value(response: &Response) -> Value {
             object(pairs)
         }
         Response::Stats(s) => stats_to_value(s),
+        Response::Metrics(text) => object([
+            ("ok", Value::Bool(true)),
+            ("op", "metrics".into()),
+            ("text", text.as_str().into()),
+        ]),
         Response::Shutdown => object([("ok", Value::Bool(true)), ("op", "shutdown".into())]),
         Response::Error(e) => object([
             ("ok", Value::Bool(false)),
@@ -196,22 +230,38 @@ pub fn response_to_value(response: &Response) -> Value {
 }
 
 fn stats_to_value(s: &StatsSnapshot) -> Value {
-    let ops = ["compile", "classify", "table", "parse", "stats", "shutdown"];
-    let by_op = Value::Obj(
-        ops.iter()
-            .zip(s.by_op)
-            .map(|(name, n)| (name.to_string(), n.into()))
+    let op_counts = |counts: &[u64; 7]| {
+        Value::Obj(
+            crate::service::OPS
+                .iter()
+                .zip(counts)
+                .map(|(name, &n)| (name.to_string(), n.into()))
+                .collect(),
+        )
+    };
+    let latency = Value::Arr(s.latency_buckets.iter().map(|&n| n.into()).collect());
+    let phases = Value::Obj(
+        crate::service::PHASE_NAMES
+            .iter()
+            .zip(s.phase_calls.iter().zip(&s.phase_ns))
+            .map(|(name, (&calls, &ns))| {
+                (
+                    name.to_string(),
+                    object([("calls", calls.into()), ("total_us", (ns / 1_000).into())]),
+                )
+            })
             .collect(),
     );
-    let latency = Value::Arr(s.latency_buckets.iter().map(|&n| n.into()).collect());
     let mut pairs = vec![
         ("ok", Value::Bool(true)),
         ("op", "stats".into()),
         ("requests", s.requests.into()),
         ("errors", s.errors.into()),
         ("deadline_exceeded", s.deadline_exceeded.into()),
-        ("by_op", by_op),
+        ("by_op", op_counts(&s.by_op)),
+        ("errors_by_op", op_counts(&s.errors_by_op)),
         ("latency_buckets", latency),
+        ("phases", phases),
         ("workers", s.workers.into()),
         ("uptime_ms", s.uptime_ms.into()),
     ];
@@ -288,6 +338,7 @@ mod tests {
             None,
         );
         round_trip(Request::Stats, None);
+        round_trip(Request::Metrics, None);
         round_trip(Request::Shutdown, None);
     }
 

@@ -1,11 +1,13 @@
 //! The request engine: a worker pool over the cache.
 
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use lalr_core::Parallelism;
+use lalr_core::{DigraphStats, Parallelism, RelationStats};
+use lalr_obs::CollectingRecorder;
 use lalr_runtime::{Parser, Token};
 
 use crate::artifact::{CompiledArtifact, GrammarFormat};
@@ -16,6 +18,25 @@ use crate::fingerprint::format_fingerprint;
 /// Upper bounds (µs) of the fixed latency histogram buckets; the sixth
 /// bucket is overflow.
 pub const LATENCY_BOUNDS_US: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Every protocol op, in wire/stats order (the index into the per-op
+/// counter arrays).
+pub const OPS: [&str; 7] = [
+    "compile", "classify", "table", "parse", "stats", "metrics", "shutdown",
+];
+
+/// The compile-pipeline phases the service aggregates per request
+/// (top-level spans of [`CompiledArtifact::compile_recorded`]).
+pub const PHASE_NAMES: [&str; 8] = [
+    "parse",
+    "lr0.build",
+    "relations.build",
+    "digraph.reads",
+    "digraph.includes",
+    "la.union",
+    "classify",
+    "tables.build",
+];
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -84,6 +105,8 @@ pub enum Request {
     },
     /// Service statistics snapshot.
     Stats,
+    /// Prometheus-style text exposition of the service metrics.
+    Metrics,
     /// Ask the daemon to stop accepting connections and exit.
     Shutdown,
 }
@@ -97,6 +120,7 @@ impl Request {
             Request::Table { .. } => "table",
             Request::Parse { .. } => "parse",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
         }
     }
@@ -106,9 +130,14 @@ impl Request {
             Request::Compile { grammar, .. } | Request::Classify { grammar, .. } => grammar.len(),
             Request::Table { grammar, .. } => grammar.len(),
             Request::Parse { grammar, input, .. } => grammar.len() + input.len(),
-            Request::Stats | Request::Shutdown => 0,
+            Request::Stats | Request::Metrics | Request::Shutdown => 0,
         }
     }
+}
+
+/// Index of an op name in [`OPS`] (unknown names map to the last slot).
+fn op_index(op: &str) -> usize {
+    OPS.iter().position(|&o| o == op).unwrap_or(OPS.len() - 1)
 }
 
 /// Compile response payload.
@@ -130,6 +159,12 @@ pub struct CompileSummary {
     pub class: String,
     /// Estimated artifact size in bytes (cache accounting unit).
     pub bytes: usize,
+    /// Sizes of the four look-ahead relations.
+    pub relations: RelationStats,
+    /// SCC structure of the `reads` traversal.
+    pub reads: DigraphStats,
+    /// SCC structure of the `includes` traversal.
+    pub includes: DigraphStats,
 }
 
 /// Classify response payload.
@@ -184,12 +219,23 @@ pub struct StatsSnapshot {
     pub errors: u64,
     /// Requests that missed their deadline.
     pub deadline_exceeded: u64,
-    /// Per-op request counts: compile, classify, table, parse, stats,
-    /// shutdown.
-    pub by_op: [u64; 6],
-    /// Fixed-bucket latency histogram (bounds [`LATENCY_BOUNDS_US`], last
-    /// bucket is overflow).
+    /// Per-op request counts, indexed like [`OPS`].
+    pub by_op: [u64; 7],
+    /// Per-op *error* response counts, indexed like [`OPS`].
+    pub errors_by_op: [u64; 7],
+    /// Fixed-bucket latency histogram over all ops (bounds
+    /// [`LATENCY_BOUNDS_US`], last bucket is overflow).
     pub latency_buckets: [u64; 6],
+    /// Per-op latency histograms (same buckets), indexed like [`OPS`].
+    pub latency_by_op: [[u64; 6]; 7],
+    /// Per-op total latency in microseconds (the histogram `_sum`).
+    pub latency_sum_us: [u64; 7],
+    /// Per-phase compile-pipeline call counts, indexed like
+    /// [`PHASE_NAMES`].
+    pub phase_calls: [u64; 8],
+    /// Per-phase compile-pipeline wall time in nanoseconds, indexed like
+    /// [`PHASE_NAMES`].
+    pub phase_ns: [u64; 8],
     /// Cache counters (absent when caching is disabled).
     pub cache: Option<CacheStats>,
     /// Worker pool size.
@@ -211,6 +257,8 @@ pub enum Response {
     Parse(ParseSummary),
     /// Statistics snapshot.
     Stats(StatsSnapshot),
+    /// Prometheus-style text exposition.
+    Metrics(String),
     /// Shutdown acknowledged.
     Shutdown,
     /// Structured failure.
@@ -238,8 +286,13 @@ struct Inner {
     requests: AtomicU64,
     errors: AtomicU64,
     deadline_exceeded: AtomicU64,
-    by_op: [AtomicU64; 6],
+    by_op: [AtomicU64; 7],
+    errors_by_op: [AtomicU64; 7],
     latency: [AtomicU64; 6],
+    latency_by_op: [[AtomicU64; 6]; 7],
+    latency_sum_us: [AtomicU64; 7],
+    phase_calls: [AtomicU64; 8],
+    phase_ns: [AtomicU64; 8],
 }
 
 /// The compilation service: a worker pool executing [`Request`]s against
@@ -289,7 +342,12 @@ impl Service {
             errors: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
             by_op: Default::default(),
+            errors_by_op: Default::default(),
             latency: Default::default(),
+            latency_by_op: std::array::from_fn(|_| Default::default()),
+            latency_sum_us: Default::default(),
+            phase_calls: Default::default(),
+            phase_ns: Default::default(),
             config,
         });
         let (tx, rx) = mpsc::channel::<Job>();
@@ -318,6 +376,7 @@ impl Service {
     /// a compile in progress is not interrupted).
     pub fn call(&self, request: Request, deadline: Option<Duration>) -> Response {
         let accepted_at = Instant::now();
+        let op = request.op();
         let deadline = deadline
             .or(self.inner.config.default_deadline)
             .map(|d| accepted_at + d);
@@ -332,21 +391,33 @@ impl Service {
             Some(tx) => tx.send(job).is_ok(),
             None => false,
         };
+        // Failed requests are observations too: a rejected or orphaned
+        // call still lands in the latency histogram and error counters.
         if !sent {
-            return Response::Error(ServiceError::Unavailable(
+            let response = Response::Error(ServiceError::Unavailable(
                 "service is shut down".to_string(),
             ));
+            self.inner.record(op, &response, accepted_at.elapsed());
+            return response;
         }
         reply_rx.recv().unwrap_or_else(|_| {
-            Response::Error(ServiceError::Unavailable(
+            let response = Response::Error(ServiceError::Unavailable(
                 "worker terminated before replying".to_string(),
-            ))
+            ));
+            self.inner.record(op, &response, accepted_at.elapsed());
+            response
         })
     }
 
     /// Current statistics.
     pub fn stats(&self) -> StatsSnapshot {
         self.inner.snapshot()
+    }
+
+    /// Prometheus-style text exposition of the current statistics (what
+    /// the `metrics` protocol op returns).
+    pub fn metrics_text(&self) -> String {
+        crate::metrics::render(&self.stats())
     }
 
     /// Direct cache access (for differential tests and the load
@@ -378,9 +449,14 @@ fn worker_loop(inner: &Inner, rx: &Mutex<mpsc::Receiver<Job>>) {
             rx.recv()
         };
         let Ok(job) = job else { return };
-        let response = inner.execute(&job);
+        // The compile pipeline has its own `catch_unwind`; this one covers
+        // everything else a request executes (table rendering, parsing,
+        // snapshotting), so a panic records an error response instead of
+        // silently killing the worker.
+        let response = panic::catch_unwind(AssertUnwindSafe(|| inner.execute(&job)))
+            .unwrap_or_else(|payload| Response::Error(ServiceError::from_panic(payload.as_ref())));
         let elapsed = job.accepted_at.elapsed();
-        inner.record(&job.request, &response, elapsed);
+        inner.record(job.request.op(), &response, elapsed);
         let _ = job.reply.send(response);
     }
 }
@@ -422,6 +498,9 @@ impl Inner {
                     conflicts: artifact.adequacy().lalr_conflicts,
                     class: artifact.adequacy().class.to_string(),
                     bytes: artifact.approx_bytes(),
+                    relations: artifact.relation_stats().clone(),
+                    reads: artifact.reads_traversal().clone(),
+                    includes: artifact.includes_traversal().clone(),
                 }),
                 Err(e) => Response::Error(e),
             },
@@ -488,6 +567,7 @@ impl Inner {
                 Err(e) => Response::Error(e),
             },
             Request::Stats => Response::Stats(self.snapshot()),
+            Request::Metrics => Response::Metrics(crate::metrics::render(&self.snapshot())),
             Request::Shutdown => Response::Shutdown,
         }
     }
@@ -508,31 +588,45 @@ impl Inner {
         match &self.cache {
             Some(cache) => {
                 let (result, outcome) = cache.get_or_compile(&key, |_, fp| {
-                    CompiledArtifact::compile(grammar, format, fp, &pipeline)
+                    self.compile_observed(grammar, format, fp, &pipeline)
                 });
                 result.map(|a| (a, outcome))
             }
             None => {
                 let fp = crate::fingerprint::fx_fingerprint(&crate::fingerprint::normalize(&key));
-                CompiledArtifact::compile(grammar, format, fp, &pipeline)
+                self.compile_observed(grammar, format, fp, &pipeline)
                     .map(|a| (Arc::new(a), CacheOutcome::Compiled))
             }
         }
     }
 
-    fn record(&self, request: &Request, response: &Response, elapsed: Duration) {
+    /// Runs one compile under a [`CollectingRecorder`] and folds its
+    /// top-level phase timings into the service-wide counters.
+    fn compile_observed(
+        &self,
+        grammar: &str,
+        format: GrammarFormat,
+        fp: u64,
+        pipeline: &Parallelism,
+    ) -> Result<CompiledArtifact, ServiceError> {
+        let rec = CollectingRecorder::new();
+        let compiled = CompiledArtifact::compile_recorded(grammar, format, fp, pipeline, &rec);
+        for phase in &rec.report().phases {
+            if let Some(i) = PHASE_NAMES.iter().position(|&n| n == phase.name) {
+                self.phase_calls[i].fetch_add(phase.calls, Ordering::Relaxed);
+                self.phase_ns[i].fetch_add(phase.total_ns, Ordering::Relaxed);
+            }
+        }
+        compiled
+    }
+
+    fn record(&self, op: &str, response: &Response, elapsed: Duration) {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let op_idx = match request.op() {
-            "compile" => 0,
-            "classify" => 1,
-            "table" => 2,
-            "parse" => 3,
-            "stats" => 4,
-            _ => 5,
-        };
+        let op_idx = op_index(op);
         self.by_op[op_idx].fetch_add(1, Ordering::Relaxed);
         if let Response::Error(e) = response {
             self.errors.fetch_add(1, Ordering::Relaxed);
+            self.errors_by_op[op_idx].fetch_add(1, Ordering::Relaxed);
             if matches!(e, ServiceError::DeadlineExceeded { .. }) {
                 self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
             }
@@ -543,6 +637,8 @@ impl Inner {
             .position(|&bound| us <= bound)
             .unwrap_or(LATENCY_BOUNDS_US.len());
         self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_by_op[op_idx][bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us[op_idx].fetch_add(us, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> StatsSnapshot {
@@ -551,7 +647,14 @@ impl Inner {
             errors: self.errors.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             by_op: std::array::from_fn(|i| self.by_op[i].load(Ordering::Relaxed)),
+            errors_by_op: std::array::from_fn(|i| self.errors_by_op[i].load(Ordering::Relaxed)),
             latency_buckets: std::array::from_fn(|i| self.latency[i].load(Ordering::Relaxed)),
+            latency_by_op: std::array::from_fn(|op| {
+                std::array::from_fn(|i| self.latency_by_op[op][i].load(Ordering::Relaxed))
+            }),
+            latency_sum_us: std::array::from_fn(|i| self.latency_sum_us[i].load(Ordering::Relaxed)),
+            phase_calls: std::array::from_fn(|i| self.phase_calls[i].load(Ordering::Relaxed)),
+            phase_ns: std::array::from_fn(|i| self.phase_ns[i].load(Ordering::Relaxed)),
             cache: self.cache.as_ref().map(ArtifactCache::stats),
             workers: self.config.workers.threads(),
             uptime_ms: self.started.elapsed().as_millis() as u64,

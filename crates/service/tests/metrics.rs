@@ -1,0 +1,170 @@
+//! The `metrics` op: its text exposition must parse and agree with the
+//! [`StatsSnapshot`] the service reports at the same moment.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use lalr_core::Parallelism;
+use lalr_service::{GrammarFormat, Request, Response, Service, ServiceConfig, OPS};
+
+fn compile(grammar: &str) -> Request {
+    Request::Compile {
+        grammar: grammar.to_string(),
+        format: GrammarFormat::Native,
+    }
+}
+
+/// Parses exposition text into `name{labels} → value`, skipping comments.
+fn parse_exposition(text: &str) -> HashMap<String, u64> {
+    let mut out = HashMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("malformed sample line {line:?}"));
+        let value: u64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("non-integer value in {line:?}"));
+        assert!(
+            out.insert(key.to_string(), value).is_none(),
+            "duplicate sample {key}"
+        );
+    }
+    out
+}
+
+#[test]
+fn metrics_exposition_is_consistent_with_stats() {
+    let service = Service::new(ServiceConfig {
+        workers: Parallelism::new(2),
+        ..ServiceConfig::default()
+    });
+
+    // A mixed workload: a cold compile, a warm repeat, a classify, one
+    // bad grammar (error), and one oversized request (error).
+    let good = "e : e \"+\" t | t ; t : \"x\" ;";
+    assert!(service.call(compile(good), None).is_ok());
+    assert!(service.call(compile(good), None).is_ok());
+    assert!(service
+        .call(
+            Request::Classify {
+                grammar: good.to_string(),
+                format: GrammarFormat::Native,
+            },
+            None,
+        )
+        .is_ok());
+    assert!(!service.call(compile("e : : ;"), None).is_ok());
+    let oversized = Service::new(ServiceConfig {
+        max_request_bytes: 4,
+        ..ServiceConfig::default()
+    });
+    assert!(!oversized.call(compile(good), None).is_ok());
+
+    // `stats()` reads the counters directly (unrecorded); the `metrics`
+    // request is recorded only *after* its text is rendered, so both
+    // views describe exactly the preceding five requests.
+    let snap = service.stats();
+    let text = match service.call(Request::Metrics, None) {
+        Response::Metrics(text) => text,
+        other => panic!("{other:?}"),
+    };
+    let samples = parse_exposition(&text);
+
+    assert_eq!(samples["lalr_requests_total"], snap.requests);
+    assert_eq!(samples["lalr_errors_total"], snap.errors);
+    assert_eq!(snap.errors, 1, "the bad grammar is the only error");
+    assert_eq!(
+        samples["lalr_deadline_exceeded_total"],
+        snap.deadline_exceeded
+    );
+    for (i, op) in OPS.iter().enumerate() {
+        assert_eq!(
+            samples[&format!("lalr_requests_by_op_total{{op=\"{op}\"}}")],
+            snap.by_op[i]
+        );
+        assert_eq!(
+            samples[&format!("lalr_errors_by_op_total{{op=\"{op}\"}}")],
+            snap.errors_by_op[i]
+        );
+        // Each op's histogram count equals its request count: every
+        // request is recorded exactly once.
+        assert_eq!(
+            samples[&format!("lalr_request_duration_us_count{{op=\"{op}\"}}")],
+            snap.by_op[i]
+        );
+        assert_eq!(
+            samples[&format!("lalr_request_duration_us_bucket{{le=\"+Inf\",op=\"{op}\"}}")],
+            snap.by_op[i]
+        );
+    }
+    let cache = snap.cache.expect("cache enabled");
+    assert_eq!(
+        samples["lalr_cache_events_total{kind=\"hits\"}"],
+        cache.hits
+    );
+    assert_eq!(
+        samples["lalr_cache_events_total{kind=\"compiles\"}"],
+        cache.compiles
+    );
+
+    // The compile that ran left phase observations behind; a cache hit
+    // adds none, so calls track pipeline runs, not requests. The bad
+    // grammar stopped after `parse`, so `parse` leads the counts.
+    assert_eq!(samples["lalr_phase_calls_total{phase=\"parse\"}"], 2);
+    assert_eq!(samples["lalr_phase_calls_total{phase=\"lr0.build\"}"], 1);
+    assert_eq!(samples["lalr_phase_calls_total{phase=\"tables.build\"}"], 1);
+    assert!(samples["lalr_phase_ns_total{phase=\"lr0.build\"}"] > 0);
+}
+
+#[test]
+fn failed_requests_are_recorded() {
+    // An oversized request is rejected before execution but must still
+    // land in the per-op error counter and the latency histogram.
+    let service = Service::new(ServiceConfig {
+        max_request_bytes: 4,
+        ..ServiceConfig::default()
+    });
+    let r = service.call(compile("e : e \"+\" t | t ;"), None);
+    assert!(!r.is_ok());
+    let snap = service.stats();
+    assert_eq!(snap.requests, 1);
+    assert_eq!(snap.errors, 1);
+    assert_eq!(snap.errors_by_op[0], 1, "compile is op 0");
+    assert_eq!(snap.latency_buckets.iter().sum::<u64>(), 1);
+
+    // A deadline in the past is exceeded at dequeue time.
+    let r = service.call(compile("s : \"a\" ;"), Some(Duration::ZERO));
+    let snap = service.stats();
+    if let Response::Error(e) = &r {
+        if e.kind() == "deadline" {
+            assert_eq!(snap.deadline_exceeded, 1);
+        }
+    }
+    assert_eq!(snap.requests, 2);
+
+    // Calls after shutdown are recorded as unavailable errors.
+    service.shutdown();
+    let r = service.call(Request::Stats, None);
+    assert!(!r.is_ok());
+    let snap = service.stats();
+    assert_eq!(snap.requests, 3);
+    assert_eq!(snap.errors_by_op[4], 1, "stats is op 4");
+    assert_eq!(snap.latency_buckets.iter().sum::<u64>(), 3);
+}
+
+#[test]
+fn compile_response_carries_relation_and_traversal_stats() {
+    let service = Service::new(ServiceConfig::default());
+    let r = service.call(compile("e : e \"+\" t | t ; t : \"x\" ;"), None);
+    let Response::Compile(c) = r else {
+        panic!("{r:?}")
+    };
+    assert!(c.relations.nt_transitions > 0);
+    assert!(c.relations.lookback_edges > 0);
+    assert!(c.reads.scc_count > 0);
+    assert!(c.includes.scc_count > 0);
+    assert_eq!(c.reads.nontrivial_sccs, 0, "grammar is LALR(1)");
+}

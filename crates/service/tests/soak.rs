@@ -116,4 +116,36 @@ fn eight_thread_soak_matches_single_threaded_reference() {
         cache.compiles < requests.len() as u64 / 2,
         "caching must absorb repeated grammars: {cache:?}"
     );
+
+    // The metrics exposition describes the same counters as the stats
+    // snapshot, even after a concurrent soak.
+    let text = match service.call(lalr_service::Request::Metrics, None) {
+        lalr_service::Response::Metrics(text) => text,
+        other => panic!("{other:?}"),
+    };
+    let sample = |name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.split(' ').next() == Some(name))
+            .unwrap_or_else(|| panic!("missing sample {name}"))
+            .rsplit_once(' ')
+            .unwrap()
+            .1
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(sample("lalr_requests_total"), stats.requests);
+    assert_eq!(sample("lalr_errors_total"), 0);
+    assert_eq!(
+        sample("lalr_cache_events_total{kind=\"compiles\"}"),
+        cache.compiles
+    );
+    assert_eq!(
+        sample("lalr_requests_by_op_total{op=\"compile\"}"),
+        stats.by_op[0]
+    );
+    assert_eq!(
+        sample("lalr_phase_calls_total{phase=\"lr0.build\"}"),
+        cache.compiles,
+        "each pipeline run observes exactly one LR(0) build"
+    );
 }

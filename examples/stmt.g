@@ -1,0 +1,56 @@
+// A small imperative language for the `lalrgen` examples:
+//
+//   lalrgen profile  examples/stmt.g --trace-out trace.json
+//   lalrgen analyze  examples/stmt.g
+//   lalrgen classify examples/stmt.g
+//
+// Statements over a stratified expression grammar (boolean, relational,
+// additive, multiplicative, unary) with assignments, calls, and blocks.
+// Conflict-free LALR(1): the if-statement requires its else branch.
+
+%start program
+
+program   : stmt_list ;
+
+stmt_list : stmt_list stmt
+          | stmt ;
+
+stmt      : "if" "(" expr ")" stmt "else" stmt
+          | "while" "(" expr ")" stmt
+          | "{" stmt_list "}"
+          | "{" "}"
+          | ID "=" expr ";"
+          | "return" expr ";" ;
+
+expr      : expr "||" conj
+          | conj ;
+
+conj      : conj "&&" negation
+          | negation ;
+
+negation  : "!" negation
+          | relation ;
+
+relation  : sum "<" sum
+          | sum "==" sum
+          | sum ;
+
+sum       : sum "+" term
+          | sum "-" term
+          | term ;
+
+term      : term "*" factor
+          | term "/" factor
+          | factor ;
+
+factor    : "(" expr ")"
+          | ID "(" args ")"
+          | "-" factor
+          | ID
+          | NUM ;
+
+args      : arg_list
+          | ;
+
+arg_list  : arg_list "," expr
+          | expr ;

@@ -51,6 +51,7 @@ pub use lalr_core as core;
 pub use lalr_corpus as corpus;
 pub use lalr_digraph as digraph;
 pub use lalr_grammar as grammar;
+pub use lalr_obs as obs;
 pub use lalr_runtime as runtime;
 pub use lalr_tables as tables;
 
