@@ -10,16 +10,25 @@
 //! * **warm** — the default cache, pre-warmed with one pass over the
 //!   corpus, so steady-state requests are fingerprint lookups.
 //!
+//! With `--chaos` (EXPERIMENTS.md Table 10) the harness instead drives
+//! a real TCP daemon through the retrying client at increasing fault
+//! rates — injected read/write failures, partial responses, and compile
+//! panics — and reports how throughput and tail latency degrade while
+//! the retry layer keeps the error column at zero.
+//!
 //! ```text
 //! cargo run --release -p lalr-bench --bin loadgen              # 8 threads × 40 requests
 //! cargo run --release -p lalr-bench --bin loadgen -- 4 100     # 4 threads × 100 requests
+//! cargo run --release -p lalr-bench --bin loadgen -- --chaos   # fault-rate sweep over TCP
 //! ```
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use lalr_chaos::{Fault, FaultPlan, Trigger};
 use lalr_core::Parallelism;
-use lalr_service::{GrammarFormat, Request, Service, ServiceConfig};
+use lalr_service::client::{call_with_retry, RetryPolicy};
+use lalr_service::{Daemon, DaemonConfig, GrammarFormat, Request, Service, ServiceConfig};
 
 /// The request mix: for every corpus grammar one compile, one classify,
 /// one table, and (where a sentence exists) one parse.
@@ -134,10 +143,179 @@ fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+/// The Table 10 fault mix at a given base rate: transport faults on
+/// both directions of the daemon socket plus worker panics and slow
+/// compiles. Every fault here is one the retrying client recovers from.
+fn chaos_plan(rate: f64, seed: u64) -> lalr_service::FaultInjector {
+    FaultPlan::new(seed)
+        .rule("daemon.read", Fault::Error, Trigger::Rate(rate))
+        .rule("daemon.write", Fault::PartialWrite, Trigger::Rate(rate))
+        .rule("service.compile", Fault::Panic, Trigger::Rate(rate))
+        .rule("service.compile", Fault::Delay(2), Trigger::Rate(rate))
+        .build()
+}
+
+struct ChaosArm {
+    rate: f64,
+    requests: usize,
+    errors: u64,
+    retries: u64,
+    injected: u64,
+    accounted: bool,
+    elapsed: Duration,
+    p50: Duration,
+    p99: Duration,
+}
+
+/// One sweep point: a fresh daemon armed with `chaos_plan(rate)`, hit by
+/// `threads` retrying TCP clients. Returns per-arm totals; panics if the
+/// daemon loses a connection tracking invariant (aborted drains).
+fn run_chaos_arm(
+    rate: f64,
+    requests: &Arc<Vec<Request>>,
+    threads: usize,
+    per_thread: usize,
+) -> ChaosArm {
+    let faults = chaos_plan(rate, 0xC4A05);
+    let daemon = Daemon::start(DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        drain_deadline: Duration::from_secs(5),
+        faults: faults.clone(),
+        service: ServiceConfig {
+            workers: Parallelism::new(threads),
+            faults: faults.clone(),
+            ..ServiceConfig::default()
+        },
+        ..DaemonConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = daemon.addr().to_string();
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let requests = Arc::clone(requests);
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let policy = RetryPolicy {
+                    retries: 40,
+                    backoff: Duration::from_millis(1),
+                    cap: Duration::from_millis(16),
+                    seed: 0xC4A05 ^ t as u64,
+                };
+                let mut latencies = Vec::with_capacity(per_thread);
+                let mut errors = 0u64;
+                let mut attempts = 0u64;
+                let none = lalr_service::FaultInjector::disabled();
+                for k in 0..per_thread {
+                    let request = &requests[(t * 7 + k) % requests.len()];
+                    let call_start = Instant::now();
+                    let reply = call_with_retry(
+                        &addr,
+                        request,
+                        None,
+                        Duration::from_secs(10),
+                        &policy,
+                        &none,
+                    );
+                    latencies.push(call_start.elapsed());
+                    match reply {
+                        Ok(r) => {
+                            attempts += u64::from(r.attempts);
+                            if !r.is_ok() {
+                                errors += 1;
+                            }
+                        }
+                        Err(_) => {
+                            attempts += u64::from(policy.retries) + 1;
+                            errors += 1;
+                        }
+                    }
+                }
+                (latencies, errors, attempts)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::with_capacity(threads * per_thread);
+    let mut errors = 0;
+    let mut attempts = 0;
+    for h in handles {
+        let (l, e, a) = h.join().expect("client thread");
+        latencies.extend(l);
+        errors += e;
+        attempts += a;
+    }
+    let elapsed = started.elapsed();
+    daemon.stop();
+    let summary = daemon.join();
+    assert_eq!(
+        summary.aborted, 0,
+        "chaos arm aborted connections: {summary:?}"
+    );
+
+    latencies.sort_unstable();
+    let stats = faults.stats();
+    ChaosArm {
+        rate,
+        requests: latencies.len(),
+        errors,
+        retries: attempts - latencies.len() as u64,
+        injected: stats.iter().map(|s| s.injected).sum(),
+        accounted: stats.iter().all(|s| s.injected == s.expected),
+        elapsed,
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+    }
+}
+
+fn chaos_main(threads: usize, per_thread: usize) {
+    let requests = Arc::new(workload());
+    eprintln!(
+        "loadgen --chaos: {threads} threads x {per_thread} requests over TCP, \
+         {} distinct requests in the mix",
+        requests.len()
+    );
+
+    let arms: Vec<ChaosArm> = [0.0, 0.01, 0.05, 0.20]
+        .iter()
+        .map(|&rate| run_chaos_arm(rate, &requests, threads, per_thread))
+        .collect();
+
+    println!("| fault rate | requests | errors | retries | injected | accounted | req/s | p50 (ms) | p99 (ms) |");
+    println!("|-----------:|---------:|-------:|--------:|---------:|:---------:|------:|---------:|---------:|");
+    let mut failed = false;
+    for arm in &arms {
+        println!(
+            "| {:.0}% | {} | {} | {} | {} | {} | {:.0} | {:.3} | {:.3} |",
+            arm.rate * 100.0,
+            arm.requests,
+            arm.errors,
+            arm.retries,
+            arm.injected,
+            if arm.accounted { "yes" } else { "NO" },
+            arm.requests as f64 / arm.elapsed.as_secs_f64(),
+            ms(arm.p50),
+            ms(arm.p99),
+        );
+        failed |= arm.errors > 0 || !arm.accounted;
+    }
+    if failed {
+        eprintln!("loadgen --chaos: requests failed or fault accounting drifted");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let chaos = args.iter().any(|a| a == "--chaos");
+    args.retain(|a| a != "--chaos");
     let threads: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(8);
     let per_thread: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+    if chaos {
+        chaos_main(threads, per_thread);
+        return;
+    }
 
     let requests = Arc::new(workload());
     eprintln!(

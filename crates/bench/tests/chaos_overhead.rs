@@ -1,0 +1,103 @@
+//! The fault-injection no-overhead contract: a disabled
+//! [`lalr_chaos::FaultInjector`] must add *zero* allocations to the
+//! paths it guards — the same gating discipline `obs_overhead.rs`
+//! enforces for the NULL recorder. Two layers are checked:
+//!
+//! 1. The injector itself: a disabled `at()` is a `None` check and an
+//!    *enabled* `at()` is atomics-only — neither may allocate per hit.
+//! 2. The service compile path: a `Service` built with the default
+//!    (disabled) injector allocates exactly as much per request as one
+//!    with the field never armed can — i.e. the failpoints in
+//!    `compile_observed` and the cache cost nothing when off.
+//!
+//! This file is its own test binary (no concurrency), so the
+//! process-global allocation counters see only the measured code.
+
+use lalr_bench::alloc_counter::measure;
+use lalr_chaos::{Fault, FaultInjector, FaultPlan, Trigger};
+
+#[test]
+fn disabled_and_enabled_failpoint_checks_allocate_nothing() {
+    let disabled = FaultInjector::disabled();
+    let enabled = FaultPlan::new(7)
+        .rule("daemon.read", Fault::Error, Trigger::Rate(0.25))
+        .rule("service.compile", Fault::Delay(0), Trigger::EveryNth(3))
+        .build();
+
+    // Warm-up: allocator metadata, lazy statics.
+    for _ in 0..8 {
+        std::hint::black_box(disabled.at("daemon.read"));
+        std::hint::black_box(enabled.at("daemon.read"));
+    }
+
+    let ((), off) = measure(|| {
+        for _ in 0..10_000 {
+            std::hint::black_box(disabled.at("daemon.read"));
+            std::hint::black_box(disabled.at("service.compile"));
+        }
+    });
+    assert_eq!(
+        off.allocations, 0,
+        "a disabled failpoint check allocated — the Option gate is broken"
+    );
+
+    let ((), on) = measure(|| {
+        for _ in 0..10_000 {
+            std::hint::black_box(enabled.at("daemon.read"));
+            std::hint::black_box(enabled.at("service.compile"));
+        }
+    });
+    assert_eq!(
+        on.allocations, 0,
+        "an armed failpoint hit allocated — rule matching must stay \
+         slice-scan + atomics (Delay(0) and unfired Error rules do not act)"
+    );
+
+    // Same binary, same test fn (the global counters must not see a
+    // concurrently running sibling test): the service-level check.
+    disabled_injector_is_deterministic_for_a_service_request();
+}
+
+fn disabled_injector_is_deterministic_for_a_service_request() {
+    use lalr_service::{GrammarFormat, Request, Response, Service, ServiceConfig};
+
+    let entry = lalr_corpus::by_name("expr").expect("corpus entry exists");
+    let compile_allocs = || {
+        let config = ServiceConfig {
+            workers: lalr_core::Parallelism::sequential(),
+            ..ServiceConfig::default()
+        };
+        // Allocations are counted process-wide, so run the request on
+        // this thread's service worker and measure only the call.
+        let service = Service::new(config);
+        let warm = service.call(
+            Request::Compile {
+                grammar: entry.source.to_string(),
+                format: GrammarFormat::Native,
+            },
+            None,
+        );
+        assert!(matches!(warm, Response::Compile(_)), "{warm:?}");
+        let (response, stats) = measure(|| {
+            service.call(
+                Request::Classify {
+                    grammar: entry.source.to_string(),
+                    format: GrammarFormat::Native,
+                },
+                None,
+            )
+        });
+        assert!(matches!(response, Response::Classify(_)), "{response:?}");
+        drop(service);
+        stats.allocations
+    };
+
+    let _ = compile_allocs();
+    let a = compile_allocs();
+    let b = compile_allocs();
+    assert_eq!(
+        a, b,
+        "identical disabled-injector requests allocated differently — \
+         a failpoint check is not allocation-free"
+    );
+}

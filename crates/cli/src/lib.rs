@@ -66,9 +66,13 @@ pub const USAGE: &str = "usage: lalrgen <command> <grammar> [args] [--threads N]
   --threads N runs the look-ahead pipeline on N worker threads (same output, faster on large grammars)
   profile <grammar> [--trace-out FILE]   per-phase wall/alloc breakdown of the
          grammar -> LA pipeline; --trace-out writes a Chrome trace (chrome://tracing)
-  serve  [--addr A] [--cache-mb N] [--max-conn N] [--deadline-ms N]  run the compile daemon
+  serve  [--addr A] [--cache-mb N] [--max-conn N] [--deadline-ms N] [--max-pending N]
+         [--drain-ms N] [--chaos SPEC] [--chaos-seed N]   run the compile daemon
+         --chaos arms deterministic failpoints, e.g. \"daemon.write:partial:0.05\"
   client <compile|classify|table|parse|stats|metrics|shutdown> [grammar]
          [--addr A] [--input \"t t t\"] [--compressed] [--deadline-ms N] [--timeout-ms N]
+         [--retries N] [--backoff-ms N]   retry transient failures with capped
+         exponential backoff and deterministic jitter
   stats  [--addr A] [--metrics]   daemon statistics snapshot (--metrics: Prometheus text)";
 
 /// Every command name, for the unknown-command error.
@@ -576,13 +580,16 @@ fn grammar_text(arg: &str) -> Result<(String, lalr_service::GrammarFormat), CliE
 /// on stderr immediately — with `--addr 127.0.0.1:0` that line is how
 /// callers learn the picked port.
 fn cmd_serve(args: &[String], par: &Parallelism) -> Result<String, CliError> {
-    const FLAGS: &str = "--addr, --cache-mb, --max-conn, --deadline-ms, --threads";
+    const FLAGS: &str = "--addr, --cache-mb, --max-conn, --deadline-ms, --max-pending, \
+                         --drain-ms, --chaos, --chaos-seed, --threads";
     let mut config = lalr_service::DaemonConfig {
         addr: DEFAULT_ADDR.to_string(),
         ..lalr_service::DaemonConfig::default()
     };
     let mut cache_mb: usize = 64;
     let mut deadline_ms: Option<u64> = None;
+    let mut chaos_spec: Option<String> = None;
+    let mut chaos_seed: u64 = 0;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -597,6 +604,20 @@ fn cmd_serve(args: &[String], par: &Parallelism) -> Result<String, CliError> {
                     "--deadline-ms",
                 )?)
             }
+            "--max-pending" => {
+                config.service.max_pending =
+                    num_flag(flag_value(args, i, "--max-pending")?, "--max-pending")?
+            }
+            "--drain-ms" => {
+                config.drain_deadline = std::time::Duration::from_millis(num_flag(
+                    flag_value(args, i, "--drain-ms")?,
+                    "--drain-ms",
+                )?)
+            }
+            "--chaos" => chaos_spec = Some(flag_value(args, i, "--chaos")?.to_string()),
+            "--chaos-seed" => {
+                chaos_seed = num_flag(flag_value(args, i, "--chaos-seed")?, "--chaos-seed")?
+            }
             other => {
                 return Err(fail(format!(
                     "unknown flag {other:?} for serve (available: {FLAGS})"
@@ -604,6 +625,16 @@ fn cmd_serve(args: &[String], par: &Parallelism) -> Result<String, CliError> {
             }
         }
         i += 2;
+    }
+    if let Some(spec) = chaos_spec {
+        // One injector across the daemon's I/O failpoints and the
+        // service/cache failpoints, so a single `--chaos` spec arms the
+        // whole stack and `metrics` reports every rule's counters.
+        let faults = lalr_service::FaultPlan::parse(&spec, chaos_seed)
+            .map_err(|e| fail(format!("--chaos: {e}")))?
+            .build();
+        config.faults = faults.clone();
+        config.service.faults = faults;
     }
     // `--threads` sizes the worker pool; without it a server uses every
     // core (unlike the one-shot commands, which default to sequential).
@@ -620,8 +651,8 @@ fn cmd_serve(args: &[String], par: &Parallelism) -> Result<String, CliError> {
     eprintln!("serving on {}", daemon.addr());
     let summary = daemon.join();
     Ok(format!(
-        "served {} connection(s), {} request(s)\n",
-        summary.connections, summary.requests
+        "served {} connection(s), {} request(s)\ndrained {} connection(s) at shutdown, aborted {}\n",
+        summary.connections, summary.requests, summary.drained, summary.aborted
     ))
 }
 
@@ -630,12 +661,15 @@ fn cmd_serve(args: &[String], par: &Parallelism) -> Result<String, CliError> {
 /// stderr.
 fn cmd_client(args: &[String]) -> Result<String, CliError> {
     const OPS: &str = "compile, classify, table, parse, stats, metrics, shutdown";
-    const FLAGS: &str = "--addr, --input, --compressed, --deadline-ms, --timeout-ms";
+    const FLAGS: &str =
+        "--addr, --input, --compressed, --deadline-ms, --timeout-ms, --retries, --backoff-ms";
     let mut addr = DEFAULT_ADDR.to_string();
     let mut input: Option<String> = None;
     let mut compressed = false;
     let mut deadline_ms: Option<u64> = None;
     let mut timeout_ms: u64 = 30_000;
+    let mut retries: u32 = 0;
+    let mut backoff_ms: u64 = 50;
     let mut positional: Vec<&str> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -661,6 +695,14 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
             }
             "--timeout-ms" => {
                 timeout_ms = num_flag(flag_value(args, i, "--timeout-ms")?, "--timeout-ms")?;
+                i += 2;
+            }
+            "--retries" => {
+                retries = num_flag(flag_value(args, i, "--retries")?, "--retries")?;
+                i += 2;
+            }
+            "--backoff-ms" => {
+                backoff_ms = num_flag(flag_value(args, i, "--backoff-ms")?, "--backoff-ms")?;
                 i += 2;
             }
             other if other.starts_with("--") => {
@@ -711,11 +753,21 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
             )))
         }
     };
-    let reply = lalr_service::client::call(
+    // The retry policy's seed is fixed: a given invocation's backoff
+    // schedule is reproducible, and the per-attempt jitter still spreads
+    // concurrent clients started with different --backoff-ms values.
+    let policy = lalr_service::RetryPolicy {
+        retries,
+        backoff: std::time::Duration::from_millis(backoff_ms),
+        ..lalr_service::RetryPolicy::default()
+    };
+    let reply = lalr_service::call_with_retry(
         &addr,
         &request,
         deadline_ms.map(std::time::Duration::from_millis),
         std::time::Duration::from_millis(timeout_ms),
+        &policy,
+        &lalr_service::FaultInjector::disabled(),
     )
     .map_err(|e| fail(e.to_string()))?;
     if reply.is_ok() {

@@ -79,6 +79,108 @@ fn serve_client_stats_shutdown_round_trip() {
 }
 
 #[test]
+fn serve_rejects_a_malformed_chaos_spec_naming_the_problem() {
+    let out = lalrgen(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--chaos",
+        "daemon.read:frobnicate:0.5",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--chaos"), "{stderr}");
+    assert!(stderr.contains("frobnicate"), "{stderr}");
+}
+
+#[test]
+fn unknown_flag_lists_include_the_resilience_flags() {
+    let out = lalrgen(&["serve", "--bogus"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--chaos"), "{stderr}");
+    assert!(stderr.contains("--drain-ms"), "{stderr}");
+    assert!(stderr.contains("--max-pending"), "{stderr}");
+
+    let out = lalrgen(&["client", "compile", "expr", "--bogus"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--retries"), "{stderr}");
+    assert!(stderr.contains("--backoff-ms"), "{stderr}");
+}
+
+/// A chaos-armed daemon through the binary alone: the first compile
+/// panics in the worker, the retrying client succeeds anyway, and the
+/// shutdown summary reports the drain.
+#[test]
+fn chaos_armed_serve_round_trip_with_retrying_client() {
+    use std::io::BufRead;
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_lalrgen"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--chaos",
+            "service.compile:panic:@1",
+            "--chaos-seed",
+            "7",
+            "--drain-ms",
+            "2000",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("server starts");
+
+    let mut stderr = std::io::BufReader::new(server.stderr.take().unwrap());
+    let mut line = String::new();
+    stderr.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("serving on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_string();
+
+    // Without retries the injected panic is the client's answer…
+    let out = lalrgen(&["client", "compile", "expr", "--addr", &addr]);
+    assert_eq!(out.status.code(), Some(1), "first compile should fail");
+    let body = String::from_utf8_lossy(&out.stderr);
+    assert!(body.contains("\"panicked\""), "{body}");
+
+    // …and with them the next injected hit (none remain) cannot stop it.
+    let out = lalrgen(&[
+        "client",
+        "compile",
+        "expr",
+        "--addr",
+        &addr,
+        "--retries",
+        "2",
+        "--backoff-ms",
+        "1",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"ok\":true"));
+
+    let out = lalrgen(&["client", "shutdown", "--addr", &addr]);
+    assert!(out.status.success());
+    let mut stdout = server.stdout.take().unwrap();
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "server exit: {status:?}");
+    let mut summary = String::new();
+    std::io::Read::read_to_string(&mut stdout, &mut summary).unwrap();
+    assert!(summary.contains("drained"), "{summary}");
+    assert!(summary.contains("aborted 0"), "{summary}");
+}
+
+#[test]
 fn classify_corpus_grammar_on_stdout() {
     let out = lalrgen(&["classify", "ada_subset"]);
     assert!(out.status.success());

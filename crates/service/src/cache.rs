@@ -18,9 +18,11 @@
 //! shard budget is returned to the caller but never inserted, so a
 //! shard's resident bytes never exceed its budget.
 
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use lalr_chaos::{Fault, FaultInjector};
 use rustc_hash::FxHashMap;
 
 use crate::artifact::CompiledArtifact;
@@ -42,6 +44,11 @@ pub struct CacheConfig {
     pub shards: usize,
     /// The fingerprint hash; defaults to FxHash64.
     pub fingerprinter: Fingerprinter,
+    /// Fault injector for the `cache.storm` failpoint (an eviction storm
+    /// after a commit). `crate::Service::new` overwrites this with its
+    /// own injector so one plan drives the whole stack; arm it directly
+    /// only when exercising a bare cache.
+    pub faults: FaultInjector,
 }
 
 impl Default for CacheConfig {
@@ -50,6 +57,7 @@ impl Default for CacheConfig {
             byte_budget: 64 << 20,
             shards: 8,
             fingerprinter: fx_fingerprint,
+            faults: FaultInjector::disabled(),
         }
     }
 }
@@ -132,6 +140,7 @@ pub struct ArtifactCache {
     shards: Vec<Mutex<Shard>>,
     shard_budget: usize,
     fingerprinter: Fingerprinter,
+    faults: FaultInjector,
     tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -159,6 +168,7 @@ impl ArtifactCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             shard_budget: config.byte_budget / shards,
             fingerprinter: config.fingerprinter,
+            faults: config.faults,
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -229,9 +239,17 @@ impl ArtifactCache {
                 .push(Arc::clone(&flight));
         }
 
-        // Phase 2: leader compiles outside every lock.
+        // Phase 2: leader compiles outside every lock. The `catch_unwind`
+        // is load-bearing: if `compile` panics (a pipeline bug, or the
+        // `service.compile` failpoint's injected panic) and the panic
+        // escaped here, Phase 3 would never run, the in-flight slot would
+        // never resolve, and every coalesced waiter — plus all future
+        // requests for this grammar, which would join the dead flight —
+        // would block on the condvar forever.
         self.compiles.fetch_add(1, Ordering::Relaxed);
-        let result = compile(&normalized, fp).map(Arc::new);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| compile(&normalized, fp)))
+            .unwrap_or_else(|payload| Err(ServiceError::from_panic(payload.as_ref())))
+            .map(Arc::new);
 
         // Phase 3: commit, wake waiters, evict.
         {
@@ -260,7 +278,30 @@ impl ArtifactCache {
         *flight.state.lock().expect("in-flight slot poisoned") = Some(result.clone());
         flight.done.notify_all();
 
+        // The eviction-storm failpoint: drop every committed entry, as if
+        // a budget collapse evicted the working set. Checked outside the
+        // shard lock, after waiters were released.
+        if let Some(Fault::EvictAll) = self.faults.at("cache.storm") {
+            self.evict_all();
+        }
+
         (result, CacheOutcome::Compiled)
+    }
+
+    /// Evicts every committed entry (an eviction storm), counting each
+    /// one in the `evictions` stat. In-flight compiles are unaffected.
+    /// Returns the number of entries dropped.
+    pub fn evict_all(&self) -> usize {
+        let mut dropped = 0;
+        for s in &self.shards {
+            let mut shard = s.lock().expect("cache shard poisoned");
+            let n = shard.entries.values().map(Vec::len).sum::<usize>();
+            shard.entries.clear();
+            shard.bytes = 0;
+            dropped += n;
+        }
+        self.evictions.fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
     }
 
     fn wait(flight: &InFlight) -> Result<Arc<CompiledArtifact>, ServiceError> {

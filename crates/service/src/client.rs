@@ -1,9 +1,20 @@
-//! A minimal blocking client for the daemon protocol.
+//! A blocking client for the daemon protocol, with distinct transport
+//! errors and deterministic retry.
+//!
+//! Transport failures are reported as *distinct* [`ServiceError`] kinds
+//! so callers can tell them apart (and retry policies can reason about
+//! them): `refused` (nobody listening), `timeout` (connect or read
+//! budget exhausted), `closed` (the connection ended before a complete
+//! response line — either before any byte, or mid-line), and `io`
+//! (everything else). [`call_with_retry`] layers capped exponential
+//! backoff with deterministic jitter on top: same seed, same request
+//! history, same sleep schedule.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use lalr_chaos::{mix64, Fault, FaultInjector};
 use serde_json::Value;
 
 use crate::protocol::request_to_line;
@@ -17,6 +28,9 @@ pub struct ClientReply {
     pub raw: String,
     /// The parsed JSON document.
     pub value: Value,
+    /// How many attempts this reply took (1 = first try; only
+    /// [`call_with_retry`] produces higher values).
+    pub attempts: u32,
 }
 
 impl ClientReply {
@@ -32,6 +46,68 @@ impl ClientReply {
     pub fn error_message(&self) -> Option<&str> {
         self.value.get("error")?.get("message")?.as_str()
     }
+
+    /// The machine-readable error kind, for `ok:false` replies.
+    pub fn error_kind(&self) -> Option<&str> {
+        self.value.get("error")?.get("kind")?.as_str()
+    }
+}
+
+/// Retry schedule for [`call_with_retry`]: up to `retries` re-attempts
+/// after the first, sleeping `min(cap, backoff · 2ᵏ)` scaled by a
+/// deterministic jitter factor in `[0.5, 1.0)` derived from
+/// `mix64(seed ^ attempt)` — no shared PRNG state, so concurrent clients
+/// with different seeds desynchronize (no thundering herd) while any
+/// single schedule replays exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-attempts after the first try (0 = behave like [`call`]).
+    pub retries: u32,
+    /// Base backoff before the first retry.
+    pub backoff: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub cap: Duration,
+    /// Seed for the jitter hash.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 3,
+            backoff: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The sleep before re-attempt `attempt` (0-based: the delay after
+    /// the first failure is `delay_for(0)`).
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        let doubled = self
+            .backoff
+            .saturating_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX));
+        let capped = doubled.min(self.cap);
+        let frac = ((mix64(self.seed ^ u64::from(attempt)) >> 11) as f64)
+            * (1.0 / 9_007_199_254_740_992.0);
+        capped.mul_f64(0.5 + 0.5 * frac)
+    }
+}
+
+/// Whether a server error reply is worth retrying: capacity and crash
+/// kinds are transient; structural rejections are not.
+fn retryable_reply_kind(kind: &str) -> bool {
+    matches!(kind, "overloaded" | "unavailable" | "panicked")
 }
 
 /// Sends one request to a running daemon and reads one response line.
@@ -44,29 +120,171 @@ pub fn call(
     deadline: Option<Duration>,
     timeout: Duration,
 ) -> Result<ClientReply, ServiceError> {
+    call_inner(addr, request, deadline, timeout, &FaultInjector::disabled())
+}
+
+/// [`call`], retried under `policy` for transport failures and for
+/// transient server error replies (`overloaded`, `unavailable`,
+/// `panicked`). Client-side failpoints (`client.connect`,
+/// `client.write`, `client.read`) fire per attempt through `faults`.
+pub fn call_with_retry(
+    addr: &str,
+    request: &Request,
+    deadline: Option<Duration>,
+    timeout: Duration,
+    policy: &RetryPolicy,
+    faults: &FaultInjector,
+) -> Result<ClientReply, ServiceError> {
+    let mut attempts = 0u32;
+    loop {
+        let outcome = call_inner(addr, request, deadline, timeout, faults);
+        attempts += 1;
+        let retries_left = attempts <= policy.retries;
+        match outcome {
+            Ok(mut reply) => {
+                let transient =
+                    !reply.is_ok() && reply.error_kind().is_some_and(retryable_reply_kind);
+                if transient && retries_left {
+                    std::thread::sleep(policy.delay_for(attempts - 1));
+                    continue;
+                }
+                reply.attempts = attempts;
+                return Ok(reply);
+            }
+            Err(e) if e.is_retryable() && retries_left => {
+                std::thread::sleep(policy.delay_for(attempts - 1));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn call_inner(
+    addr: &str,
+    request: &Request,
+    deadline: Option<Duration>,
+    timeout: Duration,
+    faults: &FaultInjector,
+) -> Result<ClientReply, ServiceError> {
     let io_err = |e: std::io::Error| ServiceError::Io(format!("{addr}: {e}"));
     let sock_addr = addr
         .to_socket_addrs()
         .map_err(io_err)?
         .next()
         .ok_or_else(|| ServiceError::Io(format!("{addr}: no usable address")))?;
-    let stream = TcpStream::connect_timeout(&sock_addr, timeout).map_err(io_err)?;
+    match faults.at("client.connect") {
+        Some(Fault::Error) => {
+            return Err(ServiceError::Refused(format!(
+                "{addr}: injected fault at client.connect"
+            )))
+        }
+        Some(Fault::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        _ => {}
+    }
+    let stream = TcpStream::connect_timeout(&sock_addr, timeout).map_err(|e| match e.kind() {
+        ErrorKind::ConnectionRefused => ServiceError::Refused(format!("{addr}: {e}")),
+        ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+            ServiceError::Timeout(format!("{addr}: connect: {e}"))
+        }
+        _ => io_err(e),
+    })?;
     stream.set_read_timeout(Some(timeout)).map_err(io_err)?;
     stream.set_write_timeout(Some(timeout)).map_err(io_err)?;
 
+    if let Some(Fault::Error) = faults.at("client.write") {
+        return Err(ServiceError::Io(format!(
+            "{addr}: injected fault at client.write"
+        )));
+    }
     let mut writer = stream.try_clone().map_err(io_err)?;
-    writeln!(writer, "{}", request_to_line(request, deadline)).map_err(io_err)?;
+    writeln!(writer, "{}", request_to_line(request, deadline)).map_err(|e| match e.kind() {
+        ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+            ServiceError::Timeout(format!("{addr}: write: {e}"))
+        }
+        _ => io_err(e),
+    })?;
 
+    if let Some(Fault::Error) = faults.at("client.read") {
+        return Err(ServiceError::Io(format!(
+            "{addr}: injected fault at client.read"
+        )));
+    }
     let mut line = String::new();
     BufReader::new(stream)
         .read_line(&mut line)
-        .map_err(io_err)?;
+        .map_err(|e| match e.kind() {
+            ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+                ServiceError::Timeout(format!("{addr}: read: {e}"))
+            }
+            // A peer reset while we wait for the reply is the connection
+            // ending, not a local I/O fault — classify with the EOF cases
+            // below so retry policy treats abrupt and clean closes alike.
+            ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted => ServiceError::Closed(
+                format!("{addr}: connection reset before a response arrived"),
+            ),
+            _ => io_err(e),
+        })?;
     if line.is_empty() {
-        return Err(ServiceError::Io(format!(
+        return Err(ServiceError::Closed(format!(
             "{addr}: connection closed before a response arrived"
+        )));
+    }
+    if !line.ends_with('\n') {
+        // EOF mid-line: a partial response must never be parsed as if it
+        // were complete.
+        return Err(ServiceError::Closed(format!(
+            "{addr}: connection closed mid-response after {} bytes",
+            line.len()
         )));
     }
     let raw = line.trim_end().to_string();
     let value = serde_json::from_str(&raw).map_err(|e| ServiceError::Io(format!("{addr}: {e}")))?;
-    Ok(ClientReply { raw, value })
+    Ok(ClientReply {
+        raw,
+        value,
+        attempts: 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_deterministically() {
+        let p = RetryPolicy {
+            retries: 8,
+            backoff: Duration::from_millis(100),
+            cap: Duration::from_millis(450),
+            seed: 11,
+        };
+        for k in 0..8 {
+            let base = [100u64, 200, 400, 450, 450, 450, 450, 450][k as usize];
+            let d = p.delay_for(k);
+            assert!(
+                d >= Duration::from_millis(base / 2) && d < Duration::from_millis(base),
+                "attempt {k}: {d:?} outside [{}ms/2, {}ms)",
+                base,
+                base
+            );
+            assert_eq!(d, p.delay_for(k), "same seed+attempt → same delay");
+        }
+        let other = RetryPolicy { seed: 12, ..p };
+        assert!(
+            (0..8).any(|k| other.delay_for(k) != p.delay_for(k)),
+            "different seeds must desynchronize"
+        );
+        // Overflow safety at absurd attempt counts.
+        assert!(p.delay_for(u32::MAX) <= p.cap);
+    }
+
+    #[test]
+    fn reply_kind_retryability() {
+        for k in ["overloaded", "unavailable", "panicked"] {
+            assert!(retryable_reply_kind(k));
+        }
+        for k in ["bad_grammar", "bad_request", "too_large", "deadline"] {
+            assert!(!retryable_reply_kind(k));
+        }
+    }
 }

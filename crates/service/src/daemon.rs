@@ -7,16 +7,23 @@
 //! connection count. Connections beyond the cap receive an
 //! `unavailable` error line and are closed immediately.
 //!
-//! Shutdown is graceful and in-band: a `{"op":"shutdown"}` request is
-//! acknowledged, the accept loop is woken by a loopback connection, open
-//! connections are joined, and [`Daemon::join`] returns a summary.
+//! Shutdown is graceful and **drains**: a `{"op":"shutdown"}` request
+//! (or [`Daemon::stop`]) stops the accept loop, idle connections are
+//! closed immediately, connections mid-request get up to
+//! [`DaemonConfig::drain_deadline`] to finish and are then force-closed,
+//! and [`Daemon::join`] reports how many drained cleanly versus were
+//! aborted. Joining through the drain path bounds shutdown latency by
+//! the deadline plus in-flight compute — never by the 30 s idle read
+//! timeout.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use lalr_chaos::{Fault, FaultInjector};
 
 use crate::protocol::{request_from_value, response_to_line};
 use crate::service::{Request, Response, Service, ServiceConfig};
@@ -33,6 +40,13 @@ pub struct DaemonConfig {
     pub read_timeout: Duration,
     /// Maximum request line length in bytes.
     pub max_line_bytes: usize,
+    /// How long a shutting-down daemon waits for in-flight requests
+    /// before force-closing their connections.
+    pub drain_deadline: Duration,
+    /// Fault injector for the daemon's I/O failpoints (`daemon.read`,
+    /// `daemon.write`). Usually the same injector as
+    /// [`ServiceConfig::faults`]; disabled by default.
+    pub faults: FaultInjector,
     /// The underlying service configuration.
     pub service: ServiceConfig,
 }
@@ -44,6 +58,8 @@ impl Default for DaemonConfig {
             max_connections: 64,
             read_timeout: Duration::from_secs(30),
             max_line_bytes: 4 << 20,
+            drain_deadline: Duration::from_secs(5),
+            faults: FaultInjector::disabled(),
             service: ServiceConfig::default(),
         }
     }
@@ -56,6 +72,12 @@ pub struct DaemonSummary {
     pub connections: u64,
     /// Requests the service handled.
     pub requests: u64,
+    /// Connections open at shutdown that finished cleanly within the
+    /// drain deadline (idle ones close immediately and count here).
+    pub drained: u64,
+    /// Connections force-closed because they were still mid-request when
+    /// the drain deadline expired.
+    pub aborted: u64,
 }
 
 /// A running daemon.
@@ -107,6 +129,26 @@ fn wake_acceptor(addr: SocketAddr) {
     let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
 }
 
+/// One live connection, as the drain logic sees it: the stream handle
+/// (so its blocked read can be woken with a socket shutdown) and whether
+/// a request is currently executing on it.
+struct ConnSlot {
+    id: u64,
+    stream: TcpStream,
+    busy: AtomicBool,
+}
+
+/// Live-connection registry; a connection removes itself on exit, so at
+/// drain time this holds exactly the connections still open.
+type Registry = Arc<Mutex<Vec<Arc<ConnSlot>>>>;
+
+fn unregister(registry: &Registry, id: u64) {
+    registry
+        .lock()
+        .expect("connection registry poisoned")
+        .retain(|s| s.id != id);
+}
+
 fn accept_loop(
     listener: TcpListener,
     addr: SocketAddr,
@@ -116,6 +158,8 @@ fn accept_loop(
     let service = Arc::new(Service::new(config.service.clone()));
     let active = Arc::new(AtomicUsize::new(0));
     let connections = AtomicU64::new(0);
+    let registry: Registry = Arc::new(Mutex::new(Vec::new()));
+    let mut next_id = 0u64;
     let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
 
     for stream in listener.incoming() {
@@ -129,26 +173,56 @@ fn accept_loop(
             continue;
         }
         conn_threads.retain(|h| !h.is_finished());
+        let slot = match stream.try_clone() {
+            Ok(clone) => {
+                next_id += 1;
+                Arc::new(ConnSlot {
+                    id: next_id,
+                    stream: clone,
+                    busy: AtomicBool::new(false),
+                })
+            }
+            Err(_) => continue,
+        };
+        registry
+            .lock()
+            .expect("connection registry poisoned")
+            .push(Arc::clone(&slot));
         active.fetch_add(1, Ordering::SeqCst);
         let service = Arc::clone(&service);
         let conn_active = Arc::clone(&active);
+        let conn_registry = Arc::clone(&registry);
         let shutdown = Arc::clone(shutdown);
         let read_timeout = config.read_timeout;
         let max_line = config.max_line_bytes;
+        let faults = config.faults.clone();
+        let slot_id = slot.id;
         let spawned = std::thread::Builder::new()
             .name("lalr-daemon-conn".to_string())
             .spawn(move || {
-                serve_connection(stream, addr, &service, &shutdown, read_timeout, max_line);
+                serve_connection(
+                    stream,
+                    addr,
+                    &service,
+                    &shutdown,
+                    read_timeout,
+                    max_line,
+                    &slot,
+                    &faults,
+                );
+                unregister(&conn_registry, slot.id);
                 conn_active.fetch_sub(1, Ordering::SeqCst);
             });
         match spawned {
             Ok(h) => conn_threads.push(h),
             Err(_) => {
+                unregister(&registry, slot_id);
                 active.fetch_sub(1, Ordering::SeqCst);
             }
         }
     }
 
+    let (drained, aborted) = drain(&registry, &active, config.drain_deadline);
     for h in conn_threads {
         let _ = h.join();
     }
@@ -157,7 +231,45 @@ fn accept_loop(
     DaemonSummary {
         connections: connections.load(Ordering::Relaxed),
         requests,
+        drained,
+        aborted,
     }
+}
+
+/// Drains live connections after the accept loop stops: idle connections
+/// are woken (their blocked reads return) and close at once; busy ones
+/// get until `deadline` to finish their current request, then their
+/// sockets are shut down. Returns `(drained, aborted)` counts.
+///
+/// This is what makes [`Daemon::join`] prompt — without it, joining the
+/// connection threads could block for the full idle read timeout.
+fn drain(registry: &Registry, active: &AtomicUsize, deadline: Duration) -> (u64, u64) {
+    let started = Instant::now();
+    let live_at_shutdown = {
+        let slots = registry.lock().expect("connection registry poisoned");
+        // Wake idle connections now: `Shutdown::Both` makes a blocked
+        // `read` return EOF, so the serve loop exits without waiting out
+        // its read timeout. Busy connections keep their sockets so the
+        // in-flight response can still be written.
+        for slot in slots.iter() {
+            if !slot.busy.load(Ordering::SeqCst) {
+                let _ = slot.stream.shutdown(Shutdown::Both);
+            }
+        }
+        slots.len() as u64
+    };
+    while active.load(Ordering::SeqCst) > 0 && started.elapsed() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Force-close stragglers still mid-request at the deadline.
+    let aborted = {
+        let slots = registry.lock().expect("connection registry poisoned");
+        for slot in slots.iter() {
+            let _ = slot.stream.shutdown(Shutdown::Both);
+        }
+        slots.len() as u64
+    };
+    (live_at_shutdown - aborted, aborted)
 }
 
 fn reject_over_cap(mut stream: TcpStream) {
@@ -168,6 +280,7 @@ fn reject_over_cap(mut stream: TcpStream) {
     let _ = writeln!(stream, "{line}");
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     stream: TcpStream,
     daemon_addr: SocketAddr,
@@ -175,6 +288,8 @@ fn serve_connection(
     shutdown: &AtomicBool,
     read_timeout: Duration,
     max_line: usize,
+    slot: &ConnSlot,
+    faults: &FaultInjector,
 ) {
     let _ = stream.set_read_timeout(Some(read_timeout));
     let _ = stream.set_write_timeout(Some(read_timeout));
@@ -188,6 +303,12 @@ fn serve_connection(
     let mut line = String::new();
 
     loop {
+        // A draining daemon stops reading between requests; the current
+        // request (if any) already finished, so exiting here loses
+        // nothing a client was promised.
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
         line.clear();
         reader.get_mut().set_limit(max_line as u64 + 1);
         match reader.read_line(&mut line) {
@@ -199,6 +320,7 @@ fn serve_connection(
                         size: line.len(),
                         limit: max_line,
                     }),
+                    faults,
                 );
                 // Drain through the end of the oversized line before
                 // hanging up: closing with unread bytes queued sends an
@@ -210,6 +332,20 @@ fn serve_connection(
             Ok(_) => {}
             Err(_) => return, // read timeout or transport failure
         }
+        // The read-side failpoint, applied to a complete request line as
+        // if the transport had failed underneath it.
+        let mut close_without_response = false;
+        match faults.at("daemon.read") {
+            Some(Fault::Error) => return, // injected read failure: drop the conn
+            Some(Fault::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            Some(Fault::Garbage) => {
+                // Corrupt the line in place; the parse below answers
+                // `bad_request` and the daemon survives.
+                line = format!("\u{1b}corrupt\u{0000}{line}");
+            }
+            Some(Fault::Truncate) => close_without_response = true,
+            _ => {}
+        }
         if line.trim().is_empty() {
             continue;
         }
@@ -219,15 +355,23 @@ fn serve_connection(
         let (request, deadline) = match parsed {
             Ok(p) => p,
             Err(e) => {
-                if !respond(&mut writer, &Response::Error(e)) {
+                if !respond(&mut writer, &Response::Error(e), faults) {
                     return;
                 }
                 continue;
             }
         };
         let is_shutdown = matches!(request, Request::Shutdown);
+        slot.busy.store(true, Ordering::SeqCst);
         let response = service.call(request, deadline);
-        let written = respond(&mut writer, &response);
+        let written = if close_without_response {
+            // Injected truncation: the request executed but the client
+            // never hears back — it must treat the silence as retryable.
+            false
+        } else {
+            respond(&mut writer, &response, faults)
+        };
+        slot.busy.store(false, Ordering::SeqCst);
         if is_shutdown {
             shutdown.store(true, Ordering::SeqCst);
             wake_acceptor(daemon_addr);
@@ -264,6 +408,20 @@ fn drain_line(reader: &mut BufReader<std::io::Take<TcpStream>>, max_line: usize)
     }
 }
 
-fn respond(writer: &mut TcpStream, response: &Response) -> bool {
-    writeln!(writer, "{}", response_to_line(response)).is_ok()
+fn respond(writer: &mut TcpStream, response: &Response, faults: &FaultInjector) -> bool {
+    let line = response_to_line(response);
+    match faults.at("daemon.write") {
+        Some(Fault::Error) => return false, // response eaten whole
+        Some(Fault::PartialWrite) => {
+            // Half the bytes, no newline: the client sees a line cut
+            // mid-way and must report it as a distinct `closed` error.
+            let bytes = line.as_bytes();
+            let _ = writer.write_all(&bytes[..bytes.len() / 2]);
+            let _ = writer.flush();
+            return false;
+        }
+        Some(Fault::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        _ => {}
+    }
+    writeln!(writer, "{line}").is_ok()
 }

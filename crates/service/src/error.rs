@@ -32,6 +32,21 @@ pub enum ServiceError {
     Panicked(String),
     /// The service is shutting down or over its concurrency cap.
     Unavailable(String),
+    /// The pending-request queue is full; the request was shed without
+    /// being executed. Clients should back off and retry.
+    Overloaded {
+        /// Requests already waiting when this one was rejected.
+        pending: usize,
+        /// The configured queue limit.
+        limit: usize,
+    },
+    /// A client-side timeout: connect or read exceeded its budget.
+    Timeout(String),
+    /// The client could not connect at all (nobody listening).
+    Refused(String),
+    /// The connection closed before a complete response line arrived
+    /// (either before any bytes, or mid-line — the payload says which).
+    Closed(String),
     /// A client-side transport failure (connect, read, write, framing).
     Io(String),
 }
@@ -58,8 +73,29 @@ impl ServiceError {
             ServiceError::DeadlineExceeded { .. } => "deadline",
             ServiceError::Panicked(_) => "panicked",
             ServiceError::Unavailable(_) => "unavailable",
+            ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::Timeout(_) => "timeout",
+            ServiceError::Refused(_) => "refused",
+            ServiceError::Closed(_) => "closed",
             ServiceError::Io(_) => "io",
         }
+    }
+
+    /// Whether a retry might succeed: transient transport and capacity
+    /// failures are retryable; structural errors (bad grammar/request,
+    /// oversized payload) and expired deadlines are not. Used by the
+    /// client's retry loop.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServiceError::Overloaded { .. }
+                | ServiceError::Unavailable(_)
+                | ServiceError::Panicked(_)
+                | ServiceError::Timeout(_)
+                | ServiceError::Refused(_)
+                | ServiceError::Closed(_)
+                | ServiceError::Io(_)
+        )
     }
 }
 
@@ -76,6 +112,12 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Panicked(m) => write!(f, "compile pipeline panicked: {m}"),
             ServiceError::Unavailable(m) => write!(f, "service unavailable: {m}"),
+            ServiceError::Overloaded { pending, limit } => {
+                write!(f, "overloaded: {pending} requests pending (limit {limit})")
+            }
+            ServiceError::Timeout(m) => write!(f, "timed out: {m}"),
+            ServiceError::Refused(m) => write!(f, "connection refused: {m}"),
+            ServiceError::Closed(m) => write!(f, "connection closed: {m}"),
             ServiceError::Io(m) => write!(f, "transport error: {m}"),
         }
     }
@@ -100,5 +142,40 @@ mod tests {
             ServiceError::DeadlineExceeded { elapsed_ms: 7 }.kind(),
             "deadline"
         );
+        let e = ServiceError::Overloaded {
+            pending: 9,
+            limit: 8,
+        };
+        assert_eq!(e.kind(), "overloaded");
+        assert!(e.to_string().contains("limit 8"));
+        assert_eq!(ServiceError::Timeout(String::new()).kind(), "timeout");
+        assert_eq!(ServiceError::Refused(String::new()).kind(), "refused");
+        assert_eq!(ServiceError::Closed(String::new()).kind(), "closed");
+    }
+
+    #[test]
+    fn retryability_splits_transient_from_structural() {
+        for e in [
+            ServiceError::Overloaded {
+                pending: 1,
+                limit: 1,
+            },
+            ServiceError::Unavailable("draining".into()),
+            ServiceError::Panicked("boom".into()),
+            ServiceError::Timeout("read".into()),
+            ServiceError::Refused("connect".into()),
+            ServiceError::Closed("mid-line".into()),
+            ServiceError::Io("reset".into()),
+        ] {
+            assert!(e.is_retryable(), "{e}");
+        }
+        for e in [
+            ServiceError::BadGrammar("x".into()),
+            ServiceError::BadRequest("x".into()),
+            ServiceError::TooLarge { size: 2, limit: 1 },
+            ServiceError::DeadlineExceeded { elapsed_ms: 1 },
+        ] {
+            assert!(!e.is_retryable(), "{e}");
+        }
     }
 }

@@ -62,8 +62,10 @@ mod service;
 
 pub use artifact::{CompiledArtifact, GrammarFormat};
 pub use cache::{ArtifactCache, CacheConfig, CacheOutcome, CacheStats, Fingerprinter};
+pub use client::{call_with_retry, ClientReply, RetryPolicy};
 pub use daemon::{Daemon, DaemonConfig, DaemonSummary};
 pub use error::ServiceError;
+pub use lalr_chaos::{Fault, FaultInjector, FaultPlan, FaultPointStats, Trigger};
 pub use service::{
     ClassifySummary, CompileSummary, ParseSummary, Request, Response, Service, ServiceConfig,
     StatsSnapshot, TableSummary, LATENCY_BOUNDS_US, OPS, PHASE_NAMES,

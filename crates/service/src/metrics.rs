@@ -146,6 +146,59 @@ pub fn render(s: &StatsSnapshot) -> String {
         sample(w, "lalr_cache_bytes", "", c.bytes as u64);
     }
 
+    header(
+        w,
+        "lalr_shed_total",
+        "counter",
+        "Requests shed because the pending queue was full.",
+    );
+    sample(w, "lalr_shed_total", "", s.shed);
+    header(
+        w,
+        "lalr_queue_depth",
+        "gauge",
+        "Requests waiting in the pending queue right now.",
+    );
+    sample(w, "lalr_queue_depth", "", s.queue_depth as u64);
+    header(
+        w,
+        "lalr_queue_limit",
+        "gauge",
+        "Configured pending-queue bound.",
+    );
+    sample(w, "lalr_queue_limit", "", s.queue_limit as u64);
+
+    if !s.faults.is_empty() {
+        header(
+            w,
+            "lalr_fault_hits_total",
+            "counter",
+            "Failpoint evaluations, by armed rule.",
+        );
+        for f in &s.faults {
+            sample(
+                w,
+                "lalr_fault_hits_total",
+                &format!("fault=\"{}\",point=\"{}\"", f.fault, f.point),
+                f.hits,
+            );
+        }
+        header(
+            w,
+            "lalr_fault_injected_total",
+            "counter",
+            "Faults actually injected, by armed rule.",
+        );
+        for f in &s.faults {
+            sample(
+                w,
+                "lalr_fault_injected_total",
+                &format!("fault=\"{}\",point=\"{}\"", f.fault, f.point),
+                f.injected,
+            );
+        }
+    }
+
     header(w, "lalr_workers", "gauge", "Worker pool size.");
     sample(w, "lalr_workers", "", s.workers as u64);
     header(
@@ -198,6 +251,10 @@ mod tests {
             cache: None,
             workers: 2,
             uptime_ms: 1234,
+            shed: 3,
+            queue_depth: 1,
+            queue_limit: 64,
+            faults: Vec::new(),
         }
     }
 
@@ -246,6 +303,34 @@ mod tests {
             .find(|l| l.starts_with("lalr_request_duration_us_count") && l.contains("compile"))
             .unwrap();
         assert_eq!(count_line.rsplit_once(' ').unwrap().1, "4");
+    }
+
+    #[test]
+    fn shed_queue_and_fault_series_render() {
+        let mut s = snapshot();
+        let text = render(&s);
+        assert!(text.contains("lalr_shed_total 3"), "{text}");
+        assert!(text.contains("lalr_queue_depth 1"), "{text}");
+        assert!(text.contains("lalr_queue_limit 64"), "{text}");
+        // No chaos plan → no fault series at all.
+        assert!(!text.contains("lalr_fault_"), "{text}");
+
+        s.faults = vec![lalr_chaos::FaultPointStats {
+            point: "daemon.read".to_string(),
+            fault: "delay-2".to_string(),
+            hits: 40,
+            injected: 13,
+            expected: 13,
+        }];
+        let text = render(&s);
+        assert!(
+            text.contains("lalr_fault_hits_total{fault=\"delay-2\",point=\"daemon.read\"} 40"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lalr_fault_injected_total{fault=\"delay-2\",point=\"daemon.read\"} 13"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -262,9 +262,31 @@ fn stats_to_value(s: &StatsSnapshot) -> Value {
         ("errors_by_op", op_counts(&s.errors_by_op)),
         ("latency_buckets", latency),
         ("phases", phases),
+        ("shed", s.shed.into()),
+        ("queue_depth", s.queue_depth.into()),
+        ("queue_limit", s.queue_limit.into()),
         ("workers", s.workers.into()),
         ("uptime_ms", s.uptime_ms.into()),
     ];
+    if !s.faults.is_empty() {
+        pairs.push((
+            "faults",
+            Value::Arr(
+                s.faults
+                    .iter()
+                    .map(|f| {
+                        object([
+                            ("point", f.point.as_str().into()),
+                            ("fault", f.fault.as_str().into()),
+                            ("hits", f.hits.into()),
+                            ("injected", f.injected.into()),
+                            ("expected", f.expected.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
     if let Some(c) = &s.cache {
         pairs.push((
             "cache",

@@ -1,11 +1,12 @@
 //! The request engine: a worker pool over the cache.
 
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use lalr_chaos::{Fault, FaultInjector, FaultPointStats};
 use lalr_core::{DigraphStats, Parallelism, RelationStats};
 use lalr_obs::CollectingRecorder;
 use lalr_runtime::{Parser, Token};
@@ -54,6 +55,17 @@ pub struct ServiceConfig {
     pub max_request_bytes: usize,
     /// Deadline applied when a request does not carry its own.
     pub default_deadline: Option<Duration>,
+    /// Bound on requests queued but not yet picked up by a worker.
+    /// [`Service::call`] never blocks on a full queue: the request is
+    /// shed with an [`ServiceError::Overloaded`] response instead, so a
+    /// saturated service degrades into fast, explicit rejections rather
+    /// than unbounded memory growth and client hangs.
+    pub max_pending: usize,
+    /// Fault injector threaded through the whole stack ([`Service::new`]
+    /// hands this same injector to the [`ArtifactCache`], so one plan
+    /// covers both the `service.compile` and `cache.storm` failpoints).
+    /// Disabled by default — and free when disabled.
+    pub faults: FaultInjector,
 }
 
 impl Default for ServiceConfig {
@@ -64,6 +76,8 @@ impl Default for ServiceConfig {
             cache: Some(CacheConfig::default()),
             max_request_bytes: 1 << 20,
             default_deadline: None,
+            max_pending: 1024,
+            faults: FaultInjector::disabled(),
         }
     }
 }
@@ -242,6 +256,15 @@ pub struct StatsSnapshot {
     pub workers: usize,
     /// Milliseconds since the service started.
     pub uptime_ms: u64,
+    /// Requests shed because the pending queue was at its bound.
+    pub shed: u64,
+    /// Requests waiting in the queue right now (a gauge, not cumulative).
+    pub queue_depth: usize,
+    /// The configured pending-queue bound ([`ServiceConfig::max_pending`]).
+    pub queue_limit: usize,
+    /// Per-rule fault-injection counters (empty unless a chaos plan is
+    /// armed; see `lalr_chaos`).
+    pub faults: Vec<FaultPointStats>,
 }
 
 /// One protocol response.
@@ -286,6 +309,8 @@ struct Inner {
     requests: AtomicU64,
     errors: AtomicU64,
     deadline_exceeded: AtomicU64,
+    shed: AtomicU64,
+    queue_depth: AtomicUsize,
     by_op: [AtomicU64; 7],
     errors_by_op: [AtomicU64; 7],
     latency: [AtomicU64; 6],
@@ -318,7 +343,7 @@ struct Inner {
 /// ```
 pub struct Service {
     inner: Arc<Inner>,
-    tx: Mutex<Option<mpsc::Sender<Job>>>,
+    tx: Mutex<Option<mpsc::SyncSender<Job>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -334,13 +359,20 @@ impl std::fmt::Debug for Service {
 impl Service {
     /// Starts the worker pool.
     pub fn new(config: ServiceConfig) -> Service {
-        let cache = config.cache.clone().map(ArtifactCache::new);
+        // One injector per stack: the cache shares the service's plan so
+        // a single spec arms `service.compile` and `cache.storm` alike.
+        let cache = config.cache.clone().map(|mut c| {
+            c.faults = config.faults.clone();
+            ArtifactCache::new(c)
+        });
         let inner = Arc::new(Inner {
             cache,
             started: Instant::now(),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
             by_op: Default::default(),
             errors_by_op: Default::default(),
             latency: Default::default(),
@@ -350,7 +382,9 @@ impl Service {
             phase_ns: Default::default(),
             config,
         });
-        let (tx, rx) = mpsc::channel::<Job>();
+        // A rendezvous queue bounded at `max_pending`: `try_send` makes
+        // overload visible (shed + explicit error) instead of unbounded.
+        let (tx, rx) = mpsc::sync_channel::<Job>(inner.config.max_pending.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..inner.config.workers.threads())
             .map(|i| {
@@ -373,7 +407,9 @@ impl Service {
     /// queueing plus execution; `None` falls back to the configured
     /// default. A missed deadline yields a `deadline` error response
     /// (checked when the request is dequeued and again after execution —
-    /// a compile in progress is not interrupted).
+    /// a compile in progress is not interrupted). When the pending queue
+    /// is at [`ServiceConfig::max_pending`] the request is **shed**
+    /// immediately with an `overloaded` error rather than queued.
     pub fn call(&self, request: Request, deadline: Option<Duration>) -> Response {
         let accepted_at = Instant::now();
         let op = request.op();
@@ -387,16 +423,31 @@ impl Service {
             accepted_at,
             reply: reply_tx,
         };
-        let sent = match &*self.tx.lock().expect("service sender poisoned") {
-            Some(tx) => tx.send(job).is_ok(),
-            None => false,
-        };
-        // Failed requests are observations too: a rejected or orphaned
-        // call still lands in the latency histogram and error counters.
-        if !sent {
-            let response = Response::Error(ServiceError::Unavailable(
+        let submitted = match &*self.tx.lock().expect("service sender poisoned") {
+            Some(tx) => match tx.try_send(job) {
+                Ok(()) => {
+                    self.inner.queue_depth.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                }
+                Err(mpsc::TrySendError::Full(_)) => {
+                    self.inner.shed.fetch_add(1, Ordering::Relaxed);
+                    Err(ServiceError::Overloaded {
+                        pending: self.inner.queue_depth.load(Ordering::SeqCst),
+                        limit: self.inner.config.max_pending.max(1),
+                    })
+                }
+                Err(mpsc::TrySendError::Disconnected(_)) => Err(ServiceError::Unavailable(
+                    "service is shut down".to_string(),
+                )),
+            },
+            None => Err(ServiceError::Unavailable(
                 "service is shut down".to_string(),
-            ));
+            )),
+        };
+        // Failed requests are observations too: a shed, rejected, or
+        // orphaned call still lands in the histogram and error counters.
+        if let Err(e) = submitted {
+            let response = Response::Error(e);
             self.inner.record(op, &response, accepted_at.elapsed());
             return response;
         }
@@ -449,6 +500,7 @@ fn worker_loop(inner: &Inner, rx: &Mutex<mpsc::Receiver<Job>>) {
             rx.recv()
         };
         let Ok(job) = job else { return };
+        inner.queue_depth.fetch_sub(1, Ordering::SeqCst);
         // The compile pipeline has its own `catch_unwind`; this one covers
         // everything else a request executes (table rendering, parsing,
         // snapshotting), so a panic records an error response instead of
@@ -609,6 +661,20 @@ impl Inner {
         fp: u64,
         pipeline: &Parallelism,
     ) -> Result<CompiledArtifact, ServiceError> {
+        // The compile-worker failpoint: a `panic` here unwinds into the
+        // cache's `catch_unwind` (or the worker's, on the cache-less
+        // path) and must surface as a `panicked` error response, never a
+        // hang or a poisoned cache slot.
+        match self.config.faults.at("service.compile") {
+            Some(Fault::Panic) => panic!("injected fault at service.compile"),
+            Some(Fault::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            Some(Fault::Error) => {
+                return Err(ServiceError::Panicked(
+                    "injected fault at service.compile".to_string(),
+                ))
+            }
+            _ => {}
+        }
         let rec = CollectingRecorder::new();
         let compiled = CompiledArtifact::compile_recorded(grammar, format, fp, pipeline, &rec);
         for phase in &rec.report().phases {
@@ -658,6 +724,10 @@ impl Inner {
             cache: self.cache.as_ref().map(ArtifactCache::stats),
             workers: self.config.workers.threads(),
             uptime_ms: self.started.elapsed().as_millis() as u64,
+            shed: self.shed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::SeqCst),
+            queue_limit: self.config.max_pending.max(1),
+            faults: self.config.faults.stats(),
         }
     }
 }

@@ -181,6 +181,78 @@ fn oversized_request_lines_are_rejected() {
 }
 
 #[test]
+fn shutdown_drains_idle_connections_promptly() {
+    use std::time::Instant;
+    // A long idle read timeout: before the drain logic, joining the
+    // daemon could block this long for a silent connection.
+    let config = DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        read_timeout: Duration::from_secs(30),
+        drain_deadline: Duration::from_secs(5),
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::start(config).unwrap();
+
+    // Two idle connections (no request in flight) plus one that already
+    // completed a request and is now idle between requests.
+    let idle_a = TcpStream::connect(daemon.addr()).unwrap();
+    let idle_b = TcpStream::connect(daemon.addr()).unwrap();
+    let worked = call(&daemon, &compile_request());
+    assert!(worked.is_ok(), "{}", worked.raw);
+    // Let the accept loop pick both idle connections up.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let started = Instant::now();
+    daemon.stop();
+    let summary = daemon.join();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "join took {:?} — idle connections were waited out, not drained",
+        started.elapsed()
+    );
+    assert!(summary.drained >= 2, "{summary:?}");
+    assert_eq!(summary.aborted, 0, "{summary:?}");
+    drop(idle_a);
+    drop(idle_b);
+}
+
+#[test]
+fn drain_deadline_zero_aborts_a_connection_mid_request() {
+    use lalr_service::{Fault, FaultPlan, ServiceConfig, Trigger};
+    // Every compile stalls 300 ms; with a zero drain deadline a stop()
+    // mid-request must force-close rather than wait.
+    let faults = FaultPlan::new(5)
+        .rule("service.compile", Fault::Delay(300), Trigger::Rate(1.0))
+        .build();
+    let config = DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        drain_deadline: Duration::from_millis(0),
+        faults: faults.clone(),
+        service: ServiceConfig {
+            faults,
+            ..ServiceConfig::default()
+        },
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::start(config).unwrap();
+    let addr = daemon.addr().to_string();
+    let busy = std::thread::spawn(move || {
+        // The response may be lost to the forced close; only the timing
+        // contract matters here.
+        let _ = client::call(&addr, &compile_request(), None, Duration::from_secs(10));
+    });
+    // Wait until the request is in flight, then stop under it.
+    std::thread::sleep(Duration::from_millis(100));
+    daemon.stop();
+    let summary = daemon.join();
+    assert!(
+        summary.aborted >= 1,
+        "a mid-request connection must be aborted at deadline 0: {summary:?}"
+    );
+    busy.join().unwrap();
+}
+
+#[test]
 fn deadline_of_zero_is_reported_as_deadline_exceeded() {
     let daemon = start_daemon();
     let reply = client::call(

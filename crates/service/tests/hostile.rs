@@ -1,0 +1,209 @@
+//! Hostile-input hardening: malformed bytes, adversarial JSON, and
+//! absurd field values must each get a structured error (or a dropped
+//! connection) while the daemon keeps serving well-formed requests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use lalr_service::client::{self, ClientReply};
+use lalr_service::{Daemon, DaemonConfig, Fault, FaultPlan, GrammarFormat, Request, Trigger};
+
+use serde_json::Value;
+
+const GRAMMAR: &str = "e : e \"+\" t | t ; t : \"x\" ;";
+
+fn start_daemon() -> Daemon {
+    let config = DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..DaemonConfig::default()
+    };
+    Daemon::start(config).expect("bind loopback")
+}
+
+fn compile_request() -> Request {
+    Request::Compile {
+        grammar: GRAMMAR.to_string(),
+        format: GrammarFormat::Native,
+    }
+}
+
+fn call(daemon: &Daemon, request: &Request) -> ClientReply {
+    client::call(
+        &daemon.addr().to_string(),
+        request,
+        None,
+        Duration::from_secs(30),
+    )
+    .expect("daemon reachable")
+}
+
+/// Opens a raw connection with a short read timeout for line exchanges.
+fn raw_conn(daemon: &Daemon) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(daemon.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let writer = stream.try_clone().unwrap();
+    (writer, BufReader::new(stream))
+}
+
+fn error_kind(line: &str) -> String {
+    let v: Value = serde_json::from_str(line.trim_end())
+        .unwrap_or_else(|e| panic!("unparseable reply {line:?}: {e}"));
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{line}");
+    v.get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("no error.kind in {line:?}"))
+        .to_string()
+}
+
+#[test]
+fn invalid_utf8_drops_the_connection_and_the_daemon_survives() {
+    let daemon = start_daemon();
+    let (mut writer, mut reader) = raw_conn(&daemon);
+
+    // A line that is not UTF-8: 0xFF can never appear in a valid
+    // sequence. `read_line` on the server errors and the connection is
+    // dropped without a reply — the client observes EOF.
+    writer
+        .write_all(&[0xFF, 0xFE, 0x80, b'{', b'}', b'\n'])
+        .unwrap();
+    writer.flush().unwrap();
+    let mut buf = Vec::new();
+    let n = reader.read_to_end(&mut buf).unwrap();
+    assert_eq!(n, 0, "expected EOF, got {buf:?}");
+
+    // The daemon itself is unharmed.
+    let reply = call(&daemon, &compile_request());
+    assert!(reply.is_ok(), "{}", reply.raw);
+    daemon.stop();
+    let summary = daemon.join();
+    assert!(summary.connections >= 2, "{summary:?}");
+}
+
+#[test]
+fn deeply_nested_json_hits_the_parser_depth_guard() {
+    let daemon = start_daemon();
+    let (mut writer, mut reader) = raw_conn(&daemon);
+
+    // 200 levels of nesting — past the vendored parser's MAX_DEPTH of
+    // 128 — must be refused by the recursion guard, not overflow the
+    // connection thread's stack.
+    let deep = format!("{}{}", "[".repeat(200), "]".repeat(200));
+    writeln!(writer, "{deep}").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(error_kind(&line), "bad_request", "{line}");
+
+    // An *accepted* depth that is still not an object gets the shape
+    // error, and the connection remains usable for real work.
+    line.clear();
+    writeln!(writer, "{}{}", "[".repeat(50), "]".repeat(50)).unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(error_kind(&line), "bad_request", "{line}");
+
+    line.clear();
+    writeln!(
+        writer,
+        "{}",
+        lalr_service::protocol::request_to_line(&compile_request(), None)
+    )
+    .unwrap();
+    reader.read_line(&mut line).unwrap();
+    let v: Value = serde_json::from_str(line.trim_end()).unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{line}");
+
+    drop(writer);
+    drop(reader);
+    daemon.stop();
+    daemon.join();
+}
+
+#[test]
+fn absurd_numeric_and_mistyped_fields_each_get_a_structured_error() {
+    let daemon = start_daemon();
+    let (mut writer, mut reader) = raw_conn(&daemon);
+    let mut line = String::new();
+
+    // Every hostile line is answered on the same connection; none of
+    // them may wedge or crash the thread serving it.
+    let cases: &[&str] = &[
+        // deadline_ms beyond exact-integer range (numbers are f64).
+        r#"{"op":"compile","grammar":"e : \"x\" ;","deadline_ms":99999999999999999999999}"#,
+        // Negative and fractional deadlines.
+        r#"{"op":"compile","grammar":"e : \"x\" ;","deadline_ms":-5}"#,
+        r#"{"op":"compile","grammar":"e : \"x\" ;","deadline_ms":1.5}"#,
+        // Exponent overflow inside the number literal itself.
+        r#"{"op":"compile","grammar":"e : \"x\" ;","deadline_ms":1e999}"#,
+        // op of the wrong type, null, and a non-object request.
+        r#"{"op":42}"#,
+        r#"{"op":null}"#,
+        "null",
+        "{}",
+        r#"{"op":"compile","grammar":12345}"#,
+    ];
+    for case in cases {
+        line.clear();
+        writeln!(writer, "{case}").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(
+            error_kind(&line),
+            "bad_request",
+            "for request {case}: {line}"
+        );
+    }
+
+    // u64::MAX milliseconds is far-future but representable: the request
+    // must simply succeed rather than trip an overflow.
+    line.clear();
+    writeln!(
+        writer,
+        r#"{{"op":"compile","grammar":"e : \"x\" ;","deadline_ms":9007199254740992}}"#
+    )
+    .unwrap();
+    reader.read_line(&mut line).unwrap();
+    let v: Value = serde_json::from_str(line.trim_end()).unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{line}");
+
+    drop(writer);
+    drop(reader);
+    daemon.stop();
+    daemon.join();
+}
+
+#[test]
+fn injected_read_garbage_is_a_bad_request_and_the_connection_survives() {
+    // The daemon.read Garbage failpoint corrupts the *first* request
+    // line as if the transport had scrambled it; the daemon answers
+    // bad_request and the same connection then serves the clean retry.
+    let faults = FaultPlan::new(11)
+        .rule("daemon.read", Fault::Garbage, Trigger::OnHits(vec![1]))
+        .build();
+    let config = DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        faults: faults.clone(),
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::start(config).unwrap();
+    let (mut writer, mut reader) = raw_conn(&daemon);
+    let request_line = lalr_service::protocol::request_to_line(&compile_request(), None);
+
+    let mut line = String::new();
+    writeln!(writer, "{request_line}").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(error_kind(&line), "bad_request", "{line}");
+
+    line.clear();
+    writeln!(writer, "{request_line}").unwrap();
+    reader.read_line(&mut line).unwrap();
+    let v: Value = serde_json::from_str(line.trim_end()).unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{line}");
+
+    assert_eq!(faults.injected_at("daemon.read"), 1);
+    drop(writer);
+    drop(reader);
+    daemon.stop();
+    daemon.join();
+}
