@@ -16,10 +16,18 @@
 //! panics — and reports how throughput and tail latency degrade while
 //! the retry layer keeps the error column at zero.
 //!
+//! With `--parse` (EXPERIMENTS.md Table 11) the harness runs a
+//! parse-heavy sweep: corpus sentences chunked into batches of 1, 8,
+//! and 64 documents, each batch size measured cold (no cache, every
+//! batch recompiles its grammar) and warm (cached artifacts, one
+//! resolution amortized over the whole batch). The headline number is
+//! documents/second; docs-per-resolution shows the amortization.
+//!
 //! ```text
 //! cargo run --release -p lalr-bench --bin loadgen              # 8 threads × 40 requests
 //! cargo run --release -p lalr-bench --bin loadgen -- 4 100     # 4 threads × 100 requests
 //! cargo run --release -p lalr-bench --bin loadgen -- --chaos   # fault-rate sweep over TCP
+//! cargo run --release -p lalr-bench --bin loadgen -- --parse   # batched-parse sweep
 //! ```
 
 use std::sync::Arc;
@@ -28,10 +36,12 @@ use std::time::{Duration, Instant};
 use lalr_chaos::{Fault, FaultPlan, Trigger};
 use lalr_core::Parallelism;
 use lalr_service::client::{call_with_retry, RetryPolicy};
-use lalr_service::{Daemon, DaemonConfig, GrammarFormat, Request, Service, ServiceConfig};
+use lalr_service::{
+    Daemon, DaemonConfig, GrammarFormat, ParseTarget, Request, Service, ServiceConfig,
+};
 
 /// The request mix: for every corpus grammar one compile, one classify,
-/// one table, and (where a sentence exists) one parse.
+/// one table, and (where sentences exist) one small parse batch.
 fn workload() -> Vec<Request> {
     let mut requests = Vec::new();
     for entry in lalr_corpus::all_entries() {
@@ -50,16 +60,32 @@ fn workload() -> Vec<Request> {
             compressed: true,
         });
         let parsed = entry.grammar();
-        if let Some(sentence) = lalr_corpus::sentences::generate(&parsed, 7, 20) {
-            let input: Vec<&str> = sentence.iter().map(|&t| parsed.terminal_name(t)).collect();
+        let documents: Vec<String> = lalr_corpus::sentences::generate_many(&parsed, 7, 3, 20)
+            .iter()
+            .map(|s| to_document(&parsed, s))
+            .collect();
+        if !documents.is_empty() {
             requests.push(Request::Parse {
-                grammar,
-                format: GrammarFormat::Native,
-                input: input.join(" "),
+                target: ParseTarget::Text {
+                    grammar,
+                    format: GrammarFormat::Native,
+                },
+                documents,
+                recover: false,
+                sync: Vec::new(),
             });
         }
     }
     requests
+}
+
+/// Renders a generated sentence as a whitespace-separated document.
+fn to_document(grammar: &lalr_grammar::Grammar, sentence: &[lalr_grammar::Terminal]) -> String {
+    sentence
+        .iter()
+        .map(|&t| grammar.terminal_name(t))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 struct ArmResult {
@@ -306,14 +332,143 @@ fn chaos_main(threads: usize, per_thread: usize) {
     }
 }
 
+/// The Table 11 workload: every corpus grammar's sentence pool (64
+/// generated sentences per grammar) chunked into parse batches of
+/// `batch` documents. Returns the requests plus the total document
+/// count per full pass.
+fn parse_workload(batch: usize) -> Vec<Request> {
+    let mut requests = Vec::new();
+    for entry in lalr_corpus::all_entries() {
+        let parsed = entry.grammar();
+        let documents: Vec<String> = lalr_corpus::sentences::generate_many(&parsed, 11, 64, 20)
+            .iter()
+            .map(|s| to_document(&parsed, s))
+            .collect();
+        for chunk in documents.chunks(batch) {
+            requests.push(Request::Parse {
+                target: ParseTarget::Text {
+                    grammar: entry.source.to_string(),
+                    format: GrammarFormat::Native,
+                },
+                documents: chunk.to_vec(),
+                recover: false,
+                sync: Vec::new(),
+            });
+        }
+    }
+    requests
+}
+
+/// Runs one Table 11 arm and returns (documents parsed, errors, wall
+/// time). Each thread walks a strided slice of the request list for
+/// `passes` full passes, so every arm — whatever the batch size —
+/// parses exactly the same documents the same number of times.
+fn run_parse_arm(
+    service: &Arc<Service>,
+    requests: &Arc<Vec<Request>>,
+    threads: usize,
+    passes: usize,
+) -> (u64, u64, Duration) {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let service = Arc::clone(service);
+            let requests = Arc::clone(requests);
+            std::thread::spawn(move || {
+                let mut docs = 0u64;
+                let mut errors = 0u64;
+                for _ in 0..passes {
+                    for i in (t..requests.len()).step_by(threads) {
+                        let request = &requests[i];
+                        if let Request::Parse { documents, .. } = request {
+                            docs += documents.len() as u64;
+                        }
+                        let response = service.call(request.clone(), None);
+                        if !response.is_ok() {
+                            errors += 1;
+                        }
+                    }
+                }
+                (docs, errors)
+            })
+        })
+        .collect();
+    let mut docs = 0;
+    let mut errors = 0;
+    for h in handles {
+        let (d, e) = h.join().expect("client thread");
+        docs += d;
+        errors += e;
+    }
+    (docs, errors, started.elapsed())
+}
+
+fn parse_main(threads: usize, passes: usize) {
+    eprintln!("loadgen --parse: {threads} threads x {passes} full corpus passes per arm");
+    println!("| batch | arm  | batches | docs | errors | docs/s | resolutions | docs/resolution |");
+    println!("|------:|------|--------:|-----:|-------:|-------:|------------:|----------------:|");
+    let mut failed = false;
+    for batch in [1usize, 8, 64] {
+        let requests = Arc::new(parse_workload(batch));
+        for warm in [false, true] {
+            let service = Arc::new(Service::new(ServiceConfig {
+                workers: Parallelism::new(threads),
+                cache: if warm {
+                    ServiceConfig::default().cache
+                } else {
+                    None
+                },
+                ..ServiceConfig::default()
+            }));
+            if warm {
+                // One sequential pass so steady-state batches resolve
+                // their artifact from the cache.
+                for request in requests.iter() {
+                    let response = service.call(request.clone(), None);
+                    assert!(response.is_ok(), "warm-up request failed: {response:?}");
+                }
+            }
+            let before = service.stats().parse;
+            let (docs, errors, elapsed) = run_parse_arm(&service, &requests, threads, passes);
+            let after = service.stats().parse;
+            service.shutdown();
+            let resolutions = after.resolutions - before.resolutions;
+            println!(
+                "| {} | {} | {} | {} | {} | {:.0} | {} | {:.1} |",
+                batch,
+                if warm { "warm" } else { "cold" },
+                requests.len() * passes,
+                docs,
+                errors,
+                docs as f64 / elapsed.as_secs_f64(),
+                resolutions,
+                docs as f64 / resolutions.max(1) as f64,
+            );
+            failed |= errors > 0;
+        }
+    }
+    if failed {
+        eprintln!("loadgen --parse: some batches failed");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let chaos = args.iter().any(|a| a == "--chaos");
-    args.retain(|a| a != "--chaos");
+    let parse = args.iter().any(|a| a == "--parse");
+    args.retain(|a| a != "--chaos" && a != "--parse");
     let threads: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(8);
     let per_thread: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40);
     if chaos {
         chaos_main(threads, per_thread);
+        return;
+    }
+    if parse {
+        // The second positional is *passes* here, not requests per
+        // thread: every pass covers the whole corpus workload.
+        let passes = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+        parse_main(threads, passes);
         return;
     }
 

@@ -29,6 +29,8 @@
 //! | `daemon.read`     | `Error` (drop conn), `Delay`, `Garbage`, `Truncate` |
 //! | `daemon.write`    | `Error` (eat response), `PartialWrite`, `Delay`  |
 //! | `service.compile` | `Panic`, `Delay`, `Error`                        |
+//! | `service.parse`   | `Panic`, `Delay`, `Error`                        |
+//! | `service.parse.doc` | `Error` (abort the whole batch at a document boundary) |
 //! | `cache.storm`     | `EvictAll`                                       |
 //!
 //! # Examples

@@ -12,11 +12,11 @@
 //! lalrgen dot      <grammar>             LR(0) automaton in Graphviz DOT
 //! lalrgen codegen  <grammar> [name]      standalone Rust parser module
 //! lalrgen sentences <grammar> [n]        sample n random sentences
-//! lalrgen parse    <grammar> <input> [--number T] [--ident T] [--string T]
+//! lalrgen parse    <grammar> <input> [--number T] [--ident T] [--string T] [--remote]
 //! lalrgen check    <grammar> <cases>  run a +/- accept/reject case file
 //! lalrgen profile  <grammar> [--trace-out F]  per-phase pipeline timing report
 //! lalrgen serve    [--addr A] [--cache-mb N] [--max-conn N]   run the compile daemon
-//! lalrgen client   <op> [grammar] [--addr A] [--input S]      one request to a daemon
+//! lalrgen client   <op> [grammar] [--addr A] [--input S]…     one request to a daemon
 //! lalrgen stats    [--addr A] [--metrics]                     daemon statistics
 //! ```
 //!
@@ -70,9 +70,14 @@ pub const USAGE: &str = "usage: lalrgen <command> <grammar> [args] [--threads N]
          [--drain-ms N] [--chaos SPEC] [--chaos-seed N]   run the compile daemon
          --chaos arms deterministic failpoints, e.g. \"daemon.write:partial:0.05\"
   client <compile|classify|table|parse|stats|metrics|shutdown> [grammar]
-         [--addr A] [--input \"t t t\"] [--compressed] [--deadline-ms N] [--timeout-ms N]
-         [--retries N] [--backoff-ms N]   retry transient failures with capped
-         exponential backoff and deterministic jitter
+         [--addr A] [--input \"t t t\"]… [--recover] [--compressed] [--deadline-ms N]
+         [--timeout-ms N] [--retries N] [--backoff-ms N]   retry transient failures
+         with capped exponential backoff and deterministic jitter; client parse
+         repeats --input to send one batch (documents are space-separated
+         terminal names), --recover asks for error-recovery diagnostics
+  parse  <grammar> <input> [--number T] [--ident T] [--string T]
+         [--remote [--addr A]]   parse locally, or with --remote send the
+         document to a running daemon as a one-document batch
   stats  [--addr A] [--metrics]   daemon statistics snapshot (--metrics: Prometheus text)";
 
 /// Every command name, for the unknown-command error.
@@ -440,11 +445,48 @@ fn cmd_check(args: &[String], par: &Parallelism) -> Result<String, CliError> {
 
 fn cmd_parse(args: &[String], par: &Parallelism) -> Result<String, CliError> {
     let name = grammar_arg(args, "parse")?;
-    let grammar = load_grammar(name)?;
     let input = args
         .get(1)
         .ok_or_else(|| fail("parse needs an input string"))?;
 
+    // Optional flags: lexer classes (local only), or --remote [--addr].
+    let mut remote = false;
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut classes: Vec<(&str, &str)> = Vec::new();
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--remote" => {
+                remote = true;
+                i += 1;
+            }
+            "--addr" => {
+                addr = flag_value(args, i, "--addr")?.to_string();
+                i += 2;
+            }
+            flag @ ("--number" | "--ident" | "--string") => {
+                classes.push((flag, flag_value(args, i, flag)?));
+                i += 2;
+            }
+            other => {
+                return Err(fail(format!(
+                    "unknown flag {other:?} for parse (available: --number, --ident, --string, --remote, --addr)"
+                )))
+            }
+        }
+    }
+
+    if remote {
+        if let Some((flag, _)) = classes.first() {
+            return Err(fail(format!(
+                "{flag} tokenizes locally and cannot combine with --remote \
+                 (remote documents are space-separated terminal names)"
+            )));
+        }
+        return parse_remote(name, input, &addr);
+    }
+
+    let grammar = load_grammar(name)?;
     let lr0 = Lr0Automaton::build(&grammar);
     let analysis = LalrAnalysis::compute_with(&grammar, &lr0, par);
     let table = build_table(
@@ -454,27 +496,69 @@ fn cmd_parse(args: &[String], par: &Parallelism) -> Result<String, CliError> {
         TableOptions::default(),
     );
 
-    // Optional lexer class flags.
     let mut builder = Lexer::for_table(&table);
-    let mut i = 2;
-    while i + 1 < args.len() {
-        match args[i].as_str() {
-            "--number" => builder = builder.number(&args[i + 1]),
-            "--ident" => builder = builder.identifier(&args[i + 1]),
-            "--string" => builder = builder.string(&args[i + 1]),
-            other => {
-                return Err(fail(format!(
-                    "unknown flag {other:?} for parse (available: --number, --ident, --string)"
-                )))
-            }
-        }
-        i += 2;
+    for (flag, terminal) in classes {
+        builder = match flag {
+            "--number" => builder.number(terminal),
+            "--ident" => builder.identifier(terminal),
+            _ => builder.string(terminal),
+        };
     }
     let lexer = builder.build();
     let tokens = lexer.tokenize(input).map_err(|e| fail(e.to_string()))?;
     match Parser::new(&table).parse(tokens) {
         Ok(tree) => Ok(format!("accepted\n{}\n", tree.to_sexpr(&table))),
         Err(e) => Err(fail(format!("rejected: {e}"))),
+    }
+}
+
+/// `lalrgen parse --remote`: ship the document to a running daemon as a
+/// one-document batch and render the verdict like the local path does.
+fn parse_remote(name: &str, input: &str, addr: &str) -> Result<String, CliError> {
+    let (grammar, format) = grammar_text(name)?;
+    let request = lalr_service::Request::Parse {
+        target: lalr_service::ParseTarget::Text { grammar, format },
+        documents: vec![input.to_string()],
+        recover: false,
+        sync: Vec::new(),
+    };
+    let reply = lalr_service::call_with_retry(
+        addr,
+        &request,
+        None,
+        std::time::Duration::from_millis(30_000),
+        &lalr_service::RetryPolicy::default(),
+        &lalr_service::FaultInjector::disabled(),
+    )
+    .map_err(|e| fail(e.to_string()))?;
+    if !reply.is_ok() {
+        return Err(CliError {
+            message: reply.raw,
+            code: 1,
+        });
+    }
+    let docs = reply
+        .value
+        .get("docs")
+        .and_then(serde_json::Value::as_arr)
+        .ok_or_else(|| fail("malformed parse response: no \"docs\" field"))?;
+    let doc = docs
+        .first()
+        .ok_or_else(|| fail("malformed parse response: empty \"docs\""))?;
+    if doc
+        .get("accepted")
+        .and_then(serde_json::Value::as_bool)
+        .unwrap_or(false)
+    {
+        let tree = doc.get("tree").and_then(serde_json::Value::as_str);
+        Ok(format!("accepted\n{}\n", tree.unwrap_or("(no tree)")))
+    } else {
+        let message = doc
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(serde_json::Value::as_str)
+            .unwrap_or("parse failed");
+        Err(fail(format!("rejected: {message}")))
     }
 }
 
@@ -661,10 +745,11 @@ fn cmd_serve(args: &[String], par: &Parallelism) -> Result<String, CliError> {
 /// stderr.
 fn cmd_client(args: &[String]) -> Result<String, CliError> {
     const OPS: &str = "compile, classify, table, parse, stats, metrics, shutdown";
-    const FLAGS: &str =
-        "--addr, --input, --compressed, --deadline-ms, --timeout-ms, --retries, --backoff-ms";
+    const FLAGS: &str = "--addr, --input, --recover, --compressed, --deadline-ms, --timeout-ms, \
+                         --retries, --backoff-ms";
     let mut addr = DEFAULT_ADDR.to_string();
-    let mut input: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut recover = false;
     let mut compressed = false;
     let mut deadline_ms: Option<u64> = None;
     let mut timeout_ms: u64 = 30_000;
@@ -679,8 +764,12 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
                 i += 2;
             }
             "--input" => {
-                input = Some(flag_value(args, i, "--input")?.to_string());
+                inputs.push(flag_value(args, i, "--input")?.to_string());
                 i += 2;
+            }
+            "--recover" => {
+                recover = true;
+                i += 1;
             }
             "--compressed" => {
                 compressed = true;
@@ -738,13 +827,20 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
                     format,
                     compressed,
                 },
-                _ => lalr_service::Request::Parse {
-                    grammar,
-                    format,
-                    input: input
-                        .clone()
-                        .ok_or_else(|| fail("client parse needs --input \"tok tok …\""))?,
-                },
+                _ => {
+                    if inputs.is_empty() {
+                        return Err(fail(
+                            "client parse needs at least one --input \"tok tok …\" \
+                             (repeat --input to batch documents)",
+                        ));
+                    }
+                    lalr_service::Request::Parse {
+                        target: lalr_service::ParseTarget::Text { grammar, format },
+                        documents: inputs.clone(),
+                        recover,
+                        sync: Vec::new(),
+                    }
+                }
             }
         }
         other => {

@@ -137,6 +137,120 @@ pub fn generate_many(
         .collect()
 }
 
+/// The kind of single-token edit [`mutate`] applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// One token replaced by a different terminal.
+    Substitute,
+    /// One token removed.
+    Delete,
+    /// One terminal inserted at a position.
+    Insert,
+    /// One token duplicated in place.
+    Duplicate,
+}
+
+/// Applies one deterministic single-token mutation to `sentence`.
+///
+/// The edit kind, position, and replacement terminal are all drawn from
+/// `seed`, so the same `(sentence, seed)` always produces the same
+/// mutant. Returns `None` when no edit is possible (an empty sentence
+/// can only grow, and a grammar whose sole terminal is `$` has nothing
+/// to insert or substitute).
+///
+/// The mutant is **not guaranteed to leave the language** — a deleted
+/// token in `a*` still yields a valid string. Differential harnesses
+/// must therefore compare *verdicts* across implementations rather than
+/// assume rejection.
+pub fn mutate(
+    grammar: &Grammar,
+    sentence: &[Terminal],
+    seed: u64,
+) -> Option<(Vec<Terminal>, MutationKind)> {
+    // Real terminals only: index 0 is the reserved `$`.
+    let alphabet: Vec<Terminal> = grammar.terminals().filter(|t| t.index() != 0).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Try kinds in a seeded order until one is applicable.
+    let mut kinds = [
+        MutationKind::Substitute,
+        MutationKind::Delete,
+        MutationKind::Insert,
+        MutationKind::Duplicate,
+    ];
+    for i in (1..kinds.len()).rev() {
+        kinds.swap(i, rng.gen_range(0..=i));
+    }
+    for kind in kinds {
+        match kind {
+            MutationKind::Substitute => {
+                if sentence.is_empty() || alphabet.len() < 2 {
+                    continue;
+                }
+                let at = rng.gen_range(0..sentence.len());
+                let others: Vec<Terminal> = alphabet
+                    .iter()
+                    .copied()
+                    .filter(|&t| t != sentence[at])
+                    .collect();
+                if others.is_empty() {
+                    continue;
+                }
+                let mut out = sentence.to_vec();
+                out[at] = others[rng.gen_range(0..others.len())];
+                return Some((out, kind));
+            }
+            MutationKind::Delete => {
+                if sentence.is_empty() {
+                    continue;
+                }
+                let at = rng.gen_range(0..sentence.len());
+                let mut out = sentence.to_vec();
+                out.remove(at);
+                return Some((out, kind));
+            }
+            MutationKind::Insert => {
+                if alphabet.is_empty() {
+                    continue;
+                }
+                let at = rng.gen_range(0..=sentence.len());
+                let mut out = sentence.to_vec();
+                out.insert(at, alphabet[rng.gen_range(0..alphabet.len())]);
+                return Some((out, kind));
+            }
+            MutationKind::Duplicate => {
+                if sentence.is_empty() {
+                    continue;
+                }
+                let at = rng.gen_range(0..sentence.len());
+                let mut out = sentence.to_vec();
+                out.insert(at, sentence[at]);
+                return Some((out, kind));
+            }
+        }
+    }
+    None
+}
+
+/// Generates `count` mutants of distinct seeds, each paired with the
+/// sentence it was derived from.
+pub fn mutate_many(
+    grammar: &Grammar,
+    sentences: &[Vec<Terminal>],
+    base_seed: u64,
+    count: usize,
+) -> Vec<(Vec<Terminal>, Vec<Terminal>)> {
+    if sentences.is_empty() {
+        return Vec::new();
+    }
+    (0..count)
+        .filter_map(|i| {
+            let seed = base_seed.wrapping_add(i as u64);
+            let original = &sentences[i % sentences.len()];
+            mutate(grammar, original, seed).map(|(m, _)| (original.clone(), m))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,5 +294,62 @@ mod tests {
         let g = parse_grammar("s : \"a\" s | \"b\" ;").unwrap();
         let all = generate_many(&g, 7, 25, 20);
         assert_eq!(all.len(), 25);
+    }
+
+    #[test]
+    fn mutation_is_deterministic_and_one_edit_away() {
+        let g = parse_grammar("e : e \"+\" t | t ; t : \"x\" ;").unwrap();
+        let sentence = generate(&g, 3, 20).unwrap();
+        let (a, kind_a) = mutate(&g, &sentence, 99).unwrap();
+        let (b, kind_b) = mutate(&g, &sentence, 99).unwrap();
+        assert_eq!(a, b, "same seed, same mutant");
+        assert_eq!(kind_a, kind_b);
+        // Single-token edits change length by at most one.
+        let delta = a.len().abs_diff(sentence.len());
+        assert!(delta <= 1, "{delta}");
+        if delta == 0 {
+            let diffs = a.iter().zip(&sentence).filter(|(x, y)| x != y).count();
+            assert_eq!(diffs, 1, "substitution changes exactly one token");
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_reach_every_mutation_kind() {
+        let g = parse_grammar("e : e \"+\" t | t ; t : \"x\" ;").unwrap();
+        let sentence = generate(&g, 5, 20).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..64 {
+            if let Some((_, kind)) = mutate(&g, &sentence, seed) {
+                seen.insert(format!("{kind:?}"));
+            }
+        }
+        assert_eq!(seen.len(), 4, "all kinds reachable: {seen:?}");
+    }
+
+    #[test]
+    fn empty_sentence_can_only_grow() {
+        let g = parse_grammar("s : ;").unwrap();
+        // `s : ;` still names no real terminals beyond `$`… use one with
+        // a terminal but an empty generated sentence.
+        let g2 = parse_grammar("s : \"a\" s | ;").unwrap();
+        assert!(mutate(&g, &[], 0).is_none(), "no terminals to insert");
+        for seed in 0..16 {
+            if let Some((m, kind)) = mutate(&g2, &[], seed) {
+                assert_eq!(kind, MutationKind::Insert);
+                assert_eq!(m.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn mutate_many_pairs_mutants_with_their_originals() {
+        let g = parse_grammar("e : e \"+\" t | t ; t : \"x\" ;").unwrap();
+        let sentences = generate_many(&g, 11, 5, 20);
+        let pairs = mutate_many(&g, &sentences, 100, 20);
+        assert_eq!(pairs.len(), 20);
+        for (original, mutant) in &pairs {
+            assert!(sentences.contains(original));
+            assert!(original.len().abs_diff(mutant.len()) <= 1);
+        }
     }
 }

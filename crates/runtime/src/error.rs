@@ -35,13 +35,16 @@ pub struct ParseError {
     pub found: Option<Token>,
     /// Names of the terminals with a non-error action in `state`.
     pub expected: Vec<String>,
+    /// Where the error points: the offending token's offset, or — at end
+    /// of input — one past the end of the last consumed token.
+    pub offset: usize,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.found {
             Some(t) => write!(f, "unexpected {:?} at offset {}", t.text(), t.offset())?,
-            None => write!(f, "unexpected end of input")?,
+            None => write!(f, "unexpected end of input at offset {}", self.offset)?,
         }
         if !self.expected.is_empty() {
             let mut names = self.expected.clone();
@@ -73,6 +76,7 @@ mod tests {
             state: 3,
             found: Some(Token::new(1, ")", 7)),
             expected: vec!["NUM".into(), "(".into()],
+            offset: 7,
         };
         assert_eq!(
             e.to_string(),
@@ -86,9 +90,10 @@ mod tests {
             state: 0,
             found: None,
             expected: (0..9).map(|i| format!("t{i}")).collect(),
+            offset: 12,
         };
         let msg = e.to_string();
-        assert!(msg.starts_with("unexpected end of input, expected "));
+        assert!(msg.starts_with("unexpected end of input at offset 12, expected "));
         assert!(msg.ends_with("(and 3 more)"));
     }
 }

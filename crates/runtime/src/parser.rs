@@ -102,16 +102,15 @@ impl<'t, S: ActionSource> Parser<'t, S> {
         let mut states: Vec<u32> = vec![0];
         let mut forest: Vec<ParseTree> = Vec::new();
         let mut input = tokens.into_iter().peekable();
+        let mut end = 0usize; // one past the last consumed token
 
         loop {
             let state = *states.last().expect("stack never empties");
-            let (terminal, at_eof) = match input.peek() {
-                Some(t) => (t.terminal(), false),
-                None => (0, true), // $ is terminal 0
-            };
+            let terminal = input.peek().map_or(0, Token::terminal); // $ is terminal 0
             match self.table.action(state, terminal) {
                 Action::Shift(next) => {
                     let tok = input.next().expect("shift only on real tokens");
+                    end = tok.offset() + tok.text().len();
                     forest.push(ParseTree::Leaf(tok));
                     states.push(next);
                 }
@@ -126,7 +125,7 @@ impl<'t, S: ActionSource> Parser<'t, S> {
                     let Some(next) = self.table.goto(top, info.lhs) else {
                         // Reachable only via a compressed table's default
                         // reduce on an erroneous look-ahead.
-                        return Err(self.error(top, input.peek().cloned(), at_eof));
+                        return Err(self.error(top, input.peek().cloned(), end));
                     };
                     forest.push(ParseTree::Node {
                         nonterminal: info.lhs,
@@ -140,17 +139,19 @@ impl<'t, S: ActionSource> Parser<'t, S> {
                     return Ok(tree);
                 }
                 Action::Error => {
-                    return Err(self.error(state, input.peek().cloned(), at_eof));
+                    return Err(self.error(state, input.peek().cloned(), end));
                 }
             }
         }
     }
 
-    fn error(&self, state: u32, found: Option<Token>, _at_eof: bool) -> ParseError {
+    fn error(&self, state: u32, found: Option<Token>, end: usize) -> ParseError {
+        let offset = found.as_ref().map_or(end, Token::offset);
         ParseError {
             state,
             found,
             expected: self.table.expected(state),
+            offset,
         }
     }
 
@@ -180,6 +181,7 @@ impl<'t, S: ActionSource> Parser<'t, S> {
         let mut forest: Vec<ParseTree> = Vec::new();
         let mut input = tokens.into_iter().peekable();
         let mut clean_shifts = 3usize; // suppression counter
+        let mut end = 0usize;
 
         loop {
             let state = *states.last().expect("stack never empties");
@@ -187,6 +189,7 @@ impl<'t, S: ActionSource> Parser<'t, S> {
             match self.table.action(state, terminal) {
                 Action::Shift(next) => {
                     let tok = input.next().expect("shift only on real tokens");
+                    end = tok.offset() + tok.text().len();
                     forest.push(ParseTree::Leaf(tok));
                     states.push(next);
                     clean_shifts += 1;
@@ -207,7 +210,7 @@ impl<'t, S: ActionSource> Parser<'t, S> {
                             states.push(next);
                         }
                         None => {
-                            errors.push(self.error(top, input.peek().cloned(), false));
+                            errors.push(self.error(top, input.peek().cloned(), end));
                             return (None, errors);
                         }
                     }
@@ -218,7 +221,7 @@ impl<'t, S: ActionSource> Parser<'t, S> {
                 }
                 Action::Error => {
                     if clean_shifts >= 3 {
-                        errors.push(self.error(state, input.peek().cloned(), false));
+                        errors.push(self.error(state, input.peek().cloned(), end));
                     }
                     if errors.len() >= max_errors {
                         return (None, errors);
@@ -252,7 +255,8 @@ impl<'t, S: ActionSource> Parser<'t, S> {
                                 break;
                             }
                             Some(_) => {
-                                input.next();
+                                let skipped = input.next().expect("peeked");
+                                end = skipped.offset() + skipped.text().len();
                             }
                         }
                     }
@@ -281,6 +285,7 @@ impl<'t, S: ActionSource> Parser<'t, S> {
         let mut states: Vec<u32> = vec![0];
         let mut forest: Vec<ParseTree> = Vec::new();
         let mut input = tokens.into_iter().peekable();
+        let mut end = 0usize;
 
         loop {
             let state = *states.last().expect("stack never empties");
@@ -288,6 +293,7 @@ impl<'t, S: ActionSource> Parser<'t, S> {
             match self.table.action(state, terminal) {
                 Action::Shift(next) => {
                     let tok = input.next().expect("shift only on real tokens");
+                    end = tok.offset() + tok.text().len();
                     forest.push(ParseTree::Leaf(tok));
                     states.push(next);
                 }
@@ -307,7 +313,7 @@ impl<'t, S: ActionSource> Parser<'t, S> {
                             states.push(next);
                         }
                         None => {
-                            errors.push(self.error(top, input.peek().cloned(), false));
+                            errors.push(self.error(top, input.peek().cloned(), end));
                             return (None, errors);
                         }
                     }
@@ -318,7 +324,7 @@ impl<'t, S: ActionSource> Parser<'t, S> {
                     return (ok.then_some(tree), errors);
                 }
                 Action::Error => {
-                    errors.push(self.error(state, input.peek().cloned(), false));
+                    errors.push(self.error(state, input.peek().cloned(), end));
                     if errors.len() >= max_errors {
                         return (None, errors);
                     }
@@ -334,7 +340,8 @@ impl<'t, S: ActionSource> Parser<'t, S> {
                                         recovered = true;
                                         break 'recover;
                                     }
-                                    input.next();
+                                    let skipped = input.next().expect("peeked");
+                                    end = skipped.offset() + skipped.text().len();
                                 }
                                 break 'recover;
                             }
@@ -413,6 +420,8 @@ mod tests {
             .parse(lx.tokenize("1 +").unwrap())
             .unwrap_err();
         assert!(err.found.is_none());
+        // The error still has a position: one past the "+" token.
+        assert_eq!(err.offset, 3);
     }
 
     #[test]

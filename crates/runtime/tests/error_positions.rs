@@ -1,0 +1,103 @@
+//! Regression tests: every `ParseError` carries a position, including
+//! unexpected-EOF errors, which historically had no offset to point at.
+
+use lalr_automata::Lr0Automaton;
+use lalr_core::LalrAnalysis;
+use lalr_grammar::parse_grammar;
+use lalr_runtime::{CompressedSource, Lexer, Parser, Token};
+use lalr_tables::{build_table, CompressedTable, ParseTable, TableOptions};
+
+const EXPR: &str = "e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | NUM ;";
+
+fn table(src: &str) -> ParseTable {
+    let g = parse_grammar(src).unwrap();
+    let lr0 = Lr0Automaton::build(&g);
+    let la = LalrAnalysis::compute(&g, &lr0).into_lookaheads();
+    build_table(&g, &lr0, &la, TableOptions::default())
+}
+
+#[test]
+fn eof_error_points_past_last_token() {
+    let t = table(EXPR);
+    let lx = Lexer::for_table(&t).number("NUM").build();
+    let err = Parser::new(&t)
+        .parse(lx.tokenize("12 + 34 *").unwrap())
+        .unwrap_err();
+    assert!(err.found.is_none(), "{err:?}");
+    // "*" occupies byte 8; the error points just past it.
+    assert_eq!(err.offset, 9);
+    assert!(
+        err.to_string().contains("at offset 9"),
+        "{}",
+        err.to_string()
+    );
+}
+
+#[test]
+fn eof_error_on_empty_input_points_at_zero() {
+    let t = table(EXPR);
+    let err = Parser::new(&t).parse(Vec::new()).unwrap_err();
+    assert!(err.found.is_none());
+    assert_eq!(err.offset, 0);
+}
+
+#[test]
+fn mid_input_error_offset_matches_found_token() {
+    let t = table(EXPR);
+    let lx = Lexer::for_table(&t).number("NUM").build();
+    let err = Parser::new(&t)
+        .parse(lx.tokenize("1 + + 2").unwrap())
+        .unwrap_err();
+    let found = err.found.as_ref().expect("mid-input error has a token");
+    assert_eq!(err.offset, found.offset());
+    assert_eq!(err.offset, 4);
+}
+
+#[test]
+fn compressed_table_reports_the_same_eof_offset() {
+    let t = table(EXPR);
+    let c = CompressedTable::from_dense(&t);
+    let src = CompressedSource::new(&c, &t);
+    let lx = Lexer::for_table(&t).number("NUM").build();
+    for input in ["1 +", "( 1 + 2", "", "1 *"] {
+        let toks = lx.tokenize(input).unwrap();
+        let dense = Parser::new(&t).parse(toks.clone()).unwrap_err();
+        let compressed = Parser::new(&src).parse(toks).unwrap_err();
+        assert_eq!(dense.offset, compressed.offset, "{input:?}");
+        assert_eq!(
+            dense.found.is_none(),
+            compressed.found.is_none(),
+            "{input:?}"
+        );
+    }
+}
+
+#[test]
+fn recovery_eof_diagnostics_are_positioned() {
+    // Statement list with ";" sync; the trailing garbage forces an
+    // EOF-adjacent diagnostic that must still carry an offset.
+    let t = table("list : stmt | list \";\" stmt ; stmt : ID \"=\" NUM ;");
+    let lx = Lexer::for_table(&t).number("NUM").identifier("ID").build();
+    let semi = t.terminal_by_name(";").unwrap();
+    let toks = lx.tokenize("a = 1 ; b =").unwrap();
+    let (_, errors) = Parser::new(&t).parse_with_recovery(toks, &[semi], 10);
+    assert!(!errors.is_empty());
+    for e in &errors {
+        if e.found.is_none() {
+            assert_eq!(e.offset, 11, "{e:?}");
+        }
+    }
+}
+
+#[test]
+fn token_index_streams_position_eof_one_past_last_index() {
+    // Service-style tokenization: offset = token index, text = terminal
+    // name. EOF offset must be index-of-last + len(last name).
+    let t = table(EXPR);
+    let num = t.terminal_by_name("NUM").unwrap();
+    let plus = t.terminal_by_name("+").unwrap();
+    let toks = vec![Token::new(num, "NUM", 0), Token::new(plus, "+", 1)];
+    let err = Parser::new(&t).parse(toks).unwrap_err();
+    assert!(err.found.is_none());
+    assert_eq!(err.offset, 2); // 1 + len("+")
+}

@@ -340,6 +340,24 @@ impl ArtifactCache {
         }
     }
 
+    /// Looks up a committed artifact by its fingerprint alone — the
+    /// fingerprint-addressed parse path, where the client names the
+    /// artifact a prior compile reported instead of resending the text.
+    ///
+    /// Counts as a hit and refreshes the LRU stamp. On a (2⁻⁶⁴-rare)
+    /// bucket collision the entry whose artifact actually carries `fp` is
+    /// preferred; `None` means the artifact was never compiled here or
+    /// has been evicted since.
+    pub fn get_by_fingerprint(&self, fp: u64) -> Option<Arc<CompiledArtifact>> {
+        let mut shard = self.shard_of(fp).lock().expect("cache shard poisoned");
+        let tick = self.next_tick();
+        let bucket = shard.entries.get_mut(&fp)?;
+        let entry = bucket.iter_mut().find(|e| e.artifact.fingerprint() == fp)?;
+        entry.last_used = tick;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::clone(&entry.artifact))
+    }
+
     /// Whether a committed entry exists for `text` (no use-stamp update).
     pub fn contains(&self, text: &str) -> bool {
         let normalized = normalize(text);

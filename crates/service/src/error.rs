@@ -23,6 +23,10 @@ pub enum ServiceError {
         /// The configured limit.
         limit: usize,
     },
+    /// A fingerprint-addressed request named an artifact the cache does
+    /// not hold (never compiled, or since evicted). Clients should fall
+    /// back to sending the grammar text.
+    NotFound(String),
     /// The request missed its deadline (in queue or during execution).
     DeadlineExceeded {
         /// How long the request had been in the service when it expired.
@@ -70,6 +74,7 @@ impl ServiceError {
             ServiceError::BadGrammar(_) => "bad_grammar",
             ServiceError::BadRequest(_) => "bad_request",
             ServiceError::TooLarge { .. } => "too_large",
+            ServiceError::NotFound(_) => "not_found",
             ServiceError::DeadlineExceeded { .. } => "deadline",
             ServiceError::Panicked(_) => "panicked",
             ServiceError::Unavailable(_) => "unavailable",
@@ -107,6 +112,7 @@ impl fmt::Display for ServiceError {
             ServiceError::TooLarge { size, limit } => {
                 write!(f, "request of {size} bytes exceeds the {limit}-byte limit")
             }
+            ServiceError::NotFound(m) => write!(f, "not found: {m}"),
             ServiceError::DeadlineExceeded { elapsed_ms } => {
                 write!(f, "deadline exceeded after {elapsed_ms} ms")
             }
@@ -173,9 +179,11 @@ mod tests {
             ServiceError::BadGrammar("x".into()),
             ServiceError::BadRequest("x".into()),
             ServiceError::TooLarge { size: 2, limit: 1 },
+            ServiceError::NotFound("no such artifact".into()),
             ServiceError::DeadlineExceeded { elapsed_ms: 1 },
         ] {
             assert!(!e.is_retryable(), "{e}");
         }
+        assert_eq!(ServiceError::NotFound(String::new()).kind(), "not_found");
     }
 }

@@ -52,6 +52,19 @@ pub fn format_fingerprint(fp: u64) -> String {
     format!("{fp:016x}")
 }
 
+/// Parses a wire-format fingerprint back to its value. Accepts exactly
+/// what [`format_fingerprint`] emits: 16 lowercase hex digits.
+pub fn parse_fingerprint(s: &str) -> Option<u64> {
+    if s.len() != 16
+        || !s
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +98,21 @@ mod tests {
     fn fingerprint_formatting_is_fixed_width_hex() {
         assert_eq!(format_fingerprint(0x2a), "000000000000002a");
         assert_eq!(format_fingerprint(u64::MAX), "ffffffffffffffff");
+    }
+
+    #[test]
+    fn fingerprints_round_trip_through_the_wire_format() {
+        for fp in [0u64, 0x2a, 1 << 53, u64::MAX, fx_fingerprint("e : \"x\" ;")] {
+            assert_eq!(parse_fingerprint(&format_fingerprint(fp)), Some(fp));
+        }
+        for bad in [
+            "",
+            "2a",
+            "000000000000002A",
+            "zzzzzzzzzzzzzzzz",
+            "0x00000000000002a",
+        ] {
+            assert_eq!(parse_fingerprint(bad), None, "{bad:?}");
+        }
     }
 }

@@ -67,6 +67,7 @@ pub use daemon::{Daemon, DaemonConfig, DaemonSummary};
 pub use error::ServiceError;
 pub use lalr_chaos::{Fault, FaultInjector, FaultPlan, FaultPointStats, Trigger};
 pub use service::{
-    ClassifySummary, CompileSummary, ParseSummary, Request, Response, Service, ServiceConfig,
-    StatsSnapshot, TableSummary, LATENCY_BOUNDS_US, OPS, PHASE_NAMES,
+    ClassifySummary, CompileSummary, DocError, DocVerdict, ParseBatchSummary, ParseLaneStats,
+    ParseTarget, Request, Response, Service, ServiceConfig, StatsSnapshot, TableSummary,
+    LATENCY_BOUNDS_US, OPS, PHASE_NAMES,
 };

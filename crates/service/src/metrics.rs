@@ -114,6 +114,44 @@ pub fn render(s: &StatsSnapshot) -> String {
         sample(w, "lalr_phase_ns_total", &format!("phase=\"{phase}\""), n);
     }
 
+    header(
+        w,
+        "lalr_parse_batches_total",
+        "counter",
+        "Parse batches that resolved an artifact.",
+    );
+    sample(w, "lalr_parse_batches_total", "", s.parse.batches);
+    header(
+        w,
+        "lalr_parse_documents_total",
+        "counter",
+        "Documents parsed by the parse op, by verdict.",
+    );
+    for (verdict, n) in [
+        ("accepted", s.parse.accepted),
+        ("rejected", s.parse.rejected),
+    ] {
+        sample(
+            w,
+            "lalr_parse_documents_total",
+            &format!("verdict=\"{verdict}\""),
+            n,
+        );
+    }
+    header(
+        w,
+        "lalr_parse_artifact_resolutions_total",
+        "counter",
+        "Artifact resolutions performed for parse batches (documents \
+         divided by resolutions is the cache-amortization ratio).",
+    );
+    sample(
+        w,
+        "lalr_parse_artifact_resolutions_total",
+        "",
+        s.parse.resolutions,
+    );
+
     if let Some(c) = &s.cache {
         header(
             w,
@@ -248,6 +286,13 @@ mod tests {
             latency_sum_us: [900, 700, 50, 300, 20, 15_000, 0],
             phase_calls: [4, 4, 4, 4, 4, 4, 4, 4],
             phase_ns: [100, 2_000, 300, 400, 500, 600, 7_000, 800],
+            parse: crate::service::ParseLaneStats {
+                batches: 2,
+                documents: 9,
+                accepted: 7,
+                rejected: 2,
+                resolutions: 2,
+            },
             cache: None,
             workers: 2,
             uptime_ms: 1234,
@@ -331,6 +376,27 @@ mod tests {
             text.contains("lalr_fault_injected_total{fault=\"delay-2\",point=\"daemon.read\"} 13"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn parse_lane_series_render_and_agree() {
+        let s = snapshot();
+        let text = render(&s);
+        assert!(text.contains("lalr_parse_batches_total 2"), "{text}");
+        assert!(
+            text.contains("lalr_parse_documents_total{verdict=\"accepted\"} 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lalr_parse_documents_total{verdict=\"rejected\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lalr_parse_artifact_resolutions_total 2"),
+            "{text}"
+        );
+        // Accepted + rejected covers every document.
+        assert_eq!(s.parse.accepted + s.parse.rejected, s.parse.documents);
     }
 
     #[test]

@@ -10,9 +10,15 @@
 //! ```text
 //! → {"op":"compile","grammar":"e : \"x\" ;"}
 //! ← {"class":"LR(0)","fingerprint":"…","ok":true,"op":"compile",…}
-//! → {"op":"parse","grammar":"…","input":"NUM + NUM","deadline_ms":500}
-//! ← {"accepted":true,"ok":true,"op":"parse","tree":"(e …)"}
+//! → {"op":"parse","grammar":"…","batch":["NUM + NUM","NUM +"],"deadline_ms":500}
+//! ← {"cached":false,"docs":[{"accepted":true,…},{"accepted":false,…}],"fingerprint":"…","ok":true,"op":"parse"}
+//! → {"op":"parse","fingerprint":"8f3a…","batch":["NUM"]}
+//! ← {"cached":true,"docs":[{"accepted":true,…}],"fingerprint":"8f3a…","ok":true,"op":"parse"}
 //! ```
+//!
+//! A parse request names its artifact by `"grammar"` text or by the
+//! `"fingerprint"` a prior compile reported; `"batch"` carries the
+//! documents (a lone `"input"` string is accepted as a batch of one).
 
 use std::time::Duration;
 
@@ -20,7 +26,8 @@ use serde_json::{object, Value};
 
 use crate::artifact::GrammarFormat;
 use crate::error::ServiceError;
-use crate::service::{Request, Response, StatsSnapshot};
+use crate::fingerprint::{format_fingerprint, parse_fingerprint};
+use crate::service::{DocVerdict, ParseTarget, Request, Response, StatsSnapshot};
 
 /// Encodes a request (plus optional per-request deadline) as one JSON
 /// value.
@@ -46,13 +53,33 @@ pub fn request_to_value(request: &Request, deadline: Option<Duration>) -> Value 
             }
         }
         Request::Parse {
-            grammar,
-            format,
-            input,
+            target,
+            documents,
+            recover,
+            sync,
         } => {
-            pairs.push(("grammar", grammar.as_str().into()));
-            pairs.extend(format_pair(format));
-            pairs.push(("input", input.as_str().into()));
+            match target {
+                ParseTarget::Text { grammar, format } => {
+                    pairs.push(("grammar", grammar.as_str().into()));
+                    pairs.extend(format_pair(format));
+                }
+                ParseTarget::Fingerprint(fp) => {
+                    pairs.push(("fingerprint", format_fingerprint(*fp).into()));
+                }
+            }
+            pairs.push((
+                "batch",
+                Value::Arr(documents.iter().map(|d| d.as_str().into()).collect()),
+            ));
+            if *recover {
+                pairs.push(("recover", Value::Bool(true)));
+                if !sync.is_empty() {
+                    pairs.push((
+                        "sync",
+                        Value::Arr(sync.iter().map(|s| s.as_str().into()).collect()),
+                    ));
+                }
+            }
         }
         Request::Stats | Request::Metrics | Request::Shutdown => {}
     }
@@ -101,15 +128,65 @@ pub fn request_from_value(value: &Value) -> Result<(Request, Option<Duration>), 
                 .and_then(Value::as_bool)
                 .unwrap_or(false),
         },
-        "parse" => Request::Parse {
-            grammar: grammar()?,
-            format,
-            input: value
-                .get("input")
-                .and_then(Value::as_str)
-                .ok_or_else(|| bad("missing string field \"input\""))?
-                .to_string(),
-        },
+        "parse" => {
+            let target = if value.get("grammar").is_some() {
+                ParseTarget::Text {
+                    grammar: grammar()?,
+                    format,
+                }
+            } else if let Some(v) = value.get("fingerprint") {
+                let hex = v
+                    .as_str()
+                    .ok_or_else(|| bad("\"fingerprint\" must be a hex string"))?;
+                ParseTarget::Fingerprint(
+                    parse_fingerprint(hex)
+                        .ok_or_else(|| bad("\"fingerprint\" must be 16 lowercase hex digits"))?,
+                )
+            } else {
+                return Err(bad("missing field \"grammar\" or \"fingerprint\""));
+            };
+            let documents = if let Some(batch) = value.get("batch") {
+                let items = batch
+                    .as_arr()
+                    .ok_or_else(|| bad("\"batch\" must be an array of strings"))?;
+                items
+                    .iter()
+                    .map(|d| {
+                        d.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| bad("\"batch\" must be an array of strings"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
+            } else if let Some(input) = value.get("input").and_then(Value::as_str) {
+                // Back-compat: a single document travels as "input".
+                vec![input.to_string()]
+            } else {
+                return Err(bad("missing field \"batch\" or \"input\""));
+            };
+            let recover = value
+                .get("recover")
+                .and_then(Value::as_bool)
+                .unwrap_or(false);
+            let sync = match value.get("sync") {
+                None => Vec::new(),
+                Some(v) => v
+                    .as_arr()
+                    .ok_or_else(|| bad("\"sync\" must be an array of terminal names"))?
+                    .iter()
+                    .map(|s| {
+                        s.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| bad("\"sync\" must be an array of terminal names"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            };
+            Request::Parse {
+                target,
+                documents,
+                recover,
+                sync,
+            }
+        }
         "stats" => Request::Stats,
         "metrics" => Request::Metrics,
         "shutdown" => Request::Shutdown,
@@ -197,20 +274,16 @@ pub fn response_to_value(response: &Response) -> Value {
             }
             object(pairs)
         }
-        Response::Parse(p) => {
-            let mut pairs = vec![
-                ("ok", Value::Bool(true)),
-                ("op", "parse".into()),
-                ("accepted", Value::Bool(p.accepted)),
-            ];
-            if let Some(tree) = &p.tree {
-                pairs.push(("tree", tree.as_str().into()));
-            }
-            if let Some(error) = &p.error {
-                pairs.push(("error", error.as_str().into()));
-            }
-            object(pairs)
-        }
+        Response::Parse(p) => object([
+            ("ok", Value::Bool(true)),
+            ("op", "parse".into()),
+            ("fingerprint", p.fingerprint.as_str().into()),
+            ("cached", Value::Bool(p.cached)),
+            (
+                "docs",
+                Value::Arr(p.docs.iter().map(verdict_to_value).collect()),
+            ),
+        ]),
         Response::Stats(s) => stats_to_value(s),
         Response::Metrics(text) => object([
             ("ok", Value::Bool(true)),
@@ -227,6 +300,36 @@ pub fn response_to_value(response: &Response) -> Value {
             ),
         ]),
     }
+}
+
+/// Encodes one per-document verdict.
+fn verdict_to_value(v: &DocVerdict) -> Value {
+    let mut pairs = vec![
+        ("accepted", Value::Bool(v.accepted)),
+        ("leaves", v.leaves.into()),
+        ("nodes", v.nodes.into()),
+    ];
+    if let Some(tree) = &v.tree {
+        pairs.push(("tree", tree.as_str().into()));
+    }
+    if let Some(e) = &v.error {
+        let mut err_pairs = vec![
+            ("message", e.message.as_str().into()),
+            ("offset", e.offset.into()),
+            (
+                "expected",
+                Value::Arr(e.expected.iter().map(|t| t.as_str().into()).collect()),
+            ),
+        ];
+        if let Some(found) = &e.found {
+            err_pairs.push(("found", found.as_str().into()));
+        }
+        pairs.push(("error", object(err_pairs)));
+    }
+    if v.error_count > 0 {
+        pairs.push(("errors", v.error_count.into()));
+    }
+    object(pairs)
 }
 
 fn stats_to_value(s: &StatsSnapshot) -> Value {
@@ -262,6 +365,16 @@ fn stats_to_value(s: &StatsSnapshot) -> Value {
         ("errors_by_op", op_counts(&s.errors_by_op)),
         ("latency_buckets", latency),
         ("phases", phases),
+        (
+            "parse_lane",
+            object([
+                ("batches", s.parse.batches.into()),
+                ("documents", s.parse.documents.into()),
+                ("accepted", s.parse.accepted.into()),
+                ("rejected", s.parse.rejected.into()),
+                ("resolutions", s.parse.resolutions.into()),
+            ]),
+        ),
         ("shed", s.shed.into()),
         ("queue_depth", s.queue_depth.into()),
         ("queue_limit", s.queue_limit.into()),
@@ -353,9 +466,34 @@ mod tests {
         );
         round_trip(
             Request::Parse {
-                grammar: "s : \"a\" ;".to_string(),
-                format: GrammarFormat::Native,
-                input: "a".to_string(),
+                target: ParseTarget::Text {
+                    grammar: "s : \"a\" ;".to_string(),
+                    format: GrammarFormat::Native,
+                },
+                documents: vec!["a".to_string(), "a a".to_string(), String::new()],
+                recover: false,
+                sync: Vec::new(),
+            },
+            None,
+        );
+        round_trip(
+            Request::Parse {
+                target: ParseTarget::Fingerprint(0xdead_beef_0123_4567),
+                documents: vec!["a".to_string()],
+                recover: true,
+                sync: vec![";".to_string()],
+            },
+            Some(Duration::from_millis(75)),
+        );
+        round_trip(
+            Request::Parse {
+                target: ParseTarget::Text {
+                    grammar: "%token A\n%%\ns : A ;".to_string(),
+                    format: GrammarFormat::Yacc,
+                },
+                documents: vec!["A \"quoted\" doc \\ with escapes".to_string()],
+                recover: true,
+                sync: Vec::new(),
             },
             None,
         );
@@ -377,12 +515,98 @@ mod tests {
             r#"{"grammar":"x"}"#,
             r#"{"op":"compile"}"#,
             r#"{"op":"parse","grammar":"s : \"a\" ;"}"#,
+            r#"{"op":"parse","batch":["a"]}"#,
+            r#"{"op":"parse","fingerprint":"xyz","batch":["a"]}"#,
+            r#"{"op":"parse","fingerprint":42,"batch":["a"]}"#,
+            r#"{"op":"parse","grammar":"s : \"a\" ;","batch":"a"}"#,
+            r#"{"op":"parse","grammar":"s : \"a\" ;","batch":[1]}"#,
+            r#"{"op":"parse","grammar":"s : \"a\" ;","batch":["a"],"sync":[1]}"#,
             r#"{"op":"compile","grammar":"x","deadline_ms":-1}"#,
             r#"[1,2]"#,
         ] {
             let v = serde_json::from_str(line).unwrap();
             assert!(request_from_value(&v).is_err(), "{line}");
         }
+    }
+
+    #[test]
+    fn lone_input_decodes_as_a_batch_of_one() {
+        let v = serde_json::from_str(r#"{"op":"parse","grammar":"s : \"a\" ;","input":"a a"}"#)
+            .unwrap();
+        let (req, _) = request_from_value(&v).unwrap();
+        match req {
+            Request::Parse {
+                documents, recover, ..
+            } => {
+                assert_eq!(documents, vec!["a a".to_string()]);
+                assert!(!recover);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_batch_decodes_and_is_rejected_by_the_service_not_the_codec() {
+        // The codec passes the empty batch through; the service layer
+        // answers with a structured bad_request (see the hostile tests).
+        let v =
+            serde_json::from_str(r#"{"op":"parse","grammar":"s : \"a\" ;","batch":[]}"#).unwrap();
+        let (req, _) = request_from_value(&v).unwrap();
+        match req {
+            Request::Parse { documents, .. } => assert!(documents.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_responses_render_per_document_verdicts() {
+        use crate::service::{DocError, ParseBatchSummary};
+        let r = Response::Parse(ParseBatchSummary {
+            fingerprint: "00000000000000ff".to_string(),
+            cached: true,
+            docs: vec![
+                DocVerdict {
+                    accepted: true,
+                    leaves: 3,
+                    nodes: 2,
+                    tree: Some("(e x)".to_string()),
+                    error: None,
+                    error_count: 0,
+                },
+                DocVerdict {
+                    accepted: false,
+                    leaves: 0,
+                    nodes: 0,
+                    tree: None,
+                    error: Some(DocError {
+                        message: "unexpected end of input at offset 2".to_string(),
+                        offset: 2,
+                        found: None,
+                        expected: vec!["NUM".to_string()],
+                    }),
+                    error_count: 1,
+                },
+            ],
+        });
+        let line = response_to_line(&r);
+        let v = serde_json::from_str(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("cached").and_then(Value::as_bool), Some(true));
+        let docs = v.get("docs").and_then(Value::as_arr).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].get("accepted").and_then(Value::as_bool), Some(true));
+        assert_eq!(docs[0].get("leaves").and_then(Value::as_u64), Some(3));
+        assert_eq!(docs[0].get("tree").and_then(Value::as_str), Some("(e x)"));
+        assert!(docs[0].get("error").is_none());
+        let err = docs[1].get("error").unwrap();
+        assert_eq!(err.get("offset").and_then(Value::as_u64), Some(2));
+        assert!(err.get("found").is_none(), "EOF error has no found token");
+        assert_eq!(
+            err.get("expected")
+                .and_then(Value::as_arr)
+                .map(<[Value]>::len),
+            Some(1)
+        );
     }
 
     #[test]

@@ -53,6 +53,11 @@ pub struct ServiceConfig {
     pub cache: Option<CacheConfig>,
     /// Maximum grammar/input payload size in bytes.
     pub max_request_bytes: usize,
+    /// Maximum size of a *single document* in a parse batch. An oversized
+    /// document gets a per-document error verdict; the rest of the batch
+    /// still parses (unlike `max_request_bytes`, which fails the whole
+    /// request).
+    pub max_document_bytes: usize,
     /// Deadline applied when a request does not carry its own.
     pub default_deadline: Option<Duration>,
     /// Bound on requests queued but not yet picked up by a worker.
@@ -75,6 +80,7 @@ impl Default for ServiceConfig {
             pipeline: Parallelism::sequential(),
             cache: Some(CacheConfig::default()),
             max_request_bytes: 1 << 20,
+            max_document_bytes: 256 << 10,
             default_deadline: None,
             max_pending: 1024,
             faults: FaultInjector::disabled(),
@@ -108,14 +114,22 @@ pub enum Request {
         /// Also report default-reduction compression statistics.
         compressed: bool,
     },
-    /// Compile (or fetch) and parse a sentence of terminal names.
+    /// Resolve an artifact once and parse a **batch** of documents
+    /// against it (each document is a whitespace-separated sequence of
+    /// terminal names).
     Parse {
-        /// Grammar source text.
-        grammar: String,
-        /// How to read the text.
-        format: GrammarFormat,
-        /// Whitespace-separated terminal names.
-        input: String,
+        /// Which artifact to parse against.
+        target: ParseTarget,
+        /// The documents, parsed in order against the one resolved
+        /// artifact.
+        documents: Vec<String>,
+        /// Collect multiple diagnostics per document with panic-mode
+        /// recovery ([`Parser::parse_with_recovery`]) instead of stopping
+        /// at the first error.
+        recover: bool,
+        /// Terminal names used as synchronization tokens in recovery
+        /// mode (ignored unless `recover`).
+        sync: Vec<String>,
     },
     /// Service statistics snapshot.
     Stats,
@@ -143,10 +157,32 @@ impl Request {
         match self {
             Request::Compile { grammar, .. } | Request::Classify { grammar, .. } => grammar.len(),
             Request::Table { grammar, .. } => grammar.len(),
-            Request::Parse { grammar, input, .. } => grammar.len() + input.len(),
+            // Documents are bounded individually (`max_document_bytes`),
+            // so an oversized document degrades to a per-document error
+            // verdict instead of failing the whole batch.
+            Request::Parse { target, .. } => match target {
+                ParseTarget::Text { grammar, .. } => grammar.len(),
+                ParseTarget::Fingerprint(_) => 0,
+            },
             Request::Stats | Request::Metrics | Request::Shutdown => 0,
         }
     }
+}
+
+/// How a parse request names its artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTarget {
+    /// Grammar source text, compiled (or fetched) like the other ops.
+    Text {
+        /// Grammar source text.
+        grammar: String,
+        /// How to read the text.
+        format: GrammarFormat,
+    },
+    /// The fingerprint a prior compile reported; resolved straight from
+    /// the cache with no text transfer. `not_found` when the artifact was
+    /// never compiled here or has been evicted.
+    Fingerprint(u64),
 }
 
 /// Index of an op name in [`OPS`] (unknown names map to the last slot).
@@ -213,15 +249,61 @@ pub struct TableSummary {
     pub compressed_entries: Option<usize>,
 }
 
-/// Parse response payload.
+/// Parse response payload: one verdict per document, all served from a
+/// single artifact resolution.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseSummary {
-    /// Whether the sentence was accepted.
+pub struct ParseBatchSummary {
+    /// Hex fingerprint of the artifact the batch was parsed against.
+    pub fingerprint: String,
+    /// Whether the artifact came from the cache (always `true` for
+    /// fingerprint-addressed requests).
+    pub cached: bool,
+    /// Per-document verdicts, in request order.
+    pub docs: Vec<DocVerdict>,
+}
+
+/// The verdict for one document of a parse batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocVerdict {
+    /// Whether the document is a sentence of the grammar.
     pub accepted: bool,
+    /// Leaf count of the parse tree (0 when rejected).
+    pub leaves: u64,
+    /// Interior node count of the parse tree (0 when rejected).
+    pub nodes: u64,
     /// S-expression rendering of the parse tree (accepted only).
     pub tree: Option<String>,
-    /// Parser error message (rejected only).
-    pub error: Option<String>,
+    /// The first (or only) error (rejected only).
+    pub error: Option<DocError>,
+    /// Total diagnostics; exceeds 1 only in recovery mode.
+    pub error_count: u64,
+}
+
+/// A positioned per-document parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocError {
+    /// Human-readable message.
+    pub message: String,
+    /// Where the error points: the offending token's offset, or — at end
+    /// of input — one past the end of the last consumed token.
+    pub offset: u64,
+    /// The offending token text, absent at end of input.
+    pub found: Option<String>,
+    /// Terminal names that would have been accepted.
+    pub expected: Vec<String>,
+}
+
+impl DocVerdict {
+    fn rejected(error: DocError) -> DocVerdict {
+        DocVerdict {
+            accepted: false,
+            leaves: 0,
+            nodes: 0,
+            tree: None,
+            error: Some(error),
+            error_count: 1,
+        }
+    }
 }
 
 /// Aggregate service statistics.
@@ -250,6 +332,8 @@ pub struct StatsSnapshot {
     /// Per-phase compile-pipeline wall time in nanoseconds, indexed like
     /// [`PHASE_NAMES`].
     pub phase_ns: [u64; 8],
+    /// Parse-lane counters (batches, documents, cache amortization).
+    pub parse: ParseLaneStats,
     /// Cache counters (absent when caching is disabled).
     pub cache: Option<CacheStats>,
     /// Worker pool size.
@@ -267,6 +351,23 @@ pub struct StatsSnapshot {
     pub faults: Vec<FaultPointStats>,
 }
 
+/// Parse-lane counters: how many documents rode on how few artifact
+/// resolutions (the cache-amortization figure the batch op exists for).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParseLaneStats {
+    /// Parse batches that resolved an artifact.
+    pub batches: u64,
+    /// Documents parsed across all batches.
+    pub documents: u64,
+    /// Documents accepted.
+    pub accepted: u64,
+    /// Documents rejected (syntax error, unknown terminal, oversized).
+    pub rejected: u64,
+    /// Artifact resolutions performed for parse batches (one per batch;
+    /// `documents / resolutions` is the amortization ratio).
+    pub resolutions: u64,
+}
+
 /// One protocol response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -276,8 +377,8 @@ pub enum Response {
     Classify(ClassifySummary),
     /// Rendered table.
     Table(TableSummary),
-    /// Parse verdict.
-    Parse(ParseSummary),
+    /// Parse verdicts, one per document in the batch.
+    Parse(ParseBatchSummary),
     /// Statistics snapshot.
     Stats(StatsSnapshot),
     /// Prometheus-style text exposition.
@@ -318,6 +419,11 @@ struct Inner {
     latency_sum_us: [AtomicU64; 7],
     phase_calls: [AtomicU64; 8],
     phase_ns: [AtomicU64; 8],
+    parse_batches: AtomicU64,
+    parse_documents: AtomicU64,
+    parse_accepted: AtomicU64,
+    parse_rejected: AtomicU64,
+    parse_resolutions: AtomicU64,
 }
 
 /// The compilation service: a worker pool executing [`Request`]s against
@@ -380,6 +486,11 @@ impl Service {
             latency_sum_us: Default::default(),
             phase_calls: Default::default(),
             phase_ns: Default::default(),
+            parse_batches: AtomicU64::new(0),
+            parse_documents: AtomicU64::new(0),
+            parse_accepted: AtomicU64::new(0),
+            parse_rejected: AtomicU64::new(0),
+            parse_resolutions: AtomicU64::new(0),
             config,
         });
         // A rendezvous queue bounded at `max_pending`: `try_send` makes
@@ -586,41 +697,192 @@ impl Inner {
                 Err(e) => Response::Error(e),
             },
             Request::Parse {
-                grammar,
-                format,
-                input,
-            } => match self.artifact(grammar, *format) {
-                Ok((artifact, _)) => {
-                    let table = artifact.table();
-                    let mut tokens = Vec::new();
-                    for (i, word) in input.split_whitespace().enumerate() {
-                        match table.terminal_by_name(word) {
-                            Some(t) => tokens.push(Token::new(t, word, i)),
-                            None => {
-                                return Response::Error(ServiceError::BadRequest(format!(
-                                    "unknown terminal {word:?}"
-                                )))
-                            }
-                        }
-                    }
-                    match Parser::new(table).parse(tokens) {
-                        Ok(tree) => Response::Parse(ParseSummary {
-                            accepted: true,
-                            tree: Some(tree.to_sexpr(table)),
-                            error: None,
-                        }),
-                        Err(e) => Response::Parse(ParseSummary {
-                            accepted: false,
-                            tree: None,
-                            error: Some(e.to_string()),
-                        }),
-                    }
-                }
+                target,
+                documents,
+                recover,
+                sync,
+            } => match self.parse_batch(target, documents, *recover, sync) {
+                Ok(summary) => Response::Parse(summary),
                 Err(e) => Response::Error(e),
             },
             Request::Stats => Response::Stats(self.snapshot()),
             Request::Metrics => Response::Metrics(crate::metrics::render(&self.snapshot())),
             Request::Shutdown => Response::Shutdown,
+        }
+    }
+
+    /// The batched parse op: resolve the artifact **once**, then drive
+    /// the LR driver over every document.
+    fn parse_batch(
+        &self,
+        target: &ParseTarget,
+        documents: &[String],
+        recover: bool,
+        sync: &[String],
+    ) -> Result<ParseBatchSummary, ServiceError> {
+        // The parse-worker failpoint: same contract as `service.compile` —
+        // a panic unwinds into the worker's `catch_unwind` and surfaces
+        // as a retryable `panicked` response.
+        match self.config.faults.at("service.parse") {
+            Some(Fault::Panic) => panic!("injected fault at service.parse"),
+            Some(Fault::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            Some(Fault::Error) => {
+                return Err(ServiceError::Panicked(
+                    "injected fault at service.parse".to_string(),
+                ))
+            }
+            _ => {}
+        }
+        if documents.is_empty() {
+            return Err(ServiceError::BadRequest(
+                "empty batch: \"batch\" must contain at least one document".to_string(),
+            ));
+        }
+        // One artifact resolution per batch — the amortization the op
+        // exists for.
+        let (artifact, cached) = match target {
+            ParseTarget::Text { grammar, format } => {
+                let (artifact, outcome) = self.artifact(grammar, *format)?;
+                (artifact, outcome == CacheOutcome::Hit)
+            }
+            ParseTarget::Fingerprint(fp) => {
+                let hex = format_fingerprint(*fp);
+                let artifact = self
+                    .cache
+                    .as_ref()
+                    .ok_or_else(|| {
+                        ServiceError::NotFound(format!(
+                            "artifact {hex}: caching is disabled, send the grammar text"
+                        ))
+                    })?
+                    .get_by_fingerprint(*fp)
+                    .ok_or_else(|| {
+                        ServiceError::NotFound(format!(
+                            "artifact {hex}: not in cache (never compiled or evicted)"
+                        ))
+                    })?;
+                (artifact, true)
+            }
+        };
+        self.parse_resolutions.fetch_add(1, Ordering::Relaxed);
+        self.parse_batches.fetch_add(1, Ordering::Relaxed);
+        let table = artifact.table();
+        // Resolve recovery sync tokens up front: a bad name fails the
+        // request, not one document.
+        let mut sync_ids = Vec::with_capacity(sync.len());
+        for name in sync {
+            match table.terminal_by_name(name) {
+                Some(t) => sync_ids.push(t),
+                None => {
+                    return Err(ServiceError::BadRequest(format!(
+                        "unknown sync terminal {name:?}"
+                    )))
+                }
+            }
+        }
+        let mut docs = Vec::with_capacity(documents.len());
+        for doc in documents {
+            // The batch-boundary failpoint: checked between documents, so
+            // a fault mid-batch aborts the remainder (the client sees one
+            // structured error, never a half-written response).
+            match self.config.faults.at("service.parse.doc") {
+                Some(Fault::Panic) => panic!("injected fault at service.parse.doc"),
+                Some(Fault::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+                Some(Fault::Error) => {
+                    return Err(ServiceError::Panicked(
+                        "injected fault at service.parse.doc".to_string(),
+                    ))
+                }
+                _ => {}
+            }
+            docs.push(self.parse_document(table, doc, recover, &sync_ids));
+        }
+        let accepted = docs.iter().filter(|d| d.accepted).count() as u64;
+        self.parse_documents
+            .fetch_add(docs.len() as u64, Ordering::Relaxed);
+        self.parse_accepted.fetch_add(accepted, Ordering::Relaxed);
+        self.parse_rejected
+            .fetch_add(docs.len() as u64 - accepted, Ordering::Relaxed);
+        Ok(ParseBatchSummary {
+            fingerprint: format_fingerprint(artifact.fingerprint()),
+            cached,
+            docs,
+        })
+    }
+
+    /// Parses one document (whitespace-separated terminal names; token
+    /// offsets are token indices) to a verdict. Never fails the batch:
+    /// oversized documents and unknown terminals degrade to per-document
+    /// error verdicts.
+    fn parse_document(
+        &self,
+        table: &lalr_tables::ParseTable,
+        doc: &str,
+        recover: bool,
+        sync: &[u32],
+    ) -> DocVerdict {
+        let limit = self.config.max_document_bytes;
+        if doc.len() > limit {
+            return DocVerdict::rejected(DocError {
+                message: format!(
+                    "document of {} bytes exceeds the {limit}-byte limit",
+                    doc.len()
+                ),
+                offset: 0,
+                found: None,
+                expected: Vec::new(),
+            });
+        }
+        let mut tokens = Vec::new();
+        for (i, word) in doc.split_whitespace().enumerate() {
+            match table.terminal_by_name(word) {
+                Some(t) => tokens.push(Token::new(t, word, i)),
+                None => {
+                    return DocVerdict::rejected(DocError {
+                        message: format!("unknown terminal {word:?}"),
+                        offset: i as u64,
+                        found: Some(word.to_string()),
+                        expected: Vec::new(),
+                    })
+                }
+            }
+        }
+        let doc_error = |e: &lalr_runtime::ParseError| DocError {
+            message: e.to_string(),
+            offset: e.offset as u64,
+            found: e.found.as_ref().map(|t| t.text().to_string()),
+            expected: e.expected.clone(),
+        };
+        if recover {
+            let (tree, errors) = Parser::new(table).parse_with_recovery(tokens, sync, 8);
+            let (leaves, nodes, sexpr) = match &tree {
+                Some(t) => (
+                    t.leaf_count() as u64,
+                    t.node_count() as u64,
+                    Some(t.to_sexpr(table)),
+                ),
+                None => (0, 0, None),
+            };
+            DocVerdict {
+                accepted: errors.is_empty() && tree.is_some(),
+                leaves,
+                nodes,
+                tree: sexpr,
+                error: errors.first().map(doc_error),
+                error_count: errors.len() as u64,
+            }
+        } else {
+            match Parser::new(table).parse(tokens) {
+                Ok(tree) => DocVerdict {
+                    accepted: true,
+                    leaves: tree.leaf_count() as u64,
+                    nodes: tree.node_count() as u64,
+                    tree: Some(tree.to_sexpr(table)),
+                    error: None,
+                    error_count: 0,
+                },
+                Err(e) => DocVerdict::rejected(doc_error(&e)),
+            }
         }
     }
 
@@ -721,6 +983,13 @@ impl Inner {
             latency_sum_us: std::array::from_fn(|i| self.latency_sum_us[i].load(Ordering::Relaxed)),
             phase_calls: std::array::from_fn(|i| self.phase_calls[i].load(Ordering::Relaxed)),
             phase_ns: std::array::from_fn(|i| self.phase_ns[i].load(Ordering::Relaxed)),
+            parse: ParseLaneStats {
+                batches: self.parse_batches.load(Ordering::Relaxed),
+                documents: self.parse_documents.load(Ordering::Relaxed),
+                accepted: self.parse_accepted.load(Ordering::Relaxed),
+                rejected: self.parse_rejected.load(Ordering::Relaxed),
+                resolutions: self.parse_resolutions.load(Ordering::Relaxed),
+            },
             cache: self.cache.as_ref().map(ArtifactCache::stats),
             workers: self.config.workers.threads(),
             uptime_ms: self.started.elapsed().as_millis() as u64,

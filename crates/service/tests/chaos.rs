@@ -21,12 +21,15 @@ use std::time::Duration;
 use lalr_core::Parallelism;
 use lalr_service::protocol::response_to_line;
 use lalr_service::{
-    call_with_retry, Daemon, DaemonConfig, Fault, FaultInjector, FaultPlan, GrammarFormat, Request,
-    RetryPolicy, Service, ServiceConfig, Trigger,
+    call_with_retry, Daemon, DaemonConfig, Fault, FaultInjector, FaultPlan, GrammarFormat,
+    ParseTarget, Request, RetryPolicy, Service, ServiceConfig, Trigger,
 };
 
-/// One round of the mixed corpus workload (compile, classify, table,
-/// parse per grammar).
+/// One round of the mixed corpus workload: compile, classify and table
+/// per grammar, then a **parse-heavy tail** — batched parse requests
+/// carrying generated sentences plus their single-token mutants, so the
+/// `service.parse` / `service.parse.doc` failpoints and the per-document
+/// verdict encoding all sit on the differential path.
 fn workload() -> Vec<Request> {
     let mut requests = Vec::new();
     for entry in lalr_corpus::all_entries() {
@@ -45,12 +48,26 @@ fn workload() -> Vec<Request> {
             compressed: true,
         });
         let parsed = entry.grammar();
-        if let Some(sentence) = lalr_corpus::sentences::generate(&parsed, 0, 20) {
-            let input: Vec<&str> = sentence.iter().map(|&t| parsed.terminal_name(t)).collect();
+        let to_doc = |s: &[lalr_grammar::Terminal]| {
+            s.iter()
+                .map(|&t| parsed.terminal_name(t))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let sentences = lalr_corpus::sentences::generate_many(&parsed, 0, 4, 20);
+        if !sentences.is_empty() {
+            let mut documents: Vec<String> = sentences.iter().map(|s| to_doc(s)).collect();
+            for (_, mutant) in lalr_corpus::sentences::mutate_many(&parsed, &sentences, 7, 4) {
+                documents.push(to_doc(&mutant));
+            }
             requests.push(Request::Parse {
-                grammar: grammar.clone(),
-                format: GrammarFormat::Native,
-                input: input.join(" "),
+                target: ParseTarget::Text {
+                    grammar: grammar.clone(),
+                    format: GrammarFormat::Native,
+                },
+                documents,
+                recover: false,
+                sync: Vec::new(),
             });
         }
     }
@@ -77,6 +94,9 @@ fn plan(seed: u64) -> FaultPlan {
         .rule("daemon.write", Fault::PartialWrite, Trigger::Rate(0.04))
         .rule("service.compile", Fault::Panic, Trigger::Rate(0.10))
         .rule("service.compile", Fault::Delay(2), Trigger::Rate(0.15))
+        .rule("service.parse", Fault::Panic, Trigger::Rate(0.05))
+        .rule("service.parse", Fault::Delay(1), Trigger::Rate(0.08))
+        .rule("service.parse.doc", Fault::Error, Trigger::Rate(0.01))
         .rule("cache.storm", Fault::EvictAll, Trigger::EveryNth(17))
         .rule("client.read", Fault::Error, Trigger::Rate(0.02))
 }
@@ -219,7 +239,13 @@ fn chaos_schedule_replays_per_seed() {
     for seed in [1u64, 2, 3] {
         let a = plan(seed).build();
         let b = plan(seed).build();
-        for point in ["daemon.read", "daemon.write", "service.compile"] {
+        for point in [
+            "daemon.read",
+            "daemon.write",
+            "service.compile",
+            "service.parse",
+            "service.parse.doc",
+        ] {
             let fire_a: Vec<Option<Fault>> = (0..300).map(|_| a.at(point)).collect();
             let fire_b: Vec<Option<Fault>> = (0..300).map(|_| b.at(point)).collect();
             assert_eq!(fire_a, fire_b, "seed {seed}, point {point}");
@@ -275,6 +301,52 @@ fn injected_compile_panic_resolves_waiters_and_is_not_cached() {
         other => panic!("retry after injected panic failed: {other:?}"),
     }
     assert_eq!(faults.injected_at("service.compile"), 1);
+}
+
+/// A fault at the batch boundary (`service.parse.doc`) aborts the whole
+/// batch with one structured retryable error — never a half-filled
+/// verdict list — and the retry parses every document.
+#[test]
+fn injected_batch_boundary_fault_aborts_cleanly_and_retry_succeeds() {
+    let faults = FaultPlan::new(21)
+        .rule("service.parse.doc", Fault::Error, Trigger::OnHits(vec![2]))
+        .build();
+    let service = Service::new(ServiceConfig {
+        workers: Parallelism::sequential(),
+        faults: faults.clone(),
+        ..ServiceConfig::default()
+    });
+    let req = || Request::Parse {
+        target: ParseTarget::Text {
+            grammar: "e : e \"+\" t | t ; t : \"x\" ;".to_string(),
+            format: GrammarFormat::Native,
+        },
+        documents: vec!["x".into(), "x + x".into(), "x +".into()],
+        recover: false,
+        sync: Vec::new(),
+    };
+    // Hit #2 is the boundary before document 2: the batch dies mid-way.
+    match service.call(req(), None) {
+        lalr_service::Response::Error(e) => {
+            assert!(e.is_retryable(), "{e}");
+            assert!(e.to_string().contains("service.parse.doc"), "{e}");
+        }
+        other => panic!("expected injected batch abort, got {other:?}"),
+    }
+    // The retry sees hits #3–#5 (unarmed) and parses all three documents.
+    match service.call(req(), None) {
+        lalr_service::Response::Parse(p) => {
+            assert_eq!(p.docs.len(), 3);
+            assert!(p.docs[0].accepted && p.docs[1].accepted);
+            assert!(!p.docs[2].accepted);
+        }
+        other => panic!("retry after batch abort failed: {other:?}"),
+    }
+    assert_eq!(faults.injected_at("service.parse.doc"), 1);
+    let stats = service.stats();
+    // The aborted batch recorded no documents; only the retry counted.
+    assert_eq!(stats.parse.documents, 3);
+    assert_eq!(stats.parse.batches, 2, "both batches resolved an artifact");
 }
 
 /// A saturated service sheds with an explicit `overloaded` error instead

@@ -174,6 +174,97 @@ fn absurd_numeric_and_mistyped_fields_each_get_a_structured_error() {
 }
 
 #[test]
+fn empty_parse_batch_is_a_structured_bad_request() {
+    let daemon = start_daemon();
+    let (mut writer, mut reader) = raw_conn(&daemon);
+    let mut line = String::new();
+
+    // The codec accepts an empty "batch" array; the *service* refuses
+    // it. Either way the caller gets a structured error, not a drop.
+    writeln!(
+        writer,
+        r#"{{"op":"parse","grammar":"e : \"x\" ;","batch":[]}}"#
+    )
+    .unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(error_kind(&line), "bad_request", "{line}");
+    assert!(line.contains("empty batch"), "{line}");
+
+    // Mistyped batches are codec-level bad requests on the same
+    // connection: not an array, and an array of non-strings.
+    for case in [
+        r#"{"op":"parse","grammar":"e : \"x\" ;","batch":"x"}"#,
+        r#"{"op":"parse","grammar":"e : \"x\" ;","batch":[42]}"#,
+        r#"{"op":"parse","grammar":"e : \"x\" ;"}"#,
+        r#"{"op":"parse","batch":["x"],"fingerprint":"nope"}"#,
+    ] {
+        line.clear();
+        writeln!(writer, "{case}").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(error_kind(&line), "bad_request", "for {case}: {line}");
+    }
+
+    // The connection still serves a well-formed batch afterwards.
+    line.clear();
+    writeln!(
+        writer,
+        r#"{{"op":"parse","grammar":"e : e \"+\" t | t ; t : \"x\" ;","batch":["x + x"]}}"#
+    )
+    .unwrap();
+    reader.read_line(&mut line).unwrap();
+    let v: Value = serde_json::from_str(line.trim_end()).unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{line}");
+
+    drop(writer);
+    drop(reader);
+    daemon.stop();
+    daemon.join();
+}
+
+#[test]
+fn oversized_document_degrades_to_a_per_document_error() {
+    // One absurd document must not fail the batch, wedge the
+    // connection, or starve its well-formed neighbours.
+    let daemon = start_daemon();
+    let huge = "x ".repeat(300 << 10); // ~600 KiB > the 256 KiB default
+    let request = Request::Parse {
+        target: lalr_service::ParseTarget::Text {
+            grammar: "e : e \"+\" t | t ; t : \"x\" ;".to_string(),
+            format: GrammarFormat::Native,
+        },
+        documents: vec!["x + x".to_string(), huge, "x".to_string()],
+        recover: false,
+        sync: Vec::new(),
+    };
+    let reply = call(&daemon, &request);
+    assert!(reply.is_ok(), "{}", reply.raw);
+    let docs = reply
+        .value
+        .get("docs")
+        .and_then(Value::as_arr)
+        .expect("docs array")
+        .to_vec();
+    assert_eq!(docs.len(), 3);
+    let accepted =
+        |d: &Value| -> bool { d.get("accepted").and_then(Value::as_bool).unwrap_or(false) };
+    assert!(accepted(&docs[0]), "{}", reply.raw);
+    assert!(!accepted(&docs[1]), "oversized doc must be rejected");
+    assert!(accepted(&docs[2]), "{}", reply.raw);
+    let message = docs[1]
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Value::as_str)
+        .expect("per-document error");
+    assert!(message.contains("byte limit"), "{message}");
+
+    // The daemon keeps serving after the hostile batch.
+    let reply = call(&daemon, &compile_request());
+    assert!(reply.is_ok(), "{}", reply.raw);
+    daemon.stop();
+    daemon.join();
+}
+
+#[test]
 fn injected_read_garbage_is_a_bad_request_and_the_connection_survives() {
     // The daemon.read Garbage failpoint corrupts the *first* request
     // line as if the transport had scrambled it; the daemon answers

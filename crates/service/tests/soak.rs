@@ -12,10 +12,11 @@ use std::sync::Arc;
 
 use lalr_core::Parallelism;
 use lalr_service::protocol::response_to_line;
-use lalr_service::{GrammarFormat, Request, Service, ServiceConfig};
+use lalr_service::{GrammarFormat, ParseTarget, Request, Service, ServiceConfig};
 
-/// A mixed workload: compile, classify, table, and parse requests over
-/// every corpus grammar, repeated so most requests are warm.
+/// A mixed workload: compile, classify, table, and batched parse
+/// requests over every corpus grammar, repeated so most requests are
+/// warm.
 fn workload() -> Vec<Request> {
     let mut requests = Vec::new();
     for round in 0..3 {
@@ -35,12 +36,25 @@ fn workload() -> Vec<Request> {
                 compressed: true,
             });
             let parsed = entry.grammar();
-            if let Some(sentence) = lalr_corpus::sentences::generate(&parsed, round, 20) {
-                let input: Vec<&str> = sentence.iter().map(|&t| parsed.terminal_name(t)).collect();
+            let documents: Vec<String> =
+                lalr_corpus::sentences::generate_many(&parsed, round, 3, 20)
+                    .iter()
+                    .map(|s| {
+                        s.iter()
+                            .map(|&t| parsed.terminal_name(t))
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    })
+                    .collect();
+            if !documents.is_empty() {
                 requests.push(Request::Parse {
-                    grammar: grammar.clone(),
-                    format: GrammarFormat::Native,
-                    input: input.join(" "),
+                    target: ParseTarget::Text {
+                        grammar: grammar.clone(),
+                        format: GrammarFormat::Native,
+                    },
+                    documents,
+                    recover: false,
+                    sync: Vec::new(),
                 });
             }
         }

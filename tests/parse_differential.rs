@@ -1,0 +1,250 @@
+//! Three-way differential over the whole corpus: dense tables, the
+//! compressed row-displacement tables, and the service's batched
+//! `parse` op must agree verdict-for-verdict and
+//! tree-shape-for-tree-shape.
+//!
+//! Valid sentences come from the seeded derivation generator; invalid
+//! (or at least perturbed) documents come from its single-token
+//! mutation operator. A mutant is *not* guaranteed out-of-language, so
+//! the property compared is agreement, not rejection: whatever one lane
+//! decides — accept with this exact tree, or reject at this exact
+//! offset with this exact expected set — the other two must decide
+//! identically.
+//!
+//! Restricted to conflict-free grammars: default conflict resolution
+//! changes the accepted language, so only there is lane agreement a
+//! theorem rather than a coincidence (same convention as
+//! `generated_sentences.rs`).
+
+use lalr::corpus::sentences::{generate_many, mutate_many};
+use lalr::grammar::Terminal;
+use lalr::prelude::*;
+use lalr::runtime::CompressedSource;
+use lalr_service::{
+    DocVerdict, GrammarFormat, ParseTarget, Request, Response, Service, ServiceConfig,
+};
+
+/// Dense table for `grammar`, or `None` when it has LALR(1) conflicts.
+fn conflict_free_table(grammar: &Grammar) -> Option<ParseTable> {
+    let lr0 = Lr0Automaton::build(grammar);
+    let analysis = LalrAnalysis::compute(grammar, &lr0);
+    if !analysis.conflicts(grammar, &lr0).is_empty() {
+        return None;
+    }
+    Some(build_table(
+        grammar,
+        &lr0,
+        analysis.lookaheads(),
+        TableOptions::default(),
+    ))
+}
+
+/// Service-convention tokens: text = terminal name, offset = token
+/// index. Identical to what the daemon's lane does with the document.
+fn tokens_for(sentence: &[Terminal], grammar: &Grammar) -> Vec<Token> {
+    sentence
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| Token::new(t.index() as u32, grammar.terminal_name(t), i))
+        .collect()
+}
+
+/// The same sentence as a service document: space-separated names.
+fn doc_for(sentence: &[Terminal], grammar: &Grammar) -> String {
+    sentence
+        .iter()
+        .map(|&t| grammar.terminal_name(t))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// One batched parse call; panics on a non-parse response.
+fn call_parse(service: &Service, grammar: &str, documents: &[String]) -> Vec<DocVerdict> {
+    let response = service.call(
+        Request::Parse {
+            target: ParseTarget::Text {
+                grammar: grammar.to_string(),
+                format: GrammarFormat::Native,
+            },
+            documents: documents.to_vec(),
+            recover: false,
+            sync: Vec::new(),
+        },
+        None,
+    );
+    match response {
+        Response::Parse(summary) => summary.docs,
+        other => panic!("parse request failed: {other:?}"),
+    }
+}
+
+/// Asserts one document decides identically on all three lanes.
+fn check_document(
+    name: &str,
+    grammar: &Grammar,
+    table: &ParseTable,
+    source: &CompressedSource<'_>,
+    sentence: &[Terminal],
+    verdict: &DocVerdict,
+) {
+    let toks = tokens_for(sentence, grammar);
+    let dense = Parser::new(table).parse(toks.clone());
+    let compressed = Parser::new(source).parse(toks);
+    match (&dense, &compressed) {
+        (Ok(d), Ok(c)) => {
+            let sexpr = d.to_sexpr(table);
+            assert_eq!(sexpr, c.to_sexpr(table), "{name}: tree shape diverged");
+            assert_eq!(d.leaf_count(), c.leaf_count(), "{name}");
+            assert_eq!(d.node_count(), c.node_count(), "{name}");
+            assert!(verdict.accepted, "{name}: service rejected a valid doc");
+            assert_eq!(verdict.leaves, d.leaf_count() as u64, "{name}");
+            assert_eq!(verdict.nodes, d.node_count() as u64, "{name}");
+            assert_eq!(verdict.tree.as_deref(), Some(sexpr.as_str()), "{name}");
+        }
+        (Err(d), Err(c)) => {
+            // Dense vs compressed: same position and offending token.
+            // The expected *set* may differ — default reductions land
+            // the compressed driver in a different state before it
+            // detects the error on the same lookahead.
+            assert_eq!(d.offset, c.offset, "{name}: error position diverged");
+            assert_eq!(
+                d.found.as_ref().map(|t| t.text()),
+                c.found.as_ref().map(|t| t.text()),
+                "{name}"
+            );
+            assert!(!verdict.accepted, "{name}: service accepted a bad doc");
+            let err = verdict.error.as_ref().expect("rejected verdict has error");
+            assert_eq!(err.offset, d.offset as u64, "{name}: service offset");
+            assert_eq!(err.expected, d.expected, "{name}: service expected set");
+            assert_eq!(
+                err.found.as_deref(),
+                d.found.as_ref().map(|t| t.text()),
+                "{name}"
+            );
+        }
+        other => panic!("{name}: dense/compressed verdicts diverged: {other:?}"),
+    }
+}
+
+#[test]
+fn valid_sentences_parse_identically_on_all_three_lanes() {
+    let service = Service::new(ServiceConfig::default());
+    let mut checked = 0;
+    for entry in lalr::corpus::all_entries() {
+        let grammar = entry.grammar();
+        let Some(table) = conflict_free_table(&grammar) else {
+            continue;
+        };
+        let compressed = CompressedTable::from_dense(&table);
+        let source = CompressedSource::new(&compressed, &table);
+        let sentences = generate_many(&grammar, 0xD1FF, 24, 30);
+        if sentences.is_empty() {
+            continue;
+        }
+        let docs: Vec<String> = sentences.iter().map(|s| doc_for(s, &grammar)).collect();
+        let verdicts = call_parse(&service, entry.source, &docs);
+        assert_eq!(verdicts.len(), docs.len(), "{}: batch length", entry.name);
+        for (sentence, verdict) in sentences.iter().zip(&verdicts) {
+            check_document(entry.name, &grammar, &table, &source, sentence, verdict);
+            assert!(
+                verdict.accepted,
+                "{}: generated sentence rejected: {verdict:?}",
+                entry.name
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 5, "too few conflict-free grammars: {checked}");
+}
+
+#[test]
+fn mutated_sentences_decide_identically_on_all_three_lanes() {
+    let service = Service::new(ServiceConfig::default());
+    let mut rejected_somewhere = 0usize;
+    for entry in lalr::corpus::all_entries() {
+        let grammar = entry.grammar();
+        let Some(table) = conflict_free_table(&grammar) else {
+            continue;
+        };
+        let compressed = CompressedTable::from_dense(&table);
+        let source = CompressedSource::new(&compressed, &table);
+        let sentences = generate_many(&grammar, 0xD1FF, 12, 30);
+        let pairs = mutate_many(&grammar, &sentences, 0xBAD5EED, 24);
+        if pairs.is_empty() {
+            continue;
+        }
+        let docs: Vec<String> = pairs.iter().map(|(_, m)| doc_for(m, &grammar)).collect();
+        let verdicts = call_parse(&service, entry.source, &docs);
+        for ((_, mutant), verdict) in pairs.iter().zip(&verdicts) {
+            check_document(entry.name, &grammar, &table, &source, mutant, verdict);
+            if !verdict.accepted {
+                rejected_somewhere += 1;
+            }
+        }
+    }
+    // Mutation is not guaranteed to leave the language, but corpus-wide
+    // it overwhelmingly does; a harness where nothing ever gets rejected
+    // would be vacuous.
+    assert!(
+        rejected_somewhere >= 20,
+        "mutation harness is vacuous: only {rejected_somewhere} rejections"
+    );
+}
+
+#[test]
+fn fingerprint_target_replays_the_batch_from_the_cache() {
+    let service = Service::new(ServiceConfig::default());
+    let entry = lalr::corpus::by_name("expr").expect("expr in corpus");
+    let grammar = entry.grammar();
+    let sentences = generate_many(&grammar, 0xFEED, 8, 30);
+    let docs: Vec<String> = sentences.iter().map(|s| doc_for(s, &grammar)).collect();
+
+    let by_text = match service.call(
+        Request::Parse {
+            target: ParseTarget::Text {
+                grammar: entry.source.to_string(),
+                format: GrammarFormat::Native,
+            },
+            documents: docs.clone(),
+            recover: false,
+            sync: Vec::new(),
+        },
+        None,
+    ) {
+        Response::Parse(summary) => summary,
+        other => panic!("{other:?}"),
+    };
+
+    let fp = lalr_service::fingerprint::parse_fingerprint(&by_text.fingerprint)
+        .expect("well-formed fingerprint");
+    let by_fp = match service.call(
+        Request::Parse {
+            target: ParseTarget::Fingerprint(fp),
+            documents: docs,
+            recover: false,
+            sync: Vec::new(),
+        },
+        None,
+    ) {
+        Response::Parse(summary) => summary,
+        other => panic!("{other:?}"),
+    };
+
+    assert!(
+        by_fp.cached,
+        "fingerprint target is a cache hit by definition"
+    );
+    assert_eq!(by_fp.fingerprint, by_text.fingerprint);
+    assert_eq!(
+        by_fp.docs, by_text.docs,
+        "verdicts must not depend on the target form"
+    );
+
+    let stats = service.stats();
+    assert_eq!(stats.parse.batches, 2);
+    assert_eq!(
+        stats.parse.resolutions, 2,
+        "exactly one artifact resolution per batch"
+    );
+    assert_eq!(stats.parse.documents, 2 * by_text.docs.len() as u64);
+}
