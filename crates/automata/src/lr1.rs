@@ -243,9 +243,9 @@ pub fn closure1(
                     }
                 }
                 None => {
-                    let mut la = BitSet::new(n_terms);
-                    la.union_with(&look);
-                    las.insert(fresh, la);
+                    // `look` is already n_terms wide; cloning it skips
+                    // the zero-row union pass.
+                    las.insert(fresh, look.clone());
                     work.push(fresh);
                 }
             }

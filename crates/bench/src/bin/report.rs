@@ -44,6 +44,10 @@ fn main() {
         println!("{}", report::table9());
         printed = true;
     }
+    if matches!(which, "all" | "table12") {
+        println!("{}", report::table12());
+        printed = true;
+    }
     if matches!(which, "all" | "figure1") {
         println!("{}", report::figure1(runs));
         printed = true;
@@ -54,8 +58,8 @@ fn main() {
     }
     if !printed {
         eprintln!(
-            "usage: report [all|table1|table2|table3|table4|table5|table7|table9|figure1|figure2] \
-             [runs]"
+            "usage: report [all|table1|table2|table3|table4|table5|table7|table9|table12|\
+             figure1|figure2] [runs]"
         );
         std::process::exit(2);
     }

@@ -28,6 +28,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::kernels::{self, RowLayout};
 use crate::{words_for, BitMatrix, BITS};
 
 /// A `rows × cols` bit matrix of relaxed [`AtomicUsize`] words.
@@ -89,10 +90,23 @@ impl AtomicBitMatrix {
         self.cols
     }
 
+    /// The [`RowLayout`] this matrix's rows dispatch under.
+    #[inline]
+    pub fn layout(&self) -> RowLayout {
+        RowLayout::select(self.cols)
+    }
+
     #[inline]
     fn row_base(&self, row: usize) -> usize {
         assert!(row < self.rows, "row {row} out of range 0..{}", self.rows);
         row * self.row_words
+    }
+
+    /// The atomic words of `row`.
+    #[inline]
+    fn row_slice(&self, row: usize) -> &[AtomicUsize] {
+        let base = self.row_base(row);
+        &self.words[base..base + self.row_words]
     }
 
     /// Sets bit `(row, col)`, returning `true` if it was newly set.
@@ -131,19 +145,11 @@ impl AtomicBitMatrix {
     ///
     /// Panics if `row` is out of range or `src` is shorter than a row.
     pub fn fetch_or_row(&self, row: usize, src: &[usize]) -> bool {
-        let base = self.row_base(row);
         assert!(
             src.len() >= self.row_words,
             "source slice shorter than a row"
         );
-        let mut changed = false;
-        for (i, &s) in src.iter().take(self.row_words).enumerate() {
-            if s != 0 {
-                let prev = self.words[base + i].fetch_or(s, Ordering::Relaxed);
-                changed |= prev | s != prev;
-            }
-        }
-        changed
+        kernels::fetch_or_atomic(self.row_slice(row), &src[..self.row_words])
     }
 
     /// `row[dst] |= row[src]`; returns `true` if `dst` changed.
@@ -159,17 +165,7 @@ impl AtomicBitMatrix {
         if dst == src {
             return false;
         }
-        let sb = self.row_base(src);
-        let db = self.row_base(dst);
-        let mut changed = false;
-        for i in 0..self.row_words {
-            let s = self.words[sb + i].load(Ordering::Relaxed);
-            if s != 0 {
-                let prev = self.words[db + i].fetch_or(s, Ordering::Relaxed);
-                changed |= prev | s != prev;
-            }
-        }
-        changed
+        kernels::fetch_or_atomic_rows(self.row_slice(dst), self.row_slice(src))
     }
 
     /// `row[dst] := row[src]` (relaxed load + store per word).
@@ -185,12 +181,7 @@ impl AtomicBitMatrix {
         if dst == src {
             return;
         }
-        let sb = self.row_base(src);
-        let db = self.row_base(dst);
-        for i in 0..self.row_words {
-            let s = self.words[sb + i].load(Ordering::Relaxed);
-            self.words[db + i].store(s, Ordering::Relaxed);
-        }
+        kernels::copy_atomic_rows(self.row_slice(dst), self.row_slice(src));
     }
 
     /// Copies the words of `row` into `buf`.
@@ -199,11 +190,8 @@ impl AtomicBitMatrix {
     ///
     /// Panics if `row` is out of range or `buf` is shorter than a row.
     pub fn read_row_into(&self, row: usize, buf: &mut [usize]) {
-        let base = self.row_base(row);
         assert!(buf.len() >= self.row_words, "buffer shorter than a row");
-        for (i, b) in buf.iter_mut().take(self.row_words).enumerate() {
-            *b = self.words[base + i].load(Ordering::Relaxed);
-        }
+        kernels::read_atomic(self.row_slice(row), &mut buf[..self.row_words]);
     }
 }
 

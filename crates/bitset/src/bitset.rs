@@ -3,7 +3,7 @@
 use std::fmt;
 use std::ops::{BitAnd, BitOr, BitXor, Sub};
 
-use crate::{words_for, BITS};
+use crate::{kernels, words_for, BITS};
 
 /// A dense set of `usize` indices backed by machine words.
 ///
@@ -77,7 +77,7 @@ impl BitSet {
     /// Number of set bits.
     #[inline]
     pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernels::popcount(&self.words)
     }
 
     /// Inserts `idx`, returning `true` if it was newly inserted.
@@ -139,7 +139,9 @@ impl BitSet {
     ///
     /// This is the hot operation of the Digraph traversal, so it reports
     /// whether anything was added (used by worklist algorithms to detect
-    /// fixpoints without a separate comparison pass).
+    /// fixpoints without a separate comparison pass). Delegates to
+    /// [`kernels::or_into`], which picks the fixed-width or wide lane by
+    /// row width.
     ///
     /// # Panics
     ///
@@ -147,12 +149,8 @@ impl BitSet {
     #[inline]
     pub fn union_with(&mut self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "universe mismatch");
-        let mut changed = false;
-        for (a, &b) in self.words.iter_mut().zip(&other.words) {
-            let next = *a | b;
-            changed |= next != *a;
-            *a = next;
-        }
+        let changed = kernels::or_into(&mut self.words, &other.words);
+        kernels::debug_assert_tail_clear(&self.words, self.len);
         changed
     }
 
@@ -195,10 +193,7 @@ impl BitSet {
     /// Panics if the universes differ.
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "universe mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(&a, &b)| a & b == 0)
+        kernels::is_disjoint(&self.words, &other.words)
     }
 
     /// Returns `true` if every element of `self` is in `other`.
@@ -208,10 +203,7 @@ impl BitSet {
     /// Panics if the universes differ.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "universe mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(&a, &b)| a & !b == 0)
+        kernels::is_subset(&self.words, &other.words)
     }
 
     /// Iterates over the set bits in increasing order.

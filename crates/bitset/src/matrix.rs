@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::kernels::{self, RowLayout};
 use crate::shard::RowsMut;
 use crate::{words_for, BITS};
 
@@ -54,6 +55,14 @@ impl BitMatrix {
     #[inline]
     pub fn cols(&self) -> usize {
         self.cols
+    }
+
+    /// The [`RowLayout`] this matrix's rows dispatch under, derived from
+    /// the column universe (not stored — the matrix stays a plain
+    /// comparable/hashable/serializable value).
+    #[inline]
+    pub fn layout(&self) -> RowLayout {
+        RowLayout::select(self.cols)
     }
 
     #[inline]
@@ -128,11 +137,8 @@ impl BitMatrix {
             (&mut a[rs.clone()], &mut b[..self.row_words], false)
         };
         let (dst_row, src_row) = if dst_first { (lo, hi) } else { (hi, lo) };
-        for (d, &s) in dst_row.iter_mut().zip(src_row.iter()) {
-            let next = *d | s;
-            changed |= next != *d;
-            *d = next;
-        }
+        changed |= kernels::or_into(dst_row, src_row);
+        kernels::debug_assert_tail_clear(dst_row, self.cols);
         changed
     }
 
@@ -143,12 +149,8 @@ impl BitMatrix {
     /// Panics if `row` is out of range or `src` is shorter than a row.
     pub fn union_row_with_words(&mut self, row: usize, src: &[usize]) -> bool {
         let r = self.row_range(row);
-        let mut changed = false;
-        for (d, &s) in self.words[r].iter_mut().zip(src) {
-            let next = *d | s;
-            changed |= next != *d;
-            *d = next;
-        }
+        let changed = kernels::or_into(&mut self.words[r.clone()], src);
+        kernels::debug_assert_tail_clear(&self.words[r], self.cols);
         changed
     }
 
@@ -182,8 +184,16 @@ impl BitMatrix {
         }
         let rs = self.row_range(src);
         let rd = self.row_range(dst);
-        let tmp: Vec<usize> = self.words[rs].to_vec();
-        self.words[rd].copy_from_slice(&tmp);
+        // Split into disjoint slices so the copy kernel runs without a
+        // temporary row allocation.
+        let (dst_row, src_row) = if rd.start < rs.start {
+            let (a, b) = self.words.split_at_mut(rs.start);
+            (&mut a[rd], &b[..self.row_words])
+        } else {
+            let (a, b) = self.words.split_at_mut(rd.start);
+            (&mut b[..self.row_words], &a[rs])
+        };
+        kernels::copy(dst_row, src_row);
     }
 
     /// Clears every bit of `row`.
@@ -204,10 +214,7 @@ impl BitMatrix {
     ///
     /// Panics if `row` is out of range.
     pub fn row_count(&self, row: usize) -> usize {
-        self.row_words(row)
-            .iter()
-            .map(|w| w.count_ones() as usize)
-            .sum()
+        kernels::popcount(self.row_words(row))
     }
 
     /// Returns `true` if `row` has no set bits.

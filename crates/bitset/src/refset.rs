@@ -3,6 +3,7 @@
 use std::fmt;
 use std::ops::BitAnd;
 
+use crate::kernels::{self, RowLayout};
 use crate::{words_for, BitSet, BITS};
 
 /// A borrowed, read-only view of a bit set: a word slice plus a universe
@@ -66,7 +67,13 @@ impl<'a> BitSetRef<'a> {
     /// Number of set bits.
     #[inline]
     pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernels::popcount(self.words)
+    }
+
+    /// The [`RowLayout`] this view's words dispatch under.
+    #[inline]
+    pub fn layout(&self) -> RowLayout {
+        RowLayout::select(self.len)
     }
 
     /// Tests membership. Out-of-range indices are simply absent.
@@ -108,10 +115,7 @@ impl<'a> BitSetRef<'a> {
     /// Panics if the universes differ.
     pub fn is_subset(&self, other: BitSetRef<'_>) -> bool {
         assert_eq!(self.len, other.len, "universe mismatch");
-        self.words
-            .iter()
-            .zip(other.words)
-            .all(|(&a, &b)| a & !b == 0)
+        kernels::is_subset(self.words, other.words)
     }
 
     /// Returns `true` if the sets share no element.
@@ -121,10 +125,7 @@ impl<'a> BitSetRef<'a> {
     /// Panics if the universes differ.
     pub fn is_disjoint(&self, other: BitSetRef<'_>) -> bool {
         assert_eq!(self.len, other.len, "universe mismatch");
-        self.words
-            .iter()
-            .zip(other.words)
-            .all(|(&a, &b)| a & b == 0)
+        kernels::is_disjoint(self.words, other.words)
     }
 
     /// Copies the view into an owned [`BitSet`].

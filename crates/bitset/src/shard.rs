@@ -18,7 +18,7 @@
 //! * Sending each band to a different scoped thread is sound: `RowsMut`
 //!   is `Send` because it is just a `&mut [usize]` plus bookkeeping.
 
-use crate::BITS;
+use crate::{kernels, BITS};
 
 /// A mutable view of a contiguous band of [`BitMatrix`](crate::BitMatrix)
 /// rows, addressed by global row index.
@@ -134,12 +134,8 @@ impl<'a> RowsMut<'a> {
     /// Panics if `row` is outside the band or `src` is shorter than a row.
     pub fn union_row_with_words(&mut self, row: usize, src: &[usize]) -> bool {
         let r = self.row_range(row);
-        let mut changed = false;
-        for (d, &s) in self.words[r].iter_mut().zip(src) {
-            let next = *d | s;
-            changed |= next != *d;
-            *d = next;
-        }
+        let changed = kernels::or_into(&mut self.words[r.clone()], src);
+        kernels::debug_assert_tail_clear(&self.words[r], self.cols);
         changed
     }
 
@@ -150,7 +146,9 @@ impl<'a> RowsMut<'a> {
     /// Panics if `row` is outside the band or `src` has the wrong length.
     pub fn copy_row_from_words(&mut self, row: usize, src: &[usize]) {
         let r = self.row_range(row);
-        self.words[r].copy_from_slice(src);
+        assert_eq!(src.len(), self.row_words, "source has the wrong length");
+        kernels::copy(&mut self.words[r.clone()], src);
+        kernels::debug_assert_tail_clear(&self.words[r], self.cols);
     }
 }
 

@@ -286,7 +286,7 @@ impl Inner {
                 // 53 high bits → a uniform fraction in [0, 1).
                 ((r >> 11) as f64) * (1.0 / 9_007_199_254_740_992.0) < *p
             }
-            Trigger::EveryNth(k) => n % k == 0,
+            Trigger::EveryNth(k) => n.is_multiple_of(*k),
             Trigger::OnHits(list) => list.binary_search(&n).is_ok(),
         }
     }

@@ -201,6 +201,36 @@ fn cmd_analyze(args: &[String], par: &Parallelism) -> Result<String, CliError> {
             ds.scc_count, ds.nontrivial_sccs, ds.max_scc_size, ds.cyclic_nodes
         );
     }
+    let la = analysis.lookaheads();
+    let layout = la.layout();
+    let _ = writeln!(
+        out,
+        "row layout: {}  ({} terminals, {} word(s)/row, wide lane: {})",
+        layout.name(),
+        la.terminal_count(),
+        layout.words(),
+        lalr_core::kernel_dispatch_name(),
+    );
+    // Cardinality histogram of the look-ahead sets: how full the rows
+    // the kernels sweep actually are.
+    let mut buckets = [0usize; 6];
+    for (_, set) in la.iter() {
+        let c = set.count();
+        let b = match c {
+            0 => 0,
+            1 => 1,
+            2..=3 => 2,
+            4..=7 => 3,
+            8..=15 => 4,
+            _ => 5,
+        };
+        buckets[b] += 1;
+    }
+    let _ = writeln!(
+        out,
+        "la-set terminal counts: 0:{} 1:{} 2-3:{} 4-7:{} 8-15:{} 16+:{}",
+        buckets[0], buckets[1], buckets[2], buckets[3], buckets[4], buckets[5]
+    );
     if analysis.grammar_not_lr_k() {
         let _ = writeln!(out, "NOT LR(k) for any k: the reads relation is cyclic");
     }
@@ -1076,6 +1106,25 @@ mod tests {
         assert!(out.contains("digraph reads"), "{out}");
         assert!(out.contains("digraph includes"), "{out}");
         assert!(out.contains("max-scc"), "{out}");
+    }
+
+    #[test]
+    fn analyze_reports_row_layout_and_la_histogram() {
+        // expr has 6 terminals (incl. $) → the fixed one-word lane.
+        let out = run_strs(&["analyze", "expr"]).unwrap();
+        assert!(out.contains("row layout: fixed-64"), "{out}");
+        assert!(out.contains("la-set terminal counts:"), "{out}");
+        // c_subset has 82 → the two-word lane.
+        let wide = run_strs(&["analyze", "c_subset"]).unwrap();
+        assert!(wide.contains("row layout: fixed-128"), "{wide}");
+    }
+
+    #[test]
+    fn profile_reports_kernel_counter_section() {
+        let out = run_strs(&["profile", "expr"]).unwrap();
+        assert!(out.contains("kernel counters"), "{out}");
+        assert!(out.contains("kernel.la.batch_ops"), "{out}");
+        assert!(out.contains("kernel.row_words = 1"), "{out}");
     }
 
     #[test]

@@ -172,16 +172,20 @@ impl LalrAnalysis {
             relations.reduction_index().clone(),
             grammar.terminal_count(),
         );
+        // Collect the lookback edges as (reduction row, Follow row) ops
+        // and hand them to the batched kernel lane, which tiles the LA
+        // matrix to L2 and loads each hot Follow row once per tile (and
+        // fans out across threads when the op list is large enough).
         let mut la_reductions = 0u64;
-        let mut la_unions = 0u64;
+        let mut la_ops: Vec<(u32, u32)> = Vec::new();
         for (rid, transitions) in relations.lookback_entries() {
             la.touch_id(rid);
             la_reductions += 1;
-            la_unions += transitions.len() as u64;
             for &t in transitions {
-                la.union_words(rid, follow.row_words(t.index()));
+                la_ops.push((rid.index() as u32, t.index() as u32));
             }
         }
+        let la_unions = la.union_rows_batch(&mut la_ops, &follow, threads);
         // The augmented production has no lookback (no transition ever reads
         // `<start>`); its "reduction" is the accept action on $.
         la.insert(
@@ -192,6 +196,8 @@ impl LalrAnalysis {
         if rec.is_enabled() {
             rec.add("la.reduction_points", la_reductions);
             rec.add("la.or_ops", la_unions);
+            rec.add("kernel.la.batch_ops", la_unions);
+            rec.add("kernel.row_words", la.layout().words() as u64);
         }
         drop(la_span);
 

@@ -59,6 +59,7 @@ pub use classify::{
 pub use conflicts::{find_conflicts, Conflict, ConflictKind};
 pub use engine::LalrAnalysis;
 pub use explain::{explain_conflict, viable_prefix};
+pub use lalr_bitset::{dispatch_name as kernel_dispatch_name, simd_compiled, RowLayout};
 pub use lalr_digraph::DigraphStats;
 pub use lookahead::LookaheadSets;
 pub use nqlalr::NqlalrAnalysis;

@@ -120,9 +120,21 @@ pub fn propagation_recorded(
             if la[k].is_empty() {
                 continue;
             }
-            let src = la[k].clone();
             for &t in &links[k] {
-                changed |= la[t].union_with(&src);
+                if t == k {
+                    continue;
+                }
+                // Split-borrow the source and destination sets so the
+                // union kernel runs without cloning the source each
+                // pass.
+                let (dst, src) = if t > k {
+                    let (lo, hi) = la.split_at_mut(t);
+                    (&mut hi[0], &lo[k])
+                } else {
+                    let (lo, hi) = la.split_at_mut(k);
+                    (&mut lo[t], &hi[0])
+                };
+                changed |= dst.union_with(src);
             }
         }
     }

@@ -33,7 +33,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 
-use lalr_bitset::{AtomicBitMatrix, BitMatrix};
+use lalr_bitset::{tile_rows, AtomicBitMatrix, BitMatrix, RowBuf};
 use lalr_obs::Recorder;
 
 use crate::{digraph, digraph_counting, tarjan_scc, DigraphStats, Graph, SccInfo, TraversalCounts};
@@ -252,6 +252,21 @@ pub fn digraph_with_schedule(
 /// The level-scheduled engine shared by the plain and recorded entry
 /// points. With the null recorder the tallies are never touched and no
 /// spans are emitted, so the plain path's cost is unchanged.
+///
+/// # Cache-aware tiling
+///
+/// Each worker sweeps its share of a level in row-band tiles sized to
+/// L2 (see [`tile_rows`]). Within a tile the successor unions of all
+/// components are collected as `(source row, representative row)` ops,
+/// sorted by source and deduplicated, then executed run-by-run: the
+/// source row is read **once** into a per-worker scratch row
+/// ([`RowBuf`] — stack-inline for fixed-width layouts) and OR-ed into
+/// every destination that wants it. A hub row feeding many components
+/// of a tile is therefore loaded once per tile instead of once per
+/// edge, and the tile's destination rows stay L2-resident across the
+/// whole batch. Ordering is immaterial — every op ORs a row finalized
+/// in a strictly lower level, and OR is commutative and monotone — so
+/// the result is bit-identical to the untiled sweep.
 fn schedule_inner(
     graph: &Graph,
     sets: &mut BitMatrix,
@@ -271,44 +286,77 @@ fn schedule_inner(
     }
     let comp = schedule.scc();
     let atomic = AtomicBitMatrix::from_matrix(sets);
+    let layout = atomic.layout();
+    let tile = tile_rows(layout.words());
     let workers = threads.max(1);
     let enabled = rec.is_enabled();
     let unions = AtomicU64::new(0);
     let assigns = AtomicU64::new(0);
+    let src_loads = AtomicU64::new(0);
 
-    // One closure per component: union the members' rows and every
-    // external successor's (already-final) row into the representative,
-    // then scatter the representative to all members.
-    let process = |c: usize| {
-        let members = &schedule.members[c];
-        let rep = members[0];
+    // One closure per tile of same-level components (all owned by the
+    // calling worker): union each component's member rows into its
+    // representative, batch the external successor unions across the
+    // whole tile, then scatter representatives back to members.
+    let process_tile = |comps: &[u32], scratch: &mut RowBuf, ops: &mut Vec<(u32, u32)>| {
         let mut local_unions = 0u64;
-        for &m in &members[1..] {
-            atomic.union_row_from(rep, m);
-            local_unions += 1;
-        }
-        for &x in members {
-            for &y in graph.successors(x) {
-                if comp.component(y as usize) != c {
-                    atomic.union_row_from(rep, y as usize);
-                    local_unions += 1;
+        let mut local_assigns = 0u64;
+        let mut local_loads = 0u64;
+        ops.clear();
+        for &c in comps {
+            let c = c as usize;
+            let members = &schedule.members[c];
+            let rep = members[0];
+            for &m in &members[1..] {
+                atomic.union_row_from(rep, m);
+                local_unions += 1;
+            }
+            for &x in members {
+                for &y in graph.successors(x) {
+                    if comp.component(y as usize) != c {
+                        ops.push((y, rep as u32));
+                    }
                 }
             }
         }
-        for &m in &members[1..] {
-            atomic.copy_row_from(m, rep);
+        // Sort by source row and drop duplicate (source, rep) pairs so
+        // each distinct source is loaded once and OR-ed once per
+        // destination.
+        ops.sort_unstable();
+        ops.dedup();
+        let mut i = 0;
+        while i < ops.len() {
+            let src = ops[i].0;
+            atomic.read_row_into(src as usize, scratch.as_mut_slice());
+            local_loads += 1;
+            while i < ops.len() && ops[i].0 == src {
+                atomic.fetch_or_row(ops[i].1 as usize, scratch.as_slice());
+                local_unions += 1;
+                i += 1;
+            }
+        }
+        for &c in comps {
+            let members = &schedule.members[c as usize];
+            let rep = members[0];
+            for &m in &members[1..] {
+                atomic.copy_row_from(m, rep);
+            }
+            local_assigns += members.len() as u64 - 1;
         }
         if enabled {
             unions.fetch_add(local_unions, Ordering::Relaxed);
-            assigns.fetch_add(members.len() as u64 - 1, Ordering::Relaxed);
+            assigns.fetch_add(local_assigns, Ordering::Relaxed);
+            src_loads.fetch_add(local_loads, Ordering::Relaxed);
         }
     };
 
     if workers == 1 {
+        let mut scratch = RowBuf::for_layout(layout);
+        let mut ops: Vec<(u32, u32)> = Vec::new();
         for level in schedule.levels() {
             let span = enabled.then(|| lalr_obs::span(rec, "digraph.level"));
-            for &c in level {
-                process(c as usize);
+            for chunk in level.chunks(tile) {
+                process_tile(chunk, &mut scratch, &mut ops);
             }
             drop(span);
         }
@@ -317,16 +365,21 @@ fn schedule_inner(
         std::thread::scope(|scope| {
             for tid in 0..workers {
                 let barrier = &barrier;
-                let process = &process;
+                let process_tile = &process_tile;
                 scope.spawn(move || {
+                    let mut scratch = RowBuf::for_layout(layout);
+                    let mut ops: Vec<(u32, u32)> = Vec::new();
+                    let mut mine: Vec<u32> = Vec::new();
                     for level in schedule.levels() {
                         // Worker 0 brackets the whole frontier: its exit
                         // lands after the barrier, when every worker has
                         // finished the level.
                         let span =
                             (enabled && tid == 0).then(|| lalr_obs::span(rec, "digraph.level"));
-                        for idx in (tid..level.len()).step_by(workers) {
-                            process(level[idx] as usize);
+                        mine.clear();
+                        mine.extend((tid..level.len()).step_by(workers).map(|i| level[i]));
+                        for chunk in mine.chunks(tile) {
+                            process_tile(chunk, &mut scratch, &mut ops);
                         }
                         // The wait publishes this level's rows to every
                         // worker before any of them starts the next level.
@@ -343,6 +396,11 @@ fn schedule_inner(
         unions: unions.into_inner(),
         assigns: assigns.into_inner(),
     };
+    if enabled {
+        rec.add("kernel.digraph.src_loads", src_loads.into_inner());
+        rec.add("kernel.digraph.atomic_or", report.counts.unions);
+        rec.add("kernel.digraph.atomic_copy", report.counts.assigns);
+    }
     report
 }
 

@@ -141,9 +141,23 @@ impl PhaseReport {
                 );
             }
         }
-        if !self.counters.is_empty() {
+        // `kernel.*` counters (emitted by the bitset kernel lanes in the
+        // digraph sweep and LA batch) get their own section so profile
+        // readers can eyeball kernel work without scanning the pipeline
+        // counters; both lists stay key-sorted and deterministic.
+        let (kernel, pipeline): (Vec<_>, Vec<_>) = self
+            .counters
+            .iter()
+            .partition(|(name, _)| name.starts_with("kernel."));
+        if !pipeline.is_empty() {
             let _ = writeln!(out, "\ncounters");
-            for (name, value) in &self.counters {
+            for (name, value) in pipeline {
+                let _ = writeln!(out, "  {name} = {value}");
+            }
+        }
+        if !kernel.is_empty() {
+            let _ = writeln!(out, "\nkernel counters");
+            for (name, value) in kernel {
                 let _ = writeln!(out, "  {name} = {value}");
             }
         }

@@ -380,7 +380,7 @@ pub enum Response {
     /// Parse verdicts, one per document in the batch.
     Parse(ParseBatchSummary),
     /// Statistics snapshot.
-    Stats(StatsSnapshot),
+    Stats(Box<StatsSnapshot>),
     /// Prometheus-style text exposition.
     Metrics(String),
     /// Shutdown acknowledged.
@@ -705,7 +705,7 @@ impl Inner {
                 Ok(summary) => Response::Parse(summary),
                 Err(e) => Response::Error(e),
             },
-            Request::Stats => Response::Stats(self.snapshot()),
+            Request::Stats => Response::Stats(Box::new(self.snapshot())),
             Request::Metrics => Response::Metrics(crate::metrics::render(&self.snapshot())),
             Request::Shutdown => Response::Shutdown,
         }
