@@ -23,11 +23,21 @@
 //! resolution amortized over the whole batch). The headline number is
 //! documents/second; docs-per-resolution shows the amortization.
 //!
+//! With `--restart` (EXPERIMENTS.md Table 13) the harness measures the
+//! warm-restart story: a daemon compiles the corpus cold over TCP,
+//! answers repeats from the in-memory cache, is stopped, and a fresh
+//! daemon over the same configuration answers the same fingerprints
+//! again. Without a persistent store the restarted daemon recompiles
+//! everything; with `--store` semantics it serves every repeat from
+//! disk. Reported per phase: latency percentiles plus the
+//! restart-to-first-warm-reply wall time.
+//!
 //! ```text
 //! cargo run --release -p lalr-bench --bin loadgen              # 8 threads × 40 requests
 //! cargo run --release -p lalr-bench --bin loadgen -- 4 100     # 4 threads × 100 requests
 //! cargo run --release -p lalr-bench --bin loadgen -- --chaos   # fault-rate sweep over TCP
 //! cargo run --release -p lalr-bench --bin loadgen -- --parse   # batched-parse sweep
+//! cargo run --release -p lalr-bench --bin loadgen -- --restart # warm-restart latency
 //! ```
 
 use std::sync::Arc;
@@ -453,13 +463,191 @@ fn parse_main(threads: usize, passes: usize) {
     }
 }
 
+/// One daemon lifetime for the `--restart` harness: the epoll front
+/// end where the platform supports it, the thread-per-connection
+/// reference otherwise — both speak the same wire protocol, so the
+/// measurement code never cares which is running.
+enum RunningFront {
+    Threaded(Daemon),
+    Event(lalr_service::EventDaemon),
+}
+
+impl RunningFront {
+    fn start(workers: usize, store_dir: Option<std::path::PathBuf>) -> RunningFront {
+        let config = DaemonConfig {
+            addr: "127.0.0.1:0".to_string(),
+            service: ServiceConfig {
+                workers: Parallelism::new(workers),
+                store_dir,
+                ..ServiceConfig::default()
+            },
+            ..DaemonConfig::default()
+        };
+        if lalr_net::supported() {
+            RunningFront::Event(lalr_service::EventDaemon::start(config, 1).expect("bind loopback"))
+        } else {
+            RunningFront::Threaded(Daemon::start(config).expect("bind loopback"))
+        }
+    }
+
+    fn addr(&self) -> String {
+        match self {
+            RunningFront::Threaded(d) => d.addr().to_string(),
+            RunningFront::Event(d) => d.addr().to_string(),
+        }
+    }
+
+    fn finish(self) {
+        match self {
+            RunningFront::Threaded(d) => {
+                d.stop();
+                d.join();
+            }
+            RunningFront::Event(d) => {
+                d.stop();
+                d.join();
+            }
+        }
+    }
+}
+
+/// Pulls an integer counter (`"key":N`) out of a raw response line.
+fn counter(raw: &str, key: &str) -> u64 {
+    let pattern = format!("\"{key}\":");
+    raw.split(&pattern)
+        .nth(1)
+        .and_then(|rest| {
+            let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+            digits.parse().ok()
+        })
+        .unwrap_or(0)
+}
+
+/// Issues `requests` sequentially over TCP and returns sorted
+/// latencies; counts error replies into `errors`.
+fn timed_pass(addr: &str, requests: &[Request], errors: &mut u64) -> Vec<Duration> {
+    let timeout = Duration::from_secs(30);
+    let mut latencies = Vec::with_capacity(requests.len());
+    for request in requests {
+        let started = Instant::now();
+        match lalr_service::client::call(addr, request, None, timeout) {
+            Ok(reply) if reply.is_ok() => latencies.push(started.elapsed()),
+            _ => *errors += 1,
+        }
+    }
+    latencies.sort_unstable();
+    latencies
+}
+
+/// The Table 13 harness. A single sequential client keeps the latency
+/// numbers clean (no queueing); `workers` only sizes the daemon's pool.
+fn restart_main(workers: usize) {
+    let requests: Vec<Request> = lalr_corpus::all_entries()
+        .iter()
+        .map(|entry| Request::Compile {
+            grammar: entry.source.to_string(),
+            format: GrammarFormat::Native,
+        })
+        .collect();
+    eprintln!(
+        "loadgen --restart: {} corpus compiles per phase, {} front end",
+        requests.len(),
+        if lalr_net::supported() {
+            "event-loop"
+        } else {
+            "thread-per-connection"
+        }
+    );
+
+    println!("| arm | phase | requests | p50 (ms) | p99 (ms) |");
+    println!("|------|-------|---------:|---------:|---------:|");
+    let mut failed = false;
+    for with_store in [false, true] {
+        let arm = if with_store { "store" } else { "no-store" };
+        let dir =
+            std::env::temp_dir().join(format!("lalr-loadgen-restart-{}-{arm}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store_dir = with_store.then(|| dir.clone());
+        let mut errors = 0u64;
+
+        let first = RunningFront::start(workers, store_dir.clone());
+        let addr = first.addr();
+        let cold = timed_pass(&addr, &requests, &mut errors);
+        let hits = timed_pass(&addr, &requests, &mut errors);
+        first.finish();
+
+        // The restart clock starts before the bind: time-to-first-warm
+        // reply includes daemon startup, connect, and the disk load (or
+        // recompile) of the first repeated fingerprint.
+        let restart_started = Instant::now();
+        let second = RunningFront::start(workers, store_dir);
+        let addr = second.addr();
+        let first_reply = timed_pass(&addr, &requests[..1], &mut errors);
+        let time_to_first = restart_started.elapsed();
+        let rest = timed_pass(&addr, &requests[1..], &mut errors);
+        let mut post_restart: Vec<Duration> = first_reply.iter().chain(&rest).copied().collect();
+        post_restart.sort_unstable();
+
+        let stats_raw =
+            lalr_service::client::call(&addr, &Request::Stats, None, Duration::from_secs(10))
+                .map(|r| r.raw)
+                .unwrap_or_default();
+        second.finish();
+
+        for (phase, latencies) in [
+            ("cold compile", &cold),
+            ("in-memory hit", &hits),
+            ("post-restart", &post_restart),
+        ] {
+            println!(
+                "| {arm} | {phase} | {} | {:.3} | {:.3} |",
+                latencies.len(),
+                ms(percentile(latencies, 0.50)),
+                ms(percentile(latencies, 0.99)),
+            );
+        }
+        let compiles = counter(&stats_raw, "compiles");
+        let store_hits = counter(&stats_raw, "store_hits");
+        println!(
+            "| {arm} | restart→first reply | 1 | {:.3} | — |",
+            time_to_first.as_secs_f64() * 1e3
+        );
+        eprintln!(
+            "{arm}: restarted daemon ran {compiles} compiles, {store_hits} store hits, \
+             {errors} errors"
+        );
+
+        failed |= errors > 0;
+        // The whole point of the store arm: the restarted daemon must
+        // answer every repeated fingerprint from disk, not recompile.
+        if with_store && (compiles != 0 || store_hits < requests.len() as u64) {
+            eprintln!("loadgen --restart: store arm recompiled after restart");
+            failed = true;
+        }
+        if !with_store && compiles != requests.len() as u64 {
+            eprintln!("loadgen --restart: no-store arm should recompile everything");
+            failed = true;
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    if failed {
+        eprintln!("loadgen --restart: failed");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let chaos = args.iter().any(|a| a == "--chaos");
     let parse = args.iter().any(|a| a == "--parse");
-    args.retain(|a| a != "--chaos" && a != "--parse");
+    let restart = args.iter().any(|a| a == "--restart");
+    args.retain(|a| a != "--chaos" && a != "--parse" && a != "--restart");
     let threads: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(8);
     let per_thread: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+    if restart {
+        restart_main(threads.min(4));
+        return;
+    }
     if chaos {
         chaos_main(threads, per_thread);
         return;

@@ -16,6 +16,18 @@
 use lalr_bench::alloc_counter::measure;
 use lalr_chaos::{Fault, FaultInjector, FaultPlan, Trigger};
 
+/// Minimum allocation count over several runs of `f`. The counters are
+/// process-global, so rare background activity (libtest bookkeeping,
+/// allocator housekeeping on another thread) lands on whichever region
+/// is open when it happens; that noise is strictly additive, so the
+/// minimum over a few trials is the true cost of the measured path.
+fn min_allocations(trials: usize, mut f: impl FnMut()) -> usize {
+    (0..trials)
+        .map(|_| measure(&mut f).1.allocations)
+        .min()
+        .unwrap_or(0)
+}
+
 #[test]
 fn disabled_and_enabled_failpoint_checks_allocate_nothing() {
     let disabled = FaultInjector::disabled();
@@ -30,25 +42,25 @@ fn disabled_and_enabled_failpoint_checks_allocate_nothing() {
         std::hint::black_box(enabled.at("daemon.read"));
     }
 
-    let ((), off) = measure(|| {
+    let off = min_allocations(5, || {
         for _ in 0..10_000 {
             std::hint::black_box(disabled.at("daemon.read"));
             std::hint::black_box(disabled.at("service.compile"));
         }
     });
     assert_eq!(
-        off.allocations, 0,
+        off, 0,
         "a disabled failpoint check allocated — the Option gate is broken"
     );
 
-    let ((), on) = measure(|| {
+    let on = min_allocations(5, || {
         for _ in 0..10_000 {
             std::hint::black_box(enabled.at("daemon.read"));
             std::hint::black_box(enabled.at("service.compile"));
         }
     });
     assert_eq!(
-        on.allocations, 0,
+        on, 0,
         "an armed failpoint hit allocated — rule matching must stay \
          slice-scan + atomics (Delay(0) and unfired Error rules do not act)"
     );
@@ -62,22 +74,25 @@ fn disabled_injector_is_deterministic_for_a_service_request() {
     use lalr_service::{GrammarFormat, Request, Response, Service, ServiceConfig};
 
     let entry = lalr_corpus::by_name("expr").expect("corpus entry exists");
-    let compile_allocs = || {
-        let config = ServiceConfig {
-            workers: lalr_core::Parallelism::sequential(),
-            ..ServiceConfig::default()
-        };
-        // Allocations are counted process-wide, so run the request on
-        // this thread's service worker and measure only the call.
-        let service = Service::new(config);
-        let warm = service.call(
-            Request::Compile {
-                grammar: entry.source.to_string(),
-                format: GrammarFormat::Native,
-            },
-            None,
-        );
-        assert!(matches!(warm, Response::Compile(_)), "{warm:?}");
+    let config = ServiceConfig {
+        workers: lalr_core::Parallelism::sequential(),
+        ..ServiceConfig::default()
+    };
+    // One long-lived service, measured on this thread: a fresh
+    // `Service::new` per sample spawns worker threads whose startup
+    // allocations race into the measured window (the counters are
+    // process-wide), so the service is built and warmed once and only
+    // the repeat requests are compared.
+    let service = Service::new(config);
+    let warm = service.call(
+        Request::Compile {
+            grammar: entry.source.to_string(),
+            format: GrammarFormat::Native,
+        },
+        None,
+    );
+    assert!(matches!(warm, Response::Compile(_)), "{warm:?}");
+    let classify_allocs = || {
         let (response, stats) = measure(|| {
             service.call(
                 Request::Classify {
@@ -88,13 +103,12 @@ fn disabled_injector_is_deterministic_for_a_service_request() {
             )
         });
         assert!(matches!(response, Response::Classify(_)), "{response:?}");
-        drop(service);
         stats.allocations
     };
 
-    let _ = compile_allocs();
-    let a = compile_allocs();
-    let b = compile_allocs();
+    let _ = classify_allocs();
+    let a = classify_allocs();
+    let b = classify_allocs();
     assert_eq!(
         a, b,
         "identical disabled-injector requests allocated differently — \

@@ -32,6 +32,8 @@
 //! | `service.parse`   | `Panic`, `Delay`, `Error`                        |
 //! | `service.parse.doc` | `Error` (abort the whole batch at a document boundary) |
 //! | `cache.storm`     | `EvictAll`                                       |
+//! | `store.write`     | `Error` (publish fails), `Truncate` (torn file), `PartialWrite`, `Garbage`, `Delay` |
+//! | `store.read`      | `Garbage` (corrupt bytes, checksum-rejected), `Delay` |
 //!
 //! # Examples
 //!

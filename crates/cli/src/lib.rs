@@ -61,14 +61,22 @@ fn fail(message: impl Into<String>) -> CliError {
 /// Usage text.
 pub const USAGE: &str = "usage: lalrgen <command> <grammar> [args] [--threads N]
   commands: analyze, explain, classify, states, table, dot, codegen,
-            sentences, check, parse, profile, serve, client, stats
+            sentences, check, parse, profile, serve, store, client, stats
   <grammar> is a file path or a corpus name (try: expr, json, pascal, c_subset)
   --threads N runs the look-ahead pipeline on N worker threads (same output, faster on large grammars)
   profile <grammar> [--trace-out FILE]   per-phase wall/alloc breakdown of the
          grammar -> LA pipeline; --trace-out writes a Chrome trace (chrome://tracing)
   serve  [--addr A] [--cache-mb N] [--max-conn N] [--deadline-ms N] [--max-pending N]
-         [--drain-ms N] [--chaos SPEC] [--chaos-seed N]   run the compile daemon
+         [--drain-ms N] [--chaos SPEC] [--chaos-seed N] [--store DIR] [--no-store]
+         [--shards N] [--threaded]   run the compile daemon
          --chaos arms deterministic failpoints, e.g. \"daemon.write:partial:0.05\"
+         --store persists compiled artifacts to DIR (mmap-loaded on repeat
+         requests, surviving restarts); --no-store wins over --store
+         --shards N multiplexes connections over N epoll event-loop shards;
+         --threaded selects the thread-per-connection reference front end
+  store  <ls|verify|gc> --dir DIR [--max-age-s N]   maintain a persistent
+         artifact store: list entries, verify checksums (exit 1 on any
+         corrupt file), or remove artifacts not used for N seconds
   client <compile|classify|table|parse|stats|metrics|shutdown> [grammar]
          [--addr A] [--input \"t t t\"]… [--recover] [--compressed] [--deadline-ms N]
          [--timeout-ms N] [--retries N] [--backoff-ms N]   retry transient failures
@@ -81,7 +89,7 @@ pub const USAGE: &str = "usage: lalrgen <command> <grammar> [args] [--threads N]
   stats  [--addr A] [--metrics]   daemon statistics snapshot (--metrics: Prometheus text)";
 
 /// Every command name, for the unknown-command error.
-const COMMANDS: &str = "analyze, explain, classify, states, table, dot, codegen, sentences, check, parse, profile, serve, client, stats";
+const COMMANDS: &str = "analyze, explain, classify, states, table, dot, codegen, sentences, check, parse, profile, serve, store, client, stats";
 
 /// Loads a grammar from a corpus name or a file path. Files ending in
 /// `.y` are read with the yacc/bison reader (actions stripped).
@@ -141,6 +149,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "parse" => cmd_parse(rest, &par),
         "profile" => cmd_profile(rest, &par),
         "serve" => cmd_serve(rest, &par),
+        "store" => cmd_store(rest),
         "client" => cmd_client(rest),
         "stats" => cmd_stats(rest),
         "" | "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -695,7 +704,8 @@ fn grammar_text(arg: &str) -> Result<(String, lalr_service::GrammarFormat), CliE
 /// callers learn the picked port.
 fn cmd_serve(args: &[String], par: &Parallelism) -> Result<String, CliError> {
     const FLAGS: &str = "--addr, --cache-mb, --max-conn, --deadline-ms, --max-pending, \
-                         --drain-ms, --chaos, --chaos-seed, --threads";
+                         --drain-ms, --chaos, --chaos-seed, --store, --no-store, \
+                         --shards, --threaded, --threads";
     let mut config = lalr_service::DaemonConfig {
         addr: DEFAULT_ADDR.to_string(),
         ..lalr_service::DaemonConfig::default()
@@ -704,9 +714,28 @@ fn cmd_serve(args: &[String], par: &Parallelism) -> Result<String, CliError> {
     let mut deadline_ms: Option<u64> = None;
     let mut chaos_spec: Option<String> = None;
     let mut chaos_seed: u64 = 0;
+    let mut store_dir: Option<std::path::PathBuf> = None;
+    let mut no_store = false;
+    let mut shards: usize = 1;
+    let mut threaded = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            // Boolean flags consume one argument, not two.
+            "--no-store" => {
+                no_store = true;
+                i += 1;
+                continue;
+            }
+            "--threaded" => {
+                threaded = true;
+                i += 1;
+                continue;
+            }
+            "--store" => {
+                store_dir = Some(std::path::PathBuf::from(flag_value(args, i, "--store")?))
+            }
+            "--shards" => shards = num_flag(flag_value(args, i, "--shards")?, "--shards")?,
             "--addr" => config.addr = flag_value(args, i, "--addr")?.to_string(),
             "--cache-mb" => cache_mb = num_flag(flag_value(args, i, "--cache-mb")?, "--cache-mb")?,
             "--max-conn" => {
@@ -760,14 +789,120 @@ fn cmd_serve(args: &[String], par: &Parallelism) -> Result<String, CliError> {
     config.service.cache =
         (cache_mb > 0).then(|| lalr_service::CacheConfig::with_budget(cache_mb << 20));
     config.service.default_deadline = deadline_ms.map(std::time::Duration::from_millis);
+    // `--no-store` wins over `--store` so scripts can append it to a
+    // fixed flag list to turn persistence off.
+    config.service.store_dir = if no_store { None } else { store_dir };
 
-    let daemon = lalr_service::Daemon::start(config).map_err(|e| fail(format!("bind: {e}")))?;
-    eprintln!("serving on {}", daemon.addr());
-    let summary = daemon.join();
+    // The epoll front end is the default where the backend exists;
+    // `--threaded` selects the thread-per-connection reference.
+    // Scripts (and the bin tests) parse the first stderr line as
+    // exactly `serving on ADDR`; the front-end detail goes on its own.
+    let summary = if threaded || !lalr_net::supported() {
+        let daemon = lalr_service::Daemon::start(config).map_err(|e| fail(format!("bind: {e}")))?;
+        eprintln!("serving on {}", daemon.addr());
+        eprintln!("front end: thread-per-connection");
+        daemon.join()
+    } else {
+        let daemon = lalr_service::EventDaemon::start(config, shards)
+            .map_err(|e| fail(format!("bind: {e}")))?;
+        eprintln!("serving on {}", daemon.addr());
+        eprintln!("front end: {shards} event-loop shard(s)");
+        daemon.join()
+    };
     Ok(format!(
         "served {} connection(s), {} request(s)\ndrained {} connection(s) at shutdown, aborted {}\n",
         summary.connections, summary.requests, summary.drained, summary.aborted
     ))
+}
+
+/// `lalrgen store`: offline maintenance of a persistent artifact store
+/// directory — list entries, verify checksums, and garbage-collect by
+/// LRU age.
+fn cmd_store(args: &[String]) -> Result<String, CliError> {
+    const ACTIONS: &str = "ls, verify, gc";
+    const FLAGS: &str = "--dir, --max-age-s";
+    let action = args.first().map(String::as_str).unwrap_or("");
+    let rest = args.get(1..).unwrap_or(&[]);
+    let mut dir: Option<std::path::PathBuf> = None;
+    let mut max_age_s: u64 = 0;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--dir" => dir = Some(std::path::PathBuf::from(flag_value(rest, i, "--dir")?)),
+            "--max-age-s" => {
+                max_age_s = num_flag(flag_value(rest, i, "--max-age-s")?, "--max-age-s")?
+            }
+            other => {
+                return Err(fail(format!(
+                    "unknown flag {other:?} for store (available: {FLAGS})"
+                )))
+            }
+        }
+        i += 2;
+    }
+    match action {
+        "ls" | "verify" | "gc" => {}
+        "" => {
+            return Err(fail(format!(
+                "store needs an action (available: {ACTIONS})"
+            )))
+        }
+        other => {
+            return Err(fail(format!(
+                "unknown store action {other:?} (available: {ACTIONS})"
+            )))
+        }
+    }
+    let dir = dir.ok_or_else(|| fail("store needs --dir <path>"))?;
+    let store = lalr_store::Store::open(&dir).map_err(|e| fail(format!("open {dir:?}: {e}")))?;
+    match action {
+        "ls" => {
+            let mut entries = store.ls().map_err(|e| fail(format!("ls: {e}")))?;
+            entries.sort_by_key(|e| e.fingerprint);
+            let mut out = String::new();
+            let mut total = 0u64;
+            for e in &entries {
+                total += e.bytes;
+                out.push_str(&format!(
+                    "{:016x}  {:>10} bytes  age {:>6}s\n",
+                    e.fingerprint,
+                    e.bytes,
+                    e.age.as_secs()
+                ));
+            }
+            out.push_str(&format!(
+                "{} artifact(s), {} byte(s) total\n",
+                entries.len(),
+                total
+            ));
+            Ok(out)
+        }
+        "verify" => {
+            let report = store.verify().map_err(|e| fail(format!("verify: {e}")))?;
+            let mut out = format!("{} ok, {} corrupt\n", report.ok, report.corrupt.len());
+            for (path, reason) in &report.corrupt {
+                out.push_str(&format!("corrupt {}: {reason}\n", path.display()));
+            }
+            if report.corrupt.is_empty() {
+                Ok(out)
+            } else {
+                Err(CliError {
+                    message: out,
+                    code: 1,
+                })
+            }
+        }
+        "gc" => {
+            let report = store
+                .gc(std::time::Duration::from_secs(max_age_s))
+                .map_err(|e| fail(format!("gc: {e}")))?;
+            Ok(format!(
+                "removed {} artifact(s) older than {}s, kept {}, swept {} temp file(s), reclaimed {} byte(s)\n",
+                report.removed, max_age_s, report.kept, report.temps, report.reclaimed_bytes
+            ))
+        }
+        _ => unreachable!("action validated above"),
+    }
 }
 
 /// `lalrgen client`: one request to a running daemon; prints the raw
@@ -967,8 +1102,82 @@ mod tests {
         );
         let err = run_strs(&["serve", "--wat"]).unwrap_err();
         assert!(err.message.contains("available: --addr"), "{}", err.message);
+        // The persistence and front-end flags are advertised too.
+        for flag in ["--store", "--no-store", "--shards", "--threaded"] {
+            assert!(err.message.contains(flag), "{flag}: {}", err.message);
+        }
         let err = run_strs(&["client", "compile", "expr", "--wat"]).unwrap_err();
         assert!(err.message.contains("available: --addr"), "{}", err.message);
+        let err = run_strs(&["store", "ls", "--wat"]).unwrap_err();
+        assert!(err.message.contains("available: --dir"), "{}", err.message);
+    }
+
+    #[test]
+    fn store_subcommand_validates_arguments() {
+        let err = run_strs(&["store"]).unwrap_err();
+        assert!(err.message.contains("available: ls"), "{}", err.message);
+        let err = run_strs(&["store", "frobnicate"]).unwrap_err();
+        assert!(err.message.contains("available: ls"), "{}", err.message);
+        let err = run_strs(&["store", "ls"]).unwrap_err();
+        assert!(err.message.contains("--dir"), "{}", err.message);
+    }
+
+    #[test]
+    fn store_subcommand_lists_verifies_and_gcs() {
+        let dir = std::env::temp_dir().join(format!(
+            "lalr-cli-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_arg = dir.to_string_lossy().into_owned();
+
+        // Populate the store through a real service compile.
+        let service = lalr_service::Service::new(lalr_service::ServiceConfig {
+            store_dir: Some(dir.clone()),
+            ..lalr_service::ServiceConfig::default()
+        });
+        assert!(service
+            .call(
+                lalr_service::Request::Compile {
+                    grammar: "e : e \"+\" t | t ; t : \"x\" ;".to_string(),
+                    format: lalr_service::GrammarFormat::Native,
+                },
+                None,
+            )
+            .is_ok());
+        service.shutdown();
+
+        let out = run_strs(&["store", "ls", "--dir", &dir_arg]).unwrap();
+        assert!(out.contains("1 artifact(s)"), "{out}");
+        let out = run_strs(&["store", "verify", "--dir", &dir_arg]).unwrap();
+        assert!(out.contains("1 ok, 0 corrupt"), "{out}");
+
+        // A young artifact survives an aged GC…
+        let out = run_strs(&["store", "gc", "--dir", &dir_arg, "--max-age-s", "3600"]).unwrap();
+        assert!(out.contains("removed 0"), "{out}");
+        assert!(out.contains("kept 1"), "{out}");
+
+        // …corruption is detected with a nonzero exit…
+        let artifact = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.file_name().to_string_lossy().ends_with(".lalr"))
+            .unwrap()
+            .path();
+        let mut bytes = std::fs::read(&artifact).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&artifact, bytes).unwrap();
+        let err = run_strs(&["store", "verify", "--dir", &dir_arg]).unwrap_err();
+        assert!(err.message.contains("1 corrupt"), "{}", err.message);
+
+        // …and an age-0 GC clears the directory.
+        let out = run_strs(&["store", "gc", "--dir", &dir_arg, "--max-age-s", "0"]).unwrap();
+        assert!(out.contains("removed 1"), "{out}");
+        let out = run_strs(&["store", "ls", "--dir", &dir_arg]).unwrap();
+        assert!(out.contains("0 artifact(s)"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -180,6 +180,84 @@ fn chaos_armed_serve_round_trip_with_retrying_client() {
     assert!(summary.contains("aborted 0"), "{summary}");
 }
 
+/// Warm restart through the binary alone: a daemon with `--store`
+/// compiles and persists, a second daemon over the same directory
+/// serves the repeat request from disk (cached, store hit in stats)
+/// without recompiling.
+#[test]
+fn serve_with_store_survives_a_restart_warm() {
+    use std::io::BufRead;
+
+    let dir = std::env::temp_dir().join(format!("lalrgen-store-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_arg = dir.to_string_lossy().into_owned();
+
+    let spawn_server = || {
+        let mut server = Command::new(env!("CARGO_BIN_EXE_lalrgen"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--threads",
+                "2",
+                "--store",
+                &dir_arg,
+            ])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("server starts");
+        let mut stderr = std::io::BufReader::new(server.stderr.take().unwrap());
+        let mut line = String::new();
+        stderr.read_line(&mut line).unwrap();
+        let addr = line
+            .trim()
+            .strip_prefix("serving on ")
+            .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+            .to_string();
+        (server, addr, stderr)
+    };
+
+    let (mut first, addr, mut first_err) = spawn_server();
+    let cold = lalrgen(&["client", "compile", "expr", "--addr", &addr]);
+    if !cold.status.success() {
+        let mut rest = String::new();
+        std::io::Read::read_to_string(&mut first_err, &mut rest).ok();
+        panic!(
+            "cold compile: {}\nserver stderr: {rest}",
+            String::from_utf8_lossy(&cold.stderr)
+        );
+    }
+    assert!(String::from_utf8_lossy(&cold.stdout).contains("\"cached\":false"));
+    assert!(lalrgen(&["client", "shutdown", "--addr", &addr])
+        .status
+        .success());
+    assert!(first.wait().unwrap().success());
+
+    // The artifact store survives on disk between the two processes.
+    let out = lalrgen(&["store", "verify", "--dir", &dir_arg]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("1 ok, 0 corrupt"));
+
+    let (mut second, addr, _second_err) = spawn_server();
+    let warm = lalrgen(&["client", "compile", "expr", "--addr", &addr]);
+    assert!(warm.status.success());
+    assert!(
+        String::from_utf8_lossy(&warm.stdout).contains("\"cached\":true"),
+        "warm restart must serve from the store: {}",
+        String::from_utf8_lossy(&warm.stdout)
+    );
+    let stats = lalrgen(&["stats", "--addr", &addr]);
+    let stats = String::from_utf8_lossy(&stats.stdout).into_owned();
+    assert!(stats.contains("\"store_hits\":1"), "{stats}");
+    assert!(stats.contains("\"compiles\":0"), "{stats}");
+    assert!(lalrgen(&["client", "shutdown", "--addr", &addr])
+        .status
+        .success());
+    assert!(second.wait().unwrap().success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn classify_corpus_grammar_on_stdout() {
     let out = lalrgen(&["classify", "ada_subset"]);

@@ -1,0 +1,122 @@
+//! Read-only file mappings for the artifact store.
+
+use std::fs::File;
+use std::io;
+use std::os::fd::AsRawFd;
+
+use crate::sys;
+
+/// A read-only, private mapping of a whole file.
+///
+/// Dereferences to `&[u8]`; the mapping is released on drop. On targets
+/// without the raw-syscall backend (or when `mmap` itself fails, e.g.
+/// on a zero-length file) [`Mmap::map`] falls back to reading the file
+/// into an owned buffer, so callers never need a second code path.
+#[derive(Debug)]
+pub struct Mmap {
+    backing: Backing,
+}
+
+#[derive(Debug)]
+enum Backing {
+    Mapped { addr: *const u8, len: usize },
+    Owned(Vec<u8>),
+}
+
+// SAFETY: the mapping is PROT_READ/MAP_PRIVATE — immutable shared data,
+// safe to reference from any thread.
+unsafe impl Send for Mmap {}
+// SAFETY: as above; &Mmap only exposes &[u8] reads.
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `file` read-only (falling back to an in-memory copy).
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        if len > 0 && sys::supported() {
+            if let Ok(addr) = sys::mmap_readonly(file.as_raw_fd(), len) {
+                return Ok(Mmap {
+                    backing: Backing::Mapped { addr, len },
+                });
+            }
+        }
+        let mut buf = Vec::with_capacity(len);
+        use std::io::Read;
+        let mut reader = file;
+        reader.read_to_end(&mut buf)?;
+        Ok(Mmap {
+            backing: Backing::Owned(buf),
+        })
+    }
+
+    /// The mapped bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            Backing::Mapped { addr, len } => sys::map_slice(*addr, *len),
+            Backing::Owned(buf) => buf,
+        }
+    }
+
+    /// `true` when the bytes come from a real kernel mapping rather
+    /// than the read fallback.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.backing, Backing::Mapped { .. })
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if let Backing::Mapped { addr, len } = self.backing {
+            let _ = sys::munmap(addr, len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Seek, Write};
+
+    #[test]
+    fn maps_file_contents() {
+        let dir = std::env::temp_dir().join(format!("lalr-net-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.bin");
+        let mut f = File::create(&path).unwrap();
+        f.write_all(b"mapped bytes here").unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+
+        let mut f = File::open(&path).unwrap();
+        f.rewind().unwrap();
+        let map = Mmap::map(&f).unwrap();
+        assert_eq!(&map[..], b"mapped bytes here");
+        if sys::supported() {
+            assert!(map.is_mapped());
+        }
+        drop(map);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_file_uses_the_fallback() {
+        let dir = std::env::temp_dir().join(format!("lalr-net-mmap0-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        File::create(&path).unwrap();
+        let f = File::open(&path).unwrap();
+        let map = Mmap::map(&f).unwrap();
+        assert!(map.is_empty());
+        assert!(!map.is_mapped());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

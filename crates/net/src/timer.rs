@@ -1,0 +1,202 @@
+//! A single-level hashed timer wheel for connection timeouts.
+//!
+//! Deadlines are quantized to ticks of a fixed granularity and hashed
+//! into `slots` buckets; advancing the wheel sweeps each elapsed slot
+//! and yields entries whose tick has actually arrived (entries hashed
+//! into a swept slot from a future lap are put back). Cancellation is
+//! lazy: [`TimerWheel::cancel`] bumps a generation counter, and stale
+//! entries are dropped when their slot is swept — O(1) for the caller,
+//! which matters when every served request cancels a timeout.
+
+use std::time::{Duration, Instant};
+
+/// One expired timer: the token it was armed under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expired {
+    /// Caller token (e.g. a connection id).
+    pub token: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    token: u64,
+    tick: u64,
+    generation: u64,
+}
+
+/// The wheel. Tokens are dense caller ids; each token has at most one
+/// live timer (re-arming supersedes, cancelling invalidates).
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    /// Latest armed generation per token; stale wheel entries lose.
+    generations: Vec<u64>,
+    granularity: Duration,
+    origin: Instant,
+    /// Next tick to sweep.
+    cursor: u64,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` buckets at `granularity` per tick, starting
+    /// its clock at `origin`.
+    pub fn new(origin: Instant, slots: usize, granularity: Duration) -> TimerWheel {
+        assert!(slots > 0 && !granularity.is_zero());
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            generations: Vec::new(),
+            granularity,
+            origin,
+            cursor: 0,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.origin);
+        // Round up: a deadline mid-tick expires on the *next* sweep, so
+        // timers never fire early.
+        elapsed.as_nanos().div_ceil(self.granularity.as_nanos()) as u64
+    }
+
+    /// Arms (or re-arms) `token` to expire at `deadline`.
+    pub fn arm(&mut self, token: u64, deadline: Instant) {
+        let idx = token as usize;
+        if idx >= self.generations.len() {
+            self.generations.resize(idx + 1, 0);
+        }
+        self.generations[idx] += 1;
+        let tick = self.tick_of(deadline).max(self.cursor);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry {
+            token,
+            tick,
+            generation: self.generations[idx],
+        });
+    }
+
+    /// Cancels `token`'s pending timer (O(1); the wheel entry is
+    /// dropped lazily).
+    pub fn cancel(&mut self, token: u64) {
+        if let Some(generation) = self.generations.get_mut(token as usize) {
+            *generation += 1;
+        }
+    }
+
+    /// Sweeps every tick up to and including `now`'s, appending live
+    /// expirations to `out`.
+    pub fn advance(&mut self, now: Instant, out: &mut Vec<Expired>) {
+        let target = self.tick_of(now);
+        if target < self.cursor {
+            return;
+        }
+        // Never sweep more than one full lap: beyond that every slot
+        // has been visited once already.
+        let sweeps = (target - self.cursor + 1).min(self.slots.len() as u64);
+        for step in 0..sweeps {
+            let tick = self.cursor + step;
+            let slot = (tick % self.slots.len() as u64) as usize;
+            let mut keep = Vec::new();
+            for entry in self.slots[slot].drain(..) {
+                if self.generations[entry.token as usize] != entry.generation {
+                    continue; // cancelled or re-armed
+                }
+                if entry.tick <= target {
+                    out.push(Expired { token: entry.token });
+                } else {
+                    keep.push(entry); // future lap
+                }
+            }
+            self.slots[slot] = keep;
+        }
+        self.cursor = target + 1;
+    }
+
+    /// Time until the next armed (possibly stale) deadline, or `None`
+    /// when the wheel is empty — the poll timeout to use.
+    pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        let mut earliest: Option<u64> = None;
+        for slot in &self.slots {
+            for entry in slot {
+                if self.generations[entry.token as usize] != entry.generation {
+                    continue;
+                }
+                earliest = Some(earliest.map_or(entry.tick, |t| t.min(entry.tick)));
+            }
+        }
+        let tick = earliest?;
+        let due = self.origin
+            + Duration::from_nanos((self.granularity.as_nanos() as u64).saturating_mul(tick));
+        Some(due.saturating_duration_since(now).max(self.granularity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel(origin: Instant) -> TimerWheel {
+        TimerWheel::new(origin, 8, Duration::from_millis(10))
+    }
+
+    #[test]
+    fn arms_expire_in_order_and_not_early() {
+        let t0 = Instant::now();
+        let mut w = wheel(t0);
+        w.arm(1, t0 + Duration::from_millis(25));
+        w.arm(2, t0 + Duration::from_millis(55));
+
+        let mut out = Vec::new();
+        w.advance(t0 + Duration::from_millis(20), &mut out);
+        assert!(out.is_empty(), "not due yet: {out:?}");
+        w.advance(t0 + Duration::from_millis(30), &mut out);
+        assert_eq!(out, vec![Expired { token: 1 }]);
+        out.clear();
+        w.advance(t0 + Duration::from_millis(60), &mut out);
+        assert_eq!(out, vec![Expired { token: 2 }]);
+    }
+
+    #[test]
+    fn cancel_and_rearm_invalidate_stale_entries() {
+        let t0 = Instant::now();
+        let mut w = wheel(t0);
+        w.arm(3, t0 + Duration::from_millis(20));
+        w.cancel(3);
+        let mut out = Vec::new();
+        w.advance(t0 + Duration::from_millis(100), &mut out);
+        assert!(out.is_empty(), "cancelled timer fired: {out:?}");
+
+        // Re-arm supersedes: only the latest deadline fires.
+        w.arm(3, t0 + Duration::from_millis(120));
+        w.arm(3, t0 + Duration::from_millis(200));
+        w.advance(t0 + Duration::from_millis(150), &mut out);
+        assert!(out.is_empty(), "superseded timer fired: {out:?}");
+        w.advance(t0 + Duration::from_millis(210), &mut out);
+        assert_eq!(out, vec![Expired { token: 3 }]);
+    }
+
+    #[test]
+    fn entries_beyond_one_lap_survive_the_sweep() {
+        let t0 = Instant::now();
+        let mut w = wheel(t0); // 8 slots × 10ms = 80ms per lap
+        w.arm(5, t0 + Duration::from_millis(250));
+        let mut out = Vec::new();
+        w.advance(t0 + Duration::from_millis(240), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        w.advance(t0 + Duration::from_millis(260), &mut out);
+        assert_eq!(out, vec![Expired { token: 5 }]);
+    }
+
+    #[test]
+    fn next_timeout_tracks_the_earliest_live_deadline() {
+        let t0 = Instant::now();
+        let mut w = wheel(t0);
+        assert_eq!(w.next_timeout(t0), None);
+        w.arm(1, t0 + Duration::from_millis(70));
+        w.arm(2, t0 + Duration::from_millis(30));
+        let hint = w.next_timeout(t0).unwrap();
+        assert!(hint <= Duration::from_millis(40), "{hint:?}");
+        w.cancel(2);
+        let hint = w.next_timeout(t0).unwrap();
+        assert!(hint >= Duration::from_millis(50), "{hint:?}");
+    }
+}

@@ -9,6 +9,7 @@ use lalr_core::{
 };
 use lalr_grammar::Grammar;
 use lalr_obs::Recorder;
+use lalr_store::ArtifactRecord;
 use lalr_tables::{build_table, CompressedTable, ParseTable, TableOptions};
 
 use crate::error::ServiceError;
@@ -24,15 +25,31 @@ pub enum GrammarFormat {
     Yacc,
 }
 
-/// Everything the pipeline produces for one grammar, bundled so a cache
-/// hit answers *any* request kind — compile, classify, table, or parse —
-/// without touching the engine again.
+/// Pipeline intermediates that only a fresh compile produces — kept for
+/// diagnostics, not needed to serve any request op.
 #[derive(Debug)]
-pub struct CompiledArtifact {
-    fingerprint: u64,
+struct PipelineExtras {
     grammar: Grammar,
     lr0: Lr0Automaton,
     lookaheads: LookaheadSets,
+}
+
+/// Everything the pipeline produces for one grammar, bundled so a cache
+/// hit answers *any* request kind — compile, classify, table, or parse —
+/// without touching the engine again.
+///
+/// An artifact can come from two places: a fresh compile (which also
+/// carries the pipeline intermediates — grammar, automaton, look-ahead
+/// sets) or the on-disk store (tables and summary stats only, via
+/// [`CompiledArtifact::from_record`]). Every request op is served from
+/// the always-present summary + tables, so the two origins answer
+/// identically.
+#[derive(Debug)]
+pub struct CompiledArtifact {
+    fingerprint: u64,
+    states: usize,
+    productions: usize,
+    terminals: usize,
     adequacy: MethodAdequacy,
     relations: RelationStats,
     reads: DigraphStats,
@@ -40,6 +57,7 @@ pub struct CompiledArtifact {
     table: ParseTable,
     compressed: CompressedTable,
     approx_bytes: usize,
+    extras: Option<PipelineExtras>,
 }
 
 impl CompiledArtifact {
@@ -115,9 +133,9 @@ impl CompiledArtifact {
         };
         let mut artifact = CompiledArtifact {
             fingerprint,
-            grammar,
-            lr0,
-            lookaheads: analysis.into_lookaheads(),
+            states: lr0.state_count(),
+            productions: grammar.production_count(),
+            terminals: grammar.terminal_count(),
             adequacy,
             relations,
             reads,
@@ -125,6 +143,11 @@ impl CompiledArtifact {
             table,
             compressed,
             approx_bytes: 0,
+            extras: Some(PipelineExtras {
+                grammar,
+                lr0,
+                lookaheads: analysis.into_lookaheads(),
+            }),
         };
         artifact.approx_bytes = artifact.estimate_bytes();
         Ok(artifact)
@@ -137,6 +160,8 @@ impl CompiledArtifact {
     /// transitions) from their element counts and sizes, ignoring
     /// per-allocation overhead and small metadata. Relative sizes between
     /// artifacts — which is what LRU accounting needs — track reality.
+    /// Store-loaded artifacts carry no pipeline intermediates, so only
+    /// the table terms contribute for them.
     fn estimate_bytes(&self) -> usize {
         use std::mem::size_of;
 
@@ -146,26 +171,67 @@ impl CompiledArtifact {
         let compressed_table = self.compressed.explicit_entries()
             * (size_of::<u32>() + size_of::<lalr_tables::Action>())
             + self.compressed.state_count() * 2 * size_of::<lalr_tables::Action>();
-        let la_words = self.lookaheads.reduction_count()
-            * self
-                .lookaheads
-                .terminal_count()
-                .div_ceil(usize::BITS as usize)
-            * size_of::<usize>();
-        let mut automaton = 0usize;
-        for state in self.lr0.states() {
-            automaton += self.lr0.kernel(state).items().len() * 8
-                + self.lr0.transitions(state).len() * 12
-                + self.lr0.reductions(state).len() * 4
-                + 32;
-        }
-        let grammar = self.grammar.size() * 8
-            + self.grammar.production_count() * 48
-            + self.grammar.symbol_count() * 24;
         let strings: usize = (0..self.table.production_count())
             .map(|p| self.table.production(p as u32).display.len())
             .sum();
-        dense_table + compressed_table + la_words + automaton + grammar + strings
+        let mut total = dense_table + compressed_table + strings;
+        if let Some(extras) = &self.extras {
+            total += extras.lookaheads.reduction_count()
+                * extras
+                    .lookaheads
+                    .terminal_count()
+                    .div_ceil(usize::BITS as usize)
+                * size_of::<usize>();
+            for state in extras.lr0.states() {
+                total += extras.lr0.kernel(state).items().len() * 8
+                    + extras.lr0.transitions(state).len() * 12
+                    + extras.lr0.reductions(state).len() * 4
+                    + 32;
+            }
+            total += extras.grammar.size() * 8
+                + extras.grammar.production_count() * 48
+                + extras.grammar.symbol_count() * 24;
+        }
+        total
+    }
+
+    /// Rebuilds an artifact from a store record (tables + summary, no
+    /// pipeline intermediates).
+    pub fn from_record(record: ArtifactRecord) -> CompiledArtifact {
+        CompiledArtifact {
+            fingerprint: record.fingerprint,
+            states: record.states as usize,
+            productions: record.productions as usize,
+            terminals: record.terminals as usize,
+            adequacy: record.adequacy,
+            relations: record.relations,
+            reads: record.reads,
+            includes: record.includes,
+            table: record.table,
+            compressed: record.compressed,
+            approx_bytes: record.approx_bytes as usize,
+            extras: None,
+        }
+    }
+
+    /// Snapshots the storable parts of this artifact for a store
+    /// publish. `key` is the full normalized cache key, kept on disk
+    /// for collision confirmation.
+    pub fn to_record(&self, key: &str) -> ArtifactRecord {
+        ArtifactRecord {
+            fingerprint: self.fingerprint,
+            key: key.to_string(),
+            states: self.states as u32,
+            productions: self.productions as u32,
+            terminals: self.terminals as u32,
+            approx_bytes: self.approx_bytes as u64,
+            adequacy: self.adequacy.clone(),
+            relations: self.relations.clone(),
+            reads: self.reads.clone(),
+            includes: self.includes.clone(),
+            table: self.table.clone(),
+            compressed: self.compressed.clone(),
+        }
     }
 
     /// Fingerprint of the normalized cache-key text.
@@ -173,19 +239,36 @@ impl CompiledArtifact {
         self.fingerprint
     }
 
-    /// The parsed grammar.
-    pub fn grammar(&self) -> &Grammar {
-        &self.grammar
+    /// LR(0) state count.
+    pub fn state_count(&self) -> usize {
+        self.states
     }
 
-    /// The LR(0) automaton.
-    pub fn lr0(&self) -> &Lr0Automaton {
-        &self.lr0
+    /// Grammar production count.
+    pub fn production_count(&self) -> usize {
+        self.productions
     }
 
-    /// The LALR(1) look-ahead sets.
-    pub fn lookaheads(&self) -> &LookaheadSets {
-        &self.lookaheads
+    /// Grammar terminal count.
+    pub fn terminal_count(&self) -> usize {
+        self.terminals
+    }
+
+    /// The parsed grammar — present only on freshly compiled artifacts,
+    /// not on store-loaded ones.
+    pub fn grammar(&self) -> Option<&Grammar> {
+        self.extras.as_ref().map(|e| &e.grammar)
+    }
+
+    /// The LR(0) automaton — present only on freshly compiled artifacts.
+    pub fn lr0(&self) -> Option<&Lr0Automaton> {
+        self.extras.as_ref().map(|e| &e.lr0)
+    }
+
+    /// The LALR(1) look-ahead sets — present only on freshly compiled
+    /// artifacts.
+    pub fn lookaheads(&self) -> Option<&LookaheadSets> {
+        self.extras.as_ref().map(|e| &e.lookaheads)
     }
 
     /// Per-method conflict counts and the grammar class.
@@ -241,6 +324,7 @@ mod tests {
         assert_eq!(a.adequacy().lalr_conflicts, 0);
         assert!(a.table().state_count() > 4);
         assert!(a.approx_bytes() > 0);
+        assert!(a.grammar().is_some() && a.lr0().is_some() && a.lookaheads().is_some());
     }
 
     #[test]
@@ -264,7 +348,7 @@ mod tests {
             &Parallelism::sequential(),
         )
         .unwrap();
-        assert!(a.grammar().terminal_count() >= 2);
+        assert!(a.terminal_count() >= 2);
     }
 
     #[test]
@@ -285,5 +369,28 @@ mod tests {
         )
         .unwrap();
         assert!(big.approx_bytes() > small.approx_bytes());
+    }
+
+    #[test]
+    fn record_round_trip_serves_identical_summaries_and_tables() {
+        let a = CompiledArtifact::compile(
+            "e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"x\" ;",
+            GrammarFormat::Native,
+            0x5_1337,
+            &Parallelism::sequential(),
+        )
+        .unwrap();
+        let record = a.to_record("%key native\n...");
+        let b = CompiledArtifact::from_record(record);
+        assert_eq!(b.fingerprint(), a.fingerprint());
+        assert_eq!(b.state_count(), a.state_count());
+        assert_eq!(b.production_count(), a.production_count());
+        assert_eq!(b.terminal_count(), a.terminal_count());
+        assert_eq!(b.adequacy(), a.adequacy());
+        assert_eq!(b.relation_stats(), a.relation_stats());
+        assert_eq!(b.table(), a.table());
+        assert_eq!(b.compressed(), a.compressed());
+        assert_eq!(b.approx_bytes(), a.approx_bytes());
+        assert!(b.grammar().is_none(), "store loads carry no intermediates");
     }
 }

@@ -17,12 +17,23 @@
 //! [`CompiledArtifact::approx_bytes`]; an artifact bigger than a whole
 //! shard budget is returned to the caller but never inserted, so a
 //! shard's resident bytes never exceed its budget.
+//!
+//! Persistence: with [`CacheConfig::store`] set, the cache grows a
+//! read-through/write-through disk tier. A memory miss consults the
+//! [`lalr_store::Store`] before compiling — a verified disk artifact is
+//! deserialized and committed as if compiled ([`CacheOutcome::Loaded`]),
+//! a corrupt file is counted and recompiled, and a fresh compile is
+//! published back to disk (best-effort; publish failures never fail the
+//! request). The store is keyed by the same normalized-text fingerprint
+//! and confirmed by the full key text it carries, so the
+//! hash-then-confirm discipline holds across restarts too.
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use lalr_chaos::{Fault, FaultInjector};
+use lalr_store::{Loaded, Store};
 use rustc_hash::FxHashMap;
 
 use crate::artifact::CompiledArtifact;
@@ -49,6 +60,9 @@ pub struct CacheConfig {
     /// own injector so one plan drives the whole stack; arm it directly
     /// only when exercising a bare cache.
     pub faults: FaultInjector,
+    /// Optional persistent tier. `None` (the default) keeps the cache
+    /// purely in-memory with pre-store counting semantics.
+    pub store: Option<Arc<Store>>,
 }
 
 impl Default for CacheConfig {
@@ -58,6 +72,7 @@ impl Default for CacheConfig {
             shards: 8,
             fingerprinter: fx_fingerprint,
             faults: FaultInjector::disabled(),
+            store: None,
         }
     }
 }
@@ -86,6 +101,15 @@ pub struct CacheStats {
     /// Pipeline runs actually executed (`misses` minus compiles that
     /// failed before insertion equals committed entries over time).
     pub compiles: u64,
+    /// Memory misses answered by a verified disk artifact instead of a
+    /// compile (zero unless a store is configured).
+    pub store_hits: u64,
+    /// Memory misses the disk tier could not answer either.
+    pub store_misses: u64,
+    /// Fresh compiles published to the disk tier.
+    pub store_writes: u64,
+    /// Disk artifacts rejected (checksum/format failure) and recompiled.
+    pub store_corrupt: u64,
     /// Committed entries right now.
     pub entries: usize,
     /// Resident accounted bytes right now.
@@ -113,6 +137,8 @@ pub enum CacheOutcome {
     Compiled,
     /// Joined another thread's in-flight compile.
     Coalesced,
+    /// Deserialized from the persistent store tier — no pipeline run.
+    Loaded,
 }
 
 struct Entry {
@@ -141,12 +167,17 @@ pub struct ArtifactCache {
     shard_budget: usize,
     fingerprinter: Fingerprinter,
     faults: FaultInjector,
+    store: Option<Arc<Store>>,
     tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
     evictions: AtomicU64,
     compiles: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    store_writes: AtomicU64,
+    store_corrupt: AtomicU64,
 }
 
 impl std::fmt::Debug for ArtifactCache {
@@ -169,13 +200,23 @@ impl ArtifactCache {
             shard_budget: config.byte_budget / shards,
             fingerprinter: config.fingerprinter,
             faults: config.faults,
+            store: config.store,
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             compiles: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            store_misses: AtomicU64::new(0),
+            store_writes: AtomicU64::new(0),
+            store_corrupt: AtomicU64::new(0),
         }
+    }
+
+    /// The persistent tier, if one is configured.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
     }
 
     fn shard_of(&self, fp: u64) -> &Mutex<Shard> {
@@ -239,17 +280,51 @@ impl ArtifactCache {
                 .push(Arc::clone(&flight));
         }
 
-        // Phase 2: leader compiles outside every lock. The `catch_unwind`
-        // is load-bearing: if `compile` panics (a pipeline bug, or the
+        // Phase 2: leader resolves the miss outside every lock — first
+        // against the disk tier (a verified artifact skips the pipeline
+        // entirely), then by compiling. The `catch_unwind` is
+        // load-bearing: if `compile` panics (a pipeline bug, or the
         // `service.compile` failpoint's injected panic) and the panic
         // escaped here, Phase 3 would never run, the in-flight slot would
         // never resolve, and every coalesced waiter — plus all future
         // requests for this grammar, which would join the dead flight —
         // would block on the condvar forever.
-        self.compiles.fetch_add(1, Ordering::Relaxed);
-        let result = panic::catch_unwind(AssertUnwindSafe(|| compile(&normalized, fp)))
-            .unwrap_or_else(|payload| Err(ServiceError::from_panic(payload.as_ref())))
-            .map(Arc::new);
+        let mut outcome = CacheOutcome::Compiled;
+        let mut loaded = None;
+        if let Some(store) = &self.store {
+            match store.load(fp, Some(&normalized)) {
+                Loaded::Hit(record) => {
+                    self.store_hits.fetch_add(1, Ordering::Relaxed);
+                    loaded = Some(Arc::new(CompiledArtifact::from_record(*record)));
+                    outcome = CacheOutcome::Loaded;
+                }
+                Loaded::Corrupt => {
+                    self.store_corrupt.fetch_add(1, Ordering::Relaxed);
+                }
+                Loaded::Miss => {
+                    self.store_misses.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let result = match loaded {
+            Some(artifact) => Ok(artifact),
+            None => {
+                self.compiles.fetch_add(1, Ordering::Relaxed);
+                let result = panic::catch_unwind(AssertUnwindSafe(|| compile(&normalized, fp)))
+                    .unwrap_or_else(|payload| Err(ServiceError::from_panic(payload.as_ref())))
+                    .map(Arc::new);
+                // Write-through: persist the fresh compile so the next
+                // process starts warm. A publish failure (disk full, the
+                // `store.write` failpoint) costs only the persistence —
+                // the request itself still succeeds.
+                if let (Some(store), Ok(artifact)) = (&self.store, &result) {
+                    if store.publish(&artifact.to_record(&normalized)).is_ok() {
+                        self.store_writes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                result
+            }
+        };
 
         // Phase 3: commit, wake waiters, evict.
         {
@@ -285,7 +360,7 @@ impl ArtifactCache {
             self.evict_all();
         }
 
-        (result, CacheOutcome::Compiled)
+        (result, outcome)
     }
 
     /// Evicts every committed entry (an eviction storm), counting each
@@ -349,13 +424,58 @@ impl ArtifactCache {
     /// preferred; `None` means the artifact was never compiled here or
     /// has been evicted since.
     pub fn get_by_fingerprint(&self, fp: u64) -> Option<Arc<CompiledArtifact>> {
-        let mut shard = self.shard_of(fp).lock().expect("cache shard poisoned");
-        let tick = self.next_tick();
-        let bucket = shard.entries.get_mut(&fp)?;
-        let entry = bucket.iter_mut().find(|e| e.artifact.fingerprint() == fp)?;
-        entry.last_used = tick;
-        self.hits.fetch_add(1, Ordering::Relaxed);
-        Some(Arc::clone(&entry.artifact))
+        {
+            let mut shard = self.shard_of(fp).lock().expect("cache shard poisoned");
+            let tick = self.next_tick();
+            if let Some(bucket) = shard.entries.get_mut(&fp) {
+                if let Some(entry) = bucket.iter_mut().find(|e| e.artifact.fingerprint() == fp) {
+                    entry.last_used = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(Arc::clone(&entry.artifact));
+                }
+            }
+        }
+        // Evicted (or never compiled here): the disk tier may still have
+        // it. No key to confirm against — the fingerprint *is* the name
+        // the client was handed — so `load` checks only the record's own
+        // embedded fingerprint.
+        let store = self.store.as_ref()?;
+        match store.load(fp, None) {
+            Loaded::Hit(record) => {
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                let text: Arc<str> = Arc::from(record.key.as_str());
+                let artifact = Arc::new(CompiledArtifact::from_record(*record));
+                let bytes = artifact.approx_bytes();
+                let mut shard = self.shard_of(fp).lock().expect("cache shard poisoned");
+                let tick = self.next_tick();
+                if let Some(bucket) = shard.entries.get_mut(&fp) {
+                    // A racing commit (compile or load) beat us; serve it.
+                    if let Some(entry) = bucket.iter_mut().find(|e| e.text == text) {
+                        entry.last_used = tick;
+                        return Some(Arc::clone(&entry.artifact));
+                    }
+                }
+                if bytes <= self.shard_budget {
+                    shard.entries.entry(fp).or_default().push(Entry {
+                        text,
+                        artifact: Arc::clone(&artifact),
+                        bytes,
+                        last_used: tick,
+                    });
+                    shard.bytes += bytes;
+                    self.evict(&mut shard, tick);
+                }
+                Some(artifact)
+            }
+            Loaded::Corrupt => {
+                self.store_corrupt.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Loaded::Miss => {
+                self.store_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     /// Whether a committed entry exists for `text` (no use-stamp update).
@@ -414,6 +534,10 @@ impl ArtifactCache {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             compiles: self.compiles.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            store_misses: self.store_misses.load(Ordering::Relaxed),
+            store_writes: self.store_writes.load(Ordering::Relaxed),
+            store_corrupt: self.store_corrupt.load(Ordering::Relaxed),
             entries: self.len(),
             bytes: self.bytes(),
         }

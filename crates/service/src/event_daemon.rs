@@ -1,0 +1,703 @@
+//! The readiness-driven TCP daemon: epoll event-loop shards over the
+//! service.
+//!
+//! Same wire protocol, limits, failpoints, and drain semantics as the
+//! thread-per-connection [`crate::Daemon`], but connections multiplex
+//! onto N event-loop shards (built on [`lalr_net`]'s edge-triggered
+//! epoll wrapper) instead of each owning a blocked thread. Compute
+//! still happens on the service's worker pool — a request is submitted
+//! with [`Service::submit`] and its response comes back through a
+//! per-shard completion queue plus an eventfd wake, so a shard thread
+//! never blocks on a compile. Requests on one connection stay strictly
+//! serialized (a pipelined second line waits for the first response),
+//! which keeps responses byte-identical to the blocking front end.
+//!
+//! Shard 0 owns the listener and deals accepted connections round-robin
+//! across shards; per-connection read timeouts ride a hashed timer
+//! wheel; shutdown (in-band `shutdown` op or [`EventDaemon::stop`])
+//! drains exactly like the blocking daemon — idle connections close at
+//! once, busy ones get [`DaemonConfig::drain_deadline`] to finish, and
+//! the summary reports drained versus aborted.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lalr_chaos::Fault;
+use lalr_net::{Event, Interest, LineEvent, LineReader, Poller, TimerWheel, Waker, WriteBuf};
+use rustc_hash::FxHashMap;
+
+use crate::daemon::{DaemonConfig, DaemonSummary};
+use crate::protocol::{request_from_value, response_to_line};
+use crate::service::{Request, Response, Service};
+use crate::ServiceError;
+
+/// Reserved poller token for the shard's waker.
+const TOKEN_WAKER: u64 = 0;
+/// Reserved poller token for the listener (shard 0 only).
+const TOKEN_LISTENER: u64 = 1;
+/// First connection token; also the smallest valid timer-wheel token.
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// A running event-loop daemon. API mirrors [`crate::Daemon`].
+pub struct EventDaemon {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<ShardTotals>>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct ShardTotals {
+    drained: u64,
+    aborted: u64,
+}
+
+/// Work handed to a shard from outside its thread: freshly accepted
+/// connections (from shard 0's acceptor) and completed responses (from
+/// service workers). Paired with the shard's waker.
+#[derive(Default)]
+struct Inbox {
+    conns: Vec<TcpStream>,
+    completions: Vec<(u64, Response)>,
+}
+
+struct Shared {
+    service: Arc<Service>,
+    shutdown: AtomicBool,
+    /// Open connections across all shards (the connection cap's gauge).
+    active: AtomicUsize,
+    /// Connections accepted, including over-cap rejections.
+    connections: AtomicU64,
+    wakers: Vec<Waker>,
+    inboxes: Vec<Mutex<Inbox>>,
+    config: DaemonConfig,
+}
+
+impl EventDaemon {
+    /// Binds the address and starts `shards` event-loop threads
+    /// (clamped to at least 1). Fails with `Unsupported` where the raw
+    /// epoll shim has no backend (anything but x86-64 Linux).
+    pub fn start(config: DaemonConfig, shards: usize) -> io::Result<EventDaemon> {
+        if !lalr_net::supported() {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "event-loop daemon requires the epoll backend (x86-64 Linux); \
+                 use the threaded front end",
+            ));
+        }
+        let shards = shards.max(1);
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let service = Arc::new(Service::new(config.service.clone()));
+        let wakers = (0..shards)
+            .map(|_| Waker::new())
+            .collect::<io::Result<Vec<_>>>()?;
+        let shared = Arc::new(Shared {
+            service,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            connections: AtomicU64::new(0),
+            wakers,
+            inboxes: (0..shards).map(|_| Mutex::new(Inbox::default())).collect(),
+            config,
+        });
+        let mut listener = Some(listener);
+        let handles = (0..shards)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                let listener = if idx == 0 { listener.take() } else { None };
+                std::thread::Builder::new()
+                    .name(format!("lalr-event-shard-{idx}"))
+                    .spawn(move || Shard::run(idx, shards, shared, listener))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(EventDaemon {
+            addr,
+            shared,
+            handles,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown from outside the protocol. Idempotent; the
+    /// in-band `shutdown` op does the same.
+    pub fn stop(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for w in &self.shared.wakers {
+            let _ = w.wake();
+        }
+    }
+
+    /// Waits for every shard to finish draining and returns the
+    /// summary (same shape as the threaded daemon's).
+    pub fn join(self) -> DaemonSummary {
+        let mut drained = 0;
+        let mut aborted = 0;
+        for h in self.handles {
+            let t = h.join().expect("event-loop shard panicked");
+            drained += t.drained;
+            aborted += t.aborted;
+        }
+        let requests = self.shared.service.stats().requests;
+        self.shared.service.shutdown();
+        DaemonSummary {
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            requests,
+            drained,
+            aborted,
+        }
+    }
+}
+
+/// One live connection's event-loop state.
+struct Conn {
+    stream: TcpStream,
+    reader: LineReader,
+    out: WriteBuf,
+    /// Decoded lines not yet processed (pipelined requests queue here —
+    /// one request executes at a time, like the blocking loop).
+    pending: VecDeque<LineEvent>,
+    /// A request is executing on the worker pool.
+    busy: bool,
+    /// The in-flight request is a `shutdown` op.
+    in_flight_shutdown: bool,
+    /// The `daemon.read` Truncate failpoint fired for the in-flight
+    /// request: execute it but close without responding.
+    suppress_response: bool,
+    /// Write out everything queued, then close.
+    close_after_flush: bool,
+    /// An oversize line was answered; close once its remainder has been
+    /// skipped and the error response flushed.
+    oversize_close: bool,
+    /// Currently registered for writable readiness too.
+    wants_write: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, max_line: usize) -> Conn {
+        Conn {
+            stream,
+            reader: LineReader::new(max_line),
+            out: WriteBuf::new(),
+            pending: VecDeque::new(),
+            busy: false,
+            in_flight_shutdown: false,
+            suppress_response: false,
+            close_after_flush: false,
+            oversize_close: false,
+            wants_write: false,
+        }
+    }
+}
+
+struct Shard {
+    idx: usize,
+    shard_count: usize,
+    shared: Arc<Shared>,
+    poller: Poller,
+    wheel: TimerWheel,
+    conns: FxHashMap<u64, Conn>,
+    listener: Option<TcpListener>,
+    next_token: u64,
+    round_robin: usize,
+    draining: Option<Instant>,
+    totals: ShardTotals,
+}
+
+impl Shard {
+    fn run(
+        idx: usize,
+        shard_count: usize,
+        shared: Arc<Shared>,
+        listener: Option<TcpListener>,
+    ) -> ShardTotals {
+        let Ok(poller) = Poller::new() else {
+            return ShardTotals::default();
+        };
+        if shared.wakers[idx].register(&poller, TOKEN_WAKER).is_err() {
+            return ShardTotals::default();
+        }
+        if let Some(l) = &listener {
+            if poller
+                .register(l, TOKEN_LISTENER, Interest::READABLE)
+                .is_err()
+            {
+                return ShardTotals::default();
+            }
+        }
+        let granularity = (shared.config.read_timeout / 8)
+            .clamp(Duration::from_millis(5), Duration::from_secs(1));
+        let wheel = TimerWheel::new(Instant::now(), 64, granularity);
+        let mut shard = Shard {
+            idx,
+            shard_count,
+            shared,
+            poller,
+            wheel,
+            conns: FxHashMap::default(),
+            listener,
+            next_token: FIRST_CONN_TOKEN,
+            round_robin: 0,
+            draining: None,
+            totals: ShardTotals::default(),
+        };
+        shard.event_loop();
+        shard.totals
+    }
+
+    fn event_loop(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut expired = Vec::new();
+        loop {
+            // Enter drain mode: stop accepting, close idle connections
+            // immediately, give busy ones until the deadline.
+            if self.draining.is_none() && self.shared.shutdown.load(Ordering::SeqCst) {
+                self.draining = Some(Instant::now());
+                if let Some(l) = self.listener.take() {
+                    let _ = self.poller.deregister(&l);
+                }
+                let idle: Vec<u64> = self
+                    .conns
+                    .iter()
+                    .filter(|(_, c)| !c.busy && c.out.is_empty())
+                    .map(|(t, _)| *t)
+                    .collect();
+                for t in idle {
+                    self.close(t);
+                }
+            }
+            if let Some(started) = self.draining {
+                if self.conns.is_empty() {
+                    return;
+                }
+                if started.elapsed() >= self.shared.config.drain_deadline {
+                    // Force-close stragglers still mid-request.
+                    let stuck: Vec<u64> = self.conns.keys().copied().collect();
+                    for t in stuck {
+                        self.close_raw(t);
+                        self.totals.aborted += 1;
+                    }
+                    return;
+                }
+            }
+            let now = Instant::now();
+            let mut timeout = self.wheel.next_timeout(now);
+            if let Some(started) = self.draining {
+                let left = self
+                    .shared
+                    .config
+                    .drain_deadline
+                    .saturating_sub(started.elapsed());
+                timeout = Some(timeout.map_or(left, |t| t.min(left)));
+            }
+            events.clear();
+            if self.poller.wait(&mut events, timeout).is_err() {
+                continue;
+            }
+            for &ev in &events {
+                match ev.token {
+                    TOKEN_WAKER => {
+                        self.shared.wakers[self.idx].drain();
+                        self.drain_inbox();
+                    }
+                    TOKEN_LISTENER => self.accept_burst(),
+                    token => {
+                        if ev.readable {
+                            self.on_readable(token);
+                        }
+                        if ev.writable {
+                            self.flush(token);
+                        }
+                    }
+                }
+            }
+            expired.clear();
+            self.wheel.advance(Instant::now(), &mut expired);
+            for e in &expired {
+                let Some(conn) = self.conns.get(&e.token) else {
+                    continue;
+                };
+                if conn.busy {
+                    // Never time out a request in flight; re-arm so the
+                    // idle clock restarts after the response.
+                    self.wheel
+                        .arm(e.token, Instant::now() + self.shared.config.read_timeout);
+                } else {
+                    // Idle timeout: same as the blocking read timing out.
+                    self.close(e.token);
+                }
+            }
+        }
+    }
+
+    /// Accepts until the listener would block (shard 0 only), dealing
+    /// connections round-robin across shards.
+    fn accept_burst(&mut self) {
+        loop {
+            let Some(l) = &self.listener else { return };
+            match l.accept() {
+                Ok((stream, _)) => {
+                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
+                    if self.shared.active.load(Ordering::SeqCst)
+                        >= self.shared.config.max_connections
+                    {
+                        reject_over_cap(stream);
+                        continue;
+                    }
+                    self.shared.active.fetch_add(1, Ordering::SeqCst);
+                    let target = self.round_robin % self.shard_count;
+                    self.round_robin += 1;
+                    if target == self.idx {
+                        self.install(stream);
+                    } else {
+                        self.shared.inboxes[target]
+                            .lock()
+                            .expect("shard inbox poisoned")
+                            .conns
+                            .push(stream);
+                        let _ = self.shared.wakers[target].wake();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                // Transient accept failures (ECONNABORTED, EMFILE…):
+                // stop the burst; the next readable edge retries.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn drain_inbox(&mut self) {
+        let (new_conns, completions) = {
+            let mut inbox = self.shared.inboxes[self.idx]
+                .lock()
+                .expect("shard inbox poisoned");
+            (
+                std::mem::take(&mut inbox.conns),
+                std::mem::take(&mut inbox.completions),
+            )
+        };
+        for stream in new_conns {
+            self.install(stream);
+        }
+        for (token, response) in completions {
+            self.on_completion(token, response);
+        }
+    }
+
+    fn install(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            self.shared.active.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        if self
+            .poller
+            .register(&stream, token, Interest::READABLE)
+            .is_err()
+        {
+            self.shared.active.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        self.wheel
+            .arm(token, Instant::now() + self.shared.config.read_timeout);
+        self.conns
+            .insert(token, Conn::new(stream, self.shared.config.max_line_bytes));
+        if self.draining.is_some() {
+            // Accepted just before shutdown: close like any idle conn.
+            self.close(token);
+        } else {
+            // Bytes may have arrived before registration; ET only
+            // reports future edges, so poll the socket once by hand.
+            self.on_readable(token);
+        }
+    }
+
+    fn on_readable(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if self.draining.is_none() {
+            self.wheel
+                .arm(token, Instant::now() + self.shared.config.read_timeout);
+        }
+        match conn.reader.fill(&mut &conn.stream) {
+            Ok(events) => conn.pending.extend(events),
+            Err(_) => {
+                self.close(token);
+                return;
+            }
+        }
+        self.pump(token);
+        self.maybe_finish(token);
+    }
+
+    /// Processes queued lines until a request goes in flight, the
+    /// connection turns terminal, or the queue runs dry. Mirrors the
+    /// blocking serve loop one line at a time.
+    fn pump(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.busy || conn.close_after_flush || conn.oversize_close {
+                return;
+            }
+            if self.draining.is_some() {
+                // A draining daemon stops reading between requests.
+                if conn.out.is_empty() {
+                    self.close(token);
+                }
+                return;
+            }
+            let Some(item) = conn.pending.pop_front() else {
+                if conn.reader.at_eof() {
+                    if conn.out.is_empty() {
+                        self.close(token);
+                    } else {
+                        conn.close_after_flush = true;
+                    }
+                }
+                return;
+            };
+            match item {
+                // The blocking loop's read_line fails on invalid UTF-8
+                // and drops the connection without a response.
+                LineEvent::InvalidUtf8 => {
+                    self.close(token);
+                    return;
+                }
+                LineEvent::Oversize => {
+                    let limit = self.shared.config.max_line_bytes;
+                    let ok = self.queue_response(
+                        token,
+                        &Response::Error(ServiceError::TooLarge {
+                            size: limit + 1,
+                            limit,
+                        }),
+                    );
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        // Close, but only after the remainder of the
+                        // oversized line has been read past (closing
+                        // with unread bytes queued sends an RST that
+                        // can tear the error response away).
+                        if ok {
+                            conn.oversize_close = true;
+                        } else {
+                            conn.close_after_flush = true;
+                        }
+                    }
+                    self.flush(token);
+                    return;
+                }
+                LineEvent::Line(mut line) => {
+                    let mut suppress = false;
+                    // The read-side failpoint, applied to a complete
+                    // request line as if the transport had failed
+                    // underneath it.
+                    match self.shared.config.faults.at("daemon.read") {
+                        Some(Fault::Error) => {
+                            self.close(token);
+                            return;
+                        }
+                        Some(Fault::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+                        Some(Fault::Garbage) => {
+                            line = format!("\u{1b}corrupt\u{0000}{line}");
+                        }
+                        Some(Fault::Truncate) => suppress = true,
+                        _ => {}
+                    }
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let parsed = serde_json::from_str(line.trim_end())
+                        .map_err(|e| ServiceError::BadRequest(e.to_string()))
+                        .and_then(|v| request_from_value(&v));
+                    let (request, deadline) = match parsed {
+                        Ok(p) => p,
+                        Err(e) => {
+                            let ok = self.queue_response(token, &Response::Error(e));
+                            self.flush(token);
+                            if !ok {
+                                return;
+                            }
+                            continue;
+                        }
+                    };
+                    let Some(conn) = self.conns.get_mut(&token) else {
+                        return;
+                    };
+                    conn.busy = true;
+                    conn.in_flight_shutdown = matches!(request, Request::Shutdown);
+                    conn.suppress_response = suppress;
+                    let shared = Arc::clone(&self.shared);
+                    let shard = self.idx;
+                    self.shared
+                        .service
+                        .submit(request, deadline, move |response| {
+                            shared.inboxes[shard]
+                                .lock()
+                                .expect("shard inbox poisoned")
+                                .completions
+                                .push((token, response));
+                            let _ = shared.wakers[shard].wake();
+                        });
+                    return;
+                }
+            }
+        }
+    }
+
+    fn on_completion(&mut self, token: u64, response: Response) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            // The connection died while its request executed; the
+            // response has nowhere to go (same as the blocking daemon
+            // failing its write).
+            return;
+        };
+        conn.busy = false;
+        let is_shutdown = std::mem::take(&mut conn.in_flight_shutdown);
+        let suppressed = std::mem::take(&mut conn.suppress_response);
+        if suppressed {
+            // Injected truncation: the request executed but the client
+            // never hears back — it must treat the silence as retryable.
+            if is_shutdown {
+                self.trigger_shutdown();
+            }
+            self.close(token);
+            return;
+        }
+        let ok = self.queue_response(token, &response);
+        if is_shutdown {
+            self.trigger_shutdown();
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.close_after_flush = true;
+            }
+        } else if !ok {
+            // Write-side fault: whatever was already queued flushes,
+            // then the connection closes (handled by close_after_flush
+            // set inside queue_response).
+        }
+        self.flush(token);
+        if !is_shutdown && ok {
+            self.pump(token);
+            self.maybe_finish(token);
+        }
+    }
+
+    /// Serializes and queues one response line, applying the
+    /// `daemon.write` failpoint exactly like the blocking `respond`.
+    /// Returns `false` when the fault consumed or cut the response (the
+    /// connection is then marked to close after flushing).
+    fn queue_response(&mut self, token: u64, response: &Response) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false;
+        };
+        let line = response_to_line(response);
+        match self.shared.config.faults.at("daemon.write") {
+            Some(Fault::Error) => {
+                // Response eaten whole.
+                conn.close_after_flush = true;
+                return false;
+            }
+            Some(Fault::PartialWrite) => {
+                // Half the bytes, no newline: the client sees a line
+                // cut mid-way and must report a distinct `closed` error.
+                let bytes = line.as_bytes();
+                conn.out.queue(&bytes[..bytes.len() / 2]);
+                conn.close_after_flush = true;
+                return false;
+            }
+            Some(Fault::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            _ => {}
+        }
+        conn.out.queue(line.as_bytes());
+        conn.out.queue(b"\n");
+        true
+    }
+
+    /// Flushes as far as the socket allows, maintaining writable
+    /// interest and terminal-close states.
+    fn flush(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        match conn.out.flush(&mut &conn.stream) {
+            Ok(true) => {
+                if conn.wants_write {
+                    conn.wants_write = false;
+                    let _ = self
+                        .poller
+                        .reregister(&conn.stream, token, Interest::READABLE);
+                }
+                self.maybe_finish(token);
+            }
+            Ok(false) => {
+                if !conn.wants_write {
+                    conn.wants_write = true;
+                    let _ = self.poller.reregister(&conn.stream, token, Interest::BOTH);
+                }
+            }
+            Err(_) => self.close(token),
+        }
+    }
+
+    /// Closes a connection whose terminal condition has been reached:
+    /// everything flushed and either marked close-after-flush, done
+    /// skipping an oversize line, or at EOF with nothing left to do.
+    fn maybe_finish(&mut self, token: u64) {
+        let Some(conn) = self.conns.get(&token) else {
+            return;
+        };
+        if !conn.out.is_empty() {
+            return;
+        }
+        let skipped_oversize = conn.oversize_close && !conn.reader.is_skipping();
+        let idle_at_eof = conn.reader.at_eof() && !conn.busy && conn.pending.is_empty();
+        if conn.close_after_flush || skipped_oversize || idle_at_eof {
+            self.close(token);
+        }
+    }
+
+    fn trigger_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for w in &self.shared.wakers {
+            let _ = w.wake();
+        }
+    }
+
+    /// Removes a connection; during drain this counts it as cleanly
+    /// drained (force-closes at the deadline use [`Shard::close_raw`]
+    /// and count as aborted).
+    fn close(&mut self, token: u64) {
+        self.close_raw(token);
+        if self.draining.is_some() {
+            self.totals.drained += 1;
+        }
+    }
+
+    fn close_raw(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.wheel.cancel(token);
+            let _ = self.poller.deregister(&conn.stream);
+            self.shared.active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+fn reject_over_cap(mut stream: TcpStream) {
+    let line = response_to_line(&Response::Error(ServiceError::Unavailable(
+        "connection limit reached".to_string(),
+    )));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = writeln!(stream, "{line}");
+}

@@ -55,6 +55,7 @@ mod cache;
 pub mod client;
 mod daemon;
 mod error;
+mod event_daemon;
 pub mod fingerprint;
 mod metrics;
 pub mod protocol;
@@ -65,6 +66,7 @@ pub use cache::{ArtifactCache, CacheConfig, CacheOutcome, CacheStats, Fingerprin
 pub use client::{call_with_retry, ClientReply, RetryPolicy};
 pub use daemon::{Daemon, DaemonConfig, DaemonSummary};
 pub use error::ServiceError;
+pub use event_daemon::EventDaemon;
 pub use lalr_chaos::{Fault, FaultInjector, FaultPlan, FaultPointStats, Trigger};
 pub use service::{
     ClassifySummary, CompileSummary, DocError, DocVerdict, ParseBatchSummary, ParseLaneStats,

@@ -170,6 +170,21 @@ pub fn render(s: &StatsSnapshot) -> String {
         }
         header(
             w,
+            "lalr_store_events_total",
+            "counter",
+            "Persistent store-tier events, by kind (all zero unless a \
+             store directory is configured).",
+        );
+        for (kind, n) in [
+            ("hits", c.store_hits),
+            ("misses", c.store_misses),
+            ("writes", c.store_writes),
+            ("corrupt", c.store_corrupt),
+        ] {
+            sample(w, "lalr_store_events_total", &format!("kind=\"{kind}\""), n);
+        }
+        header(
+            w,
             "lalr_cache_entries",
             "gauge",
             "Committed cache entries right now.",

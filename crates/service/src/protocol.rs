@@ -409,6 +409,10 @@ fn stats_to_value(s: &StatsSnapshot) -> Value {
                 ("coalesced", c.coalesced.into()),
                 ("evictions", c.evictions.into()),
                 ("compiles", c.compiles.into()),
+                ("store_hits", c.store_hits.into()),
+                ("store_misses", c.store_misses.into()),
+                ("store_writes", c.store_writes.into()),
+                ("store_corrupt", c.store_corrupt.into()),
                 ("entries", c.entries.into()),
                 ("bytes", c.bytes.into()),
                 ("hit_rate", c.hit_rate().into()),

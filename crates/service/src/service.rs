@@ -71,6 +71,13 @@ pub struct ServiceConfig {
     /// covers both the `service.compile` and `cache.storm` failpoints).
     /// Disabled by default — and free when disabled.
     pub faults: FaultInjector,
+    /// Directory for the persistent artifact store. When set (and
+    /// caching is enabled), [`Service::new`] opens a
+    /// [`lalr_store::Store`] there — sharing this config's fault
+    /// injector, so one chaos plan arms `store.write`/`store.read` along
+    /// with the in-process failpoints — and hands it to the cache as its
+    /// disk tier.
+    pub store_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -84,6 +91,7 @@ impl Default for ServiceConfig {
             default_deadline: None,
             max_pending: 1024,
             faults: FaultInjector::disabled(),
+            store_dir: None,
         }
     }
 }
@@ -396,11 +404,29 @@ impl Response {
     }
 }
 
+/// How a finished job hands its response back: a blocking caller parks
+/// on a channel ([`Service::call`]), an event loop registers a callback
+/// that runs on the worker thread ([`Service::submit`]).
+enum Reply {
+    Sync(mpsc::Sender<Response>),
+    Callback(Box<dyn FnOnce(Response) + Send>),
+}
+
+impl Reply {
+    fn deliver(self, response: Response) {
+        match self {
+            // A dropped receiver (caller gave up) is not an error.
+            Reply::Sync(tx) => drop(tx.send(response)),
+            Reply::Callback(f) => f(response),
+        }
+    }
+}
+
 struct Job {
     request: Request,
     deadline: Option<Instant>,
     accepted_at: Instant,
-    reply: mpsc::Sender<Response>,
+    reply: Reply,
 }
 
 struct Inner {
@@ -466,9 +492,16 @@ impl Service {
     /// Starts the worker pool.
     pub fn new(config: ServiceConfig) -> Service {
         // One injector per stack: the cache shares the service's plan so
-        // a single spec arms `service.compile` and `cache.storm` alike.
+        // a single spec arms `service.compile` and `cache.storm` alike —
+        // and, when a store directory is configured, `store.write` and
+        // `store.read` too.
         let cache = config.cache.clone().map(|mut c| {
             c.faults = config.faults.clone();
+            if let Some(dir) = &config.store_dir {
+                let store = lalr_store::Store::with_faults(dir, config.faults.clone())
+                    .expect("open artifact store directory");
+                c.store = Some(Arc::new(store));
+            }
             ArtifactCache::new(c)
         });
         let inner = Arc::new(Inner {
@@ -524,40 +557,11 @@ impl Service {
     pub fn call(&self, request: Request, deadline: Option<Duration>) -> Response {
         let accepted_at = Instant::now();
         let op = request.op();
-        let deadline = deadline
-            .or(self.inner.config.default_deadline)
-            .map(|d| accepted_at + d);
         let (reply_tx, reply_rx) = mpsc::channel();
-        let job = Job {
-            request,
-            deadline,
-            accepted_at,
-            reply: reply_tx,
-        };
-        let submitted = match &*self.tx.lock().expect("service sender poisoned") {
-            Some(tx) => match tx.try_send(job) {
-                Ok(()) => {
-                    self.inner.queue_depth.fetch_add(1, Ordering::SeqCst);
-                    Ok(())
-                }
-                Err(mpsc::TrySendError::Full(_)) => {
-                    self.inner.shed.fetch_add(1, Ordering::Relaxed);
-                    Err(ServiceError::Overloaded {
-                        pending: self.inner.queue_depth.load(Ordering::SeqCst),
-                        limit: self.inner.config.max_pending.max(1),
-                    })
-                }
-                Err(mpsc::TrySendError::Disconnected(_)) => Err(ServiceError::Unavailable(
-                    "service is shut down".to_string(),
-                )),
-            },
-            None => Err(ServiceError::Unavailable(
-                "service is shut down".to_string(),
-            )),
-        };
-        // Failed requests are observations too: a shed, rejected, or
-        // orphaned call still lands in the histogram and error counters.
-        if let Err(e) = submitted {
+        if let Err(e) = self.enqueue(request, deadline, accepted_at, Reply::Sync(reply_tx)) {
+            // Failed requests are observations too: a shed, rejected, or
+            // orphaned call still lands in the histogram and error
+            // counters.
             let response = Response::Error(e);
             self.inner.record(op, &response, accepted_at.elapsed());
             return response;
@@ -569,6 +573,80 @@ impl Service {
             self.inner.record(op, &response, accepted_at.elapsed());
             response
         })
+    }
+
+    /// Submits a request without blocking: `on_done` receives the
+    /// response **exactly once** — on a worker thread for executed
+    /// requests, or inline on this thread when the request is shed,
+    /// rejected, or orphaned by shutdown. The same deadline and shedding
+    /// semantics as [`Service::call`] apply; the callback must not block
+    /// for long (it runs on a pool worker) — the event-loop front end
+    /// uses it to park the response on a completion queue and wake its
+    /// poller.
+    pub fn submit<F>(&self, request: Request, deadline: Option<Duration>, on_done: F)
+    where
+        F: FnOnce(Response) + Send + 'static,
+    {
+        let accepted_at = Instant::now();
+        let op = request.op();
+        if let Err(e) = self.enqueue(
+            request,
+            deadline,
+            accepted_at,
+            Reply::Callback(Box::new(on_done)),
+        ) {
+            // `enqueue` already delivered the error through the callback;
+            // this side only records the observation.
+            self.inner
+                .record(op, &Response::Error(e), accepted_at.elapsed());
+        }
+    }
+
+    /// Queues a job, or explains why it cannot be queued. On failure the
+    /// reply has already been consumed: shed/unavailable errors are
+    /// delivered through it before returning, so every reply — sync or
+    /// callback — fires exactly once.
+    fn enqueue(
+        &self,
+        request: Request,
+        deadline: Option<Duration>,
+        accepted_at: Instant,
+        reply: Reply,
+    ) -> Result<(), ServiceError> {
+        let deadline = deadline
+            .or(self.inner.config.default_deadline)
+            .map(|d| accepted_at + d);
+        let job = Job {
+            request,
+            deadline,
+            accepted_at,
+            reply,
+        };
+        match &*self.tx.lock().expect("service sender poisoned") {
+            Some(tx) => match tx.try_send(job) {
+                Ok(()) => {
+                    self.inner.queue_depth.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                }
+                Err(mpsc::TrySendError::Full(job)) => {
+                    self.inner.shed.fetch_add(1, Ordering::Relaxed);
+                    Err(ServiceError::Overloaded {
+                        pending: self.inner.queue_depth.load(Ordering::SeqCst),
+                        limit: self.inner.config.max_pending.max(1),
+                    })
+                    .inspect_err(|e| job.reply.deliver(Response::Error(e.clone())))
+                }
+                Err(mpsc::TrySendError::Disconnected(job)) => Err(ServiceError::Unavailable(
+                    "service is shut down".to_string(),
+                ))
+                .inspect_err(|e| job.reply.deliver(Response::Error(e.clone()))),
+            },
+            None => {
+                let e = ServiceError::Unavailable("service is shut down".to_string());
+                job.reply.deliver(Response::Error(e.clone()));
+                Err(e)
+            }
+        }
     }
 
     /// Current statistics.
@@ -620,7 +698,7 @@ fn worker_loop(inner: &Inner, rx: &Mutex<mpsc::Receiver<Job>>) {
             .unwrap_or_else(|payload| Response::Error(ServiceError::from_panic(payload.as_ref())));
         let elapsed = job.accepted_at.elapsed();
         inner.record(job.request.op(), &response, elapsed);
-        let _ = job.reply.send(response);
+        job.reply.deliver(response);
     }
 }
 
@@ -654,10 +732,10 @@ impl Inner {
             Request::Compile { grammar, format } => match self.artifact(grammar, *format) {
                 Ok((artifact, outcome)) => Response::Compile(CompileSummary {
                     fingerprint: format_fingerprint(artifact.fingerprint()),
-                    cached: outcome == CacheOutcome::Hit,
-                    states: artifact.lr0().state_count(),
-                    productions: artifact.grammar().production_count(),
-                    terminals: artifact.grammar().terminal_count(),
+                    cached: matches!(outcome, CacheOutcome::Hit | CacheOutcome::Loaded),
+                    states: artifact.state_count(),
+                    productions: artifact.production_count(),
+                    terminals: artifact.terminal_count(),
                     conflicts: artifact.adequacy().lalr_conflicts,
                     class: artifact.adequacy().class.to_string(),
                     bytes: artifact.approx_bytes(),
@@ -743,7 +821,10 @@ impl Inner {
         let (artifact, cached) = match target {
             ParseTarget::Text { grammar, format } => {
                 let (artifact, outcome) = self.artifact(grammar, *format)?;
-                (artifact, outcome == CacheOutcome::Hit)
+                (
+                    artifact,
+                    matches!(outcome, CacheOutcome::Hit | CacheOutcome::Loaded),
+                )
             }
             ParseTarget::Fingerprint(fp) => {
                 let hex = format_fingerprint(*fp);

@@ -106,8 +106,8 @@ fn colliding_fingerprints_are_confirmed_by_full_text() {
     let (a, b) = (a.unwrap(), b.unwrap());
     assert_eq!(outcome, CacheOutcome::Compiled, "collision must not hit");
     assert_ne!(
-        a.grammar().production_count(),
-        b.grammar().production_count(),
+        a.production_count(),
+        b.production_count(),
         "each text gets its own artifact despite equal fingerprints"
     );
     // Repeat lookups hit the right bucket entry.
@@ -190,4 +190,57 @@ fn compile_errors_propagate_to_every_coalesced_waiter() {
     let (r, outcome) = cache.get_or_compile(G1, compile_native);
     assert!(r.is_ok());
     assert_eq!(outcome, CacheOutcome::Compiled);
+}
+
+/// Fingerprint replay across a cache restart: the same grammars, by
+/// the same fingerprints, replayed against a fresh cache over the same
+/// store directory must resolve from the persistent tier — and the
+/// store-tier counters must account for every lookup exactly.
+#[test]
+fn fingerprint_replay_over_a_reopened_cache_hits_the_store_tier() {
+    let dir = std::env::temp_dir().join(format!(
+        "lalr-cache-replay-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let with_store = || {
+        let mut config = CacheConfig::default();
+        config.store = Some(Arc::new(
+            lalr_store::Store::open(&dir).expect("store opens"),
+        ));
+        config
+    };
+
+    let first = ArtifactCache::new(with_store());
+    for g in [G1, G2, G3] {
+        assert!(first.get_or_compile(g, compile_native).0.is_ok());
+    }
+    let s = first.stats();
+    assert_eq!(s.compiles, 3, "{s:?}");
+    assert_eq!(s.store_misses, 3, "cold lookups all miss the disk: {s:?}");
+    assert_eq!(s.store_writes, 3, "every compile publishes: {s:?}");
+    assert_eq!(s.store_hits, 0, "{s:?}");
+    drop(first);
+
+    // The replay: a brand-new cache (empty memory tier) sees the same
+    // fingerprints and serves every one from disk without compiling.
+    let second = ArtifactCache::new(with_store());
+    for g in [G1, G2, G3] {
+        let (artifact, outcome) = second.get_or_compile(g, compile_native);
+        assert!(artifact.is_ok());
+        assert_eq!(outcome, CacheOutcome::Loaded, "replay must come from disk");
+    }
+    // A second pass now hits the memory tier, not the store.
+    for g in [G1, G2, G3] {
+        let (_, outcome) = second.get_or_compile(g, compile_native);
+        assert_eq!(outcome, CacheOutcome::Hit);
+    }
+    let s = second.stats();
+    assert_eq!(s.compiles, 0, "{s:?}");
+    assert_eq!(s.store_hits, 3, "{s:?}");
+    assert_eq!(s.store_misses, 0, "{s:?}");
+    assert_eq!(s.store_corrupt, 0, "{s:?}");
+    assert_eq!(s.hits, 3, "memory-tier hits on the second pass: {s:?}");
+    std::fs::remove_dir_all(&dir).ok();
 }

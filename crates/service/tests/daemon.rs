@@ -73,6 +73,21 @@ fn daemon_compiles_caches_reports_stats_and_shuts_down() {
     );
     let cache = stats.value.get("cache").expect("cache stats present");
     assert!(cache.get("hits").and_then(Value::as_u64) >= Some(1));
+    // The persistent-store counters are always reported, and stay zero
+    // when no store directory is configured.
+    for key in [
+        "store_hits",
+        "store_misses",
+        "store_writes",
+        "store_corrupt",
+    ] {
+        assert_eq!(
+            cache.get(key).and_then(Value::as_u64),
+            Some(0),
+            "{key}: {}",
+            stats.raw
+        );
+    }
 
     let bye = call(&daemon, &Request::Shutdown);
     assert!(bye.is_ok(), "{}", bye.raw);

@@ -1,0 +1,806 @@
+//! The on-disk artifact format: versioned header, checksummed
+//! relocatable sections, little-endian throughout.
+//!
+//! ```text
+//! [ header: 64 bytes                                     ]
+//!   magic "LALRSTOR" · version u32 · header_len u32
+//!   total_len u64 · fingerprint u64 · checksum u64
+//!   section_count u32 · pad
+//! [ section table: section_count × 24 bytes              ]
+//!   kind u32 · pad u32 · offset u64 · len u64   (offsets from file start)
+//! [ sections, 8-byte aligned                              ]
+//! ```
+//!
+//! The checksum (FNV-1a 64) covers every byte of the file except the
+//! checksum field itself — header fields, the section table, and all
+//! payload sections — so a torn, truncated, or bit-flipped file is
+//! always detected before any section is decoded.
+//! Offsets are relative to the file start and sections are self-framed,
+//! so a mapped file can be decoded in place without a deserialization
+//! pass over the whole payload: fixed-width sections (the dense ACTION
+//! and GOTO arrays) are sliced directly out of the mapping.
+
+use lalr_core::{GrammarClass, MethodAdequacy, RelationStats};
+use lalr_digraph::DigraphStats;
+use lalr_tables::{
+    Action, CompressedTable, ParseTable, ProductionInfo, Resolution, ResolutionReason,
+};
+
+/// File magic: 8 bytes at offset 0.
+pub const MAGIC: [u8; 8] = *b"LALRSTOR";
+/// Current format version. Readers reject anything else.
+pub const FORMAT_VERSION: u32 = 1;
+/// Fixed header size.
+pub const HEADER_LEN: usize = 64;
+
+const SECTION_ENTRY_LEN: usize = 24;
+
+/// Section kinds (the `kind` field of a section-table entry).
+mod kind {
+    pub const KEY: u32 = 1;
+    pub const META: u32 = 2;
+    pub const ACTIONS: u32 = 3;
+    pub const GOTOS: u32 = 4;
+    pub const PRODUCTIONS: u32 = 5;
+    pub const TERMINAL_NAMES: u32 = 6;
+    pub const NONTERMINAL_NAMES: u32 = 7;
+    pub const RESOLUTIONS: u32 = 8;
+    pub const COMPRESSED: u32 = 9;
+}
+
+/// Everything the service needs to serve `compile`, `classify`,
+/// `table`, and `parse` for a grammar without recompiling it — the
+/// store's unit of exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactRecord {
+    /// Content fingerprint (the cache key hash).
+    pub fingerprint: u64,
+    /// The full normalized cache key, for collision confirmation.
+    pub key: String,
+    /// LR(0) state count.
+    pub states: u32,
+    /// Grammar production count.
+    pub productions: u32,
+    /// Grammar terminal count.
+    pub terminals: u32,
+    /// Estimated resident bytes of the in-memory artifact.
+    pub approx_bytes: u64,
+    /// Per-method conflict counts and the resulting classification.
+    pub adequacy: MethodAdequacy,
+    /// Sizes of the `reads`/`includes`/`lookback` relations.
+    pub relations: RelationStats,
+    /// Digraph traversal statistics for `Read`.
+    pub reads: DigraphStats,
+    /// Digraph traversal statistics for `Follow` (`includes`).
+    pub includes: DigraphStats,
+    /// The dense ACTION/GOTO table.
+    pub table: ParseTable,
+    /// The row-compressed table.
+    pub compressed: CompressedTable,
+}
+
+/// FNV-1a 64-bit — the file checksum. Stable across platforms and
+/// builds, unlike hasher-randomized std hashes.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Streaming FNV-1a 64, so the checksum can skip its own header field
+/// without copying the file.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Byte offset of the checksum field inside the header.
+const CHECKSUM_OFFSET: usize = 32;
+
+/// The file checksum: FNV-1a 64 over every byte of the file *except*
+/// the checksum field itself — so header corruption (including a
+/// flipped fingerprint) is caught, not just payload corruption.
+fn file_checksum(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.update(&bytes[..CHECKSUM_OFFSET]);
+    h.update(&bytes[CHECKSUM_OFFSET + 8..]);
+    h.finish()
+}
+
+// ---------------------------------------------------------------- encode
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Writer {
+        Writer { buf: Vec::new() }
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+    fn align8(&mut self) {
+        while !self.buf.len().is_multiple_of(8) {
+            self.buf.push(0);
+        }
+    }
+}
+
+fn encode_action(a: Action) -> u64 {
+    match a {
+        Action::Error => 0,
+        Action::Shift(s) => (1u64 << 32) | u64::from(s),
+        Action::Reduce(p) => (2u64 << 32) | u64::from(p),
+        Action::Accept => 3u64 << 32,
+    }
+}
+
+fn decode_action(v: u64) -> Option<Action> {
+    let arg = (v & 0xffff_ffff) as u32;
+    match v >> 32 {
+        0 if arg == 0 => Some(Action::Error),
+        1 => Some(Action::Shift(arg)),
+        2 => Some(Action::Reduce(arg)),
+        3 if arg == 0 => Some(Action::Accept),
+        _ => None,
+    }
+}
+
+fn class_tag(c: GrammarClass) -> u64 {
+    match c {
+        GrammarClass::Lr0 => 0,
+        GrammarClass::Slr1 => 1,
+        GrammarClass::Lalr1 => 2,
+        GrammarClass::Lr1 => 3,
+        GrammarClass::NotLr1 => 4,
+    }
+}
+
+fn class_of(tag: u64) -> Option<GrammarClass> {
+    Some(match tag {
+        0 => GrammarClass::Lr0,
+        1 => GrammarClass::Slr1,
+        2 => GrammarClass::Lalr1,
+        3 => GrammarClass::Lr1,
+        4 => GrammarClass::NotLr1,
+        _ => return None,
+    })
+}
+
+fn reason_tag(r: ResolutionReason) -> u64 {
+    match r {
+        ResolutionReason::PrecedenceReduce => 0,
+        ResolutionReason::PrecedenceShift => 1,
+        ResolutionReason::AssocReduce => 2,
+        ResolutionReason::AssocShift => 3,
+        ResolutionReason::NonAssocError => 4,
+        ResolutionReason::DefaultShift => 5,
+        ResolutionReason::DefaultEarlierProduction => 6,
+        ResolutionReason::StrictError => 7,
+    }
+}
+
+fn reason_of(tag: u64) -> Option<ResolutionReason> {
+    Some(match tag {
+        0 => ResolutionReason::PrecedenceReduce,
+        1 => ResolutionReason::PrecedenceShift,
+        2 => ResolutionReason::AssocReduce,
+        3 => ResolutionReason::AssocShift,
+        4 => ResolutionReason::NonAssocError,
+        5 => ResolutionReason::DefaultShift,
+        6 => ResolutionReason::DefaultEarlierProduction,
+        7 => ResolutionReason::StrictError,
+        _ => return None,
+    })
+}
+
+/// Serializes a record into the on-disk byte format.
+pub fn encode(record: &ArtifactRecord) -> Vec<u8> {
+    // Build each section body first.
+    let mut sections: Vec<(u32, Vec<u8>)> = Vec::new();
+
+    sections.push((kind::KEY, record.key.as_bytes().to_vec()));
+
+    let mut meta = Writer::new();
+    let a = &record.adequacy;
+    let r = &record.relations;
+    for v in [
+        u64::from(record.states),
+        u64::from(record.productions),
+        u64::from(record.terminals),
+        u64::from(record.table.nonterminal_count()),
+        record.approx_bytes,
+        a.lr0_conflicts as u64,
+        a.slr_conflicts as u64,
+        a.nqlalr_conflicts as u64,
+        a.lalr_conflicts as u64,
+        a.lr1_conflicts as u64,
+        u64::from(a.not_lr_k),
+        class_tag(a.class),
+        r.nt_transitions as u64,
+        r.reads_edges as u64,
+        r.includes_edges as u64,
+        r.lookback_edges as u64,
+        r.reads_nontrivial_sccs as u64,
+        r.includes_nontrivial_sccs as u64,
+        r.includes_max_scc as u64,
+    ] {
+        meta.u64(v);
+    }
+    for d in [&record.reads, &record.includes] {
+        meta.u64(d.scc_count as u64);
+        meta.u64(d.nontrivial_sccs as u64);
+        meta.u64(d.max_scc_size as u64);
+        meta.u64(d.cyclic_nodes as u64);
+    }
+    sections.push((kind::META, meta.buf));
+
+    let mut actions = Writer::new();
+    for &a in record.table.actions_raw() {
+        actions.u64(encode_action(a));
+    }
+    sections.push((kind::ACTIONS, actions.buf));
+
+    let mut gotos = Writer::new();
+    for &g in record.table.gotos_raw() {
+        gotos.u32(g);
+    }
+    sections.push((kind::GOTOS, gotos.buf));
+
+    let mut prods = Writer::new();
+    prods.u64(record.table.production_count() as u64);
+    for p in record.table.production_infos() {
+        prods.u32(p.lhs);
+        prods.u32(p.rhs_len);
+        prods.str(&p.display);
+    }
+    sections.push((kind::PRODUCTIONS, prods.buf));
+
+    for (k, names) in [
+        (kind::TERMINAL_NAMES, record.table.terminal_names()),
+        (kind::NONTERMINAL_NAMES, record.table.nonterminal_names()),
+    ] {
+        let mut w = Writer::new();
+        w.u64(names.len() as u64);
+        for n in names {
+            w.str(n);
+        }
+        sections.push((k, w.buf));
+    }
+
+    let mut res = Writer::new();
+    res.u64(record.table.resolutions().len() as u64);
+    for x in record.table.resolutions() {
+        res.u32(x.state);
+        res.u32(x.terminal);
+        res.u64(encode_action(x.discarded));
+        res.u64(encode_action(x.kept));
+        res.u64(reason_tag(x.reason));
+    }
+    sections.push((kind::RESOLUTIONS, res.buf));
+
+    let mut comp = Writer::new();
+    comp.u64(record.compressed.state_count() as u64);
+    comp.u64(u64::from(record.compressed.terminal_count()));
+    for &d in record.compressed.defaults_raw() {
+        comp.u64(encode_action(d));
+    }
+    for row in record.compressed.rows_raw() {
+        comp.u64(row.len() as u64);
+        for &(t, a) in row {
+            comp.u32(t);
+            comp.u32(0);
+            comp.u64(encode_action(a));
+        }
+    }
+    sections.push((kind::COMPRESSED, comp.buf));
+
+    // Lay out: header | section table | aligned section bodies.
+    let table_len = sections.len() * SECTION_ENTRY_LEN;
+    let mut offset = HEADER_LEN + table_len;
+    let mut entries = Writer::new();
+    for (k, body) in &sections {
+        offset = (offset + 7) & !7;
+        entries.u32(*k);
+        entries.u32(0);
+        entries.u64(offset as u64);
+        entries.u64(body.len() as u64);
+        offset += body.len();
+    }
+
+    let mut payload = Writer::new();
+    payload.bytes(&entries.buf);
+    for (_, body) in &sections {
+        payload.align8();
+        payload.bytes(body);
+    }
+    // Alignment inside `payload` is relative to the payload start;
+    // HEADER_LEN is a multiple of 8, so file offsets line up too.
+    let total_len = (HEADER_LEN + payload.buf.len()) as u64;
+
+    let mut out = Writer::new();
+    out.bytes(&MAGIC);
+    out.u32(FORMAT_VERSION);
+    out.u32(HEADER_LEN as u32);
+    out.u64(total_len);
+    out.u64(record.fingerprint);
+    out.u64(0); // checksum placeholder, patched below
+    out.u32(sections.len() as u32);
+    out.u32(0);
+    while out.buf.len() < HEADER_LEN {
+        out.buf.push(0);
+    }
+    out.bytes(&payload.buf);
+    let checksum = file_checksum(&out.buf);
+    out.buf[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&checksum.to_le_bytes());
+    debug_assert_eq!(out.buf.len() as u64, total_len);
+    out.buf
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Why a decode failed. Everything maps to "corrupt" for callers; the
+/// detail string aids `store verify` output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatError(pub String);
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, FormatError> {
+    Err(FormatError(msg.into()))
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FormatError> {
+        if self.buf.len() - self.pos < n {
+            return err("section truncated");
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u32(&mut self) -> Result<u32, FormatError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, FormatError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> Result<String, FormatError> {
+        let len = self.u64()?;
+        let len = usize::try_from(len).map_err(|_| FormatError("string too long".into()))?;
+        if len > self.buf.len() - self.pos {
+            return err("string runs past section");
+        }
+        match std::str::from_utf8(self.take(len)?) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => err("string is not UTF-8"),
+        }
+    }
+    fn action(&mut self) -> Result<Action, FormatError> {
+        decode_action(self.u64()?).ok_or_else(|| FormatError("invalid action encoding".into()))
+    }
+    fn count(&mut self, width: usize) -> Result<usize, FormatError> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).map_err(|_| FormatError("count overflows".into()))?;
+        // A count must be satisfiable by the remaining bytes — rejects
+        // absurd values before any allocation.
+        if n.checked_mul(width)
+            .is_none_or(|total| total > self.buf.len() - self.pos)
+        {
+            return err("count runs past section");
+        }
+        Ok(n)
+    }
+}
+
+/// Parsed header + section directory, produced by [`inspect`].
+#[derive(Debug, Clone)]
+pub struct FileInfo {
+    /// The fingerprint the file claims.
+    pub fingerprint: u64,
+    /// Total file length according to the header.
+    pub total_len: u64,
+    /// Payload checksum stored in the header.
+    pub checksum: u64,
+    /// `(kind, offset, len)` per section.
+    pub sections: Vec<(u32, u64, u64)>,
+}
+
+/// Validates magic, version, length, and checksum, returning the
+/// section directory. This is the integrity gate: every load and every
+/// `store verify` goes through it before touching section bytes.
+pub fn inspect(bytes: &[u8]) -> Result<FileInfo, FormatError> {
+    if bytes.len() < HEADER_LEN {
+        return err(format!("file too short ({} bytes)", bytes.len()));
+    }
+    let mut r = Reader::new(bytes);
+    if r.take(8)? != MAGIC {
+        return err("bad magic");
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return err(format!("unsupported format version {version}"));
+    }
+    let header_len = r.u32()?;
+    if header_len as usize != HEADER_LEN {
+        return err(format!("unexpected header length {header_len}"));
+    }
+    let total_len = r.u64()?;
+    if total_len != bytes.len() as u64 {
+        return err(format!(
+            "length mismatch: header says {total_len}, file has {}",
+            bytes.len()
+        ));
+    }
+    let fingerprint = r.u64()?;
+    let checksum = r.u64()?;
+    let section_count = r.u32()?;
+    let actual = file_checksum(bytes);
+    if actual != checksum {
+        return err(format!(
+            "checksum mismatch: header {checksum:#018x}, file {actual:#018x}"
+        ));
+    }
+    let mut r = Reader::new(bytes);
+    r.pos = HEADER_LEN;
+    let mut sections = Vec::new();
+    for _ in 0..section_count {
+        let k = r.u32()?;
+        let _pad = r.u32()?;
+        let offset = r.u64()?;
+        let len = r.u64()?;
+        if offset.checked_add(len).is_none_or(|end| end > total_len) {
+            return err("section out of bounds");
+        }
+        sections.push((k, offset, len));
+    }
+    Ok(FileInfo {
+        fingerprint,
+        total_len,
+        checksum,
+        sections,
+    })
+}
+
+fn section<'a>(bytes: &'a [u8], info: &FileInfo, k: u32) -> Result<&'a [u8], FormatError> {
+    for &(kk, offset, len) in &info.sections {
+        if kk == k {
+            return Ok(&bytes[offset as usize..(offset + len) as usize]);
+        }
+    }
+    err(format!("missing section kind {k}"))
+}
+
+/// Decodes a full record from checksum-verified bytes.
+pub fn decode(bytes: &[u8]) -> Result<ArtifactRecord, FormatError> {
+    let info = inspect(bytes)?;
+
+    let key = match std::str::from_utf8(section(bytes, &info, kind::KEY)?) {
+        Ok(s) => s.to_string(),
+        Err(_) => return err("key is not UTF-8"),
+    };
+
+    let mut m = Reader::new(section(bytes, &info, kind::META)?);
+    let states = m.u64()? as u32;
+    let productions = m.u64()? as u32;
+    let terminals = m.u64()? as u32;
+    let nonterminals = m.u64()? as u32;
+    let approx_bytes = m.u64()?;
+    let adequacy = MethodAdequacy {
+        lr0_conflicts: m.u64()? as usize,
+        slr_conflicts: m.u64()? as usize,
+        nqlalr_conflicts: m.u64()? as usize,
+        lalr_conflicts: m.u64()? as usize,
+        lr1_conflicts: m.u64()? as usize,
+        not_lr_k: m.u64()? != 0,
+        class: class_of(m.u64()?).ok_or_else(|| FormatError("invalid grammar class".into()))?,
+    };
+    let relations = RelationStats {
+        nt_transitions: m.u64()? as usize,
+        reads_edges: m.u64()? as usize,
+        includes_edges: m.u64()? as usize,
+        lookback_edges: m.u64()? as usize,
+        reads_nontrivial_sccs: m.u64()? as usize,
+        includes_nontrivial_sccs: m.u64()? as usize,
+        includes_max_scc: m.u64()? as usize,
+    };
+    let digraph = |m: &mut Reader| -> Result<DigraphStats, FormatError> {
+        Ok(DigraphStats {
+            scc_count: m.u64()? as usize,
+            nontrivial_sccs: m.u64()? as usize,
+            max_scc_size: m.u64()? as usize,
+            cyclic_nodes: m.u64()? as usize,
+        })
+    };
+    let reads = digraph(&mut m)?;
+    let includes = digraph(&mut m)?;
+
+    // The fixed-width arrays decode straight off the mapped bytes.
+    let actions_bytes = section(bytes, &info, kind::ACTIONS)?;
+    if actions_bytes.len() != states as usize * terminals as usize * 8 {
+        return err("ACTION section size disagrees with dimensions");
+    }
+    let mut actions = Vec::with_capacity(states as usize * terminals as usize);
+    let mut r = Reader::new(actions_bytes);
+    for _ in 0..states as usize * terminals as usize {
+        actions.push(r.action()?);
+    }
+
+    let gotos_bytes = section(bytes, &info, kind::GOTOS)?;
+    if gotos_bytes.len() != states as usize * nonterminals as usize * 4 {
+        return err("GOTO section size disagrees with dimensions");
+    }
+    let mut gotos = Vec::with_capacity(states as usize * nonterminals as usize);
+    let mut r = Reader::new(gotos_bytes);
+    for _ in 0..states as usize * nonterminals as usize {
+        gotos.push(r.u32()?);
+    }
+
+    let mut r = Reader::new(section(bytes, &info, kind::PRODUCTIONS)?);
+    let n = r.count(16)?;
+    let mut prod_infos = Vec::with_capacity(n);
+    for _ in 0..n {
+        let lhs = r.u32()?;
+        let rhs_len = r.u32()?;
+        let display = r.str()?;
+        prod_infos.push(ProductionInfo {
+            lhs,
+            rhs_len,
+            display,
+        });
+    }
+    if prod_infos.len() != productions as usize {
+        return err("production count disagrees with META");
+    }
+
+    let names = |k: u32, expect: u32| -> Result<Vec<String>, FormatError> {
+        let mut r = Reader::new(section(bytes, &info, k)?);
+        let n = r.count(8)?;
+        if n != expect as usize {
+            return err("name count disagrees with META");
+        }
+        (0..n).map(|_| r.str()).collect()
+    };
+    let terminal_names = names(kind::TERMINAL_NAMES, terminals)?;
+    let nonterminal_names = names(kind::NONTERMINAL_NAMES, nonterminals)?;
+
+    let mut r = Reader::new(section(bytes, &info, kind::RESOLUTIONS)?);
+    let n = r.count(32)?;
+    let mut resolutions = Vec::with_capacity(n);
+    for _ in 0..n {
+        let state = r.u32()?;
+        let terminal = r.u32()?;
+        let discarded = r.action()?;
+        let kept = r.action()?;
+        let reason =
+            reason_of(r.u64()?).ok_or_else(|| FormatError("invalid resolution reason".into()))?;
+        resolutions.push(Resolution {
+            state,
+            terminal,
+            discarded,
+            kept,
+            reason,
+        });
+    }
+
+    let mut r = Reader::new(section(bytes, &info, kind::COMPRESSED)?);
+    let comp_states = r.count(8)?;
+    if comp_states != states as usize {
+        return err("compressed state count disagrees with META");
+    }
+    let comp_terminals = r.u64()? as u32;
+    let mut defaults = Vec::with_capacity(comp_states);
+    for _ in 0..comp_states {
+        defaults.push(r.action()?);
+    }
+    let mut rows = Vec::with_capacity(comp_states);
+    for _ in 0..comp_states {
+        let entries = r.count(16)?;
+        let mut row = Vec::with_capacity(entries);
+        let mut last: Option<u32> = None;
+        for _ in 0..entries {
+            let t = r.u32()?;
+            let _pad = r.u32()?;
+            let a = r.action()?;
+            if last.is_some_and(|l| l >= t) {
+                return err("compressed row not sorted");
+            }
+            last = Some(t);
+            row.push((t, a));
+        }
+        rows.push(row);
+    }
+
+    let table = ParseTable::from_raw_parts(
+        actions,
+        gotos,
+        states,
+        terminals,
+        nonterminals,
+        prod_infos,
+        terminal_names,
+        nonterminal_names,
+        resolutions,
+    );
+    let compressed = CompressedTable::from_raw_parts(rows, defaults, comp_terminals);
+
+    Ok(ArtifactRecord {
+        fingerprint: info.fingerprint,
+        key,
+        states,
+        productions,
+        terminals,
+        approx_bytes,
+        adequacy,
+        relations,
+        reads,
+        includes,
+        table,
+        compressed,
+    })
+}
+
+/// Reads just the KEY section (after full integrity validation) — what
+/// collision confirmation needs without decoding the tables.
+pub fn decode_key(bytes: &[u8]) -> Result<String, FormatError> {
+    let info = inspect(bytes)?;
+    match std::str::from_utf8(section(bytes, &info, kind::KEY)?) {
+        Ok(s) => Ok(s.to_string()),
+        Err(_) => err("key is not UTF-8"),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use lalr_automata::Lr0Automaton;
+    use lalr_core::LalrAnalysis;
+    use lalr_grammar::parse_grammar;
+    use lalr_tables::{build_table, TableOptions};
+
+    pub(crate) fn sample_record(src: &str, key: &str, fingerprint: u64) -> ArtifactRecord {
+        let g = parse_grammar(src).unwrap();
+        let lr0 = Lr0Automaton::build(&g);
+        let analysis = LalrAnalysis::compute(&g, &lr0);
+        let adequacy = lalr_core::classify(&g);
+        let relations = lalr_core::Relations::build(&g, &lr0).stats();
+        let table = build_table(&g, &lr0, analysis.lookaheads(), TableOptions::default());
+        let compressed = CompressedTable::from_dense(&table);
+        ArtifactRecord {
+            fingerprint,
+            key: key.to_string(),
+            states: table.state_count(),
+            productions: table.production_count() as u32,
+            terminals: table.terminal_count(),
+            approx_bytes: 4242,
+            adequacy,
+            relations,
+            reads: DigraphStats {
+                scc_count: 3,
+                nontrivial_sccs: 0,
+                max_scc_size: 1,
+                cyclic_nodes: 0,
+            },
+            includes: DigraphStats {
+                scc_count: 3,
+                nontrivial_sccs: 1,
+                max_scc_size: 2,
+                cyclic_nodes: 2,
+            },
+            table,
+            compressed,
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let rec = sample_record(
+            "e : e \"+\" t | t ; t : t \"*\" f | f ; f : \"(\" e \")\" | \"x\" ;",
+            "%key native\ne : ...",
+            0xDEAD_BEEF_0123_4567,
+        );
+        let bytes = encode(&rec);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let rec = sample_record("s : \"a\" s | \"b\" ;", "k", 7);
+        let bytes = encode(&rec);
+        // Chop at a spread of lengths including mid-header and mid-section.
+        for cut in [
+            0,
+            1,
+            7,
+            HEADER_LEN - 1,
+            HEADER_LEN,
+            bytes.len() / 2,
+            bytes.len() - 1,
+        ] {
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected_or_harmless() {
+        let rec = sample_record("s : \"a\" ;", "key-text", 99);
+        let bytes = encode(&rec);
+        // Flipping any payload byte must be caught by the checksum;
+        // flipping header bytes must be caught by magic/length/checksum
+        // comparisons. (The checksum field itself mismatches the
+        // payload when flipped.)
+        for i in 0..bytes.len() {
+            let mut copy = bytes.clone();
+            copy[i] ^= 0x40;
+            match decode(&copy) {
+                Err(_) => {}
+                Ok(back) => {
+                    // A flip inside header padding doesn't corrupt data.
+                    assert_eq!(back, rec, "undetected corruption at byte {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn version_bump_is_rejected() {
+        let rec = sample_record("s : \"a\" ;", "k", 1);
+        let mut bytes = encode(&rec);
+        bytes[8] = 2; // version field
+        let e = decode(&bytes).unwrap_err();
+        assert!(e.0.contains("version"), "{e}");
+    }
+
+    #[test]
+    fn compressed_lookup_survives_the_round_trip() {
+        let rec = sample_record("e : e \"+\" t | t ; t : \"x\" ;", "k", 5);
+        let back = decode(&encode(&rec)).unwrap();
+        for s in 0..rec.table.state_count() {
+            for t in 0..rec.table.terminal_count() {
+                assert_eq!(rec.table.action(s, t), back.table.action(s, t));
+                assert_eq!(rec.compressed.action(s, t), back.compressed.action(s, t));
+            }
+        }
+    }
+}

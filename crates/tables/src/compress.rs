@@ -111,6 +111,48 @@ impl CompressedTable {
     pub fn default_action(&self, state: u32) -> Action {
         self.defaults[state as usize]
     }
+
+    /// Per-state sorted explicit entries, for serializers.
+    pub fn rows_raw(&self) -> &[Vec<(u32, Action)>] {
+        &self.rows
+    }
+
+    /// Per-state default actions, for serializers.
+    pub fn defaults_raw(&self) -> &[Action] {
+        &self.defaults
+    }
+
+    /// Terminal count (ACTION columns).
+    pub fn terminal_count(&self) -> u32 {
+        self.terminals
+    }
+
+    /// Reassembles a compressed table from its raw parts — the inverse
+    /// of [`CompressedTable::rows_raw`]/[`CompressedTable::defaults_raw`],
+    /// used by the on-disk artifact store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` and `defaults` disagree in length or a row is
+    /// unsorted.
+    pub fn from_raw_parts(
+        rows: Vec<Vec<(u32, Action)>>,
+        defaults: Vec<Action>,
+        terminals: u32,
+    ) -> CompressedTable {
+        assert_eq!(rows.len(), defaults.len());
+        for row in &rows {
+            assert!(
+                row.windows(2).all(|w| w[0].0 < w[1].0),
+                "explicit entries must be sorted by terminal"
+            );
+        }
+        CompressedTable {
+            rows,
+            defaults,
+            terminals,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -140,6 +140,69 @@ impl ParseTable {
             .collect()
     }
 
+    /// The flat row-major `ACTION` array (`states × terminals`), for
+    /// serializers.
+    pub fn actions_raw(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// The flat row-major `GOTO` array (`states × nonterminals`,
+    /// `u32::MAX` = absent), for serializers.
+    pub fn gotos_raw(&self) -> &[u32] {
+        &self.gotos
+    }
+
+    /// All production metadata, in production order.
+    pub fn production_infos(&self) -> &[ProductionInfo] {
+        &self.productions
+    }
+
+    /// All terminal names, in index order.
+    pub fn terminal_names(&self) -> &[String] {
+        &self.terminal_names
+    }
+
+    /// All nonterminal names, in index order.
+    pub fn nonterminal_names(&self) -> &[String] {
+        &self.nonterminal_names
+    }
+
+    /// Reassembles a table from its raw parts — the inverse of the
+    /// `*_raw`/name/production accessors, used by the on-disk artifact
+    /// store. Dimensions are validated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array lengths disagree with the dimensions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        actions: Vec<Action>,
+        gotos: Vec<u32>,
+        states: u32,
+        terminals: u32,
+        nonterminals: u32,
+        productions: Vec<ProductionInfo>,
+        terminal_names: Vec<String>,
+        nonterminal_names: Vec<String>,
+        resolutions: Vec<crate::build::Resolution>,
+    ) -> ParseTable {
+        assert_eq!(actions.len(), (states * terminals) as usize);
+        assert_eq!(gotos.len(), (states * nonterminals) as usize);
+        assert_eq!(terminal_names.len(), terminals as usize);
+        assert_eq!(nonterminal_names.len(), nonterminals as usize);
+        ParseTable {
+            actions,
+            gotos,
+            states,
+            terminals,
+            nonterminals,
+            productions,
+            terminal_names,
+            nonterminal_names,
+            resolutions,
+        }
+    }
+
     /// Occupancy statistics.
     pub fn stats(&self) -> TableStats {
         TableStats {
