@@ -38,7 +38,17 @@
 //! cargo run --release -p lalr-bench --bin loadgen -- --chaos   # fault-rate sweep over TCP
 //! cargo run --release -p lalr-bench --bin loadgen -- --parse   # batched-parse sweep
 //! cargo run --release -p lalr-bench --bin loadgen -- --restart # warm-restart latency
+//! cargo run --release -p lalr-bench --bin loadgen -- --trace   # mixed mode, recorder armed
 //! ```
+//!
+//! `--trace` arms the flight recorder (sampling every request) on the
+//! mixed-mode services, so running the same mix with and without it
+//! prices the tracing overhead (EXPERIMENTS.md Table 14).
+//!
+//! Every mode also accepts `--json OUT`: alongside the human-readable
+//! table, the run's results (throughput, per-percentile latency, error
+//! and fault accounting) are written to `OUT` as one JSON object, so CI
+//! and scripts can assert on numbers without scraping markdown.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -179,6 +189,15 @@ fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+/// Writes the machine-readable results file requested with `--json`.
+fn write_json(path: &str, body: String) {
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("loadgen: cannot write {path:?}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("loadgen: json results -> {path}");
+}
+
 /// The Table 10 fault mix at a given base rate: transport faults on
 /// both directions of the daemon socket plus worker panics and slow
 /// compiles. Every fault here is one the retrying client recovers from.
@@ -305,7 +324,7 @@ fn run_chaos_arm(
     }
 }
 
-fn chaos_main(threads: usize, per_thread: usize) {
+fn chaos_main(threads: usize, per_thread: usize, json_out: Option<&str>) {
     let requests = Arc::new(workload());
     eprintln!(
         "loadgen --chaos: {threads} threads x {per_thread} requests over TCP, \
@@ -335,6 +354,35 @@ fn chaos_main(threads: usize, per_thread: usize) {
             ms(arm.p99),
         );
         failed |= arm.errors > 0 || !arm.accounted;
+    }
+    if let Some(path) = json_out {
+        let rows: Vec<String> = arms
+            .iter()
+            .map(|arm| {
+                format!(
+                    "{{\"accounted\":{},\"errors\":{},\"injected\":{},\"p50_ms\":{:.3},\
+                     \"p99_ms\":{:.3},\"rate\":{},\"req_per_s\":{:.1},\"requests\":{},\
+                     \"retries\":{}}}",
+                    arm.accounted,
+                    arm.errors,
+                    arm.injected,
+                    ms(arm.p50),
+                    ms(arm.p99),
+                    arm.rate,
+                    arm.requests as f64 / arm.elapsed.as_secs_f64(),
+                    arm.requests,
+                    arm.retries,
+                )
+            })
+            .collect();
+        write_json(
+            path,
+            format!(
+                "{{\"arms\":[{}],\"mode\":\"chaos\",\"per_thread\":{per_thread},\
+                 \"threads\":{threads}}}\n",
+                rows.join(",")
+            ),
+        );
     }
     if failed {
         eprintln!("loadgen --chaos: requests failed or fault accounting drifted");
@@ -413,11 +461,12 @@ fn run_parse_arm(
     (docs, errors, started.elapsed())
 }
 
-fn parse_main(threads: usize, passes: usize) {
+fn parse_main(threads: usize, passes: usize, json_out: Option<&str>) {
     eprintln!("loadgen --parse: {threads} threads x {passes} full corpus passes per arm");
     println!("| batch | arm  | batches | docs | errors | docs/s | resolutions | docs/resolution |");
     println!("|------:|------|--------:|-----:|-------:|-------:|------------:|----------------:|");
     let mut failed = false;
+    let mut rows: Vec<String> = Vec::new();
     for batch in [1usize, 8, 64] {
         let requests = Arc::new(parse_workload(batch));
         for warm in [false, true] {
@@ -454,8 +503,24 @@ fn parse_main(threads: usize, passes: usize) {
                 resolutions,
                 docs as f64 / resolutions.max(1) as f64,
             );
+            rows.push(format!(
+                "{{\"arm\":\"{}\",\"batch\":{batch},\"batches\":{},\"docs\":{docs},\
+                 \"docs_per_s\":{:.1},\"errors\":{errors},\"resolutions\":{resolutions}}}",
+                if warm { "warm" } else { "cold" },
+                requests.len() * passes,
+                docs as f64 / elapsed.as_secs_f64(),
+            ));
             failed |= errors > 0;
         }
+    }
+    if let Some(path) = json_out {
+        write_json(
+            path,
+            format!(
+                "{{\"mode\":\"parse\",\"passes\":{passes},\"rows\":[{}],\"threads\":{threads}}}\n",
+                rows.join(",")
+            ),
+        );
     }
     if failed {
         eprintln!("loadgen --parse: some batches failed");
@@ -541,7 +606,7 @@ fn timed_pass(addr: &str, requests: &[Request], errors: &mut u64) -> Vec<Duratio
 
 /// The Table 13 harness. A single sequential client keeps the latency
 /// numbers clean (no queueing); `workers` only sizes the daemon's pool.
-fn restart_main(workers: usize) {
+fn restart_main(workers: usize, json_out: Option<&str>) {
     let requests: Vec<Request> = lalr_corpus::all_entries()
         .iter()
         .map(|entry| Request::Compile {
@@ -562,6 +627,7 @@ fn restart_main(workers: usize) {
     println!("| arm | phase | requests | p50 (ms) | p99 (ms) |");
     println!("|------|-------|---------:|---------:|---------:|");
     let mut failed = false;
+    let mut arms_json: Vec<String> = Vec::new();
     for with_store in [false, true] {
         let arm = if with_store { "store" } else { "no-store" };
         let dir =
@@ -594,6 +660,7 @@ fn restart_main(workers: usize) {
                 .unwrap_or_default();
         second.finish();
 
+        let mut phases_json: Vec<String> = Vec::new();
         for (phase, latencies) in [
             ("cold compile", &cold),
             ("in-memory hit", &hits),
@@ -605,6 +672,12 @@ fn restart_main(workers: usize) {
                 ms(percentile(latencies, 0.50)),
                 ms(percentile(latencies, 0.99)),
             );
+            phases_json.push(format!(
+                "{{\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"phase\":\"{phase}\",\"requests\":{}}}",
+                ms(percentile(latencies, 0.50)),
+                ms(percentile(latencies, 0.99)),
+                latencies.len(),
+            ));
         }
         let compiles = counter(&stats_raw, "compiles");
         let store_hits = counter(&stats_raw, "store_hits");
@@ -616,6 +689,12 @@ fn restart_main(workers: usize) {
             "{arm}: restarted daemon ran {compiles} compiles, {store_hits} store hits, \
              {errors} errors"
         );
+        arms_json.push(format!(
+            "{{\"arm\":\"{arm}\",\"compiles\":{compiles},\"errors\":{errors},\"phases\":[{}],\
+             \"store_hits\":{store_hits},\"time_to_first_ms\":{:.3}}}",
+            phases_json.join(","),
+            time_to_first.as_secs_f64() * 1e3,
+        ));
 
         failed |= errors > 0;
         // The whole point of the store arm: the restarted daemon must
@@ -630,6 +709,15 @@ fn restart_main(workers: usize) {
         }
         std::fs::remove_dir_all(&dir).ok();
     }
+    if let Some(path) = json_out {
+        write_json(
+            path,
+            format!(
+                "{{\"arms\":[{}],\"mode\":\"restart\",\"workers\":{workers}}}\n",
+                arms_json.join(",")
+            ),
+        );
+    }
     if failed {
         eprintln!("loadgen --restart: failed");
         std::process::exit(1);
@@ -641,35 +729,54 @@ fn main() {
     let chaos = args.iter().any(|a| a == "--chaos");
     let parse = args.iter().any(|a| a == "--parse");
     let restart = args.iter().any(|a| a == "--restart");
-    args.retain(|a| a != "--chaos" && a != "--parse" && a != "--restart");
+    // `--trace` arms the flight recorder (sample-every-request) on the
+    // mixed-mode services, for the Table 14 armed-vs-disabled overhead
+    // comparison.
+    let trace = args.iter().any(|a| a == "--trace");
+    args.retain(|a| a != "--chaos" && a != "--parse" && a != "--restart" && a != "--trace");
+    // `--json OUT` is a value flag: pull it (and its value) out before
+    // the remaining words are read as positionals.
+    let mut json_out: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        if pos + 1 >= args.len() {
+            eprintln!("loadgen: --json needs an output path");
+            std::process::exit(2);
+        }
+        json_out = Some(args.remove(pos + 1));
+        args.remove(pos);
+    }
+    let json_out = json_out.as_deref();
     let threads: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(8);
     let per_thread: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40);
     if restart {
-        restart_main(threads.min(4));
+        restart_main(threads.min(4), json_out);
         return;
     }
     if chaos {
-        chaos_main(threads, per_thread);
+        chaos_main(threads, per_thread, json_out);
         return;
     }
     if parse {
         // The second positional is *passes* here, not requests per
         // thread: every pass covers the whole corpus workload.
         let passes = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
-        parse_main(threads, passes);
+        parse_main(threads, passes, json_out);
         return;
     }
 
     let requests = Arc::new(workload());
+    let tracing = trace.then(lalr_service::TraceConfig::default);
     eprintln!(
-        "loadgen: {threads} threads x {per_thread} requests, {} distinct requests in the mix",
-        requests.len()
+        "loadgen: {threads} threads x {per_thread} requests, {} distinct requests in the mix{}",
+        requests.len(),
+        if trace { ", tracing armed" } else { "" }
     );
 
     // Cold arm: no cache, every request compiles.
     let cold_service = Arc::new(Service::new(ServiceConfig {
         workers: Parallelism::new(threads),
         cache: None,
+        tracing,
         ..ServiceConfig::default()
     }));
     let cold = run_arm("cold", &cold_service, &requests, threads, per_thread);
@@ -678,6 +785,7 @@ fn main() {
     // Warm arm: default cache, pre-warmed with one sequential pass.
     let warm_service = Arc::new(Service::new(ServiceConfig {
         workers: Parallelism::new(threads),
+        tracing,
         ..ServiceConfig::default()
     }));
     for request in requests.iter() {
@@ -705,13 +813,49 @@ fn main() {
     let speedup = warm.throughput() / cold.throughput();
     println!();
     println!("warm/cold throughput: {speedup:.1}x");
-    if let Some(cache) = stats.cache {
+    if let Some(cache) = &stats.cache {
         println!(
             "warm-arm cache: {:.1}% hit rate ({} hits, {} misses, {} coalesced)",
             cache.hit_rate() * 100.0,
             cache.hits,
             cache.misses,
             cache.coalesced
+        );
+    }
+    if let Some(path) = json_out {
+        let rows: Vec<String> = [&cold, &warm]
+            .iter()
+            .map(|arm| {
+                format!(
+                    "{{\"errors\":{},\"name\":\"{}\",\"p50_ms\":{:.3},\"p90_ms\":{:.3},\
+                     \"p99_ms\":{:.3},\"req_per_s\":{:.1},\"requests\":{}}}",
+                    arm.errors,
+                    arm.name,
+                    ms(arm.p50),
+                    ms(arm.p90),
+                    ms(arm.p99),
+                    arm.throughput(),
+                    arm.requests,
+                )
+            })
+            .collect();
+        let cache_json = stats.cache.as_ref().map_or_else(
+            || "null".to_string(),
+            |c| {
+                format!(
+                    "{{\"coalesced\":{},\"hits\":{},\"misses\":{}}}",
+                    c.coalesced, c.hits, c.misses
+                )
+            },
+        );
+        write_json(
+            path,
+            format!(
+                "{{\"arms\":[{}],\"mode\":\"mixed\",\"per_thread\":{per_thread},\
+                 \"threads\":{threads},\"warm_cache\":{cache_json},\
+                 \"warm_cold_speedup\":{speedup:.2}}}\n",
+                rows.join(",")
+            ),
         );
     }
     if cold.errors + warm.errors > 0 {

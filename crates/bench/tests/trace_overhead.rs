@@ -1,0 +1,101 @@
+//! The tracing no-overhead contract, extending the `obs_overhead.rs`
+//! discipline to the daemon hot path: a service whose flight recorder
+//! is *disabled* must execute `call` exactly like a pre-tracing service
+//! — same allocation count, byte for byte. Every tracing hook starts
+//! with an `Option` check on the recorder, so the disabled path
+//! compiles down to the untraced code; an ungated `Arc::new`,
+//! `Instant::now` box, or stage tally shows up here as an allocation
+//! delta before any benchmark notices.
+//!
+//! A second assertion bounds the *armed* path: sampling 1-in-N must
+//! allocate on sampled requests only, so an armed-but-never-sampling
+//! recorder (`sample_every` larger than the request count) is also
+//! allocation-identical on the steady-state path.
+//!
+//! This file is its own test binary (one test family, no concurrency),
+//! so the process-global allocation counters see only the measured
+//! calls.
+
+use lalr_bench::alloc_counter::measure;
+use lalr_core::Parallelism;
+use lalr_service::{GrammarFormat, Request, Service, ServiceConfig, TraceConfig};
+
+const GRAMMAR: &str = "e : e \"+\" t | t ; t : \"x\" ;";
+
+fn service(tracing: Option<TraceConfig>) -> Service {
+    Service::new(ServiceConfig {
+        workers: Parallelism::new(1),
+        tracing,
+        ..ServiceConfig::default()
+    })
+}
+
+fn compile_request() -> Request {
+    Request::Compile {
+        grammar: GRAMMAR.to_string(),
+        format: GrammarFormat::Native,
+    }
+}
+
+/// Allocations of one warm (cache-hit) `call` on an already-warmed
+/// service: the daemon steady-state hot path.
+fn warm_call_allocations(service: &Service) -> usize {
+    let ((), stats) = measure(|| {
+        let response = service.call(compile_request(), None);
+        assert!(response.is_ok(), "{response:?}");
+        std::hint::black_box(&response);
+    });
+    stats.allocations
+}
+
+#[test]
+fn disabled_tracing_adds_zero_allocations_to_the_request_path() {
+    // Arm A: tracing disabled entirely (the library default).
+    let plain = service(None);
+    // Arm B: recorder armed but sampling 1-in-1M, so no request in this
+    // test is ever sampled — the begin/finish hooks run their cheap
+    // should-sample check and nothing else.
+    let armed_idle = service(Some(TraceConfig {
+        capacity: 64,
+        sample_every: 1_000_000,
+    }));
+    // Arm C: sampling every request, as an upper bound and a sanity
+    // check that the probe actually sees tracing allocations at all.
+    let armed_hot = service(Some(TraceConfig {
+        capacity: 64,
+        sample_every: 1,
+    }));
+
+    // Warm every arm (cold compile + one warm round for lazily
+    // initialized state), so measured calls are pure cache hits.
+    for s in [&plain, &armed_idle, &armed_hot] {
+        assert!(s.call(compile_request(), None).is_ok());
+        let _ = warm_call_allocations(s);
+    }
+
+    let base = warm_call_allocations(&plain);
+    let idle = warm_call_allocations(&armed_idle);
+    assert_eq!(
+        idle, base,
+        "an armed-but-not-sampling recorder allocated {idle} times vs {base} untraced — \
+         a tracing hook is not gated on the sampling decision"
+    );
+
+    // Not a strict equality (the sampled arm legitimately allocates the
+    // ActiveTrace Arc), but it must stay within a handful of
+    // allocations of the base path.
+    let hot = warm_call_allocations(&armed_hot);
+    assert!(
+        hot >= base,
+        "sampled path allocated less ({hot}) than untraced ({base})?"
+    );
+    assert!(
+        hot - base <= 8,
+        "sampling one request cost {} extra allocations (budget: 8)",
+        hot - base
+    );
+
+    plain.shutdown();
+    armed_idle.shutdown();
+    armed_hot.shutdown();
+}

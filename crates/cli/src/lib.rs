@@ -18,6 +18,8 @@
 //! lalrgen serve    [--addr A] [--cache-mb N] [--max-conn N]   run the compile daemon
 //! lalrgen client   <op> [grammar] [--addr A] [--input S]…     one request to a daemon
 //! lalrgen stats    [--addr A] [--metrics]                     daemon statistics
+//! lalrgen trace    [--addr A] [--op OP] [--slow-us N]         dump the flight recorder
+//! lalrgen top      [--addr A] [--interval-ms N]               live daemon telemetry view
 //! ```
 //!
 //! `<grammar>` is a path to a grammar file, or the name of a built-in
@@ -61,23 +63,28 @@ fn fail(message: impl Into<String>) -> CliError {
 /// Usage text.
 pub const USAGE: &str = "usage: lalrgen <command> <grammar> [args] [--threads N]
   commands: analyze, explain, classify, states, table, dot, codegen,
-            sentences, check, parse, profile, serve, store, client, stats
+            sentences, check, parse, profile, serve, store, client, stats,
+            trace, top
   <grammar> is a file path or a corpus name (try: expr, json, pascal, c_subset)
   --threads N runs the look-ahead pipeline on N worker threads (same output, faster on large grammars)
   profile <grammar> [--trace-out FILE]   per-phase wall/alloc breakdown of the
          grammar -> LA pipeline; --trace-out writes a Chrome trace (chrome://tracing)
   serve  [--addr A] [--cache-mb N] [--max-conn N] [--deadline-ms N] [--max-pending N]
          [--drain-ms N] [--chaos SPEC] [--chaos-seed N] [--store DIR] [--no-store]
-         [--shards N] [--threaded]   run the compile daemon
+         [--shards N] [--threaded] [--trace-sample N] [--trace-capacity N]
+         run the compile daemon
          --chaos arms deterministic failpoints, e.g. \"daemon.write:partial:0.05\"
          --store persists compiled artifacts to DIR (mmap-loaded on repeat
          requests, surviving restarts); --no-store wins over --store
          --shards N multiplexes connections over N epoll event-loop shards;
          --threaded selects the thread-per-connection reference front end
+         --trace-sample N records every Nth request in the flight recorder
+         (default 1 = all; 0 disables tracing entirely); --trace-capacity N
+         sizes the recorder ring (default 256, rounded up to a power of two)
   store  <ls|verify|gc> --dir DIR [--max-age-s N]   maintain a persistent
          artifact store: list entries, verify checksums (exit 1 on any
          corrupt file), or remove artifacts not used for N seconds
-  client <compile|classify|table|parse|stats|metrics|shutdown> [grammar]
+  client <compile|classify|table|parse|stats|metrics|trace|shutdown> [grammar]
          [--addr A] [--input \"t t t\"]… [--recover] [--compressed] [--deadline-ms N]
          [--timeout-ms N] [--retries N] [--backoff-ms N]   retry transient failures
          with capped exponential backoff and deterministic jitter; client parse
@@ -86,10 +93,17 @@ pub const USAGE: &str = "usage: lalrgen <command> <grammar> [args] [--threads N]
   parse  <grammar> <input> [--number T] [--ident T] [--string T]
          [--remote [--addr A]]   parse locally, or with --remote send the
          document to a running daemon as a one-document batch
-  stats  [--addr A] [--metrics]   daemon statistics snapshot (--metrics: Prometheus text)";
+  stats  [--addr A] [--metrics]   daemon statistics snapshot (--metrics: Prometheus text)
+  trace  [--addr A] [--op OP] [--errors] [--slow-us N] [--limit N]
+         [--chrome-out FILE]   dump the daemon's request flight recorder with a
+         per-stage (queue/cache/compile/parse/write) breakdown; --chrome-out
+         writes the traces as Chrome trace JSON (chrome://tracing)
+  top    [--addr A] [--interval-ms N] [--iterations N]   live terminal view of
+         daemon throughput, per-shard event-loop telemetry, and stage times
+         (default: refresh every second until interrupted)";
 
 /// Every command name, for the unknown-command error.
-const COMMANDS: &str = "analyze, explain, classify, states, table, dot, codegen, sentences, check, parse, profile, serve, store, client, stats";
+const COMMANDS: &str = "analyze, explain, classify, states, table, dot, codegen, sentences, check, parse, profile, serve, store, client, stats, trace, top";
 
 /// Loads a grammar from a corpus name or a file path. Files ending in
 /// `.y` are read with the yacc/bison reader (actions stripped).
@@ -152,6 +166,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "store" => cmd_store(rest),
         "client" => cmd_client(rest),
         "stats" => cmd_stats(rest),
+        "trace" => cmd_trace(rest),
+        "top" => cmd_top(rest),
         "" | "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError {
             message: format!("unknown command {other:?} (available: {COMMANDS})\n{USAGE}"),
@@ -705,7 +721,7 @@ fn grammar_text(arg: &str) -> Result<(String, lalr_service::GrammarFormat), CliE
 fn cmd_serve(args: &[String], par: &Parallelism) -> Result<String, CliError> {
     const FLAGS: &str = "--addr, --cache-mb, --max-conn, --deadline-ms, --max-pending, \
                          --drain-ms, --chaos, --chaos-seed, --store, --no-store, \
-                         --shards, --threaded, --threads";
+                         --shards, --threaded, --trace-sample, --trace-capacity, --threads";
     let mut config = lalr_service::DaemonConfig {
         addr: DEFAULT_ADDR.to_string(),
         ..lalr_service::DaemonConfig::default()
@@ -718,6 +734,8 @@ fn cmd_serve(args: &[String], par: &Parallelism) -> Result<String, CliError> {
     let mut no_store = false;
     let mut shards: usize = 1;
     let mut threaded = false;
+    let mut trace_sample: u64 = 1;
+    let mut trace_capacity: usize = 256;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -736,6 +754,13 @@ fn cmd_serve(args: &[String], par: &Parallelism) -> Result<String, CliError> {
                 store_dir = Some(std::path::PathBuf::from(flag_value(args, i, "--store")?))
             }
             "--shards" => shards = num_flag(flag_value(args, i, "--shards")?, "--shards")?,
+            "--trace-sample" => {
+                trace_sample = num_flag(flag_value(args, i, "--trace-sample")?, "--trace-sample")?
+            }
+            "--trace-capacity" => {
+                trace_capacity =
+                    num_flag(flag_value(args, i, "--trace-capacity")?, "--trace-capacity")?
+            }
             "--addr" => config.addr = flag_value(args, i, "--addr")?.to_string(),
             "--cache-mb" => cache_mb = num_flag(flag_value(args, i, "--cache-mb")?, "--cache-mb")?,
             "--max-conn" => {
@@ -792,6 +817,12 @@ fn cmd_serve(args: &[String], par: &Parallelism) -> Result<String, CliError> {
     // `--no-store` wins over `--store` so scripts can append it to a
     // fixed flag list to turn persistence off.
     config.service.store_dir = if no_store { None } else { store_dir };
+    // The served daemon arms the flight recorder by default (the
+    // library default stays off); `--trace-sample 0` turns it off.
+    config.service.tracing = (trace_sample > 0).then(|| lalr_service::TraceConfig {
+        capacity: trace_capacity,
+        sample_every: trace_sample,
+    });
 
     // The epoll front end is the default where the backend exists;
     // `--threaded` selects the thread-per-connection reference.
@@ -909,7 +940,7 @@ fn cmd_store(args: &[String]) -> Result<String, CliError> {
 /// response line. Errors from the daemon exit nonzero with the line on
 /// stderr.
 fn cmd_client(args: &[String]) -> Result<String, CliError> {
-    const OPS: &str = "compile, classify, table, parse, stats, metrics, shutdown";
+    const OPS: &str = "compile, classify, table, parse, stats, metrics, trace, shutdown";
     const FLAGS: &str = "--addr, --input, --recover, --compressed, --deadline-ms, --timeout-ms, \
                          --retries, --backoff-ms";
     let mut addr = DEFAULT_ADDR.to_string();
@@ -976,6 +1007,7 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
     let request = match op {
         "stats" => lalr_service::Request::Stats,
         "metrics" => lalr_service::Request::Metrics,
+        "trace" => lalr_service::Request::Trace(lalr_service::TraceFilter::default()),
         "shutdown" => lalr_service::Request::Shutdown,
         "compile" | "classify" | "table" | "parse" => {
             let name = positional.get(1).ok_or_else(|| {
@@ -1068,6 +1100,283 @@ fn cmd_stats(args: &[String]) -> Result<String, CliError> {
     cmd_client(&forwarded)
 }
 
+/// One call to a daemon returning the parsed JSON response, shared by
+/// the `trace` and `top` front ends.
+fn daemon_call(
+    addr: &str,
+    request: &lalr_service::Request,
+    timeout_ms: u64,
+) -> Result<serde_json::Value, CliError> {
+    let reply = lalr_service::call_with_retry(
+        addr,
+        request,
+        None,
+        std::time::Duration::from_millis(timeout_ms),
+        &lalr_service::RetryPolicy::default(),
+        &lalr_service::FaultInjector::disabled(),
+    )
+    .map_err(|e| fail(e.to_string()))?;
+    if !reply.is_ok() {
+        return Err(CliError {
+            message: reply.raw,
+            code: 1,
+        });
+    }
+    Ok(reply.value)
+}
+
+fn json_u64(v: &serde_json::Value, key: &str) -> u64 {
+    v.get(key).and_then(serde_json::Value::as_u64).unwrap_or(0)
+}
+
+/// `lalrgen trace`: dumps a daemon's request flight recorder. Each
+/// sampled request prints one stage-breakdown line
+/// (`queue/cache/compile/parse/write` microseconds plus their share of
+/// the recorded total); `--chrome-out FILE` additionally renders the
+/// traces as Chrome trace JSON, one timeline row per request.
+fn cmd_trace(args: &[String]) -> Result<String, CliError> {
+    const FLAGS: &str = "--addr, --op, --errors, --slow-us, --limit, --chrome-out, --timeout-ms";
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut filter = lalr_service::TraceFilter::default();
+    let mut chrome_out: Option<String> = None;
+    let mut timeout_ms: u64 = 30_000;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--errors" => {
+                filter.errors_only = true;
+                i += 1;
+                continue;
+            }
+            "--addr" => addr = flag_value(args, i, "--addr")?.to_string(),
+            "--op" => filter.op = Some(flag_value(args, i, "--op")?.to_string()),
+            "--slow-us" => {
+                filter.slow_us = Some(num_flag(flag_value(args, i, "--slow-us")?, "--slow-us")?)
+            }
+            "--limit" => filter.limit = Some(num_flag(flag_value(args, i, "--limit")?, "--limit")?),
+            "--chrome-out" => chrome_out = Some(flag_value(args, i, "--chrome-out")?.to_string()),
+            "--timeout-ms" => {
+                timeout_ms = num_flag(flag_value(args, i, "--timeout-ms")?, "--timeout-ms")?
+            }
+            other => {
+                return Err(fail(format!(
+                    "unknown flag {other:?} for trace (available: {FLAGS})"
+                )))
+            }
+        }
+        i += 2;
+    }
+    let value = daemon_call(&addr, &lalr_service::Request::Trace(filter), timeout_ms)?;
+    if !value
+        .get("enabled")
+        .and_then(serde_json::Value::as_bool)
+        .unwrap_or(false)
+    {
+        return Ok(
+            "tracing disabled (serve with --trace-sample N, N > 0, to arm the recorder)\n"
+                .to_string(),
+        );
+    }
+    let traces = value
+        .get("traces")
+        .and_then(serde_json::Value::as_arr)
+        .unwrap_or(&[]);
+    let mut out = format!(
+        "request traces: {} shown, {} recorded (capacity {}, sampling 1-in-{})\n",
+        traces.len(),
+        json_u64(&value, "recorded"),
+        json_u64(&value, "capacity"),
+        json_u64(&value, "sample_every"),
+    );
+    let mut events: Vec<lalr_obs::SpanEvent> = Vec::new();
+    let mut total_ns = 0u64;
+    for t in traces {
+        let op = t
+            .get("op")
+            .and_then(serde_json::Value::as_str)
+            .unwrap_or("unknown");
+        let error = t
+            .get("error")
+            .and_then(serde_json::Value::as_bool)
+            .unwrap_or(false);
+        let total_us = json_u64(t, "total_us");
+        let sum_us = json_u64(t, "stage_sum_us");
+        let share = if total_us > 0 {
+            100.0 * sum_us as f64 / total_us as f64
+        } else {
+            0.0
+        };
+        let stages = t.get("stages_us");
+        let stage_us = |name: &str| stages.map_or(0, |s| json_u64(s, name));
+        let _ = writeln!(
+            out,
+            "#{} {op} shard={} {} total={total_us}us stages queue={} cache={} compile={} \
+             parse={} write={} sum={sum_us}us ({share:.1}% of total)",
+            json_u64(t, "id"),
+            json_u64(t, "shard"),
+            if error { "err" } else { "ok" },
+            stage_us("queue"),
+            stage_us("cache"),
+            stage_us("compile"),
+            stage_us("parse"),
+            stage_us("write"),
+        );
+        // One Chrome timeline row per request: its stages laid
+        // back-to-back from t=0 (rows are independent tids).
+        let tid = json_u64(t, "id") as usize;
+        let mut cursor = 0u64;
+        for name in lalr_obs::STAGE_NAMES {
+            let dur_ns = stage_us(name) * 1_000;
+            if dur_ns > 0 {
+                events.push(lalr_obs::SpanEvent {
+                    name,
+                    tid,
+                    depth: 0,
+                    start_ns: cursor,
+                    dur_ns,
+                    allocs: 0,
+                    bytes: 0,
+                });
+                cursor += dur_ns;
+            }
+        }
+        total_ns = total_ns.max(cursor);
+    }
+    if let Some(path) = chrome_out {
+        let report = lalr_obs::PhaseReport {
+            phases: Vec::new(),
+            nested: Vec::new(),
+            counters: vec![("traces", traces.len() as u64)],
+            events,
+            total_ns,
+        };
+        std::fs::write(&path, report.to_chrome_trace())
+            .map_err(|e| fail(format!("cannot write {path:?}: {e}")))?;
+        let _ = writeln!(out, "chrome trace: {path} ({} events)", report.events.len());
+    }
+    Ok(out)
+}
+
+/// Renders one `top` frame from a daemon's `stats` response: request
+/// throughput, per-shard event-loop telemetry, and tracing stage totals.
+fn top_frame(addr: &str, value: &serde_json::Value) -> String {
+    let mut out = format!(
+        "lalrgen top — {addr}\nrequests {}  errors {}  shed {}  queue {}/{}  workers {}  uptime {:.1}s\n",
+        json_u64(value, "requests"),
+        json_u64(value, "errors"),
+        json_u64(value, "shed"),
+        json_u64(value, "queue_depth"),
+        json_u64(value, "queue_limit"),
+        json_u64(value, "workers"),
+        json_u64(value, "uptime_ms") as f64 / 1_000.0,
+    );
+    if let Some(by_op) = value.get("by_op").and_then(serde_json::Value::as_obj) {
+        let errors = value.get("errors_by_op");
+        let _ = writeln!(out, "{:<10} {:>10} {:>8}", "op", "requests", "errors");
+        for (op, count) in by_op {
+            let n = count.as_u64().unwrap_or(0);
+            if n == 0 {
+                continue;
+            }
+            let e = errors.map_or(0, |e| json_u64(e, op));
+            let _ = writeln!(out, "{op:<10} {n:>10} {e:>8}");
+        }
+    }
+    if let Some(shards) = value.get("shards").and_then(serde_json::Value::as_arr) {
+        let _ = writeln!(
+            out,
+            "{:<6} {:>6} {:>8} {:>12} {:>10} {:>8} {:>7} {:>7}",
+            "shard", "conns", "accepts", "epoll_waits", "wait_ms", "events", "inbox", "timers"
+        );
+        for sh in shards {
+            let _ = writeln!(
+                out,
+                "{:<6} {:>6} {:>8} {:>12} {:>10.1} {:>8} {:>7} {:>7}",
+                json_u64(sh, "shard"),
+                json_u64(sh, "connections"),
+                json_u64(sh, "accepts"),
+                json_u64(sh, "epoll_waits"),
+                json_u64(sh, "epoll_wait_us") as f64 / 1_000.0,
+                json_u64(sh, "events"),
+                json_u64(sh, "inbox_items"),
+                json_u64(sh, "timer_fires"),
+            );
+        }
+    }
+    if let Some(tracing) = value.get("tracing") {
+        let _ = writeln!(
+            out,
+            "tracing: {} sampled (1-in-{}, capacity {})",
+            json_u64(tracing, "sampled"),
+            json_u64(tracing, "sample_every"),
+            json_u64(tracing, "capacity"),
+        );
+        if let Some(stages) = tracing.get("stage_us") {
+            let _ = writeln!(
+                out,
+                "stage us totals: queue={} cache={} compile={} parse={} write={}",
+                json_u64(stages, "queue"),
+                json_u64(stages, "cache"),
+                json_u64(stages, "compile"),
+                json_u64(stages, "parse"),
+                json_u64(stages, "write"),
+            );
+        }
+    }
+    out
+}
+
+/// `lalrgen top`: a live terminal view of a running daemon, refreshed
+/// from its `stats` op. With `--iterations N` it polls N times and
+/// returns the concatenated frames (scriptable/testable); without it,
+/// it redraws in place every `--interval-ms` until interrupted.
+fn cmd_top(args: &[String]) -> Result<String, CliError> {
+    const FLAGS: &str = "--addr, --interval-ms, --iterations, --timeout-ms";
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut interval_ms: u64 = 1_000;
+    let mut iterations: u64 = 0;
+    let mut timeout_ms: u64 = 5_000;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = flag_value(args, i, "--addr")?.to_string(),
+            "--interval-ms" => {
+                interval_ms = num_flag(flag_value(args, i, "--interval-ms")?, "--interval-ms")?
+            }
+            "--iterations" => {
+                iterations = num_flag(flag_value(args, i, "--iterations")?, "--iterations")?
+            }
+            "--timeout-ms" => {
+                timeout_ms = num_flag(flag_value(args, i, "--timeout-ms")?, "--timeout-ms")?
+            }
+            other => {
+                return Err(fail(format!(
+                    "unknown flag {other:?} for top (available: {FLAGS})"
+                )))
+            }
+        }
+        i += 2;
+    }
+    let mut frames = String::new();
+    let mut polled = 0u64;
+    loop {
+        let value = daemon_call(&addr, &lalr_service::Request::Stats, timeout_ms)?;
+        let frame = top_frame(&addr, &value);
+        polled += 1;
+        if iterations == 0 {
+            // Live mode: clear and redraw in place, forever.
+            print!("\x1b[2J\x1b[H{frame}");
+            let _ = std::io::Write::flush(&mut std::io::stdout());
+        } else {
+            frames.push_str(&frame);
+            if polled >= iterations {
+                return Ok(frames);
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1110,6 +1419,15 @@ mod tests {
         assert!(err.message.contains("available: --addr"), "{}", err.message);
         let err = run_strs(&["store", "ls", "--wat"]).unwrap_err();
         assert!(err.message.contains("available: --dir"), "{}", err.message);
+        let err = run_strs(&["trace", "--wat"]).unwrap_err();
+        assert!(err.message.contains("--chrome-out"), "{}", err.message);
+        let err = run_strs(&["top", "--wat"]).unwrap_err();
+        assert!(err.message.contains("--interval-ms"), "{}", err.message);
+        // The serve tracing knobs are advertised.
+        let err = run_strs(&["serve", "--wat"]).unwrap_err();
+        for flag in ["--trace-sample", "--trace-capacity"] {
+            assert!(err.message.contains(flag), "{flag}: {}", err.message);
+        }
     }
 
     #[test]
@@ -1363,6 +1681,78 @@ mod tests {
             "{metrics}"
         );
 
+        let _ = run_strs(&["client", "shutdown", "--addr", &addr]);
+        daemon.join();
+    }
+
+    #[test]
+    fn trace_and_top_render_daemon_telemetry() {
+        let mut config = lalr_service::DaemonConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..lalr_service::DaemonConfig::default()
+        };
+        config.service.tracing = Some(lalr_service::TraceConfig::default());
+        let daemon = lalr_service::Daemon::start(config).expect("bind loopback");
+        let addr = daemon.addr().to_string();
+        run_strs(&["client", "compile", "expr", "--addr", &addr]).unwrap();
+
+        // The dump shows the recorder header and one stage-breakdown
+        // line per sampled request.
+        let out = run_strs(&["trace", "--addr", &addr]).unwrap();
+        assert!(out.contains("request traces: 1 shown"), "{out}");
+        assert!(out.contains("stages queue="), "{out}");
+        assert!(out.contains("compile shard=0"), "{out}");
+
+        // Filters pass through; a bogus op is rejected server-side.
+        let out = run_strs(&["trace", "--addr", &addr, "--op", "parse"]).unwrap();
+        assert!(out.contains("0 shown"), "{out}");
+        let err = run_strs(&["trace", "--addr", &addr, "--op", "frobnicate"]).unwrap_err();
+        assert!(err.message.contains("unknown op filter"), "{}", err.message);
+
+        // --chrome-out writes loadable trace-event JSON.
+        let dir = std::env::temp_dir().join("lalr_cli_trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("requests.json");
+        let out = run_strs(&[
+            "trace",
+            "--addr",
+            &addr,
+            "--chrome-out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("chrome trace:"), "{out}");
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let events = doc
+            .get("traceEvents")
+            .and_then(serde_json::Value::as_arr)
+            .expect("traceEvents array");
+        assert!(!events.is_empty(), "at least one stage span");
+
+        // One `top` frame renders throughput and the tracing section.
+        let frame = run_strs(&["top", "--addr", &addr, "--iterations", "1"]).unwrap();
+        assert!(frame.contains("lalrgen top"), "{frame}");
+        assert!(frame.contains("requests "), "{frame}");
+        assert!(frame.contains("tracing: "), "{frame}");
+        assert!(frame.contains("stage us totals:"), "{frame}");
+
+        let _ = run_strs(&["client", "shutdown", "--addr", &addr]);
+        daemon.join();
+    }
+
+    #[test]
+    fn trace_reports_disabled_recorder() {
+        // Library-default daemon: no tracing config, so the op answers
+        // with enabled=false and the CLI says how to arm it.
+        let daemon = lalr_service::Daemon::start(lalr_service::DaemonConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..lalr_service::DaemonConfig::default()
+        })
+        .expect("bind loopback");
+        let addr = daemon.addr().to_string();
+        let out = run_strs(&["trace", "--addr", &addr]).unwrap();
+        assert!(out.contains("tracing disabled"), "{out}");
         let _ = run_strs(&["client", "shutdown", "--addr", &addr]);
         daemon.join();
     }

@@ -30,7 +30,7 @@ pub mod timer;
 
 pub use buf::{LineEvent, LineReader, WriteBuf};
 pub use mmap::Mmap;
-pub use poll::{Event, Interest, Poller, Waker};
+pub use poll::{Event, Interest, PollStats, Poller, Waker};
 pub use timer::{Expired, TimerWheel};
 
 /// `true` when the raw epoll/eventfd/mmap backend is available on this

@@ -55,6 +55,17 @@ pub struct Event {
     pub closed: bool,
 }
 
+/// Cumulative [`Poller::wait`] accounting (see [`Poller::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PollStats {
+    /// `epoll_wait` calls issued.
+    pub waits: u64,
+    /// Nanoseconds spent blocked inside `epoll_wait`.
+    pub wait_ns: u64,
+    /// Events delivered across all waits.
+    pub events: u64,
+}
+
 /// An edge-triggered epoll instance.
 ///
 /// All registrations are edge-triggered (`EPOLLET`): after a readiness
@@ -65,6 +76,7 @@ pub struct Event {
 pub struct Poller {
     epfd: RawFd,
     buf: Vec<sys::EpollEvent>,
+    stats: PollStats,
 }
 
 impl Poller {
@@ -74,7 +86,15 @@ impl Poller {
         Ok(Poller {
             epfd: sys::epoll_create1()?,
             buf: vec![sys::EpollEvent::default(); 256],
+            stats: PollStats::default(),
         })
+    }
+
+    /// Cumulative wait accounting since creation: calls, blocked time,
+    /// and events delivered. Plain counters (no atomics) — `wait` takes
+    /// `&mut self`, so there is exactly one writer.
+    pub fn stats(&self) -> PollStats {
+        self.stats
     }
 
     /// Registers `fd` for edge-triggered readiness under `token`.
@@ -111,7 +131,11 @@ impl Poller {
             Some(t) => i32::try_from(t.as_millis().max(u128::from(u32::from(!t.is_zero()))))
                 .unwrap_or(i32::MAX),
         };
+        let started = std::time::Instant::now();
         let n = sys::epoll_wait(self.epfd, &mut self.buf, timeout_ms)?;
+        self.stats.waits += 1;
+        self.stats.wait_ns += started.elapsed().as_nanos() as u64;
+        self.stats.events += n as u64;
         for ev in &self.buf[..n] {
             let bits = ev.events;
             out.push(Event {
@@ -232,6 +256,39 @@ mod tests {
             .unwrap();
         assert_eq!(events.len(), 1);
         assert!(events[0].closed, "{events:?}");
+    }
+
+    #[test]
+    fn wait_accounting_tracks_calls_time_and_events() {
+        let mut poller = Poller::new().unwrap();
+        assert_eq!(poller.stats(), PollStats::default());
+
+        // A timed-out wait: one call, some blocked time, zero events.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(15)))
+            .unwrap();
+        let after_timeout = poller.stats();
+        assert_eq!(after_timeout.waits, 1);
+        assert_eq!(after_timeout.events, 0);
+        assert!(
+            after_timeout.wait_ns >= 10_000_000,
+            "{after_timeout:?} — a 15ms timeout should block ≥10ms"
+        );
+
+        // A delivered event bumps the event counter.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        poller.register(&server, 7, Interest::READABLE).unwrap();
+        (&client).write_all(b"ping\n").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let after_event = poller.stats();
+        assert_eq!(after_event.waits, 2);
+        assert_eq!(after_event.events, 1);
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //! * Exporters — [`PhaseReport::to_text`], a deterministic key-sorted
 //!   flat format, and [`PhaseReport::to_chrome_trace`], Chrome
 //!   trace-event JSON loadable in `chrome://tracing` or Perfetto.
+//! * [`FlightRecorder`] — a fixed-capacity, lock-free ring of recent
+//!   [`RequestTrace`]s, the request-scoped complement to the aggregate
+//!   sinks above: the service samples requests, stamps per-stage
+//!   durations into an [`ActiveTrace`], and the daemon's `trace` op
+//!   dumps the ring after the fact.
 //!
 //! Counter values are deterministic for a fixed grammar (they count
 //! structural work: states interned, relation edges, bitset OR
@@ -29,9 +34,11 @@
 
 mod chrome;
 mod collect;
+mod flight;
 mod recorder;
 mod report;
 
 pub use collect::{AllocProbe, CollectingRecorder};
+pub use flight::{ActiveTrace, FlightRecorder, RequestTrace, STAGE_COUNT, STAGE_NAMES};
 pub use recorder::{span, NullRecorder, Recorder, Span, NULL};
 pub use report::{PhaseReport, PhaseSummary, SpanEvent};

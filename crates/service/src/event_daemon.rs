@@ -29,11 +29,13 @@ use std::time::{Duration, Instant};
 
 use lalr_chaos::Fault;
 use lalr_net::{Event, Interest, LineEvent, LineReader, Poller, TimerWheel, Waker, WriteBuf};
+use lalr_obs::ActiveTrace;
 use rustc_hash::FxHashMap;
 
 use crate::daemon::{DaemonConfig, DaemonSummary};
 use crate::protocol::{request_from_value, response_to_line};
-use crate::service::{Request, Response, Service};
+use crate::service::{Request, Response, Service, STAGE_WRITE};
+use crate::telemetry::ShardCounters;
 use crate::ServiceError;
 
 /// Reserved poller token for the shard's waker.
@@ -74,6 +76,9 @@ struct Shared {
     connections: AtomicU64,
     wakers: Vec<Waker>,
     inboxes: Vec<Mutex<Inbox>>,
+    /// Per-shard event-loop telemetry, shared with the service so the
+    /// `stats` op and metrics exposition can render `lalr_shard_*`.
+    counters: Vec<Arc<ShardCounters>>,
     config: DaemonConfig,
 }
 
@@ -94,6 +99,10 @@ impl EventDaemon {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let service = Arc::new(Service::new(config.service.clone()));
+        let counters: Vec<Arc<ShardCounters>> = (0..shards)
+            .map(|_| Arc::new(ShardCounters::default()))
+            .collect();
+        service.register_shards(counters.clone());
         let wakers = (0..shards)
             .map(|_| Waker::new())
             .collect::<io::Result<Vec<_>>>()?;
@@ -104,6 +113,7 @@ impl EventDaemon {
             connections: AtomicU64::new(0),
             wakers,
             inboxes: (0..shards).map(|_| Mutex::new(Inbox::default())).collect(),
+            counters,
             config,
         });
         let mut listener = Some(listener);
@@ -180,6 +190,19 @@ struct Conn {
     oversize_close: bool,
     /// Currently registered for writable readiness too.
     wants_write: bool,
+    /// The in-flight request's flight-recorder trace, when sampled.
+    /// One slot suffices: requests on a connection are strictly
+    /// serialized.
+    trace: Option<ConnTrace>,
+}
+
+/// A sampled request's trace as it rides a connection: the shared
+/// accumulator, when the request line was parsed (the trace's epoch),
+/// and — once the response is queued — when write-back began.
+struct ConnTrace {
+    active: Arc<ActiveTrace>,
+    started: Instant,
+    write_started: Option<Instant>,
 }
 
 impl Conn {
@@ -195,6 +218,7 @@ impl Conn {
             close_after_flush: false,
             oversize_close: false,
             wants_write: false,
+            trace: None,
         }
     }
 }
@@ -211,6 +235,7 @@ struct Shard {
     round_robin: usize,
     draining: Option<Instant>,
     totals: ShardTotals,
+    counters: Arc<ShardCounters>,
 }
 
 impl Shard {
@@ -237,6 +262,7 @@ impl Shard {
         let granularity = (shared.config.read_timeout / 8)
             .clamp(Duration::from_millis(5), Duration::from_secs(1));
         let wheel = TimerWheel::new(Instant::now(), 64, granularity);
+        let counters = Arc::clone(&shared.counters[idx]);
         let mut shard = Shard {
             idx,
             shard_count,
@@ -249,6 +275,7 @@ impl Shard {
             round_robin: 0,
             draining: None,
             totals: ShardTotals::default(),
+            counters,
         };
         shard.event_loop();
         shard.totals
@@ -300,7 +327,16 @@ impl Shard {
                 timeout = Some(timeout.map_or(left, |t| t.min(left)));
             }
             events.clear();
-            if self.poller.wait(&mut events, timeout).is_err() {
+            let wait_failed = self.poller.wait(&mut events, timeout).is_err();
+            // Publish cumulative poll accounting (single writer per
+            // shard; readers are the stats/metrics ops).
+            let ps = self.poller.stats();
+            self.counters.epoll_waits.store(ps.waits, Ordering::Relaxed);
+            self.counters
+                .epoll_wait_ns
+                .store(ps.wait_ns, Ordering::Relaxed);
+            self.counters.events.store(ps.events, Ordering::Relaxed);
+            if wait_failed {
                 continue;
             }
             for &ev in &events {
@@ -326,6 +362,7 @@ impl Shard {
                 let Some(conn) = self.conns.get(&e.token) else {
                     continue;
                 };
+                self.counters.timer_fires.fetch_add(1, Ordering::Relaxed);
                 if conn.busy {
                     // Never time out a request in flight; re-arm so the
                     // idle clock restarts after the response.
@@ -385,6 +422,10 @@ impl Shard {
                 std::mem::take(&mut inbox.completions),
             )
         };
+        self.counters.inbox_items.fetch_add(
+            (new_conns.len() + completions.len()) as u64,
+            Ordering::Relaxed,
+        );
         for stream in new_conns {
             self.install(stream);
         }
@@ -412,6 +453,8 @@ impl Shard {
             .arm(token, Instant::now() + self.shared.config.read_timeout);
         self.conns
             .insert(token, Conn::new(stream, self.shared.config.max_line_bytes));
+        self.counters.accepts.fetch_add(1, Ordering::Relaxed);
+        self.counters.connections.fetch_add(1, Ordering::Relaxed);
         if self.draining.is_some() {
             // Accepted just before shutdown: close like any idle conn.
             self.close(token);
@@ -539,11 +582,20 @@ impl Shard {
                     conn.busy = true;
                     conn.in_flight_shutdown = matches!(request, Request::Shutdown);
                     conn.suppress_response = suppress;
+                    let trace = self
+                        .shared
+                        .service
+                        .begin_trace(request.op(), self.idx as u16);
+                    conn.trace = trace.as_ref().map(|t| ConnTrace {
+                        active: Arc::clone(t),
+                        started: Instant::now(),
+                        write_started: None,
+                    });
                     let shared = Arc::clone(&self.shared);
                     let shard = self.idx;
                     self.shared
                         .service
-                        .submit(request, deadline, move |response| {
+                        .submit_traced(request, deadline, trace, move |response| {
                             shared.inboxes[shard]
                                 .lock()
                                 .expect("shard inbox poisoned")
@@ -567,6 +619,15 @@ impl Shard {
         conn.busy = false;
         let is_shutdown = std::mem::take(&mut conn.in_flight_shutdown);
         let suppressed = std::mem::take(&mut conn.suppress_response);
+        if let Some(tr) = conn.trace.as_mut() {
+            if !response.is_ok() {
+                tr.active.set_error();
+            }
+            // Write-back starts now: the response is about to be queued
+            // (or dropped); `flush` stamps the stage when the buffer
+            // drains.
+            tr.write_started = Some(Instant::now());
+        }
         if suppressed {
             // Injected truncation: the request executed but the client
             // never hears back — it must treat the silence as retryable.
@@ -633,6 +694,16 @@ impl Shard {
         };
         match conn.out.flush(&mut &conn.stream) {
             Ok(true) => {
+                // The response (if one was in flight) is fully on the
+                // wire: stamp the write stage and file the trace.
+                if let Some(tr) = conn.trace.take_if(|t| t.write_started.is_some()) {
+                    let ws = tr.write_started.expect("checked by take_if");
+                    tr.active
+                        .add_stage(STAGE_WRITE, ws.elapsed().as_nanos() as u64);
+                    self.shared
+                        .service
+                        .finish_trace(&tr.active, tr.started.elapsed());
+                }
                 if conn.wants_write {
                     conn.wants_write = false;
                     let _ = self
@@ -690,6 +761,18 @@ impl Shard {
             self.wheel.cancel(token);
             let _ = self.poller.deregister(&conn.stream);
             self.shared.active.fetch_sub(1, Ordering::SeqCst);
+            self.counters.connections.fetch_sub(1, Ordering::Relaxed);
+            // A trace orphaned by the close still gets recorded: stamp
+            // whatever write time accrued and finish at the close.
+            if let Some(tr) = conn.trace {
+                if let Some(ws) = tr.write_started {
+                    tr.active
+                        .add_stage(STAGE_WRITE, ws.elapsed().as_nanos() as u64);
+                }
+                self.shared
+                    .service
+                    .finish_trace(&tr.active, tr.started.elapsed());
+            }
         }
     }
 }

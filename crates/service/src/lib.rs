@@ -60,6 +60,7 @@ pub mod fingerprint;
 mod metrics;
 pub mod protocol;
 mod service;
+mod telemetry;
 
 pub use artifact::{CompiledArtifact, GrammarFormat};
 pub use cache::{ArtifactCache, CacheConfig, CacheOutcome, CacheStats, Fingerprinter};
@@ -68,8 +69,10 @@ pub use daemon::{Daemon, DaemonConfig, DaemonSummary};
 pub use error::ServiceError;
 pub use event_daemon::EventDaemon;
 pub use lalr_chaos::{Fault, FaultInjector, FaultPlan, FaultPointStats, Trigger};
+pub use lalr_obs::{ActiveTrace, RequestTrace, STAGE_NAMES};
 pub use service::{
     ClassifySummary, CompileSummary, DocError, DocVerdict, ParseBatchSummary, ParseLaneStats,
     ParseTarget, Request, Response, Service, ServiceConfig, StatsSnapshot, TableSummary,
-    LATENCY_BOUNDS_US, OPS, PHASE_NAMES,
+    TraceConfig, TraceDump, TraceFilter, TracingStats, LATENCY_BOUNDS_US, OPS, PHASE_NAMES,
 };
+pub use telemetry::{ShardCounters, ShardStatsSnapshot};

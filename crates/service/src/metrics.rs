@@ -252,8 +252,117 @@ pub fn render(s: &StatsSnapshot) -> String {
         }
     }
 
+    /// One shard family: name, help text, field accessor.
+    type ShardFamily = (
+        &'static str,
+        &'static str,
+        fn(&crate::ShardStatsSnapshot) -> u64,
+    );
+    if !s.shards.is_empty() {
+        let shard_families: [ShardFamily; 6] = [
+            (
+                "lalr_shard_epoll_waits_total",
+                "epoll_wait calls made by the shard event loop.",
+                |sh| sh.epoll_waits,
+            ),
+            (
+                "lalr_shard_events_total",
+                "Readiness events dispatched by the shard event loop.",
+                |sh| sh.events,
+            ),
+            (
+                "lalr_shard_accepts_total",
+                "Connections accepted or dealt to the shard.",
+                |sh| sh.accepts,
+            ),
+            (
+                "lalr_shard_inbox_items_total",
+                "Completions and dealt connections drained from the shard inbox.",
+                |sh| sh.inbox_items,
+            ),
+            (
+                "lalr_shard_timer_fires_total",
+                "Timer-wheel expirations handled by the shard.",
+                |sh| sh.timer_fires,
+            ),
+            (
+                "lalr_shard_connections",
+                "Connections open on the shard right now.",
+                |sh| sh.connections,
+            ),
+        ];
+        for (name, help, get) in shard_families {
+            let kind = if name.ends_with("_total") {
+                "counter"
+            } else {
+                "gauge"
+            };
+            header(w, name, kind, help);
+            for sh in &s.shards {
+                sample(w, name, &format!("shard=\"{}\"", sh.shard), get(sh));
+            }
+        }
+        header(
+            w,
+            "lalr_shard_epoll_wait_seconds_total",
+            "counter",
+            "Seconds the shard event loop spent blocked in epoll_wait.",
+        );
+        for sh in &s.shards {
+            sample_f64(
+                w,
+                "lalr_shard_epoll_wait_seconds_total",
+                &format!("shard=\"{}\"", sh.shard),
+                sh.epoll_wait_us as f64 / 1e6,
+            );
+        }
+    }
+
+    if s.tracing.enabled {
+        header(
+            w,
+            "lalr_stage_seconds_total",
+            "counter",
+            "Seconds spent per request stage across sampled requests \
+             (flight-recorder attribution, scaled by the sampling period).",
+        );
+        for (stage, &ns) in lalr_obs::STAGE_NAMES.iter().zip(&s.tracing.stage_ns) {
+            sample_f64(
+                w,
+                "lalr_stage_seconds_total",
+                &format!("stage=\"{stage}\""),
+                ns as f64 / 1e9,
+            );
+        }
+        header(
+            w,
+            "lalr_traces_sampled_total",
+            "counter",
+            "Requests sampled into the flight recorder.",
+        );
+        sample(w, "lalr_traces_sampled_total", "", s.tracing.sampled);
+    }
+
     header(w, "lalr_workers", "gauge", "Worker pool size.");
     sample(w, "lalr_workers", "", s.workers as u64);
+    header(
+        w,
+        "lalr_build_info",
+        "gauge",
+        "Build and runtime configuration (always 1; the labels carry \
+         the information).",
+    );
+    sample(
+        w,
+        "lalr_build_info",
+        &format!(
+            "shards=\"{}\",simd_dispatch=\"{}\",version=\"{}\"",
+            s.shards.len(),
+            lalr_core::kernel_dispatch_name(),
+            env!("CARGO_PKG_VERSION"),
+        ),
+        1,
+    );
     header(
         w,
         "lalr_uptime_ms",
@@ -261,6 +370,13 @@ pub fn render(s: &StatsSnapshot) -> String {
         "Milliseconds since the service started.",
     );
     sample(w, "lalr_uptime_ms", "", s.uptime_ms);
+    header(
+        w,
+        "lalr_uptime_seconds",
+        "gauge",
+        "Seconds since the service started.",
+    );
+    sample_f64(w, "lalr_uptime_seconds", "", s.uptime_ms as f64 / 1e3);
     out
 }
 
@@ -277,6 +393,17 @@ fn sample(out: &mut String, name: &str, labels: &str, value: u64) {
     }
 }
 
+/// A sample with a fractional value (seconds-valued families). Renders
+/// with six decimal places — microsecond resolution, deterministic
+/// width.
+fn sample_f64(out: &mut String, name: &str, labels: &str, value: f64) {
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name} {value:.6}");
+    } else {
+        let _ = writeln!(out, "{name}{{{labels}}} {value:.6}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,8 +413,8 @@ mod tests {
             requests: 10,
             errors: 2,
             deadline_exceeded: 1,
-            by_op: [4, 2, 1, 1, 1, 1, 0],
-            errors_by_op: [1, 0, 0, 1, 0, 0, 0],
+            by_op: [4, 2, 1, 1, 1, 1, 0, 0],
+            errors_by_op: [1, 0, 0, 1, 0, 0, 0, 0],
             latency_buckets: [3, 4, 2, 1, 0, 0],
             latency_by_op: [
                 [1, 2, 1, 0, 0, 0],
@@ -297,8 +424,9 @@ mod tests {
                 [1, 0, 0, 0, 0, 0],
                 [0, 0, 0, 1, 0, 0],
                 [0, 0, 0, 0, 0, 0],
+                [0, 0, 0, 0, 0, 0],
             ],
-            latency_sum_us: [900, 700, 50, 300, 20, 15_000, 0],
+            latency_sum_us: [900, 700, 50, 300, 20, 15_000, 0, 0],
             phase_calls: [4, 4, 4, 4, 4, 4, 4, 4],
             phase_ns: [100, 2_000, 300, 400, 500, 600, 7_000, 800],
             parse: crate::service::ParseLaneStats {
@@ -315,12 +443,32 @@ mod tests {
             queue_depth: 1,
             queue_limit: 64,
             faults: Vec::new(),
+            shards: Vec::new(),
+            tracing: crate::service::TracingStats::default(),
         }
     }
 
     #[test]
     fn every_sample_line_is_well_formed_and_typed() {
-        let text = render(&snapshot());
+        let mut s = snapshot();
+        s.shards = vec![crate::ShardStatsSnapshot {
+            shard: 0,
+            epoll_waits: 12,
+            epoll_wait_us: 3_400,
+            events: 30,
+            accepts: 2,
+            inbox_items: 5,
+            timer_fires: 1,
+            connections: 2,
+        }];
+        s.tracing = crate::service::TracingStats {
+            enabled: true,
+            capacity: 256,
+            sample_every: 1,
+            sampled: 9,
+            stage_ns: [1_000, 2_000, 3_000, 0, 500],
+        };
+        let text = render(&s);
         let mut typed = std::collections::HashSet::new();
         for line in text.lines() {
             if let Some(rest) = line.strip_prefix("# TYPE ") {
@@ -331,7 +479,8 @@ mod tests {
                 continue;
             }
             let (name_labels, value) = line.rsplit_once(' ').expect("sample has a value");
-            assert!(value.parse::<u64>().is_ok(), "bad value in {line:?}");
+            // Counters are integers; seconds-valued families are floats.
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
             let name = name_labels.split('{').next().unwrap();
             let base = name
                 .strip_suffix("_bucket")
@@ -424,5 +573,85 @@ mod tests {
             .map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap())
             .sum();
         assert_eq!(sum, s.requests);
+    }
+
+    #[test]
+    fn build_info_and_uptime_seconds_always_render() {
+        let text = render(&snapshot());
+        let info = text
+            .lines()
+            .find(|l| l.starts_with("lalr_build_info{"))
+            .expect("build info sample");
+        assert!(info.contains("version=\""), "{info}");
+        assert!(info.contains("simd_dispatch=\""), "{info}");
+        assert!(info.contains("shards=\"0\""), "{info}");
+        assert!(info.ends_with("} 1"), "{info}");
+        assert!(text.contains("lalr_uptime_ms 1234"), "{text}");
+        assert!(text.contains("lalr_uptime_seconds 1.234000"), "{text}");
+    }
+
+    #[test]
+    fn shard_and_stage_families_render_only_when_present() {
+        let mut s = snapshot();
+        let text = render(&s);
+        assert!(!text.contains("lalr_shard_"), "{text}");
+        assert!(!text.contains("lalr_stage_seconds_total"), "{text}");
+
+        s.shards = vec![
+            crate::ShardStatsSnapshot {
+                shard: 0,
+                epoll_waits: 12,
+                epoll_wait_us: 3_400,
+                events: 30,
+                accepts: 2,
+                inbox_items: 5,
+                timer_fires: 1,
+                connections: 2,
+            },
+            crate::ShardStatsSnapshot {
+                shard: 1,
+                epoll_waits: 8,
+                epoll_wait_us: 1_000,
+                events: 10,
+                accepts: 1,
+                inbox_items: 3,
+                timer_fires: 0,
+                connections: 1,
+            },
+        ];
+        s.tracing = crate::service::TracingStats {
+            enabled: true,
+            capacity: 256,
+            sample_every: 4,
+            sampled: 9,
+            stage_ns: [1_000_000, 0, 2_500_000_000, 0, 0],
+        };
+        let text = render(&s);
+        assert!(
+            text.contains("lalr_shard_epoll_waits_total{shard=\"0\"} 12"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lalr_shard_accepts_total{shard=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lalr_shard_connections{shard=\"0\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lalr_shard_epoll_wait_seconds_total{shard=\"0\"} 0.003400"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lalr_stage_seconds_total{stage=\"queue\"} 0.001000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lalr_stage_seconds_total{stage=\"compile\"} 2.500000"),
+            "{text}"
+        );
+        assert!(text.contains("lalr_traces_sampled_total 9"), "{text}");
+        assert!(text.contains("shards=\"2\""), "{text}");
     }
 }

@@ -27,7 +27,9 @@ use serde_json::{object, Value};
 use crate::artifact::GrammarFormat;
 use crate::error::ServiceError;
 use crate::fingerprint::{format_fingerprint, parse_fingerprint};
-use crate::service::{DocVerdict, ParseTarget, Request, Response, StatsSnapshot};
+use crate::service::{
+    DocVerdict, ParseTarget, Request, Response, StatsSnapshot, TraceDump, TraceFilter,
+};
 
 /// Encodes a request (plus optional per-request deadline) as one JSON
 /// value.
@@ -79,6 +81,20 @@ pub fn request_to_value(request: &Request, deadline: Option<Duration>) -> Value 
                         Value::Arr(sync.iter().map(|s| s.as_str().into()).collect()),
                     ));
                 }
+            }
+        }
+        Request::Trace(filter) => {
+            if let Some(op) = &filter.op {
+                pairs.push(("op_filter", op.as_str().into()));
+            }
+            if filter.errors_only {
+                pairs.push(("errors_only", Value::Bool(true)));
+            }
+            if let Some(slow) = filter.slow_us {
+                pairs.push(("slow_us", slow.into()));
+            }
+            if let Some(limit) = filter.limit {
+                pairs.push(("limit", limit.into()));
             }
         }
         Request::Stats | Request::Metrics | Request::Shutdown => {}
@@ -189,11 +205,48 @@ pub fn request_from_value(value: &Value) -> Result<(Request, Option<Duration>), 
         }
         "stats" => Request::Stats,
         "metrics" => Request::Metrics,
+        "trace" => {
+            let op_filter = match value.get("op_filter") {
+                None => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| bad("\"op_filter\" must be an op name string"))?
+                        .to_string(),
+                ),
+            };
+            let errors_only = match value.get("errors_only") {
+                None => false,
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| bad("\"errors_only\" must be a boolean"))?,
+            };
+            let slow_us = match value.get("slow_us") {
+                None => None,
+                Some(v) => Some(
+                    v.as_u64()
+                        .ok_or_else(|| bad("\"slow_us\" must be a non-negative integer"))?,
+                ),
+            };
+            let limit = match value.get("limit") {
+                None => None,
+                Some(v) => Some(
+                    v.as_u64()
+                        .ok_or_else(|| bad("\"limit\" must be a non-negative integer"))?
+                        as usize,
+                ),
+            };
+            Request::Trace(TraceFilter {
+                op: op_filter,
+                errors_only,
+                slow_us,
+                limit,
+            })
+        }
         "shutdown" => Request::Shutdown,
         other => {
             return Err(ServiceError::BadRequest(format!(
                 "unknown op {other:?} (available: compile, classify, table, parse, stats, \
-                 metrics, shutdown)"
+                 metrics, trace, shutdown)"
             )))
         }
     };
@@ -290,6 +343,7 @@ pub fn response_to_value(response: &Response) -> Value {
             ("op", "metrics".into()),
             ("text", text.as_str().into()),
         ]),
+        Response::Trace(dump) => trace_to_value(dump),
         Response::Shutdown => object([("ok", Value::Bool(true)), ("op", "shutdown".into())]),
         Response::Error(e) => object([
             ("ok", Value::Bool(false)),
@@ -332,8 +386,51 @@ fn verdict_to_value(v: &DocVerdict) -> Value {
     object(pairs)
 }
 
+/// Encodes a flight-recorder dump: recorder configuration plus one
+/// object per trace, stages keyed by [`lalr_obs::STAGE_NAMES`].
+fn trace_to_value(dump: &TraceDump) -> Value {
+    let traces = dump
+        .traces
+        .iter()
+        .map(|t| {
+            let stages = Value::Obj(
+                lalr_obs::STAGE_NAMES
+                    .iter()
+                    .zip(&t.stages_us)
+                    .map(|(name, &us)| (name.to_string(), us.into()))
+                    .collect(),
+            );
+            object([
+                ("id", t.id.into()),
+                (
+                    "op",
+                    crate::service::OPS
+                        .get(t.op as usize)
+                        .copied()
+                        .unwrap_or("unknown")
+                        .into(),
+                ),
+                ("shard", u64::from(t.shard).into()),
+                ("error", Value::Bool(t.error)),
+                ("total_us", t.total_us.into()),
+                ("stage_sum_us", t.stage_sum_us().into()),
+                ("stages_us", stages),
+            ])
+        })
+        .collect();
+    object([
+        ("ok", Value::Bool(true)),
+        ("op", "trace".into()),
+        ("enabled", Value::Bool(dump.enabled)),
+        ("capacity", dump.capacity.into()),
+        ("sample_every", dump.sample_every.into()),
+        ("recorded", dump.recorded.into()),
+        ("traces", Value::Arr(traces)),
+    ])
+}
+
 fn stats_to_value(s: &StatsSnapshot) -> Value {
-    let op_counts = |counts: &[u64; 7]| {
+    let op_counts = |counts: &[u64; 8]| {
         Value::Obj(
             crate::service::OPS
                 .iter()
@@ -381,6 +478,47 @@ fn stats_to_value(s: &StatsSnapshot) -> Value {
         ("workers", s.workers.into()),
         ("uptime_ms", s.uptime_ms.into()),
     ];
+    if !s.shards.is_empty() {
+        pairs.push((
+            "shards",
+            Value::Arr(
+                s.shards
+                    .iter()
+                    .map(|sh| {
+                        object([
+                            ("shard", sh.shard.into()),
+                            ("epoll_waits", sh.epoll_waits.into()),
+                            ("epoll_wait_us", sh.epoll_wait_us.into()),
+                            ("events", sh.events.into()),
+                            ("accepts", sh.accepts.into()),
+                            ("inbox_items", sh.inbox_items.into()),
+                            ("timer_fires", sh.timer_fires.into()),
+                            ("connections", sh.connections.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    if s.tracing.enabled {
+        let stages = Value::Obj(
+            lalr_obs::STAGE_NAMES
+                .iter()
+                .zip(&s.tracing.stage_ns)
+                .map(|(name, &ns)| (name.to_string(), (ns / 1_000).into()))
+                .collect(),
+        );
+        pairs.push((
+            "tracing",
+            object([
+                ("enabled", Value::Bool(true)),
+                ("capacity", s.tracing.capacity.into()),
+                ("sample_every", s.tracing.sample_every.into()),
+                ("sampled", s.tracing.sampled.into()),
+                ("stage_us", stages),
+            ]),
+        ));
+    }
     if !s.faults.is_empty() {
         pairs.push((
             "faults",
@@ -503,7 +641,68 @@ mod tests {
         );
         round_trip(Request::Stats, None);
         round_trip(Request::Metrics, None);
+        round_trip(Request::Trace(TraceFilter::default()), None);
+        round_trip(
+            Request::Trace(TraceFilter {
+                op: Some("compile".to_string()),
+                errors_only: true,
+                slow_us: Some(5_000),
+                limit: Some(10),
+            }),
+            Some(Duration::from_millis(100)),
+        );
         round_trip(Request::Shutdown, None);
+    }
+
+    #[test]
+    fn malformed_trace_filters_are_structured_errors() {
+        for line in [
+            r#"{"op":"trace","op_filter":7}"#,
+            r#"{"op":"trace","errors_only":"yes"}"#,
+            r#"{"op":"trace","slow_us":"fast"}"#,
+            r#"{"op":"trace","slow_us":-5}"#,
+            r#"{"op":"trace","limit":[1]}"#,
+        ] {
+            let v = serde_json::from_str(line).unwrap();
+            let err = request_from_value(&v).unwrap_err();
+            assert!(
+                matches!(err, ServiceError::BadRequest(_)),
+                "{line} → {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_responses_render_stage_breakdowns() {
+        use lalr_obs::RequestTrace;
+        let r = Response::Trace(Box::new(TraceDump {
+            enabled: true,
+            capacity: 256,
+            sample_every: 1,
+            recorded: 3,
+            traces: vec![RequestTrace {
+                id: 3,
+                op: 0,
+                shard: 1,
+                error: false,
+                total_us: 1_200,
+                stages_us: [100, 50, 1_000, 0, 40],
+            }],
+        }));
+        let line = response_to_line(&r);
+        let v = serde_json::from_str(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("enabled").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("recorded").and_then(Value::as_u64), Some(3));
+        let traces = v.get("traces").and_then(Value::as_arr).unwrap();
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(t.get("op").and_then(Value::as_str), Some("compile"));
+        assert_eq!(t.get("total_us").and_then(Value::as_u64), Some(1_200));
+        assert_eq!(t.get("stage_sum_us").and_then(Value::as_u64), Some(1_190));
+        let stages = t.get("stages_us").unwrap();
+        assert_eq!(stages.get("compile").and_then(Value::as_u64), Some(1_000));
+        assert_eq!(stages.get("write").and_then(Value::as_u64), Some(40));
     }
 
     #[test]

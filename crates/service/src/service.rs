@@ -8,13 +8,21 @@ use std::time::{Duration, Instant};
 
 use lalr_chaos::{Fault, FaultInjector, FaultPointStats};
 use lalr_core::{DigraphStats, Parallelism, RelationStats};
-use lalr_obs::CollectingRecorder;
+use lalr_obs::{ActiveTrace, CollectingRecorder, FlightRecorder, RequestTrace, STAGE_COUNT};
 use lalr_runtime::{Parser, Token};
 
 use crate::artifact::{CompiledArtifact, GrammarFormat};
 use crate::cache::{ArtifactCache, CacheConfig, CacheOutcome, CacheStats};
 use crate::error::ServiceError;
 use crate::fingerprint::format_fingerprint;
+use crate::telemetry::{ShardCounters, ShardStatsSnapshot};
+
+/// Stage indices into [`lalr_obs::STAGE_NAMES`] / an [`ActiveTrace`].
+pub(crate) const STAGE_QUEUE: usize = 0;
+pub(crate) const STAGE_CACHE: usize = 1;
+pub(crate) const STAGE_COMPILE: usize = 2;
+pub(crate) const STAGE_PARSE: usize = 3;
+pub(crate) const STAGE_WRITE: usize = 4;
 
 /// Upper bounds (µs) of the fixed latency histogram buckets; the sixth
 /// bucket is overflow.
@@ -22,8 +30,8 @@ pub const LATENCY_BOUNDS_US: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000]
 
 /// Every protocol op, in wire/stats order (the index into the per-op
 /// counter arrays).
-pub const OPS: [&str; 7] = [
-    "compile", "classify", "table", "parse", "stats", "metrics", "shutdown",
+pub const OPS: [&str; 8] = [
+    "compile", "classify", "table", "parse", "stats", "metrics", "trace", "shutdown",
 ];
 
 /// The compile-pipeline phases the service aggregates per request
@@ -78,6 +86,33 @@ pub struct ServiceConfig {
     /// with the in-process failpoints — and hands it to the cache as its
     /// disk tier.
     pub store_dir: Option<std::path::PathBuf>,
+    /// Request-scoped tracing. `None` (the default) disables the flight
+    /// recorder entirely: no trace IDs are assigned, no stages are
+    /// stamped, and the hot path is allocation-identical to a build
+    /// without tracing (pinned by the `trace_overhead` regression
+    /// test). `Some` arms a [`FlightRecorder`] with the given capacity
+    /// and sampling period.
+    pub tracing: Option<TraceConfig>,
+}
+
+/// Flight-recorder knobs ([`ServiceConfig::tracing`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Ring capacity: how many recent [`RequestTrace`]s are kept
+    /// (rounded up to a power of two, minimum 8).
+    pub capacity: usize,
+    /// Sampling period: one request in `sample_every` is traced
+    /// (clamped to at least 1; 1 traces every request).
+    pub sample_every: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            capacity: 256,
+            sample_every: 1,
+        }
+    }
 }
 
 impl Default for ServiceConfig {
@@ -92,6 +127,7 @@ impl Default for ServiceConfig {
             max_pending: 1024,
             faults: FaultInjector::disabled(),
             store_dir: None,
+            tracing: None,
         }
     }
 }
@@ -143,8 +179,24 @@ pub enum Request {
     Stats,
     /// Prometheus-style text exposition of the service metrics.
     Metrics,
+    /// Dump the flight recorder: recent request traces, filtered.
+    Trace(TraceFilter),
     /// Ask the daemon to stop accepting connections and exit.
     Shutdown,
+}
+
+/// Which flight-recorder entries a `trace` request asks for. All
+/// filters compose with AND; the default selects everything.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceFilter {
+    /// Keep only traces of this op (an [`OPS`] name).
+    pub op: Option<String>,
+    /// Keep only traces of requests that answered with an error.
+    pub errors_only: bool,
+    /// Keep only traces at least this slow (total latency, µs).
+    pub slow_us: Option<u64>,
+    /// Return at most this many traces (newest first).
+    pub limit: Option<usize>,
 }
 
 impl Request {
@@ -157,6 +209,7 @@ impl Request {
             Request::Parse { .. } => "parse",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
+            Request::Trace(_) => "trace",
             Request::Shutdown => "shutdown",
         }
     }
@@ -172,7 +225,7 @@ impl Request {
                 ParseTarget::Text { grammar, .. } => grammar.len(),
                 ParseTarget::Fingerprint(_) => 0,
             },
-            Request::Stats | Request::Metrics | Request::Shutdown => 0,
+            Request::Stats | Request::Metrics | Request::Trace(_) | Request::Shutdown => 0,
         }
     }
 }
@@ -324,16 +377,16 @@ pub struct StatsSnapshot {
     /// Requests that missed their deadline.
     pub deadline_exceeded: u64,
     /// Per-op request counts, indexed like [`OPS`].
-    pub by_op: [u64; 7],
+    pub by_op: [u64; 8],
     /// Per-op *error* response counts, indexed like [`OPS`].
-    pub errors_by_op: [u64; 7],
+    pub errors_by_op: [u64; 8],
     /// Fixed-bucket latency histogram over all ops (bounds
     /// [`LATENCY_BOUNDS_US`], last bucket is overflow).
     pub latency_buckets: [u64; 6],
     /// Per-op latency histograms (same buckets), indexed like [`OPS`].
-    pub latency_by_op: [[u64; 6]; 7],
+    pub latency_by_op: [[u64; 6]; 8],
     /// Per-op total latency in microseconds (the histogram `_sum`).
-    pub latency_sum_us: [u64; 7],
+    pub latency_sum_us: [u64; 8],
     /// Per-phase compile-pipeline call counts, indexed like
     /// [`PHASE_NAMES`].
     pub phase_calls: [u64; 8],
@@ -357,6 +410,45 @@ pub struct StatsSnapshot {
     /// Per-rule fault-injection counters (empty unless a chaos plan is
     /// armed; see `lalr_chaos`).
     pub faults: Vec<FaultPointStats>,
+    /// Per-shard event-loop telemetry (empty for the threaded front
+    /// end, one entry per epoll shard under the event daemon).
+    pub shards: Vec<ShardStatsSnapshot>,
+    /// Flight-recorder counters ([`TracingStats::enabled`] is `false`
+    /// when [`ServiceConfig::tracing`] is `None`).
+    pub tracing: TracingStats,
+}
+
+/// Flight-recorder counters in a [`StatsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TracingStats {
+    /// Whether a flight recorder is armed.
+    pub enabled: bool,
+    /// Ring capacity (0 when disabled).
+    pub capacity: usize,
+    /// Sampling period (0 when disabled).
+    pub sample_every: u64,
+    /// Traces recorded since start (may exceed capacity).
+    pub sampled: u64,
+    /// Cumulative per-stage nanoseconds across sampled requests,
+    /// indexed like [`lalr_obs::STAGE_NAMES`].
+    pub stage_ns: [u64; STAGE_COUNT],
+}
+
+/// The `trace` op's response payload: a filtered flight-recorder dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDump {
+    /// Whether a flight recorder is armed (when `false` the dump is
+    /// empty but the response is still `ok`).
+    pub enabled: bool,
+    /// Ring capacity (0 when disabled).
+    pub capacity: usize,
+    /// Sampling period (0 when disabled).
+    pub sample_every: u64,
+    /// Traces recorded since start (before filtering; may exceed
+    /// capacity).
+    pub recorded: u64,
+    /// The matching traces, newest first.
+    pub traces: Vec<RequestTrace>,
 }
 
 /// Parse-lane counters: how many documents rode on how few artifact
@@ -391,6 +483,8 @@ pub enum Response {
     Stats(Box<StatsSnapshot>),
     /// Prometheus-style text exposition.
     Metrics(String),
+    /// Flight-recorder dump.
+    Trace(Box<TraceDump>),
     /// Shutdown acknowledged.
     Shutdown,
     /// Structured failure.
@@ -427,6 +521,10 @@ struct Job {
     deadline: Option<Instant>,
     accepted_at: Instant,
     reply: Reply,
+    /// The flight-recorder accumulator when this request was sampled.
+    /// The worker stamps the queue stage and the pipeline stamps
+    /// cache/compile/parse; whoever began the trace finishes it.
+    trace: Option<Arc<ActiveTrace>>,
 }
 
 struct Inner {
@@ -438,11 +536,11 @@ struct Inner {
     deadline_exceeded: AtomicU64,
     shed: AtomicU64,
     queue_depth: AtomicUsize,
-    by_op: [AtomicU64; 7],
-    errors_by_op: [AtomicU64; 7],
+    by_op: [AtomicU64; 8],
+    errors_by_op: [AtomicU64; 8],
     latency: [AtomicU64; 6],
-    latency_by_op: [[AtomicU64; 6]; 7],
-    latency_sum_us: [AtomicU64; 7],
+    latency_by_op: [[AtomicU64; 6]; 8],
+    latency_sum_us: [AtomicU64; 8],
     phase_calls: [AtomicU64; 8],
     phase_ns: [AtomicU64; 8],
     parse_batches: AtomicU64,
@@ -450,6 +548,14 @@ struct Inner {
     parse_accepted: AtomicU64,
     parse_rejected: AtomicU64,
     parse_resolutions: AtomicU64,
+    /// The flight recorder; `None` when tracing is disabled (the
+    /// zero-cost path: every trace hook starts with this check).
+    tracer: Option<FlightRecorder>,
+    /// Cumulative per-stage nanoseconds across sampled requests.
+    stage_ns: [AtomicU64; STAGE_COUNT],
+    /// Per-shard event-loop counters, registered once by the event
+    /// front end (empty for in-process and threaded callers).
+    shards: std::sync::OnceLock<Vec<Arc<ShardCounters>>>,
 }
 
 /// The compilation service: a worker pool executing [`Request`]s against
@@ -524,6 +630,11 @@ impl Service {
             parse_accepted: AtomicU64::new(0),
             parse_rejected: AtomicU64::new(0),
             parse_resolutions: AtomicU64::new(0),
+            tracer: config
+                .tracing
+                .map(|t| FlightRecorder::new(t.capacity, t.sample_every)),
+            stage_ns: Default::default(),
+            shards: std::sync::OnceLock::new(),
             config,
         });
         // A rendezvous queue bounded at `max_pending`: `try_send` makes
@@ -557,22 +668,40 @@ impl Service {
     pub fn call(&self, request: Request, deadline: Option<Duration>) -> Response {
         let accepted_at = Instant::now();
         let op = request.op();
+        let trace = self.begin_trace(op, 0);
         let (reply_tx, reply_rx) = mpsc::channel();
-        if let Err(e) = self.enqueue(request, deadline, accepted_at, Reply::Sync(reply_tx)) {
+        if let Err(e) = self.enqueue(
+            request,
+            deadline,
+            accepted_at,
+            Reply::Sync(reply_tx),
+            trace.clone(),
+        ) {
             // Failed requests are observations too: a shed, rejected, or
             // orphaned call still lands in the histogram and error
             // counters.
             let response = Response::Error(e);
             self.inner.record(op, &response, accepted_at.elapsed());
+            if let Some(trace) = &trace {
+                trace.set_error();
+                self.finish_trace(trace, accepted_at.elapsed());
+            }
             return response;
         }
-        reply_rx.recv().unwrap_or_else(|_| {
+        let response = reply_rx.recv().unwrap_or_else(|_| {
             let response = Response::Error(ServiceError::Unavailable(
                 "worker terminated before replying".to_string(),
             ));
             self.inner.record(op, &response, accepted_at.elapsed());
             response
-        })
+        });
+        if let Some(trace) = &trace {
+            if !response.is_ok() {
+                trace.set_error();
+            }
+            self.finish_trace(trace, accepted_at.elapsed());
+        }
+        response
     }
 
     /// Submits a request without blocking: `on_done` receives the
@@ -587,6 +716,23 @@ impl Service {
     where
         F: FnOnce(Response) + Send + 'static,
     {
+        self.submit_traced(request, deadline, None, on_done)
+    }
+
+    /// [`Service::submit`] with an externally owned trace accumulator:
+    /// the event front end begins the trace at read-completion (so the
+    /// shard and write-back stages can be stamped outside the pool) and
+    /// finishes it when the response drains to the socket. Pass `None`
+    /// when the request was not sampled.
+    pub fn submit_traced<F>(
+        &self,
+        request: Request,
+        deadline: Option<Duration>,
+        trace: Option<Arc<ActiveTrace>>,
+        on_done: F,
+    ) where
+        F: FnOnce(Response) + Send + 'static,
+    {
         let accepted_at = Instant::now();
         let op = request.op();
         if let Err(e) = self.enqueue(
@@ -594,12 +740,50 @@ impl Service {
             deadline,
             accepted_at,
             Reply::Callback(Box::new(on_done)),
+            trace,
         ) {
             // `enqueue` already delivered the error through the callback;
             // this side only records the observation.
             self.inner
                 .record(op, &Response::Error(e), accepted_at.elapsed());
         }
+    }
+
+    /// Samples the flight recorder for a new request: `Some` with a
+    /// fresh [`ActiveTrace`] when tracing is armed and this request won
+    /// the sampling draw, `None` otherwise. The disabled path is a
+    /// single branch on a `None` — no IDs, no allocation.
+    pub fn begin_trace(&self, op: &str, shard: u16) -> Option<Arc<ActiveTrace>> {
+        let tracer = self.inner.tracer.as_ref()?;
+        if !tracer.should_sample() {
+            return None;
+        }
+        Some(Arc::new(ActiveTrace::new(
+            tracer.next_id(),
+            op_index(op) as u8,
+            shard,
+        )))
+    }
+
+    /// Freezes a sampled request's trace with its end-to-end latency,
+    /// publishes it to the flight recorder, and folds its stage times
+    /// into the service-wide `lalr_stage_seconds` accumulators.
+    pub fn finish_trace(&self, trace: &ActiveTrace, total: Duration) {
+        let Some(tracer) = self.inner.tracer.as_ref() else {
+            return;
+        };
+        let done = trace.finish(total.as_nanos() as u64);
+        for (acc, &us) in self.inner.stage_ns.iter().zip(&done.stages_us) {
+            acc.fetch_add(us * 1_000, Ordering::Relaxed);
+        }
+        tracer.push(&done);
+    }
+
+    /// Registers the event front end's per-shard counters so they show
+    /// up in [`Service::stats`] and the metrics exposition. Called once
+    /// at daemon start; later calls are ignored.
+    pub(crate) fn register_shards(&self, shards: Vec<Arc<ShardCounters>>) {
+        let _ = self.inner.shards.set(shards);
     }
 
     /// Queues a job, or explains why it cannot be queued. On failure the
@@ -612,6 +796,7 @@ impl Service {
         deadline: Option<Duration>,
         accepted_at: Instant,
         reply: Reply,
+        trace: Option<Arc<ActiveTrace>>,
     ) -> Result<(), ServiceError> {
         let deadline = deadline
             .or(self.inner.config.default_deadline)
@@ -621,6 +806,7 @@ impl Service {
             deadline,
             accepted_at,
             reply,
+            trace,
         };
         match &*self.tx.lock().expect("service sender poisoned") {
             Some(tx) => match tx.try_send(job) {
@@ -690,6 +876,10 @@ fn worker_loop(inner: &Inner, rx: &Mutex<mpsc::Receiver<Job>>) {
         };
         let Ok(job) = job else { return };
         inner.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        if let Some(trace) = &job.trace {
+            // Queue stage: accepted (or read off the socket) → dequeued.
+            trace.add_stage(STAGE_QUEUE, job.accepted_at.elapsed().as_nanos() as u64);
+        }
         // The compile pipeline has its own `catch_unwind`; this one covers
         // everything else a request executes (table rendering, parsing,
         // snapshotting), so a panic records an error response instead of
@@ -698,6 +888,11 @@ fn worker_loop(inner: &Inner, rx: &Mutex<mpsc::Receiver<Job>>) {
             .unwrap_or_else(|payload| Response::Error(ServiceError::from_panic(payload.as_ref())));
         let elapsed = job.accepted_at.elapsed();
         inner.record(job.request.op(), &response, elapsed);
+        if let Some(trace) = &job.trace {
+            if !response.is_ok() {
+                trace.set_error();
+            }
+        }
         job.reply.deliver(response);
     }
 }
@@ -711,7 +906,7 @@ impl Inner {
                 });
             }
         }
-        let response = self.handle(&job.request);
+        let response = self.handle(&job.request, job.trace.as_deref());
         if let Some(deadline) = job.deadline {
             if Instant::now() > deadline {
                 return Response::Error(ServiceError::DeadlineExceeded {
@@ -722,14 +917,14 @@ impl Inner {
         response
     }
 
-    fn handle(&self, request: &Request) -> Response {
+    fn handle(&self, request: &Request, trace: Option<&ActiveTrace>) -> Response {
         let limit = self.config.max_request_bytes;
         let size = request.payload_len();
         if size > limit {
             return Response::Error(ServiceError::TooLarge { size, limit });
         }
         match request {
-            Request::Compile { grammar, format } => match self.artifact(grammar, *format) {
+            Request::Compile { grammar, format } => match self.artifact(grammar, *format, trace) {
                 Ok((artifact, outcome)) => Response::Compile(CompileSummary {
                     fingerprint: format_fingerprint(artifact.fingerprint()),
                     cached: matches!(outcome, CacheOutcome::Hit | CacheOutcome::Loaded),
@@ -745,7 +940,7 @@ impl Inner {
                 }),
                 Err(e) => Response::Error(e),
             },
-            Request::Classify { grammar, format } => match self.artifact(grammar, *format) {
+            Request::Classify { grammar, format } => match self.artifact(grammar, *format, trace) {
                 Ok((artifact, _)) => {
                     let a = artifact.adequacy();
                     Response::Classify(ClassifySummary {
@@ -764,7 +959,7 @@ impl Inner {
                 grammar,
                 format,
                 compressed,
-            } => match self.artifact(grammar, *format) {
+            } => match self.artifact(grammar, *format, trace) {
                 Ok((artifact, _)) => Response::Table(TableSummary {
                     text: artifact.table().to_string(),
                     resolutions: artifact.table().resolutions().len(),
@@ -779,14 +974,60 @@ impl Inner {
                 documents,
                 recover,
                 sync,
-            } => match self.parse_batch(target, documents, *recover, sync) {
+            } => match self.parse_batch(target, documents, *recover, sync, trace) {
                 Ok(summary) => Response::Parse(summary),
                 Err(e) => Response::Error(e),
             },
             Request::Stats => Response::Stats(Box::new(self.snapshot())),
             Request::Metrics => Response::Metrics(crate::metrics::render(&self.snapshot())),
+            Request::Trace(filter) => match self.trace_dump(filter) {
+                Ok(dump) => Response::Trace(Box::new(dump)),
+                Err(e) => Response::Error(e),
+            },
             Request::Shutdown => Response::Shutdown,
         }
+    }
+
+    /// The `trace` op: snapshot the flight recorder and filter. A
+    /// disabled recorder answers `ok` with `enabled: false` and no
+    /// traces; an unknown op filter is a structured `bad_request`.
+    fn trace_dump(&self, filter: &TraceFilter) -> Result<TraceDump, ServiceError> {
+        let op_filter = match &filter.op {
+            Some(name) => match OPS.iter().position(|&o| o == name.as_str()) {
+                Some(i) => Some(i as u8),
+                None => {
+                    return Err(ServiceError::BadRequest(format!(
+                        "unknown op filter {name:?} (available: {})",
+                        OPS.join(", ")
+                    )))
+                }
+            },
+            None => None,
+        };
+        let Some(tracer) = self.tracer.as_ref() else {
+            return Ok(TraceDump {
+                enabled: false,
+                capacity: 0,
+                sample_every: 0,
+                recorded: 0,
+                traces: Vec::new(),
+            });
+        };
+        let recorded = tracer.recorded();
+        let mut traces = tracer.snapshot();
+        traces.retain(|t| {
+            op_filter.is_none_or(|op| t.op == op)
+                && (!filter.errors_only || t.error)
+                && filter.slow_us.is_none_or(|slow| t.total_us >= slow)
+        });
+        traces.truncate(filter.limit.unwrap_or(usize::MAX));
+        Ok(TraceDump {
+            enabled: true,
+            capacity: tracer.capacity(),
+            sample_every: tracer.sample_every(),
+            recorded,
+            traces,
+        })
     }
 
     /// The batched parse op: resolve the artifact **once**, then drive
@@ -797,6 +1038,7 @@ impl Inner {
         documents: &[String],
         recover: bool,
         sync: &[String],
+        trace: Option<&ActiveTrace>,
     ) -> Result<ParseBatchSummary, ServiceError> {
         // The parse-worker failpoint: same contract as `service.compile` —
         // a panic unwinds into the worker's `catch_unwind` and surfaces
@@ -820,13 +1062,14 @@ impl Inner {
         // exists for.
         let (artifact, cached) = match target {
             ParseTarget::Text { grammar, format } => {
-                let (artifact, outcome) = self.artifact(grammar, *format)?;
+                let (artifact, outcome) = self.artifact(grammar, *format, trace)?;
                 (
                     artifact,
                     matches!(outcome, CacheOutcome::Hit | CacheOutcome::Loaded),
                 )
             }
             ParseTarget::Fingerprint(fp) => {
+                let lookup_started = trace.map(|_| Instant::now());
                 let hex = format_fingerprint(*fp);
                 let artifact = self
                     .cache
@@ -842,9 +1085,13 @@ impl Inner {
                             "artifact {hex}: not in cache (never compiled or evicted)"
                         ))
                     })?;
+                if let (Some(trace), Some(t0)) = (trace, lookup_started) {
+                    trace.add_stage(STAGE_CACHE, t0.elapsed().as_nanos() as u64);
+                }
                 (artifact, true)
             }
         };
+        let parse_started = trace.map(|_| Instant::now());
         self.parse_resolutions.fetch_add(1, Ordering::Relaxed);
         self.parse_batches.fetch_add(1, Ordering::Relaxed);
         let table = artifact.table();
@@ -877,6 +1124,9 @@ impl Inner {
                 _ => {}
             }
             docs.push(self.parse_document(table, doc, recover, &sync_ids));
+        }
+        if let (Some(trace), Some(t0)) = (trace, parse_started) {
+            trace.add_stage(STAGE_PARSE, t0.elapsed().as_nanos() as u64);
         }
         let accepted = docs.iter().filter(|d| d.accepted).count() as u64;
         self.parse_documents
@@ -971,6 +1221,7 @@ impl Inner {
         &self,
         grammar: &str,
         format: GrammarFormat,
+        trace: Option<&ActiveTrace>,
     ) -> Result<(Arc<CompiledArtifact>, CacheOutcome), ServiceError> {
         // The format is part of the identity: the same bytes read as yacc
         // and as native text are different grammars, so prefix the cache
@@ -979,20 +1230,31 @@ impl Inner {
             GrammarFormat::Native => format!("%key native\n{grammar}"),
             GrammarFormat::Yacc => format!("%key yacc\n{grammar}"),
         };
+        // Stage attribution: the whole resolution is timed here, the
+        // compile closure stamps its own share, and the remainder —
+        // key hashing, map probes, store I/O, waiting out another
+        // thread's in-flight compile — is the cache stage.
+        let resolve_started = trace.map(|_| Instant::now());
         let pipeline = self.config.pipeline;
-        match &self.cache {
+        let result = match &self.cache {
             Some(cache) => {
                 let (result, outcome) = cache.get_or_compile(&key, |_, fp| {
-                    self.compile_observed(grammar, format, fp, &pipeline)
+                    self.compile_observed(grammar, format, fp, &pipeline, trace)
                 });
                 result.map(|a| (a, outcome))
             }
             None => {
                 let fp = crate::fingerprint::fx_fingerprint(&crate::fingerprint::normalize(&key));
-                self.compile_observed(grammar, format, fp, &pipeline)
+                self.compile_observed(grammar, format, fp, &pipeline, trace)
                     .map(|a| (Arc::new(a), CacheOutcome::Compiled))
             }
+        };
+        if let (Some(trace), Some(t0)) = (trace, resolve_started) {
+            let total_ns = t0.elapsed().as_nanos() as u64;
+            let compile_ns = trace.stage_ns(STAGE_COMPILE);
+            trace.add_stage(STAGE_CACHE, total_ns.saturating_sub(compile_ns));
         }
+        result
     }
 
     /// Runs one compile under a [`CollectingRecorder`] and folds its
@@ -1003,6 +1265,7 @@ impl Inner {
         format: GrammarFormat,
         fp: u64,
         pipeline: &Parallelism,
+        trace: Option<&ActiveTrace>,
     ) -> Result<CompiledArtifact, ServiceError> {
         // The compile-worker failpoint: a `panic` here unwinds into the
         // cache's `catch_unwind` (or the worker's, on the cache-less
@@ -1018,6 +1281,7 @@ impl Inner {
             }
             _ => {}
         }
+        let compile_started = trace.map(|_| Instant::now());
         let rec = CollectingRecorder::new();
         let compiled = CompiledArtifact::compile_recorded(grammar, format, fp, pipeline, &rec);
         for phase in &rec.report().phases {
@@ -1025,6 +1289,9 @@ impl Inner {
                 self.phase_calls[i].fetch_add(phase.calls, Ordering::Relaxed);
                 self.phase_ns[i].fetch_add(phase.total_ns, Ordering::Relaxed);
             }
+        }
+        if let (Some(trace), Some(t0)) = (trace, compile_started) {
+            trace.add_stage(STAGE_COMPILE, t0.elapsed().as_nanos() as u64);
         }
         compiled
     }
@@ -1078,6 +1345,27 @@ impl Inner {
             queue_depth: self.queue_depth.load(Ordering::SeqCst),
             queue_limit: self.config.max_pending.max(1),
             faults: self.config.faults.stats(),
+            shards: self
+                .shards
+                .get()
+                .map(|shards| {
+                    shards
+                        .iter()
+                        .enumerate()
+                        .map(|(i, c)| c.snapshot(i))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            tracing: match &self.tracer {
+                Some(tracer) => TracingStats {
+                    enabled: true,
+                    capacity: tracer.capacity(),
+                    sample_every: tracer.sample_every(),
+                    sampled: tracer.recorded(),
+                    stage_ns: std::array::from_fn(|i| self.stage_ns[i].load(Ordering::Relaxed)),
+                },
+                None => TracingStats::default(),
+            },
         }
     }
 }

@@ -1,0 +1,66 @@
+//! Per-shard event-loop telemetry.
+//!
+//! Each epoll shard owns one [`ShardCounters`] and bumps it inline from
+//! its event loop (no contention: every counter has exactly one
+//! writer). The [`crate::Service`] holds the full set so the `stats`
+//! op and the metrics exposition can fold per-shard numbers in without
+//! reaching into the daemon.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters for one epoll shard. Gauges and totals are written by
+/// the shard thread and read by stats snapshots.
+#[derive(Debug, Default)]
+pub struct ShardCounters {
+    /// `epoll_wait` calls made by the shard's event loop.
+    pub epoll_waits: AtomicU64,
+    /// Nanoseconds spent blocked in `epoll_wait`.
+    pub epoll_wait_ns: AtomicU64,
+    /// Readiness events dispatched.
+    pub events: AtomicU64,
+    /// Connections accepted (or dealt to) this shard.
+    pub accepts: AtomicU64,
+    /// Completions and dealt connections drained from the inbox.
+    pub inbox_items: AtomicU64,
+    /// Timer-wheel expirations handled.
+    pub timer_fires: AtomicU64,
+    /// Connections currently open on this shard (a gauge).
+    pub connections: AtomicU64,
+}
+
+impl ShardCounters {
+    /// Copies the counters into an owned snapshot for shard `shard`.
+    pub fn snapshot(&self, shard: usize) -> ShardStatsSnapshot {
+        ShardStatsSnapshot {
+            shard,
+            epoll_waits: self.epoll_waits.load(Ordering::Relaxed),
+            epoll_wait_us: self.epoll_wait_ns.load(Ordering::Relaxed) / 1_000,
+            events: self.events.load(Ordering::Relaxed),
+            accepts: self.accepts.load(Ordering::Relaxed),
+            inbox_items: self.inbox_items.load(Ordering::Relaxed),
+            timer_fires: self.timer_fires.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One shard's telemetry in a [`crate::StatsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStatsSnapshot {
+    /// Shard index (0 owns the listener).
+    pub shard: usize,
+    /// `epoll_wait` calls made by the shard's event loop.
+    pub epoll_waits: u64,
+    /// Microseconds spent blocked in `epoll_wait`.
+    pub epoll_wait_us: u64,
+    /// Readiness events dispatched.
+    pub events: u64,
+    /// Connections accepted (or dealt to) this shard.
+    pub accepts: u64,
+    /// Completions and dealt connections drained from the inbox.
+    pub inbox_items: u64,
+    /// Timer-wheel expirations handled.
+    pub timer_fires: u64,
+    /// Connections open on this shard at snapshot time (a gauge).
+    pub connections: u64,
+}

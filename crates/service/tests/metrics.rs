@@ -24,9 +24,17 @@ fn parse_exposition(text: &str) -> HashMap<String, u64> {
         let (key, value) = line
             .rsplit_once(' ')
             .unwrap_or_else(|| panic!("malformed sample line {line:?}"));
-        let value: u64 = value
-            .parse()
-            .unwrap_or_else(|_| panic!("non-integer value in {line:?}"));
+        // Counter families are integers; the few float-valued families
+        // (uptime seconds, wait seconds) just need to parse as numbers.
+        let value: u64 = match value.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                value
+                    .parse::<f64>()
+                    .unwrap_or_else(|_| panic!("non-numeric value in {line:?}"));
+                continue;
+            }
+        };
         assert!(
             out.insert(key.to_string(), value).is_none(),
             "duplicate sample {key}"
