@@ -32,12 +32,30 @@
 //! disk. Reported per phase: latency percentiles plus the
 //! restart-to-first-warm-reply wall time.
 //!
+//! With `--hostile` (EXPERIMENTS.md Table 15) the harness points abusive
+//! clients at the event-loop daemon — connection floods past the
+//! per-peer quota, byte-at-a-time request writers, and stalled readers
+//! that pipeline requests and never drain the responses — while
+//! well-behaved clients keep issuing the normal mix through the
+//! circuit-breaking retry layer. The run fails unless every
+//! well-behaved request succeeds, the flood is visibly rejected, the
+//! stalled connections are closed by the daemon, and the daemon ends
+//! back in the `ok` health state with a clean drain. (The request rate
+//! limit is configured generously here so the abusive pipelines reach
+//! the write path; exact rate-limit accounting lives in the
+//! `event_hostile` integration tests.) `--no-degrade` is the A/B
+//! control arm: the same mix against a daemon whose health state
+//! machine never enters `degraded`, so Table 15 can compare goodput
+//! and tail latency with graceful degradation on versus off.
+//!
 //! ```text
 //! cargo run --release -p lalr-bench --bin loadgen              # 8 threads × 40 requests
 //! cargo run --release -p lalr-bench --bin loadgen -- 4 100     # 4 threads × 100 requests
 //! cargo run --release -p lalr-bench --bin loadgen -- --chaos   # fault-rate sweep over TCP
 //! cargo run --release -p lalr-bench --bin loadgen -- --parse   # batched-parse sweep
 //! cargo run --release -p lalr-bench --bin loadgen -- --restart # warm-restart latency
+//! cargo run --release -p lalr-bench --bin loadgen -- --hostile # abusive-client survival
+//! cargo run --release -p lalr-bench --bin loadgen -- --hostile --no-degrade  # Table 15 control arm
 //! cargo run --release -p lalr-bench --bin loadgen -- --trace   # mixed mode, recorder armed
 //! ```
 //!
@@ -50,6 +68,8 @@
 //! and fault accounting) are written to `OUT` as one JSON object, so CI
 //! and scripts can assert on numbers without scraping markdown.
 
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -57,7 +77,8 @@ use lalr_chaos::{Fault, FaultPlan, Trigger};
 use lalr_core::Parallelism;
 use lalr_service::client::{call_with_retry, RetryPolicy};
 use lalr_service::{
-    Daemon, DaemonConfig, GrammarFormat, ParseTarget, Request, Service, ServiceConfig,
+    call_with_breaker, CircuitBreaker, Daemon, DaemonConfig, EventDaemon, GrammarFormat,
+    ParseTarget, Request, Service, ServiceConfig,
 };
 
 /// The request mix: for every corpus grammar one compile, one classify,
@@ -724,16 +745,427 @@ fn restart_main(workers: usize, json_out: Option<&str>) {
     }
 }
 
+/// Reads one response line from a raw hostile-client socket, bounded by
+/// `timeout`. Returns `None` on timeout, EOF, or a transport error.
+fn read_line_timeout(stream: &mut TcpStream, timeout: Duration) -> Option<String> {
+    stream.set_read_timeout(Some(timeout)).ok()?;
+    let mut line = String::new();
+    let mut reader = BufReader::new(stream);
+    match reader.read_line(&mut line) {
+        Ok(0) | Err(_) => None,
+        Ok(_) => Some(line),
+    }
+}
+
+/// The well-behaved side of the `--hostile` run: the standard mixed
+/// workload through the circuit-breaking retry client, sharing the
+/// daemon with the abusive phases. Returns (sorted latencies, errors,
+/// retries).
+fn hostile_good_clients(
+    addr: &str,
+    requests: &Arc<Vec<Request>>,
+    breaker: &Arc<CircuitBreaker>,
+    threads: usize,
+    per_thread: usize,
+) -> (Vec<Duration>, u64, u64) {
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let requests = Arc::clone(requests);
+            let breaker = Arc::clone(breaker);
+            let addr = addr.to_string();
+            std::thread::spawn(move || {
+                let policy = RetryPolicy {
+                    retries: 80,
+                    backoff: Duration::from_millis(1),
+                    cap: Duration::from_millis(16),
+                    seed: 0x5711E ^ t as u64,
+                };
+                let none = lalr_service::FaultInjector::disabled();
+                let mut latencies = Vec::with_capacity(per_thread);
+                let mut errors = 0u64;
+                let mut attempts = 0u64;
+                for k in 0..per_thread {
+                    let request = &requests[(t * 7 + k) % requests.len()];
+                    let call_start = Instant::now();
+                    let reply = call_with_breaker(
+                        &addr,
+                        request,
+                        None,
+                        Duration::from_secs(10),
+                        &policy,
+                        &breaker,
+                        &none,
+                    );
+                    latencies.push(call_start.elapsed());
+                    match reply {
+                        Ok(r) => {
+                            attempts += u64::from(r.attempts);
+                            if !r.is_ok() {
+                                errors += 1;
+                            }
+                        }
+                        Err(_) => {
+                            attempts += u64::from(policy.retries) + 1;
+                            errors += 1;
+                        }
+                    }
+                }
+                (latencies, errors, attempts)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(threads * per_thread);
+    let mut errors = 0;
+    let mut attempts = 0;
+    for h in handles {
+        let (l, e, a) = h.join().expect("well-behaved client thread");
+        latencies.extend(l);
+        errors += e;
+        attempts += a;
+    }
+    let retries = attempts - latencies.len() as u64;
+    latencies.sort_unstable();
+    (latencies, errors, retries)
+}
+
+/// Connection flood: waves of simultaneous connects from one peer, well
+/// past the per-peer quota. Over-quota connections must be answered
+/// with a fast explicit rejection line, never silently dropped. Returns
+/// (attempted, rejected).
+fn hostile_flood(addr: &str, wave: usize, waves: usize) -> (u64, u64) {
+    let mut attempted = 0u64;
+    let mut rejected = 0u64;
+    for _ in 0..waves {
+        let conns: Vec<TcpStream> = (0..wave)
+            .filter_map(|_| TcpStream::connect(addr).ok())
+            .collect();
+        attempted += conns.len() as u64;
+        for mut c in conns {
+            // Rejected connections carry their error line immediately;
+            // admitted ones (we never send a request) just time out
+            // here and are dropped, which the daemon sees as EOF.
+            if let Some(line) = read_line_timeout(&mut c, Duration::from_millis(50)) {
+                if line.contains("\"throttled\"") || line.contains("\"unavailable\"") {
+                    rejected += 1;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    (attempted, rejected)
+}
+
+/// Byte-at-a-time writers: each request line dribbles in one byte per
+/// millisecond. The daemon must still assemble and answer it. Each
+/// attempt retries a few times so a transient quota/throttle rejection
+/// during the concurrent flood does not count against the daemon.
+fn hostile_trickle(addr: &str, attempts: usize) -> (u64, u64) {
+    let line = lalr_service::protocol::request_to_line(
+        &Request::Classify {
+            grammar: "e : e \"+\" t | t ; t : \"x\" ;".to_string(),
+            format: GrammarFormat::Native,
+        },
+        None,
+    ) + "\n";
+    let mut succeeded = 0u64;
+    for _ in 0..attempts {
+        for _retry in 0..20 {
+            let Ok(mut c) = TcpStream::connect(addr) else {
+                std::thread::sleep(Duration::from_millis(25));
+                continue;
+            };
+            c.set_nodelay(true).ok();
+            let mut wrote_all = true;
+            for &b in line.as_bytes() {
+                if c.write_all(&[b]).is_err() {
+                    wrote_all = false;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let reply = read_line_timeout(&mut c, Duration::from_secs(10));
+            if wrote_all && reply.is_some_and(|l| l.contains("\"ok\":true")) {
+                succeeded += 1;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+    (attempts as u64, succeeded)
+}
+
+/// Stalled readers: pipeline a burst of requests and never read the
+/// responses, so the daemon's write buffers back up. Liveness demands
+/// the daemon eventually close every such connection — via the
+/// slow-client write budget when the buffered bytes overflow the
+/// socket, or the idle read timeout otherwise. Every line is a *cold*
+/// compile of a distinct chain grammar, so the admitted part of the
+/// burst is real pipeline work that overflows the worker queue — the
+/// pressure the Table 15 degradation A/B measures. Returns
+/// (opened, closed).
+fn hostile_stalled(addr: &str, conns: usize, pipeline: usize) -> (u64, u64) {
+    let chain = |salt: String| {
+        let mut g = String::from("s : p0 ; ");
+        for i in 0..300 {
+            if i + 1 < 300 {
+                g.push_str(&format!("p{i} : \"t{i}_{salt}\" p{} | \"t{i}\" ; ", i + 1));
+            } else {
+                g.push_str(&format!("p{i} : \"t{i}_{salt}\" ; "));
+            }
+        }
+        g
+    };
+    let mut streams = Vec::new();
+    for conn in 0..conns {
+        let payload: String = (0..pipeline)
+            .map(|k| {
+                lalr_service::protocol::request_to_line(
+                    &Request::Compile {
+                        grammar: chain(format!("c{conn}k{k}")),
+                        format: GrammarFormat::Native,
+                    },
+                    None,
+                ) + "\n"
+            })
+            .collect();
+        if let Ok(mut c) = TcpStream::connect(addr) {
+            let _ = c.write_all(payload.as_bytes());
+            streams.push(c);
+        }
+    }
+    let opened = streams.len() as u64;
+    // Hold past the write budget without reading a byte.
+    std::thread::sleep(Duration::from_millis(800));
+    let mut closed = 0u64;
+    let mut sink = [0u8; 16384];
+    for mut c in streams {
+        c.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        loop {
+            match c.read(&mut sink) {
+                // EOF or a reset: the daemon dropped us. Draining data
+                // first is fine — a not-yet-closed connection empties
+                // its backlog and is then closed at the idle timeout.
+                Ok(0) => {
+                    closed += 1;
+                    break;
+                }
+                Ok(_) => continue,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    break;
+                }
+                Err(_) => {
+                    closed += 1;
+                    break;
+                }
+            }
+        }
+    }
+    (opened, closed)
+}
+
+/// The Table 15 harness: hostile clients and well-behaved clients share
+/// one event-loop daemon configured with a tight per-peer quota and a
+/// slow-client write budget. Exits 1 unless the daemon survives —
+/// zero well-behaved errors, visible flood rejection, stalled readers
+/// closed, final health `ok`, clean drain.
+fn hostile_main(threads: usize, per_thread: usize, json_out: Option<&str>, degrade: bool) {
+    if !lalr_net::supported() {
+        eprintln!("loadgen --hostile: event-loop front end unsupported on this platform; skipping");
+        return;
+    }
+    let quota = threads + 6;
+    // A deliberately small worker pool and queue. The event loop admits
+    // at most one in-flight request per connection, so pipelining alone
+    // can never overflow the queue — overload is connections × work:
+    // the stalled readers' cold chain compiles plus the well-behaved
+    // mix outnumber workers + queue slots, the service sheds, and the
+    // `--no-degrade` A/B arm (Table 15) measures a daemon that actually
+    // degrades, not one hiding behind a deep queue.
+    let workers = 2;
+    let max_pending = 2;
+    let daemon = EventDaemon::start(
+        DaemonConfig {
+            addr: "127.0.0.1:0".to_string(),
+            read_timeout: Duration::from_secs(2),
+            drain_deadline: Duration::from_secs(5),
+            max_connections_per_peer: quota,
+            rate_limit_per_sec: 2000,
+            rate_limit_burst: 1000,
+            write_budget: Duration::from_millis(200),
+            service: ServiceConfig {
+                workers: Parallelism::new(workers),
+                max_pending,
+                health: if degrade {
+                    lalr_service::HealthConfig::default()
+                } else {
+                    lalr_service::HealthConfig {
+                        degrade_after_sheds: 0,
+                        ..lalr_service::HealthConfig::default()
+                    }
+                },
+                ..ServiceConfig::default()
+            },
+            ..DaemonConfig::default()
+        },
+        2,
+    )
+    .expect("bind loopback");
+    let addr = daemon.addr().to_string();
+    let requests = Arc::new(workload());
+    eprintln!(
+        "loadgen --hostile: {threads} well-behaved threads x {per_thread} requests, \
+         per-peer quota {quota}, 2000/s rate limit (burst 1000), 200ms write budget, \
+         queue {max_pending}, degradation {}",
+        if degrade { "on" } else { "off" }
+    );
+
+    let breaker = Arc::new(CircuitBreaker::new(8, Duration::from_millis(25)));
+    let flood = {
+        let addr = addr.clone();
+        std::thread::spawn(move || hostile_flood(&addr, quota + 12, 6))
+    };
+    let trickle = {
+        let addr = addr.clone();
+        std::thread::spawn(move || hostile_trickle(&addr, 6))
+    };
+    let stalled = {
+        let addr = addr.clone();
+        std::thread::spawn(move || hostile_stalled(&addr, 4, 300))
+    };
+    let (latencies, errors, retries) =
+        hostile_good_clients(&addr, &requests, &breaker, threads, per_thread);
+    let (flood_attempted, flood_rejected) = flood.join().expect("flood thread");
+    let (trickle_attempted, trickle_ok) = trickle.join().expect("trickle thread");
+    let (stalled_opened, stalled_closed) = stalled.join().expect("stalled thread");
+
+    // Calm traffic until the health state machine recovers to `ok` —
+    // the stalled-reader burst usually sheds enough to reach degraded.
+    let mut state = "unknown".to_string();
+    let mut health_raw = String::new();
+    for _ in 0..600 {
+        let _ = lalr_service::client::call(&addr, &requests[0], None, Duration::from_secs(5));
+        if let Ok(reply) =
+            lalr_service::client::call(&addr, &Request::Health, None, Duration::from_secs(5))
+        {
+            health_raw = reply.raw;
+            for s in ["ok", "degraded", "draining"] {
+                if health_raw.contains(&format!("\"state\":\"{s}\"")) {
+                    state = s.to_string();
+                }
+            }
+            if state == "ok" {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    daemon.stop();
+    let summary = daemon.join();
+
+    let peer_quota_rejects = counter(&health_raw, "peer_quota");
+    let rate_limit_rejects = counter(&health_raw, "rate_limit");
+    let slow_client_rejects = counter(&health_raw, "slow_client");
+    let degraded_transitions = counter(&health_raw, "degraded_transitions");
+    let shard_restarts = counter(&health_raw, "shard_restarts");
+
+    println!("| arm | attempted | succeeded | rejected | closed |");
+    println!("|------|----------:|----------:|---------:|-------:|");
+    println!(
+        "| well-behaved | {} | {} | — | — |",
+        latencies.len(),
+        latencies.len() as u64 - errors,
+    );
+    println!("| conn-flood | {flood_attempted} | — | {flood_rejected} | — |");
+    println!("| byte-at-a-time | {trickle_attempted} | {trickle_ok} | — | — |");
+    println!("| stalled-reader | {stalled_opened} | — | — | {stalled_closed} |");
+    eprintln!(
+        "well-behaved: {retries} retries, {} breaker opens, p50 {:.3}ms p99 {:.3}ms",
+        breaker.opens(),
+        ms(percentile(&latencies, 0.50)),
+        ms(percentile(&latencies, 0.99)),
+    );
+    eprintln!(
+        "daemon: final health {state}, rejects peer-quota {peer_quota_rejects} \
+         rate-limit {rate_limit_rejects} slow-client {slow_client_rejects}, \
+         {degraded_transitions} degraded transitions, {shard_restarts} shard restarts, \
+         drained {} aborted {}",
+        summary.drained, summary.aborted,
+    );
+
+    let mut failures: Vec<&str> = Vec::new();
+    if errors > 0 {
+        failures.push("well-behaved requests failed");
+    }
+    if flood_rejected == 0 {
+        failures.push("connection flood was never rejected");
+    }
+    if trickle_ok < trickle_attempted {
+        failures.push("byte-at-a-time requests went unanswered");
+    }
+    if stalled_closed < stalled_opened {
+        failures.push("stalled readers were not closed");
+    }
+    if state != "ok" {
+        failures.push("daemon did not recover to the ok health state");
+    }
+    if summary.aborted > 0 {
+        failures.push("drain aborted connections");
+    }
+    if let Some(path) = json_out {
+        write_json(
+            path,
+            format!(
+                "{{\"breaker_opens\":{},\"degrade\":{degrade},\"errors\":{errors},\"flood\":{{\"attempted\":\
+                 {flood_attempted},\"rejected\":{flood_rejected}}},\"health\":{{\
+                 \"degraded_transitions\":{degraded_transitions},\"peer_quota_rejects\":\
+                 {peer_quota_rejects},\"rate_limit_rejects\":{rate_limit_rejects},\
+                 \"shard_restarts\":{shard_restarts},\"slow_client_rejects\":\
+                 {slow_client_rejects},\"state\":\"{state}\"}},\"mode\":\"hostile\",\
+                 \"p50_ms\":{:.3},\"p99_ms\":{:.3},\"per_thread\":{per_thread},\"requests\":{},\
+                 \"retries\":{retries},\"stalled\":{{\"closed\":{stalled_closed},\"opened\":\
+                 {stalled_opened}}},\"summary\":{{\"aborted\":{},\"drained\":{}}},\"threads\":\
+                 {threads},\"trickle\":{{\"attempted\":{trickle_attempted},\"ok\":{trickle_ok}}}}}\n",
+                breaker.opens(),
+                ms(percentile(&latencies, 0.50)),
+                ms(percentile(&latencies, 0.99)),
+                latencies.len(),
+                summary.aborted,
+                summary.drained,
+            ),
+        );
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("loadgen --hostile: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let chaos = args.iter().any(|a| a == "--chaos");
     let parse = args.iter().any(|a| a == "--parse");
     let restart = args.iter().any(|a| a == "--restart");
+    let hostile = args.iter().any(|a| a == "--hostile");
+    // `--no-degrade` is the Table 15 control arm: same hostile mix, but
+    // the health state machine never enters `degraded`.
+    let no_degrade = args.iter().any(|a| a == "--no-degrade");
     // `--trace` arms the flight recorder (sample-every-request) on the
     // mixed-mode services, for the Table 14 armed-vs-disabled overhead
     // comparison.
     let trace = args.iter().any(|a| a == "--trace");
-    args.retain(|a| a != "--chaos" && a != "--parse" && a != "--restart" && a != "--trace");
+    args.retain(|a| {
+        a != "--chaos"
+            && a != "--parse"
+            && a != "--restart"
+            && a != "--hostile"
+            && a != "--no-degrade"
+            && a != "--trace"
+    });
     // `--json OUT` is a value flag: pull it (and its value) out before
     // the remaining words are read as positionals.
     let mut json_out: Option<String> = None;
@@ -754,6 +1186,10 @@ fn main() {
     }
     if chaos {
         chaos_main(threads, per_thread, json_out);
+        return;
+    }
+    if hostile {
+        hostile_main(threads, per_thread, json_out, !no_degrade);
         return;
     }
     if parse {

@@ -28,6 +28,8 @@
 //! | `client.read`     | `Error`, `Delay`                                 |
 //! | `daemon.read`     | `Error` (drop conn), `Delay`, `Garbage`, `Truncate` |
 //! | `daemon.write`    | `Error` (eat response), `PartialWrite`, `Delay`  |
+//! | `daemon.admit`    | `Error` (force an admission rejection: the request line gets a retryable `throttled` reply) |
+//! | `shard.panic`     | `Panic` (crash the event-loop shard mid-request; the supervisor restarts it) |
 //! | `service.compile` | `Panic`, `Delay`, `Error`                        |
 //! | `service.parse`   | `Panic`, `Delay`, `Error`                        |
 //! | `service.parse.doc` | `Error` (abort the whole batch at a document boundary) |

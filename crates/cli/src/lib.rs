@@ -72,6 +72,8 @@ pub const USAGE: &str = "usage: lalrgen <command> <grammar> [args] [--threads N]
   serve  [--addr A] [--cache-mb N] [--max-conn N] [--deadline-ms N] [--max-pending N]
          [--drain-ms N] [--chaos SPEC] [--chaos-seed N] [--store DIR] [--no-store]
          [--shards N] [--threaded] [--trace-sample N] [--trace-capacity N]
+         [--max-conn-per-peer N] [--rate-limit N] [--rate-burst N]
+         [--write-budget-ms N] [--reject-timeout-ms N]
          run the compile daemon
          --chaos arms deterministic failpoints, e.g. \"daemon.write:partial:0.05\"
          --store persists compiled artifacts to DIR (mmap-loaded on repeat
@@ -81,10 +83,16 @@ pub const USAGE: &str = "usage: lalrgen <command> <grammar> [args] [--threads N]
          --trace-sample N records every Nth request in the flight recorder
          (default 1 = all; 0 disables tracing entirely); --trace-capacity N
          sizes the recorder ring (default 256, rounded up to a power of two)
+         --max-conn-per-peer N caps concurrent connections per source IP
+         (over-quota accepts get a retryable throttled line; 0 = off);
+         --rate-limit N admits at most N request lines/s (token bucket,
+         burst --rate-burst, default = N); --write-budget-ms N closes
+         connections that cannot drain queued responses in time;
+         --reject-timeout-ms N bounds the rejection-line write (default 1000)
   store  <ls|verify|gc> --dir DIR [--max-age-s N]   maintain a persistent
          artifact store: list entries, verify checksums (exit 1 on any
          corrupt file), or remove artifacts not used for N seconds
-  client <compile|classify|table|parse|stats|metrics|trace|shutdown> [grammar]
+  client <compile|classify|table|parse|stats|metrics|trace|health|shutdown> [grammar]
          [--addr A] [--input \"t t t\"]… [--recover] [--compressed] [--deadline-ms N]
          [--timeout-ms N] [--retries N] [--backoff-ms N]   retry transient failures
          with capped exponential backoff and deterministic jitter; client parse
@@ -721,7 +729,9 @@ fn grammar_text(arg: &str) -> Result<(String, lalr_service::GrammarFormat), CliE
 fn cmd_serve(args: &[String], par: &Parallelism) -> Result<String, CliError> {
     const FLAGS: &str = "--addr, --cache-mb, --max-conn, --deadline-ms, --max-pending, \
                          --drain-ms, --chaos, --chaos-seed, --store, --no-store, \
-                         --shards, --threaded, --trace-sample, --trace-capacity, --threads";
+                         --shards, --threaded, --trace-sample, --trace-capacity, \
+                         --max-conn-per-peer, --rate-limit, --rate-burst, \
+                         --write-budget-ms, --reject-timeout-ms, --threads";
     let mut config = lalr_service::DaemonConfig {
         addr: DEFAULT_ADDR.to_string(),
         ..lalr_service::DaemonConfig::default()
@@ -786,6 +796,32 @@ fn cmd_serve(args: &[String], par: &Parallelism) -> Result<String, CliError> {
             "--chaos-seed" => {
                 chaos_seed = num_flag(flag_value(args, i, "--chaos-seed")?, "--chaos-seed")?
             }
+            "--max-conn-per-peer" => {
+                config.max_connections_per_peer = num_flag(
+                    flag_value(args, i, "--max-conn-per-peer")?,
+                    "--max-conn-per-peer",
+                )?
+            }
+            "--rate-limit" => {
+                config.rate_limit_per_sec =
+                    num_flag(flag_value(args, i, "--rate-limit")?, "--rate-limit")?
+            }
+            "--rate-burst" => {
+                config.rate_limit_burst =
+                    num_flag(flag_value(args, i, "--rate-burst")?, "--rate-burst")?
+            }
+            "--write-budget-ms" => {
+                config.write_budget = std::time::Duration::from_millis(num_flag(
+                    flag_value(args, i, "--write-budget-ms")?,
+                    "--write-budget-ms",
+                )?)
+            }
+            "--reject-timeout-ms" => {
+                config.reject_write_timeout = std::time::Duration::from_millis(num_flag(
+                    flag_value(args, i, "--reject-timeout-ms")?,
+                    "--reject-timeout-ms",
+                )?)
+            }
             other => {
                 return Err(fail(format!(
                     "unknown flag {other:?} for serve (available: {FLAGS})"
@@ -840,10 +876,14 @@ fn cmd_serve(args: &[String], par: &Parallelism) -> Result<String, CliError> {
         eprintln!("front end: {shards} event-loop shard(s)");
         daemon.join()
     };
-    Ok(format!(
+    let mut out = format!(
         "served {} connection(s), {} request(s)\ndrained {} connection(s) at shutdown, aborted {}\n",
         summary.connections, summary.requests, summary.drained, summary.aborted
-    ))
+    );
+    if summary.restarts > 0 {
+        let _ = writeln!(out, "recovered {} shard crash(es)", summary.restarts);
+    }
+    Ok(out)
 }
 
 /// `lalrgen store`: offline maintenance of a persistent artifact store
@@ -940,7 +980,7 @@ fn cmd_store(args: &[String]) -> Result<String, CliError> {
 /// response line. Errors from the daemon exit nonzero with the line on
 /// stderr.
 fn cmd_client(args: &[String]) -> Result<String, CliError> {
-    const OPS: &str = "compile, classify, table, parse, stats, metrics, trace, shutdown";
+    const OPS: &str = "compile, classify, table, parse, stats, metrics, trace, health, shutdown";
     const FLAGS: &str = "--addr, --input, --recover, --compressed, --deadline-ms, --timeout-ms, \
                          --retries, --backoff-ms";
     let mut addr = DEFAULT_ADDR.to_string();
@@ -1008,6 +1048,7 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
         "stats" => lalr_service::Request::Stats,
         "metrics" => lalr_service::Request::Metrics,
         "trace" => lalr_service::Request::Trace(lalr_service::TraceFilter::default()),
+        "health" => lalr_service::Request::Health,
         "shutdown" => lalr_service::Request::Shutdown,
         "compile" | "classify" | "table" | "parse" => {
             let name = positional.get(1).ok_or_else(|| {
@@ -1270,6 +1311,23 @@ fn top_frame(addr: &str, value: &serde_json::Value) -> String {
         json_u64(value, "workers"),
         json_u64(value, "uptime_ms") as f64 / 1_000.0,
     );
+    if let Some(health) = value.get("health") {
+        let state = health
+            .get("state")
+            .and_then(serde_json::Value::as_str)
+            .unwrap_or("unknown");
+        let rejects = health.get("admission_rejects");
+        let _ = writeln!(
+            out,
+            "health {state}  degraded-transitions {}  shard-restarts {}  \
+             admission-rejects {}  peer-quota {}  rate-limit {}/s",
+            json_u64(health, "degraded_transitions"),
+            json_u64(health, "shard_restarts"),
+            rejects.map_or(0, |r| json_u64(r, "total")),
+            json_u64(health, "max_connections_per_peer"),
+            json_u64(health, "rate_limit_per_sec"),
+        );
+    }
     if let Some(by_op) = value.get("by_op").and_then(serde_json::Value::as_obj) {
         let errors = value.get("errors_by_op");
         let _ = writeln!(out, "{:<10} {:>10} {:>8}", "op", "requests", "errors");
@@ -1428,6 +1486,19 @@ mod tests {
         for flag in ["--trace-sample", "--trace-capacity"] {
             assert!(err.message.contains(flag), "{flag}: {}", err.message);
         }
+        // The admission-control knobs are advertised.
+        for flag in [
+            "--max-conn-per-peer",
+            "--rate-limit",
+            "--rate-burst",
+            "--write-budget-ms",
+            "--reject-timeout-ms",
+        ] {
+            assert!(err.message.contains(flag), "{flag}: {}", err.message);
+        }
+        // The client op list includes the health probe.
+        let err = run_strs(&["client", "frobnicate"]).unwrap_err();
+        assert!(err.message.contains("health"), "{}", err.message);
     }
 
     #[test]
@@ -1736,6 +1807,33 @@ mod tests {
         assert!(frame.contains("requests "), "{frame}");
         assert!(frame.contains("tracing: "), "{frame}");
         assert!(frame.contains("stage us totals:"), "{frame}");
+
+        let _ = run_strs(&["client", "shutdown", "--addr", &addr]);
+        daemon.join();
+    }
+
+    #[test]
+    fn health_op_reports_state_and_quotas() {
+        let config = lalr_service::DaemonConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections_per_peer: 7,
+            rate_limit_per_sec: 100,
+            ..lalr_service::DaemonConfig::default()
+        };
+        let daemon = lalr_service::Daemon::start(config).expect("bind loopback");
+        let addr = daemon.addr().to_string();
+
+        let out = run_strs(&["client", "health", "--addr", &addr]).unwrap();
+        assert!(out.contains("\"state\":\"ok\""), "{out}");
+        assert!(out.contains("\"max_connections_per_peer\":7"), "{out}");
+        assert!(out.contains("\"rate_limit_per_sec\":100"), "{out}");
+        assert!(out.contains("\"admission_rejects\""), "{out}");
+
+        // The top frame surfaces the same health line.
+        let frame = run_strs(&["top", "--addr", &addr, "--iterations", "1"]).unwrap();
+        assert!(frame.contains("health ok"), "{frame}");
+        assert!(frame.contains("peer-quota 7"), "{frame}");
+        assert!(frame.contains("rate-limit 100/s"), "{frame}");
 
         let _ = run_strs(&["client", "shutdown", "--addr", &addr]);
         daemon.join();

@@ -10,6 +10,8 @@
 //!   cross-thread wake-up (eventfd);
 //! * [`TimerWheel`] — hashed-wheel connection timeouts with O(1) lazy
 //!   cancellation;
+//! * [`TokenBucket`] — a caller-clocked token bucket for request
+//!   admission (pure state machine, deterministic under test);
 //! * [`LineReader`] / [`WriteBuf`] — per-connection buffers that
 //!   reproduce the blocking daemon's newline framing and line-length
 //!   caps under nonblocking reads and partial writes;
@@ -22,12 +24,14 @@
 
 #![warn(missing_docs)]
 
+pub mod bucket;
 pub mod buf;
 pub mod mmap;
 pub mod poll;
 pub mod sys;
 pub mod timer;
 
+pub use bucket::TokenBucket;
 pub use buf::{LineEvent, LineReader, WriteBuf};
 pub use mmap::Mmap;
 pub use poll::{Event, Interest, PollStats, Poller, Waker};

@@ -107,7 +107,122 @@ impl RetryPolicy {
 /// Whether a server error reply is worth retrying: capacity and crash
 /// kinds are transient; structural rejections are not.
 fn retryable_reply_kind(kind: &str) -> bool {
-    matches!(kind, "overloaded" | "unavailable" | "panicked")
+    matches!(
+        kind,
+        "overloaded" | "unavailable" | "panicked" | "degraded" | "throttled"
+    )
+}
+
+/// Whether a failed attempt counts toward tripping the circuit breaker:
+/// transport failures and capacity rejections mean the *server* is in
+/// trouble; structural error replies mean it is healthy and answering.
+fn breaker_counts(kind: &str) -> bool {
+    retryable_reply_kind(kind)
+}
+
+/// A client-side circuit breaker: after `threshold` *consecutive*
+/// transport-or-overload failures the breaker opens and
+/// [`call_with_breaker`] fails fast (no connection attempt) until
+/// `cooldown` elapses; the first call after the cooldown is a half-open
+/// probe — its success closes the breaker, its failure re-opens it for
+/// another cooldown. State transitions are a pure function of the
+/// attempt outcome sequence (plus the cooldown clock), so a seeded chaos
+/// schedule drives the breaker through the same states every run.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    state: std::sync::Mutex<BreakerState>,
+    opens: std::sync::atomic::AtomicU64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BreakerState {
+    Closed { failures: u32 },
+    Open { since: std::time::Instant },
+    HalfOpen,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that opens after `threshold` consecutive
+    /// qualifying failures and probes again after `cooldown`.
+    /// A threshold of 0 is treated as 1.
+    pub fn new(threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            state: std::sync::Mutex::new(BreakerState::Closed { failures: 0 }),
+            opens: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Asks permission for one attempt. `false` means the breaker is
+    /// open and still cooling down — fail fast without touching the
+    /// network. When the cooldown has elapsed the breaker moves to
+    /// half-open and admits exactly this probe.
+    pub fn try_acquire(&self) -> bool {
+        let mut state = self.lock();
+        match *state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen => true,
+            BreakerState::Open { since } => {
+                if since.elapsed() >= self.cooldown {
+                    *state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful attempt (an `ok` reply, or a structural
+    /// error reply — the server answered, so it is healthy).
+    pub fn on_success(&self) {
+        *self.lock() = BreakerState::Closed { failures: 0 };
+    }
+
+    /// Records a qualifying failure (transport error, or an
+    /// overload-class reply: `overloaded`, `unavailable`, `degraded`,
+    /// `throttled`, `panicked`). A half-open probe failure re-opens
+    /// immediately; in the closed state the consecutive-failure counter
+    /// opens the breaker at the threshold.
+    pub fn on_failure(&self) {
+        let mut state = self.lock();
+        let open = match *state {
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed { failures } => failures + 1 >= self.threshold,
+            BreakerState::Open { .. } => return,
+        };
+        if open {
+            *state = BreakerState::Open {
+                since: std::time::Instant::now(),
+            };
+            self.opens
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        } else if let BreakerState::Closed { failures } = *state {
+            *state = BreakerState::Closed {
+                failures: failures + 1,
+            };
+        }
+    }
+
+    /// The current state name: `closed`, `open`, or `half_open`.
+    pub fn state_name(&self) -> &'static str {
+        match *self.lock() {
+            BreakerState::Closed { .. } => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// How many times the breaker has transitioned to open.
+    pub fn opens(&self) -> u64 {
+        self.opens.load(std::sync::atomic::Ordering::Relaxed)
+    }
 }
 
 /// Sends one request to a running daemon and reads one response line.
@@ -135,9 +250,65 @@ pub fn call_with_retry(
     policy: &RetryPolicy,
     faults: &FaultInjector,
 ) -> Result<ClientReply, ServiceError> {
+    retry_loop(addr, request, deadline, timeout, policy, None, faults)
+}
+
+/// [`call_with_retry`] guarded by a shared [`CircuitBreaker`]: every
+/// attempt first asks the breaker for permission (an open breaker fails
+/// the attempt fast, as a retryable `unavailable`, without touching the
+/// network) and then reports its outcome back. Transport failures and
+/// overload-class replies count toward opening; any answered request —
+/// ok or a structural error — closes it.
+pub fn call_with_breaker(
+    addr: &str,
+    request: &Request,
+    deadline: Option<Duration>,
+    timeout: Duration,
+    policy: &RetryPolicy,
+    breaker: &CircuitBreaker,
+    faults: &FaultInjector,
+) -> Result<ClientReply, ServiceError> {
+    retry_loop(
+        addr,
+        request,
+        deadline,
+        timeout,
+        policy,
+        Some(breaker),
+        faults,
+    )
+}
+
+fn retry_loop(
+    addr: &str,
+    request: &Request,
+    deadline: Option<Duration>,
+    timeout: Duration,
+    policy: &RetryPolicy,
+    breaker: Option<&CircuitBreaker>,
+    faults: &FaultInjector,
+) -> Result<ClientReply, ServiceError> {
     let mut attempts = 0u32;
     loop {
-        let outcome = call_inner(addr, request, deadline, timeout, faults);
+        let outcome = if breaker.is_some_and(|b| !b.try_acquire()) {
+            Err(ServiceError::Unavailable(format!(
+                "{addr}: circuit breaker open"
+            )))
+        } else {
+            let outcome = call_inner(addr, request, deadline, timeout, faults);
+            if let Some(b) = breaker {
+                match &outcome {
+                    Ok(reply)
+                        if !reply.is_ok() && reply.error_kind().is_some_and(breaker_counts) =>
+                    {
+                        b.on_failure()
+                    }
+                    Ok(_) => b.on_success(),
+                    Err(_) => b.on_failure(),
+                }
+            }
+            outcome
+        };
         attempts += 1;
         let retries_left = attempts <= policy.retries;
         match outcome {
@@ -280,11 +451,75 @@ mod tests {
 
     #[test]
     fn reply_kind_retryability() {
-        for k in ["overloaded", "unavailable", "panicked"] {
+        for k in [
+            "overloaded",
+            "unavailable",
+            "panicked",
+            "degraded",
+            "throttled",
+        ] {
             assert!(retryable_reply_kind(k));
         }
         for k in ["bad_grammar", "bad_request", "too_large", "deadline"] {
             assert!(!retryable_reply_kind(k));
         }
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_probes_and_recloses() {
+        let b = CircuitBreaker::new(3, Duration::from_millis(20));
+        assert_eq!(b.state_name(), "closed");
+        // Two failures stay closed; the third opens.
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state_name(), "closed");
+        assert!(b.try_acquire());
+        b.on_failure();
+        assert_eq!(b.state_name(), "open");
+        assert_eq!(b.opens(), 1);
+        assert!(!b.try_acquire(), "open breaker fails fast");
+        // After the cooldown exactly one half-open probe is admitted;
+        // its failure re-opens, its success closes.
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.try_acquire());
+        assert_eq!(b.state_name(), "half_open");
+        b.on_failure();
+        assert_eq!(b.state_name(), "open");
+        assert_eq!(b.opens(), 2);
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.try_acquire());
+        b.on_success();
+        assert_eq!(b.state_name(), "closed");
+        assert!(b.try_acquire());
+        // A success resets the consecutive-failure counter.
+        b.on_failure();
+        b.on_failure();
+        b.on_success();
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state_name(), "closed");
+    }
+
+    #[test]
+    fn open_breaker_fails_fast_without_connecting() {
+        // Nobody listens on this port, but the open breaker must not even
+        // try: the reply is an immediate retryable `unavailable`.
+        let b = CircuitBreaker::new(1, Duration::from_secs(60));
+        b.on_failure();
+        assert_eq!(b.state_name(), "open");
+        let started = std::time::Instant::now();
+        let err = call_with_breaker(
+            "127.0.0.1:1",
+            &Request::Stats,
+            None,
+            Duration::from_secs(5),
+            &RetryPolicy::none(),
+            &b,
+            &FaultInjector::disabled(),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "unavailable");
+        assert!(err.to_string().contains("circuit breaker open"), "{err}");
+        assert!(started.elapsed() < Duration::from_secs(1));
     }
 }

@@ -27,6 +27,7 @@ use lalr_chaos::{Fault, FaultInjector};
 
 use crate::protocol::{request_from_value, response_to_line};
 use crate::service::{Request, Response, Service, ServiceConfig};
+use crate::telemetry::DaemonCounters;
 use crate::ServiceError;
 
 /// Daemon tuning knobs.
@@ -43,9 +44,30 @@ pub struct DaemonConfig {
     /// How long a shutting-down daemon waits for in-flight requests
     /// before force-closing their connections.
     pub drain_deadline: Duration,
+    /// Write timeout for admission-rejection lines (over-cap, over-quota)
+    /// written to a connection that is about to be closed — a slow or
+    /// hostile peer must not stall the accept path. Zero disables the
+    /// timeout.
+    pub reject_write_timeout: Duration,
+    /// Per-peer (per source IP) concurrent-connection quota enforced by
+    /// the event daemon at accept time; over-quota connections get a
+    /// fast retryable `throttled` rejection. 0 disables the quota.
+    pub max_connections_per_peer: usize,
+    /// Token-bucket request rate limit (request lines per second across
+    /// all connections) enforced by the event daemon at line-parse
+    /// time; over-rate lines get a retryable `throttled` rejection.
+    /// 0 disables the limit.
+    pub rate_limit_per_sec: u64,
+    /// Token-bucket burst capacity. 0 means "same as
+    /// [`DaemonConfig::rate_limit_per_sec`]".
+    pub rate_limit_burst: u64,
+    /// Slow-client write budget: a connection whose queued response
+    /// bytes do not drain within this deadline is closed (write-side
+    /// slowloris defense, event daemon only). Zero disables the budget.
+    pub write_budget: Duration,
     /// Fault injector for the daemon's I/O failpoints (`daemon.read`,
-    /// `daemon.write`). Usually the same injector as
-    /// [`ServiceConfig::faults`]; disabled by default.
+    /// `daemon.write`, `daemon.admit`, `shard.panic`). Usually the same
+    /// injector as [`ServiceConfig::faults`]; disabled by default.
     pub faults: FaultInjector,
     /// The underlying service configuration.
     pub service: ServiceConfig,
@@ -59,6 +81,11 @@ impl Default for DaemonConfig {
             read_timeout: Duration::from_secs(30),
             max_line_bytes: 4 << 20,
             drain_deadline: Duration::from_secs(5),
+            reject_write_timeout: Duration::from_secs(1),
+            max_connections_per_peer: 0,
+            rate_limit_per_sec: 0,
+            rate_limit_burst: 0,
+            write_budget: Duration::ZERO,
             faults: FaultInjector::disabled(),
             service: ServiceConfig::default(),
         }
@@ -78,6 +105,9 @@ pub struct DaemonSummary {
     /// Connections force-closed because they were still mid-request when
     /// the drain deadline expired.
     pub aborted: u64,
+    /// Event-loop shards respawned by the supervisor after a panic
+    /// (always 0 for the threaded front end).
+    pub restarts: u64,
 }
 
 /// A running daemon.
@@ -156,6 +186,11 @@ fn accept_loop(
     shutdown: &Arc<AtomicBool>,
 ) -> DaemonSummary {
     let service = Arc::new(Service::new(config.service.clone()));
+    let counters = Arc::new(DaemonCounters::with_quotas(
+        config.max_connections_per_peer as u64,
+        config.rate_limit_per_sec,
+    ));
+    service.register_daemon(Arc::clone(&counters));
     let active = Arc::new(AtomicUsize::new(0));
     let connections = AtomicU64::new(0);
     let registry: Registry = Arc::new(Mutex::new(Vec::new()));
@@ -169,7 +204,8 @@ fn accept_loop(
         let Ok(stream) = stream else { continue };
         connections.fetch_add(1, Ordering::Relaxed);
         if active.load(Ordering::SeqCst) >= config.max_connections {
-            reject_over_cap(stream);
+            counters.rejects_conn_cap.fetch_add(1, Ordering::Relaxed);
+            reject_over_cap(stream, config.reject_write_timeout);
             continue;
         }
         conn_threads.retain(|h| !h.is_finished());
@@ -222,6 +258,7 @@ fn accept_loop(
         }
     }
 
+    service.set_draining();
     let (drained, aborted) = drain(&registry, &active, config.drain_deadline);
     for h in conn_threads {
         let _ = h.join();
@@ -233,6 +270,7 @@ fn accept_loop(
         requests,
         drained,
         aborted,
+        restarts: 0,
     }
 }
 
@@ -272,11 +310,13 @@ fn drain(registry: &Registry, active: &AtomicUsize, deadline: Duration) -> (u64,
     (live_at_shutdown - aborted, aborted)
 }
 
-fn reject_over_cap(mut stream: TcpStream) {
+fn reject_over_cap(mut stream: TcpStream, write_timeout: Duration) {
     let line = response_to_line(&Response::Error(ServiceError::Unavailable(
         "connection limit reached".to_string(),
     )));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    if !write_timeout.is_zero() {
+        let _ = stream.set_write_timeout(Some(write_timeout));
+    }
     let _ = writeln!(stream, "{line}");
 }
 

@@ -36,6 +36,14 @@ pub enum ServiceError {
     Panicked(String),
     /// The service is shutting down or over its concurrency cap.
     Unavailable(String),
+    /// The service is in degraded mode: it keeps serving warm cache and
+    /// store hits but sheds cold compiles until pressure subsides.
+    /// Clients should back off and retry — the state is transient.
+    Degraded(String),
+    /// Admission control rejected the request before it was queued:
+    /// a per-peer connection quota, the request rate limit, or an armed
+    /// admission failpoint. Retryable after backoff.
+    Throttled(String),
     /// The pending-request queue is full; the request was shed without
     /// being executed. Clients should back off and retry.
     Overloaded {
@@ -78,6 +86,8 @@ impl ServiceError {
             ServiceError::DeadlineExceeded { .. } => "deadline",
             ServiceError::Panicked(_) => "panicked",
             ServiceError::Unavailable(_) => "unavailable",
+            ServiceError::Degraded(_) => "degraded",
+            ServiceError::Throttled(_) => "throttled",
             ServiceError::Overloaded { .. } => "overloaded",
             ServiceError::Timeout(_) => "timeout",
             ServiceError::Refused(_) => "refused",
@@ -95,6 +105,8 @@ impl ServiceError {
             self,
             ServiceError::Overloaded { .. }
                 | ServiceError::Unavailable(_)
+                | ServiceError::Degraded(_)
+                | ServiceError::Throttled(_)
                 | ServiceError::Panicked(_)
                 | ServiceError::Timeout(_)
                 | ServiceError::Refused(_)
@@ -118,6 +130,8 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Panicked(m) => write!(f, "compile pipeline panicked: {m}"),
             ServiceError::Unavailable(m) => write!(f, "service unavailable: {m}"),
+            ServiceError::Degraded(m) => write!(f, "service degraded: {m}"),
+            ServiceError::Throttled(m) => write!(f, "throttled: {m}"),
             ServiceError::Overloaded { pending, limit } => {
                 write!(f, "overloaded: {pending} requests pending (limit {limit})")
             }
@@ -157,6 +171,12 @@ mod tests {
         assert_eq!(ServiceError::Timeout(String::new()).kind(), "timeout");
         assert_eq!(ServiceError::Refused(String::new()).kind(), "refused");
         assert_eq!(ServiceError::Closed(String::new()).kind(), "closed");
+        let e = ServiceError::Degraded("cold compile shed".into());
+        assert_eq!(e.kind(), "degraded");
+        assert!(e.to_string().contains("degraded"));
+        let e = ServiceError::Throttled("peer quota".into());
+        assert_eq!(e.kind(), "throttled");
+        assert!(e.to_string().contains("throttled"));
     }
 
     #[test]
@@ -167,6 +187,8 @@ mod tests {
                 limit: 1,
             },
             ServiceError::Unavailable("draining".into()),
+            ServiceError::Degraded("cold compile shed".into()),
+            ServiceError::Throttled("rate limit".into()),
             ServiceError::Panicked("boom".into()),
             ServiceError::Timeout("read".into()),
             ServiceError::Refused("connect".into()),

@@ -18,24 +18,47 @@
 //! drains exactly like the blocking daemon — idle connections close at
 //! once, busy ones get [`DaemonConfig::drain_deadline`] to finish, and
 //! the summary reports drained versus aborted.
+//!
+//! # Self-healing and admission control
+//!
+//! Each shard's event loop runs inside a supervisor: a panic on the
+//! shard thread (including the `shard.panic` failpoint) is caught with
+//! `catch_unwind`, the incarnation's connections are closed as its
+//! state unwinds (admission slots are released by RAII guards, so a
+//! crash can never leak the connection gauge or a peer's quota), and
+//! the shard is respawned with a fresh poller after a capped,
+//! exponential backoff. The listener lives in shared state so a
+//! respawned shard 0 re-registers it and keeps accepting. Restarts are
+//! counted in [`crate::DaemonCounters`] and surface as
+//! `lalr_shard_restarts_total` and in the shutdown summary.
+//!
+//! Admission control rejects overload *explicitly* instead of letting
+//! it fester: a per-peer connection quota answers over-quota accepts
+//! with a retryable `throttled` line; a token-bucket request rate limit
+//! does the same per request line; and a slow-client write budget
+//! closes connections that cannot drain their queued responses within
+//! a deadline (write-side slowloris defense). Every rejection is
+//! counted by reason in `lalr_admission_rejects_total`.
 
 use std::collections::VecDeque;
 use std::io::{self, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use lalr_chaos::Fault;
-use lalr_net::{Event, Interest, LineEvent, LineReader, Poller, TimerWheel, Waker, WriteBuf};
+use lalr_net::{
+    Event, Interest, LineEvent, LineReader, Poller, TimerWheel, TokenBucket, Waker, WriteBuf,
+};
 use lalr_obs::ActiveTrace;
 use rustc_hash::FxHashMap;
 
 use crate::daemon::{DaemonConfig, DaemonSummary};
 use crate::protocol::{request_from_value, response_to_line};
 use crate::service::{Request, Response, Service, STAGE_WRITE};
-use crate::telemetry::ShardCounters;
+use crate::telemetry::{DaemonCounters, ShardCounters};
 use crate::ServiceError;
 
 /// Reserved poller token for the shard's waker.
@@ -44,6 +67,17 @@ const TOKEN_WAKER: u64 = 0;
 const TOKEN_LISTENER: u64 = 1;
 /// First connection token; also the smallest valid timer-wheel token.
 const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Initial supervisor backoff after a shard panic.
+const RESTART_BACKOFF_MIN: Duration = Duration::from_millis(10);
+/// Backoff cap for a shard that keeps crashing.
+const RESTART_BACKOFF_MAX: Duration = Duration::from_millis(500);
+
+/// Poison-tolerant lock: a shard that panicked while holding a lock
+/// must not cascade the failure into its supervisor or peer shards.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A running event-loop daemon. API mirrors [`crate::Daemon`].
 pub struct EventDaemon {
@@ -59,33 +93,98 @@ struct ShardTotals {
 }
 
 /// Work handed to a shard from outside its thread: freshly accepted
-/// connections (from shard 0's acceptor) and completed responses (from
-/// service workers). Paired with the shard's waker.
+/// connections (from shard 0's acceptor, with their admission guards)
+/// and completed responses (from service workers). Paired with the
+/// shard's waker. The inbox lives in [`Shared`], so work queued while
+/// a crashed shard respawns is picked up by the next incarnation.
 #[derive(Default)]
 struct Inbox {
-    conns: Vec<TcpStream>,
+    conns: Vec<(TcpStream, PeerGuard)>,
     completions: Vec<(u64, Response)>,
 }
 
 struct Shared {
     service: Arc<Service>,
+    /// Daemon-wide counters (shard restarts, admission rejects), shared
+    /// with the service for the `health`/`stats` ops and metrics.
+    daemon: Arc<DaemonCounters>,
     shutdown: AtomicBool,
     /// Open connections across all shards (the connection cap's gauge).
     active: AtomicUsize,
-    /// Connections accepted, including over-cap rejections.
+    /// Connections accepted, including admission rejections.
     connections: AtomicU64,
     wakers: Vec<Waker>,
     inboxes: Vec<Mutex<Inbox>>,
     /// Per-shard event-loop telemetry, shared with the service so the
     /// `stats` op and metrics exposition can render `lalr_shard_*`.
     counters: Vec<Arc<ShardCounters>>,
+    /// The listening socket. Held here (not by shard 0's stack) so a
+    /// respawned shard 0 can re-register it after a panic; taken and
+    /// closed when drain begins.
+    listener: Mutex<Option<TcpListener>>,
+    /// Live connection count per source IP, for the per-peer quota.
+    /// Only populated when [`DaemonConfig::max_connections_per_peer`]
+    /// is non-zero.
+    per_peer: Mutex<FxHashMap<IpAddr, usize>>,
+    /// Token bucket for the global request rate limit; `None` when
+    /// [`DaemonConfig::rate_limit_per_sec`] is 0.
+    rate: Option<Mutex<TokenBucket>>,
+    /// Per-shard next connection token. Lives here so tokens stay
+    /// monotonic across shard incarnations — a completion in flight for
+    /// a connection that died in a crash must never alias a connection
+    /// accepted by the respawned shard.
+    next_tokens: Vec<AtomicU64>,
     config: DaemonConfig,
 }
 
+impl Shared {
+    /// Claims a per-peer quota slot; `false` means the peer is at its
+    /// quota and the connection must be rejected.
+    fn try_admit_peer(&self, ip: IpAddr, quota: usize) -> bool {
+        let mut map = lock(&self.per_peer);
+        let n = map.entry(ip).or_insert(0);
+        if *n >= quota {
+            false
+        } else {
+            *n += 1;
+            true
+        }
+    }
+
+    fn release_peer(&self, ip: IpAddr) {
+        let mut map = lock(&self.per_peer);
+        if let Some(n) = map.get_mut(&ip) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                map.remove(&ip);
+            }
+        }
+    }
+}
+
+/// RAII receipt for one admitted connection: releases the global
+/// connection gauge and (when quotas are armed) the peer's quota slot
+/// on drop. Connections own their guard, so the drop also runs when a
+/// panicking shard's connection map unwinds — a crash can never leak
+/// admission slots.
+struct PeerGuard {
+    shared: Arc<Shared>,
+    peer: Option<IpAddr>,
+}
+
+impl Drop for PeerGuard {
+    fn drop(&mut self) {
+        self.shared.active.fetch_sub(1, Ordering::SeqCst);
+        if let Some(ip) = self.peer {
+            self.shared.release_peer(ip);
+        }
+    }
+}
+
 impl EventDaemon {
-    /// Binds the address and starts `shards` event-loop threads
-    /// (clamped to at least 1). Fails with `Unsupported` where the raw
-    /// epoll shim has no backend (anything but x86-64 Linux).
+    /// Binds the address and starts `shards` supervised event-loop
+    /// threads (clamped to at least 1). Fails with `Unsupported` where
+    /// the raw epoll shim has no backend (anything but x86-64 Linux).
     pub fn start(config: DaemonConfig, shards: usize) -> io::Result<EventDaemon> {
         if !lalr_net::supported() {
             return Err(io::Error::new(
@@ -103,27 +202,49 @@ impl EventDaemon {
             .map(|_| Arc::new(ShardCounters::default()))
             .collect();
         service.register_shards(counters.clone());
+        let daemon = Arc::new(DaemonCounters::with_quotas(
+            config.max_connections_per_peer as u64,
+            config.rate_limit_per_sec,
+        ));
+        service.register_daemon(Arc::clone(&daemon));
+        let rate = (config.rate_limit_per_sec > 0).then(|| {
+            let burst = if config.rate_limit_burst == 0 {
+                config.rate_limit_per_sec
+            } else {
+                config.rate_limit_burst
+            };
+            Mutex::new(TokenBucket::new(
+                config.rate_limit_per_sec,
+                burst,
+                Instant::now(),
+            ))
+        });
         let wakers = (0..shards)
             .map(|_| Waker::new())
             .collect::<io::Result<Vec<_>>>()?;
         let shared = Arc::new(Shared {
             service,
+            daemon,
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             connections: AtomicU64::new(0),
             wakers,
             inboxes: (0..shards).map(|_| Mutex::new(Inbox::default())).collect(),
             counters,
+            listener: Mutex::new(Some(listener)),
+            per_peer: Mutex::new(FxHashMap::default()),
+            rate,
+            next_tokens: (0..shards)
+                .map(|_| AtomicU64::new(FIRST_CONN_TOKEN))
+                .collect(),
             config,
         });
-        let mut listener = Some(listener);
         let handles = (0..shards)
             .map(|idx| {
                 let shared = Arc::clone(&shared);
-                let listener = if idx == 0 { listener.take() } else { None };
                 std::thread::Builder::new()
                     .name(format!("lalr-event-shard-{idx}"))
-                    .spawn(move || Shard::run(idx, shards, shared, listener))
+                    .spawn(move || Shard::run(idx, shards, shared))
             })
             .collect::<io::Result<Vec<_>>>()?;
         Ok(EventDaemon {
@@ -142,20 +263,26 @@ impl EventDaemon {
     /// in-band `shutdown` op does the same.
     pub fn stop(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.service.set_draining();
         for w in &self.shared.wakers {
             let _ = w.wake();
         }
     }
 
     /// Waits for every shard to finish draining and returns the
-    /// summary (same shape as the threaded daemon's).
+    /// summary (same shape as the threaded daemon's, plus supervisor
+    /// restarts).
     pub fn join(self) -> DaemonSummary {
         let mut drained = 0;
         let mut aborted = 0;
         for h in self.handles {
-            let t = h.join().expect("event-loop shard panicked");
-            drained += t.drained;
-            aborted += t.aborted;
+            // The supervisor catches shard panics, so a join error
+            // means the thread died outside its catch_unwind loop; its
+            // totals are lost but the daemon still reports the rest.
+            if let Ok(t) = h.join() {
+                drained += t.drained;
+                aborted += t.aborted;
+            }
         }
         let requests = self.shared.service.stats().requests;
         self.shared.service.shutdown();
@@ -164,6 +291,7 @@ impl EventDaemon {
             requests,
             drained,
             aborted,
+            restarts: self.shared.daemon.shard_restarts.load(Ordering::Relaxed),
         }
     }
 }
@@ -190,10 +318,14 @@ struct Conn {
     oversize_close: bool,
     /// Currently registered for writable readiness too.
     wants_write: bool,
+    /// A slow-client write deadline is armed on the write wheel.
+    write_armed: bool,
     /// The in-flight request's flight-recorder trace, when sampled.
     /// One slot suffices: requests on a connection are strictly
     /// serialized.
     trace: Option<ConnTrace>,
+    /// Admission receipt; dropping the connection releases its slots.
+    _guard: PeerGuard,
 }
 
 /// A sampled request's trace as it rides a connection: the shared
@@ -206,7 +338,7 @@ struct ConnTrace {
 }
 
 impl Conn {
-    fn new(stream: TcpStream, max_line: usize) -> Conn {
+    fn new(stream: TcpStream, max_line: usize, guard: PeerGuard) -> Conn {
         Conn {
             stream,
             reader: LineReader::new(max_line),
@@ -218,7 +350,9 @@ impl Conn {
             close_after_flush: false,
             oversize_close: false,
             wants_write: false,
+            write_armed: false,
             trace: None,
+            _guard: guard,
         }
     }
 }
@@ -228,10 +362,11 @@ struct Shard {
     shard_count: usize,
     shared: Arc<Shared>,
     poller: Poller,
+    /// Read-side timers: per-connection idle timeouts.
     wheel: TimerWheel,
+    /// Write-side timers: the slow-client write budget.
+    write_wheel: TimerWheel,
     conns: FxHashMap<u64, Conn>,
-    listener: Option<TcpListener>,
-    next_token: u64,
     round_robin: usize,
     draining: Option<Instant>,
     totals: ShardTotals,
@@ -239,44 +374,98 @@ struct Shard {
 }
 
 impl Shard {
-    fn run(
-        idx: usize,
-        shard_count: usize,
-        shared: Arc<Shared>,
-        listener: Option<TcpListener>,
-    ) -> ShardTotals {
+    /// The shard supervisor: runs incarnations of the event loop,
+    /// catching panics (including the `shard.panic` failpoint) and
+    /// respawning with capped exponential backoff. A panicking
+    /// incarnation's connections are closed as its state unwinds; their
+    /// admission guards release the connection gauge and peer quotas.
+    fn run(idx: usize, shard_count: usize, shared: Arc<Shared>) -> ShardTotals {
+        let mut totals = ShardTotals::default();
+        let mut backoff = RESTART_BACKOFF_MIN;
+        loop {
+            let started = Instant::now();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Shard::run_incarnation(idx, shard_count, &shared)
+            }));
+            match outcome {
+                Ok(t) => {
+                    // Clean exit (drained): the daemon is shutting down.
+                    totals.drained += t.drained;
+                    totals.aborted += t.aborted;
+                    return totals;
+                }
+                Err(_) => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        // Crashed mid-drain: nothing left to supervise.
+                        return totals;
+                    }
+                    shared.daemon.shard_restarts.fetch_add(1, Ordering::Relaxed);
+                    // A long-lived incarnation earns a fresh backoff;
+                    // a crash loop keeps doubling toward the cap.
+                    if started.elapsed() > Duration::from_secs(1) {
+                        backoff = RESTART_BACKOFF_MIN;
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(RESTART_BACKOFF_MAX);
+                }
+            }
+        }
+    }
+
+    /// One incarnation of the shard: fresh poller and timer wheels,
+    /// re-registered waker and (shard 0) listener, then the event loop
+    /// until drain completes or a panic unwinds back to the supervisor.
+    fn run_incarnation(idx: usize, shard_count: usize, shared: &Arc<Shared>) -> ShardTotals {
         let Ok(poller) = Poller::new() else {
             return ShardTotals::default();
         };
         if shared.wakers[idx].register(&poller, TOKEN_WAKER).is_err() {
             return ShardTotals::default();
         }
-        if let Some(l) = &listener {
-            if poller
-                .register(l, TOKEN_LISTENER, Interest::READABLE)
-                .is_err()
-            {
-                return ShardTotals::default();
+        if idx == 0 {
+            let guard = lock(&shared.listener);
+            if let Some(l) = guard.as_ref() {
+                if poller
+                    .register(l, TOKEN_LISTENER, Interest::READABLE)
+                    .is_err()
+                {
+                    return ShardTotals::default();
+                }
             }
         }
         let granularity = (shared.config.read_timeout / 8)
             .clamp(Duration::from_millis(5), Duration::from_secs(1));
         let wheel = TimerWheel::new(Instant::now(), 64, granularity);
+        let budget = shared.config.write_budget;
+        let write_granularity = if budget.is_zero() {
+            granularity
+        } else {
+            (budget / 8).clamp(Duration::from_millis(1), Duration::from_secs(1))
+        };
+        let write_wheel = TimerWheel::new(Instant::now(), 64, write_granularity);
         let counters = Arc::clone(&shared.counters[idx]);
+        // A fresh incarnation starts with zero live connections; the
+        // previous one's orphans were closed as its state unwound.
+        counters.connections.store(0, Ordering::Relaxed);
         let mut shard = Shard {
             idx,
             shard_count,
-            shared,
+            shared: Arc::clone(shared),
             poller,
             wheel,
+            write_wheel,
             conns: FxHashMap::default(),
-            listener,
-            next_token: FIRST_CONN_TOKEN,
             round_robin: 0,
             draining: None,
             totals: ShardTotals::default(),
             counters,
         };
+        // Catch up on work queued while the slot was empty: the
+        // eventfd edge and listener readiness may predate this poller.
+        shard.drain_inbox();
+        if shard.idx == 0 {
+            shard.accept_burst();
+        }
         shard.event_loop();
         shard.totals
     }
@@ -289,8 +478,12 @@ impl Shard {
             // immediately, give busy ones until the deadline.
             if self.draining.is_none() && self.shared.shutdown.load(Ordering::SeqCst) {
                 self.draining = Some(Instant::now());
-                if let Some(l) = self.listener.take() {
-                    let _ = self.poller.deregister(&l);
+                if self.idx == 0 {
+                    // Stop accepting for good: deregister and close the
+                    // listening socket.
+                    if let Some(l) = lock(&self.shared.listener).take() {
+                        let _ = self.poller.deregister(&l);
+                    }
                 }
                 let idle: Vec<u64> = self
                     .conns
@@ -318,6 +511,9 @@ impl Shard {
             }
             let now = Instant::now();
             let mut timeout = self.wheel.next_timeout(now);
+            if let Some(wt) = self.write_wheel.next_timeout(now) {
+                timeout = Some(timeout.map_or(wt, |t| t.min(wt)));
+            }
             if let Some(started) = self.draining {
                 let left = self
                     .shared
@@ -373,50 +569,103 @@ impl Shard {
                     self.close(e.token);
                 }
             }
+            expired.clear();
+            self.write_wheel.advance(Instant::now(), &mut expired);
+            for e in &expired {
+                let Some(conn) = self.conns.get(&e.token) else {
+                    continue;
+                };
+                if conn.out.is_empty() {
+                    // Drained after the deadline armed; lazy cancel.
+                    continue;
+                }
+                // Slow-client budget blown: the peer is not draining
+                // its responses — cut it loose rather than let queued
+                // bytes pin memory indefinitely.
+                self.counters.timer_fires.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .daemon
+                    .rejects_slow_client
+                    .fetch_add(1, Ordering::Relaxed);
+                if self.draining.is_some() {
+                    self.close_raw(e.token);
+                    self.totals.aborted += 1;
+                } else {
+                    self.close(e.token);
+                }
+            }
         }
     }
 
-    /// Accepts until the listener would block (shard 0 only), dealing
+    /// Accepts until the listener would block (shard 0 only), applying
+    /// the connection cap and per-peer quota, then dealing admitted
     /// connections round-robin across shards.
     fn accept_burst(&mut self) {
         loop {
-            let Some(l) = &self.listener else { return };
-            match l.accept() {
-                Ok((stream, _)) => {
-                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
-                    if self.shared.active.load(Ordering::SeqCst)
-                        >= self.shared.config.max_connections
-                    {
-                        reject_over_cap(stream);
-                        continue;
-                    }
-                    self.shared.active.fetch_add(1, Ordering::SeqCst);
-                    let target = self.round_robin % self.shard_count;
-                    self.round_robin += 1;
-                    if target == self.idx {
-                        self.install(stream);
-                    } else {
-                        self.shared.inboxes[target]
-                            .lock()
-                            .expect("shard inbox poisoned")
-                            .conns
-                            .push(stream);
-                        let _ = self.shared.wakers[target].wake();
-                    }
+            let accepted = {
+                let guard = lock(&self.shared.listener);
+                let Some(l) = guard.as_ref() else { return };
+                match l.accept() {
+                    Ok(pair) => pair,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                    // Transient accept failures (ECONNABORTED, EMFILE…):
+                    // stop the burst; the next readable edge retries.
+                    Err(_) => return,
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
-                // Transient accept failures (ECONNABORTED, EMFILE…):
-                // stop the burst; the next readable edge retries.
-                Err(_) => return,
+            };
+            let (stream, peer) = accepted;
+            self.shared.connections.fetch_add(1, Ordering::Relaxed);
+            if self.shared.active.load(Ordering::SeqCst) >= self.shared.config.max_connections {
+                self.shared
+                    .daemon
+                    .rejects_conn_cap
+                    .fetch_add(1, Ordering::Relaxed);
+                reject_conn(
+                    stream,
+                    ServiceError::Unavailable("connection limit reached".to_string()),
+                    self.shared.config.reject_write_timeout,
+                );
+                continue;
+            }
+            let quota = self.shared.config.max_connections_per_peer;
+            let peer_ip = (quota > 0).then(|| peer.ip());
+            if let Some(ip) = peer_ip {
+                if !self.shared.try_admit_peer(ip, quota) {
+                    self.shared
+                        .daemon
+                        .rejects_peer_quota
+                        .fetch_add(1, Ordering::Relaxed);
+                    reject_conn(
+                        stream,
+                        ServiceError::Throttled(format!(
+                            "per-peer connection quota ({quota}) exceeded; retry after backoff"
+                        )),
+                        self.shared.config.reject_write_timeout,
+                    );
+                    continue;
+                }
+            }
+            self.shared.active.fetch_add(1, Ordering::SeqCst);
+            let guard = PeerGuard {
+                shared: Arc::clone(&self.shared),
+                peer: peer_ip,
+            };
+            let target = self.round_robin % self.shard_count;
+            self.round_robin += 1;
+            if target == self.idx {
+                self.install(stream, guard);
+            } else {
+                lock(&self.shared.inboxes[target])
+                    .conns
+                    .push((stream, guard));
+                let _ = self.shared.wakers[target].wake();
             }
         }
     }
 
     fn drain_inbox(&mut self) {
         let (new_conns, completions) = {
-            let mut inbox = self.shared.inboxes[self.idx]
-                .lock()
-                .expect("shard inbox poisoned");
+            let mut inbox = lock(&self.shared.inboxes[self.idx]);
             (
                 std::mem::take(&mut inbox.conns),
                 std::mem::take(&mut inbox.completions),
@@ -426,33 +675,35 @@ impl Shard {
             (new_conns.len() + completions.len()) as u64,
             Ordering::Relaxed,
         );
-        for stream in new_conns {
-            self.install(stream);
+        for (stream, guard) in new_conns {
+            self.install(stream, guard);
         }
         for (token, response) in completions {
             self.on_completion(token, response);
         }
     }
 
-    fn install(&mut self, stream: TcpStream) {
+    fn install(&mut self, stream: TcpStream, guard: PeerGuard) {
+        // Early-return paths drop `guard`, releasing admission slots.
         if stream.set_nonblocking(true).is_err() {
-            self.shared.active.fetch_sub(1, Ordering::SeqCst);
             return;
         }
-        let token = self.next_token;
-        self.next_token += 1;
+        // Tokens come from shared state so they stay monotonic across
+        // incarnations (a stale completion must never alias a new conn).
+        let token = self.shared.next_tokens[self.idx].fetch_add(1, Ordering::Relaxed);
         if self
             .poller
             .register(&stream, token, Interest::READABLE)
             .is_err()
         {
-            self.shared.active.fetch_sub(1, Ordering::SeqCst);
             return;
         }
         self.wheel
             .arm(token, Instant::now() + self.shared.config.read_timeout);
-        self.conns
-            .insert(token, Conn::new(stream, self.shared.config.max_line_bytes));
+        self.conns.insert(
+            token,
+            Conn::new(stream, self.shared.config.max_line_bytes, guard),
+        );
         self.counters.accepts.fetch_add(1, Ordering::Relaxed);
         self.counters.connections.fetch_add(1, Ordering::Relaxed);
         if self.draining.is_some() {
@@ -562,6 +813,60 @@ impl Shard {
                     if line.trim().is_empty() {
                         continue;
                     }
+                    // Admission control, per complete request line and
+                    // before parsing: over-rate lines get a fast
+                    // retryable `throttled` rejection, never a silent
+                    // drop.
+                    if let Some(bucket) = &self.shared.rate {
+                        let admitted = lock(bucket).try_take(Instant::now());
+                        if !admitted {
+                            self.shared
+                                .daemon
+                                .rejects_rate_limit
+                                .fetch_add(1, Ordering::Relaxed);
+                            let rate = self.shared.config.rate_limit_per_sec;
+                            let ok = self.queue_response(
+                                token,
+                                &Response::Error(ServiceError::Throttled(format!(
+                                    "request rate limit ({rate}/s) exceeded; retry after backoff"
+                                ))),
+                            );
+                            self.flush(token);
+                            if !ok {
+                                return;
+                            }
+                            continue;
+                        }
+                    }
+                    // The admission failpoint: a deterministic stand-in
+                    // for quota pressure under chaos schedules.
+                    match self.shared.config.faults.at("daemon.admit") {
+                        Some(Fault::Error) => {
+                            self.shared
+                                .daemon
+                                .rejects_failpoint
+                                .fetch_add(1, Ordering::Relaxed);
+                            let ok = self.queue_response(
+                                token,
+                                &Response::Error(ServiceError::Throttled(
+                                    "injected fault at daemon.admit".to_string(),
+                                )),
+                            );
+                            self.flush(token);
+                            if !ok {
+                                return;
+                            }
+                            continue;
+                        }
+                        Some(Fault::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+                        _ => {}
+                    }
+                    if let Some(Fault::Panic) = self.shared.config.faults.at("shard.panic") {
+                        // The supervisor catches this, the incarnation's
+                        // connections close as its state unwinds, and
+                        // the shard respawns with backoff.
+                        panic!("injected fault at shard.panic");
+                    }
                     let parsed = serde_json::from_str(line.trim_end())
                         .map_err(|e| ServiceError::BadRequest(e.to_string()))
                         .and_then(|v| request_from_value(&v));
@@ -596,9 +901,7 @@ impl Shard {
                     self.shared
                         .service
                         .submit_traced(request, deadline, trace, move |response| {
-                            shared.inboxes[shard]
-                                .lock()
-                                .expect("shard inbox poisoned")
+                            lock(&shared.inboxes[shard])
                                 .completions
                                 .push((token, response));
                             let _ = shared.wakers[shard].wake();
@@ -611,9 +914,9 @@ impl Shard {
 
     fn on_completion(&mut self, token: u64, response: Response) {
         let Some(conn) = self.conns.get_mut(&token) else {
-            // The connection died while its request executed; the
-            // response has nowhere to go (same as the blocking daemon
-            // failing its write).
+            // The connection died while its request executed (close,
+            // timeout, or a shard crash); the response has nowhere to
+            // go (same as the blocking daemon failing its write).
             return;
         };
         conn.busy = false;
@@ -687,7 +990,8 @@ impl Shard {
     }
 
     /// Flushes as far as the socket allows, maintaining writable
-    /// interest and terminal-close states.
+    /// interest, the slow-client write budget, and terminal-close
+    /// states.
     fn flush(&mut self, token: u64) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
@@ -710,12 +1014,24 @@ impl Shard {
                         .poller
                         .reregister(&conn.stream, token, Interest::READABLE);
                 }
+                if conn.write_armed {
+                    conn.write_armed = false;
+                    self.write_wheel.cancel(token);
+                }
                 self.maybe_finish(token);
             }
             Ok(false) => {
                 if !conn.wants_write {
                     conn.wants_write = true;
                     let _ = self.poller.reregister(&conn.stream, token, Interest::BOTH);
+                }
+                // Start the slow-client clock when bytes first stall;
+                // re-arming on every partial flush would let a
+                // byte-at-a-time reader extend the budget forever.
+                let budget = self.shared.config.write_budget;
+                if !budget.is_zero() && !conn.write_armed {
+                    conn.write_armed = true;
+                    self.write_wheel.arm(token, Instant::now() + budget);
                 }
             }
             Err(_) => self.close(token),
@@ -741,6 +1057,7 @@ impl Shard {
 
     fn trigger_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.service.set_draining();
         for w in &self.shared.wakers {
             let _ = w.wake();
         }
@@ -759,8 +1076,8 @@ impl Shard {
     fn close_raw(&mut self, token: u64) {
         if let Some(conn) = self.conns.remove(&token) {
             self.wheel.cancel(token);
+            self.write_wheel.cancel(token);
             let _ = self.poller.deregister(&conn.stream);
-            self.shared.active.fetch_sub(1, Ordering::SeqCst);
             self.counters.connections.fetch_sub(1, Ordering::Relaxed);
             // A trace orphaned by the close still gets recorded: stamp
             // whatever write time accrued and finish at the close.
@@ -773,14 +1090,19 @@ impl Shard {
                     .service
                     .finish_trace(&tr.active, tr.started.elapsed());
             }
+            // `conn` (and its PeerGuard) drops here, releasing the
+            // connection gauge and the peer's quota slot.
         }
     }
 }
 
-fn reject_over_cap(mut stream: TcpStream) {
-    let line = response_to_line(&Response::Error(ServiceError::Unavailable(
-        "connection limit reached".to_string(),
-    )));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+/// Writes one admission-rejection line and drops the connection. The
+/// bounded write timeout keeps a hostile peer from stalling the accept
+/// path.
+fn reject_conn(mut stream: TcpStream, error: ServiceError, write_timeout: Duration) {
+    let line = response_to_line(&Response::Error(error));
+    if !write_timeout.is_zero() {
+        let _ = stream.set_write_timeout(Some(write_timeout));
+    }
     let _ = writeln!(stream, "{line}");
 }

@@ -64,15 +64,16 @@ mod telemetry;
 
 pub use artifact::{CompiledArtifact, GrammarFormat};
 pub use cache::{ArtifactCache, CacheConfig, CacheOutcome, CacheStats, Fingerprinter};
-pub use client::{call_with_retry, ClientReply, RetryPolicy};
+pub use client::{call_with_breaker, call_with_retry, CircuitBreaker, ClientReply, RetryPolicy};
 pub use daemon::{Daemon, DaemonConfig, DaemonSummary};
 pub use error::ServiceError;
 pub use event_daemon::EventDaemon;
 pub use lalr_chaos::{Fault, FaultInjector, FaultPlan, FaultPointStats, Trigger};
 pub use lalr_obs::{ActiveTrace, RequestTrace, STAGE_NAMES};
 pub use service::{
-    ClassifySummary, CompileSummary, DocError, DocVerdict, ParseBatchSummary, ParseLaneStats,
-    ParseTarget, Request, Response, Service, ServiceConfig, StatsSnapshot, TableSummary,
-    TraceConfig, TraceDump, TraceFilter, TracingStats, LATENCY_BOUNDS_US, OPS, PHASE_NAMES,
+    AdmissionRejects, ClassifySummary, CompileSummary, DocError, DocVerdict, HealthConfig,
+    HealthReport, HealthState, HealthStats, ParseBatchSummary, ParseLaneStats, ParseTarget,
+    Request, Response, Service, ServiceConfig, StatsSnapshot, TableSummary, TraceConfig, TraceDump,
+    TraceFilter, TracingStats, LATENCY_BOUNDS_US, OPS, PHASE_NAMES,
 };
-pub use telemetry::{ShardCounters, ShardStatsSnapshot};
+pub use telemetry::{DaemonCounters, ShardCounters, ShardStatsSnapshot};

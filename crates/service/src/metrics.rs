@@ -221,6 +221,54 @@ pub fn render(s: &StatsSnapshot) -> String {
     );
     sample(w, "lalr_queue_limit", "", s.queue_limit as u64);
 
+    header(
+        w,
+        "lalr_health_state",
+        "gauge",
+        "Daemon health state (0 ok, 1 degraded, 2 draining).",
+    );
+    sample(w, "lalr_health_state", "", u64::from(s.health.state.code()));
+    header(
+        w,
+        "lalr_degraded_transitions_total",
+        "counter",
+        "Health state transitions from ok to degraded.",
+    );
+    sample(
+        w,
+        "lalr_degraded_transitions_total",
+        "",
+        s.health.degraded_transitions,
+    );
+    header(
+        w,
+        "lalr_shard_restarts_total",
+        "counter",
+        "Event-loop shards respawned by the supervisor after a panic.",
+    );
+    sample(w, "lalr_shard_restarts_total", "", s.health.shard_restarts);
+    header(
+        w,
+        "lalr_admission_rejects_total",
+        "counter",
+        "Connections and request lines rejected by admission control, \
+         by reason.",
+    );
+    for (reason, n) in [
+        ("conn_cap", s.health.admission.conn_cap),
+        ("failpoint", s.health.admission.failpoint),
+        ("peer_quota", s.health.admission.peer_quota),
+        ("rate_limit", s.health.admission.rate_limit),
+        ("slow_client", s.health.admission.slow_client),
+    ] {
+        sample(
+            w,
+            "lalr_admission_rejects_total",
+            &format!("reason=\"{reason}\""),
+            n,
+        );
+    }
+
     if !s.faults.is_empty() {
         header(
             w,
@@ -413,8 +461,8 @@ mod tests {
             requests: 10,
             errors: 2,
             deadline_exceeded: 1,
-            by_op: [4, 2, 1, 1, 1, 1, 0, 0],
-            errors_by_op: [1, 0, 0, 1, 0, 0, 0, 0],
+            by_op: [4, 2, 1, 1, 1, 1, 0, 0, 0],
+            errors_by_op: [1, 0, 0, 1, 0, 0, 0, 0, 0],
             latency_buckets: [3, 4, 2, 1, 0, 0],
             latency_by_op: [
                 [1, 2, 1, 0, 0, 0],
@@ -425,8 +473,9 @@ mod tests {
                 [0, 0, 0, 1, 0, 0],
                 [0, 0, 0, 0, 0, 0],
                 [0, 0, 0, 0, 0, 0],
+                [0, 0, 0, 0, 0, 0],
             ],
-            latency_sum_us: [900, 700, 50, 300, 20, 15_000, 0, 0],
+            latency_sum_us: [900, 700, 50, 300, 20, 15_000, 0, 0, 0],
             phase_calls: [4, 4, 4, 4, 4, 4, 4, 4],
             phase_ns: [100, 2_000, 300, 400, 500, 600, 7_000, 800],
             parse: crate::service::ParseLaneStats {
@@ -444,6 +493,7 @@ mod tests {
             queue_limit: 64,
             faults: Vec::new(),
             shards: Vec::new(),
+            health: crate::service::HealthStats::default(),
             tracing: crate::service::TracingStats::default(),
         }
     }
@@ -564,6 +614,46 @@ mod tests {
     }
 
     #[test]
+    fn health_and_admission_families_always_render() {
+        let mut s = snapshot();
+        let text = render(&s);
+        assert!(text.contains("lalr_health_state 0"), "{text}");
+        assert!(text.contains("lalr_degraded_transitions_total 0"), "{text}");
+        assert!(text.contains("lalr_shard_restarts_total 0"), "{text}");
+        assert!(
+            text.contains("lalr_admission_rejects_total{reason=\"peer_quota\"} 0"),
+            "{text}"
+        );
+
+        s.health = crate::service::HealthStats {
+            state: crate::service::HealthState::Degraded,
+            degraded_transitions: 2,
+            shard_restarts: 1,
+            admission: crate::service::AdmissionRejects {
+                conn_cap: 4,
+                peer_quota: 3,
+                rate_limit: 7,
+                slow_client: 1,
+                failpoint: 2,
+            },
+            max_connections_per_peer: 8,
+            rate_limit_per_sec: 100,
+        };
+        let text = render(&s);
+        assert!(text.contains("lalr_health_state 1"), "{text}");
+        assert!(text.contains("lalr_degraded_transitions_total 2"), "{text}");
+        assert!(text.contains("lalr_shard_restarts_total 1"), "{text}");
+        assert!(
+            text.contains("lalr_admission_rejects_total{reason=\"rate_limit\"} 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lalr_admission_rejects_total{reason=\"slow_client\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
     fn totals_agree_with_per_op_breakdowns() {
         let s = snapshot();
         let text = render(&s);
@@ -594,7 +684,11 @@ mod tests {
     fn shard_and_stage_families_render_only_when_present() {
         let mut s = snapshot();
         let text = render(&s);
-        assert!(!text.contains("lalr_shard_"), "{text}");
+        // Per-shard families need shards; `lalr_shard_restarts_total` is
+        // daemon-wide and always renders.
+        assert!(!text.contains("lalr_shard_epoll"), "{text}");
+        assert!(!text.contains("lalr_shard_connections"), "{text}");
+        assert!(!text.contains("lalr_shard_accepts_total"), "{text}");
         assert!(!text.contains("lalr_stage_seconds_total"), "{text}");
 
         s.shards = vec![

@@ -28,7 +28,8 @@ use crate::artifact::GrammarFormat;
 use crate::error::ServiceError;
 use crate::fingerprint::{format_fingerprint, parse_fingerprint};
 use crate::service::{
-    DocVerdict, ParseTarget, Request, Response, StatsSnapshot, TraceDump, TraceFilter,
+    AdmissionRejects, DocVerdict, HealthReport, ParseTarget, Request, Response, StatsSnapshot,
+    TraceDump, TraceFilter,
 };
 
 /// Encodes a request (plus optional per-request deadline) as one JSON
@@ -97,7 +98,7 @@ pub fn request_to_value(request: &Request, deadline: Option<Duration>) -> Value 
                 pairs.push(("limit", limit.into()));
             }
         }
-        Request::Stats | Request::Metrics | Request::Shutdown => {}
+        Request::Stats | Request::Metrics | Request::Health | Request::Shutdown => {}
     }
     if let Some(d) = deadline {
         pairs.push(("deadline_ms", (d.as_millis() as u64).into()));
@@ -242,11 +243,12 @@ pub fn request_from_value(value: &Value) -> Result<(Request, Option<Duration>), 
                 limit,
             })
         }
+        "health" => Request::Health,
         "shutdown" => Request::Shutdown,
         other => {
             return Err(ServiceError::BadRequest(format!(
                 "unknown op {other:?} (available: compile, classify, table, parse, stats, \
-                 metrics, trace, shutdown)"
+                 metrics, trace, health, shutdown)"
             )))
         }
     };
@@ -344,6 +346,7 @@ pub fn response_to_value(response: &Response) -> Value {
             ("text", text.as_str().into()),
         ]),
         Response::Trace(dump) => trace_to_value(dump),
+        Response::Health(h) => health_to_value(h),
         Response::Shutdown => object([("ok", Value::Bool(true)), ("op", "shutdown".into())]),
         Response::Error(e) => object([
             ("ok", Value::Bool(false)),
@@ -429,8 +432,40 @@ fn trace_to_value(dump: &TraceDump) -> Value {
     ])
 }
 
+/// Encodes the per-reason admission-rejection counters.
+fn rejects_to_value(r: &AdmissionRejects) -> Value {
+    object([
+        ("conn_cap", r.conn_cap.into()),
+        ("peer_quota", r.peer_quota.into()),
+        ("rate_limit", r.rate_limit.into()),
+        ("slow_client", r.slow_client.into()),
+        ("failpoint", r.failpoint.into()),
+        ("total", r.total().into()),
+    ])
+}
+
+/// Encodes the `health` op's answer.
+fn health_to_value(h: &HealthReport) -> Value {
+    object([
+        ("ok", Value::Bool(true)),
+        ("op", "health".into()),
+        ("state", h.state.as_str().into()),
+        ("queue_depth", h.queue_depth.into()),
+        ("queue_limit", h.queue_limit.into()),
+        ("shed", h.shed.into()),
+        ("degraded_transitions", h.degraded_transitions.into()),
+        ("shard_restarts", h.shard_restarts.into()),
+        (
+            "max_connections_per_peer",
+            h.max_connections_per_peer.into(),
+        ),
+        ("rate_limit_per_sec", h.rate_limit_per_sec.into()),
+        ("admission_rejects", rejects_to_value(&h.admission_rejects)),
+    ])
+}
+
 fn stats_to_value(s: &StatsSnapshot) -> Value {
-    let op_counts = |counts: &[u64; 8]| {
+    let op_counts = |counts: &[u64; 9]| {
         Value::Obj(
             crate::service::OPS
                 .iter()
@@ -477,6 +512,20 @@ fn stats_to_value(s: &StatsSnapshot) -> Value {
         ("queue_limit", s.queue_limit.into()),
         ("workers", s.workers.into()),
         ("uptime_ms", s.uptime_ms.into()),
+        (
+            "health",
+            object([
+                ("state", s.health.state.as_str().into()),
+                ("degraded_transitions", s.health.degraded_transitions.into()),
+                ("shard_restarts", s.health.shard_restarts.into()),
+                (
+                    "max_connections_per_peer",
+                    s.health.max_connections_per_peer.into(),
+                ),
+                ("rate_limit_per_sec", s.health.rate_limit_per_sec.into()),
+                ("admission_rejects", rejects_to_value(&s.health.admission)),
+            ]),
+        ),
     ];
     if !s.shards.is_empty() {
         pairs.push((
@@ -651,7 +700,42 @@ mod tests {
             }),
             Some(Duration::from_millis(100)),
         );
+        round_trip(Request::Health, None);
         round_trip(Request::Shutdown, None);
+    }
+
+    #[test]
+    fn health_responses_render_state_quotas_and_rejects() {
+        let r = Response::Health(HealthReport {
+            state: "degraded".to_string(),
+            queue_depth: 3,
+            queue_limit: 4,
+            shed: 9,
+            degraded_transitions: 1,
+            shard_restarts: 2,
+            max_connections_per_peer: 8,
+            rate_limit_per_sec: 100,
+            admission_rejects: AdmissionRejects {
+                conn_cap: 1,
+                peer_quota: 2,
+                rate_limit: 3,
+                slow_client: 4,
+                failpoint: 5,
+            },
+        });
+        let line = response_to_line(&r);
+        let v = serde_json::from_str(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("op").and_then(Value::as_str), Some("health"));
+        assert_eq!(v.get("state").and_then(Value::as_str), Some("degraded"));
+        assert_eq!(v.get("shard_restarts").and_then(Value::as_u64), Some(2));
+        assert_eq!(
+            v.get("max_connections_per_peer").and_then(Value::as_u64),
+            Some(8)
+        );
+        let rejects = v.get("admission_rejects").unwrap();
+        assert_eq!(rejects.get("peer_quota").and_then(Value::as_u64), Some(2));
+        assert_eq!(rejects.get("total").and_then(Value::as_u64), Some(15));
     }
 
     #[test]

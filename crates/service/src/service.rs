@@ -1,7 +1,7 @@
 //! The request engine: a worker pool over the cache.
 
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -15,7 +15,7 @@ use crate::artifact::{CompiledArtifact, GrammarFormat};
 use crate::cache::{ArtifactCache, CacheConfig, CacheOutcome, CacheStats};
 use crate::error::ServiceError;
 use crate::fingerprint::format_fingerprint;
-use crate::telemetry::{ShardCounters, ShardStatsSnapshot};
+use crate::telemetry::{DaemonCounters, ShardCounters, ShardStatsSnapshot};
 
 /// Stage indices into [`lalr_obs::STAGE_NAMES`] / an [`ActiveTrace`].
 pub(crate) const STAGE_QUEUE: usize = 0;
@@ -30,8 +30,8 @@ pub const LATENCY_BOUNDS_US: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000]
 
 /// Every protocol op, in wire/stats order (the index into the per-op
 /// counter arrays).
-pub const OPS: [&str; 8] = [
-    "compile", "classify", "table", "parse", "stats", "metrics", "trace", "shutdown",
+pub const OPS: [&str; 9] = [
+    "compile", "classify", "table", "parse", "stats", "metrics", "trace", "health", "shutdown",
 ];
 
 /// The compile-pipeline phases the service aggregates per request
@@ -86,6 +86,11 @@ pub struct ServiceConfig {
     /// with the in-process failpoints — and hands it to the cache as its
     /// disk tier.
     pub store_dir: Option<std::path::PathBuf>,
+    /// Graceful-degradation hysteresis: when the pending queue sheds
+    /// this many requests in a row the service flips to `degraded` and
+    /// rejects cold compiles (cache and store hits still serve) until
+    /// pressure subsides. See [`HealthConfig`].
+    pub health: HealthConfig,
     /// Request-scoped tracing. `None` (the default) disables the flight
     /// recorder entirely: no trace IDs are assigned, no stages are
     /// stamped, and the hot path is allocation-identical to a build
@@ -127,9 +132,145 @@ impl Default for ServiceConfig {
             max_pending: 1024,
             faults: FaultInjector::disabled(),
             store_dir: None,
+            health: HealthConfig::default(),
             tracing: None,
         }
     }
+}
+
+/// Hysteresis thresholds for the `ok → degraded → ok` health state
+/// machine ([`ServiceConfig::health`]).
+///
+/// Degradation trips on *consecutive* queue sheds — one burst that
+/// sheds a single request does not flip the state — and recovery
+/// requires the queue to stay calm (at most half full) across
+/// `recover_after_ok` consecutive accepted requests, so the state does
+/// not flap at the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Consecutive queue sheds that flip the service to `degraded`.
+    /// 0 disables degradation entirely (the binary shed behavior).
+    pub degrade_after_sheds: u64,
+    /// Consecutive calm accepted requests (queue at most half full)
+    /// that flip a degraded service back to `ok` (clamped to ≥ 1).
+    pub recover_after_ok: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            degrade_after_sheds: 3,
+            recover_after_ok: 8,
+        }
+    }
+}
+
+/// The daemon health state reported by the `health` op and the
+/// `lalr_health_state` metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HealthState {
+    /// Serving everything.
+    #[default]
+    Ok,
+    /// Under sustained overload: cache/store hits and
+    /// fingerprint-addressed parses still serve, cold compiles are
+    /// rejected with a retryable `degraded` error.
+    Degraded,
+    /// Shutting down: no new connections, in-flight work drains.
+    Draining,
+}
+
+impl HealthState {
+    /// Stable wire name (`ok`, `degraded`, `draining`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            HealthState::Ok => "ok",
+            HealthState::Degraded => "degraded",
+            HealthState::Draining => "draining",
+        }
+    }
+
+    /// Numeric gauge value for the metrics exposition (0/1/2).
+    pub fn code(&self) -> u8 {
+        match self {
+            HealthState::Ok => 0,
+            HealthState::Degraded => 1,
+            HealthState::Draining => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> HealthState {
+        match code {
+            1 => HealthState::Degraded,
+            2 => HealthState::Draining,
+            _ => HealthState::Ok,
+        }
+    }
+}
+
+/// Per-reason admission-rejection counters (the label set of
+/// `lalr_admission_rejects_total`). All zero unless a daemon front end
+/// registered its [`DaemonCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionRejects {
+    /// Connections rejected at the global connection cap.
+    pub conn_cap: u64,
+    /// Connections rejected by the per-peer connection quota.
+    pub peer_quota: u64,
+    /// Request lines rejected by the token-bucket rate limit.
+    pub rate_limit: u64,
+    /// Connections closed for failing the write-drain budget.
+    pub slow_client: u64,
+    /// Request lines rejected by the `daemon.admit` failpoint.
+    pub failpoint: u64,
+}
+
+impl AdmissionRejects {
+    /// Sum over every rejection reason.
+    pub fn total(&self) -> u64 {
+        self.conn_cap + self.peer_quota + self.rate_limit + self.slow_client + self.failpoint
+    }
+}
+
+/// Self-healing telemetry in a [`StatsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthStats {
+    /// Current health state.
+    pub state: HealthState,
+    /// `ok → degraded` transitions since start.
+    pub degraded_transitions: u64,
+    /// Event-loop shards respawned after a panic.
+    pub shard_restarts: u64,
+    /// Per-reason admission rejections.
+    pub admission: AdmissionRejects,
+    /// Configured per-peer connection quota (0 = unlimited).
+    pub max_connections_per_peer: u64,
+    /// Configured request-rate limit per second (0 = unlimited).
+    pub rate_limit_per_sec: u64,
+}
+
+/// The `health` op's response payload: state, quotas, and restart
+/// counts, cheap enough to poll.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Current health state (`ok`, `degraded`, `draining`).
+    pub state: String,
+    /// Requests waiting in the queue right now.
+    pub queue_depth: usize,
+    /// The configured pending-queue bound.
+    pub queue_limit: usize,
+    /// Requests shed at the queue bound since start.
+    pub shed: u64,
+    /// `ok → degraded` transitions since start.
+    pub degraded_transitions: u64,
+    /// Event-loop shards respawned after a panic.
+    pub shard_restarts: u64,
+    /// Configured per-peer connection quota (0 = unlimited).
+    pub max_connections_per_peer: u64,
+    /// Configured request-rate limit per second (0 = unlimited).
+    pub rate_limit_per_sec: u64,
+    /// Per-reason admission rejections.
+    pub admission_rejects: AdmissionRejects,
 }
 
 /// One protocol request.
@@ -181,6 +322,8 @@ pub enum Request {
     Metrics,
     /// Dump the flight recorder: recent request traces, filtered.
     Trace(TraceFilter),
+    /// Health probe: state machine position, quotas, restart counts.
+    Health,
     /// Ask the daemon to stop accepting connections and exit.
     Shutdown,
 }
@@ -210,6 +353,7 @@ impl Request {
             Request::Stats => "stats",
             Request::Metrics => "metrics",
             Request::Trace(_) => "trace",
+            Request::Health => "health",
             Request::Shutdown => "shutdown",
         }
     }
@@ -225,7 +369,11 @@ impl Request {
                 ParseTarget::Text { grammar, .. } => grammar.len(),
                 ParseTarget::Fingerprint(_) => 0,
             },
-            Request::Stats | Request::Metrics | Request::Trace(_) | Request::Shutdown => 0,
+            Request::Stats
+            | Request::Metrics
+            | Request::Trace(_)
+            | Request::Health
+            | Request::Shutdown => 0,
         }
     }
 }
@@ -377,16 +525,16 @@ pub struct StatsSnapshot {
     /// Requests that missed their deadline.
     pub deadline_exceeded: u64,
     /// Per-op request counts, indexed like [`OPS`].
-    pub by_op: [u64; 8],
+    pub by_op: [u64; 9],
     /// Per-op *error* response counts, indexed like [`OPS`].
-    pub errors_by_op: [u64; 8],
+    pub errors_by_op: [u64; 9],
     /// Fixed-bucket latency histogram over all ops (bounds
     /// [`LATENCY_BOUNDS_US`], last bucket is overflow).
     pub latency_buckets: [u64; 6],
     /// Per-op latency histograms (same buckets), indexed like [`OPS`].
-    pub latency_by_op: [[u64; 6]; 8],
+    pub latency_by_op: [[u64; 6]; 9],
     /// Per-op total latency in microseconds (the histogram `_sum`).
-    pub latency_sum_us: [u64; 8],
+    pub latency_sum_us: [u64; 9],
     /// Per-phase compile-pipeline call counts, indexed like
     /// [`PHASE_NAMES`].
     pub phase_calls: [u64; 8],
@@ -413,6 +561,8 @@ pub struct StatsSnapshot {
     /// Per-shard event-loop telemetry (empty for the threaded front
     /// end, one entry per epoll shard under the event daemon).
     pub shards: Vec<ShardStatsSnapshot>,
+    /// Health state machine and admission-control telemetry.
+    pub health: HealthStats,
     /// Flight-recorder counters ([`TracingStats::enabled`] is `false`
     /// when [`ServiceConfig::tracing`] is `None`).
     pub tracing: TracingStats,
@@ -485,6 +635,8 @@ pub enum Response {
     Metrics(String),
     /// Flight-recorder dump.
     Trace(Box<TraceDump>),
+    /// Health probe answer.
+    Health(HealthReport),
     /// Shutdown acknowledged.
     Shutdown,
     /// Structured failure.
@@ -536,11 +688,11 @@ struct Inner {
     deadline_exceeded: AtomicU64,
     shed: AtomicU64,
     queue_depth: AtomicUsize,
-    by_op: [AtomicU64; 8],
-    errors_by_op: [AtomicU64; 8],
+    by_op: [AtomicU64; 9],
+    errors_by_op: [AtomicU64; 9],
     latency: [AtomicU64; 6],
-    latency_by_op: [[AtomicU64; 6]; 8],
-    latency_sum_us: [AtomicU64; 8],
+    latency_by_op: [[AtomicU64; 6]; 9],
+    latency_sum_us: [AtomicU64; 9],
     phase_calls: [AtomicU64; 8],
     phase_ns: [AtomicU64; 8],
     parse_batches: AtomicU64,
@@ -556,6 +708,19 @@ struct Inner {
     /// Per-shard event-loop counters, registered once by the event
     /// front end (empty for in-process and threaded callers).
     shards: std::sync::OnceLock<Vec<Arc<ShardCounters>>>,
+    /// Daemon self-healing counters (shard restarts, admission
+    /// rejections), registered once by whichever front end serves this
+    /// service. Absent for in-process callers.
+    daemon: std::sync::OnceLock<Arc<DaemonCounters>>,
+    /// Health state machine position ([`HealthState::code`] values).
+    health: AtomicU8,
+    /// Consecutive queue sheds (degradation trigger).
+    shed_streak: AtomicU64,
+    /// Consecutive calm accepted requests while degraded (recovery
+    /// trigger).
+    calm_streak: AtomicU64,
+    /// `ok → degraded` transitions since start.
+    degraded_transitions: AtomicU64,
 }
 
 /// The compilation service: a worker pool executing [`Request`]s against
@@ -635,6 +800,11 @@ impl Service {
                 .map(|t| FlightRecorder::new(t.capacity, t.sample_every)),
             stage_ns: Default::default(),
             shards: std::sync::OnceLock::new(),
+            daemon: std::sync::OnceLock::new(),
+            health: AtomicU8::new(0),
+            shed_streak: AtomicU64::new(0),
+            calm_streak: AtomicU64::new(0),
+            degraded_transitions: AtomicU64::new(0),
             config,
         });
         // A rendezvous queue bounded at `max_pending`: `try_send` makes
@@ -786,6 +956,33 @@ impl Service {
         let _ = self.inner.shards.set(shards);
     }
 
+    /// Registers the daemon's self-healing counters (shard restarts,
+    /// admission rejections) so the `health`/`stats` ops and the
+    /// metrics exposition can report them. Called once at daemon start;
+    /// later calls are ignored.
+    pub(crate) fn register_daemon(&self, counters: Arc<DaemonCounters>) {
+        let _ = self.inner.daemon.set(counters);
+    }
+
+    /// Current health state machine position.
+    pub fn health_state(&self) -> HealthState {
+        HealthState::from_code(self.inner.health.load(Ordering::Relaxed))
+    }
+
+    /// Moves the health state to `draining` (daemon shutdown has begun:
+    /// no new connections, in-flight work is draining). Terminal — the
+    /// recovery path never leaves `draining`.
+    pub fn set_draining(&self) {
+        self.inner
+            .health
+            .store(HealthState::Draining.code(), Ordering::Relaxed);
+    }
+
+    /// The `health` op's payload, also callable in process.
+    pub fn health_report(&self) -> HealthReport {
+        self.inner.health_report()
+    }
+
     /// Queues a job, or explains why it cannot be queued. On failure the
     /// reply has already been consumed: shed/unavailable errors are
     /// delivered through it before returning, so every reply — sync or
@@ -809,24 +1006,36 @@ impl Service {
             trace,
         };
         match &*self.tx.lock().expect("service sender poisoned") {
-            Some(tx) => match tx.try_send(job) {
-                Ok(()) => {
-                    self.inner.queue_depth.fetch_add(1, Ordering::SeqCst);
-                    Ok(())
+            Some(tx) => {
+                // Count the job *before* it becomes visible to the
+                // workers: a worker may dequeue and decrement between
+                // try_send and a post-send increment, and the gauge
+                // would underflow. Rolled back on the error arms.
+                self.inner.queue_depth.fetch_add(1, Ordering::SeqCst);
+                match tx.try_send(job) {
+                    Ok(()) => {
+                        self.inner.note_accept();
+                        Ok(())
+                    }
+                    Err(mpsc::TrySendError::Full(job)) => {
+                        self.inner.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                        self.inner.shed.fetch_add(1, Ordering::Relaxed);
+                        self.inner.note_shed();
+                        Err(ServiceError::Overloaded {
+                            pending: self.inner.queue_depth.load(Ordering::SeqCst),
+                            limit: self.inner.config.max_pending.max(1),
+                        })
+                        .inspect_err(|e| job.reply.deliver(Response::Error(e.clone())))
+                    }
+                    Err(mpsc::TrySendError::Disconnected(job)) => {
+                        self.inner.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                        Err(ServiceError::Unavailable(
+                            "service is shut down".to_string(),
+                        ))
+                        .inspect_err(|e| job.reply.deliver(Response::Error(e.clone())))
+                    }
                 }
-                Err(mpsc::TrySendError::Full(job)) => {
-                    self.inner.shed.fetch_add(1, Ordering::Relaxed);
-                    Err(ServiceError::Overloaded {
-                        pending: self.inner.queue_depth.load(Ordering::SeqCst),
-                        limit: self.inner.config.max_pending.max(1),
-                    })
-                    .inspect_err(|e| job.reply.deliver(Response::Error(e.clone())))
-                }
-                Err(mpsc::TrySendError::Disconnected(job)) => Err(ServiceError::Unavailable(
-                    "service is shut down".to_string(),
-                ))
-                .inspect_err(|e| job.reply.deliver(Response::Error(e.clone()))),
-            },
+            }
             None => {
                 let e = ServiceError::Unavailable("service is shut down".to_string());
                 job.reply.deliver(Response::Error(e.clone()));
@@ -898,6 +1107,88 @@ fn worker_loop(inner: &Inner, rx: &Mutex<mpsc::Receiver<Job>>) {
 }
 
 impl Inner {
+    /// Health transition on an accepted enqueue: any accept breaks a
+    /// shed streak, and — while degraded — a calm queue (at most half
+    /// full at accept time) counts toward recovery. Every op arrives
+    /// through this path, so even a health poll drives recovery.
+    fn note_accept(&self) {
+        self.shed_streak.store(0, Ordering::Relaxed);
+        if self.health.load(Ordering::Relaxed) != HealthState::Degraded.code() {
+            return;
+        }
+        let depth = self.queue_depth.load(Ordering::SeqCst);
+        let limit = self.config.max_pending.max(1);
+        if depth * 2 <= limit {
+            let calm = self.calm_streak.fetch_add(1, Ordering::Relaxed) + 1;
+            if calm >= self.config.health.recover_after_ok.max(1) {
+                // compare_exchange: recovery must never resurrect a
+                // draining service.
+                let _ = self.health.compare_exchange(
+                    HealthState::Degraded.code(),
+                    HealthState::Ok.code(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                self.calm_streak.store(0, Ordering::Relaxed);
+            }
+        } else {
+            self.calm_streak.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Health transition on a queue shed: consecutive sheds past the
+    /// configured threshold flip `ok` to `degraded`.
+    fn note_shed(&self) {
+        self.calm_streak.store(0, Ordering::Relaxed);
+        let threshold = self.config.health.degrade_after_sheds;
+        if threshold == 0 {
+            return;
+        }
+        let streak = self.shed_streak.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= threshold
+            && self
+                .health
+                .compare_exchange(
+                    HealthState::Ok.code(),
+                    HealthState::Degraded.code(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+        {
+            self.degraded_transitions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn health_stats(&self) -> HealthStats {
+        let daemon = self.daemon.get();
+        HealthStats {
+            state: HealthState::from_code(self.health.load(Ordering::Relaxed)),
+            degraded_transitions: self.degraded_transitions.load(Ordering::Relaxed),
+            shard_restarts: daemon
+                .map(|d| d.shard_restarts.load(Ordering::Relaxed))
+                .unwrap_or(0),
+            admission: daemon.map(|d| d.rejects()).unwrap_or_default(),
+            max_connections_per_peer: daemon.map(|d| d.max_connections_per_peer).unwrap_or(0),
+            rate_limit_per_sec: daemon.map(|d| d.rate_limit_per_sec).unwrap_or(0),
+        }
+    }
+
+    fn health_report(&self) -> HealthReport {
+        let h = self.health_stats();
+        HealthReport {
+            state: h.state.as_str().to_string(),
+            queue_depth: self.queue_depth.load(Ordering::SeqCst),
+            queue_limit: self.config.max_pending.max(1),
+            shed: self.shed.load(Ordering::Relaxed),
+            degraded_transitions: h.degraded_transitions,
+            shard_restarts: h.shard_restarts,
+            max_connections_per_peer: h.max_connections_per_peer,
+            rate_limit_per_sec: h.rate_limit_per_sec,
+            admission_rejects: h.admission,
+        }
+    }
+
     fn execute(&self, job: &Job) -> Response {
         if let Some(deadline) = job.deadline {
             if Instant::now() > deadline {
@@ -984,6 +1275,7 @@ impl Inner {
                 Ok(dump) => Response::Trace(Box::new(dump)),
                 Err(e) => Response::Error(e),
             },
+            Request::Health => Response::Health(self.health_report()),
             Request::Shutdown => Response::Shutdown,
         }
     }
@@ -1236,13 +1528,27 @@ impl Inner {
         // thread's in-flight compile — is the cache stage.
         let resolve_started = trace.map(|_| Instant::now());
         let pipeline = self.config.pipeline;
+        // Graceful degradation gates the *pipeline*, not the lookup: a
+        // degraded service still answers memory hits and verified store
+        // loads (the closure never runs for those), and only a request
+        // that would actually run a cold compile is shed with a
+        // retryable `degraded` error.
+        let degraded = self.health.load(Ordering::Relaxed) == HealthState::Degraded.code();
         let result = match &self.cache {
             Some(cache) => {
                 let (result, outcome) = cache.get_or_compile(&key, |_, fp| {
+                    if degraded {
+                        return Err(ServiceError::Degraded(
+                            "cold compile shed while degraded; retry after backoff".to_string(),
+                        ));
+                    }
                     self.compile_observed(grammar, format, fp, &pipeline, trace)
                 });
                 result.map(|a| (a, outcome))
             }
+            None if degraded => Err(ServiceError::Degraded(
+                "cold compile shed while degraded; retry after backoff".to_string(),
+            )),
             None => {
                 let fp = crate::fingerprint::fx_fingerprint(&crate::fingerprint::normalize(&key));
                 self.compile_observed(grammar, format, fp, &pipeline, trace)
@@ -1356,6 +1662,7 @@ impl Inner {
                         .collect()
                 })
                 .unwrap_or_default(),
+            health: self.health_stats(),
             tracing: match &self.tracer {
                 Some(tracer) => TracingStats {
                     enabled: true,

@@ -44,6 +44,58 @@ impl ShardCounters {
     }
 }
 
+/// Daemon-level self-healing counters: shard restarts and per-reason
+/// admission rejections. One instance is shared by the supervisor and
+/// every shard incarnation, and registered with the [`crate::Service`]
+/// (see `register_daemon`) so the `health`/`stats` ops and the metrics
+/// exposition can report them without reaching into the daemon.
+///
+/// The two `max_*` fields are configuration echoes, not counters: they
+/// are set at construction so the `health` op can report the quotas the
+/// daemon is enforcing.
+#[derive(Debug, Default)]
+pub struct DaemonCounters {
+    /// Event-loop shards respawned by the supervisor after a panic.
+    pub shard_restarts: AtomicU64,
+    /// Connections rejected at the global connection cap.
+    pub rejects_conn_cap: AtomicU64,
+    /// Connections rejected by the per-peer connection quota.
+    pub rejects_peer_quota: AtomicU64,
+    /// Request lines rejected by the token-bucket rate limit.
+    pub rejects_rate_limit: AtomicU64,
+    /// Connections closed for failing to drain their write buffer
+    /// within the write budget (write-side slowloris).
+    pub rejects_slow_client: AtomicU64,
+    /// Request lines rejected by the armed `daemon.admit` failpoint.
+    pub rejects_failpoint: AtomicU64,
+    /// Configured per-peer connection quota (0 = unlimited).
+    pub max_connections_per_peer: u64,
+    /// Configured request-rate limit per second (0 = unlimited).
+    pub rate_limit_per_sec: u64,
+}
+
+impl DaemonCounters {
+    /// Fresh counters echoing the daemon's admission quotas.
+    pub fn with_quotas(max_connections_per_peer: u64, rate_limit_per_sec: u64) -> DaemonCounters {
+        DaemonCounters {
+            max_connections_per_peer,
+            rate_limit_per_sec,
+            ..DaemonCounters::default()
+        }
+    }
+
+    /// Copies the admission counters into an owned snapshot.
+    pub fn rejects(&self) -> crate::AdmissionRejects {
+        crate::AdmissionRejects {
+            conn_cap: self.rejects_conn_cap.load(Ordering::Relaxed),
+            peer_quota: self.rejects_peer_quota.load(Ordering::Relaxed),
+            rate_limit: self.rejects_rate_limit.load(Ordering::Relaxed),
+            slow_client: self.rejects_slow_client.load(Ordering::Relaxed),
+            failpoint: self.rejects_failpoint.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// One shard's telemetry in a [`crate::StatsSnapshot`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardStatsSnapshot {

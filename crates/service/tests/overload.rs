@@ -1,0 +1,386 @@
+//! Overload and self-healing: the health state machine's full
+//! `ok → degraded → ok` cycle in process, and the acceptance soak for
+//! the event-loop daemon — a seeded `shard.panic` schedule plus ~20%
+//! transport/service fault rates plus a hostile-client mix, through
+//! which every well-behaved request must converge via retry onto
+//! byte-identical responses to a fault-free reference, with at least
+//! one supervised shard restart, exact per-rule fault accounting
+//! (including the `shard.panic` and `daemon.admit` admission
+//! failpoints), a final `ok` health state, and a clean drain.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lalr_core::Parallelism;
+use lalr_service::protocol::{request_to_line, response_to_line};
+use lalr_service::{
+    call_with_retry, DaemonConfig, EventDaemon, Fault, FaultPlan, GrammarFormat, ParseTarget,
+    Request, Response, RetryPolicy, Service, ServiceConfig, ServiceError, Trigger,
+};
+
+use serde_json::Value;
+
+fn compile(grammar: &str) -> Request {
+    Request::Compile {
+        grammar: grammar.to_string(),
+        format: GrammarFormat::Native,
+    }
+}
+
+/// Drives the service to sustained queue overflow, then checks each leg
+/// of the hysteresis contract: consecutive sheds flip to `degraded`;
+/// degraded still serves cache hits but sheds cold compiles with a
+/// retryable `degraded` error; calm traffic recovers to `ok`, after
+/// which cold compiles run again.
+#[test]
+fn degraded_state_sheds_cold_compiles_serves_hits_and_recovers() {
+    let faults = FaultPlan::new(17)
+        // Every compile sleeps, so one worker and two queue slots
+        // saturate under the thundering herd below.
+        .rule("service.compile", Fault::Delay(40), Trigger::Rate(1.0))
+        .build();
+    let service = Arc::new(Service::new(ServiceConfig {
+        workers: Parallelism::sequential(),
+        max_pending: 2,
+        faults,
+        ..ServiceConfig::default()
+    }));
+
+    // Warm one artifact before the storm: degraded mode must keep
+    // serving it from cache while cold compiles are shed.
+    let warm = "w : \"w\" ;";
+    assert!(service.call(compile(warm), None).is_ok());
+
+    // Twelve concurrent cold compiles against workers=1/queue=2: at
+    // most three are accepted before the queue is full, so among the
+    // nine-plus sheds some consecutive run reaches the threshold of 3
+    // regardless of interleaving (9 sheds split by at most 3
+    // accept-resets leave a run of at least ceil(9/4) = 3).
+    let handles: Vec<_> = (0..12)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || service.call(compile(&format!("s : \"x{t}\" ;")), None))
+        })
+        .collect();
+    let responses: Vec<Response> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let shed = responses
+        .iter()
+        .filter(|r| matches!(r, Response::Error(ServiceError::Overloaded { .. })))
+        .count();
+    assert!(shed >= 3, "the herd must overflow the queue: {responses:?}");
+
+    let report = service.health_report();
+    assert_eq!(report.state, "degraded", "{report:?}");
+    assert_eq!(report.degraded_transitions, 1, "{report:?}");
+
+    // Wait out the delayed compiles so the queue is empty again.
+    let started = Instant::now();
+    while service.health_report().queue_depth > 0 {
+        assert!(started.elapsed() < Duration::from_secs(10));
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Degraded: the warm artifact still serves (a cache hit never runs
+    // the pipeline), while a cold compile is shed with a retryable
+    // `degraded` error instead of being queued.
+    match service.call(compile(warm), None) {
+        Response::Compile(c) => assert!(c.cached, "{c:?}"),
+        other => panic!("cache hit must serve while degraded: {other:?}"),
+    }
+    match service.call(compile("c : \"cold\" ;"), None) {
+        Response::Error(e) => {
+            assert_eq!(e.kind(), "degraded", "{e}");
+            assert!(e.is_retryable(), "{e}");
+        }
+        other => panic!("cold compile must shed while degraded: {other:?}"),
+    }
+
+    // Recovery: calm accepted requests (queue at most half full) flip
+    // the state back to `ok` after the configured streak, and the same
+    // cold compile now runs.
+    for _ in 0..12 {
+        assert!(service.call(Request::Stats, None).is_ok());
+    }
+    let report = service.health_report();
+    assert_eq!(report.state, "ok", "{report:?}");
+    match service.call(compile("c : \"cold\" ;"), None) {
+        Response::Compile(c) => assert!(!c.cached, "{c:?}"),
+        other => panic!("cold compile must run after recovery: {other:?}"),
+    }
+    assert_eq!(service.health_report().degraded_transitions, 1);
+}
+
+/// One round of the soak's well-behaved workload.
+fn workload() -> Vec<Request> {
+    let mut requests = Vec::new();
+    for entry in lalr_corpus::all_entries() {
+        let grammar = entry.source.to_string();
+        requests.push(Request::Compile {
+            grammar: grammar.clone(),
+            format: GrammarFormat::Native,
+        });
+        requests.push(Request::Classify {
+            grammar: grammar.clone(),
+            format: GrammarFormat::Native,
+        });
+        requests.push(Request::Table {
+            grammar: grammar.clone(),
+            format: GrammarFormat::Native,
+            compressed: true,
+        });
+        let parsed = entry.grammar();
+        let documents: Vec<String> = lalr_corpus::sentences::generate_many(&parsed, 3, 2, 16)
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .map(|&t| parsed.terminal_name(t))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect();
+        if !documents.is_empty() {
+            requests.push(Request::Parse {
+                target: ParseTarget::Text {
+                    grammar: grammar.clone(),
+                    format: GrammarFormat::Native,
+                },
+                documents,
+                recover: false,
+                sync: Vec::new(),
+            });
+        }
+    }
+    requests
+}
+
+/// Drops the scheduling-dependent `cached` flag before comparison.
+fn normalize(line: &str) -> String {
+    line.replace("\"cached\":true", "\"cached\":false")
+}
+
+/// The soak's fault schedule: ~20% combined transport/service faults,
+/// the `daemon.admit` admission failpoint, and a `shard.panic` schedule
+/// with one deterministic firing (so every seed restarts at least one
+/// shard) plus a seed-dependent rate. Every fault is retryable from the
+/// client's point of view.
+fn plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .rule("daemon.read", Fault::Error, Trigger::Rate(0.05))
+        .rule("daemon.read", Fault::Delay(1), Trigger::Rate(0.03))
+        .rule("daemon.write", Fault::PartialWrite, Trigger::Rate(0.04))
+        .rule("service.compile", Fault::Panic, Trigger::Rate(0.05))
+        .rule("service.compile", Fault::Delay(2), Trigger::Rate(0.05))
+        .rule("daemon.admit", Fault::Error, Trigger::Rate(0.04))
+        .rule("shard.panic", Fault::Panic, Trigger::OnHits(vec![7]))
+        .rule("shard.panic", Fault::Panic, Trigger::Rate(0.003))
+}
+
+fn run_soak(seed: u64, expected_lines: &[String], requests: &Arc<Vec<Request>>) {
+    const THREADS: usize = 6;
+    let faults = plan(seed).build();
+    let quota = THREADS + 6;
+    let daemon = EventDaemon::start(
+        DaemonConfig {
+            addr: "127.0.0.1:0".to_string(),
+            drain_deadline: Duration::from_secs(5),
+            max_connections_per_peer: quota,
+            write_budget: Duration::from_millis(250),
+            faults: faults.clone(),
+            service: ServiceConfig {
+                workers: Parallelism::new(THREADS),
+                faults: faults.clone(),
+                ..ServiceConfig::default()
+            },
+            ..DaemonConfig::default()
+        },
+        2,
+    )
+    .expect("bind soak daemon");
+    let addr = daemon.addr().to_string();
+
+    // The hostile mix runs alongside the well-behaved clients: quota
+    // floods (waves of simultaneous connections from the one loopback
+    // peer) and a stalled reader pipelining requests it never drains.
+    // Every hostile socket is closed before the drain below.
+    let stop_hostile = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flood = {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop_hostile);
+        std::thread::spawn(move || {
+            let mut waves = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let conns: Vec<TcpStream> = (0..quota + 8)
+                    .filter_map(|_| TcpStream::connect(&addr).ok())
+                    .collect();
+                waves += 1;
+                drop(conns);
+                std::thread::sleep(Duration::from_millis(40));
+            }
+            waves
+        })
+    };
+    let stalled = {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop_hostile);
+        std::thread::spawn(move || {
+            let line = format!("{}\n", request_to_line(&Request::Stats, None));
+            let payload = line.repeat(64);
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                if let Ok(mut c) = TcpStream::connect(&addr) {
+                    let _ = c.write_all(payload.as_bytes());
+                    std::thread::sleep(Duration::from_millis(120));
+                    // Dropped unread: the daemon sees the close (or the
+                    // write budget fires first) and must clean up.
+                }
+                std::thread::sleep(Duration::from_millis(40));
+            }
+        })
+    };
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let addr = addr.clone();
+            let requests = Arc::clone(requests);
+            std::thread::spawn(move || {
+                // Generous retries: an attempt can die to injected
+                // transport faults, a shard panic, an admission
+                // failpoint rejection, or a transient quota rejection
+                // while a flood wave holds the peer's slots — all
+                // retryable, all expected to converge.
+                let policy = RetryPolicy {
+                    retries: 60,
+                    backoff: Duration::from_millis(1),
+                    cap: Duration::from_millis(16),
+                    seed: seed ^ t as u64,
+                };
+                let none = lalr_service::FaultInjector::disabled();
+                let mut got = Vec::new();
+                for i in (t..requests.len()).step_by(THREADS) {
+                    let reply = call_with_retry(
+                        &addr,
+                        &requests[i],
+                        None,
+                        Duration::from_secs(10),
+                        &policy,
+                        &none,
+                    )
+                    .unwrap_or_else(|e| panic!("request {i} never succeeded: {e}"));
+                    assert!(
+                        reply.is_ok(),
+                        "request {i} settled on an error reply: {}",
+                        reply.raw
+                    );
+                    got.push((i, normalize(&reply.raw)));
+                }
+                got
+            })
+        })
+        .collect();
+
+    let mut actual = vec![String::new(); requests.len()];
+    for h in handles {
+        for (i, line) in h.join().expect("soak client panicked") {
+            actual[i] = line;
+        }
+    }
+    stop_hostile.store(true, std::sync::atomic::Ordering::Relaxed);
+    let waves = flood.join().expect("flood thread");
+    stalled.join().expect("stalled thread");
+    assert!(waves >= 1, "the flood never ran");
+
+    // Byte-identical convergence versus the fault-free reference.
+    for (i, (want, got)) in expected_lines.iter().zip(&actual).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "seed {seed:#x}: request {i} ({:?}) diverged under overload",
+            requests[i].op()
+        );
+    }
+
+    // Exact fault accounting for every rule — including the admission
+    // failpoint and the shard.panic schedule.
+    for s in &faults.stats() {
+        assert_eq!(
+            s.injected, s.expected,
+            "seed {seed:#x}: rule {s:?} lost count of its own schedule"
+        );
+    }
+    assert!(
+        faults.injected_at("shard.panic") >= 1,
+        "seed {seed:#x}: the shard.panic schedule never fired"
+    );
+
+    // Calm traffic until the health state machine reads `ok` again,
+    // then confirm the restart is visible over the protocol.
+    let policy = RetryPolicy {
+        retries: 60,
+        backoff: Duration::from_millis(1),
+        cap: Duration::from_millis(16),
+        seed,
+    };
+    let none = lalr_service::FaultInjector::disabled();
+    let probe = |req: &Request| {
+        call_with_retry(&addr, req, None, Duration::from_secs(10), &policy, &none)
+            .expect("probe converges")
+    };
+    let started = Instant::now();
+    let health = loop {
+        let reply = probe(&Request::Health);
+        assert!(reply.is_ok(), "{}", reply.raw);
+        if reply.value.get("state").and_then(Value::as_str) == Some("ok") {
+            break reply;
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "seed {seed:#x}: daemon never recovered to ok: {}",
+            reply.raw
+        );
+        let _ = probe(&requests[0]);
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let restarts = health
+        .value
+        .get("shard_restarts")
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    assert!(
+        restarts >= 1,
+        "seed {seed:#x}: no shard restart recorded: {}",
+        health.raw
+    );
+
+    daemon.stop();
+    let summary = daemon.join();
+    assert_eq!(summary.restarts, restarts, "seed {seed:#x}: {summary:?}");
+    assert_eq!(
+        summary.aborted, 0,
+        "seed {seed:#x}: drain aborted connections after clients finished"
+    );
+}
+
+#[test]
+fn overload_soak_self_heals_across_three_seeds() {
+    if !lalr_net::supported() {
+        return;
+    }
+    let requests = Arc::new(workload());
+    assert!(requests.len() >= 30, "workload is non-trivial");
+
+    // Fault-free single-threaded reference, computed once.
+    let reference = Service::new(ServiceConfig {
+        workers: Parallelism::sequential(),
+        ..ServiceConfig::default()
+    });
+    let expected: Vec<String> = requests
+        .iter()
+        .map(|r| normalize(&response_to_line(&reference.call(r.clone(), None))))
+        .collect();
+    drop(reference);
+
+    for seed in [0x0DD5_u64, 0x5EED, 0xF00D] {
+        run_soak(seed, &expected, &requests);
+    }
+}
